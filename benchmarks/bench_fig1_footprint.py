@@ -1,0 +1,23 @@
+"""Fig. 1 — Hybrid training-state footprint vs qubit count.
+
+Reproduced claim: the parameter + optimizer state stays O(kB) while the
+cached statevector grows 2^n and dominates the checkpoint beyond ~12 qubits.
+Kernel timed: snapshot payload construction at 16 qubits.
+"""
+
+from repro.bench.experiments import fig1_footprint
+from repro.bench.reporting import format_table
+from repro.bench.workloads import synthetic_snapshot
+
+
+def test_fig1_footprint(benchmark, report):
+    rows = fig1_footprint(qubit_counts=(4, 8, 12, 16, 20))
+    report(
+        "Fig. 1 — training-state footprint vs qubit count (HEA, 4 layers)",
+        format_table(rows),
+    )
+    assert rows[-1]["statevector_share"] > 0.99
+    assert rows[0]["statevector_share"] < 0.5
+
+    snapshot = synthetic_snapshot(16)
+    benchmark(snapshot.to_payload)

@@ -1,0 +1,42 @@
+"""Fig. 4 — Expected makespan vs MTBF (Daly model + discrete-event sim).
+
+Reproduced claim: without checkpointing the makespan explodes once MTBF
+drops near the job length; Young–Daly intervals dominate (or tie) every
+fixed interval; analytic and simulated values agree.
+Kernel timed: one 400-sample Monte-Carlo estimate.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import fig4_makespan
+from repro.bench.reporting import format_table
+from repro.faults.daly import mean_simulated_makespan
+
+
+def test_fig4_makespan(benchmark, report):
+    rows = fig4_makespan(
+        mtbf_hours=(0.5, 1.0, 2.0, 4.0, 8.0),
+        work_hours=4.0,
+        checkpoint_cost_s=30.0,
+        restart_cost_s=120.0,
+        mc_samples=400,
+    )
+    report("Fig. 4 — expected makespan vs MTBF (4 h job)", format_table(rows))
+
+    by_key = {(r["mtbf_h"], r["strategy"]): r for r in rows}
+    # No checkpointing explodes at MTBF = job/8.
+    assert by_key[(0.5, "none")]["analytic_h"] > 100 * 4.0
+    # Young-Daly <= each fixed interval (within analytic model, small slack).
+    for mtbf in (0.5, 1.0, 2.0, 4.0, 8.0):
+        yd = by_key[(mtbf, "young-daly")]["analytic_h"]
+        assert yd <= by_key[(mtbf, "fixed-10min")]["analytic_h"] * 1.001
+        assert yd <= by_key[(mtbf, "fixed-60min")]["analytic_h"] * 1.001
+    # Analytic and Monte-Carlo agree for the checkpointed strategies.
+    for (mtbf, strategy), row in by_key.items():
+        if strategy != "none":
+            assert abs(row["simulated_h"] - row["analytic_h"]) < 0.25 * row["analytic_h"]
+
+    rng = np.random.default_rng(0)
+    benchmark(
+        mean_simulated_makespan, 4 * 3600, 600, 30, 120, 7200, rng, 400
+    )

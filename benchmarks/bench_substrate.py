@@ -1,0 +1,38 @@
+"""Substrate microbenchmarks (not a paper figure).
+
+Times the simulation and gradient kernels the experiments above sit on, so
+regressions in the quantum substrate are visible next to the storage
+numbers: statevector execution, adjoint gradient, shot sampling.
+"""
+
+import numpy as np
+
+from repro.autodiff import adjoint_gradient
+from repro.quantum.haar import haar_state
+from repro.quantum.observables import Hamiltonian
+from repro.quantum.sampling import estimate_expectation
+from repro.quantum.statevector import apply_circuit
+from repro.quantum.templates import hardware_efficient, initial_parameters
+
+
+def test_statevector_execution_12q(benchmark):
+    circuit = hardware_efficient(12, 4)
+    params = initial_parameters(circuit, np.random.default_rng(0))
+    state = benchmark(apply_circuit, circuit, params)
+    assert np.isclose(np.linalg.norm(state), 1.0)
+
+
+def test_adjoint_gradient_10q(benchmark):
+    circuit = hardware_efficient(10, 4)
+    params = initial_parameters(circuit, np.random.default_rng(0))
+    hamiltonian = Hamiltonian.transverse_field_ising(10, 1.0, 0.8)
+    grads = benchmark(adjoint_gradient, circuit, params, hamiltonian)
+    assert grads.shape == params.shape
+
+
+def test_shot_sampling_12q(benchmark):
+    state = haar_state(12, np.random.default_rng(1))
+    hamiltonian = Hamiltonian.transverse_field_ising(12, 1.0, 0.8)
+    rng = np.random.default_rng(2)
+    value = benchmark(estimate_expectation, state, hamiltonian, 1024, rng)
+    assert np.isfinite(value)

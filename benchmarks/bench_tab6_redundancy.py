@@ -1,0 +1,49 @@
+"""Tab. 6 — redundancy ablation: replication and tiering vs checkpoint cost.
+
+Reproduced claim: parallel 3-way replication costs no more wall time than a
+single remote write (slowest-replica bound); write-through tiering keeps the
+slow tier's write cost but restores at local speed; write-back tiering
+checkpoints at local speed — shifting the Young–Daly interval ~4-5x shorter —
+at the price of a durability window until flush.  Kernel timed: a quorum
+write through a 3-way ReplicatedBackend.
+"""
+
+import math
+
+from repro.bench.experiments import tab6_redundancy
+from repro.bench.reporting import format_table
+from repro.storage.memory import InMemoryBackend
+from repro.storage.replicated import ReplicatedBackend
+
+
+def test_tab6_redundancy(benchmark, report):
+    rows = tab6_redundancy()
+    report("Tab. 6 — redundancy configurations (14-qubit snapshot)", format_table(rows))
+
+    by_config = {r["config"]: r for r in rows}
+
+    # Parallel replication is bounded by the slowest replica, so 3x costs
+    # the same wall time as one datacenter write.
+    assert by_config["replicated-3x"]["write_s"] == (
+        by_config["datacenter"]["write_s"]
+    )
+
+    # Write-through tiering pays the slow tier on write but restores fast.
+    wt = by_config["tiered/write-through"]
+    assert wt["write_s"] == by_config["datacenter"]["write_s"]
+    assert wt["restore_s"] == by_config["local-ssd"]["restore_s"]
+
+    # Write-back checkpoints at fast-tier speed, shortening the Young-Daly
+    # interval accordingly (cheaper checkpoints -> checkpoint more often).
+    wb = by_config["tiered/write-back"]
+    assert wb["write_s"] < wt["write_s"] / 5
+    assert wb["young_daly_interval_s"] < wt["young_daly_interval_s"]
+
+    # Cold restore (fast tier lost) pays the slow tier plus promotion.
+    miss = by_config["tiered/cold-miss"]
+    assert miss["restore_s"] > wt["restore_s"]
+    assert math.isnan(miss["write_s"])
+
+    backend = ReplicatedBackend([InMemoryBackend() for _ in range(3)])
+    payload = b"x" * 262144
+    benchmark(backend.write, "ckpt", payload)

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench module prints its paper-style table through :func:`report` (which
+bypasses pytest's capture so the rows land in ``bench_output.txt``) and times
+one representative kernel with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print rows through disabled capture so they appear in bench output."""
+
+    def _report(title: str, table: str) -> None:
+        with capsys.disabled():
+            print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{table}\n")
+
+    return _report

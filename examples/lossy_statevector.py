@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Lossy statevector checkpoints: trading fidelity for bytes.
+
+Beyond ~12 qubits the cached statevector dominates hybrid checkpoint size
+(2^n complex128 amplitudes).  This example checkpoints a 14-qubit VQE state
+under every registered transform and reports size, fidelity, and the error
+induced on the energy readout — the Tab. 2 experiment at example scale.
+"""
+
+import numpy as np
+
+from repro import Adam, Trainer, TrainerConfig, VQEModel, hardware_efficient
+from repro.core.serialize import pack_payload, unpack_payload
+from repro.quantum.observables import Hamiltonian
+
+N_QUBITS = 14
+
+
+def main() -> None:
+    hamiltonian = Hamiltonian.transverse_field_ising(N_QUBITS, 1.0, 0.9)
+    model = VQEModel(hardware_efficient(N_QUBITS, 2), hamiltonian)
+    trainer = Trainer(
+        model,
+        Adam(lr=0.05),
+        config=TrainerConfig(seed=3, capture_statevector=True),
+    )
+    print(f"training a {N_QUBITS}-qubit VQE for 10 steps...")
+    trainer.run(10)
+    state = trainer.capture().statevector
+    exact_energy = hamiltonian.expectation(state)
+    raw_bytes = state.nbytes
+    print(f"statevector: {raw_bytes} bytes raw, energy {exact_energy:.6f}\n")
+
+    header = (
+        f"{'transform':<12} {'stored':>10} {'ratio':>7} "
+        f"{'infidelity':>12} {'energy error':>13}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in ("identity", "c64", "f16-pair", "int8-block"):
+        data = pack_payload(
+            {"example": "lossy"},
+            {"statevector": state},
+            codec="zlib-1",
+            transforms={"statevector": name},
+        )
+        _, tensors = unpack_payload(data)
+        restored = tensors["statevector"]
+        infidelity = 1.0 - abs(np.vdot(state, restored)) ** 2
+        drift = abs(hamiltonian.expectation(restored) - exact_energy)
+        print(
+            f"{name:<12} {len(data):>10} {raw_bytes / len(data):>7.2f} "
+            f"{max(infidelity, 0.0):>12.3e} {drift:>13.3e}"
+        )
+
+    print(
+        "\nTakeaway: int8-block stores the state in ~1/8 the bytes at "
+        "~1e-4 infidelity — fine for a warm-start cache, never used for "
+        "parameters (those always store losslessly)."
+    )
+
+
+if __name__ == "__main__":
+    main()

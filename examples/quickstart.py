@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: checkpointed VQE on the minimal H2 Hamiltonian.
+
+Run it twice to see resume in action::
+
+    python examples/quickstart.py          # trains, checkpoints every 10 steps
+    python examples/quickstart.py          # resumes from the latest checkpoint
+
+The second invocation picks up exactly where the first stopped — parameters,
+Adam moments, RNG position, loss history — because the checkpoint captures
+the *complete* hybrid training state.
+"""
+
+from pathlib import Path
+
+from repro import (
+    Adam,
+    CheckpointManager,
+    CheckpointStore,
+    EveryKSteps,
+    Hamiltonian,
+    LocalDirectoryBackend,
+    Trainer,
+    TrainerConfig,
+    VQEModel,
+    hardware_efficient,
+    resume_trainer,
+)
+
+CKPT_DIR = Path(__file__).with_name("quickstart_ckpts")
+TOTAL_STEPS = 120
+
+
+def main() -> None:
+    hamiltonian = Hamiltonian.h2_minimal()
+    exact = hamiltonian.ground_energy(2)
+    model = VQEModel(hardware_efficient(2, 2), hamiltonian)
+    trainer = Trainer(model, Adam(lr=0.1), config=TrainerConfig(seed=42))
+
+    store = CheckpointStore(LocalDirectoryBackend(CKPT_DIR))
+    record = resume_trainer(trainer, store)
+    if record is None:
+        print("no checkpoint found — starting fresh")
+    else:
+        print(f"resumed from {record.id} at step {record.step}")
+
+    remaining = TOTAL_STEPS - trainer.step_count
+    if remaining <= 0:
+        print(f"training already complete at step {trainer.step_count}")
+    else:
+        manager = CheckpointManager(store, EveryKSteps(10))
+        print(f"running {remaining} steps...")
+        trainer.run(remaining, hooks=[manager])
+        print(
+            f"checkpoints written: {manager.stats.saves} "
+            f"({manager.stats.bytes_written} bytes)"
+        )
+
+    energy = trainer.last_loss
+    print(f"final energy  : {energy:.6f} Ha")
+    print(f"exact ground  : {exact:.6f} Ha")
+    print(f"error         : {abs(energy - exact):.2e} Ha")
+    print(f"checkpoints in {CKPT_DIR}: try `qckpt ls {CKPT_DIR}`")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,181 @@
+"""repro — QCkpt: checkpointing for hybrid quantum-classical training.
+
+Open-source reproduction of *"Quantum Neural Networks Need Checkpointing"*
+(HotStorage 2025).  The package bundles:
+
+* ``repro.quantum`` — a from-scratch statevector simulator (circuits, Pauli
+  observables, shot sampling, ansatz templates, noise),
+* ``repro.autodiff`` — adjoint / parameter-shift / finite-difference
+  gradients,
+* ``repro.ml`` — optimizers, datasets, models, and a trainer whose state is
+  fully capturable,
+* ``repro.core`` — the contribution: the QCKPT checkpoint format, codecs,
+  lossy statevector transforms, delta checkpoints, atomic/async writers,
+  manifest store, interval policies (Young–Daly), and recovery,
+* ``repro.storage`` — local / in-memory / simulated-remote / fault-injecting
+  backends,
+* ``repro.faults`` — crash injection and makespan models,
+* ``repro.bench`` — the experiment harness regenerating every figure/table.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        Adam, CheckpointManager, CheckpointStore, EveryKSteps,
+        Hamiltonian, LocalDirectoryBackend, Trainer, TrainerConfig,
+        VQEModel, hardware_efficient, resume_trainer,
+    )
+
+    model = VQEModel(hardware_efficient(2, 2), Hamiltonian.h2_minimal())
+    store = CheckpointStore(LocalDirectoryBackend("./ckpts"))
+    trainer = Trainer(model, Adam(lr=0.1), config=TrainerConfig(seed=1))
+    resume_trainer(trainer, store)   # no-op on first run
+    trainer.run(100, hooks=[CheckpointManager(store, EveryKSteps(10))])
+"""
+
+from repro.autodiff import (
+    adjoint_gradient,
+    finite_difference_gradient,
+    parameter_shift_gradient,
+)
+from repro.core import (
+    AdaptiveOverheadPolicy,
+    AsyncCheckpointWriter,
+    CheckpointManager,
+    CheckpointRecord,
+    CheckpointStore,
+    EveryKSteps,
+    FixedTimeInterval,
+    RecoveryManager,
+    RetentionPolicy,
+    SyncCheckpointWriter,
+    TrainingSnapshot,
+    YoungDalyPolicy,
+    resume_trainer,
+    young_daly_interval,
+)
+from repro.core.serialize import pack_snapshot, unpack_snapshot
+from repro.errors import (
+    CheckpointError,
+    CheckpointNotFoundError,
+    ConfigError,
+    IncompatibleCheckpointError,
+    IntegrityError,
+    ReproError,
+    SerializationError,
+    StorageError,
+)
+from repro.faults import (
+    CrashAtStep,
+    PoissonStepFailures,
+    SimulatedFailure,
+    run_with_failures,
+)
+from repro.mps import MatrixProductState, MPSTransform
+from repro.ml import (
+    SGD,
+    NoisyVQEModel,
+    QAOAMaxCutModel,
+    Adam,
+    ArrayDataset,
+    RMSProp,
+    StepInfo,
+    Trainer,
+    TrainerConfig,
+    UnitaryLearningModel,
+    VariationalClassifier,
+    VQEModel,
+)
+from repro.quantum import (
+    Circuit,
+    Hamiltonian,
+    PauliString,
+    StatevectorSimulator,
+)
+from repro.quantum.templates import (
+    hardware_efficient,
+    qaoa_maxcut,
+    real_amplitudes,
+    strongly_entangling,
+)
+from repro.storage import (
+    InMemoryBackend,
+    LocalDirectoryBackend,
+    ReplicatedBackend,
+    SimulatedRemoteBackend,
+    TieredBackend,
+    TransferCostModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # quantum
+    "Circuit",
+    "PauliString",
+    "Hamiltonian",
+    "StatevectorSimulator",
+    "hardware_efficient",
+    "strongly_entangling",
+    "real_amplitudes",
+    "qaoa_maxcut",
+    # autodiff
+    "adjoint_gradient",
+    "parameter_shift_gradient",
+    "finite_difference_gradient",
+    # ml
+    "Adam",
+    "SGD",
+    "RMSProp",
+    "ArrayDataset",
+    "Trainer",
+    "TrainerConfig",
+    "StepInfo",
+    "VariationalClassifier",
+    "VQEModel",
+    "NoisyVQEModel",
+    "QAOAMaxCutModel",
+    "UnitaryLearningModel",
+    # core
+    "TrainingSnapshot",
+    "CheckpointStore",
+    "CheckpointRecord",
+    "CheckpointManager",
+    "RetentionPolicy",
+    "RecoveryManager",
+    "resume_trainer",
+    "SyncCheckpointWriter",
+    "AsyncCheckpointWriter",
+    "EveryKSteps",
+    "FixedTimeInterval",
+    "YoungDalyPolicy",
+    "AdaptiveOverheadPolicy",
+    "young_daly_interval",
+    "pack_snapshot",
+    "unpack_snapshot",
+    # mps
+    "MatrixProductState",
+    "MPSTransform",
+    # storage
+    "LocalDirectoryBackend",
+    "InMemoryBackend",
+    "SimulatedRemoteBackend",
+    "TransferCostModel",
+    "ReplicatedBackend",
+    "TieredBackend",
+    # faults
+    "SimulatedFailure",
+    "CrashAtStep",
+    "PoissonStepFailures",
+    "run_with_failures",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "CheckpointError",
+    "SerializationError",
+    "IntegrityError",
+    "CheckpointNotFoundError",
+    "IncompatibleCheckpointError",
+    "StorageError",
+]

@@ -1,0 +1,23 @@
+"""Gradient engines for variational circuits.
+
+Three differentiators with one shared signature
+``gradient(circuit, params, observable, ...) -> np.ndarray``:
+
+* :func:`repro.autodiff.adjoint.adjoint_gradient` — exact, O(#ops) statevector
+  passes; the default for simulator training.
+* :func:`repro.autodiff.parameter_shift.parameter_shift_gradient` — exact for
+  gates with equidistant generator spectra, and the only option on shot-based
+  executions; supports two- and four-term rules and shared parameters.
+* :func:`repro.autodiff.finite_difference.finite_difference_gradient` — the
+  numerical fallback used in tests as an independent oracle.
+"""
+
+from repro.autodiff.adjoint import adjoint_gradient
+from repro.autodiff.finite_difference import finite_difference_gradient
+from repro.autodiff.parameter_shift import parameter_shift_gradient
+
+__all__ = [
+    "adjoint_gradient",
+    "parameter_shift_gradient",
+    "finite_difference_gradient",
+]

@@ -1,0 +1,46 @@
+"""Finite-difference gradients (numerical oracle for tests)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GradientError
+from repro.quantum.circuit import Circuit
+from repro.autodiff._execute import execute_with_overrides
+
+
+def finite_difference_gradient(
+    circuit: Circuit,
+    params,
+    observable,
+    initial_state: Optional[np.ndarray] = None,
+    step: float = 1e-6,
+    scheme: str = "central",
+) -> np.ndarray:
+    """Numerical gradient by central or forward differences on the vector."""
+    if step <= 0:
+        raise GradientError(f"step must be > 0, got {step}")
+    if scheme not in {"central", "forward"}:
+        raise GradientError(f"scheme must be 'central' or 'forward', got {scheme!r}")
+    values = np.asarray(params, dtype=np.float64).copy()
+
+    def evaluate(vector: np.ndarray) -> float:
+        return execute_with_overrides(
+            circuit, vector, observable, initial_state=initial_state
+        )
+
+    grads = np.zeros(values.size)
+    base = evaluate(values) if scheme == "forward" else 0.0
+    for index in range(values.size):
+        bumped = values.copy()
+        bumped[index] += step
+        upper = evaluate(bumped)
+        if scheme == "central":
+            bumped[index] = values[index] - step
+            lower = evaluate(bumped)
+            grads[index] = (upper - lower) / (2 * step)
+        else:
+            grads[index] = (upper - base) / step
+    return grads

@@ -1,0 +1,492 @@
+"""Regenerate ``EXPERIMENTS.md``: run every experiment, record the rows.
+
+Usage::
+
+    python -m repro.bench [--out EXPERIMENTS.md] [--quick]
+
+``--quick`` shrinks the sweeps (fewer qubits/steps/samples) so the document
+regenerates in under a minute; the full run matches the benchmark-suite
+parameters.  Every section pairs the *expected shape* (what the paper's
+narrative predicts) with the *measured rows* from this machine, plus an
+automatic pass/fail check of the shape assertions — the same assertions the
+``benchmarks/`` modules enforce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import sys
+import time
+from typing import Callable, List
+
+from repro.bench import experiments
+from repro.bench.reporting import format_table
+
+
+class Section:
+    """One figure/table: title, expected shape, row generator, checks."""
+
+    def __init__(
+        self,
+        ident: str,
+        title: str,
+        expected: str,
+        run: Callable[[bool], List[dict]],
+        checks: Callable[[List[dict]], List[str]],
+    ):
+        self.ident = ident
+        self.title = title
+        self.expected = expected
+        self.run = run
+        self.checks = checks
+
+
+def _fig1_checks(rows):
+    by_n = {r["n_qubits"]: r for r in rows}
+    ns = sorted(by_n)
+    out = []
+    out.append(
+        _check(
+            "statevector bytes grow 4x per 2 qubits",
+            all(
+                by_n[b]["statevector_bytes"] == 4 * by_n[a]["statevector_bytes"]
+                for a, b in zip(ns, ns[1:])
+                if b - a == 2
+            ),
+        )
+    )
+    big = ns[-1]
+    out.append(
+        _check(
+            f"statevector dominates at {big} qubits (>99% of snapshot)",
+            by_n[big]["statevector_share"] > 0.99,
+        )
+    )
+    return out
+
+
+def _fig2_checks(rows):
+    by_key = {(r["n_qubits"], r["state"], r["codec"]): r for r in rows}
+    n = max(r["n_qubits"] for r in rows)
+    return [
+        _check(
+            "dense states (haar, ansatz) compress <1.5x",
+            by_key[(n, "haar", "zlib-6")]["ratio"] < 1.5
+            and by_key[(n, "ansatz", "zlib-6")]["ratio"] < 1.5,
+        ),
+        # The floor is the snapshot's incompressible classical payload
+        # (~6 KB), so the achievable ratio scales with the statevector.
+        _check(
+            f"sparse states compress >{20 if n >= 16 else 5}x at {n} qubits",
+            by_key[(n, "sparse", "zlib-6")]["ratio"] > (20 if n >= 16 else 5),
+        ),
+        _check(
+            "lzma <= zlib-1 bytes on compressible data",
+            by_key[(n, "sparse", "lzma")]["stored_bytes"]
+            <= by_key[(n, "sparse", "zlib-1")]["stored_bytes"],
+        ),
+    ]
+
+
+def _tab1_checks(rows):
+    by_format = {r["format"]: r for r in rows}
+    return [
+        _check(
+            "QCKPT is the only checksummed format",
+            by_format["qckpt/zlib-6"]["checksums"]
+            and not by_format["npz"]["checksums"],
+        ),
+        _check(
+            "JSON text is larger than any binary format",
+            by_format["json-text"]["bytes"] > by_format["qckpt/none"]["bytes"],
+        ),
+        _check("JSON text is lossy", not by_format["json-text"]["lossless"]),
+    ]
+
+
+def _fig3_checks(rows):
+    sync = {r["interval"]: r for r in rows if r["mode"] == "sync"}
+    async_ = {r["interval"]: r for r in rows if r["mode"] == "async"}
+    intervals = sorted(sync)
+    return [
+        _check(
+            "sync overhead falls with interval",
+            sync[intervals[0]]["overhead"] > sync[intervals[-1]]["overhead"],
+        ),
+        _check(
+            "async blocked time <= sync at tightest interval",
+            async_[intervals[0]]["blocked_s"] <= sync[intervals[0]]["blocked_s"],
+        ),
+    ]
+
+
+def _fig4_checks(rows):
+    out = []
+    for mtbf in sorted({r["mtbf_h"] for r in rows}):
+        group = {r["strategy"]: r for r in rows if r["mtbf_h"] == mtbf}
+        daly, none = group["young-daly"], group["none"]
+        out.append(
+            _check(
+                f"MTBF={mtbf}h: Young-Daly <= no-checkpoint makespan",
+                daly["analytic_h"] <= none["analytic_h"] + 1e-9,
+            )
+        )
+        out.append(
+            _check(
+                f"MTBF={mtbf}h: Young-Daly <= both fixed intervals",
+                daly["analytic_h"]
+                <= min(
+                    group["fixed-10min"]["analytic_h"],
+                    group["fixed-60min"]["analytic_h"],
+                )
+                + 1e-9,
+            )
+        )
+    return out
+
+
+def _tab2_checks(rows):
+    by_key = {(r["n_qubits"], r["transform"]): r for r in rows}
+    n = max(r["n_qubits"] for r in rows)
+    return [
+        _check(
+            "size order identity > c64 > f16 > int8",
+            by_key[(n, "identity")]["stored_bytes"]
+            > by_key[(n, "c64")]["stored_bytes"]
+            > by_key[(n, "f16-pair")]["stored_bytes"]
+            > by_key[(n, "int8-block")]["stored_bytes"],
+        ),
+        _check(
+            "fidelity order c64 >= f16 >= int8",
+            by_key[(n, "c64")]["fidelity"]
+            >= by_key[(n, "f16-pair")]["fidelity"]
+            >= by_key[(n, "int8-block")]["fidelity"],
+        ),
+        _check(
+            "int8 keeps fidelity > 0.999",
+            by_key[(n, "int8-block")]["fidelity"] > 0.999,
+        ),
+    ]
+
+
+def _fig5_checks(rows):
+    by_workload = {}
+    for row in rows:
+        by_workload.setdefault(row["workload"], row)
+        by_workload[row["workload"]] = row  # keep last
+    classical = by_workload["classifier"]
+    quantum = by_workload["vqe+sv"]
+    return [
+        _check(
+            "classifier: delta mode saves >2x",
+            classical["cum_delta_mode"] < classical["cum_full_mode"] / 2,
+        ),
+        _check(
+            "vqe+statevector: delta mode does not pay",
+            quantum["cum_delta_mode"] > quantum["cum_full_mode"] * 0.9,
+        ),
+    ]
+
+
+def _fig6_checks(rows):
+    ns = sorted({r["n_qubits"] for r in rows})
+    chains = sorted({r["chain_len"] for r in rows})
+    by_key = {(r["n_qubits"], r["chain_len"]): r for r in rows}
+    return [
+        _check(
+            "restore slows with qubit count",
+            by_key[(ns[-1], chains[0])]["restore_s"]
+            > by_key[(ns[0], chains[0])]["restore_s"],
+        ),
+        _check(
+            "restore slows with chain length",
+            by_key[(ns[-1], chains[-1])]["restore_s"]
+            > by_key[(ns[-1], chains[0])]["restore_s"],
+        ),
+        _check(
+            "params-only restore transfers <5% of the stored bytes",
+            by_key[(ns[-1], chains[0])]["params_only_bytes"]
+            < by_key[(ns[-1], chains[0])]["stored_bytes"] / 20,
+        ),
+    ]
+
+
+def _tab3_checks(rows):
+    return [
+        _check(
+            "every workload resumes bitwise (max |delta| == 0)",
+            all(r["max_param_delta"] == 0.0 and r["bitwise_exact"] for r in rows),
+        )
+    ]
+
+
+def _fig7_checks(rows):
+    tightest = min(r["mtbf_steps"] for r in rows)
+    group = {
+        r["strategy"]: r for r in rows if r["mtbf_steps"] == tightest
+    }
+    return [
+        _check(
+            "at the tightest MTBF, checkpointing wastes less work",
+            group["checkpoint"]["wasted_steps"] < group["none"]["wasted_steps"],
+        ),
+        _check(
+            "at the tightest MTBF, waste fraction drops with checkpointing",
+            group["checkpoint"]["waste_fraction"]
+            < group["none"]["waste_fraction"],
+        ),
+    ]
+
+
+def _tab4_checks(rows):
+    by_tier = {r["tier"]: r for r in rows}
+    return [
+        _check(
+            "slower tiers stretch the Young-Daly interval",
+            by_tier["local-ssd"]["young_daly_interval_s"]
+            < by_tier["datacenter"]["young_daly_interval_s"]
+            < by_tier["wan"]["young_daly_interval_s"],
+        )
+    ]
+
+
+def _tab5_checks(rows):
+    by_key = {(r["family"], r["transform"]): r for r in rows}
+    return [
+        _check(
+            "shallow states: mps-8 smaller than f16-pair at <1e-9 infidelity",
+            by_key[("shallow", "mps-8")]["stored_bytes"]
+            < by_key[("shallow", "f16-pair")]["stored_bytes"]
+            and by_key[("shallow", "mps-8")]["infidelity"] < 1e-9,
+        ),
+        _check(
+            "haar states: tight bond cap destroys fidelity",
+            by_key[("haar", "mps-8")]["fidelity"] < 0.5,
+        ),
+        _check(
+            "haar states: honest bond cap inflates size",
+            by_key[("haar", "mps-32")]["ratio"] < 1.0,
+        ),
+    ]
+
+
+def _tab6_checks(rows):
+    by_config = {r["config"]: r for r in rows}
+    return [
+        _check(
+            "parallel 3x replication == one datacenter write",
+            by_config["replicated-3x"]["write_s"]
+            == by_config["datacenter"]["write_s"],
+        ),
+        _check(
+            "write-back tiering checkpoints faster than write-through",
+            by_config["tiered/write-back"]["write_s"]
+            < by_config["tiered/write-through"]["write_s"],
+        ),
+    ]
+
+
+def _check(label: str, ok: bool) -> str:
+    return f"{'PASS' if ok else 'FAIL'}  {label}"
+
+
+def _sections() -> List[Section]:
+    return [
+        Section(
+            "Fig. 1",
+            "Hybrid training-state footprint vs qubit count",
+            "Statevector bytes grow 2^n and dominate beyond ~12 qubits; "
+            "parameters + optimizer state stay O(kB).",
+            lambda quick: experiments.fig1_footprint(
+                (4, 8, 12, 16) if quick else (4, 8, 12, 16, 20)
+            ),
+            _fig1_checks,
+        ),
+        Section(
+            "Fig. 2",
+            "Checkpoint bytes and pack/unpack latency per codec",
+            "Byte codecs are ~1x on dense amplitude data (haar and ansatz "
+            "alike) and collapse only exact-zero structure (sparse states); "
+            "lzma is smallest and slowest.",
+            lambda quick: experiments.fig2_codecs(
+                qubit_counts=(12,) if quick else (12, 16),
+                kinds=("haar", "ansatz", "sparse"),
+            ),
+            lambda rows: _fig2_checks(rows),
+        ),
+        Section(
+            "Tab. 1",
+            "Serialization format comparison",
+            "QCKPT matches npz-class size/speed while adding per-chunk CRCs, "
+            "a whole-file SHA-256, and pickle-free loading; JSON text is an "
+            "order of magnitude larger and lossy.",
+            lambda quick: experiments.tab1_formats(10 if quick else 14),
+            _tab1_checks,
+        ),
+        Section(
+            "Fig. 3",
+            "Training overhead vs checkpoint interval",
+            "Blocked-time share falls ~1/k with the interval; the async "
+            "writer removes pack+write from the critical path.",
+            lambda quick: experiments.fig3_overhead(
+                intervals=(1, 5, 25) if quick else (1, 2, 5, 10, 25),
+                n_steps=10 if quick else 25,
+                n_qubits=8 if quick else 10,
+            ),
+            _fig3_checks,
+        ),
+        Section(
+            "Fig. 4",
+            "Expected makespan vs MTBF",
+            "Without checkpointing the makespan diverges as MTBF shrinks "
+            "below the work length; Young-Daly tracks or beats every fixed "
+            "interval.",
+            lambda quick: experiments.fig4_makespan(
+                mtbf_hours=(0.5, 2.0) if quick else (0.5, 1.0, 2.0, 4.0, 8.0),
+                mc_samples=100 if quick else 400,
+            ),
+            _fig4_checks,
+        ),
+        Section(
+            "Tab. 2",
+            "Lossy statevector compression",
+            "c64 halves bytes at ~1e-15 infidelity, f16-pair quarters at "
+            "~1e-8, int8-block is ~8x at ~1e-4; observables drift "
+            "accordingly.",
+            lambda quick: experiments.tab2_lossy(
+                qubit_counts=(10,) if quick else (10, 14)
+            ),
+            _tab2_checks,
+        ),
+        Section(
+            "Fig. 5",
+            "Delta vs full checkpoint bytes over a run",
+            "Delta mode wins >2x on classical-state snapshots (step-invariant "
+            "permutation, append-only history) and buys nothing once the "
+            "statevector cache is captured.",
+            lambda quick: experiments.fig5_delta(
+                n_steps=10 if quick else 20, n_qubits=8
+            ),
+            _fig5_checks,
+        ),
+        Section(
+            "Fig. 6",
+            "Recovery time vs size and chain length",
+            "Restore latency grows with the statevector (2^n) and linearly "
+            "with the delta chain length; params-only partial restore "
+            "transfers a near-constant few KB via ranged reads.",
+            lambda quick: experiments.fig6_recovery(
+                qubit_counts=(8, 12) if quick else (8, 12, 14),
+                chain_lengths=(1, 4) if quick else (1, 4, 8),
+            ),
+            _fig6_checks,
+        ),
+        Section(
+            "Tab. 3",
+            "Exact-resume validation",
+            "Crash/resume parameter trajectories are bitwise identical to "
+            "uninterrupted runs: max |delta| is exactly 0.0.",
+            lambda quick: experiments.tab3_exactness(),
+            _tab3_checks,
+        ),
+        Section(
+            "Fig. 7",
+            "End-to-end wall-clock under failures",
+            "Under Poisson failures the checkpointed run reaches the target "
+            "loss in bounded simulated time while restart-from-scratch "
+            "re-pays lost work.",
+            lambda quick: experiments.fig7_end_to_end(),
+            _fig7_checks,
+        ),
+        Section(
+            "Tab. 4",
+            "Remote-storage ablation",
+            "Checkpoint cost scales with size/bandwidth + RTT; the Young-Daly "
+            "interval stretches with the square root of the cost.",
+            lambda quick: experiments.tab4_remote(
+                n_qubits=10 if quick else 14
+            ),
+            _tab4_checks,
+        ),
+        Section(
+            "Tab. 5",
+            "MPS vs dense quantization (extension)",
+            "MPS dominates dense quantizers on low-entanglement states at "
+            "near-zero infidelity; on volume-law states a tight bond cap "
+            "destroys fidelity and an honest cap inflates the checkpoint.",
+            lambda quick: experiments.tab5_mps(n_qubits=12),
+            _tab5_checks,
+        ),
+        Section(
+            "Tab. 6",
+            "Redundancy ablation (extension)",
+            "Parallel 3-way replication costs one slowest-replica write; "
+            "write-back tiering checkpoints at fast-tier speed at the price "
+            "of a durability window.",
+            lambda quick: experiments.tab6_redundancy(
+                n_qubits=10 if quick else 14
+            ),
+            _tab6_checks,
+        ),
+    ]
+
+
+_PREAMBLE = """\
+# EXPERIMENTS — paper-vs-measured record
+
+Regenerate with ``python -m repro.bench`` (add ``--quick`` for a fast pass).
+The authoritative text of *"Quantum Neural Networks Need Checkpointing"*
+(HotStorage 2025) was unavailable (see the title-collision note in
+DESIGN.md), so the **expected shape** below is the reconstructed narrative
+each experiment encodes, and **measured** is what this repository produces.
+Absolute numbers are machine-dependent; the assertions check the shape —
+who wins, by what order, where the crossovers fall.  The same assertions
+gate ``pytest benchmarks/``.
+"""
+
+
+def generate(out_path: str, quick: bool) -> int:
+    failures = 0
+    buffer = io.StringIO()
+    buffer.write(_PREAMBLE)
+    mode = "quick" if quick else "full"
+    buffer.write(f"\nRun mode: **{mode}**, generated in ")
+    started = time.perf_counter()
+    body = io.StringIO()
+    for section in _sections():
+        sys.stderr.write(f"running {section.ident} ...\n")
+        rows = section.run(quick)
+        checks = section.checks(rows)
+        failures += sum(1 for c in checks if c.startswith("FAIL"))
+        body.write(f"\n## {section.ident} — {section.title}\n\n")
+        body.write(f"**Expected shape.** {section.expected}\n\n")
+        body.write("**Measured.**\n\n```\n")
+        body.write(format_table(rows))
+        body.write("\n```\n\n**Shape checks.**\n\n```\n")
+        body.write("\n".join(checks))
+        body.write("\n```\n")
+    elapsed = time.perf_counter() - started
+    buffer.write(f"{elapsed:.0f} s.\n")
+    buffer.write(body.getvalue())
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(buffer.getvalue())
+    sys.stderr.write(f"wrote {out_path} ({failures} failed checks)\n")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run every experiment and write EXPERIMENTS.md.",
+    )
+    parser.add_argument("--out", default="EXPERIMENTS.md")
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sweeps (~1 minute)"
+    )
+    args = parser.parse_args(argv)
+    return generate(args.out, args.quick)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Canonical workloads for the evaluation.
+
+Everything the benchmark modules need to construct — models, trainers, and
+snapshots of controlled size/structure — is defined here once so figures are
+comparable to each other.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.snapshot import TrainingSnapshot
+from repro.ml.dataset import ArrayDataset, make_moons
+from repro.ml.models import VariationalClassifier, VQEModel
+from repro.ml.optimizers import Adam
+from repro.ml.rng import capture_rng_state
+from repro.ml.trainer import Trainer, TrainerConfig
+from repro.quantum.haar import haar_state
+from repro.quantum.observables import Hamiltonian
+from repro.quantum.statevector import apply_circuit
+from repro.quantum.templates import hardware_efficient
+
+DEFAULT_LAYERS = 4
+
+
+def classifier_workload(
+    n_qubits: int = 8,
+    n_layers: int = 2,
+    n_samples: int = 64,
+    seed: int = 1234,
+) -> Tuple[VariationalClassifier, ArrayDataset]:
+    """The hybrid-classifier training workload (two moons, HEA ansatz)."""
+    rng = np.random.default_rng(seed)
+    dataset = make_moons(n_samples, rng, noise=0.1)
+    model = VariationalClassifier(hardware_efficient(n_qubits, n_layers))
+    return model, dataset
+
+
+def classifier_trainer(
+    n_qubits: int = 8,
+    n_layers: int = 2,
+    n_samples: int = 64,
+    seed: int = 1234,
+    batch_size: int = 8,
+    shots: Optional[int] = None,
+    lr: float = 0.05,
+) -> Trainer:
+    """A ready-to-run classifier trainer (deterministic for a given seed)."""
+    model, dataset = classifier_workload(n_qubits, n_layers, n_samples, seed)
+    config = TrainerConfig(batch_size=batch_size, seed=seed, shots=shots)
+    return Trainer(model, Adam(lr=lr), dataset, config)
+
+
+def vqe_workload(
+    n_qubits: int = 10, n_layers: int = DEFAULT_LAYERS
+) -> VQEModel:
+    """The VQE workload: TFIM chain on a hardware-efficient ansatz."""
+    hamiltonian = Hamiltonian.transverse_field_ising(n_qubits, 1.0, 0.8)
+    return VQEModel(hardware_efficient(n_qubits, n_layers), hamiltonian)
+
+
+def vqe_trainer(
+    n_qubits: int = 10,
+    n_layers: int = DEFAULT_LAYERS,
+    seed: int = 7,
+    lr: float = 0.05,
+    capture_statevector: bool = True,
+) -> Trainer:
+    """A ready-to-run VQE trainer whose snapshots include the statevector."""
+    model = vqe_workload(n_qubits, n_layers)
+    config = TrainerConfig(seed=seed, capture_statevector=capture_statevector)
+    return Trainer(model, Adam(lr=lr), config=config)
+
+
+def hea_param_count(n_qubits: int, n_layers: int = DEFAULT_LAYERS) -> int:
+    """Parameter count of the canonical hardware-efficient ansatz."""
+    return hardware_efficient(n_qubits, n_layers).n_params
+
+
+def synthetic_snapshot(
+    n_qubits: int,
+    seed: int = 0,
+    n_layers: int = DEFAULT_LAYERS,
+    statevector_kind: str = "haar",
+    history_len: int = 200,
+) -> TrainingSnapshot:
+    """A snapshot of realistic shape for size/codec experiments.
+
+    ``statevector_kind``:
+
+    * ``"haar"`` — generic (incompressible) state,
+    * ``"ansatz"`` — shallow-circuit state: amplitudes are *small* but not
+      zero, so byte codecs barely compress it (their mantissas are still
+      full-entropy) — lossy transforms and MPS are the tools for these,
+    * ``"sparse"`` — low-excitation (W-state-like) superposition: all but
+      ``n+1`` amplitudes are exactly zero, the case where byte codecs
+      collapse the zero runs,
+    * ``"none"`` — omit the statevector (parameters-only footprint).
+    """
+    rng = np.random.default_rng(seed)
+    n_params = hea_param_count(n_qubits, n_layers)
+    params = 0.1 * rng.standard_normal(n_params)
+
+    optimizer = Adam(lr=0.05)
+    optimizer.step(params, rng.standard_normal(n_params))
+
+    if statevector_kind == "haar":
+        statevector = haar_state(n_qubits, rng)
+    elif statevector_kind == "ansatz":
+        circuit = hardware_efficient(n_qubits, 1)
+        statevector = apply_circuit(
+            circuit, 0.1 * rng.standard_normal(circuit.n_params)
+        )
+    elif statevector_kind == "sparse":
+        statevector = sparse_excitation_state(n_qubits, rng)
+    elif statevector_kind == "none":
+        statevector = None
+    else:
+        raise ValueError(f"unknown statevector_kind {statevector_kind!r}")
+
+    return TrainingSnapshot(
+        step=history_len,
+        params=params,
+        optimizer_state=optimizer.state_dict(),
+        rng_state=capture_rng_state(rng),
+        model_fingerprint="synthetic-" + str(n_qubits),
+        loss_history=rng.standard_normal(history_len).cumsum(),
+        statevector=statevector,
+    )
+
+
+def sparse_excitation_state(
+    n_qubits: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Random superposition over the ≤1-excitation subspace (n+1 amplitudes).
+
+    Particle-number-conserving ansätze (chemistry workloads) live in such
+    subspaces; the dense amplitude vector is mostly exact zeros, which is the
+    regime where lossless byte codecs actually pay off.
+    """
+    dim = 2**n_qubits
+    state = np.zeros(dim, dtype=np.complex128)
+    indices = [0] + [1 << k for k in range(n_qubits)]
+    weights = rng.standard_normal(len(indices)) + 1j * rng.standard_normal(
+        len(indices)
+    )
+    state[indices] = weights / np.linalg.norm(weights)
+    return state
+
+
+def footprint_breakdown(n_qubits: int, n_layers: int = DEFAULT_LAYERS) -> dict:
+    """Raw byte sizes of each snapshot component for Fig. 1."""
+    n_params = hea_param_count(n_qubits, n_layers)
+    params_bytes = n_params * 8
+    adam_bytes = 3 * n_params * 8  # m, v, vmax
+    statevector_bytes = (2**n_qubits) * 16
+    return {
+        "n_qubits": n_qubits,
+        "n_params": n_params,
+        "params_bytes": params_bytes,
+        "optimizer_bytes": adam_bytes,
+        "statevector_bytes": statevector_bytes,
+        "total_bytes": params_bytes + adam_bytes + statevector_bytes,
+    }

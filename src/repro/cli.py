@@ -1,0 +1,275 @@
+"""``qckpt`` command-line tool: inspect and validate checkpoint stores.
+
+Subcommands::
+
+    qckpt ls <dir>                 list checkpoints in a store directory
+    qckpt inspect <file|dir/id>    dump a checkpoint header (no tensor decode)
+    qckpt verify <dir>             validate every checkpoint end to end
+    qckpt gc <dir> --keep-last N   apply a retention policy
+    qckpt diff <dir> <id_a> <id_b> compare two checkpoints tensor by tensor
+    qckpt export <dir> <id> <out>  materialize a checkpoint as a standalone file
+    qckpt peek <dir> <id> <t...>   read named tensors via ranged (partial) I/O
+    qckpt stats <dir>              aggregate store statistics
+
+The CLI never unpickles anything — it reads QCKPT headers (JSON) and
+validates checksums, so it is safe to point at untrusted files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.serialize import inspect_header, pack_snapshot
+from repro.core.store import CheckpointStore, RetentionPolicy
+from repro.errors import ReproError
+from repro.storage.local import LocalDirectoryBackend
+
+
+def _open_store(path: str) -> CheckpointStore:
+    return CheckpointStore(LocalDirectoryBackend(path))
+
+
+def _human_bytes(n: int) -> str:
+    size = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    return f"{n} B"
+
+
+def cmd_ls(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    records = store.records()
+    if not records:
+        print("(empty store)")
+        return 0
+    print(f"{'ID':<14} {'KIND':<6} {'STEP':>8} {'SIZE':>12} {'CODEC':<8} BASE")
+    for record in records:
+        print(
+            f"{record.id:<14} {record.kind:<6} {record.step:>8} "
+            f"{_human_bytes(record.nbytes):>12} {record.codec:<8} "
+            f"{record.base_id or '-'}"
+        )
+    latest = store.latest()
+    print(f"\n{len(records)} checkpoint(s), {_human_bytes(store.total_bytes())} total")
+    if latest is not None:
+        print(f"latest: {latest.id} at step {latest.step}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    path = Path(args.target)
+    if path.is_file():
+        data = path.read_bytes()
+    else:
+        store_dir, _, checkpoint_id = args.target.rpartition("/")
+        store = _open_store(store_dir or ".")
+        record = store.get(checkpoint_id)
+        data = LocalDirectoryBackend(store_dir or ".").read(record.object_name)
+    header = inspect_header(data)
+    if not args.tensors:
+        header = dict(header)
+        header["tensors"] = [
+            {
+                "name": t["name"],
+                "dtype": t["dtype"],
+                "shape": t["shape"],
+                "stored_nbytes": t["stored_nbytes"],
+                "transform": t.get("transform", "identity"),
+            }
+            for t in header.get("tensors", [])
+        ]
+    json.dump(header, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    results = store.verify_all()
+    bad = 0
+    for checkpoint_id, (ok, detail) in sorted(results.items()):
+        status = "OK " if ok else "BAD"
+        print(f"{status} {checkpoint_id}" + ("" if ok else f"  {detail}"))
+        bad += 0 if ok else 1
+    print(f"\n{len(results) - bad}/{len(results)} checkpoints valid")
+    return 1 if bad else 0
+
+
+def cmd_gc(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    retention = RetentionPolicy(
+        keep_last=args.keep_last, keep_every=args.keep_every
+    )
+    deleted = store.gc(retention)
+    print(f"deleted {len(deleted)} object(s)")
+    for name in deleted:
+        print(f"  {name}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    _, tensors_a = store.load_tensors(args.id_a)
+    _, tensors_b = store.load_tensors(args.id_b)
+    snapshot_a = store.load(args.id_a)
+    snapshot_b = store.load(args.id_b)
+    print(
+        f"{args.id_a} (step {snapshot_a.step}) vs "
+        f"{args.id_b} (step {snapshot_b.step})"
+    )
+    names = sorted(set(tensors_a) | set(tensors_b))
+    identical = 0
+    print(f"{'TENSOR':<28} {'SHAPE':<14} {'STATUS':<10} MAX |DELTA|")
+    for name in names:
+        a, b = tensors_a.get(name), tensors_b.get(name)
+        if a is None or b is None:
+            status, delta = ("only-b" if a is None else "only-a"), ""
+        elif a.shape != b.shape or a.dtype != b.dtype:
+            status, delta = "reshaped", ""
+        elif np.array_equal(a, b):
+            status, delta = "identical", "0"
+            identical += 1
+        else:
+            status = "changed"
+            delta = f"{float(np.max(np.abs(a - b))):.3e}"
+        shape = "x".join(str(d) for d in (a if a is not None else b).shape) or "-"
+        print(f"{name:<28} {shape:<14} {status:<10} {delta}")
+    print(f"\n{identical}/{len(names)} tensors identical")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    chain = store.chain_length(args.id)
+    snapshot = store.load(args.id)
+    data = pack_snapshot(snapshot, codec=args.codec)
+    Path(args.out).write_bytes(data)
+    print(
+        f"exported {args.id} (step {snapshot.step}, chain of {chain}) "
+        f"to {args.out}: {_human_bytes(len(data))} standalone"
+    )
+    return 0
+
+
+def cmd_peek(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    meta, tensors = store.load_partial(args.id, args.tensors)
+    print(f"{args.id} at step {meta.get('step', '?')}")
+    for name, array in tensors.items():
+        preview = np.array2string(
+            array.reshape(-1)[:4], precision=6, separator=", "
+        )
+        norm = float(np.linalg.norm(array))
+        print(
+            f"  {name}: {array.dtype} {'x'.join(str(d) for d in array.shape)} "
+            f"|x|={norm:.6g} head={preview}"
+        )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    records = store.records()
+    if not records:
+        print("(empty store)")
+        return 0
+    by_kind: dict = {}
+    by_codec: dict = {}
+    for record in records:
+        kind = by_kind.setdefault(record.kind, {"count": 0, "bytes": 0})
+        kind["count"] += 1
+        kind["bytes"] += record.nbytes
+        by_codec[record.codec] = by_codec.get(record.codec, 0) + 1
+    for kind, agg in sorted(by_kind.items()):
+        print(
+            f"{kind:<6} {agg['count']:>4} checkpoint(s) "
+            f"{_human_bytes(agg['bytes']):>12}"
+        )
+    chains = [store.chain_length(record.id) for record in records]
+    print(f"codec usage: {', '.join(f'{c}={n}' for c, n in sorted(by_codec.items()))}")
+    print(f"longest restore chain: {max(chains)} object(s)")
+    steps = [record.step for record in records]
+    print(f"step range: {min(steps)}..{max(steps)}")
+    print(f"total stored: {_human_bytes(store.total_bytes())}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qckpt", description="Inspect and validate QCkpt checkpoint stores."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ls = sub.add_parser("ls", help="list checkpoints in a store")
+    p_ls.add_argument("store", help="store directory")
+    p_ls.set_defaults(func=cmd_ls)
+
+    p_inspect = sub.add_parser("inspect", help="dump a checkpoint header")
+    p_inspect.add_argument("target", help="a .qckpt file or <store>/<ckpt-id>")
+    p_inspect.add_argument(
+        "--tensors", action="store_true", help="include full tensor directory"
+    )
+    p_inspect.set_defaults(func=cmd_inspect)
+
+    p_verify = sub.add_parser("verify", help="validate all checkpoints")
+    p_verify.add_argument("store", help="store directory")
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_gc = sub.add_parser("gc", help="apply a retention policy")
+    p_gc.add_argument("store", help="store directory")
+    p_gc.add_argument("--keep-last", type=int, default=None)
+    p_gc.add_argument("--keep-every", type=int, default=None)
+    p_gc.set_defaults(func=cmd_gc)
+
+    p_diff = sub.add_parser("diff", help="compare two checkpoints")
+    p_diff.add_argument("store", help="store directory")
+    p_diff.add_argument("id_a", help="first checkpoint id")
+    p_diff.add_argument("id_b", help="second checkpoint id")
+    p_diff.set_defaults(func=cmd_diff)
+
+    p_export = sub.add_parser(
+        "export", help="materialize a checkpoint as a standalone .qckpt file"
+    )
+    p_export.add_argument("store", help="store directory")
+    p_export.add_argument("id", help="checkpoint id (delta chains are resolved)")
+    p_export.add_argument("out", help="output file path")
+    p_export.add_argument(
+        "--codec", default="zlib-6", help="byte codec for the exported file"
+    )
+    p_export.set_defaults(func=cmd_export)
+
+    p_peek = sub.add_parser(
+        "peek", help="read named tensors without transferring the rest"
+    )
+    p_peek.add_argument("store", help="store directory")
+    p_peek.add_argument("id", help="checkpoint id")
+    p_peek.add_argument(
+        "tensors", nargs="+", help="tensor names (e.g. params loss_history)"
+    )
+    p_peek.set_defaults(func=cmd_peek)
+
+    p_stats = sub.add_parser("stats", help="aggregate store statistics")
+    p_stats.add_argument("store", help="store directory")
+    p_stats.set_defaults(func=cmd_stats)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

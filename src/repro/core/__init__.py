@@ -1,0 +1,52 @@
+"""Checkpointing core — the paper's contribution.
+
+Data model
+----------
+:class:`repro.core.snapshot.TrainingSnapshot` defines *what hybrid
+quantum-classical training state is*: parameters, optimizer slots, RNG
+streams, data-sampler position, loss history, an optional cached
+statevector, and the model fingerprint that guards resume compatibility.
+
+Mechanism
+---------
+* :mod:`repro.core.serialize` — the pickle-free QCKPT binary format,
+* :mod:`repro.core.codecs` — lossless byte codecs and lossy statevector
+  transforms,
+* :mod:`repro.core.delta` — XOR-based incremental checkpoints,
+* :mod:`repro.core.integrity` — CRC32/SHA-256 validation,
+* :mod:`repro.core.writer` — atomic and asynchronous write paths,
+* :mod:`repro.core.store` — manifest, discovery, retention/GC,
+* :mod:`repro.core.policy` — when to checkpoint (fixed, Young–Daly, adaptive),
+* :mod:`repro.core.recovery` — finding and applying the latest valid snapshot,
+* :mod:`repro.core.manager` — the trainer hook tying it all together.
+"""
+
+from repro.core.manager import CheckpointManager
+from repro.core.policy import (
+    AdaptiveOverheadPolicy,
+    EveryKSteps,
+    FixedTimeInterval,
+    YoungDalyPolicy,
+    young_daly_interval,
+)
+from repro.core.recovery import RecoveryManager, resume_trainer
+from repro.core.snapshot import TrainingSnapshot
+from repro.core.store import CheckpointRecord, CheckpointStore, RetentionPolicy
+from repro.core.writer import AsyncCheckpointWriter, SyncCheckpointWriter
+
+__all__ = [
+    "TrainingSnapshot",
+    "CheckpointStore",
+    "CheckpointRecord",
+    "RetentionPolicy",
+    "CheckpointManager",
+    "RecoveryManager",
+    "resume_trainer",
+    "SyncCheckpointWriter",
+    "AsyncCheckpointWriter",
+    "EveryKSteps",
+    "FixedTimeInterval",
+    "YoungDalyPolicy",
+    "AdaptiveOverheadPolicy",
+    "young_daly_interval",
+]

@@ -1,0 +1,53 @@
+"""Checksum helpers for checkpoint integrity.
+
+Two layers of protection:
+
+* **CRC32 per tensor chunk** — cheap, catches localized corruption and lets
+  :func:`repro.core.serialize.unpack_payload` name the damaged tensor,
+* **SHA-256 over the whole file** — a 32-byte footer; any mutation of header
+  or payload is detected before the header is trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+
+from repro.errors import IntegrityError
+
+SHA256_NBYTES = 32
+
+
+def crc32_of(data: bytes) -> int:
+    """CRC32 as an unsigned 32-bit int."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def sha256_of(data: bytes) -> bytes:
+    """Raw 32-byte SHA-256 digest."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex SHA-256 digest."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def verify_crc32(data: bytes, expected: int, label: str = "chunk") -> None:
+    """Raise :class:`IntegrityError` on CRC mismatch."""
+    actual = crc32_of(data)
+    if actual != expected:
+        raise IntegrityError(
+            f"CRC32 mismatch for {label}: stored {expected:#010x}, "
+            f"computed {actual:#010x}"
+        )
+
+
+def verify_sha256(data: bytes, expected: bytes, label: str = "file") -> None:
+    """Raise :class:`IntegrityError` on SHA-256 mismatch."""
+    actual = sha256_of(data)
+    if actual != expected:
+        raise IntegrityError(
+            f"SHA-256 mismatch for {label}: stored {expected.hex()[:16]}..., "
+            f"computed {actual.hex()[:16]}..."
+        )

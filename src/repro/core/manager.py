@@ -1,0 +1,147 @@
+"""CheckpointManager: the trainer hook tying policy, store, and writer.
+
+Responsibilities per training step:
+
+1. feed the policy the step report,
+2. if the policy fires, capture a snapshot (deep copy) and submit the save
+   task to the writer (inline for sync, background thread for async),
+3. track full-vs-delta cadence (a full checkpoint every ``full_every`` saves,
+   deltas in between, chain length bounded by construction),
+4. apply retention after every save.
+
+Delta bookkeeping: deltas are encoded against the tensors of the *last
+written full checkpoint*, which the manager keeps in memory — this avoids a
+store round trip per delta and pins chain length to at most ``full_every``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.policy import CheckpointPolicy, Clock, EveryKSteps
+from repro.core.snapshot import TrainingSnapshot
+from repro.core.store import CheckpointRecord, CheckpointStore, RetentionPolicy
+from repro.core.writer import SyncCheckpointWriter
+from repro.errors import ConfigError
+
+
+@dataclass
+class CheckpointStats:
+    """Aggregate accounting for one manager's lifetime."""
+
+    full_saves: int = 0
+    delta_saves: int = 0
+    bytes_written: int = 0
+    save_seconds: float = 0.0
+    last_record: Optional[CheckpointRecord] = None
+
+    @property
+    def saves(self) -> int:
+        return self.full_saves + self.delta_saves
+
+    @property
+    def mean_save_seconds(self) -> float:
+        return self.save_seconds / self.saves if self.saves else 0.0
+
+
+class CheckpointManager:
+    """Trainer hook that persists snapshots according to a policy."""
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        policy: Optional[CheckpointPolicy] = None,
+        writer=None,
+        codec: str = "zlib-6",
+        transforms: Optional[Dict[str, str]] = None,
+        delta: bool = False,
+        full_every: int = 10,
+        retention: Optional[RetentionPolicy] = None,
+        clock: Optional[Clock] = None,
+    ):
+        if full_every < 1:
+            raise ConfigError(f"full_every must be >= 1, got {full_every}")
+        if delta and transforms:
+            raise ConfigError(
+                "delta checkpoints require lossless storage; lossy transforms "
+                "would make XOR deltas diverge from the stored base"
+            )
+        self.store = store
+        self.policy = policy or EveryKSteps(10)
+        self.writer = writer or SyncCheckpointWriter()
+        self.codec = codec
+        self.transforms = dict(transforms or {})
+        self.delta = bool(delta)
+        self.full_every = int(full_every)
+        self.retention = retention
+        self._clock = clock or time.monotonic
+        self.stats = CheckpointStats()
+        self._base_record: Optional[CheckpointRecord] = None
+        self._base_tensors: Optional[Dict[str, np.ndarray]] = None
+        self._saves_since_full = 0
+
+    # -- hook protocol ------------------------------------------------------------
+
+    def on_step_end(self, trainer, info) -> None:
+        """Trainer hook: maybe checkpoint after this step."""
+        self.policy.observe_step(info.step, info.seconds)
+        now = self._clock()
+        if self.policy.should_checkpoint(trainer.step_count, now):
+            self.save(trainer.capture())
+
+    def on_run_end(self, trainer) -> None:
+        """Trainer hook: flush pending asynchronous saves."""
+        self.writer.drain()
+
+    # -- saving -----------------------------------------------------------------
+
+    def save(self, snapshot: TrainingSnapshot) -> None:
+        """Persist ``snapshot`` through the writer (full or delta)."""
+        snapshot = snapshot.copy()
+        use_delta = (
+            self.delta
+            and self._base_record is not None
+            and self._saves_since_full < self.full_every - 1
+        )
+
+        def task() -> None:
+            started = time.perf_counter()
+            if use_delta:
+                record = self.store.save_delta(
+                    snapshot,
+                    self._base_record.id,
+                    base_tensors=self._base_tensors,
+                    codec=self.codec,
+                )
+                self.stats.delta_saves += 1
+                self._saves_since_full += 1
+            else:
+                record = self.store.save_full(
+                    snapshot, codec=self.codec, transforms=self.transforms
+                )
+                self.stats.full_saves += 1
+                self._saves_since_full = 0
+                if self.delta:
+                    _, tensors = snapshot.to_payload()
+                    self._base_record = record
+                    self._base_tensors = tensors
+            elapsed = time.perf_counter() - started
+            self.stats.bytes_written += record.nbytes
+            self.stats.save_seconds += elapsed
+            self.stats.last_record = record
+            self.policy.record_checkpoint(self._clock(), elapsed)
+            if self.retention is not None:
+                self.store.gc(self.retention)
+
+        self.writer.submit(task)
+
+    def close(self) -> None:
+        """Flush and shut down the writer."""
+        self.writer.drain()
+        close = getattr(self.writer, "close", None)
+        if close is not None:
+            close()

@@ -1,0 +1,193 @@
+"""Checkpoint interval policies.
+
+A policy answers one question per step: *checkpoint now?*  The manager calls
+:meth:`CheckpointPolicy.observe_step` after every training step,
+:meth:`CheckpointPolicy.should_checkpoint` to decide, and
+:meth:`CheckpointPolicy.record_checkpoint` after a save completes (with its
+measured cost, which adaptive policies feed back).
+
+The Young–Daly policy implements the classical optimum for the checkpoint
+interval: for checkpoint cost ``delta`` and mean time between failures ``M``,
+Young's first-order interval is ``sqrt(2 * delta * M)``; Daly's higher-order
+refinement is used when ``delta`` is not small relative to ``M``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Optional
+
+from repro.errors import ConfigError
+
+Clock = Callable[[], float]
+
+
+def young_interval(checkpoint_cost: float, mtbf: float) -> float:
+    """Young (1974) first-order optimal interval ``sqrt(2 delta M)``."""
+    if checkpoint_cost < 0:
+        raise ConfigError(f"checkpoint cost must be >= 0, got {checkpoint_cost}")
+    if mtbf <= 0:
+        raise ConfigError(f"MTBF must be > 0, got {mtbf}")
+    return math.sqrt(2.0 * checkpoint_cost * mtbf)
+
+
+def young_daly_interval(checkpoint_cost: float, mtbf: float) -> float:
+    """Daly (2006) higher-order optimum; falls back to ``M`` when δ ≥ M/2."""
+    if checkpoint_cost < 0:
+        raise ConfigError(f"checkpoint cost must be >= 0, got {checkpoint_cost}")
+    if mtbf <= 0:
+        raise ConfigError(f"MTBF must be > 0, got {mtbf}")
+    if checkpoint_cost == 0:
+        return 0.0
+    ratio = checkpoint_cost / (2.0 * mtbf)
+    if ratio >= 1.0:
+        return mtbf
+    return (
+        math.sqrt(2.0 * checkpoint_cost * mtbf)
+        * (1.0 + math.sqrt(ratio) / 3.0 + ratio / 9.0)
+        - checkpoint_cost
+    )
+
+
+class CheckpointPolicy:
+    """Base policy: never checkpoints."""
+
+    def observe_step(self, step: int, step_seconds: float) -> None:
+        """Called after every training step with its duration."""
+
+    def should_checkpoint(self, step: int, now: float) -> bool:
+        """Whether the manager should capture + save right now."""
+        return False
+
+    def record_checkpoint(self, now: float, cost_seconds: float) -> None:
+        """Called after a save completes with its measured cost."""
+
+
+class EveryKSteps(CheckpointPolicy):
+    """Checkpoint every ``k`` steps (the fixed-interval baseline)."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ConfigError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+
+    def should_checkpoint(self, step: int, now: float) -> bool:
+        return step > 0 and step % self.k == 0
+
+
+class FixedTimeInterval(CheckpointPolicy):
+    """Checkpoint whenever ``interval_seconds`` elapsed since the last save."""
+
+    def __init__(self, interval_seconds: float, clock: Optional[Clock] = None):
+        if interval_seconds <= 0:
+            raise ConfigError(
+                f"interval_seconds must be > 0, got {interval_seconds}"
+            )
+        self.interval_seconds = float(interval_seconds)
+        self._clock = clock or time.monotonic
+        self._last_checkpoint = self._clock()
+
+    def should_checkpoint(self, step: int, now: float) -> bool:
+        return (now - self._last_checkpoint) >= self.interval_seconds
+
+    def record_checkpoint(self, now: float, cost_seconds: float) -> None:
+        self._last_checkpoint = now
+
+
+class YoungDalyPolicy(CheckpointPolicy):
+    """Time-based policy with the Young–Daly optimal interval.
+
+    The interval is recomputed from the running mean of measured checkpoint
+    costs, starting from ``initial_cost_estimate`` before any save has been
+    observed.
+    """
+
+    def __init__(
+        self,
+        mtbf_seconds: float,
+        initial_cost_estimate: float = 1.0,
+        clock: Optional[Clock] = None,
+        use_daly_refinement: bool = True,
+    ):
+        if mtbf_seconds <= 0:
+            raise ConfigError(f"MTBF must be > 0, got {mtbf_seconds}")
+        if initial_cost_estimate <= 0:
+            raise ConfigError(
+                f"initial_cost_estimate must be > 0, got {initial_cost_estimate}"
+            )
+        self.mtbf_seconds = float(mtbf_seconds)
+        self.use_daly_refinement = bool(use_daly_refinement)
+        self._cost_sum = float(initial_cost_estimate)
+        self._cost_count = 1
+        self._clock = clock or time.monotonic
+        self._last_checkpoint = self._clock()
+
+    @property
+    def mean_cost(self) -> float:
+        """Running mean of observed checkpoint costs (seconds)."""
+        return self._cost_sum / self._cost_count
+
+    @property
+    def interval_seconds(self) -> float:
+        """Current target interval from the Young–Daly formula."""
+        compute = young_daly_interval if self.use_daly_refinement else young_interval
+        interval = compute(self.mean_cost, self.mtbf_seconds)
+        return max(interval, self.mean_cost)
+
+    def should_checkpoint(self, step: int, now: float) -> bool:
+        return (now - self._last_checkpoint) >= self.interval_seconds
+
+    def record_checkpoint(self, now: float, cost_seconds: float) -> None:
+        self._last_checkpoint = now
+        if cost_seconds > 0:
+            self._cost_sum += cost_seconds
+            self._cost_count += 1
+
+
+class AdaptiveOverheadPolicy(CheckpointPolicy):
+    """Keep checkpoint overhead below a target fraction of runtime.
+
+    Fires when ``elapsed_since_last >= mean_cost / target_overhead``, so a
+    5% target with a 0.2 s checkpoint yields one save every 4 s of training —
+    without needing an MTBF estimate.
+    """
+
+    def __init__(
+        self,
+        target_overhead: float = 0.05,
+        initial_cost_estimate: float = 1.0,
+        clock: Optional[Clock] = None,
+    ):
+        if not 0.0 < target_overhead < 1.0:
+            raise ConfigError(
+                f"target_overhead must be in (0, 1), got {target_overhead}"
+            )
+        if initial_cost_estimate <= 0:
+            raise ConfigError(
+                f"initial_cost_estimate must be > 0, got {initial_cost_estimate}"
+            )
+        self.target_overhead = float(target_overhead)
+        self._cost_sum = float(initial_cost_estimate)
+        self._cost_count = 1
+        self._clock = clock or time.monotonic
+        self._last_checkpoint = self._clock()
+
+    @property
+    def mean_cost(self) -> float:
+        """Running mean of observed checkpoint costs (seconds)."""
+        return self._cost_sum / self._cost_count
+
+    @property
+    def interval_seconds(self) -> float:
+        """Interval implied by the overhead target."""
+        return self.mean_cost / self.target_overhead
+
+    def should_checkpoint(self, step: int, now: float) -> bool:
+        return (now - self._last_checkpoint) >= self.interval_seconds
+
+    def record_checkpoint(self, now: float, cost_seconds: float) -> None:
+        self._last_checkpoint = now
+        if cost_seconds > 0:
+            self._cost_sum += cost_seconds
+            self._cost_count += 1

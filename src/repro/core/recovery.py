@@ -1,0 +1,89 @@
+"""Recovery: finding and applying the newest restorable checkpoint.
+
+Recovery must tolerate damage: the newest checkpoint may be torn (crash mid
+write on a non-atomic store), bit-rotted, or referencing a missing delta
+base.  :meth:`RecoveryManager.latest_valid` walks records newest-first,
+validates each end to end, and falls back until one restores — collecting a
+report of everything it skipped.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.snapshot import TrainingSnapshot
+from repro.core.store import CheckpointRecord, CheckpointStore
+from repro.errors import CheckpointNotFoundError, ReproError
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of a recovery attempt."""
+
+    record: Optional[CheckpointRecord] = None
+    snapshot: Optional[TrainingSnapshot] = None
+    skipped: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> bool:
+        return self.snapshot is not None
+
+
+class RecoveryManager:
+    """Damage-tolerant restore over a :class:`CheckpointStore`."""
+
+    def __init__(self, store: CheckpointStore):
+        self.store = store
+
+    def latest_valid(self) -> RecoveryReport:
+        """Newest checkpoint that loads and validates, skipping damaged ones."""
+        report = RecoveryReport()
+        records = sorted(
+            self.store.records(),
+            key=lambda r: (r.step, r.created, r.id),
+            reverse=True,
+        )
+        for record in records:
+            try:
+                snapshot = self.store.load(record.id)
+            except ReproError as exc:
+                logger.warning(
+                    "skipping damaged checkpoint %s (step %d): %s",
+                    record.id,
+                    record.step,
+                    exc,
+                )
+                report.skipped.append((record.id, str(exc)))
+                continue
+            report.record = record
+            report.snapshot = snapshot
+            return report
+        return report
+
+
+def resume_trainer(
+    trainer, store: CheckpointStore, required: bool = False
+) -> Optional[CheckpointRecord]:
+    """Restore ``trainer`` from the newest valid checkpoint in ``store``.
+
+    Returns the record used, or ``None`` when the store holds nothing
+    restorable (raising instead when ``required``).  Incompatible snapshots
+    (different model fingerprint) propagate
+    :class:`~repro.errors.IncompatibleCheckpointError` rather than being
+    silently skipped — resuming a different model is a caller bug, not
+    storage damage.
+    """
+    report = RecoveryManager(store).latest_valid()
+    if not report.recovered:
+        if required:
+            raise CheckpointNotFoundError(
+                "no restorable checkpoint in store"
+                + (f"; skipped: {report.skipped}" if report.skipped else "")
+            )
+        return None
+    trainer.restore(report.snapshot)
+    return report.record

@@ -1,0 +1,497 @@
+"""Checkpoint store: manifest, discovery, delta chains, retention.
+
+Layout inside a storage backend::
+
+    MANIFEST.json            # atomic-replace updated, lists all records
+    ckpt-000001.qckpt        # full checkpoint (QCKPT container)
+    ckpt-000002.qckpt        # delta checkpoint (QCKPT container, kind=delta)
+
+Ordering guarantee: an object is fully written (atomically) *before* the
+manifest mentions it, so a crash between the two leaves an orphan object —
+never a dangling manifest entry.  Orphans are swept by :meth:`CheckpointStore.gc`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.delta import apply_delta, encode_delta
+from repro.core.integrity import sha256_hex
+from repro.core.serialize import pack_payload, unpack_partial, unpack_payload
+from repro.core.snapshot import TrainingSnapshot
+from repro.errors import (
+    CheckpointNotFoundError,
+    ConfigError,
+    IntegrityError,
+    ReproError,
+    SerializationError,
+    StorageError,
+)
+from repro.storage.backend import StorageBackend
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_VERSION = 1
+_MAX_CHAIN_DEPTH = 64
+
+KIND_FULL = "full"
+KIND_DELTA = "delta"
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """Manifest entry describing one stored checkpoint object."""
+
+    id: str
+    kind: str
+    step: int
+    object_name: str
+    nbytes: int
+    sha256: str
+    codec: str
+    created: float
+    base_id: Optional[str] = None
+    extra: Dict = field(default_factory=dict)
+
+    def to_json(self) -> Dict:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "step": self.step,
+            "object_name": self.object_name,
+            "nbytes": self.nbytes,
+            "sha256": self.sha256,
+            "codec": self.codec,
+            "created": self.created,
+            "base_id": self.base_id,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "CheckpointRecord":
+        try:
+            return cls(
+                id=str(data["id"]),
+                kind=str(data["kind"]),
+                step=int(data["step"]),
+                object_name=str(data["object_name"]),
+                nbytes=int(data["nbytes"]),
+                sha256=str(data["sha256"]),
+                codec=str(data["codec"]),
+                created=float(data["created"]),
+                base_id=data.get("base_id"),
+                extra=dict(data.get("extra", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IntegrityError(f"malformed manifest record: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Which checkpoints :meth:`CheckpointStore.gc` keeps.
+
+    ``keep_last`` retains the N records with the highest steps; ``keep_every``
+    additionally retains records whose step is a multiple of that stride
+    (long-horizon history).  Bases of retained deltas are always retained,
+    transitively — GC never breaks a restore chain.
+    """
+
+    keep_last: Optional[int] = None
+    keep_every: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.keep_last is not None and self.keep_last < 1:
+            raise ConfigError(f"keep_last must be >= 1, got {self.keep_last}")
+        if self.keep_every is not None and self.keep_every < 1:
+            raise ConfigError(f"keep_every must be >= 1, got {self.keep_every}")
+
+
+class CheckpointStore:
+    """Durable, manifest-tracked checkpoint collection on a backend."""
+
+    def __init__(self, backend: StorageBackend):
+        self.backend = backend
+        self._lock = threading.RLock()
+        self._records: Dict[str, CheckpointRecord] = {}
+        self._order: List[str] = []
+        self._next_seq = 1
+        self._load_manifest()
+
+    # -- manifest ---------------------------------------------------------------
+
+    def _load_manifest(self) -> None:
+        if not self.backend.exists(MANIFEST_NAME):
+            return
+        try:
+            manifest = json.loads(self.backend.read(MANIFEST_NAME).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise IntegrityError(f"manifest is not valid JSON: {exc}") from exc
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise IntegrityError(
+                f"unsupported manifest version {manifest.get('version')!r}"
+            )
+        self._next_seq = int(manifest.get("next_seq", 1))
+        for entry in manifest.get("records", []):
+            record = CheckpointRecord.from_json(entry)
+            self._records[record.id] = record
+            self._order.append(record.id)
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "next_seq": self._next_seq,
+            "records": [self._records[i].to_json() for i in self._order],
+        }
+        data = json.dumps(manifest, sort_keys=True, indent=1).encode("utf-8")
+        self.backend.write(MANIFEST_NAME, data)
+
+    # -- identifiers ---------------------------------------------------------------
+
+    def _allocate_id(self) -> str:
+        checkpoint_id = f"ckpt-{self._next_seq:06d}"
+        self._next_seq += 1
+        return checkpoint_id
+
+    # -- saving -----------------------------------------------------------------
+
+    def save_full(
+        self,
+        snapshot: TrainingSnapshot,
+        codec: str = "zlib-6",
+        transforms: Optional[Dict[str, str]] = None,
+        extra: Optional[Dict] = None,
+    ) -> CheckpointRecord:
+        """Persist a full checkpoint; returns its manifest record."""
+        meta, tensors = snapshot.to_payload()
+        data = pack_payload(
+            {"kind": KIND_FULL, "snapshot": meta},
+            tensors,
+            codec=codec,
+            transforms=transforms,
+        )
+        with self._lock:
+            checkpoint_id = self._allocate_id()
+            record = CheckpointRecord(
+                id=checkpoint_id,
+                kind=KIND_FULL,
+                step=snapshot.step,
+                object_name=f"{checkpoint_id}.qckpt",
+                nbytes=len(data),
+                sha256=sha256_hex(data),
+                codec=codec,
+                created=time.time(),
+                extra=dict(extra or {}),
+            )
+            self.backend.write(record.object_name, data)
+            self._records[record.id] = record
+            self._order.append(record.id)
+            self._write_manifest()
+        return record
+
+    def save_delta(
+        self,
+        snapshot: TrainingSnapshot,
+        base_id: str,
+        base_tensors: Optional[Dict[str, np.ndarray]] = None,
+        codec: str = "zlib-6",
+        extra: Optional[Dict] = None,
+    ) -> CheckpointRecord:
+        """Persist a delta against ``base_id``.
+
+        ``base_tensors`` avoids a re-read when the caller (the manager) kept
+        the base's decoded tensors in memory; otherwise the base chain is
+        loaded from the store.
+        """
+        with self._lock:
+            if base_id not in self._records:
+                raise CheckpointNotFoundError(f"base checkpoint {base_id!r} not found")
+        if base_tensors is None:
+            _, base_tensors = self.load_tensors(base_id)
+        meta, tensors = snapshot.to_payload()
+        delta_tensors, delta_meta = encode_delta(base_tensors, tensors)
+        data = pack_payload(
+            {
+                "kind": KIND_DELTA,
+                "base_id": base_id,
+                "snapshot": meta,
+                "delta": delta_meta,
+            },
+            delta_tensors,
+            codec=codec,
+        )
+        with self._lock:
+            checkpoint_id = self._allocate_id()
+            record = CheckpointRecord(
+                id=checkpoint_id,
+                kind=KIND_DELTA,
+                step=snapshot.step,
+                object_name=f"{checkpoint_id}.qckpt",
+                nbytes=len(data),
+                sha256=sha256_hex(data),
+                codec=codec,
+                created=time.time(),
+                base_id=base_id,
+                extra=dict(extra or {}),
+            )
+            self.backend.write(record.object_name, data)
+            self._records[record.id] = record
+            self._order.append(record.id)
+            self._write_manifest()
+        return record
+
+    # -- loading -----------------------------------------------------------------
+
+    def get(self, checkpoint_id: str) -> CheckpointRecord:
+        """Manifest record for ``checkpoint_id``."""
+        with self._lock:
+            try:
+                return self._records[checkpoint_id]
+            except KeyError:
+                raise CheckpointNotFoundError(
+                    f"checkpoint {checkpoint_id!r} not found"
+                ) from None
+
+    def records(self) -> List[CheckpointRecord]:
+        """All records in creation order."""
+        with self._lock:
+            return [self._records[i] for i in self._order]
+
+    def latest(self) -> Optional[CheckpointRecord]:
+        """Record with the highest step (ties: latest created)."""
+        with self._lock:
+            if not self._order:
+                return None
+            return max(
+                (self._records[i] for i in self._order),
+                key=lambda r: (r.step, r.created, r.id),
+            )
+
+    def _read_verified(self, record: CheckpointRecord) -> bytes:
+        data = self.backend.read(record.object_name)
+        actual = sha256_hex(data)
+        if actual != record.sha256:
+            raise IntegrityError(
+                f"checkpoint {record.id}: manifest SHA-256 {record.sha256[:16]}... "
+                f"does not match object {actual[:16]}..."
+            )
+        return data
+
+    def _resolve_chain(self, checkpoint_id: str) -> List[CheckpointRecord]:
+        """Records from ``checkpoint_id`` back to its full base (validated)."""
+        chain: List[CheckpointRecord] = []
+        seen: Set[str] = set()
+        cursor: Optional[str] = checkpoint_id
+        while cursor is not None:
+            if cursor in seen or len(chain) >= _MAX_CHAIN_DEPTH:
+                raise IntegrityError(
+                    f"delta chain of {checkpoint_id!r} is cyclic or exceeds "
+                    f"{_MAX_CHAIN_DEPTH} links"
+                )
+            seen.add(cursor)
+            record = self.get(cursor)
+            chain.append(record)
+            cursor = record.base_id if record.kind == KIND_DELTA else None
+        if chain[-1].kind != KIND_FULL:
+            raise IntegrityError(
+                f"delta chain of {checkpoint_id!r} does not end in a full checkpoint"
+            )
+        return chain
+
+    def load_tensors(
+        self, checkpoint_id: str
+    ) -> Tuple[Dict, Dict[str, np.ndarray]]:
+        """Resolve ``checkpoint_id`` (through its delta chain) to
+        ``(snapshot_meta, tensors)``."""
+        chain = self._resolve_chain(checkpoint_id)
+        meta, tensors = unpack_payload(self._read_verified(chain[-1]))
+        for record in reversed(chain[:-1]):
+            delta_meta, delta_tensors = unpack_payload(self._read_verified(record))
+            tensors = apply_delta(tensors, delta_tensors, delta_meta["delta"])
+            meta = delta_meta
+        return meta["snapshot"], tensors
+
+    def _ranged_reader(self, record: CheckpointRecord):
+        """(start, length) -> bytes reader over one stored object."""
+        object_name = record.object_name
+
+        def reader(start: int, length: int) -> bytes:
+            return self.backend.read_range(object_name, start, length)
+
+        return reader
+
+    def load_partial(
+        self, checkpoint_id: str, names: Sequence[str]
+    ) -> Tuple[Dict, Dict[str, np.ndarray]]:
+        """Restore only the named tensors, transferring only their chunks.
+
+        The point of partial restore: reading the O(kB) parameters out of a
+        checkpoint whose 2^n statevector cache is orders of magnitude larger.
+        Delta chains are resolved per tensor (XOR/append entries pull the
+        tensor's base; untouched records are skipped).
+
+        Integrity note: ranged reads cannot check the whole-file SHA-256;
+        every transferred chunk is still CRC32-verified.  Returns
+        ``(snapshot_meta, {name: array})``.
+        """
+        wanted = tuple(dict.fromkeys(names))
+        if not wanted:
+            raise ConfigError("load_partial needs at least one tensor name")
+        chain = self._resolve_chain(checkpoint_id)
+        meta, tensors = unpack_partial(
+            self._ranged_reader(chain[-1]), wanted, require_all=False
+        )
+        for record in reversed(chain[:-1]):
+            delta_meta, delta_tensors = unpack_partial(
+                self._ranged_reader(record), wanted, require_all=False
+            )
+            full_delta = delta_meta["delta"]
+            sub_meta = {
+                "entries": {
+                    name: entry
+                    for name, entry in full_delta["entries"].items()
+                    if name in wanted
+                },
+                "removed": [
+                    name
+                    for name in full_delta.get("removed", [])
+                    if name in wanted
+                ],
+            }
+            tensors = apply_delta(tensors, delta_tensors, sub_meta)
+            meta = delta_meta
+        missing = [name for name in wanted if name not in tensors]
+        if missing:
+            raise SerializationError(
+                f"tensors not present in {checkpoint_id!r}: {missing}"
+            )
+        return meta["snapshot"], {name: tensors[name] for name in wanted}
+
+    def load(self, checkpoint_id: str) -> TrainingSnapshot:
+        """Load and reconstruct the snapshot stored as ``checkpoint_id``."""
+        meta, tensors = self.load_tensors(checkpoint_id)
+        return TrainingSnapshot.from_payload(meta, tensors)
+
+    def chain_length(self, checkpoint_id: str) -> int:
+        """Number of objects a restore of ``checkpoint_id`` must read."""
+        length = 0
+        cursor: Optional[str] = checkpoint_id
+        while cursor is not None:
+            record = self.get(cursor)
+            length += 1
+            cursor = record.base_id if record.kind == KIND_DELTA else None
+            if length > _MAX_CHAIN_DEPTH:
+                raise IntegrityError(f"delta chain of {checkpoint_id!r} is cyclic")
+        return length
+
+    # -- verification ---------------------------------------------------------------
+
+    def verify(self, checkpoint_id: str) -> Tuple[bool, str]:
+        """Validate one checkpoint end to end (chain resolution included)."""
+        try:
+            self.load(checkpoint_id)
+            return True, "ok"
+        except ReproError as exc:
+            return False, str(exc)
+
+    def verify_all(self) -> Dict[str, Tuple[bool, str]]:
+        """Validate every record; returns ``{id: (ok, detail)}``."""
+        return {record.id: self.verify(record.id) for record in self.records()}
+
+    def object_validator(self):
+        """``(name, data) -> bool`` callback for storage-layer scrubbing.
+
+        Checkpoint objects validate against their manifest SHA-256; the
+        manifest itself validates by parsing.  Replicated backends use this
+        to break divergence ties that byte-voting cannot resolve (see
+        :meth:`repro.storage.replicated.ReplicatedBackend.scrub`).
+        """
+        with self._lock:
+            expected = {
+                record.object_name: record.sha256
+                for record in self._records.values()
+            }
+
+        def validate(name: str, data: bytes) -> bool:
+            if name == MANIFEST_NAME:
+                try:
+                    manifest = json.loads(data.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    return False
+                return manifest.get("version") == MANIFEST_VERSION
+            digest = expected.get(name)
+            return digest is not None and sha256_hex(data) == digest
+
+        return validate
+
+    # -- deletion & retention ---------------------------------------------------------
+
+    def delete(self, checkpoint_id: str) -> None:
+        """Remove one checkpoint (manifest first, object second)."""
+        with self._lock:
+            record = self.get(checkpoint_id)
+            dependents = [
+                r.id
+                for r in self._records.values()
+                if r.base_id == checkpoint_id
+            ]
+            if dependents:
+                raise ConfigError(
+                    f"cannot delete {checkpoint_id!r}: deltas {dependents} "
+                    "depend on it"
+                )
+            del self._records[checkpoint_id]
+            self._order.remove(checkpoint_id)
+            self._write_manifest()
+            self.backend.delete(record.object_name)
+
+    def _retained_ids(self, retention: RetentionPolicy) -> Set[str]:
+        records = sorted(
+            self.records(), key=lambda r: (r.step, r.created, r.id), reverse=True
+        )
+        keep: Set[str] = set()
+        if retention.keep_last is not None:
+            keep.update(r.id for r in records[: retention.keep_last])
+        if retention.keep_every is not None:
+            keep.update(
+                r.id for r in records if r.step % retention.keep_every == 0
+            )
+        if retention.keep_last is None and retention.keep_every is None:
+            keep.update(r.id for r in records)
+        # Never break a chain: pull in bases transitively.
+        frontier = list(keep)
+        while frontier:
+            record = self._records[frontier.pop()]
+            if record.base_id and record.base_id not in keep:
+                keep.add(record.base_id)
+                frontier.append(record.base_id)
+        return keep
+
+    def gc(self, retention: RetentionPolicy) -> List[str]:
+        """Apply retention and sweep orphan objects; returns deleted ids."""
+        with self._lock:
+            keep = self._retained_ids(retention)
+            doomed = [i for i in self._order if i not in keep]
+            doomed_names = [self._records[i].object_name for i in doomed]
+            for checkpoint_id in doomed:
+                del self._records[checkpoint_id]
+            self._order = [i for i in self._order if i in keep]
+            self._write_manifest()
+            for name in doomed_names:
+                self.backend.delete(name)
+            # Sweep objects the manifest no longer (or never) references.
+            referenced = {self._records[i].object_name for i in self._order}
+            for name in self.backend.list("ckpt-"):
+                if name not in referenced:
+                    self.backend.delete(name)
+                    if name not in doomed_names:
+                        doomed_names.append(name)
+        return doomed
+
+    def total_bytes(self) -> int:
+        """Sum of stored object sizes according to the manifest."""
+        return sum(record.nbytes for record in self.records())

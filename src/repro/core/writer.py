@@ -1,0 +1,173 @@
+"""Synchronous and asynchronous checkpoint execution.
+
+Writers are single-slot task executors the :class:`~repro.core.manager.
+CheckpointManager` routes save operations through:
+
+* :class:`SyncCheckpointWriter` runs the task inline — training blocks for
+  the full pack+write duration (the baseline in Fig. 3),
+* :class:`AsyncCheckpointWriter` runs tasks on one background thread in FIFO
+  order — training blocks only for the snapshot capture (a deep copy), and
+  write errors surface on the *next* interaction, preserving at-most-one
+  outstanding failure semantics.
+
+Tasks are plain callables; FIFO ordering is what keeps the store's
+payload-before-manifest ordering intact in async mode.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import CheckpointError
+
+
+@dataclass
+class WriteStats:
+    """Aggregate accounting for a writer's lifetime."""
+
+    tasks: int = 0
+    seconds: float = 0.0
+    blocked_seconds: float = 0.0
+
+
+class SyncCheckpointWriter:
+    """Runs save tasks inline on the caller's thread."""
+
+    def __init__(self) -> None:
+        self.stats = WriteStats()
+
+    def submit(self, task: Callable[[], None]) -> None:
+        """Execute ``task`` immediately; its duration blocks the caller."""
+        started = time.perf_counter()
+        task()
+        elapsed = time.perf_counter() - started
+        self.stats.tasks += 1
+        self.stats.seconds += elapsed
+        self.stats.blocked_seconds += elapsed
+
+    def drain(self) -> None:
+        """No-op: sync writers never have pending work."""
+
+    def close(self) -> None:
+        """No-op."""
+
+    @property
+    def pending(self) -> int:
+        return 0
+
+
+class AsyncCheckpointWriter:
+    """Runs save tasks on one daemon thread, FIFO.
+
+    ``max_pending`` bounds *outstanding* work — queued plus in-flight tasks —
+    via a semaphore; when the bound is reached, ``submit`` blocks (back
+    pressure).  Unbounded buffering would let a slow store accumulate
+    arbitrarily many multi-megabyte snapshots in memory.
+
+    The internal queue itself is unbounded (the semaphore is the bound), so
+    :meth:`close` can always enqueue its shutdown sentinel without deadlocking
+    behind a full queue; if a save task wedges forever, ``close`` raises
+    :class:`~repro.errors.CheckpointError` after ``close_timeout`` seconds
+    instead of hanging the trainer.
+    """
+
+    def __init__(self, max_pending: int = 2, close_timeout: float = 60.0):
+        if max_pending < 1:
+            raise CheckpointError(f"max_pending must be >= 1, got {max_pending}")
+        if close_timeout <= 0:
+            raise CheckpointError(
+                f"close_timeout must be > 0, got {close_timeout}"
+            )
+        self.stats = WriteStats()
+        self.max_pending = int(max_pending)
+        self._close_timeout = float(close_timeout)
+        self._slots = threading.BoundedSemaphore(max_pending)
+        self._queue: "queue.Queue[Optional[Callable[[], None]]]" = queue.Queue()
+        self._error: Optional[BaseException] = None
+        self._closed = False
+        self._idle = threading.Event()
+        self._idle.set()
+        self._thread = threading.Thread(
+            target=self._worker, name="qckpt-writer", daemon=True
+        )
+        self._thread.start()
+
+    def _worker(self) -> None:
+        while True:
+            task = self._queue.get()
+            if task is None:
+                self._queue.task_done()
+                break
+            self._idle.clear()
+            started = time.perf_counter()
+            try:
+                task()
+            except BaseException as exc:  # propagate to the training thread
+                self._error = exc
+            finally:
+                self.stats.tasks += 1
+                self.stats.seconds += time.perf_counter() - started
+                self._slots.release()
+                self._queue.task_done()
+                if self._queue.unfinished_tasks == 0:
+                    self._idle.set()
+
+    def _raise_pending_error(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise CheckpointError(
+                f"asynchronous checkpoint write failed: {error}"
+            ) from error
+
+    def submit(self, task: Callable[[], None]) -> None:
+        """Enqueue ``task``; blocks only while ``max_pending`` tasks are outstanding."""
+        if self._closed:
+            raise CheckpointError("writer is closed")
+        self._raise_pending_error()
+        started = time.perf_counter()
+        self._idle.clear()
+        self._slots.acquire()
+        self._queue.put(task)
+        self.stats.blocked_seconds += time.perf_counter() - started
+
+    def drain(self) -> None:
+        """Block until all enqueued tasks finished; re-raise their errors."""
+        self._queue.join()
+        self._raise_pending_error()
+
+    def close(self) -> None:
+        """Drain, stop the worker thread, and surface any pending error.
+
+        Raises :class:`~repro.errors.CheckpointError` if outstanding tasks do
+        not finish within ``close_timeout`` (e.g. a save wedged on a hung
+        backend) — the worker is a daemon thread, so the process can still
+        exit.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._thread.join(timeout=self._close_timeout)
+        if self._thread.is_alive():
+            raise CheckpointError(
+                f"async writer failed to drain within {self._close_timeout}s; "
+                "a checkpoint save task appears to be stuck"
+            )
+        self._raise_pending_error()
+
+    @property
+    def pending(self) -> int:
+        """Number of submitted tasks not yet finished."""
+        unfinished = self._queue.unfinished_tasks
+        # The shutdown sentinel is not a task.
+        return max(0, unfinished - (1 if self._closed else 0))
+
+    def __enter__(self) -> "AsyncCheckpointWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

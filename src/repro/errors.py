@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro (QCkpt) library.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError`, so callers can install a single ``except ReproError``
+boundary.  Checkpoint-related failures form their own sub-tree under
+:class:`CheckpointError` because storage code frequently needs to distinguish
+"the data is damaged" (:class:`IntegrityError`) from "the data is absent"
+(:class:`CheckpointNotFoundError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class CircuitError(ReproError):
+    """A circuit was constructed or used incorrectly."""
+
+
+class ObservableError(ReproError):
+    """An observable was constructed or used incorrectly."""
+
+
+class GradientError(ReproError):
+    """A gradient could not be computed for the requested circuit."""
+
+
+class StorageError(ReproError):
+    """A storage backend operation failed."""
+
+
+class CheckpointError(ReproError):
+    """Base class for checkpoint-related failures."""
+
+
+class SerializationError(CheckpointError):
+    """A snapshot could not be encoded to or decoded from bytes."""
+
+
+class IntegrityError(CheckpointError):
+    """Stored checkpoint data failed a checksum or structural validation."""
+
+
+class CheckpointNotFoundError(CheckpointError):
+    """No checkpoint matching the request exists in the store."""
+
+
+class IncompatibleCheckpointError(CheckpointError):
+    """A checkpoint exists but cannot be applied to the current trainer.
+
+    Raised, for example, when a snapshot was produced by a different ansatz
+    (circuit fingerprint mismatch) or a different optimizer type.
+    """

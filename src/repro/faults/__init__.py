@@ -1,0 +1,37 @@
+"""Failure models: crash injection, Poisson failures, and makespan math.
+
+The paper's motivation — QPU queue preemption and ordinary infrastructure
+failures — enters the reproduction here:
+
+* :mod:`repro.faults.injector` — deterministic crash hooks and Poisson
+  failure processes that kill a live training run,
+* :mod:`repro.faults.harness` — the crash/recover/resume loop around a
+  trainer (what a supervisor process does in production),
+* :mod:`repro.faults.daly` — analytic (Daly 2006) and discrete-event models
+  of expected makespan under failures with checkpointing.
+"""
+
+from repro.faults.daly import (
+    expected_makespan,
+    no_checkpoint_makespan,
+    simulate_makespan,
+)
+from repro.faults.harness import FaultRunResult, run_with_failures
+from repro.faults.injector import (
+    CrashAtStep,
+    PoissonStepFailures,
+    SimulatedClock,
+    SimulatedFailure,
+)
+
+__all__ = [
+    "SimulatedFailure",
+    "CrashAtStep",
+    "PoissonStepFailures",
+    "SimulatedClock",
+    "FaultRunResult",
+    "run_with_failures",
+    "expected_makespan",
+    "no_checkpoint_makespan",
+    "simulate_makespan",
+]

@@ -1,0 +1,140 @@
+"""Makespan under failures: Daly's analytic model and a discrete-event twin.
+
+Model: a job needs ``work`` seconds of useful compute.  Failures arrive as a
+Poisson process with mean time between failures ``mtbf``.  Every ``interval``
+seconds of progress the job spends ``checkpoint_cost`` seconds writing a
+checkpoint; after a failure it pays ``restart_cost`` and resumes from the
+last completed checkpoint.
+
+Daly (2006) gives the expected makespan for exponential failures::
+
+    T = mtbf * exp(restart/mtbf) * (exp((interval + cost)/mtbf) - 1)
+        * work / interval
+
+Without checkpointing the job must complete all ``work`` in one
+failure-free window, which is the same formula with a single segment of
+length ``work`` and zero checkpoint cost.  The discrete-event simulator
+:func:`simulate_makespan` makes the identical assumptions and is used to
+validate the closed form (they agree within Monte-Carlo error — one of the
+library's integration tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def _check_common(work: float, mtbf: float, restart_cost: float) -> None:
+    if work <= 0:
+        raise ConfigError(f"work must be > 0, got {work}")
+    if mtbf <= 0:
+        raise ConfigError(f"MTBF must be > 0, got {mtbf}")
+    if restart_cost < 0:
+        raise ConfigError(f"restart_cost must be >= 0, got {restart_cost}")
+
+
+def expected_makespan(
+    work: float,
+    interval: float,
+    checkpoint_cost: float,
+    restart_cost: float,
+    mtbf: float,
+) -> float:
+    """Daly's expected makespan with checkpointing every ``interval`` seconds."""
+    _check_common(work, mtbf, restart_cost)
+    if interval <= 0:
+        raise ConfigError(f"interval must be > 0, got {interval}")
+    if checkpoint_cost < 0:
+        raise ConfigError(f"checkpoint_cost must be >= 0, got {checkpoint_cost}")
+    segments = work / interval
+    return (
+        mtbf
+        * math.exp(restart_cost / mtbf)
+        * (math.exp((interval + checkpoint_cost) / mtbf) - 1.0)
+        * segments
+    )
+
+
+def no_checkpoint_makespan(work: float, restart_cost: float, mtbf: float) -> float:
+    """Expected makespan when the job restarts from scratch on failure."""
+    _check_common(work, mtbf, restart_cost)
+    return (
+        mtbf * math.exp(restart_cost / mtbf) * (math.exp(work / mtbf) - 1.0)
+    )
+
+
+def simulate_makespan(
+    work: float,
+    interval: Optional[float],
+    checkpoint_cost: float,
+    restart_cost: float,
+    mtbf: float,
+    rng: np.random.Generator,
+    max_makespan: float = 1e12,
+) -> float:
+    """One discrete-event sample of the makespan.
+
+    ``interval=None`` disables checkpointing.  Failures strike during
+    compute, checkpoint writes, and restarts alike (memoryless process);
+    progress since the last completed checkpoint is lost.  Raises
+    :class:`ConfigError` if the sample exceeds ``max_makespan`` (guards
+    against pathological parameter choices in sweeps).
+    """
+    _check_common(work, mtbf, restart_cost)
+    if interval is not None and interval <= 0:
+        raise ConfigError(f"interval must be > 0 or None, got {interval}")
+    if checkpoint_cost < 0:
+        raise ConfigError(f"checkpoint_cost must be >= 0, got {checkpoint_cost}")
+
+    clock = 0.0
+    saved = 0.0  # work protected by a completed checkpoint
+    pending_restart = 0.0  # restart cost owed before the next attempt
+
+    while saved < work:
+        segment = (
+            work - saved
+            if interval is None
+            else min(interval, work - saved)
+        )
+        # The final segment does not need a checkpoint (the job is done).
+        finishing = saved + segment >= work
+        attempt = pending_restart + segment + (0.0 if finishing else checkpoint_cost)
+        time_to_failure = rng.exponential(mtbf)
+        if time_to_failure >= attempt:
+            clock += attempt
+            saved += segment
+            pending_restart = 0.0
+        else:
+            clock += time_to_failure
+            pending_restart = restart_cost
+        if clock > max_makespan:
+            raise ConfigError(
+                f"simulated makespan exceeded {max_makespan:g} seconds; "
+                "parameters make completion implausible"
+            )
+    return clock
+
+
+def mean_simulated_makespan(
+    work: float,
+    interval: Optional[float],
+    checkpoint_cost: float,
+    restart_cost: float,
+    mtbf: float,
+    rng: np.random.Generator,
+    samples: int = 200,
+) -> float:
+    """Monte-Carlo mean of :func:`simulate_makespan`."""
+    if samples < 1:
+        raise ConfigError(f"samples must be >= 1, got {samples}")
+    total = 0.0
+    for _ in range(samples):
+        total += simulate_makespan(
+            work, interval, checkpoint_cost, restart_cost, mtbf, rng
+        )
+    return total / samples

@@ -1,0 +1,106 @@
+"""Crash injection hooks and the simulated clock.
+
+A "failure" here is what the storage layer actually observes in production:
+the training process dies between two instructions.  Hooks raise
+:class:`SimulatedFailure` from ``on_step_end``, which propagates out of
+``Trainer.run`` exactly like a real crash unwinds the stack.
+
+Hook ordering matters and is the caller's contract: place the
+:class:`~repro.core.manager.CheckpointManager` *before* the crash hook in the
+trainer's hook list so a checkpoint scheduled for the crashing step is
+persisted first (the manager's write is atomic either way).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+import numpy as np
+
+from repro.errors import ConfigError, ReproError
+
+
+class SimulatedFailure(ReproError):
+    """Raised by injection hooks to emulate a process crash."""
+
+    def __init__(self, step: int, reason: str = "injected failure"):
+        super().__init__(f"{reason} at step {step}")
+        self.step = step
+        self.reason = reason
+
+
+class SimulatedClock:
+    """Manually advanced monotonic clock for deterministic experiments."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading."""
+        if seconds < 0:
+            raise ConfigError(f"cannot advance clock by {seconds} seconds")
+        self._now += seconds
+        return self._now
+
+
+class CrashAtStep:
+    """Hook that kills the run when ``trainer.step_count`` hits given steps."""
+
+    def __init__(self, steps: "int | Iterable[int]"):
+        if isinstance(steps, int):
+            steps = [steps]
+        self.steps: Set[int] = {int(s) for s in steps}
+        if any(s < 1 for s in self.steps):
+            raise ConfigError("crash steps must be >= 1")
+        self.crashes = 0
+
+    def on_step_end(self, trainer, info) -> None:
+        if trainer.step_count in self.steps:
+            self.steps.discard(trainer.step_count)
+            self.crashes += 1
+            raise SimulatedFailure(trainer.step_count, "CrashAtStep")
+
+
+class PoissonStepFailures:
+    """Memoryless per-step failure process.
+
+    Each completed step fails with probability ``p = 1 - exp(-dt / mtbf)``
+    where ``dt`` is the step duration (measured, or ``fixed_step_seconds``).
+    The process owns its generator so failure schedules are reproducible and
+    independent of training randomness.
+    """
+
+    def __init__(
+        self,
+        mtbf_seconds: float,
+        seed: int = 0,
+        fixed_step_seconds: Optional[float] = None,
+    ):
+        if mtbf_seconds <= 0:
+            raise ConfigError(f"MTBF must be > 0, got {mtbf_seconds}")
+        if fixed_step_seconds is not None and fixed_step_seconds <= 0:
+            raise ConfigError(
+                f"fixed_step_seconds must be > 0, got {fixed_step_seconds}"
+            )
+        self.mtbf_seconds = float(mtbf_seconds)
+        self.fixed_step_seconds = fixed_step_seconds
+        self._rng = np.random.default_rng(seed)
+        self.failures = 0
+
+    def on_step_end(self, trainer, info) -> None:
+        dt = (
+            self.fixed_step_seconds
+            if self.fixed_step_seconds is not None
+            else info.seconds
+        )
+        p_fail = 1.0 - float(np.exp(-dt / self.mtbf_seconds))
+        if self._rng.random() < p_fail:
+            self.failures += 1
+            raise SimulatedFailure(trainer.step_count, "PoissonStepFailures")

@@ -1,0 +1,38 @@
+"""Hybrid quantum-classical training substrate.
+
+The training loop here is deliberately *fully capturable*: every piece of
+state that influences future steps — parameters, optimizer slots, RNG state,
+batch-sampler position — can be captured into a
+:class:`repro.core.snapshot.TrainingSnapshot` and restored bit-exactly.  That
+property is what the checkpointing layer (the paper's contribution) packages
+and persists.
+"""
+
+from repro.ml.dataset import ArrayDataset, BatchSampler
+from repro.ml.models import (
+    NoisyVQEModel,
+    QAOAMaxCutModel,
+    UnitaryLearningModel,
+    VariationalClassifier,
+    VQEModel,
+)
+from repro.ml.optimizers import SGD, AdaGrad, Adam, Optimizer, RMSProp
+from repro.ml.trainer import StepInfo, Trainer, TrainerConfig
+
+__all__ = [
+    "ArrayDataset",
+    "BatchSampler",
+    "VariationalClassifier",
+    "VQEModel",
+    "NoisyVQEModel",
+    "QAOAMaxCutModel",
+    "UnitaryLearningModel",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSProp",
+    "AdaGrad",
+    "Trainer",
+    "TrainerConfig",
+    "StepInfo",
+]

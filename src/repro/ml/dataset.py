@@ -1,0 +1,205 @@
+"""Datasets and the checkpointable batch sampler.
+
+Synthetic dataset generators stand in for the classification workloads the
+paper's hybrid-training experiments use (two moons, concentric circles,
+blobs, bit-parity).  The :class:`BatchSampler` is the piece that matters for
+checkpointing: its *position* in the epoch — permutation, cursor, epoch count,
+and its private RNG — is part of training state, and skipping it on resume
+silently re-feeds data and breaks exactness.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.ml.rng import capture_rng_state, generator_from_state
+
+
+@dataclass(frozen=True)
+class ArrayDataset:
+    """A plain supervised dataset of feature rows and ±1 labels."""
+
+    features: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        features = np.asarray(self.features, dtype=np.float64)
+        labels = np.asarray(self.labels, dtype=np.float64)
+        if features.ndim != 2:
+            raise ConfigError(f"features must be 2-D, got shape {features.shape}")
+        if labels.shape != (features.shape[0],):
+            raise ConfigError(
+                f"labels shape {labels.shape} does not match "
+                f"{features.shape[0]} samples"
+            )
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "labels", labels)
+
+    def __len__(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.features.shape[1]
+
+    def batch(self, indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Select rows by index."""
+        return self.features[indices], self.labels[indices]
+
+    def split(self, train_fraction: float, rng: np.random.Generator):
+        """Shuffled train/test split."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ConfigError(
+                f"train_fraction must be in (0, 1), got {train_fraction}"
+            )
+        order = rng.permutation(len(self))
+        cut = int(round(train_fraction * len(self)))
+        train, test = order[:cut], order[cut:]
+        return (
+            ArrayDataset(self.features[train], self.labels[train]),
+            ArrayDataset(self.features[test], self.labels[test]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Synthetic dataset generators (labels are ±1 throughout)
+# ---------------------------------------------------------------------------
+
+
+def make_moons(
+    n_samples: int, rng: np.random.Generator, noise: float = 0.1
+) -> ArrayDataset:
+    """Two interleaved half-circles."""
+    half = n_samples // 2
+    rest = n_samples - half
+    t_outer = rng.uniform(0, math.pi, half)
+    t_inner = rng.uniform(0, math.pi, rest)
+    outer = np.stack([np.cos(t_outer), np.sin(t_outer)], axis=1)
+    inner = np.stack([1 - np.cos(t_inner), 0.5 - np.sin(t_inner)], axis=1)
+    features = np.concatenate([outer, inner])
+    features += noise * rng.standard_normal(features.shape)
+    labels = np.concatenate([np.ones(half), -np.ones(rest)])
+    return ArrayDataset(features, labels)
+
+
+def make_circles(
+    n_samples: int,
+    rng: np.random.Generator,
+    noise: float = 0.05,
+    factor: float = 0.5,
+) -> ArrayDataset:
+    """Two concentric circles with radius ratio ``factor``."""
+    if not 0.0 < factor < 1.0:
+        raise ConfigError(f"factor must be in (0, 1), got {factor}")
+    half = n_samples // 2
+    rest = n_samples - half
+    t_outer = rng.uniform(0, 2 * math.pi, half)
+    t_inner = rng.uniform(0, 2 * math.pi, rest)
+    outer = np.stack([np.cos(t_outer), np.sin(t_outer)], axis=1)
+    inner = factor * np.stack([np.cos(t_inner), np.sin(t_inner)], axis=1)
+    features = np.concatenate([outer, inner])
+    features += noise * rng.standard_normal(features.shape)
+    labels = np.concatenate([np.ones(half), -np.ones(rest)])
+    return ArrayDataset(features, labels)
+
+
+def make_blobs(
+    n_samples: int,
+    rng: np.random.Generator,
+    centers: Optional[np.ndarray] = None,
+    spread: float = 0.3,
+) -> ArrayDataset:
+    """Two Gaussian blobs (default centers at ±1 on the diagonal)."""
+    if centers is None:
+        centers = np.array([[1.0, 1.0], [-1.0, -1.0]])
+    half = n_samples // 2
+    rest = n_samples - half
+    a = centers[0] + spread * rng.standard_normal((half, centers.shape[1]))
+    b = centers[1] + spread * rng.standard_normal((rest, centers.shape[1]))
+    features = np.concatenate([a, b])
+    labels = np.concatenate([np.ones(half), -np.ones(rest)])
+    return ArrayDataset(features, labels)
+
+
+def make_parity(n_bits: int) -> ArrayDataset:
+    """All 2^n bitstrings labelled by parity (the classic hard QNN target)."""
+    if n_bits < 1 or n_bits > 16:
+        raise ConfigError(f"n_bits must be in [1, 16], got {n_bits}")
+    count = 2**n_bits
+    features = np.zeros((count, n_bits))
+    labels = np.zeros(count)
+    for index in range(count):
+        bits = [(index >> (n_bits - 1 - b)) & 1 for b in range(n_bits)]
+        features[index] = bits
+        labels[index] = 1.0 if sum(bits) % 2 == 0 else -1.0
+    return ArrayDataset(features, labels)
+
+
+# ---------------------------------------------------------------------------
+# Checkpointable batch sampler
+# ---------------------------------------------------------------------------
+
+
+class BatchSampler:
+    """Shuffled mini-batch index stream with capturable position.
+
+    The sampler owns a private RNG (seeded at construction) so that data
+    order is independent of the model's shot noise stream.  ``state()``
+    captures epoch, cursor, current permutation and RNG state;
+    ``restore_state()`` resumes the stream bit-exactly.
+    """
+
+    def __init__(self, n_items: int, batch_size: int, seed: int = 0):
+        if n_items < 1:
+            raise ConfigError(f"n_items must be >= 1, got {n_items}")
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        self.n_items = int(n_items)
+        self.batch_size = min(int(batch_size), self.n_items)
+        self._rng = np.random.default_rng(seed)
+        self.epoch = 0
+        self._cursor = 0
+        self._permutation = self._rng.permutation(self.n_items)
+
+    def next_batch(self) -> np.ndarray:
+        """Return the next batch of indices, reshuffling at epoch boundaries."""
+        if self._cursor >= self.n_items:
+            self.epoch += 1
+            self._cursor = 0
+            self._permutation = self._rng.permutation(self.n_items)
+        end = min(self._cursor + self.batch_size, self.n_items)
+        batch = self._permutation[self._cursor : end]
+        self._cursor = end
+        return batch.copy()
+
+    # -- state ------------------------------------------------------------------
+
+    def state(self) -> Dict:
+        """Capturable position: epoch, cursor, permutation, RNG state."""
+        return {
+            "epoch": self.epoch,
+            "cursor": self._cursor,
+            "permutation": self._permutation.copy(),
+            "rng_state": capture_rng_state(self._rng),
+            "n_items": self.n_items,
+            "batch_size": self.batch_size,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Resume the index stream from a captured position."""
+        if int(state["n_items"]) != self.n_items:
+            raise ConfigError(
+                f"sampler state is for {state['n_items']} items, "
+                f"sampler has {self.n_items}"
+            )
+        self.epoch = int(state["epoch"])
+        self._cursor = int(state["cursor"])
+        self._permutation = np.array(state["permutation"], dtype=np.int64)
+        self.batch_size = int(state["batch_size"])
+        self._rng = generator_from_state(copy.deepcopy(state["rng_state"]))

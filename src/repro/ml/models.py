@@ -1,0 +1,547 @@
+"""Trainable hybrid models.
+
+A model owns the *structure* of the problem (ansatz circuit, encoder,
+observable) and exposes one method the trainer needs::
+
+    loss_and_grad(params, batch, shots=None, rng=None) -> (loss, grads)
+
+plus a ``fingerprint()`` identifying the structure.  Checkpoints embed the
+fingerprint; resume refuses snapshots from a different model structure
+(:class:`repro.errors.IncompatibleCheckpointError`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff.adjoint import adjoint_gradient
+from repro.autodiff.density_shift import density_parameter_shift_gradient
+from repro.autodiff.parameter_shift import parameter_shift_gradient
+from repro.errors import ConfigError
+from repro.quantum.circuit import Circuit, concat
+from repro.quantum.density import apply_circuit_density, expectation_density
+from repro.quantum.encoding import angle_encoding
+from repro.quantum.noise import NoiseModel
+from repro.quantum.observables import Hamiltonian, PauliString, Projector
+from repro.quantum.sampling import estimate_expectation, sample_bitstrings
+from repro.quantum.statevector import apply_circuit
+from repro.quantum.templates import qaoa_maxcut
+
+EncoderFn = Callable[[np.ndarray], Circuit]
+
+
+def _fingerprint_parts(*parts: str) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class VariationalClassifier:
+    """Binary classifier: ``f(x) = <Z_readout>`` of ``encoder(x) + ansatz``.
+
+    Labels are ±1.  Loss is mean squared error ``mean((f(x) - y)^2)`` (the
+    default) or binary cross-entropy on ``p = (1 + f) / 2``.
+    """
+
+    def __init__(
+        self,
+        ansatz: Circuit,
+        encoder: Optional[EncoderFn] = None,
+        encoder_id: str = "angle-ry",
+        readout: Optional[PauliString] = None,
+        loss: str = "mse",
+    ):
+        self.ansatz = ansatz
+        self.n_qubits = ansatz.n_qubits
+        if encoder is None:
+            encoder = lambda x: angle_encoding(x, self.n_qubits, "ry")  # noqa: E731
+        self.encoder = encoder
+        self.encoder_id = encoder_id
+        self.readout = readout or PauliString.from_label("Z0")
+        if loss not in {"mse", "bce"}:
+            raise ConfigError(f"loss must be 'mse' or 'bce', got {loss!r}")
+        self.loss = loss
+
+    @property
+    def n_params(self) -> int:
+        return self.ansatz.n_params
+
+    def fingerprint(self) -> str:
+        return _fingerprint_parts(
+            "VariationalClassifier",
+            self.ansatz.fingerprint(),
+            self.encoder_id,
+            json.dumps(self.readout.to_json(), sort_keys=True),
+            self.loss,
+        )
+
+    def init_params(self, rng: np.random.Generator, scale: float = 0.1) -> np.ndarray:
+        return scale * rng.standard_normal(self.n_params)
+
+    # -- forward ---------------------------------------------------------------
+
+    def _full_circuit(self, x: np.ndarray) -> Circuit:
+        return concat([self.encoder(x), self.ansatz])
+
+    def forward_one(
+        self,
+        params: np.ndarray,
+        x: np.ndarray,
+        shots: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Expectation value of the readout for one sample."""
+        circuit = self._full_circuit(x)
+        state = apply_circuit(circuit, params)
+        if shots is None:
+            return float(self.readout.expectation(state))
+        if rng is None:
+            raise ConfigError("shot-based forward requires an rng")
+        return float(estimate_expectation(state, self.readout, shots, rng))
+
+    def predict(self, params: np.ndarray, features: np.ndarray) -> np.ndarray:
+        """±1 predictions (exact expectations; ties resolve to +1)."""
+        outputs = np.array([self.forward_one(params, x) for x in features])
+        return np.where(outputs >= 0.0, 1.0, -1.0)
+
+    def accuracy(
+        self, params: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> float:
+        """Fraction of correct ±1 predictions."""
+        return float(np.mean(self.predict(params, features) == labels))
+
+    # -- loss/gradient ------------------------------------------------------------
+
+    def _loss_terms(self, output: float, label: float) -> Tuple[float, float]:
+        """Per-sample (loss, dloss/doutput)."""
+        if self.loss == "mse":
+            diff = output - label
+            return diff * diff, 2.0 * diff
+        # bce on p = (1 + f)/2 with y01 = (1 + label)/2
+        eps = 1e-9
+        p = min(max((1.0 + output) / 2.0, eps), 1.0 - eps)
+        y01 = (1.0 + label) / 2.0
+        loss = -(y01 * np.log(p) + (1 - y01) * np.log(1 - p))
+        dloss_dp = (p - y01) / (p * (1 - p))
+        return float(loss), float(dloss_dp * 0.5)
+
+    def loss_and_grad(
+        self,
+        params: np.ndarray,
+        batch: Tuple[np.ndarray, np.ndarray],
+        shots: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[float, np.ndarray]:
+        """Mean loss and gradient over a (features, labels) batch."""
+        features, labels = batch
+        total_loss = 0.0
+        total_grad = np.zeros(self.n_params)
+        for x, y in zip(features, labels):
+            circuit = self._full_circuit(x)
+            if shots is None:
+                output, grad_f = adjoint_gradient(
+                    circuit, params, self.readout, return_value=True
+                )
+            else:
+                output = self.forward_one(params, x, shots, rng)
+                grad_f = parameter_shift_gradient(
+                    circuit, params, self.readout, shots=shots, rng=rng
+                )
+            loss, dloss = self._loss_terms(float(output), float(y))
+            total_loss += loss
+            total_grad += dloss * grad_f
+        count = max(len(features), 1)
+        return total_loss / count, total_grad / count
+
+
+class VQEModel:
+    """Variational quantum eigensolver: loss is ``<H>`` of the ansatz state."""
+
+    def __init__(self, ansatz: Circuit, hamiltonian: Hamiltonian):
+        self.ansatz = ansatz
+        self.hamiltonian = hamiltonian
+        self.n_qubits = ansatz.n_qubits
+        if hamiltonian.max_wire() >= ansatz.n_qubits:
+            raise ConfigError(
+                f"hamiltonian acts on wire {hamiltonian.max_wire()}, "
+                f"ansatz has {ansatz.n_qubits} qubits"
+            )
+
+    @property
+    def n_params(self) -> int:
+        return self.ansatz.n_params
+
+    def fingerprint(self) -> str:
+        return _fingerprint_parts(
+            "VQEModel",
+            self.ansatz.fingerprint(),
+            json.dumps(self.hamiltonian.to_json(), sort_keys=True),
+        )
+
+    def init_params(self, rng: np.random.Generator, scale: float = 0.1) -> np.ndarray:
+        return scale * rng.standard_normal(self.n_params)
+
+    def energy(self, params: np.ndarray) -> float:
+        """Exact energy expectation."""
+        state = apply_circuit(self.ansatz, params)
+        return float(self.hamiltonian.expectation(state))
+
+    def statevector(self, params: np.ndarray) -> np.ndarray:
+        """Final ansatz state (the warm-start cache checkpoints can persist)."""
+        return apply_circuit(self.ansatz, params)
+
+    def loss_and_grad(
+        self,
+        params: np.ndarray,
+        batch=None,
+        shots: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[float, np.ndarray]:
+        """Energy and its gradient (batch is ignored; VQE has no dataset)."""
+        if shots is None:
+            value, grads = adjoint_gradient(
+                self.ansatz, params, self.hamiltonian, return_value=True
+            )
+            return float(value), grads
+        if rng is None:
+            raise ConfigError("shot-based VQE requires an rng")
+        state = apply_circuit(self.ansatz, params)
+        value = estimate_expectation(state, self.hamiltonian, shots, rng)
+        grads = parameter_shift_gradient(
+            self.ansatz, params, self.hamiltonian, shots=shots, rng=rng
+        )
+        return float(value), grads
+
+
+class NoisyVQEModel:
+    """VQE under an exact (density-matrix) noise model.
+
+    Loss is ``tr(rho(theta) H)`` where ``rho`` is evolved through the ansatz
+    with every enabled Kraus channel applied deterministically — the
+    noise-floor reference for the trajectory-sampled simulations.  Gradients
+    use the parameter-shift rules, which stay exact under parameter-
+    independent noise.  Memory is O(4^n): this is the worst-case
+    checkpoint-footprint workload.
+    """
+
+    def __init__(
+        self,
+        ansatz: Circuit,
+        hamiltonian: Hamiltonian,
+        noise: NoiseModel,
+    ):
+        self.ansatz = ansatz
+        self.hamiltonian = hamiltonian
+        self.noise = noise
+        self.n_qubits = ansatz.n_qubits
+        if hamiltonian.max_wire() >= ansatz.n_qubits:
+            raise ConfigError(
+                f"hamiltonian acts on wire {hamiltonian.max_wire()}, "
+                f"ansatz has {ansatz.n_qubits} qubits"
+            )
+
+    @property
+    def n_params(self) -> int:
+        return self.ansatz.n_params
+
+    def fingerprint(self) -> str:
+        noise_id = json.dumps(
+            {
+                "depolarizing": self.noise.depolarizing,
+                "bit_flip": self.noise.bit_flip,
+                "phase_flip": self.noise.phase_flip,
+                "amplitude_damping": self.noise.amplitude_damping,
+            },
+            sort_keys=True,
+        )
+        return _fingerprint_parts(
+            "NoisyVQEModel",
+            self.ansatz.fingerprint(),
+            json.dumps(self.hamiltonian.to_json(), sort_keys=True),
+            noise_id,
+        )
+
+    def init_params(self, rng: np.random.Generator, scale: float = 0.1) -> np.ndarray:
+        return scale * rng.standard_normal(self.n_params)
+
+    def energy(self, params: np.ndarray) -> float:
+        """Exact noisy energy ``tr(rho(theta) H)``."""
+        rho = apply_circuit_density(self.ansatz, params, noise=self.noise)
+        return expectation_density(rho, self.hamiltonian)
+
+    def density_matrix(self, params: np.ndarray) -> np.ndarray:
+        """Final noisy state (the O(4^n) warm-start cache)."""
+        return apply_circuit_density(self.ansatz, params, noise=self.noise)
+
+    def loss_and_grad(
+        self,
+        params: np.ndarray,
+        batch=None,
+        shots: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[float, np.ndarray]:
+        """Noisy energy and its exact parameter-shift gradient."""
+        if shots is not None:
+            raise ConfigError(
+                "NoisyVQEModel is the exact reference; use VQEModel with a "
+                "trajectory noise model for shot-based training"
+            )
+        loss = self.energy(params)
+        grads = density_parameter_shift_gradient(
+            self.ansatz, params, self.hamiltonian, noise=self.noise
+        )
+        return loss, grads
+
+
+class QAOAMaxCutModel:
+    """QAOA for MaxCut on an undirected graph.
+
+    The cost Hamiltonian is ``sum_{(a,b) in E} w_ab/2 (Z_a Z_b - 1)`` whose
+    minimum is ``-maxcut``; the ansatz is the standard alternating
+    cost/mixer circuit of :func:`repro.quantum.templates.qaoa_maxcut`, whose
+    per-layer ``gamma``/``beta`` parameters are *shared* across gates — the
+    workload that stresses shared-parameter slots in the autodiff stack and
+    gives tiny (O(layers)) parameter vectors next to O(2^n) statevectors.
+
+    ``graph`` is an edge list ``[(a, b), ...]`` or ``[(a, b, weight), ...]``;
+    ``networkx`` graphs are accepted via :meth:`from_networkx`.
+    """
+
+    def __init__(
+        self,
+        n_qubits: int,
+        edges: Sequence[Tuple],
+        n_layers: int = 2,
+    ):
+        if n_layers < 1:
+            raise ConfigError(f"n_layers must be >= 1, got {n_layers}")
+        normalized = []
+        for edge in edges:
+            if len(edge) == 2:
+                a, b, weight = int(edge[0]), int(edge[1]), 1.0
+            elif len(edge) == 3:
+                a, b, weight = int(edge[0]), int(edge[1]), float(edge[2])
+            else:
+                raise ConfigError(f"edge {edge!r} is not (a, b) or (a, b, w)")
+            if a == b:
+                raise ConfigError(f"self-loop edge ({a}, {b}) is not a cut edge")
+            if not (0 <= a < n_qubits and 0 <= b < n_qubits):
+                raise ConfigError(
+                    f"edge ({a}, {b}) out of range for {n_qubits} qubits"
+                )
+            normalized.append((min(a, b), max(a, b), weight))
+        if not normalized:
+            raise ConfigError("MaxCut needs at least one edge")
+        self.n_qubits = int(n_qubits)
+        self.edges = tuple(sorted(normalized))
+        self.n_layers = int(n_layers)
+        self.ansatz = qaoa_maxcut(
+            n_qubits, [(a, b) for a, b, _ in self.edges], n_layers
+        )
+        # C = sum w/2 (Z_a Z_b - 1); minimizing <C> maximizes the cut.
+        terms = [
+            PauliString(weight / 2.0, ((a, "Z"), (b, "Z")))
+            for a, b, weight in self.edges
+        ]
+        offset = -sum(weight for _, _, weight in self.edges) / 2.0
+        terms.append(PauliString.identity(offset))
+        self.hamiltonian = Hamiltonian(terms)
+
+    @classmethod
+    def from_networkx(cls, graph, n_layers: int = 2) -> "QAOAMaxCutModel":
+        """Build from a ``networkx`` graph (uses ``weight`` attributes)."""
+        nodes = sorted(graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [
+            (index[a], index[b], float(data.get("weight", 1.0)))
+            for a, b, data in graph.edges(data=True)
+        ]
+        return cls(len(nodes), edges, n_layers)
+
+    @property
+    def n_params(self) -> int:
+        return self.ansatz.n_params
+
+    def fingerprint(self) -> str:
+        return _fingerprint_parts(
+            "QAOAMaxCutModel",
+            self.ansatz.fingerprint(),
+            json.dumps([list(e) for e in self.edges]),
+        )
+
+    def init_params(self, rng: np.random.Generator, scale: float = 0.1) -> np.ndarray:
+        return scale * rng.standard_normal(self.n_params)
+
+    # -- cut evaluation -----------------------------------------------------------
+
+    def cut_value(self, bitstring: Sequence[int]) -> float:
+        """Total weight of edges cut by an assignment (0/1 per qubit)."""
+        bits = list(bitstring)
+        if len(bits) != self.n_qubits:
+            raise ConfigError(
+                f"bitstring length {len(bits)} != {self.n_qubits} qubits"
+            )
+        return float(
+            sum(w for a, b, w in self.edges if bits[a] != bits[b])
+        )
+
+    def max_cut_brute_force(self) -> float:
+        """Exact MaxCut by enumeration (exponential; for validation)."""
+        best = 0.0
+        for assignment in range(2**self.n_qubits):
+            best = max(best, self.cut_value(self._index_to_bits(assignment)))
+        return best
+
+    def expected_cut(self, params: np.ndarray) -> float:
+        """Expected cut value of the QAOA state (``-<C>``)."""
+        return -self.energy(params)
+
+    def _index_to_bits(self, index: int) -> List[int]:
+        """Basis index → bit list (qubit 0 is the most significant bit)."""
+        return [
+            (index >> (self.n_qubits - 1 - q)) & 1 for q in range(self.n_qubits)
+        ]
+
+    def sample_cut(
+        self, params: np.ndarray, shots: int, rng: np.random.Generator
+    ) -> Tuple[List[int], float]:
+        """Best bitstring (and its cut) among ``shots`` measured samples."""
+        state = apply_circuit(self.ansatz, params)
+        samples = sample_bitstrings(state, shots, rng)
+        best_bits: List[int] = []
+        best_value = -1.0
+        for index in np.unique(samples):
+            bits = self._index_to_bits(int(index))
+            value = self.cut_value(bits)
+            if value > best_value:
+                best_bits, best_value = bits, value
+        return best_bits, best_value
+
+    # -- training interface ---------------------------------------------------------
+
+    def energy(self, params: np.ndarray) -> float:
+        """Exact ``<C>`` (negative expected cut)."""
+        state = apply_circuit(self.ansatz, params)
+        return float(self.hamiltonian.expectation(state))
+
+    def statevector(self, params: np.ndarray) -> np.ndarray:
+        """Final QAOA state (the warm-start cache checkpoints can persist)."""
+        return apply_circuit(self.ansatz, params)
+
+    def loss_and_grad(
+        self,
+        params: np.ndarray,
+        batch=None,
+        shots: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[float, np.ndarray]:
+        """``<C>`` and its gradient (adjoint exact, parameter-shift for shots).
+
+        The shared gamma/beta slots make the parameter-shift path exercise
+        per-occurrence shifting; both paths agree to machine precision in the
+        exact case (covered by tests).
+        """
+        if shots is None:
+            value, grads = adjoint_gradient(
+                self.ansatz, params, self.hamiltonian, return_value=True
+            )
+            return float(value), grads
+        if rng is None:
+            raise ConfigError("shot-based QAOA requires an rng")
+        state = apply_circuit(self.ansatz, params)
+        value = estimate_expectation(state, self.hamiltonian, shots, rng)
+        grads = parameter_shift_gradient(
+            self.ansatz, params, self.hamiltonian, shots=shots, rng=rng
+        )
+        return float(value), grads
+
+
+class UnitaryLearningModel:
+    """Learn a target unitary from (input state, output state) examples.
+
+    This is the characterization workload of the QNN literature: loss is
+    ``1 - mean fidelity`` between the ansatz output and ``U|phi_x>`` over the
+    training inputs.  Gradients flow through rank-one :class:`Projector`
+    observables via adjoint differentiation.
+    """
+
+    def __init__(
+        self,
+        ansatz: Circuit,
+        target_unitary: np.ndarray,
+        input_states: Sequence[np.ndarray],
+    ):
+        self.ansatz = ansatz
+        self.n_qubits = ansatz.n_qubits
+        dim = 2**ansatz.n_qubits
+        target_unitary = np.asarray(target_unitary, dtype=np.complex128)
+        if target_unitary.shape != (dim, dim):
+            raise ConfigError(
+                f"target unitary shape {target_unitary.shape} does not match "
+                f"{ansatz.n_qubits} qubits"
+            )
+        self.target_unitary = target_unitary
+        self.input_states = [np.asarray(s, dtype=np.complex128) for s in input_states]
+        if not self.input_states:
+            raise ConfigError("need at least one training input state")
+        for state in self.input_states:
+            if state.shape != (dim,):
+                raise ConfigError(f"input state shape {state.shape} != ({dim},)")
+        self._targets = [target_unitary @ state for state in self.input_states]
+
+    @property
+    def n_params(self) -> int:
+        return self.ansatz.n_params
+
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256()
+        digest.update(self.ansatz.fingerprint().encode())
+        digest.update(np.ascontiguousarray(self.target_unitary).tobytes())
+        for state in self.input_states:
+            digest.update(np.ascontiguousarray(state).tobytes())
+        return _fingerprint_parts("UnitaryLearningModel", digest.hexdigest())
+
+    def init_params(self, rng: np.random.Generator, scale: float = 0.1) -> np.ndarray:
+        return scale * rng.standard_normal(self.n_params)
+
+    def mean_fidelity(self, params: np.ndarray) -> float:
+        """Average ``|<target_x|V(params)|phi_x>|^2`` over training pairs."""
+        total = 0.0
+        for state, target in zip(self.input_states, self._targets):
+            out = apply_circuit(self.ansatz, params, initial_state=state)
+            total += float(abs(np.vdot(target, out)) ** 2)
+        return total / len(self.input_states)
+
+    def loss_and_grad(
+        self,
+        params: np.ndarray,
+        batch=None,
+        shots: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[float, np.ndarray]:
+        """``1 - mean fidelity`` and its gradient (exact only)."""
+        if shots is not None:
+            raise ConfigError(
+                "UnitaryLearningModel supports exact simulation only"
+            )
+        total_fid = 0.0
+        total_grad = np.zeros(self.n_params)
+        for state, target in zip(self.input_states, self._targets):
+            projector = Projector(target)
+            fid, grad = adjoint_gradient(
+                self.ansatz,
+                params,
+                projector,
+                initial_state=state,
+                return_value=True,
+            )
+            total_fid += fid
+            total_grad += grad
+        count = len(self.input_states)
+        return 1.0 - total_fid / count, -total_grad / count

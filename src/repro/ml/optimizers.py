@@ -1,0 +1,329 @@
+"""Classical optimizers with fully serializable state.
+
+Every optimizer exposes ``state_dict()`` / ``load_state_dict()`` returning a
+plain dict of scalars and numpy arrays (no callables, no pickle), so the
+checkpoint layer can persist optimizer *slots* (Adam moments etc.) next to
+the parameters.  Losing these slots is the classic resume bug this library
+exists to prevent: restarting Adam from step 0 with warm parameters both
+re-runs bias correction and forgets curvature, visibly kinking the loss
+curve.
+
+All optimizers minimize: ``params <- params - lr * update``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+import numpy as np
+
+from repro.errors import ConfigError, IncompatibleCheckpointError
+
+_REGISTRY: Dict[str, Type["Optimizer"]] = {}
+
+
+def register(cls: Type["Optimizer"]) -> Type["Optimizer"]:
+    """Class decorator adding an optimizer to the factory registry."""
+    _REGISTRY[cls.kind] = cls
+    return cls
+
+
+def optimizer_from_state_dict(state: Dict) -> "Optimizer":
+    """Reconstruct any registered optimizer from its ``state_dict()``."""
+    kind = state.get("kind")
+    if kind not in _REGISTRY:
+        raise IncompatibleCheckpointError(f"unknown optimizer kind {kind!r}")
+    optimizer = _REGISTRY[kind](**state.get("hyper", {}))
+    optimizer.load_state_dict(state)
+    return optimizer
+
+
+class Optimizer:
+    """Base class; subclasses define ``kind``, ``_update`` and slot handling."""
+
+    kind = "base"
+
+    def __init__(self, lr: float = 0.01):
+        if lr <= 0:
+            raise ConfigError(f"learning rate must be > 0, got {lr}")
+        self.lr = float(lr)
+        self.t = 0
+
+    # -- stepping --------------------------------------------------------------
+
+    def step(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        """Return updated parameters; advances internal slots."""
+        params = np.asarray(params, dtype=np.float64)
+        grads = np.asarray(grads, dtype=np.float64)
+        if params.shape != grads.shape:
+            raise ConfigError(
+                f"params shape {params.shape} != grads shape {grads.shape}"
+            )
+        self.t += 1
+        return params - self.lr * self._update(params, grads)
+
+    def _update(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- state -----------------------------------------------------------------
+
+    def hyperparameters(self) -> Dict:
+        """Constructor arguments (JSON scalars only)."""
+        return {"lr": self.lr}
+
+    def _slots(self) -> Dict:
+        """Mutable slot values: numpy arrays and scalars."""
+        return {"t": self.t}
+
+    def _load_slots(self, slots: Dict) -> None:
+        self.t = int(slots["t"])
+
+    def state_dict(self) -> Dict:
+        """Complete serializable state: kind + hyperparameters + slots."""
+        return {
+            "kind": self.kind,
+            "hyper": self.hyperparameters(),
+            "slots": self._slots(),
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore slots (and hyperparameters) from ``state_dict()`` output."""
+        if state.get("kind") != self.kind:
+            raise IncompatibleCheckpointError(
+                f"optimizer state is for {state.get('kind')!r}, "
+                f"this optimizer is {self.kind!r}"
+            )
+        for name, value in state.get("hyper", {}).items():
+            setattr(self, name, value)
+        self._load_slots(dict(state.get("slots", {})))
+
+    def reset(self) -> None:
+        """Drop all accumulated slots (fresh optimizer with same hyper)."""
+        self.load_state_dict(
+            {"kind": self.kind, "hyper": self.hyperparameters(), "slots": self._fresh_slots()}
+        )
+
+    def _fresh_slots(self) -> Dict:
+        return {"t": 0}
+
+    def __repr__(self) -> str:
+        hyper = ", ".join(f"{k}={v}" for k, v in self.hyperparameters().items())
+        return f"{type(self).__name__}({hyper}, t={self.t})"
+
+
+@register
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional (Nesterov) momentum."""
+
+    kind = "sgd"
+
+    def __init__(
+        self,
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError(f"momentum must be in [0, 1), got {momentum}")
+        if nesterov and momentum == 0.0:
+            raise ConfigError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+        self.weight_decay = float(weight_decay)
+        self._velocity: np.ndarray | None = None
+
+    def hyperparameters(self) -> Dict:
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "nesterov": self.nesterov,
+            "weight_decay": self.weight_decay,
+        }
+
+    def _update(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            grads = grads + self.weight_decay * params
+        if self.momentum == 0.0:
+            return grads
+        if self._velocity is None or self._velocity.shape != grads.shape:
+            self._velocity = np.zeros_like(grads)
+        self._velocity = self.momentum * self._velocity + grads
+        if self.nesterov:
+            return grads + self.momentum * self._velocity
+        return self._velocity
+
+    def _slots(self) -> Dict:
+        slots = super()._slots()
+        if self._velocity is not None:
+            slots["velocity"] = self._velocity.copy()
+        return slots
+
+    def _load_slots(self, slots: Dict) -> None:
+        super()._load_slots(slots)
+        velocity = slots.get("velocity")
+        self._velocity = None if velocity is None else np.array(velocity, dtype=np.float64)
+
+    def _fresh_slots(self) -> Dict:
+        return {"t": 0}
+
+
+@register
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with optional AMSGrad."""
+
+    kind = "adam"
+
+    def __init__(
+        self,
+        lr: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        amsgrad: bool = False,
+    ):
+        super().__init__(lr)
+        for name, beta in (("beta1", beta1), ("beta2", beta2)):
+            if not 0.0 <= beta < 1.0:
+                raise ConfigError(f"{name} must be in [0, 1), got {beta}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.amsgrad = bool(amsgrad)
+        self._m: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self._vmax: np.ndarray | None = None
+
+    def hyperparameters(self) -> Dict:
+        return {
+            "lr": self.lr,
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+            "amsgrad": self.amsgrad,
+        }
+
+    def _update(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        if self._m is None or self._m.shape != grads.shape:
+            self._m = np.zeros_like(grads)
+            self._v = np.zeros_like(grads)
+            self._vmax = np.zeros_like(grads)
+        self._m = self.beta1 * self._m + (1 - self.beta1) * grads
+        self._v = self.beta2 * self._v + (1 - self.beta2) * grads**2
+        m_hat = self._m / (1 - self.beta1**self.t)
+        if self.amsgrad:
+            self._vmax = np.maximum(self._vmax, self._v)
+            v_hat = self._vmax / (1 - self.beta2**self.t)
+        else:
+            v_hat = self._v / (1 - self.beta2**self.t)
+        return m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _slots(self) -> Dict:
+        slots = super()._slots()
+        if self._m is not None:
+            slots["m"] = self._m.copy()
+            slots["v"] = self._v.copy()
+            slots["vmax"] = self._vmax.copy()
+        return slots
+
+    def _load_slots(self, slots: Dict) -> None:
+        super()._load_slots(slots)
+        for attr, key in (("_m", "m"), ("_v", "v"), ("_vmax", "vmax")):
+            value = slots.get(key)
+            setattr(
+                self,
+                attr,
+                None if value is None else np.array(value, dtype=np.float64),
+            )
+
+
+@register
+class RMSProp(Optimizer):
+    """RMSProp (Tieleman & Hinton) with optional momentum."""
+
+    kind = "rmsprop"
+
+    def __init__(
+        self,
+        lr: float = 0.01,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        momentum: float = 0.0,
+    ):
+        super().__init__(lr)
+        if not 0.0 <= alpha < 1.0:
+            raise ConfigError(f"alpha must be in [0, 1), got {alpha}")
+        self.alpha = float(alpha)
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self._sq: np.ndarray | None = None
+        self._buf: np.ndarray | None = None
+
+    def hyperparameters(self) -> Dict:
+        return {
+            "lr": self.lr,
+            "alpha": self.alpha,
+            "eps": self.eps,
+            "momentum": self.momentum,
+        }
+
+    def _update(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        if self._sq is None or self._sq.shape != grads.shape:
+            self._sq = np.zeros_like(grads)
+            self._buf = np.zeros_like(grads)
+        self._sq = self.alpha * self._sq + (1 - self.alpha) * grads**2
+        scaled = grads / (np.sqrt(self._sq) + self.eps)
+        if self.momentum == 0.0:
+            return scaled
+        self._buf = self.momentum * self._buf + scaled
+        return self._buf
+
+    def _slots(self) -> Dict:
+        slots = super()._slots()
+        if self._sq is not None:
+            slots["sq"] = self._sq.copy()
+            slots["buf"] = self._buf.copy()
+        return slots
+
+    def _load_slots(self, slots: Dict) -> None:
+        super()._load_slots(slots)
+        for attr, key in (("_sq", "sq"), ("_buf", "buf")):
+            value = slots.get(key)
+            setattr(
+                self,
+                attr,
+                None if value is None else np.array(value, dtype=np.float64),
+            )
+
+
+@register
+class AdaGrad(Optimizer):
+    """AdaGrad (Duchi et al.): per-parameter lifetime gradient accumulation."""
+
+    kind = "adagrad"
+
+    def __init__(self, lr: float = 0.01, eps: float = 1e-10):
+        super().__init__(lr)
+        self.eps = float(eps)
+        self._acc: np.ndarray | None = None
+
+    def hyperparameters(self) -> Dict:
+        return {"lr": self.lr, "eps": self.eps}
+
+    def _update(self, params: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        if self._acc is None or self._acc.shape != grads.shape:
+            self._acc = np.zeros_like(grads)
+        self._acc = self._acc + grads**2
+        return grads / (np.sqrt(self._acc) + self.eps)
+
+    def _slots(self) -> Dict:
+        slots = super()._slots()
+        if self._acc is not None:
+            slots["acc"] = self._acc.copy()
+        return slots
+
+    def _load_slots(self, slots: Dict) -> None:
+        super()._load_slots(slots)
+        value = slots.get("acc")
+        self._acc = None if value is None else np.array(value, dtype=np.float64)

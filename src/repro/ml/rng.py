@@ -1,0 +1,58 @@
+"""Capture and restore numpy random-generator state.
+
+Bitwise-exact training resume requires the RNG stream to continue from the
+checkpointed position.  numpy's ``Generator.bit_generator.state`` is a plain
+JSON-able dict (Python ints are arbitrary precision, so PCG64's 128-bit state
+round-trips through JSON losslessly), which this module treats as the
+canonical serialized form.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import SerializationError
+
+_BIT_GENERATORS = {
+    "PCG64": np.random.PCG64,
+    "PCG64DXSM": np.random.PCG64DXSM,
+    "MT19937": np.random.MT19937,
+    "Philox": np.random.Philox,
+    "SFC64": np.random.SFC64,
+}
+
+
+def capture_rng_state(rng: np.random.Generator) -> Dict:
+    """Deep-copy the generator's full internal state as a JSON-able dict."""
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def restore_rng_state(rng: np.random.Generator, state: Dict) -> None:
+    """Restore a state captured by :func:`capture_rng_state` in place."""
+    expected = rng.bit_generator.state["bit_generator"]
+    found = state.get("bit_generator")
+    if found != expected:
+        raise SerializationError(
+            f"RNG state is for bit generator {found!r}, "
+            f"trainer uses {expected!r}"
+        )
+    rng.bit_generator.state = copy.deepcopy(state)
+
+
+def generator_from_state(state: Dict) -> np.random.Generator:
+    """Construct a fresh Generator positioned at a captured state."""
+    name = state.get("bit_generator")
+    if name not in _BIT_GENERATORS:
+        raise SerializationError(f"unknown bit generator {name!r}")
+    bit_generator = _BIT_GENERATORS[name]()
+    bit_generator.state = copy.deepcopy(state)
+    return np.random.Generator(bit_generator)
+
+
+def spawn_child(rng: np.random.Generator, key: int) -> np.random.Generator:
+    """Derive a deterministic child generator (e.g. for the batch sampler)."""
+    seed = int(rng.integers(0, 2**63 - 1)) ^ (key * 0x9E3779B97F4A7C15 % 2**63)
+    return np.random.default_rng(seed)

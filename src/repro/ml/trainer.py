@@ -1,0 +1,197 @@
+"""Hook-based hybrid training loop with capturable state.
+
+The trainer is the integration point for checkpointing: hooks receive every
+completed step, and :meth:`Trainer.capture` / :meth:`Trainer.restore` convert
+between live training state and :class:`repro.core.snapshot.TrainingSnapshot`.
+
+Determinism contract: given equal (model, optimizer, config, initial params)
+and equal snapshots, the continuation of training is *bitwise identical*.
+Everything stochastic — shot sampling and batch shuffling — draws from
+generators that the snapshot captures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.snapshot import TrainingSnapshot
+from repro.errors import ConfigError
+from repro.ml.dataset import ArrayDataset, BatchSampler
+from repro.ml.rng import capture_rng_state, restore_rng_state
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Static training configuration (not part of the snapshot)."""
+
+    batch_size: int = 8
+    seed: int = 1234
+    shots: Optional[int] = None
+    capture_statevector: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.shots is not None and self.shots < 1:
+            raise ConfigError(f"shots must be >= 1, got {self.shots}")
+
+
+@dataclass(frozen=True)
+class StepInfo:
+    """Per-step report delivered to hooks."""
+
+    step: int
+    loss: float
+    grad_norm: float
+    seconds: float
+
+
+class Trainer:
+    """Drives ``optimizer.step`` over ``model.loss_and_grad`` with hooks."""
+
+    def __init__(
+        self,
+        model,
+        optimizer,
+        dataset: Optional[ArrayDataset] = None,
+        config: Optional[TrainerConfig] = None,
+        params: Optional[np.ndarray] = None,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.dataset = dataset
+        self.config = config or TrainerConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        if params is None:
+            params = model.init_params(self.rng)
+        self.params = np.array(params, dtype=np.float64, copy=True)
+        if self.params.shape != (model.n_params,):
+            raise ConfigError(
+                f"params shape {self.params.shape} does not match model "
+                f"({model.n_params} parameters)"
+            )
+        self.sampler = (
+            BatchSampler(len(dataset), self.config.batch_size, seed=self.config.seed + 1)
+            if dataset is not None
+            else None
+        )
+        self.step_count = 0
+        self.loss_history: List[float] = []
+        self.wall_time = 0.0
+
+    # -- stepping --------------------------------------------------------------
+
+    def train_step(self) -> StepInfo:
+        """Run one optimization step and return its report."""
+        started = time.perf_counter()
+        batch = None
+        if self.dataset is not None:
+            batch = self.dataset.batch(self.sampler.next_batch())
+        loss, grads = self.model.loss_and_grad(
+            self.params, batch, shots=self.config.shots, rng=self.rng
+        )
+        self.params = self.optimizer.step(self.params, grads)
+        self.step_count += 1
+        self.loss_history.append(float(loss))
+        seconds = time.perf_counter() - started
+        self.wall_time += seconds
+        return StepInfo(
+            step=self.step_count,
+            loss=float(loss),
+            grad_norm=float(np.linalg.norm(grads)),
+            seconds=seconds,
+        )
+
+    def run(self, n_steps: int, hooks: Sequence = ()) -> List[StepInfo]:
+        """Run ``n_steps`` steps, delivering each report to every hook.
+
+        Hooks are duck-typed: any of ``on_run_start(trainer)``,
+        ``on_step_end(trainer, info)``, ``on_run_end(trainer)`` are called if
+        present.  Exceptions from hooks propagate (that is how failure
+        injection crashes a run), but ``on_run_end`` always fires so async
+        writers can drain.
+        """
+        if n_steps < 0:
+            raise ConfigError(f"n_steps must be >= 0, got {n_steps}")
+        for hook in hooks:
+            handler = getattr(hook, "on_run_start", None)
+            if handler is not None:
+                handler(self)
+        reports = []
+        try:
+            for _ in range(n_steps):
+                info = self.train_step()
+                reports.append(info)
+                for hook in hooks:
+                    handler = getattr(hook, "on_step_end", None)
+                    if handler is not None:
+                        handler(self, info)
+        finally:
+            for hook in hooks:
+                handler = getattr(hook, "on_run_end", None)
+                if handler is not None:
+                    handler(self)
+        return reports
+
+    # -- snapshot interface -------------------------------------------------------
+
+    def capture(self) -> TrainingSnapshot:
+        """Capture complete training state into a snapshot (deep copies).
+
+        With ``capture_statevector`` enabled the model's warm-start cache is
+        included: a pure-state model contributes its ``statevector``; a
+        density-matrix model (e.g. :class:`repro.ml.models.NoisyVQEModel`)
+        contributes ``extra["density_matrix"]`` instead.
+        """
+        statevector = None
+        extra = {}
+        if self.config.capture_statevector:
+            provider = getattr(self.model, "statevector", None)
+            if provider is not None:
+                statevector = provider(self.params)
+            else:
+                density_provider = getattr(self.model, "density_matrix", None)
+                if density_provider is not None:
+                    extra["density_matrix"] = density_provider(self.params)
+        return TrainingSnapshot(
+            step=self.step_count,
+            params=self.params.copy(),
+            optimizer_state=self.optimizer.state_dict(),
+            rng_state=capture_rng_state(self.rng),
+            model_fingerprint=self.model.fingerprint(),
+            sampler_state=self.sampler.state() if self.sampler else None,
+            loss_history=np.asarray(self.loss_history, dtype=np.float64),
+            statevector=statevector,
+            wall_time=self.wall_time,
+            extra=extra,
+        )
+
+    def restore(self, snapshot: TrainingSnapshot) -> None:
+        """Restore a snapshot, refusing incompatible model structures."""
+        snapshot.check_compatible(self.model.fingerprint())
+        if snapshot.params.shape != (self.model.n_params,):
+            raise ConfigError(
+                f"snapshot params shape {snapshot.params.shape} does not "
+                f"match model ({self.model.n_params} parameters)"
+            )
+        self.params = snapshot.params.copy()
+        self.optimizer.load_state_dict(snapshot.optimizer_state)
+        restore_rng_state(self.rng, snapshot.rng_state)
+        if snapshot.sampler_state is not None:
+            if self.sampler is None:
+                raise ConfigError(
+                    "snapshot has sampler state but trainer has no dataset"
+                )
+            self.sampler.restore_state(snapshot.sampler_state)
+        self.step_count = snapshot.step
+        self.loss_history = [float(x) for x in snapshot.loss_history]
+        self.wall_time = snapshot.wall_time
+
+    @property
+    def last_loss(self) -> Optional[float]:
+        """Most recent training loss, if any step has run."""
+        return self.loss_history[-1] if self.loss_history else None

@@ -1,0 +1,34 @@
+"""Matrix-product-state compression for statevector checkpoints.
+
+Public surface:
+
+* :class:`~repro.mps.tensor_train.MatrixProductState` — TT-SVD factoring,
+  contraction, optimal recompression, Schmidt diagnostics;
+* :class:`~repro.mps.transform.MPSTransform` — the QCKPT tensor transform
+  (instances ``mps-8/16/32/64`` and ``mps-exact`` are pre-registered);
+* :mod:`~repro.mps.entanglement` — dense-state entanglement diagnostics used
+  to predict compressibility before checkpointing.
+"""
+
+from repro.mps.entanglement import (
+    entanglement_entropy,
+    entropy_profile,
+    required_bond_dimension,
+    schmidt_rank,
+    schmidt_values,
+    truncation_fidelity_lower_bound,
+)
+from repro.mps.tensor_train import MatrixProductState, mps_nbytes
+from repro.mps.transform import MPSTransform
+
+__all__ = [
+    "MatrixProductState",
+    "MPSTransform",
+    "mps_nbytes",
+    "schmidt_values",
+    "schmidt_rank",
+    "entanglement_entropy",
+    "entropy_profile",
+    "required_bond_dimension",
+    "truncation_fidelity_lower_bound",
+]

@@ -1,0 +1,370 @@
+"""Matrix-product-state (tensor-train) representation of statevectors.
+
+An ``n``-qubit statevector of ``2**n`` amplitudes is factored into ``n``
+rank-3 *cores* ``A[k]`` of shape ``(D_{k-1}, 2, D_k)`` with ``D_0 = D_n = 1``:
+
+    psi[s_0 .. s_{n-1}] = A[0][:, s_0, :] @ A[1][:, s_1, :] @ ... @ A[n-1]
+
+The maximal internal *bond dimension* ``chi = max_k D_k`` is set by the
+entanglement across each bipartition: product states have ``chi = 1``, a GHZ
+state has ``chi = 2``, and a generic (Haar-random) state needs ``chi =
+2**(n//2)`` — at which point the MPS is as large as the dense vector.
+
+For the checkpoint layer this is a *structure-aware lossy compressor*: states
+produced by shallow variational circuits carry little entanglement, so
+truncating the bond dimension stores them in ``O(n * chi^2)`` memory with a
+fidelity loss that is exactly the discarded Schmidt weight.  See
+:mod:`repro.mps.transform` for the QCKPT integration.
+
+Decomposition is the standard TT-SVD sweep; recompression is a
+left-canonicalization (QR) sweep followed by a right-to-left SVD truncation
+sweep, which is optimal for a given target bond dimension.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CircuitError, ConfigError
+
+COMPLEX_DTYPE = np.complex128
+
+
+def _validate_statevector(state: np.ndarray) -> int:
+    state = np.asarray(state)
+    if state.ndim != 1:
+        raise CircuitError(f"statevector must be 1-D, got shape {state.shape}")
+    n = int(round(math.log2(state.shape[0]))) if state.shape[0] else 0
+    if state.shape[0] < 2 or 2**n != state.shape[0]:
+        raise CircuitError(
+            f"statevector length {state.shape[0]} is not a power of two >= 2"
+        )
+    return n
+
+
+# Singular values below s_max * _RANK_EPS are numerical noise of the SVD, not
+# entanglement; dropping them keeps exact decompositions at minimal rank
+# (product states stay bond-1, GHZ stays bond-2) at a fidelity cost ~1e-28.
+_RANK_EPS = 1e-14
+
+
+def _split_rank(
+    singular_values: np.ndarray,
+    max_bond: Optional[int],
+    tol: Optional[float],
+) -> int:
+    """Number of singular values to keep at one cut.
+
+    ``tol`` is an absolute bound on the *total discarded weight*
+    ``sqrt(sum of discarded s^2)`` at this cut; ``max_bond`` caps the rank.
+    At least one value is always kept.
+    """
+    keep = singular_values.shape[0]
+    if keep and singular_values[0] > 0:
+        keep = int(
+            np.count_nonzero(singular_values > singular_values[0] * _RANK_EPS)
+        )
+    if tol is not None and tol > 0:
+        squared = singular_values**2
+        # Largest suffix whose squared sum stays within tol^2.
+        tail = np.cumsum(squared[::-1])[::-1]
+        within = np.nonzero(tail <= tol * tol)[0]
+        if within.size:
+            keep = min(keep, int(within[0]))
+    if max_bond is not None:
+        keep = min(keep, max_bond)
+    return max(keep, 1)
+
+
+class MatrixProductState:
+    """An open-boundary MPS over qubits (physical dimension 2).
+
+    Instances are immutable by convention: all operations return new objects.
+    ``cores[k]`` has shape ``(D_{k-1}, 2, D_k)`` with ``D_0 = D_n = 1``.
+    """
+
+    def __init__(self, cores: Sequence[np.ndarray]):
+        if not cores:
+            raise ConfigError("an MPS needs at least one core")
+        checked: List[np.ndarray] = []
+        previous = 1
+        for index, core in enumerate(cores):
+            core = np.asarray(core, dtype=COMPLEX_DTYPE)
+            if core.ndim != 3 or core.shape[1] != 2:
+                raise ConfigError(
+                    f"core {index} has shape {core.shape}, expected (Dl, 2, Dr)"
+                )
+            if core.shape[0] != previous:
+                raise ConfigError(
+                    f"core {index} left bond {core.shape[0]} does not match "
+                    f"previous right bond {previous}"
+                )
+            previous = core.shape[2]
+            checked.append(core)
+        if previous != 1:
+            raise ConfigError(f"last core must have right bond 1, got {previous}")
+        self.cores: Tuple[np.ndarray, ...] = tuple(checked)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_statevector(
+        cls,
+        state: np.ndarray,
+        max_bond: Optional[int] = None,
+        tol: Optional[float] = None,
+    ) -> "MatrixProductState":
+        """TT-SVD decomposition of ``state``, truncating each cut.
+
+        With ``max_bond=None, tol=None`` the decomposition is numerically
+        exact (machine precision).  ``tol`` bounds the discarded Schmidt
+        weight per cut; ``max_bond`` caps every bond dimension.
+        """
+        n = _validate_statevector(state)
+        if max_bond is not None and max_bond < 1:
+            raise ConfigError(f"max_bond must be >= 1, got {max_bond}")
+        if tol is not None and tol < 0:
+            raise ConfigError(f"tol must be >= 0, got {tol}")
+        remainder = np.asarray(state, dtype=COMPLEX_DTYPE).reshape(1, -1)
+        cores: List[np.ndarray] = []
+        rank = 1
+        for _ in range(n - 1):
+            matrix = remainder.reshape(rank * 2, -1)
+            u, s, vh = np.linalg.svd(matrix, full_matrices=False)
+            keep = _split_rank(s, max_bond, tol)
+            cores.append(u[:, :keep].reshape(rank, 2, keep))
+            remainder = s[:keep, None] * vh[:keep]
+            rank = keep
+        cores.append(remainder.reshape(rank, 2, 1))
+        return cls(cores)
+
+    @classmethod
+    def product_state(cls, amplitudes: Sequence[np.ndarray]) -> "MatrixProductState":
+        """Bond-1 MPS of a tensor product of single-qubit states."""
+        cores = []
+        for qubit in amplitudes:
+            qubit = np.asarray(qubit, dtype=COMPLEX_DTYPE)
+            if qubit.shape != (2,):
+                raise ConfigError(
+                    f"product_state factors must have shape (2,), got {qubit.shape}"
+                )
+            cores.append(qubit.reshape(1, 2, 1))
+        return cls(cores)
+
+    @classmethod
+    def zero_state(cls, n_qubits: int) -> "MatrixProductState":
+        """``|0...0>`` as a bond-1 MPS."""
+        if n_qubits < 1:
+            raise ConfigError(f"n_qubits must be >= 1, got {n_qubits}")
+        return cls.product_state([np.array([1.0, 0.0])] * n_qubits)
+
+    # -- basic queries ----------------------------------------------------------
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self.cores)
+
+    @property
+    def bond_dims(self) -> Tuple[int, ...]:
+        """Internal bond dimensions ``(D_1, ..., D_{n-1})``."""
+        return tuple(core.shape[2] for core in self.cores[:-1])
+
+    @property
+    def max_bond(self) -> int:
+        """Largest internal bond dimension (1 for a single-qubit MPS)."""
+        dims = self.bond_dims
+        return max(dims) if dims else 1
+
+    def nbytes(self) -> int:
+        """Total bytes held by the cores."""
+        return int(sum(core.nbytes for core in self.cores))
+
+    def __repr__(self) -> str:
+        return (
+            f"MatrixProductState(n_qubits={self.n_qubits}, "
+            f"max_bond={self.max_bond}, nbytes={self.nbytes()})"
+        )
+
+    # -- contraction ---------------------------------------------------------------
+
+    def to_statevector(self) -> np.ndarray:
+        """Contract the cores into a dense ``2**n`` statevector."""
+        dense = self.cores[0][0]  # (2, D_1)
+        for core in self.cores[1:]:
+            dense = np.tensordot(dense, core, axes=([-1], [0]))
+        return np.ascontiguousarray(dense).reshape(-1)
+
+    def overlap(self, other: "MatrixProductState") -> complex:
+        """Inner product ``<self|other>`` via transfer-matrix contraction."""
+        if other.n_qubits != self.n_qubits:
+            raise ConfigError(
+                f"overlap of {self.n_qubits}- and {other.n_qubits}-qubit MPS"
+            )
+        env = np.ones((1, 1), dtype=COMPLEX_DTYPE)
+        for mine, theirs in zip(self.cores, other.cores):
+            # env[a, b] -> sum_{a, s, b} conj(A[a, s, a']) env[a, b] B[b, s, b']
+            grown = np.tensordot(env, theirs, axes=([1], [0]))  # (a, s, b')
+            env = np.tensordot(mine.conj(), grown, axes=([0, 1], [0, 1]))
+        return complex(env[0, 0])
+
+    def norm(self) -> float:
+        """2-norm of the encoded vector."""
+        return float(math.sqrt(max(self.overlap(self).real, 0.0)))
+
+    def normalize(self) -> "MatrixProductState":
+        """Return a unit-norm copy (scales the last core)."""
+        norm = self.norm()
+        if norm == 0:
+            raise CircuitError("cannot normalize a zero MPS")
+        cores = list(self.cores)
+        cores[-1] = cores[-1] / norm
+        return MatrixProductState(cores)
+
+    def fidelity(self, other: "MatrixProductState") -> float:
+        """``|<self|other>|^2`` normalized by both norms."""
+        denominator = self.norm() * other.norm()
+        if denominator == 0:
+            raise CircuitError("fidelity of a zero MPS is undefined")
+        return float(abs(self.overlap(other)) ** 2 / denominator**2)
+
+    # -- recompression ----------------------------------------------------------
+
+    def canonicalize(self) -> "MatrixProductState":
+        """Left-canonical form via a QR sweep (norm moves to the last core)."""
+        cores = [core.copy() for core in self.cores]
+        for site in range(len(cores) - 1):
+            left, phys, right = cores[site].shape
+            q, r = np.linalg.qr(cores[site].reshape(left * phys, right))
+            rank = q.shape[1]
+            cores[site] = q.reshape(left, phys, rank)
+            cores[site + 1] = np.tensordot(r, cores[site + 1], axes=([1], [0]))
+        return MatrixProductState(cores)
+
+    def truncate(
+        self,
+        max_bond: Optional[int] = None,
+        tol: Optional[float] = None,
+    ) -> "MatrixProductState":
+        """Optimally recompress to ``max_bond`` / ``tol``.
+
+        Left-canonicalizes, then sweeps right-to-left with per-cut SVD
+        truncation.  For a left-canonical MPS this sweep discards exactly the
+        smallest Schmidt weights at every cut.
+        """
+        if max_bond is not None and max_bond < 1:
+            raise ConfigError(f"max_bond must be >= 1, got {max_bond}")
+        if tol is not None and tol < 0:
+            raise ConfigError(f"tol must be >= 0, got {tol}")
+        cores = [core.copy() for core in self.canonicalize().cores]
+        for site in range(len(cores) - 1, 0, -1):
+            left, phys, right = cores[site].shape
+            u, s, vh = np.linalg.svd(
+                cores[site].reshape(left, phys * right), full_matrices=False
+            )
+            keep = _split_rank(s, max_bond, tol)
+            cores[site] = vh[:keep].reshape(keep, phys, right)
+            absorbed = u[:, :keep] * s[:keep]
+            cores[site - 1] = np.tensordot(
+                cores[site - 1], absorbed, axes=([2], [0])
+            )
+        return MatrixProductState(cores)
+
+    # -- Schmidt data -----------------------------------------------------------
+
+    def schmidt_values(self, cut: int) -> np.ndarray:
+        """Schmidt coefficients across the bipartition after qubit ``cut-1``.
+
+        ``cut`` ranges over ``1 .. n_qubits - 1``.  Computed by
+        left-canonicalizing up to the cut and taking the SVD of the bond
+        matrix, so cost is polynomial in the bond dimension.
+        """
+        if not 1 <= cut <= self.n_qubits - 1:
+            raise ConfigError(
+                f"cut must be in [1, {self.n_qubits - 1}], got {cut}"
+            )
+        canonical = self.canonicalize()
+        # In left-canonical form the Schmidt values at cut k are the singular
+        # values of the matricized remainder; sweep from the right to build
+        # the right-canonical environment at the cut.
+        cores = [core.copy() for core in canonical.cores]
+        for site in range(len(cores) - 1, cut, -1):
+            left, phys, right = cores[site].shape
+            u, s, vh = np.linalg.svd(
+                cores[site].reshape(left, phys * right), full_matrices=False
+            )
+            cores[site] = vh.reshape(s.shape[0], phys, right)
+            cores[site - 1] = np.tensordot(
+                cores[site - 1], u * s, axes=([2], [0])
+            )
+        left, phys, right = cores[cut].shape
+        singular = np.linalg.svd(
+            cores[cut].reshape(left, phys * right), compute_uv=False
+        )
+        return singular
+
+    def entanglement_entropy(self, cut: int, base: float = 2.0) -> float:
+        """Von Neumann entropy of the bipartition at ``cut`` (default: bits)."""
+        squared = self.schmidt_values(cut) ** 2
+        total = squared.sum()
+        if total <= 0:
+            raise CircuitError("entropy of a zero MPS is undefined")
+        probabilities = squared / total
+        positive = probabilities[probabilities > 1e-300]
+        return float(-(positive * np.log(positive)).sum() / math.log(base))
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_flat(self) -> Tuple[np.ndarray, List[List[int]]]:
+        """Concatenate all cores into one 1-D complex array plus shapes."""
+        flat = np.concatenate([core.reshape(-1) for core in self.cores])
+        shapes = [list(core.shape) for core in self.cores]
+        return flat, shapes
+
+    @classmethod
+    def from_flat(
+        cls, flat: np.ndarray, shapes: Sequence[Sequence[int]]
+    ) -> "MatrixProductState":
+        """Inverse of :meth:`to_flat`."""
+        flat = np.asarray(flat, dtype=COMPLEX_DTYPE)
+        cores = []
+        offset = 0
+        for shape in shapes:
+            shape = tuple(int(d) for d in shape)
+            if len(shape) != 3:
+                raise ConfigError(f"core shape {shape} is not rank 3")
+            size = int(np.prod(shape))
+            chunk = flat[offset : offset + size]
+            if chunk.shape[0] != size:
+                raise ConfigError(
+                    "flat MPS buffer is shorter than its shape directory"
+                )
+            cores.append(chunk.reshape(shape))
+            offset += size
+        if offset != flat.shape[0]:
+            raise ConfigError(
+                f"flat MPS buffer has {flat.shape[0] - offset} trailing values"
+            )
+        return cls(cores)
+
+
+def mps_nbytes(n_qubits: int, max_bond: int) -> int:
+    """Worst-case MPS bytes for ``n_qubits`` at bond cap ``max_bond``.
+
+    Bonds grow as ``2, 4, 8, ...`` from both ends before saturating at
+    ``max_bond``; this mirrors what :meth:`MatrixProductState.from_statevector`
+    produces for a generic state under a bond cap.
+    """
+    if n_qubits < 1:
+        raise ConfigError(f"n_qubits must be >= 1, got {n_qubits}")
+    if max_bond < 1:
+        raise ConfigError(f"max_bond must be >= 1, got {max_bond}")
+    total = 0
+    left = 1
+    for site in range(n_qubits):
+        right = min(2 ** (site + 1), 2 ** (n_qubits - site - 1), max_bond)
+        total += left * 2 * right
+        left = right
+    return total * np.dtype(COMPLEX_DTYPE).itemsize

@@ -1,0 +1,37 @@
+"""Quantum-simulation substrate.
+
+This subpackage is a from-scratch replacement for the statevector simulators
+(PennyLane ``default.qubit`` / Qiskit ``Aer statevector``) that the paper's
+experiments run on.  It provides:
+
+* :mod:`repro.quantum.gates` — gate matrices, derivatives, and shift rules,
+* :mod:`repro.quantum.circuit` — a parameterized circuit IR with JSON
+  round-tripping and a structural fingerprint used by checkpoint compatibility
+  checks,
+* :mod:`repro.quantum.statevector` — the simulation engine,
+* :mod:`repro.quantum.observables` — Pauli strings and Hamiltonians,
+* :mod:`repro.quantum.sampling` — shot-based expectation estimation,
+* :mod:`repro.quantum.templates` — variational ansatz builders,
+* :mod:`repro.quantum.encoding` — classical-data feature maps,
+* :mod:`repro.quantum.haar` — Haar-random states and unitaries,
+* :mod:`repro.quantum.noise` — stochastic noise channels (trajectories),
+* :mod:`repro.quantum.density` — exact density-matrix evolution (the
+  deterministic reference for noisy simulation, O(4^n) memory).
+"""
+
+from repro.quantum.circuit import Circuit, Operation, Param
+from repro.quantum.density import DensityMatrixSimulator
+from repro.quantum.observables import Hamiltonian, PauliString
+from repro.quantum.statevector import StatevectorSimulator, apply_gate, zero_state
+
+__all__ = [
+    "Circuit",
+    "Operation",
+    "Param",
+    "PauliString",
+    "Hamiltonian",
+    "StatevectorSimulator",
+    "DensityMatrixSimulator",
+    "apply_gate",
+    "zero_state",
+]

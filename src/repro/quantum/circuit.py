@@ -1,0 +1,396 @@
+"""Parameterized circuit intermediate representation.
+
+A :class:`Circuit` is an ordered list of :class:`Operation` objects over a
+fixed number of qubits.  Gate parameters are either concrete floats
+(constants, e.g. encoded data) or :class:`Param` references into a flat
+trainable parameter vector that is supplied at execution time.  This split is
+what makes circuits *checkpointable*: the trainable vector lives in the
+training snapshot while the circuit structure is captured once as a JSON
+document plus a SHA-256 fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import CircuitError
+from repro.quantum import gates as _gates
+
+
+@dataclass(frozen=True)
+class Param:
+    """Reference to entry ``index`` of the trainable parameter vector."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise CircuitError(f"parameter index must be >= 0, got {self.index}")
+
+
+ParamValue = Union[float, Param]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single gate application: name, target wires, and parameter slots."""
+
+    gate: str
+    wires: Tuple[int, ...]
+    params: Tuple[ParamValue, ...] = ()
+
+    def __post_init__(self) -> None:
+        spec = _gates.spec_for(self.gate)
+        object.__setattr__(self, "gate", spec.name)
+        object.__setattr__(self, "wires", tuple(int(w) for w in self.wires))
+        object.__setattr__(self, "params", tuple(self.params))
+        if len(self.wires) != spec.n_wires:
+            raise CircuitError(
+                f"gate {spec.name!r} acts on {spec.n_wires} wire(s), "
+                f"got {len(self.wires)}"
+            )
+        if len(set(self.wires)) != len(self.wires):
+            raise CircuitError(f"duplicate wires in {self.wires}")
+        if len(self.params) != spec.n_params:
+            raise CircuitError(
+                f"gate {spec.name!r} takes {spec.n_params} parameter(s), "
+                f"got {len(self.params)}"
+            )
+        for p in self.params:
+            if not isinstance(p, (Param, float, int)):
+                raise CircuitError(f"invalid parameter value {p!r}")
+
+    @property
+    def is_trainable(self) -> bool:
+        """True when at least one parameter slot references the trainable vector."""
+        return any(isinstance(p, Param) for p in self.params)
+
+    def resolve(self, values: Sequence[float]) -> Tuple[float, ...]:
+        """Return concrete parameter values given the trainable vector."""
+        out = []
+        for p in self.params:
+            if isinstance(p, Param):
+                out.append(float(values[p.index]))
+            else:
+                out.append(float(p))
+        return tuple(out)
+
+    def matrix(self, values: Sequence[float] = ()) -> np.ndarray:
+        """Return the gate matrix with parameters resolved against ``values``."""
+        return _gates.matrix_for(self.gate, self.resolve(values))
+
+
+class Circuit:
+    """An ordered sequence of gate operations on ``n_qubits`` wires."""
+
+    def __init__(self, n_qubits: int):
+        if n_qubits < 1:
+            raise CircuitError(f"n_qubits must be >= 1, got {n_qubits}")
+        self.n_qubits = int(n_qubits)
+        self.ops: List[Operation] = []
+        self._n_params = 0
+
+    # -- construction -------------------------------------------------------
+
+    def new_param(self) -> Param:
+        """Allocate the next trainable parameter slot."""
+        param = Param(self._n_params)
+        self._n_params += 1
+        return param
+
+    def new_params(self, count: int) -> List[Param]:
+        """Allocate ``count`` consecutive trainable parameter slots."""
+        return [self.new_param() for _ in range(count)]
+
+    def append(
+        self,
+        gate: str,
+        wires: Sequence[int] | int,
+        params: Sequence[ParamValue] = (),
+    ) -> "Circuit":
+        """Append a gate; returns ``self`` for chaining."""
+        if isinstance(wires, int):
+            wires = (wires,)
+        op = Operation(gate, tuple(wires), tuple(params))
+        for w in op.wires:
+            if not 0 <= w < self.n_qubits:
+                raise CircuitError(
+                    f"wire {w} out of range for {self.n_qubits}-qubit circuit"
+                )
+        for p in op.params:
+            if isinstance(p, Param):
+                self._n_params = max(self._n_params, p.index + 1)
+        self.ops.append(op)
+        return self
+
+    # Convenience builders; each returns self for chaining. ------------------
+
+    def h(self, wire: int) -> "Circuit":
+        """Append a Hadamard gate on ``wire``."""
+        return self.append("h", wire)
+
+    def x(self, wire: int) -> "Circuit":
+        """Append a Pauli-X (NOT) gate on ``wire``."""
+        return self.append("x", wire)
+
+    def y(self, wire: int) -> "Circuit":
+        """Append a Pauli-Y gate on ``wire``."""
+        return self.append("y", wire)
+
+    def z(self, wire: int) -> "Circuit":
+        """Append a Pauli-Z gate on ``wire``."""
+        return self.append("z", wire)
+
+    def s(self, wire: int) -> "Circuit":
+        """Append an S (phase) gate on ``wire``."""
+        return self.append("s", wire)
+
+    def t(self, wire: int) -> "Circuit":
+        """Append a T (pi/8) gate on ``wire``."""
+        return self.append("t", wire)
+
+    def cnot(self, control: int, target: int) -> "Circuit":
+        """Append a CNOT with ``control`` and ``target``."""
+        return self.append("cnot", (control, target))
+
+    def cz(self, control: int, target: int) -> "Circuit":
+        """Append a controlled-Z between ``control`` and ``target``."""
+        return self.append("cz", (control, target))
+
+    def swap(self, a: int, b: int) -> "Circuit":
+        """Append a SWAP of wires ``a`` and ``b``."""
+        return self.append("swap", (a, b))
+
+    def toffoli(self, c1: int, c2: int, target: int) -> "Circuit":
+        """Append a Toffoli (CCX) with controls ``c1``, ``c2``."""
+        return self.append("toffoli", (c1, c2, target))
+
+    def rx(self, wire: int, theta: ParamValue) -> "Circuit":
+        """Append an X rotation ``exp(-i theta X / 2)`` on ``wire``."""
+        return self.append("rx", wire, (theta,))
+
+    def ry(self, wire: int, theta: ParamValue) -> "Circuit":
+        """Append a Y rotation ``exp(-i theta Y / 2)`` on ``wire``."""
+        return self.append("ry", wire, (theta,))
+
+    def rz(self, wire: int, theta: ParamValue) -> "Circuit":
+        """Append a Z rotation ``exp(-i theta Z / 2)`` on ``wire``."""
+        return self.append("rz", wire, (theta,))
+
+    def phase(self, wire: int, phi: ParamValue) -> "Circuit":
+        """Append a phase gate ``diag(1, e^{i phi})`` on ``wire``."""
+        return self.append("phase", wire, (phi,))
+
+    def rot(
+        self, wire: int, phi: ParamValue, theta: ParamValue, omega: ParamValue
+    ) -> "Circuit":
+        """Append a general rotation ``RZ(omega) RY(theta) RZ(phi)``."""
+        return self.append("rot", wire, (phi, theta, omega))
+
+    def crx(self, control: int, target: int, theta: ParamValue) -> "Circuit":
+        """Append a controlled RX (control on ``control``)."""
+        return self.append("crx", (control, target), (theta,))
+
+    def cry(self, control: int, target: int, theta: ParamValue) -> "Circuit":
+        """Append a controlled RY (control on ``control``)."""
+        return self.append("cry", (control, target), (theta,))
+
+    def crz(self, control: int, target: int, theta: ParamValue) -> "Circuit":
+        """Append a controlled RZ (control on ``control``)."""
+        return self.append("crz", (control, target), (theta,))
+
+    def cphase(self, control: int, target: int, phi: ParamValue) -> "Circuit":
+        """Append a controlled phase gate."""
+        return self.append("cphase", (control, target), (phi,))
+
+    def xx(self, a: int, b: int, theta: ParamValue) -> "Circuit":
+        """Append the Ising coupling ``exp(-i theta XX / 2)``."""
+        return self.append("xx", (a, b), (theta,))
+
+    def yy(self, a: int, b: int, theta: ParamValue) -> "Circuit":
+        """Append the Ising coupling ``exp(-i theta YY / 2)``."""
+        return self.append("yy", (a, b), (theta,))
+
+    def zz(self, a: int, b: int, theta: ParamValue) -> "Circuit":
+        """Append the Ising coupling ``exp(-i theta ZZ / 2)``."""
+        return self.append("zz", (a, b), (theta,))
+
+    # -- composition ---------------------------------------------------------
+
+    def extend(self, other: "Circuit") -> "Circuit":
+        """Append all operations of ``other`` (same width) to this circuit.
+
+        Trainable parameter indices of ``other`` are preserved, not re-based:
+        both circuits are assumed to share one parameter vector.
+        """
+        if other.n_qubits != self.n_qubits:
+            raise CircuitError(
+                f"cannot extend {self.n_qubits}-qubit circuit with "
+                f"{other.n_qubits}-qubit circuit"
+            )
+        for op in other.ops:
+            self.append(op.gate, op.wires, op.params)
+        return self
+
+    def copy(self) -> "Circuit":
+        """Return a structural copy sharing no mutable state."""
+        dup = Circuit(self.n_qubits)
+        dup.ops = list(self.ops)
+        dup._n_params = self._n_params
+        return dup
+
+    _SELF_INVERSE = {
+        "i", "x", "y", "z", "h", "cnot", "cz", "swap", "toffoli", "fredkin",
+    }
+    _INVERSE_NAME = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+
+    def adjoint(self) -> "Circuit":
+        """Return the inverse circuit (reversed order, inverted gates).
+
+        Parametric exponential-form gates invert by negating parameters; this
+        only works for concrete (constant) parameters, so circuits with
+        :class:`Param` slots cannot be inverted structurally.
+        """
+        inv = Circuit(self.n_qubits)
+        for op in reversed(self.ops):
+            if op.gate in self._SELF_INVERSE:
+                inv.append(op.gate, op.wires)
+            elif op.gate in self._INVERSE_NAME:
+                inv.append(self._INVERSE_NAME[op.gate], op.wires)
+            elif _gates.spec_for(op.gate).n_params > 0:
+                negated = []
+                for p in op.params:
+                    if isinstance(p, Param):
+                        raise CircuitError(
+                            "cannot invert a circuit with unbound Param slots"
+                        )
+                    negated.append(-float(p))
+                inv.append(op.gate, op.wires, tuple(negated))
+            else:
+                raise CircuitError(f"gate {op.gate!r} has no registered inverse")
+        return inv
+
+    def bind(self, values: Sequence[float]) -> "Circuit":
+        """Return a copy with every Param slot replaced by its concrete value."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.n_params,):
+            raise CircuitError(
+                f"expected {self.n_params} parameter values, got {values.shape}"
+            )
+        bound = Circuit(self.n_qubits)
+        for op in self.ops:
+            bound.append(op.gate, op.wires, op.resolve(values))
+        return bound
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def n_params(self) -> int:
+        """Size of the trainable parameter vector this circuit expects."""
+        return self._n_params
+
+    @property
+    def trainable_ops(self) -> List[Tuple[int, Operation]]:
+        """(position, op) pairs for operations with trainable parameters."""
+        return [(i, op) for i, op in enumerate(self.ops) if op.is_trainable]
+
+    def depth(self) -> int:
+        """Circuit depth: longest chain of gates over any wire."""
+        frontier = [0] * self.n_qubits
+        for op in self.ops:
+            layer = max(frontier[w] for w in op.wires) + 1
+            for w in op.wires:
+                frontier[w] = layer
+        return max(frontier, default=0)
+
+    def gate_counts(self) -> dict:
+        """Histogram of gate names."""
+        counts: dict = {}
+        for op in self.ops:
+            counts[op.gate] = counts.get(op.gate, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.ops)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return (
+            self.n_qubits == other.n_qubits
+            and self._n_params == other._n_params
+            and self.ops == other.ops
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(n_qubits={self.n_qubits}, n_ops={len(self.ops)}, "
+            f"n_params={self.n_params}, depth={self.depth()})"
+        )
+
+    # -- serialization --------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Serialize structure to a JSON-compatible dict."""
+        ops = []
+        for op in self.ops:
+            params = []
+            for p in op.params:
+                if isinstance(p, Param):
+                    params.append({"param": p.index})
+                else:
+                    params.append(float(p))
+            ops.append({"gate": op.gate, "wires": list(op.wires), "params": params})
+        return {
+            "n_qubits": self.n_qubits,
+            "n_params": self._n_params,
+            "ops": ops,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Circuit":
+        """Reconstruct a circuit from :meth:`to_json` output."""
+        try:
+            circuit = cls(int(data["n_qubits"]))
+            for entry in data["ops"]:
+                params: List[ParamValue] = []
+                for p in entry.get("params", []):
+                    if isinstance(p, dict):
+                        params.append(Param(int(p["param"])))
+                    else:
+                        params.append(float(p))
+                circuit.append(entry["gate"], tuple(entry["wires"]), tuple(params))
+            circuit._n_params = max(circuit._n_params, int(data.get("n_params", 0)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CircuitError(f"malformed circuit JSON: {exc}") from exc
+        return circuit
+
+    def fingerprint(self) -> str:
+        """SHA-256 hex digest of the canonical JSON structure.
+
+        Used by checkpoint compatibility checks: a snapshot is only resumable
+        into a trainer whose circuit has the identical fingerprint.
+        """
+        canonical = json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def concat(circuits: Iterable[Circuit]) -> Circuit:
+    """Concatenate same-width circuits into a new circuit (shared params)."""
+    iterator = iter(circuits)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise CircuitError("concat() requires at least one circuit") from None
+    out = first.copy()
+    for circuit in iterator:
+        out.extend(circuit)
+    return out

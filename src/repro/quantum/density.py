@@ -1,0 +1,344 @@
+"""Density-matrix simulation engine (exact noisy evolution).
+
+Where :mod:`repro.quantum.noise` *samples* noisy trajectories on pure states
+(O(2^n) memory, stochastic), this module evolves the full density matrix
+(O(4^n) memory, deterministic): gates act as ``rho -> U rho U†`` and Kraus
+channels as ``rho -> sum_i K_i rho K_i†`` with no sampling.  Exact noisy
+expectation values make it the reference the trajectory method is tested
+against, and the 4^n footprint is the worst case the checkpoint layer must
+handle (a 14-qubit density matrix is already 4 GiB of complex128).
+
+Layout: an ``n``-qubit density matrix is a ``(2**n, 2**n)`` complex128 array;
+reshaped to ``(2,) * 2n`` the first ``n`` axes are ket indices and the last
+``n`` are bra indices, with the same qubit-0-most-significant convention as
+:mod:`repro.quantum.statevector`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CircuitError
+from repro.quantum import gates as _gates
+from repro.quantum.circuit import Circuit
+from repro.quantum.noise import NoiseModel
+from repro.quantum.statevector import COMPLEX_DTYPE, n_qubits_of
+
+
+def zero_density(n_qubits: int) -> np.ndarray:
+    """``|0...0><0...0|`` on ``n_qubits`` wires."""
+    if n_qubits < 1:
+        raise CircuitError(f"n_qubits must be >= 1, got {n_qubits}")
+    dim = 2**n_qubits
+    rho = np.zeros((dim, dim), dtype=COMPLEX_DTYPE)
+    rho[0, 0] = 1.0
+    return rho
+
+
+def density_from_statevector(state: np.ndarray) -> np.ndarray:
+    """Outer product ``|psi><psi|`` of a pure state."""
+    n_qubits_of(state)  # validates shape
+    state = np.asarray(state, dtype=COMPLEX_DTYPE)
+    return np.outer(state, state.conj())
+
+
+def maximally_mixed(n_qubits: int) -> np.ndarray:
+    """``I / 2^n`` — the fixed point of the depolarizing channel."""
+    if n_qubits < 1:
+        raise CircuitError(f"n_qubits must be >= 1, got {n_qubits}")
+    dim = 2**n_qubits
+    return np.eye(dim, dtype=COMPLEX_DTYPE) / dim
+
+
+def n_qubits_of_density(rho: np.ndarray) -> int:
+    """Infer the qubit count of a density matrix, validating its shape."""
+    if rho.ndim != 2 or rho.shape[0] != rho.shape[1]:
+        raise CircuitError(f"shape {rho.shape} is not a square density matrix")
+    n = int(round(math.log2(rho.shape[0]))) if rho.shape[0] else 0
+    if rho.shape[0] < 2 or 2**n != rho.shape[0]:
+        raise CircuitError(
+            f"density dimension {rho.shape[0]} is not a power of two >= 2"
+        )
+    return n
+
+
+def is_density_matrix(rho: np.ndarray, atol: float = 1e-9) -> bool:
+    """Hermitian, unit trace, positive semi-definite (within ``atol``)."""
+    try:
+        n_qubits_of_density(rho)
+    except CircuitError:
+        return False
+    if not np.allclose(rho, rho.conj().T, atol=atol):
+        return False
+    if abs(np.trace(rho) - 1.0) > atol:
+        return False
+    eigenvalues = np.linalg.eigvalsh(rho)
+    return bool(eigenvalues.min() > -atol)
+
+
+def purity(rho: np.ndarray) -> float:
+    """``tr(rho^2)``: 1 for pure states, ``1/2^n`` for maximally mixed."""
+    n_qubits_of_density(rho)
+    return float(np.einsum("ij,ji->", rho, rho).real)
+
+
+def von_neumann_entropy(rho: np.ndarray, base: float = 2.0) -> float:
+    """``-tr(rho log rho)`` (default: bits)."""
+    n_qubits_of_density(rho)
+    eigenvalues = np.linalg.eigvalsh(rho)
+    positive = eigenvalues[eigenvalues > 1e-300]
+    return float(-(positive * np.log(positive)).sum() / math.log(base))
+
+
+# ---------------------------------------------------------------------------
+# Evolution
+# ---------------------------------------------------------------------------
+
+
+def _apply_matrix_ket(
+    tensor: np.ndarray, matrix: np.ndarray, wires: Sequence[int], n: int
+) -> np.ndarray:
+    """Apply ``matrix`` to the ket axes ``wires`` of a ``(2,)*2n`` tensor."""
+    k = len(wires)
+    gate = matrix.reshape((2,) * (2 * k))
+    moved = np.tensordot(gate, tensor, axes=(list(range(k, 2 * k)), list(wires)))
+    return np.moveaxis(moved, range(k), wires)
+
+
+def apply_gate_density(
+    rho: np.ndarray,
+    matrix: np.ndarray,
+    wires: Sequence[int],
+    n_qubits: Optional[int] = None,
+) -> np.ndarray:
+    """``U rho U†`` on the given wires; returns a new ``(dim, dim)`` array."""
+    if n_qubits is None:
+        n_qubits = n_qubits_of_density(rho)
+    k = len(wires)
+    if matrix.shape != (2**k, 2**k):
+        raise CircuitError(
+            f"matrix of shape {matrix.shape} does not act on {k} wire(s)"
+        )
+    dim = 2**n_qubits
+    tensor = rho.reshape((2,) * (2 * n_qubits))
+    tensor = _apply_matrix_ket(tensor, matrix, wires, n_qubits)
+    bra_wires = [n_qubits + w for w in wires]
+    tensor = _apply_matrix_ket(tensor, matrix.conj(), bra_wires, n_qubits)
+    return np.ascontiguousarray(tensor).reshape(dim, dim)
+
+
+def apply_kraus_density(
+    rho: np.ndarray,
+    kraus: Sequence[np.ndarray],
+    wires: Sequence[int],
+    n_qubits: Optional[int] = None,
+) -> np.ndarray:
+    """``sum_i K_i rho K_i†`` applied exactly (no trajectory sampling)."""
+    if n_qubits is None:
+        n_qubits = n_qubits_of_density(rho)
+    if not kraus:
+        raise CircuitError("Kraus channel needs at least one operator")
+    out = np.zeros_like(rho)
+    for operator in kraus:
+        out += apply_gate_density(rho, operator, wires, n_qubits)
+    return out
+
+
+def apply_circuit_density(
+    circuit: Circuit,
+    params: Optional[Sequence[float]] = None,
+    noise: Optional[NoiseModel] = None,
+    initial: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Evolve a density matrix through ``circuit`` with optional exact noise.
+
+    ``noise`` applies every enabled Kraus channel to each wire a gate
+    touches, after the gate — the same placement
+    :func:`repro.quantum.noise.run_noisy` samples, so trajectory averages
+    converge to this function's output.
+    """
+    values = np.zeros(circuit.n_params) if params is None else np.asarray(params)
+    if initial is None:
+        rho = zero_density(circuit.n_qubits)
+    else:
+        if n_qubits_of_density(initial) != circuit.n_qubits:
+            raise CircuitError(
+                f"initial density matrix has {n_qubits_of_density(initial)} "
+                f"qubits, circuit expects {circuit.n_qubits}"
+            )
+        rho = np.array(initial, dtype=COMPLEX_DTYPE, copy=True)
+    channels = noise.channels() if noise is not None else []
+    for op in circuit.ops:
+        rho = apply_gate_density(rho, op.matrix(values), op.wires, circuit.n_qubits)
+        for wire in op.wires:
+            for kraus in channels:
+                rho = apply_kraus_density(rho, kraus, (wire,), circuit.n_qubits)
+    return rho
+
+
+# ---------------------------------------------------------------------------
+# Measurement & reduction
+# ---------------------------------------------------------------------------
+
+
+def expectation_density(rho: np.ndarray, observable) -> float:
+    """``tr(rho O)`` for a PauliString/Hamiltonian/Projector observable.
+
+    Pauli strings contract directly against the ket axes (O(4^n) total);
+    rank-one projectors reduce to ``<t|rho|t>``; any other observable with an
+    ``apply(state)`` method falls back to column-wise application.
+    """
+    n = n_qubits_of_density(rho)
+    terms = getattr(observable, "terms", None)
+    if terms is not None:  # Hamiltonian: sum of Pauli strings
+        return float(sum(expectation_density(rho, term) for term in terms))
+    paulis = getattr(observable, "paulis", None)
+    if paulis is not None:  # PauliString: apply letters to the ket index
+        tensor = rho.reshape((2,) * (2 * n))
+        for wire, letter in paulis:
+            matrix = _gates.matrix_for(letter.lower())
+            tensor = _apply_matrix_ket(tensor, matrix, (wire,), n)
+        dim = 2**n
+        applied = tensor.reshape(dim, dim)
+        return float(observable.coeff * np.trace(applied).real)
+    target = getattr(observable, "target", None)
+    if target is not None:  # rank-one projector: <t|rho|t>
+        coeff = getattr(observable, "coeff", 1.0)
+        return float(coeff * np.vdot(target, rho @ target).real)
+    # Generic: tr(O rho) = sum_c (O rho[:, c])[c].
+    total = 0.0
+    for column in range(rho.shape[0]):
+        applied = observable.apply(np.ascontiguousarray(rho[:, column]))
+        total += float(applied[column].real)
+    return total
+
+
+def probabilities_density(
+    rho: np.ndarray, wires: Optional[Sequence[int]] = None
+) -> np.ndarray:
+    """Born-rule probabilities (the diagonal), optionally marginalized."""
+    n = n_qubits_of_density(rho)
+    probs = np.ascontiguousarray(np.diag(rho).real)
+    if wires is None:
+        return probs
+    wires = tuple(wires)
+    if len(set(wires)) != len(wires):
+        raise CircuitError(f"duplicate wires in {wires}")
+    for w in wires:
+        if not 0 <= w < n:
+            raise CircuitError(f"wire {w} out of range for {n}-qubit state")
+    tensor = probs.reshape((2,) * n)
+    keep = set(wires)
+    other_axes = tuple(axis for axis in range(n) if axis not in keep)
+    marginal = tensor.sum(axis=other_axes) if other_axes else tensor
+    perm = np.argsort(np.argsort(wires))
+    marginal = np.transpose(marginal, axes=tuple(perm))
+    return np.ascontiguousarray(marginal).reshape(-1)
+
+
+def partial_trace(rho: np.ndarray, keep: Sequence[int]) -> np.ndarray:
+    """Reduced density matrix on ``keep`` wires (in the order given)."""
+    n = n_qubits_of_density(rho)
+    keep = tuple(keep)
+    if not keep:
+        raise CircuitError("partial_trace must keep at least one wire")
+    if len(set(keep)) != len(keep):
+        raise CircuitError(f"duplicate wires in {keep}")
+    for w in keep:
+        if not 0 <= w < n:
+            raise CircuitError(f"wire {w} out of range for {n}-qubit state")
+    tensor = rho.reshape((2,) * (2 * n))
+    traced = sorted(set(range(n)) - set(keep), reverse=True)
+    for wire in traced:
+        tensor = np.trace(tensor, axis1=wire, axis2=wire + tensor.ndim // 2)
+    # Axes now correspond to kept wires in increasing order; permute to the
+    # caller's order on both ket and bra sides.
+    k = len(keep)
+    increasing = sorted(keep)
+    perm = [increasing.index(w) for w in keep]
+    tensor = np.transpose(tensor, axes=perm + [k + p for p in perm])
+    return np.ascontiguousarray(tensor).reshape(2**k, 2**k)
+
+
+def fidelity_density(rho: np.ndarray, sigma: np.ndarray) -> float:
+    """Uhlmann fidelity ``(tr sqrt(sqrt(rho) sigma sqrt(rho)))^2``.
+
+    Computed from the eigendecomposition of ``rho`` (no scipy ``sqrtm``):
+    ``sqrt(rho) = V sqrt(diag(w)) V†``.
+    """
+    if rho.shape != sigma.shape:
+        raise CircuitError(
+            f"fidelity of mismatched shapes {rho.shape} vs {sigma.shape}"
+        )
+    n_qubits_of_density(rho)
+    w, v = np.linalg.eigh(rho)
+    w = np.clip(w, 0.0, None)
+    sqrt_rho = (v * np.sqrt(w)) @ v.conj().T
+    inner = sqrt_rho @ sigma @ sqrt_rho
+    eigenvalues = np.clip(np.linalg.eigvalsh(inner), 0.0, None)
+    return float(np.sqrt(eigenvalues).sum() ** 2)
+
+
+def density_nbytes(n_qubits: int, dtype=COMPLEX_DTYPE) -> int:
+    """Bytes of an ``n_qubits`` density matrix (the 4^n worst case)."""
+    return int(4**n_qubits) * np.dtype(dtype).itemsize
+
+
+# ---------------------------------------------------------------------------
+# Simulator facade
+# ---------------------------------------------------------------------------
+
+
+class DensityMatrixSimulator:
+    """Exact (optionally noisy) density-matrix executor.
+
+    Mirrors :class:`repro.quantum.statevector.StatevectorSimulator`: stateless
+    between calls, all state lives in the returned arrays.  A ``noise`` model
+    fixed at construction applies to every execution.
+    """
+
+    def __init__(self, noise: Optional[NoiseModel] = None):
+        self.noise = noise
+
+    def run(
+        self,
+        circuit: Circuit,
+        params: Optional[Sequence[float]] = None,
+        initial: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Execute ``circuit`` and return the final density matrix."""
+        return apply_circuit_density(circuit, params, self.noise, initial)
+
+    def expectation(
+        self,
+        circuit: Circuit,
+        params: Optional[Sequence[float]],
+        observable,
+        initial: Optional[np.ndarray] = None,
+    ) -> float:
+        """Exact ``tr(rho O)`` after executing ``circuit``."""
+        return expectation_density(self.run(circuit, params, initial), observable)
+
+    def expectations(
+        self,
+        circuit: Circuit,
+        params: Optional[Sequence[float]],
+        observables: Iterable,
+        initial: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Expectations of several observables from one execution."""
+        rho = self.run(circuit, params, initial)
+        return np.array([expectation_density(rho, obs) for obs in observables])
+
+    def probabilities(
+        self,
+        circuit: Circuit,
+        params: Optional[Sequence[float]] = None,
+        wires: Optional[Sequence[int]] = None,
+        initial: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Measurement probabilities after executing ``circuit``."""
+        return probabilities_density(self.run(circuit, params, initial), wires)

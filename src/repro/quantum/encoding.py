@@ -1,0 +1,85 @@
+"""Classical-data feature maps (encoders).
+
+Encoders turn a classical feature vector into either a circuit prefix with
+*constant* gate parameters (angle/IQP/basis encoding) or directly into an
+initial statevector (amplitude encoding).  Encoded circuits carry no trainable
+parameters, so a model's full circuit is ``encoder(x) + ansatz(params)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CircuitError
+from repro.quantum.circuit import Circuit
+from repro.quantum.statevector import COMPLEX_DTYPE
+
+
+def angle_encoding(
+    x: Sequence[float], n_qubits: int, rotation: str = "ry"
+) -> Circuit:
+    """One rotation per qubit with angle ``x[i]`` (features cycle over wires)."""
+    if rotation not in {"rx", "ry", "rz"}:
+        raise CircuitError(f"rotation must be rx/ry/rz, got {rotation!r}")
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise CircuitError(f"feature vector must be 1-D and non-empty, got {x.shape}")
+    circuit = Circuit(n_qubits)
+    if rotation == "rz":
+        # RZ on |0> is a global phase; prepend H so the encoding is non-trivial.
+        for wire in range(n_qubits):
+            circuit.h(wire)
+    for i in range(max(n_qubits, x.size)):
+        wire = i % n_qubits
+        circuit.append(rotation, wire, (float(x[i % x.size]),))
+    return circuit
+
+
+def iqp_encoding(x: Sequence[float], n_qubits: int, depth: int = 1) -> Circuit:
+    """IQP-style encoding: H layer, RZ(x_i), then ZZ(x_i * x_j) couplings."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size < n_qubits:
+        x = np.resize(x, n_qubits)
+    circuit = Circuit(n_qubits)
+    for _ in range(depth):
+        for wire in range(n_qubits):
+            circuit.h(wire)
+        for wire in range(n_qubits):
+            circuit.rz(wire, float(x[wire]))
+        for a in range(n_qubits - 1):
+            b = a + 1
+            circuit.zz(a, b, float(x[a] * x[b]))
+    return circuit
+
+
+def basis_encoding(bits: Sequence[int], n_qubits: int) -> Circuit:
+    """X gates on wires whose bit is 1."""
+    circuit = Circuit(n_qubits)
+    for wire, bit in enumerate(bits):
+        if wire >= n_qubits:
+            raise CircuitError(
+                f"bitstring of length {len(bits)} exceeds {n_qubits} qubits"
+            )
+        if bit not in (0, 1):
+            raise CircuitError(f"bits must be 0/1, got {bit!r}")
+        if bit:
+            circuit.x(wire)
+    return circuit
+
+
+def amplitude_state(x: Sequence[float], n_qubits: int) -> np.ndarray:
+    """Normalize ``x`` (zero-padded) into a ``2**n_qubits`` statevector."""
+    x = np.asarray(x, dtype=np.float64)
+    dim = 2**n_qubits
+    if x.size > dim:
+        raise CircuitError(
+            f"feature vector of size {x.size} exceeds 2^{n_qubits} amplitudes"
+        )
+    padded = np.zeros(dim, dtype=COMPLEX_DTYPE)
+    padded[: x.size] = x
+    norm = np.linalg.norm(padded)
+    if norm == 0:
+        raise CircuitError("cannot amplitude-encode the zero vector")
+    return padded / norm

@@ -1,0 +1,355 @@
+"""Gate definitions: matrices, analytic derivatives, and shift rules.
+
+Conventions
+-----------
+* Matrices act on the tensor ordering of the wires they are applied to; the
+  *first* wire in an operation's wire list is the most significant bit of the
+  matrix index.  ``CNOT`` therefore has its control on the first wire.
+* Parametric rotations follow the physics convention
+  ``R_P(theta) = exp(-i * theta * P / 2)``.
+* Every parametric gate registers an analytic derivative so that adjoint
+  differentiation is exact, plus a parameter-shift rule classification
+  (``"two-term"`` or ``"four-term"``) used by shot-based gradients.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CircuitError
+
+COMPLEX_DTYPE = np.complex128
+
+_SQRT2 = math.sqrt(2.0)
+
+# ---------------------------------------------------------------------------
+# Fixed (non-parametric) gate matrices
+# ---------------------------------------------------------------------------
+
+I2 = np.eye(2, dtype=COMPLEX_DTYPE)
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=COMPLEX_DTYPE)
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=COMPLEX_DTYPE)
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=COMPLEX_DTYPE)
+HADAMARD = np.array([[1, 1], [1, -1]], dtype=COMPLEX_DTYPE) / _SQRT2
+S_GATE = np.array([[1, 0], [0, 1j]], dtype=COMPLEX_DTYPE)
+SDG_GATE = S_GATE.conj().T
+T_GATE = np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=COMPLEX_DTYPE)
+TDG_GATE = T_GATE.conj().T
+SX_GATE = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=COMPLEX_DTYPE)
+
+CNOT = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=COMPLEX_DTYPE
+)
+CZ = np.diag([1, 1, 1, -1]).astype(COMPLEX_DTYPE)
+SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=COMPLEX_DTYPE
+)
+ISWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=COMPLEX_DTYPE
+)
+TOFFOLI = np.eye(8, dtype=COMPLEX_DTYPE)
+TOFFOLI[[6, 7], :] = TOFFOLI[[7, 6], :]
+FREDKIN = np.eye(8, dtype=COMPLEX_DTYPE)
+FREDKIN[[5, 6], :] = FREDKIN[[6, 5], :]
+
+
+def controlled(matrix: np.ndarray) -> np.ndarray:
+    """Return the controlled version of ``matrix`` (control = first wire)."""
+    dim = matrix.shape[0]
+    out = np.eye(2 * dim, dtype=COMPLEX_DTYPE)
+    out[dim:, dim:] = matrix
+    return out
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """Check whether ``matrix`` is unitary within ``atol``."""
+    dim = matrix.shape[0]
+    return bool(np.allclose(matrix.conj().T @ matrix, np.eye(dim), atol=atol))
+
+
+# ---------------------------------------------------------------------------
+# Parametric gate matrices and analytic derivatives
+# ---------------------------------------------------------------------------
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about X: ``exp(-i theta X / 2)``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=COMPLEX_DTYPE)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about Y: ``exp(-i theta Y / 2)``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=COMPLEX_DTYPE)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about Z: ``exp(-i theta Z / 2)``."""
+    phase = np.exp(-0.5j * theta)
+    return np.array([[phase, 0], [0, phase.conjugate()]], dtype=COMPLEX_DTYPE)
+
+
+def phase_shift(phi: float) -> np.ndarray:
+    """Phase gate ``diag(1, e^{i phi})``."""
+    return np.array([[1, 0], [0, np.exp(1j * phi)]], dtype=COMPLEX_DTYPE)
+
+
+def rot(phi: float, theta: float, omega: float) -> np.ndarray:
+    """General single-qubit rotation ``RZ(omega) RY(theta) RZ(phi)``."""
+    return rz(omega) @ ry(theta) @ rz(phi)
+
+
+def crx(theta: float) -> np.ndarray:
+    """Controlled RX (control on first wire)."""
+    return controlled(rx(theta))
+
+
+def cry(theta: float) -> np.ndarray:
+    """Controlled RY (control on first wire)."""
+    return controlled(ry(theta))
+
+
+def crz(theta: float) -> np.ndarray:
+    """Controlled RZ (control on first wire)."""
+    return controlled(rz(theta))
+
+
+def cphase(phi: float) -> np.ndarray:
+    """Controlled phase gate ``diag(1, 1, 1, e^{i phi})``."""
+    return controlled(phase_shift(phi))
+
+
+def _two_qubit_pauli_rotation(pauli: np.ndarray, theta: float) -> np.ndarray:
+    kron = np.kron(pauli, pauli)
+    return (
+        math.cos(theta / 2) * np.eye(4, dtype=COMPLEX_DTYPE)
+        - 1j * math.sin(theta / 2) * kron
+    )
+
+
+def ising_xx(theta: float) -> np.ndarray:
+    """Two-qubit ``exp(-i theta X⊗X / 2)``."""
+    return _two_qubit_pauli_rotation(PAULI_X, theta)
+
+
+def ising_yy(theta: float) -> np.ndarray:
+    """Two-qubit ``exp(-i theta Y⊗Y / 2)``."""
+    return _two_qubit_pauli_rotation(PAULI_Y, theta)
+
+
+def ising_zz(theta: float) -> np.ndarray:
+    """Two-qubit ``exp(-i theta Z⊗Z / 2)``."""
+    return _two_qubit_pauli_rotation(PAULI_Z, theta)
+
+
+# --- analytic derivatives --------------------------------------------------
+
+
+def _pauli_rotation_derivative(pauli: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """d/dtheta exp(-i theta P / 2) = (-i P / 2) @ U."""
+    return -0.5j * pauli @ matrix
+
+
+def _d_rx(params: Sequence[float], k: int) -> np.ndarray:
+    return _pauli_rotation_derivative(PAULI_X, rx(params[0]))
+
+
+def _d_ry(params: Sequence[float], k: int) -> np.ndarray:
+    return _pauli_rotation_derivative(PAULI_Y, ry(params[0]))
+
+
+def _d_rz(params: Sequence[float], k: int) -> np.ndarray:
+    return _pauli_rotation_derivative(PAULI_Z, rz(params[0]))
+
+
+def _d_phase(params: Sequence[float], k: int) -> np.ndarray:
+    return np.array([[0, 0], [0, 1j * np.exp(1j * params[0])]], dtype=COMPLEX_DTYPE)
+
+
+def _d_rot(params: Sequence[float], k: int) -> np.ndarray:
+    phi, theta, omega = params
+    if k == 0:
+        return rz(omega) @ ry(theta) @ _pauli_rotation_derivative(PAULI_Z, rz(phi))
+    if k == 1:
+        return rz(omega) @ _pauli_rotation_derivative(PAULI_Y, ry(theta)) @ rz(phi)
+    return _pauli_rotation_derivative(PAULI_Z, rz(omega)) @ ry(theta) @ rz(phi)
+
+
+def _controlled_derivative(inner: np.ndarray) -> np.ndarray:
+    dim = inner.shape[0]
+    out = np.zeros((2 * dim, 2 * dim), dtype=COMPLEX_DTYPE)
+    out[dim:, dim:] = inner
+    return out
+
+
+def _d_crx(params: Sequence[float], k: int) -> np.ndarray:
+    return _controlled_derivative(_pauli_rotation_derivative(PAULI_X, rx(params[0])))
+
+
+def _d_cry(params: Sequence[float], k: int) -> np.ndarray:
+    return _controlled_derivative(_pauli_rotation_derivative(PAULI_Y, ry(params[0])))
+
+
+def _d_crz(params: Sequence[float], k: int) -> np.ndarray:
+    return _controlled_derivative(_pauli_rotation_derivative(PAULI_Z, rz(params[0])))
+
+
+def _d_cphase(params: Sequence[float], k: int) -> np.ndarray:
+    return _controlled_derivative(_d_phase(params, 0))
+
+
+def _d_ising(pauli: np.ndarray, theta: float) -> np.ndarray:
+    kron = np.kron(pauli, pauli)
+    return -0.5j * kron @ _two_qubit_pauli_rotation(pauli, theta)
+
+
+def _d_xx(params: Sequence[float], k: int) -> np.ndarray:
+    return _d_ising(PAULI_X, params[0])
+
+
+def _d_yy(params: Sequence[float], k: int) -> np.ndarray:
+    return _d_ising(PAULI_Y, params[0])
+
+
+def _d_zz(params: Sequence[float], k: int) -> np.ndarray:
+    return _d_ising(PAULI_Z, params[0])
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+TWO_TERM = "two-term"
+FOUR_TERM = "four-term"
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate type.
+
+    Attributes
+    ----------
+    name:
+        Canonical lower-case gate name used by the circuit IR.
+    n_wires:
+        Number of wires the gate acts on.
+    n_params:
+        Number of real parameters (0 for fixed gates).
+    matrix_fn:
+        Callable mapping a parameter sequence to the gate matrix.  Fixed
+        gates ignore the argument.
+    derivative_fn:
+        Callable ``(params, k) -> dU/dparams[k]`` or ``None`` for fixed gates.
+    shift_rule:
+        ``"two-term"``, ``"four-term"``, or ``None``; classification used by
+        the parameter-shift differentiator.
+    """
+
+    name: str
+    n_wires: int
+    n_params: int
+    matrix_fn: Callable[[Sequence[float]], np.ndarray]
+    derivative_fn: Callable[[Sequence[float], int], np.ndarray] | None = None
+    shift_rule: str | None = None
+
+
+def _fixed(name: str, n_wires: int, matrix: np.ndarray) -> GateSpec:
+    frozen = matrix.copy()
+    frozen.setflags(write=False)
+    return GateSpec(name, n_wires, 0, lambda params, _m=frozen: _m)
+
+
+def _parametric(
+    name: str,
+    n_wires: int,
+    n_params: int,
+    fn: Callable[..., np.ndarray],
+    dfn: Callable[[Sequence[float], int], np.ndarray],
+    shift_rule: str,
+) -> GateSpec:
+    return GateSpec(
+        name,
+        n_wires,
+        n_params,
+        lambda params, _f=fn: _f(*params),
+        dfn,
+        shift_rule,
+    )
+
+
+REGISTRY: Dict[str, GateSpec] = {
+    spec.name: spec
+    for spec in [
+        _fixed("i", 1, I2),
+        _fixed("x", 1, PAULI_X),
+        _fixed("y", 1, PAULI_Y),
+        _fixed("z", 1, PAULI_Z),
+        _fixed("h", 1, HADAMARD),
+        _fixed("s", 1, S_GATE),
+        _fixed("sdg", 1, SDG_GATE),
+        _fixed("t", 1, T_GATE),
+        _fixed("tdg", 1, TDG_GATE),
+        _fixed("sx", 1, SX_GATE),
+        _fixed("cnot", 2, CNOT),
+        _fixed("cz", 2, CZ),
+        _fixed("swap", 2, SWAP),
+        _fixed("iswap", 2, ISWAP),
+        _fixed("toffoli", 3, TOFFOLI),
+        _fixed("fredkin", 3, FREDKIN),
+        _parametric("rx", 1, 1, rx, _d_rx, TWO_TERM),
+        _parametric("ry", 1, 1, ry, _d_ry, TWO_TERM),
+        _parametric("rz", 1, 1, rz, _d_rz, TWO_TERM),
+        _parametric("phase", 1, 1, phase_shift, _d_phase, TWO_TERM),
+        _parametric("rot", 1, 3, rot, _d_rot, TWO_TERM),
+        _parametric("crx", 2, 1, crx, _d_crx, FOUR_TERM),
+        _parametric("cry", 2, 1, cry, _d_cry, FOUR_TERM),
+        _parametric("crz", 2, 1, crz, _d_crz, FOUR_TERM),
+        _parametric("cphase", 2, 1, cphase, _d_cphase, TWO_TERM),
+        _parametric("xx", 2, 1, ising_xx, _d_xx, TWO_TERM),
+        _parametric("yy", 2, 1, ising_yy, _d_yy, TWO_TERM),
+        _parametric("zz", 2, 1, ising_zz, _d_zz, TWO_TERM),
+    ]
+}
+
+
+def spec_for(name: str) -> GateSpec:
+    """Look up the :class:`GateSpec` for ``name`` (case-insensitive)."""
+    try:
+        return REGISTRY[name.lower()]
+    except KeyError:
+        raise CircuitError(f"unknown gate {name!r}") from None
+
+
+def matrix_for(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Build the unitary matrix for gate ``name`` with ``params``."""
+    spec = spec_for(name)
+    if len(params) != spec.n_params:
+        raise CircuitError(
+            f"gate {name!r} takes {spec.n_params} parameter(s), got {len(params)}"
+        )
+    return spec.matrix_fn(tuple(params))
+
+
+def derivative_for(name: str, params: Sequence[float], k: int) -> np.ndarray:
+    """Analytic derivative of gate ``name`` with respect to its k-th parameter."""
+    spec = spec_for(name)
+    if spec.derivative_fn is None:
+        raise CircuitError(f"gate {name!r} has no parameters to differentiate")
+    if not 0 <= k < spec.n_params:
+        raise CircuitError(
+            f"gate {name!r} parameter index {k} out of range [0, {spec.n_params})"
+        )
+    return spec.derivative_fn(tuple(params), k)
+
+
+# Parameter-shift coefficients for the four-term rule (controlled rotations).
+FOUR_TERM_COEFFS: Tuple[float, float] = (
+    (_SQRT2 + 1) / (4 * _SQRT2),
+    (_SQRT2 - 1) / (4 * _SQRT2),
+)
+FOUR_TERM_SHIFTS: Tuple[float, float] = (math.pi / 2, 3 * math.pi / 2)

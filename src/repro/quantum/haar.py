@@ -1,0 +1,86 @@
+"""Haar-random states, unitaries, and random circuits.
+
+Used by the benchmark workload generator: the paper's statevector checkpoints
+are "generic" quantum states, for which Haar-random vectors are the standard
+stand-in.  The unitary sampler follows Mezzadri's QR-based construction, which
+is exactly Haar-distributed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import CircuitError
+from repro.quantum.circuit import Circuit
+from repro.quantum.observables import PauliString
+from repro.quantum.statevector import COMPLEX_DTYPE
+
+
+def haar_unitary(dim: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample a Haar-random ``dim x dim`` unitary (Mezzadri 2007)."""
+    if dim < 1:
+        raise CircuitError(f"dim must be >= 1, got {dim}")
+    ginibre = rng.standard_normal((dim, dim)) + 1j * rng.standard_normal((dim, dim))
+    q, r = np.linalg.qr(ginibre)
+    phases = np.diagonal(r).copy()
+    phases = phases / np.abs(phases)
+    return (q * phases).astype(COMPLEX_DTYPE)
+
+
+def haar_state(n_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample a Haar-random ``n_qubits`` pure state."""
+    dim = 2**n_qubits
+    vec = rng.standard_normal(dim) + 1j * rng.standard_normal(dim)
+    return (vec / np.linalg.norm(vec)).astype(COMPLEX_DTYPE)
+
+
+def random_pauli_string(
+    n_qubits: int,
+    rng: np.random.Generator,
+    max_weight: Optional[int] = None,
+    coeff_scale: float = 1.0,
+) -> PauliString:
+    """Sample a random non-identity Pauli string of bounded weight."""
+    if max_weight is None:
+        max_weight = n_qubits
+    weight = int(rng.integers(1, max_weight + 1))
+    wires = rng.choice(n_qubits, size=weight, replace=False)
+    letters = rng.choice(["X", "Y", "Z"], size=weight)
+    coeff = float(coeff_scale * rng.standard_normal())
+    if coeff == 0.0:
+        coeff = coeff_scale
+    return PauliString(coeff, tuple((int(w), str(p)) for w, p in zip(wires, letters)))
+
+
+_FIXED_POOL_1Q = ["h", "x", "y", "z", "s", "t"]
+_FIXED_POOL_2Q = ["cnot", "cz", "swap"]
+_PARAM_POOL_1Q = ["rx", "ry", "rz"]
+_PARAM_POOL_2Q = ["crx", "crz", "zz"]
+
+
+def random_circuit(
+    n_qubits: int,
+    n_gates: int,
+    rng: np.random.Generator,
+    p_two_qubit: float = 0.3,
+    parametric: bool = False,
+) -> Circuit:
+    """Sample a random circuit; with ``parametric`` gates get constant angles."""
+    circuit = Circuit(n_qubits)
+    for _ in range(n_gates):
+        two_qubit = n_qubits > 1 and rng.random() < p_two_qubit
+        if two_qubit:
+            pool = _PARAM_POOL_2Q if parametric else _FIXED_POOL_2Q
+            gate = str(rng.choice(pool))
+            wires = tuple(int(w) for w in rng.choice(n_qubits, 2, replace=False))
+        else:
+            pool = _PARAM_POOL_1Q if parametric else _FIXED_POOL_1Q
+            gate = str(rng.choice(pool))
+            wires = (int(rng.integers(n_qubits)),)
+        if parametric:
+            circuit.append(gate, wires, (float(rng.uniform(0, 2 * np.pi)),))
+        else:
+            circuit.append(gate, wires)
+    return circuit

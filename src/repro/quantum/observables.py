@@ -1,0 +1,391 @@
+"""Pauli-string observables and Hamiltonians.
+
+A :class:`PauliString` is a real coefficient times a tensor product of single
+qubit Pauli operators on named wires (identity elsewhere).  A
+:class:`Hamiltonian` is a list of Pauli strings.  Expectation values are
+computed exactly against statevectors; shot-based estimation lives in
+:mod:`repro.quantum.sampling`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ObservableError
+from repro.quantum import gates as _gates
+from repro.quantum.statevector import apply_gate, n_qubits_of
+
+_PAULI_MATRICES = {
+    "X": _gates.PAULI_X,
+    "Y": _gates.PAULI_Y,
+    "Z": _gates.PAULI_Z,
+}
+
+# Single-qubit Pauli multiplication table: (a, b) -> (phase, product letter).
+_PAULI_PRODUCT: Dict[Tuple[str, str], Tuple[complex, str]] = {
+    ("X", "X"): (1, "I"),
+    ("Y", "Y"): (1, "I"),
+    ("Z", "Z"): (1, "I"),
+    ("X", "Y"): (1j, "Z"),
+    ("Y", "X"): (-1j, "Z"),
+    ("Y", "Z"): (1j, "X"),
+    ("Z", "Y"): (-1j, "X"),
+    ("Z", "X"): (1j, "Y"),
+    ("X", "Z"): (-1j, "Y"),
+}
+
+
+@dataclass(frozen=True)
+class PauliString:
+    """``coeff * P_{w1} ⊗ P_{w2} ⊗ ...`` with identity on unlisted wires."""
+
+    coeff: float = 1.0
+    paulis: Tuple[Tuple[int, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        normalized = []
+        for wire, letter in self.paulis:
+            wire = int(wire)
+            letter = letter.upper()
+            if letter == "I":
+                continue
+            if letter not in _PAULI_MATRICES:
+                raise ObservableError(f"invalid Pauli letter {letter!r}")
+            if wire < 0:
+                raise ObservableError(f"invalid wire {wire}")
+            if wire in seen:
+                raise ObservableError(f"duplicate wire {wire} in Pauli string")
+            seen.add(wire)
+            normalized.append((wire, letter))
+        normalized.sort()
+        object.__setattr__(self, "paulis", tuple(normalized))
+        object.__setattr__(self, "coeff", float(self.coeff))
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_label(cls, label: str, coeff: float = 1.0) -> "PauliString":
+        """Parse labels like ``"X0 Y2 Z5"`` (identity: empty string or "I")."""
+        paulis = []
+        for token in label.split():
+            if token.upper() == "I":
+                continue
+            letter, wire_text = token[0], token[1:]
+            try:
+                paulis.append((int(wire_text), letter))
+            except ValueError:
+                raise ObservableError(f"malformed Pauli token {token!r}") from None
+        return cls(coeff, tuple(paulis))
+
+    @classmethod
+    def identity(cls, coeff: float = 1.0) -> "PauliString":
+        """The identity observable with weight ``coeff``."""
+        return cls(coeff, ())
+
+    # -- algebra ----------------------------------------------------------------
+
+    def __mul__(self, scalar: float) -> "PauliString":
+        return PauliString(self.coeff * float(scalar), self.paulis)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "PauliString":
+        return self * -1.0
+
+    def __add__(self, other: "PauliString") -> "Hamiltonian":
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return Hamiltonian([self, other]).simplify()
+
+    def compose(self, other: "PauliString") -> "PauliString":
+        """Operator product ``self @ other`` with Pauli phase tracking.
+
+        The result must have a real overall phase (products like ``X@Y = iZ``
+        with an imaginary phase cannot be represented as a real-coefficient
+        observable and raise :class:`ObservableError`).
+        """
+        phase: complex = 1.0
+        letters: Dict[int, str] = dict(self.paulis)
+        for wire, letter in other.paulis:
+            if wire not in letters:
+                letters[wire] = letter
+                continue
+            extra_phase, product = _PAULI_PRODUCT.get(
+                (letters[wire], letter), (1.0, "I")
+            )
+            phase *= extra_phase
+            if product == "I":
+                del letters[wire]
+            else:
+                letters[wire] = product
+        total = phase * self.coeff * other.coeff
+        if abs(total.imag) > 1e-12:
+            raise ObservableError(
+                "Pauli product has imaginary coefficient; not an observable"
+            )
+        return PauliString(total.real, tuple(letters.items()))
+
+    # -- evaluation ---------------------------------------------------------------
+
+    @property
+    def wires(self) -> Tuple[int, ...]:
+        """Wires on which this string acts non-trivially."""
+        return tuple(w for w, _ in self.paulis)
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.paulis
+
+    def max_wire(self) -> int:
+        """Largest wire index used (-1 for the identity)."""
+        return max((w for w, _ in self.paulis), default=-1)
+
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        """Return ``coeff * P |state>``."""
+        n = n_qubits_of(state)
+        if self.max_wire() >= n:
+            raise ObservableError(
+                f"observable uses wire {self.max_wire()}, state has {n} qubits"
+            )
+        out = state
+        for wire, letter in self.paulis:
+            out = apply_gate(out, _PAULI_MATRICES[letter], (wire,), n)
+        if out is state:
+            out = state.copy()
+        return self.coeff * out
+
+    def expectation(self, state: np.ndarray) -> float:
+        """Exact ``<state| coeff * P |state>`` (real by construction)."""
+        if self.is_identity:
+            return self.coeff * float(np.vdot(state, state).real)
+        return float(np.vdot(state, self.apply(state)).real)
+
+    def matrix(self, n_qubits: int) -> np.ndarray:
+        """Dense ``2^n x 2^n`` matrix (small systems only)."""
+        if self.max_wire() >= n_qubits:
+            raise ObservableError(
+                f"observable uses wire {self.max_wire()}, asked for {n_qubits} qubits"
+            )
+        letters = dict(self.paulis)
+        out = np.array([[self.coeff]], dtype=np.complex128)
+        for wire in range(n_qubits):
+            factor = _PAULI_MATRICES.get(letters.get(wire, "I"), _gates.I2)
+            out = np.kron(out, factor)
+        return out
+
+    def commutes_qubitwise(self, other: "PauliString") -> bool:
+        """Qubit-wise commutation: on every shared wire the letters agree."""
+        mine = dict(self.paulis)
+        for wire, letter in other.paulis:
+            if wire in mine and mine[wire] != letter:
+                return False
+        return True
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {"coeff": self.coeff, "paulis": [[w, p] for w, p in self.paulis]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PauliString":
+        try:
+            return cls(
+                float(data["coeff"]),
+                tuple((int(w), str(p)) for w, p in data["paulis"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ObservableError(f"malformed PauliString JSON: {exc}") from exc
+
+    def label(self) -> str:
+        """Human-readable label, e.g. ``"X0 Z3"`` (identity: ``"I"``)."""
+        if not self.paulis:
+            return "I"
+        return " ".join(f"{p}{w}" for w, p in self.paulis)
+
+
+class Projector:
+    """Rank-one observable ``coeff * |target><target|``.
+
+    Its expectation against ``|psi>`` is the fidelity ``coeff * |<t|psi>|^2``,
+    which is the loss used when learning a target state or unitary.  Supports
+    the same ``apply``/``expectation`` protocol as :class:`PauliString`, so
+    adjoint differentiation works unchanged.
+    """
+
+    def __init__(self, target: np.ndarray, coeff: float = 1.0):
+        target = np.asarray(target, dtype=np.complex128)
+        norm = np.linalg.norm(target)
+        if norm == 0:
+            raise ObservableError("projector target must be non-zero")
+        self.target = target / norm
+        self.coeff = float(coeff)
+
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        """Return ``coeff * |t><t|state>``."""
+        if state.shape != self.target.shape:
+            raise ObservableError(
+                f"state shape {state.shape} != target shape {self.target.shape}"
+            )
+        return self.coeff * np.vdot(self.target, state) * self.target
+
+    def expectation(self, state: np.ndarray) -> float:
+        """``coeff * |<target|state>|^2``."""
+        if state.shape != self.target.shape:
+            raise ObservableError(
+                f"state shape {state.shape} != target shape {self.target.shape}"
+            )
+        return self.coeff * float(abs(np.vdot(self.target, state)) ** 2)
+
+
+class Hamiltonian:
+    """A real linear combination of Pauli strings."""
+
+    def __init__(self, terms: Iterable[PauliString] = ()):
+        self.terms: List[PauliString] = list(terms)
+        for term in self.terms:
+            if not isinstance(term, PauliString):
+                raise ObservableError(f"not a PauliString: {term!r}")
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_terms(cls, terms: Mapping[str, float]) -> "Hamiltonian":
+        """Build from a ``{label: coefficient}`` mapping."""
+        return cls(
+            PauliString.from_label(label, coeff) for label, coeff in terms.items()
+        )
+
+    @classmethod
+    def transverse_field_ising(
+        cls, n_qubits: int, coupling: float = 1.0, field: float = 1.0
+    ) -> "Hamiltonian":
+        """Open-chain TFIM: ``-J sum Z_i Z_{i+1} - h sum X_i``."""
+        terms = [
+            PauliString(-coupling, ((i, "Z"), (i + 1, "Z")))
+            for i in range(n_qubits - 1)
+        ]
+        terms += [PauliString(-field, ((i, "X"),)) for i in range(n_qubits)]
+        return cls(terms)
+
+    @classmethod
+    def heisenberg_chain(
+        cls, n_qubits: int, coupling: float = 1.0
+    ) -> "Hamiltonian":
+        """Open-chain Heisenberg model: ``J sum (XX + YY + ZZ)``."""
+        terms = []
+        for i in range(n_qubits - 1):
+            for letter in "XYZ":
+                terms.append(
+                    PauliString(coupling, ((i, letter), (i + 1, letter)))
+                )
+        return cls(terms)
+
+    @classmethod
+    def h2_minimal(cls) -> "Hamiltonian":
+        """Two-qubit reduced H2 Hamiltonian at R = 0.735 Å (STO-3G).
+
+        Standard textbook coefficients; exact ground energy is approximately
+        -1.85727 Ha, which VQE examples use as the convergence target.
+        """
+        return cls.from_terms(
+            {
+                "I": -1.052373245772859,
+                "Z0": 0.39793742484318045,
+                "Z1": -0.39793742484318045,
+                "Z0 Z1": -0.01128010425623538,
+                "X0 X1": 0.18093119978423156,
+            }
+        )
+
+    # -- algebra ----------------------------------------------------------------
+
+    def __add__(self, other: "Hamiltonian | PauliString") -> "Hamiltonian":
+        if isinstance(other, PauliString):
+            other = Hamiltonian([other])
+        if not isinstance(other, Hamiltonian):
+            return NotImplemented
+        return Hamiltonian(self.terms + other.terms)
+
+    def __mul__(self, scalar: float) -> "Hamiltonian":
+        return Hamiltonian(term * float(scalar) for term in self.terms)
+
+    __rmul__ = __mul__
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __iter__(self):
+        return iter(self.terms)
+
+    def simplify(self, atol: float = 0.0) -> "Hamiltonian":
+        """Merge duplicate Pauli patterns and drop |coeff| <= atol terms."""
+        merged: Dict[Tuple[Tuple[int, str], ...], float] = {}
+        for term in self.terms:
+            merged[term.paulis] = merged.get(term.paulis, 0.0) + term.coeff
+        terms = [
+            PauliString(coeff, paulis)
+            for paulis, coeff in merged.items()
+            if abs(coeff) > atol
+        ]
+        return Hamiltonian(terms)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def max_wire(self) -> int:
+        return max((term.max_wire() for term in self.terms), default=-1)
+
+    def expectation(self, state: np.ndarray) -> float:
+        """Exact expectation value against a statevector."""
+        return float(sum(term.expectation(state) for term in self.terms))
+
+    def matrix(self, n_qubits: int) -> np.ndarray:
+        """Dense matrix of the full Hamiltonian (small systems only)."""
+        dim = 2**n_qubits
+        out = np.zeros((dim, dim), dtype=np.complex128)
+        for term in self.terms:
+            out += term.matrix(n_qubits)
+        return out
+
+    def ground_energy(self, n_qubits: int) -> float:
+        """Exact minimum eigenvalue by dense diagonalization."""
+        eigvals = np.linalg.eigvalsh(self.matrix(n_qubits))
+        return float(eigvals[0])
+
+    def qubitwise_commuting_groups(self) -> List[List[PauliString]]:
+        """Greedy grouping of terms into qubit-wise commuting sets.
+
+        Terms in one group can be estimated from the same shot budget because
+        they are diagonal in a common single-qubit measurement basis.
+        """
+        groups: List[List[PauliString]] = []
+        for term in self.terms:
+            for group in groups:
+                if all(term.commutes_qubitwise(member) for member in group):
+                    group.append(term)
+                    break
+            else:
+                groups.append([term])
+        return groups
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {"terms": [term.to_json() for term in self.terms]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Hamiltonian":
+        try:
+            return cls(PauliString.from_json(entry) for entry in data["terms"])
+        except (KeyError, TypeError) as exc:
+            raise ObservableError(f"malformed Hamiltonian JSON: {exc}") from exc
+
+    def __repr__(self) -> str:
+        preview = " + ".join(
+            f"{t.coeff:+.4g}*{t.label()}" for t in self.terms[:4]
+        )
+        suffix = " + ..." if len(self.terms) > 4 else ""
+        return f"Hamiltonian({preview}{suffix})"

@@ -1,0 +1,116 @@
+"""Variational ansatz templates.
+
+Each builder returns a fresh :class:`~repro.quantum.circuit.Circuit` whose
+trainable parameters are allocated contiguously from index 0.  The parameter
+count is available as ``circuit.n_params`` and is what the checkpointing layer
+snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CircuitError
+from repro.quantum.circuit import Circuit
+
+_ROTATION_GATES = {"rx", "ry", "rz"}
+
+
+def hardware_efficient(
+    n_qubits: int,
+    n_layers: int,
+    rotations: Sequence[str] = ("ry", "rz"),
+    entangler: str = "cnot",
+    ring: bool = True,
+) -> Circuit:
+    """Hardware-efficient ansatz: per-qubit rotations + entangling ladder.
+
+    Parameters per layer: ``n_qubits * len(rotations)``.
+    """
+    for gate in rotations:
+        if gate not in _ROTATION_GATES:
+            raise CircuitError(f"rotation gate must be one of {_ROTATION_GATES}")
+    if entangler not in {"cnot", "cz"}:
+        raise CircuitError(f"entangler must be 'cnot' or 'cz', got {entangler!r}")
+    circuit = Circuit(n_qubits)
+    for _layer in range(n_layers):
+        for wire in range(n_qubits):
+            for gate in rotations:
+                circuit.append(gate, wire, (circuit.new_param(),))
+        if n_qubits > 1:
+            last = n_qubits if ring and n_qubits > 2 else n_qubits - 1
+            for wire in range(last):
+                circuit.append(entangler, (wire, (wire + 1) % n_qubits))
+    return circuit
+
+
+def strongly_entangling(
+    n_qubits: int, n_layers: int, ranges: Sequence[int] | None = None
+) -> Circuit:
+    """Strongly entangling layers (Schuld et al.): Rot + ranged CNOT ring.
+
+    Parameters per layer: ``3 * n_qubits``.
+    """
+    if ranges is None:
+        ranges = [
+            (layer % max(1, n_qubits - 1)) + 1 for layer in range(n_layers)
+        ]
+    if len(ranges) != n_layers:
+        raise CircuitError(
+            f"expected {n_layers} entangling ranges, got {len(ranges)}"
+        )
+    circuit = Circuit(n_qubits)
+    for layer in range(n_layers):
+        for wire in range(n_qubits):
+            circuit.rot(
+                wire,
+                circuit.new_param(),
+                circuit.new_param(),
+                circuit.new_param(),
+            )
+        if n_qubits > 1:
+            r = ranges[layer] % n_qubits
+            if r == 0:
+                r = 1
+            for wire in range(n_qubits):
+                circuit.cnot(wire, (wire + r) % n_qubits)
+    return circuit
+
+
+def qaoa_maxcut(
+    n_qubits: int, edges: Iterable[Tuple[int, int]], n_layers: int
+) -> Circuit:
+    """QAOA ansatz for MaxCut: H layer, then alternating ZZ-cost / RX-mixer.
+
+    Parameters: ``2 * n_layers`` — one gamma and one beta per layer, shared
+    across all edges/qubits of that layer (the standard QAOA structure, which
+    also exercises *shared* parameter slots in the autodiff stack).
+    """
+    edges = [tuple(edge) for edge in edges]
+    circuit = Circuit(n_qubits)
+    for wire in range(n_qubits):
+        circuit.h(wire)
+    for _layer in range(n_layers):
+        gamma = circuit.new_param()
+        for a, b in edges:
+            circuit.zz(a, b, gamma)
+        beta = circuit.new_param()
+        for wire in range(n_qubits):
+            circuit.rx(wire, beta)
+    return circuit
+
+
+def real_amplitudes(n_qubits: int, n_layers: int) -> Circuit:
+    """RY-only ansatz (real amplitudes), common for chemistry workloads."""
+    return hardware_efficient(
+        n_qubits, n_layers, rotations=("ry",), entangler="cnot", ring=False
+    )
+
+
+def initial_parameters(
+    circuit: Circuit, rng: np.random.Generator, scale: float = 0.1
+) -> np.ndarray:
+    """Small random initial parameter vector for ``circuit``."""
+    return scale * rng.standard_normal(circuit.n_params)

@@ -1,0 +1,41 @@
+"""Storage backends.
+
+A :class:`~repro.storage.backend.StorageBackend` is a flat byte-blob namespace
+with atomic writes — the minimal contract the checkpoint store needs.  Six
+implementations:
+
+* :class:`~repro.storage.local.LocalDirectoryBackend` — filesystem directory
+  with tmp-file + fsync + rename atomicity,
+* :class:`~repro.storage.memory.InMemoryBackend` — dict-backed, with byte
+  counters, for tests and benchmarks,
+* :class:`~repro.storage.simulated.SimulatedRemoteBackend` — wraps another
+  backend with a latency/bandwidth cost model (the "remote object store" of
+  the evaluation),
+* :class:`~repro.storage.flaky.FlakyBackend` — deterministic fault injection
+  (torn writes, bit flips, errors) for crash-consistency tests,
+* :class:`~repro.storage.replicated.ReplicatedBackend` — N-way mirroring with
+  quorum writes, majority reads, read-repair, and scrubbing,
+* :class:`~repro.storage.tiered.TieredBackend` — byte-budgeted LRU fast tier
+  over a slow tier, write-through or write-back.
+"""
+
+from repro.storage.backend import StorageBackend
+from repro.storage.flaky import FlakyBackend
+from repro.storage.local import LocalDirectoryBackend
+from repro.storage.memory import InMemoryBackend
+from repro.storage.replicated import ReplicatedBackend, ReplicationStats
+from repro.storage.simulated import SimulatedRemoteBackend, TransferCostModel
+from repro.storage.tiered import TieredBackend, TierStats
+
+__all__ = [
+    "StorageBackend",
+    "LocalDirectoryBackend",
+    "InMemoryBackend",
+    "SimulatedRemoteBackend",
+    "TransferCostModel",
+    "FlakyBackend",
+    "ReplicatedBackend",
+    "ReplicationStats",
+    "TieredBackend",
+    "TierStats",
+]

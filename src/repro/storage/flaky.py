@@ -1,0 +1,101 @@
+"""Deterministic storage fault injection.
+
+Crash-consistency and corruption-recovery tests need a backend that fails in
+*controlled* ways:
+
+* ``truncate`` — persist only a prefix of the object (torn write, as if the
+  process died mid-upload on a non-atomic store),
+* ``bitflip`` — persist the object with one byte corrupted (at-rest rot),
+* ``error`` — raise :class:`~repro.errors.StorageError` without persisting.
+
+Faults are armed per write-ordinal: ``fail_on_write=3`` damages the third
+write after arming and then disarms.  Everything is deterministic — no RNG.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigError, StorageError
+from repro.storage.backend import StorageBackend
+
+_MODES = {"truncate", "bitflip", "error"}
+
+
+class FlakyBackend(StorageBackend):
+    """Backend decorator that injects one storage fault on demand."""
+
+    def __init__(self, inner: StorageBackend):
+        self.inner = inner
+        self._mode: Optional[str] = None
+        self._fail_on_write = 0
+        self._writes_seen = 0
+        self._truncate_fraction = 0.5
+        self._flip_offset = 0
+        self.faults_injected = 0
+
+    def arm(
+        self,
+        mode: str,
+        fail_on_write: int = 1,
+        truncate_fraction: float = 0.5,
+        flip_offset: int = 0,
+    ) -> None:
+        """Schedule one fault on the ``fail_on_write``-th subsequent write."""
+        if mode not in _MODES:
+            raise ConfigError(f"mode must be one of {_MODES}, got {mode!r}")
+        if fail_on_write < 1:
+            raise ConfigError(f"fail_on_write must be >= 1, got {fail_on_write}")
+        if not 0.0 <= truncate_fraction < 1.0:
+            raise ConfigError(
+                f"truncate_fraction must be in [0, 1), got {truncate_fraction}"
+            )
+        self._mode = mode
+        self._fail_on_write = fail_on_write
+        self._writes_seen = 0
+        self._truncate_fraction = truncate_fraction
+        self._flip_offset = flip_offset
+
+    def disarm(self) -> None:
+        """Cancel any pending fault."""
+        self._mode = None
+
+    def write(self, name: str, data: bytes) -> None:
+        if self._mode is not None:
+            self._writes_seen += 1
+            if self._writes_seen == self._fail_on_write:
+                mode = self._mode
+                self._mode = None
+                self.faults_injected += 1
+                if mode == "error":
+                    raise StorageError(f"injected write error for {name!r}")
+                if mode == "truncate":
+                    cut = int(len(data) * self._truncate_fraction)
+                    self.inner.write(name, data[:cut])
+                    return
+                if mode == "bitflip":
+                    corrupted = bytearray(data)
+                    if corrupted:
+                        offset = self._flip_offset % len(corrupted)
+                        corrupted[offset] ^= 0xFF
+                    self.inner.write(name, bytes(corrupted))
+                    return
+        self.inner.write(name, data)
+
+    def read(self, name: str) -> bytes:
+        return self.inner.read(name)
+
+    def read_range(self, name: str, start: int, length: int) -> bytes:
+        return self.inner.read_range(name, start, length)
+
+    def exists(self, name: str) -> bool:
+        return self.inner.exists(name)
+
+    def delete(self, name: str) -> None:
+        self.inner.delete(name)
+
+    def list(self, prefix: str = "") -> List[str]:
+        return self.inner.list(prefix)
+
+    def size(self, name: str) -> int:
+        return self.inner.size(name)

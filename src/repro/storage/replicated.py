@@ -1,0 +1,266 @@
+"""N-way replicated storage with quorum reads and read-repair.
+
+Checkpoints are the last line of defence against lost work, so the paper's
+deployment section calls for replicating them across failure domains.  This
+decorator mirrors every object across ``replicas`` and tolerates partial
+failures:
+
+* **writes** succeed when at least ``write_quorum`` replicas accept the
+  object (default: majority); failed replicas leave the object *degraded*
+  until :meth:`repair`,
+* **reads** either take the first available copy (``consistency="first"``,
+  the fast path — object integrity is already guaranteed end-to-end by the
+  QCKPT checksums) or compare all available copies and return the majority
+  value (``consistency="quorum"``), rewriting divergent minority replicas
+  when ``read_repair`` is on,
+* :meth:`scrub` walks the namespace and repairs missing/divergent copies in
+  bulk, returning a report the operator (or a cron job) can act on.
+
+Determinism: replica order is significant and iteration is always in the
+given order, so tests can inject faults per replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError, StorageError
+from repro.storage.backend import StorageBackend
+
+_CONSISTENCY_MODES = {"first", "quorum"}
+
+
+@dataclass
+class ReplicationStats:
+    """Counters exposed for tests and the remote-storage ablation."""
+
+    degraded_writes: int = 0
+    failed_writes: int = 0
+    divergent_reads: int = 0
+    repaired_objects: int = 0
+    per_replica_write_failures: List[int] = field(default_factory=list)
+
+
+class ReplicatedBackend(StorageBackend):
+    """Mirror objects across several backends with quorum semantics."""
+
+    def __init__(
+        self,
+        replicas: Sequence[StorageBackend],
+        write_quorum: Optional[int] = None,
+        consistency: str = "first",
+        read_repair: bool = True,
+    ):
+        if len(replicas) < 2:
+            raise ConfigError(
+                f"replication needs >= 2 replicas, got {len(replicas)}"
+            )
+        if consistency not in _CONSISTENCY_MODES:
+            raise ConfigError(
+                f"consistency must be one of {_CONSISTENCY_MODES}, "
+                f"got {consistency!r}"
+            )
+        majority = len(replicas) // 2 + 1
+        if write_quorum is None:
+            write_quorum = majority
+        if not 1 <= write_quorum <= len(replicas):
+            raise ConfigError(
+                f"write_quorum must be in [1, {len(replicas)}], got {write_quorum}"
+            )
+        self.replicas = list(replicas)
+        self.write_quorum = write_quorum
+        self.consistency = consistency
+        self.read_repair = read_repair
+        self.stats = ReplicationStats(
+            per_replica_write_failures=[0] * len(replicas)
+        )
+
+    # -- writes -----------------------------------------------------------------
+
+    def write(self, name: str, data: bytes) -> None:
+        successes = 0
+        errors: List[str] = []
+        for index, replica in enumerate(self.replicas):
+            try:
+                replica.write(name, data)
+                successes += 1
+            except StorageError as exc:
+                self.stats.per_replica_write_failures[index] += 1
+                errors.append(f"replica {index}: {exc}")
+        if successes < self.write_quorum:
+            self.stats.failed_writes += 1
+            raise StorageError(
+                f"write of {name!r} reached {successes}/{len(self.replicas)} "
+                f"replicas, quorum is {self.write_quorum}: {'; '.join(errors)}"
+            )
+        if successes < len(self.replicas):
+            self.stats.degraded_writes += 1
+
+    # -- reads -----------------------------------------------------------------
+
+    def _read_copies(self, name: str) -> Dict[int, bytes]:
+        copies: Dict[int, bytes] = {}
+        for index, replica in enumerate(self.replicas):
+            try:
+                if replica.exists(name):
+                    copies[index] = replica.read(name)
+            except StorageError:
+                continue
+        return copies
+
+    def read(self, name: str) -> bytes:
+        if self.consistency == "first":
+            last_error: Optional[StorageError] = None
+            for replica in self.replicas:
+                try:
+                    if replica.exists(name):
+                        return replica.read(name)
+                except StorageError as exc:
+                    last_error = exc
+            if last_error is not None:
+                raise StorageError(
+                    f"all replicas failed reading {name!r}: {last_error}"
+                )
+            raise StorageError(f"object {name!r} not found on any replica")
+
+        copies = self._read_copies(name)
+        if not copies:
+            raise StorageError(f"object {name!r} not found on any replica")
+        winner = self._majority_value(name, copies)
+        if self.read_repair:
+            self._repair_object(name, winner, copies)
+        return winner
+
+    def _majority_value(self, name: str, copies: Dict[int, bytes]) -> bytes:
+        votes: Dict[bytes, int] = {}
+        for data in copies.values():
+            votes[data] = votes.get(data, 0) + 1
+        if len(votes) > 1:
+            self.stats.divergent_reads += 1
+        best_count = max(votes.values())
+        winners = [data for data, count in votes.items() if count == best_count]
+        if len(winners) > 1:
+            # A tie is unresolvable at this layer; surface it rather than
+            # silently picking a side (QCKPT checksums break the tie upstream).
+            raise StorageError(
+                f"object {name!r} has {len(winners)} equally-voted divergent "
+                "copies; run scrub with a validating reader"
+            )
+        return winners[0]
+
+    def _repair_object(
+        self, name: str, winner: bytes, copies: Dict[int, bytes]
+    ) -> bool:
+        repaired = False
+        for index, replica in enumerate(self.replicas):
+            if copies.get(index) == winner:
+                continue
+            try:
+                replica.write(name, winner)
+                repaired = True
+            except StorageError:
+                continue
+        if repaired:
+            self.stats.repaired_objects += 1
+        return repaired
+
+    def read_range(self, name: str, start: int, length: int) -> bytes:
+        """Ranged read from the first replica holding the object.
+
+        Quorum comparison is intentionally skipped for ranged reads — they
+        serve partial restores whose chunks are CRC-verified end to end.
+        """
+        last_error: Optional[StorageError] = None
+        for replica in self.replicas:
+            try:
+                if replica.exists(name):
+                    return replica.read_range(name, start, length)
+            except StorageError as exc:
+                last_error = exc
+        if last_error is not None:
+            raise StorageError(
+                f"all replicas failed ranged read of {name!r}: {last_error}"
+            )
+        raise StorageError(f"object {name!r} not found on any replica")
+
+    # -- namespace ---------------------------------------------------------------
+
+    def exists(self, name: str) -> bool:
+        return any(replica.exists(name) for replica in self.replicas)
+
+    def delete(self, name: str) -> None:
+        errors: List[str] = []
+        for index, replica in enumerate(self.replicas):
+            try:
+                replica.delete(name)
+            except StorageError as exc:
+                errors.append(f"replica {index}: {exc}")
+        if len(errors) == len(self.replicas):
+            raise StorageError(
+                f"delete of {name!r} failed on every replica: {'; '.join(errors)}"
+            )
+
+    def list(self, prefix: str = "") -> List[str]:
+        names = set()
+        for replica in self.replicas:
+            names.update(replica.list(prefix))
+        return sorted(names)
+
+    def size(self, name: str) -> int:
+        for replica in self.replicas:
+            if replica.exists(name):
+                return replica.size(name)
+        raise StorageError(f"object {name!r} not found on any replica")
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def scrub(self, validator=None) -> Dict[str, str]:
+        """Repair every object; returns ``{name: action}`` for touched objects.
+
+        Actions: ``"replicated"`` (missing copies filled in), ``"repaired"``
+        (divergent copies rewritten to the majority value), or
+        ``"validated"`` (a majority tie broken by ``validator``).  Objects
+        whose divergence cannot be resolved are reported as ``"conflict"``
+        and left untouched.
+
+        ``validator`` is an optional ``(name, data) -> bool`` callback used
+        only when voting ties: with end-to-end checksums one level up (the
+        QCKPT container), :meth:`repro.core.store.CheckpointStore.object_validator`
+        identifies the intact copy that byte-voting alone cannot.
+        """
+        report: Dict[str, str] = {}
+        for name in self.list():
+            copies = self._read_copies(name)
+            if not copies:
+                continue
+            action = None
+            try:
+                winner = self._majority_value(name, copies)
+            except StorageError:
+                winner = self._validated_value(name, copies, validator)
+                if winner is None:
+                    report[name] = "conflict"
+                    continue
+                action = "validated"
+            divergent = any(data != winner for data in copies.values())
+            missing = len(copies) < len(self.replicas)
+            if not divergent and not missing:
+                continue
+            if action is None:
+                action = "repaired" if divergent else "replicated"
+            if self._repair_object(name, winner, copies):
+                report[name] = action
+        return report
+
+    def _validated_value(
+        self, name: str, copies: Dict[int, bytes], validator
+    ) -> Optional[bytes]:
+        """Break a voting tie: the unique distinct value ``validator`` accepts."""
+        if validator is None:
+            return None
+        accepted = []
+        for data in copies.values():
+            if data not in accepted and validator(name, data):
+                accepted.append(data)
+        return accepted[0] if len(accepted) == 1 else None

@@ -1,0 +1,194 @@
+"""Two-tier storage: a small fast tier in front of a large slow tier.
+
+The deployment shape the paper's remote-storage ablation points at: recent
+checkpoints should restore at local-SSD speed while the full history lives in
+a cheaper object store.  The fast tier is a byte-budgeted LRU cache:
+
+* **write-through** (default): writes land in both tiers before returning —
+  the slow tier is always complete, so losing the fast tier loses nothing;
+* **write-back**: writes land only in the fast tier and are flushed to the
+  slow tier by :meth:`flush`, on eviction, or at :meth:`close`; faster
+  checkpoint latency at the cost of a durability window (the trade-off
+  Tab. 4's interval analysis prices).
+
+Reads hit the fast tier first and *promote* slow-tier objects into it.
+Evictions are strictly LRU by last access and never drop a dirty object
+without flushing it first.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Set
+
+from repro.errors import ConfigError, StorageError
+from repro.storage.backend import StorageBackend
+
+_POLICIES = {"write-through", "write-back"}
+
+
+@dataclass
+class TierStats:
+    """Cache counters exposed for tests and the storage ablation."""
+
+    fast_hits: int = 0
+    fast_misses: int = 0
+    promotions: int = 0
+    evictions: int = 0
+    flushes: int = 0
+
+
+class TieredBackend(StorageBackend):
+    """LRU fast tier over a slow tier, write-through or write-back."""
+
+    def __init__(
+        self,
+        fast: StorageBackend,
+        slow: StorageBackend,
+        fast_capacity_bytes: int,
+        policy: str = "write-through",
+    ):
+        if fast_capacity_bytes < 1:
+            raise ConfigError(
+                f"fast_capacity_bytes must be >= 1, got {fast_capacity_bytes}"
+            )
+        if policy not in _POLICIES:
+            raise ConfigError(
+                f"policy must be one of {_POLICIES}, got {policy!r}"
+            )
+        self.fast = fast
+        self.slow = slow
+        self.fast_capacity_bytes = int(fast_capacity_bytes)
+        self.policy = policy
+        self.stats = TierStats()
+        # LRU bookkeeping: name -> size, in access order (oldest first).
+        self._resident: "OrderedDict[str, int]" = OrderedDict()
+        self._dirty: Set[str] = set()
+        self._adopt_existing_fast_objects()
+
+    def _adopt_existing_fast_objects(self) -> None:
+        for name in self.fast.list():
+            self._resident[name] = self.fast.size(name)
+
+    # -- capacity ---------------------------------------------------------------
+
+    def fast_bytes_used(self) -> int:
+        """Bytes currently resident in the fast tier."""
+        return sum(self._resident.values())
+
+    def _evict_until_fits(self, incoming: int) -> None:
+        if incoming > self.fast_capacity_bytes:
+            raise StorageError(
+                f"object of {incoming} bytes exceeds the fast tier capacity "
+                f"({self.fast_capacity_bytes} bytes)"
+            )
+        while self.fast_bytes_used() + incoming > self.fast_capacity_bytes:
+            victim, _ = next(iter(self._resident.items()))
+            self._evict(victim)
+
+    def _evict(self, name: str) -> None:
+        if name in self._dirty:
+            self._flush_one(name)
+        self.fast.delete(name)
+        self._resident.pop(name, None)
+        self.stats.evictions += 1
+
+    def _touch(self, name: str, size: int) -> None:
+        self._resident.pop(name, None)
+        self._resident[name] = size
+
+    # -- write-back flushing --------------------------------------------------------
+
+    def _flush_one(self, name: str) -> None:
+        self.slow.write(name, self.fast.read(name))
+        self._dirty.discard(name)
+        self.stats.flushes += 1
+
+    def flush(self) -> List[str]:
+        """Push every dirty object to the slow tier; returns flushed names."""
+        flushed = sorted(self._dirty)
+        for name in flushed:
+            self._flush_one(name)
+        return flushed
+
+    def dirty_objects(self) -> List[str]:
+        """Objects present only in the fast tier (durability window)."""
+        return sorted(self._dirty)
+
+    def close(self) -> None:
+        """Flush outstanding write-back state (call before process exit)."""
+        self.flush()
+
+    # -- StorageBackend contract ------------------------------------------------------
+
+    def write(self, name: str, data: bytes) -> None:
+        if len(data) > self.fast_capacity_bytes:
+            raise StorageError(
+                f"object of {len(data)} bytes exceeds the fast tier capacity "
+                f"({self.fast_capacity_bytes} bytes)"
+            )
+        # Replacing: release the old residency before sizing the new one, but
+        # restore it if eviction fails so bookkeeping never diverges from the
+        # fast tier's actual contents.
+        previous = self._resident.pop(name, None)
+        try:
+            self._evict_until_fits(len(data))
+        except StorageError:
+            if previous is not None:
+                self._resident[name] = previous
+            raise
+        self.fast.write(name, data)
+        self._touch(name, len(data))
+        if self.policy == "write-through":
+            self.slow.write(name, data)
+            self._dirty.discard(name)
+        else:
+            self._dirty.add(name)
+
+    def read(self, name: str) -> bytes:
+        if name in self._resident:
+            self.stats.fast_hits += 1
+            data = self.fast.read(name)
+            self._touch(name, len(data))
+            return data
+        self.stats.fast_misses += 1
+        data = self.slow.read(name)
+        if len(data) <= self.fast_capacity_bytes:
+            self._evict_until_fits(len(data))
+            self.fast.write(name, data)
+            self._touch(name, len(data))
+            self.stats.promotions += 1
+        return data
+
+    def read_range(self, name: str, start: int, length: int) -> bytes:
+        """Ranged read: fast tier when resident, slow tier otherwise.
+
+        Ranged misses do not promote — partial restores deliberately avoid
+        pulling whole objects into the fast tier.
+        """
+        if name in self._resident:
+            self.stats.fast_hits += 1
+            return self.fast.read_range(name, start, length)
+        self.stats.fast_misses += 1
+        return self.slow.read_range(name, start, length)
+
+    def exists(self, name: str) -> bool:
+        return name in self._resident or self.slow.exists(name)
+
+    def delete(self, name: str) -> None:
+        if name in self._resident:
+            self.fast.delete(name)
+            self._resident.pop(name, None)
+        self._dirty.discard(name)
+        self.slow.delete(name)
+
+    def list(self, prefix: str = "") -> List[str]:
+        names = set(self.slow.list(prefix))
+        names.update(n for n in self._resident if n.startswith(prefix))
+        return sorted(names)
+
+    def size(self, name: str) -> int:
+        if name in self._resident:
+            return self._resident[name]
+        return self.slow.size(name)

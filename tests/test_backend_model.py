@@ -1,0 +1,152 @@
+"""Model-based (stateful hypothesis) tests for backend decorators.
+
+The decorators — tiered, replicated, simulated-remote — must be
+*observationally equivalent* to a plain backend: any sequence of
+write/read/delete/list operations yields the same results as against a dict.
+Hypothesis drives randomized operation sequences against both and compares.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.errors import StorageError
+from repro.storage.memory import InMemoryBackend
+from repro.storage.replicated import ReplicatedBackend
+from repro.storage.simulated import SimulatedRemoteBackend, TransferCostModel
+from repro.storage.tiered import TieredBackend
+
+_NAMES = st.sampled_from([f"obj-{i}" for i in range(6)])
+_PAYLOADS = st.binary(min_size=0, max_size=64)
+
+_MACHINE_SETTINGS = settings(
+    max_examples=30,
+    stateful_step_count=30,
+    deadline=None,
+)
+
+
+class _BackendEquivalence(RuleBasedStateMachine):
+    """Drives a backend-under-test against a dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.model = {}
+        self.backend = self.make_backend()
+
+    def make_backend(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @rule(name=_NAMES, data=_PAYLOADS)
+    def write(self, name, data):
+        self.backend.write(name, data)
+        self.model[name] = data
+
+    @rule(name=_NAMES)
+    def read(self, name):
+        if name in self.model:
+            assert self.backend.read(name) == self.model[name]
+        else:
+            with pytest.raises(StorageError):
+                self.backend.read(name)
+
+    @rule(name=_NAMES, start=st.integers(0, 70), length=st.integers(0, 70))
+    def read_range(self, name, start, length):
+        if name in self.model:
+            expected = self.model[name][start : start + length]
+            assert self.backend.read_range(name, start, length) == expected
+
+    @rule(name=_NAMES)
+    def delete(self, name):
+        self.backend.delete(name)
+        self.model.pop(name, None)
+
+    @rule(name=_NAMES)
+    def exists(self, name):
+        assert self.backend.exists(name) == (name in self.model)
+
+    @rule(name=_NAMES)
+    def size(self, name):
+        if name in self.model:
+            assert self.backend.size(name) == len(self.model[name])
+
+    @invariant()
+    def listing_matches(self):
+        assert self.backend.list() == sorted(self.model)
+
+
+class TieredWriteThroughMachine(_BackendEquivalence):
+    def make_backend(self):
+        return TieredBackend(InMemoryBackend(), InMemoryBackend(), 96)
+
+
+class TieredWriteBackMachine(_BackendEquivalence):
+    def make_backend(self):
+        return TieredBackend(
+            InMemoryBackend(), InMemoryBackend(), 96, policy="write-back"
+        )
+
+
+class ReplicatedMachine(_BackendEquivalence):
+    def make_backend(self):
+        return ReplicatedBackend([InMemoryBackend() for _ in range(3)])
+
+
+class ReplicatedQuorumMachine(_BackendEquivalence):
+    def make_backend(self):
+        return ReplicatedBackend(
+            [InMemoryBackend() for _ in range(3)], consistency="quorum"
+        )
+
+
+class SimulatedRemoteMachine(_BackendEquivalence):
+    def make_backend(self):
+        return SimulatedRemoteBackend(
+            TransferCostModel(bandwidth_bytes_per_s=1e6, rtt_seconds=1e-3)
+        )
+
+
+for _machine in (
+    TieredWriteThroughMachine,
+    TieredWriteBackMachine,
+    ReplicatedMachine,
+    ReplicatedQuorumMachine,
+    SimulatedRemoteMachine,
+):
+    _machine.TestCase.settings = _MACHINE_SETTINGS
+
+TestTieredWriteThrough = TieredWriteThroughMachine.TestCase
+TestTieredWriteBack = TieredWriteBackMachine.TestCase
+TestReplicated = ReplicatedMachine.TestCase
+TestReplicatedQuorum = ReplicatedQuorumMachine.TestCase
+TestSimulatedRemote = SimulatedRemoteMachine.TestCase
+
+
+class TestTieredDurabilityAfterFastLoss:
+    """Write-through tiering must survive total fast-tier loss at any point."""
+
+    def test_slow_tier_complete_after_sequence(self):
+        fast, slow = InMemoryBackend(), InMemoryBackend()
+        tiered = TieredBackend(fast, slow, 64)
+        rng = np.random.default_rng(5)
+        model = {}
+        for i in range(50):
+            name = f"obj-{int(rng.integers(0, 6))}"
+            action = int(rng.integers(0, 3))
+            if action == 0:
+                data = bytes(rng.integers(0, 256, size=int(rng.integers(0, 48)), dtype=np.uint8))
+                tiered.write(name, data)
+                model[name] = data
+            elif action == 1:
+                tiered.delete(name)
+                model.pop(name, None)
+            else:
+                if name in model:
+                    assert tiered.read(name) == model[name]
+        # Wipe the fast tier entirely; everything must still be in slow.
+        fast._objects.clear()
+        rebuilt = TieredBackend(InMemoryBackend(), slow, 64)
+        for name, data in model.items():
+            assert rebuilt.read(name) == data

@@ -1,0 +1,217 @@
+"""Contract tests for storage backends plus decorator-specific behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, StorageError
+from repro.storage.backend import validate_name
+from repro.storage.flaky import FlakyBackend
+from repro.storage.local import LocalDirectoryBackend
+from repro.storage.memory import InMemoryBackend
+from repro.storage.simulated import SimulatedRemoteBackend, TransferCostModel
+
+
+@pytest.fixture(params=["memory", "local", "simulated", "flaky"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryBackend()
+    if request.param == "local":
+        return LocalDirectoryBackend(tmp_path / "objs")
+    if request.param == "simulated":
+        return SimulatedRemoteBackend(TransferCostModel(1e9))
+    return FlakyBackend(InMemoryBackend())
+
+
+class TestBackendContract:
+    def test_write_read_roundtrip(self, backend):
+        backend.write("obj-1", b"payload")
+        assert backend.read("obj-1") == b"payload"
+
+    def test_overwrite_replaces(self, backend):
+        backend.write("obj", b"old")
+        backend.write("obj", b"new")
+        assert backend.read("obj") == b"new"
+
+    def test_exists(self, backend):
+        assert not backend.exists("missing")
+        backend.write("present", b"x")
+        assert backend.exists("present")
+
+    def test_read_missing_raises(self, backend):
+        with pytest.raises(StorageError):
+            backend.read("missing")
+
+    def test_size_missing_raises(self, backend):
+        with pytest.raises(StorageError):
+            backend.size("missing")
+
+    def test_delete_idempotent(self, backend):
+        backend.write("gone", b"x")
+        backend.delete("gone")
+        backend.delete("gone")
+        assert not backend.exists("gone")
+
+    def test_list_prefix_sorted(self, backend):
+        for name in ("b-2", "a-1", "b-1"):
+            backend.write(name, b"x")
+        assert backend.list() == ["a-1", "b-1", "b-2"]
+        assert backend.list("b-") == ["b-1", "b-2"]
+
+    def test_size(self, backend):
+        backend.write("sized", b"12345")
+        assert backend.size("sized") == 5
+
+    def test_empty_object(self, backend):
+        backend.write("empty", b"")
+        assert backend.read("empty") == b""
+
+    def test_large_object(self, backend):
+        data = bytes(np.random.default_rng(0).integers(0, 256, 1 << 20).astype(np.uint8))
+        backend.write("big", data)
+        assert backend.read("big") == data
+
+    @pytest.mark.parametrize("bad", ["../escape", "a/b", "", ".hidden", "a..b"])
+    def test_name_validation(self, backend, bad):
+        with pytest.raises(StorageError):
+            backend.write(bad, b"x")
+
+
+class TestNameValidation:
+    def test_valid_names(self):
+        for name in ("MANIFEST.json", "ckpt-000001.qckpt", "a_b-c.d"):
+            assert validate_name(name) == name
+
+    def test_non_string(self):
+        with pytest.raises(StorageError):
+            validate_name(123)
+
+
+class TestLocalBackend:
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        backend = LocalDirectoryBackend(tmp_path / "s")
+        for i in range(5):
+            backend.write(f"obj-{i}", b"data")
+        leftovers = [p for p in (tmp_path / "s").iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_fsync_disabled_still_works(self, tmp_path):
+        backend = LocalDirectoryBackend(tmp_path / "s", fsync=False)
+        backend.write("x", b"1")
+        assert backend.read("x") == b"1"
+
+    def test_hidden_files_excluded_from_list(self, tmp_path):
+        backend = LocalDirectoryBackend(tmp_path / "s")
+        backend.write("visible", b"x")
+        (tmp_path / "s" / ".sneaky").write_bytes(b"y")
+        assert backend.list() == ["visible"]
+
+    def test_root_created(self, tmp_path):
+        LocalDirectoryBackend(tmp_path / "deep" / "nested")
+        assert (tmp_path / "deep" / "nested").is_dir()
+
+    def test_stat_based_size(self, tmp_path):
+        backend = LocalDirectoryBackend(tmp_path / "s")
+        backend.write("f", b"abc")
+        assert backend.size("f") == 3
+
+
+class TestInMemoryAccounting:
+    def test_counters(self):
+        backend = InMemoryBackend()
+        backend.write("a", b"1234")
+        backend.write("b", b"56")
+        backend.read("a")
+        assert backend.bytes_written == 6
+        assert backend.bytes_read == 4
+        assert backend.write_count == 2
+        assert backend.read_count == 1
+
+    def test_reset_counters(self):
+        backend = InMemoryBackend()
+        backend.write("a", b"1234")
+        backend.reset_counters()
+        assert backend.bytes_written == 0
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(StorageError):
+            InMemoryBackend().write("a", "text")
+
+
+class TestSimulatedRemote:
+    def test_transfer_time_model(self):
+        model = TransferCostModel(bandwidth_bytes_per_s=100.0, rtt_seconds=1.0)
+        assert model.seconds_for(200) == pytest.approx(3.0)
+
+    def test_accounting_accumulates(self):
+        backend = SimulatedRemoteBackend(
+            TransferCostModel(bandwidth_bytes_per_s=1000.0, rtt_seconds=0.5)
+        )
+        backend.write("a", b"x" * 500)
+        assert backend.last_transfer_seconds == pytest.approx(1.0)
+        backend.read("a")
+        assert backend.simulated_seconds == pytest.approx(2.0)
+
+    def test_reset_accounting(self):
+        backend = SimulatedRemoteBackend(TransferCostModel(1e3))
+        backend.write("a", b"xy")
+        backend.reset_accounting()
+        assert backend.simulated_seconds == 0.0
+
+    def test_model_validation(self):
+        with pytest.raises(ConfigError):
+            TransferCostModel(bandwidth_bytes_per_s=0)
+        with pytest.raises(ConfigError):
+            TransferCostModel(1e6, rtt_seconds=-1)
+
+    def test_presets_ordered_by_speed(self):
+        nbytes = 10 * 1024 * 1024
+        ssd = TransferCostModel.local_ssd().seconds_for(nbytes)
+        dc = TransferCostModel.datacenter_object_store().seconds_for(nbytes)
+        wan = TransferCostModel.wan_object_store().seconds_for(nbytes)
+        assert ssd < dc < wan
+
+
+class TestFlakyBackend:
+    def test_truncate_mode(self):
+        backend = FlakyBackend(InMemoryBackend())
+        backend.arm("truncate", truncate_fraction=0.25)
+        backend.write("torn", b"x" * 100)
+        assert len(backend.read("torn")) == 25
+        assert backend.faults_injected == 1
+
+    def test_bitflip_mode(self):
+        backend = FlakyBackend(InMemoryBackend())
+        backend.arm("bitflip", flip_offset=3)
+        backend.write("rot", b"\x00" * 8)
+        assert backend.read("rot")[3] == 0xFF
+
+    def test_error_mode_nothing_persisted(self):
+        backend = FlakyBackend(InMemoryBackend())
+        backend.arm("error")
+        with pytest.raises(StorageError, match="injected"):
+            backend.write("lost", b"data")
+        assert not backend.exists("lost")
+
+    def test_fault_fires_on_nth_write(self):
+        backend = FlakyBackend(InMemoryBackend())
+        backend.arm("error", fail_on_write=3)
+        backend.write("w1", b"a")
+        backend.write("w2", b"b")
+        with pytest.raises(StorageError):
+            backend.write("w3", b"c")
+        backend.write("w4", b"d")  # disarmed after firing
+
+    def test_disarm(self):
+        backend = FlakyBackend(InMemoryBackend())
+        backend.arm("error")
+        backend.disarm()
+        backend.write("fine", b"x")
+
+    def test_arm_validation(self):
+        backend = FlakyBackend(InMemoryBackend())
+        with pytest.raises(ConfigError):
+            backend.arm("explode")
+        with pytest.raises(ConfigError):
+            backend.arm("error", fail_on_write=0)
+        with pytest.raises(ConfigError):
+            backend.arm("truncate", truncate_fraction=1.0)

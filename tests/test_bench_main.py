@@ -1,0 +1,118 @@
+"""Tests for the EXPERIMENTS.md generator (python -m repro.bench).
+
+The row generators themselves are exercised by ``benchmarks/``; here we pin
+the generator's *wiring*: section identities, and that each shape-check
+function detects both conforming and violating row sets (so schema drift in
+``repro.bench.experiments`` cannot silently turn every check green).
+"""
+
+import pytest
+
+from repro.bench.__main__ import (
+    _check,
+    _fig1_checks,
+    _fig5_checks,
+    _sections,
+    _tab3_checks,
+    _tab5_checks,
+    _tab6_checks,
+)
+
+
+class TestSectionWiring:
+    def test_identifiers_unique_and_complete(self):
+        sections = _sections()
+        idents = [s.ident for s in sections]
+        assert len(idents) == len(set(idents))
+        # 7 figures + 6 tables = the full reconstructed evaluation.
+        assert sum(1 for i in idents if i.startswith("Fig")) == 7
+        assert sum(1 for i in idents if i.startswith("Tab")) == 6
+
+    def test_every_section_has_expected_shape_text(self):
+        for section in _sections():
+            assert len(section.expected) > 20
+            assert callable(section.run)
+            assert callable(section.checks)
+
+
+class TestCheckPrimitive:
+    def test_pass_and_fail_prefixes(self):
+        assert _check("x", True).startswith("PASS")
+        assert _check("x", False).startswith("FAIL")
+
+
+class TestCheckFunctions:
+    def test_fig1_detects_wrong_scaling(self):
+        good = [
+            {"n_qubits": 4, "statevector_bytes": 256, "statevector_share": 0.5},
+            {"n_qubits": 6, "statevector_bytes": 1024, "statevector_share": 0.995},
+        ]
+        assert all(c.startswith("PASS") for c in _fig1_checks(good))
+        bad = [dict(r, statevector_bytes=100) for r in good]
+        assert any(c.startswith("FAIL") for c in _fig1_checks(bad))
+
+    def test_fig5_detects_delta_regression(self):
+        def series(workload, delta, full):
+            return {
+                "workload": workload,
+                "cum_delta_mode": delta,
+                "cum_full_mode": full,
+            }
+
+        good = [series("classifier", 40, 100), series("vqe+sv", 99, 100)]
+        assert all(c.startswith("PASS") for c in _fig5_checks(good))
+        bad = [series("classifier", 90, 100), series("vqe+sv", 99, 100)]
+        assert any(c.startswith("FAIL") for c in _fig5_checks(bad))
+
+    def test_tab3_requires_exact_zero(self):
+        good = [{"max_param_delta": 0.0, "bitwise_exact": True}]
+        assert _tab3_checks(good)[0].startswith("PASS")
+        bad = [{"max_param_delta": 1e-16, "bitwise_exact": True}]
+        assert _tab3_checks(bad)[0].startswith("FAIL")
+
+    def test_tab5_detects_mps_regression(self):
+        def row(family, transform, bytes_, fidelity, ratio):
+            return {
+                "family": family,
+                "transform": transform,
+                "stored_bytes": bytes_,
+                "fidelity": fidelity,
+                "infidelity": max(0.0, 1 - fidelity),
+                "ratio": ratio,
+            }
+
+        good = [
+            row("shallow", "mps-8", 100, 1.0, 10.0),
+            row("shallow", "f16-pair", 400, 1.0, 4.0),
+            row("haar", "mps-8", 100, 0.2, 4.0),
+            row("haar", "mps-32", 900, 0.9, 0.6),
+        ]
+        assert all(c.startswith("PASS") for c in _tab5_checks(good))
+        bad = [dict(r) for r in good]
+        bad[0]["stored_bytes"] = 500  # MPS no longer smaller
+        assert any(c.startswith("FAIL") for c in _tab5_checks(bad))
+
+    def test_tab6_detects_replication_cost_change(self):
+        good = [
+            {"config": "datacenter", "write_s": 1.0},
+            {"config": "replicated-3x", "write_s": 1.0},
+            {"config": "tiered/write-through", "write_s": 1.0},
+            {"config": "tiered/write-back", "write_s": 0.1},
+        ]
+        assert all(c.startswith("PASS") for c in _tab6_checks(good))
+        bad = [dict(r) for r in good]
+        bad[1]["write_s"] = 3.0  # serialized replication
+        assert any(c.startswith("FAIL") for c in _tab6_checks(bad))
+
+
+class TestQuickSweepShapes:
+    """The quick sweeps must produce rows the check functions accept."""
+
+    @pytest.mark.parametrize(
+        "ident", ["Fig. 1", "Tab. 1", "Tab. 4", "Tab. 6"]
+    )
+    def test_cheap_sections_pass_quick(self, ident):
+        section = next(s for s in _sections() if s.ident == ident)
+        rows = section.run(True)
+        checks = section.checks(rows)
+        assert checks and all(c.startswith("PASS") for c in checks)

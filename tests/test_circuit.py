@@ -1,0 +1,230 @@
+"""Unit tests for the circuit IR: construction, serialization, fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.quantum.circuit import Circuit, Operation, Param, concat
+
+
+class TestOperation:
+    def test_normalizes_gate_name(self):
+        op = Operation("CNOT", (0, 1))
+        assert op.gate == "cnot"
+
+    def test_rejects_wrong_wire_count(self):
+        with pytest.raises(CircuitError, match="wire"):
+            Operation("cnot", (0,))
+
+    def test_rejects_duplicate_wires(self):
+        with pytest.raises(CircuitError, match="duplicate"):
+            Operation("cnot", (1, 1))
+
+    def test_rejects_wrong_param_count(self):
+        with pytest.raises(CircuitError, match="parameter"):
+            Operation("rx", (0,), ())
+
+    def test_rejects_bad_param_type(self):
+        with pytest.raises(CircuitError, match="invalid parameter"):
+            Operation("rx", (0,), ("oops",))
+
+    def test_resolve_mixes_constants_and_params(self):
+        op = Operation("rot", (0,), (0.5, Param(1), Param(0)))
+        assert op.resolve([10.0, 20.0]) == (0.5, 20.0, 10.0)
+
+    def test_is_trainable(self):
+        assert Operation("rx", (0,), (Param(0),)).is_trainable
+        assert not Operation("rx", (0,), (0.3,)).is_trainable
+
+    def test_param_negative_index_rejected(self):
+        with pytest.raises(CircuitError):
+            Param(-1)
+
+
+class TestCircuitConstruction:
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(CircuitError):
+            Circuit(0)
+
+    def test_append_validates_wire_range(self):
+        with pytest.raises(CircuitError, match="out of range"):
+            Circuit(2).h(2)
+
+    def test_chaining(self):
+        c = Circuit(2).h(0).cnot(0, 1).rx(1, 0.5)
+        assert len(c) == 3
+
+    def test_new_param_allocates_sequentially(self):
+        c = Circuit(1)
+        p0, p1 = c.new_param(), c.new_param()
+        assert (p0.index, p1.index) == (0, 1)
+        assert c.n_params == 2
+
+    def test_new_params_bulk(self):
+        c = Circuit(1)
+        params = c.new_params(3)
+        assert [p.index for p in params] == [0, 1, 2]
+
+    def test_n_params_tracks_explicit_param_indices(self):
+        c = Circuit(1)
+        c.rx(0, Param(4))
+        assert c.n_params == 5
+
+    def test_single_int_wire_accepted(self):
+        c = Circuit(1)
+        c.append("h", 0)
+        assert c.ops[0].wires == (0,)
+
+    def test_all_convenience_builders(self):
+        c = Circuit(3)
+        p = c.new_param()
+        c.h(0).x(1).y(2).z(0).s(1).t(2)
+        c.cnot(0, 1).cz(1, 2).swap(0, 2).toffoli(0, 1, 2)
+        c.rx(0, p).ry(1, 0.1).rz(2, 0.2).phase(0, 0.3)
+        c.rot(1, 0.1, 0.2, 0.3)
+        c.crx(0, 1, 0.4).cry(1, 2, 0.5).crz(0, 2, 0.6).cphase(0, 1, 0.7)
+        c.xx(0, 1, 0.8).yy(1, 2, 0.9).zz(0, 2, 1.0)
+        assert len(c) == 22
+
+
+class TestCircuitInspection:
+    def test_depth_parallel_gates(self):
+        c = Circuit(4).h(0).h(1).h(2).h(3)
+        assert c.depth() == 1
+
+    def test_depth_serial_chain(self):
+        c = Circuit(2).h(0).cnot(0, 1).h(1)
+        assert c.depth() == 3
+
+    def test_depth_empty(self):
+        assert Circuit(3).depth() == 0
+
+    def test_gate_counts(self):
+        c = Circuit(2).h(0).h(1).cnot(0, 1)
+        assert c.gate_counts() == {"h": 2, "cnot": 1}
+
+    def test_trainable_ops(self):
+        c = Circuit(2)
+        c.h(0).rx(0, c.new_param()).ry(1, 0.5)
+        positions = [pos for pos, _ in c.trainable_ops]
+        assert positions == [1]
+
+    def test_repr_mentions_size(self):
+        text = repr(Circuit(3).h(0))
+        assert "n_qubits=3" in text and "n_ops=1" in text
+
+
+class TestCircuitComposition:
+    def test_extend_preserves_param_indices(self):
+        a = Circuit(2)
+        a.rx(0, a.new_param())
+        b = Circuit(2)
+        b.ry(1, Param(5))
+        a.extend(b)
+        assert a.n_params == 6
+
+    def test_extend_rejects_width_mismatch(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).extend(Circuit(3))
+
+    def test_copy_is_independent(self):
+        a = Circuit(2).h(0)
+        b = a.copy()
+        b.x(1)
+        assert len(a) == 1 and len(b) == 2
+
+    def test_concat(self):
+        a = Circuit(2).h(0)
+        b = Circuit(2).x(1)
+        merged = concat([a, b])
+        assert len(merged) == 2
+        assert len(a) == 1  # inputs untouched
+
+    def test_concat_empty_errors(self):
+        with pytest.raises(CircuitError):
+            concat([])
+
+    def test_bind_replaces_params(self):
+        c = Circuit(1)
+        c.rx(0, c.new_param())
+        bound = c.bind([0.7])
+        assert bound.ops[0].params == (0.7,)
+        assert not bound.ops[0].is_trainable
+
+    def test_bind_checks_shape(self):
+        c = Circuit(1)
+        c.rx(0, c.new_param())
+        with pytest.raises(CircuitError):
+            c.bind([0.1, 0.2])
+
+
+class TestAdjoint:
+    def test_adjoint_inverts_fixed_circuit(self):
+        from repro.quantum.statevector import apply_circuit, zero_state
+
+        c = Circuit(2).h(0).cnot(0, 1).s(1).t(0)
+        roundtrip = c.copy().extend(c.adjoint())
+        state = apply_circuit(roundtrip)
+        assert np.allclose(state, zero_state(2))
+
+    def test_adjoint_inverts_parametric_constants(self):
+        from repro.quantum.statevector import apply_circuit, zero_state
+
+        c = Circuit(2).rx(0, 0.3).zz(0, 1, 0.8).cry(0, 1, 1.2)
+        roundtrip = c.copy().extend(c.adjoint())
+        assert np.allclose(apply_circuit(roundtrip), zero_state(2))
+
+    def test_adjoint_maps_s_to_sdg(self):
+        inv = Circuit(1).s(0).adjoint()
+        assert inv.ops[0].gate == "sdg"
+
+    def test_adjoint_rejects_unbound_params(self):
+        c = Circuit(1)
+        c.rx(0, c.new_param())
+        with pytest.raises(CircuitError, match="unbound"):
+            c.adjoint()
+
+    def test_adjoint_rejects_uninvertible_gate(self):
+        with pytest.raises(CircuitError, match="inverse"):
+            Circuit(1).append("sx", 0).adjoint()
+
+
+class TestSerialization:
+    def _sample(self) -> Circuit:
+        c = Circuit(3)
+        c.h(0).cnot(0, 1)
+        c.rx(2, c.new_param())
+        c.rot(1, 0.1, c.new_param(), 0.3)
+        return c
+
+    def test_json_roundtrip(self):
+        original = self._sample()
+        restored = Circuit.from_json(original.to_json())
+        assert restored == original
+
+    def test_json_roundtrip_preserves_n_params(self):
+        original = self._sample()
+        assert Circuit.from_json(original.to_json()).n_params == original.n_params
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(CircuitError, match="malformed"):
+            Circuit.from_json({"ops": "nope"})
+
+    def test_fingerprint_is_stable(self):
+        assert self._sample().fingerprint() == self._sample().fingerprint()
+
+    def test_fingerprint_changes_with_structure(self):
+        a = self._sample()
+        b = self._sample()
+        b.x(0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_changes_with_constants(self):
+        a = Circuit(1).rx(0, 0.1)
+        b = Circuit(1).rx(0, 0.2)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_equality(self):
+        assert self._sample() == self._sample()
+        assert self._sample() != Circuit(3)
+        assert Circuit(2) != "not a circuit"

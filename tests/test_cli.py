@@ -1,0 +1,176 @@
+"""Tests for the ``qckpt`` command-line tool."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.store import CheckpointStore
+from repro.storage.local import LocalDirectoryBackend
+from tests.test_snapshot import sample_snapshot
+
+
+@pytest.fixture
+def populated_store(tmp_path):
+    root = tmp_path / "store"
+    store = CheckpointStore(LocalDirectoryBackend(root))
+    base = store.save_full(sample_snapshot(step=10))
+    nxt = sample_snapshot(step=10).copy()
+    nxt.step = 20
+    store.save_delta(nxt, base.id)
+    return root, store
+
+
+class TestLs:
+    def test_lists_records(self, populated_store, capsys):
+        root, _ = populated_store
+        assert main(["ls", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "ckpt-000001" in out and "ckpt-000002" in out
+        assert "full" in out and "delta" in out
+        assert "latest: ckpt-000002 at step 20" in out
+
+    def test_empty_store(self, tmp_path, capsys):
+        assert main(["ls", str(tmp_path / "empty")]) == 0
+        assert "empty store" in capsys.readouterr().out
+
+
+class TestInspect:
+    def test_inspect_file(self, populated_store, capsys):
+        root, store = populated_store
+        target = root / store.records()[0].object_name
+        assert main(["inspect", str(target)]) == 0
+        header = json.loads(capsys.readouterr().out)
+        assert header["format_version"] == 1
+        names = {t["name"] for t in header["tensors"]}
+        assert "params" in names
+
+    def test_inspect_by_store_id(self, populated_store, capsys):
+        root, _ = populated_store
+        assert main(["inspect", f"{root}/ckpt-000001"]) == 0
+        header = json.loads(capsys.readouterr().out)
+        assert header["meta"]["kind"] == "full"
+
+    def test_inspect_full_tensor_directory(self, populated_store, capsys):
+        root, store = populated_store
+        target = root / store.records()[0].object_name
+        assert main(["inspect", str(target), "--tensors"]) == 0
+        header = json.loads(capsys.readouterr().out)
+        assert "crc32" in header["tensors"][0]
+
+    def test_inspect_garbage_file(self, tmp_path, capsys):
+        junk = tmp_path / "junk.qckpt"
+        junk.write_bytes(b"\x00" * 100)
+        assert main(["inspect", str(junk)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestVerify:
+    def test_all_valid(self, populated_store, capsys):
+        root, _ = populated_store
+        assert main(["verify", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 checkpoints valid" in out
+
+    def test_detects_corruption(self, populated_store, capsys):
+        root, store = populated_store
+        victim = store.records()[1]
+        path = root / victim.object_name
+        blob = bytearray(path.read_bytes())
+        blob[50] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert main(["verify", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "BAD ckpt-000002" in out
+        assert "1/2 checkpoints valid" in out
+
+
+class TestGc:
+    def test_keep_last(self, populated_store, capsys):
+        root, _ = populated_store
+        # keep_last=1 keeps the delta AND its pinned base.
+        assert main(["gc", str(root), "--keep-last", "1"]) == 0
+        assert "deleted 0" in capsys.readouterr().out
+
+    def test_deletes_unreferenced(self, tmp_path, capsys):
+        root = tmp_path / "s"
+        store = CheckpointStore(LocalDirectoryBackend(root))
+        for step in range(1, 6):
+            store.save_full(sample_snapshot(step=step))
+        assert main(["gc", str(root), "--keep-last", "2"]) == 0
+        assert "deleted 3" in capsys.readouterr().out
+        reopened = CheckpointStore(LocalDirectoryBackend(root))
+        assert len(reopened.records()) == 2
+
+
+class TestDiff:
+    def test_diff_reports_changed_params(self, populated_store, capsys):
+        root, _ = populated_store
+        assert main(["diff", str(root), "ckpt-000001", "ckpt-000002"]) == 0
+        out = capsys.readouterr().out
+        assert "step 10" in out and "step 20" in out
+        assert "identical" in out
+        assert "TENSOR" in out
+
+    def test_diff_same_checkpoint_all_identical(self, populated_store, capsys):
+        root, _ = populated_store
+        assert main(["diff", str(root), "ckpt-000001", "ckpt-000001"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if "changed" in l]
+        assert not lines
+
+    def test_diff_missing_id_errors(self, populated_store, capsys):
+        root, _ = populated_store
+        assert main(["diff", str(root), "ckpt-000001", "ckpt-999999"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestExport:
+    def test_export_delta_as_standalone(self, populated_store, tmp_path, capsys):
+        root, store = populated_store
+        out_file = tmp_path / "standalone.qckpt"
+        assert main(["export", str(root), "ckpt-000002", str(out_file)]) == 0
+        assert "chain of 2" in capsys.readouterr().out
+
+        from repro.core.serialize import unpack_snapshot
+
+        snapshot = unpack_snapshot(out_file.read_bytes())
+        assert snapshot == store.load("ckpt-000002")
+
+    def test_export_with_codec(self, populated_store, tmp_path):
+        root, _ = populated_store
+        out_file = tmp_path / "x.qckpt"
+        assert main(
+            ["export", str(root), "ckpt-000001", str(out_file), "--codec", "lzma"]
+        ) == 0
+        from repro.core.serialize import inspect_header
+
+        assert inspect_header(out_file.read_bytes())["codec"] == "lzma"
+
+
+class TestStats:
+    def test_stats_summary(self, populated_store, capsys):
+        root, _ = populated_store
+        assert main(["stats", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "full" in out and "delta" in out
+        assert "longest restore chain: 2" in out
+        assert "step range: 10..20" in out
+
+    def test_stats_empty(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "none")]) == 0
+        assert "empty store" in capsys.readouterr().out
+
+
+class TestPeek:
+    def test_peek_params(self, populated_store, capsys):
+        root, _ = populated_store
+        assert main(["peek", str(root), "ckpt-000002", "params"]) == 0
+        out = capsys.readouterr().out
+        assert "at step 20" in out
+        assert "params: float64" in out
+
+    def test_peek_unknown_tensor_errors(self, populated_store, capsys):
+        root, _ = populated_store
+        assert main(["peek", str(root), "ckpt-000001", "ghost"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,317 @@
+"""Unit tests for byte codecs, lossy transforms, and XOR delta encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.codecs import (
+    CODECS,
+    TRANSFORMS,
+    get_codec,
+    get_transform,
+)
+from repro.core.delta import (
+    MODE_APPEND,
+    MODE_FULL,
+    MODE_XOR,
+    apply_delta,
+    delta_sparsity,
+    encode_delta,
+    xor_bytes,
+)
+from repro.errors import ConfigError, SerializationError
+from repro.quantum.haar import haar_state
+
+
+class TestCodecs:
+    @pytest.mark.parametrize("name", sorted(CODECS))
+    def test_roundtrip_random_bytes(self, name, rng):
+        codec = get_codec(name)
+        data = rng.integers(0, 256, 4096).astype(np.uint8).tobytes()
+        assert codec.decode(codec.encode(data)) == data
+
+    @pytest.mark.parametrize("name", sorted(CODECS))
+    def test_roundtrip_empty(self, name):
+        codec = get_codec(name)
+        assert codec.decode(codec.encode(b"")) == b""
+
+    def test_compressible_data_shrinks(self):
+        data = b"\x00" * 100_000
+        for name in ("zlib-6", "lzma", "bz2"):
+            assert len(get_codec(name).encode(data)) < 1000
+
+    def test_zlib_levels_ordered(self):
+        data = bytes(range(256)) * 400
+        fast = len(get_codec("zlib-1").encode(data))
+        best = len(get_codec("zlib-9").encode(data))
+        assert best <= fast
+
+    def test_unknown_codec(self):
+        with pytest.raises(ConfigError):
+            get_codec("zstd")
+
+    def test_corrupt_stream_decode_fails(self):
+        for name in ("zlib-6", "lzma", "bz2"):
+            with pytest.raises(SerializationError):
+                get_codec(name).decode(b"not compressed data")
+
+    def test_level_validation(self):
+        from repro.core.codecs import Bz2Codec, LzmaCodec, ZlibCodec
+
+        with pytest.raises(ConfigError):
+            ZlibCodec(0)
+        with pytest.raises(ConfigError):
+            LzmaCodec(10)
+        with pytest.raises(ConfigError):
+            Bz2Codec(0)
+
+
+class TestTransforms:
+    def test_identity_is_lossless(self, rng):
+        transform = get_transform("identity")
+        array = rng.standard_normal(10)
+        encoded, meta = transform.encode(array)
+        assert np.array_equal(transform.decode(encoded, meta), array)
+        assert not transform.lossy
+
+    @pytest.mark.parametrize("name", ["c64", "f16-pair", "int8-block"])
+    def test_lossy_transforms_preserve_fidelity(self, name, rng):
+        state = haar_state(8, rng)
+        transform = get_transform(name)
+        encoded, meta = transform.encode(state)
+        restored = transform.decode(encoded, meta)
+        fidelity = abs(np.vdot(state, restored)) ** 2
+        assert fidelity > 0.999
+        assert np.isclose(np.linalg.norm(restored), 1.0)
+
+    def test_fidelity_ordering(self, rng):
+        """More aggressive quantization loses more fidelity."""
+        state = haar_state(10, rng)
+        infidelities = {}
+        for name in ("c64", "f16-pair", "int8-block"):
+            transform = get_transform(name)
+            encoded, meta = transform.encode(state)
+            restored = transform.decode(encoded, meta)
+            infidelities[name] = 1.0 - abs(np.vdot(state, restored)) ** 2
+        assert infidelities["c64"] <= infidelities["f16-pair"]
+        assert infidelities["f16-pair"] <= infidelities["int8-block"]
+
+    def test_size_ordering(self, rng):
+        state = haar_state(10, rng)
+        sizes = {}
+        for name in ("identity", "c64", "f16-pair", "int8-block"):
+            encoded, _ = get_transform(name).encode(state)
+            sizes[name] = encoded.nbytes
+        assert sizes["c64"] == sizes["identity"] // 2
+        assert sizes["f16-pair"] == sizes["identity"] // 4
+        assert sizes["int8-block"] == sizes["identity"] // 8
+
+    @pytest.mark.parametrize("name", ["c64", "f16-pair", "int8-block"])
+    def test_reject_non_complex(self, name, rng):
+        with pytest.raises(SerializationError):
+            get_transform(name).encode(rng.standard_normal(8))
+
+    def test_int8_block_scales_per_block(self, rng):
+        from repro.core.codecs import Int8BlockTransform
+
+        transform = Int8BlockTransform(block_size=8)
+        state = haar_state(5, rng)  # 32 amplitudes -> 64 values -> 8 blocks
+        encoded, meta = transform.encode(state)
+        assert len(meta["scales"]) == 8
+        restored = transform.decode(encoded, meta)
+        assert abs(np.vdot(state, restored)) ** 2 > 0.99
+
+    def test_int8_block_size_validation(self):
+        from repro.core.codecs import Int8BlockTransform
+
+        with pytest.raises(ConfigError):
+            Int8BlockTransform(block_size=1)
+
+    def test_zero_state_handled(self):
+        # all-zero imaginary parts, blocks of zeros: scales fall back to 1.
+        state = np.zeros(8, dtype=np.complex128)
+        state[0] = 1.0
+        for name in ("f16-pair", "int8-block"):
+            transform = get_transform(name)
+            encoded, meta = transform.encode(state)
+            restored = transform.decode(encoded, meta)
+            assert abs(np.vdot(state, restored)) ** 2 > 0.999
+
+    def test_unknown_transform(self):
+        with pytest.raises(ConfigError):
+            get_transform("fp4")
+
+    def test_registry_names_consistent(self):
+        for name, transform in TRANSFORMS.items():
+            assert transform.name == name
+
+
+class TestXorBytes:
+    def test_self_inverse(self, rng):
+        a = rng.integers(0, 256, 100).astype(np.uint8).tobytes()
+        b = rng.integers(0, 256, 100).astype(np.uint8).tobytes()
+        delta = xor_bytes(a, b)
+        assert xor_bytes(a, delta) == b
+        assert xor_bytes(b, delta) == a
+
+    def test_identical_inputs_give_zeros(self):
+        data = b"hello world"
+        assert xor_bytes(data, data) == b"\x00" * len(data)
+
+    def test_length_mismatch(self):
+        with pytest.raises(SerializationError):
+            xor_bytes(b"ab", b"abc")
+
+
+class TestDeltaEncoding:
+    def _tensors(self, rng, offset=0.0):
+        return {
+            "params": rng.standard_normal(16) + offset,
+            "moments": rng.standard_normal(16),
+            "ints": np.arange(8),
+        }
+
+    def test_roundtrip_exact(self, rng):
+        base = self._tensors(rng)
+        current = {k: v + 1e-3 for k, v in base.items()}
+        current["ints"] = base["ints"]  # unchanged tensor
+        delta_tensors, meta = encode_delta(base, current)
+        rebuilt = apply_delta(base, delta_tensors, meta)
+        assert set(rebuilt) == set(current)
+        for name in current:
+            assert np.array_equal(rebuilt[name], current[name]), name
+            assert rebuilt[name].dtype == current[name].dtype
+
+    def test_unchanged_tensor_is_all_zero_delta(self, rng):
+        base = self._tensors(rng)
+        delta_tensors, meta = encode_delta(base, base)
+        assert delta_sparsity(delta_tensors, meta) == 1.0
+
+    def test_shape_change_falls_back_to_full(self, rng):
+        # A grown 1-D array whose *prefix changed* cannot append-encode.
+        base = {"x": np.ones(4)}
+        current = {"x": np.zeros(6)}
+        delta_tensors, meta = encode_delta(base, current)
+        assert meta["entries"]["x"]["mode"] == MODE_FULL
+        rebuilt = apply_delta(base, delta_tensors, meta)
+        assert rebuilt["x"].shape == (6,)
+
+    def test_matrix_growth_falls_back_to_full(self, rng):
+        base = {"x": np.zeros((2, 4))}
+        current = {"x": np.zeros((3, 4))}
+        _, meta = encode_delta(base, current)
+        assert meta["entries"]["x"]["mode"] == MODE_FULL
+
+    def test_dtype_change_falls_back_to_full(self):
+        base = {"x": np.zeros(4, dtype=np.float64)}
+        current = {"x": np.zeros(4, dtype=np.float32)}
+        _, meta = encode_delta(base, current)
+        assert meta["entries"]["x"]["mode"] == MODE_FULL
+
+    def test_new_tensor_stored_full(self, rng):
+        base = {}
+        current = {"new": rng.standard_normal(3)}
+        delta_tensors, meta = encode_delta(base, current)
+        assert meta["entries"]["new"]["mode"] == MODE_FULL
+        rebuilt = apply_delta(base, delta_tensors, meta)
+        assert np.array_equal(rebuilt["new"], current["new"])
+
+    def test_removed_tensor_dropped(self, rng):
+        base = {"old": np.ones(2), "keep": np.ones(3)}
+        current = {"keep": np.ones(3)}
+        delta_tensors, meta = encode_delta(base, current)
+        assert meta["removed"] == ["old"]
+        rebuilt = apply_delta(base, delta_tensors, meta)
+        assert set(rebuilt) == {"keep"}
+
+    def test_xor_mode_for_matching_tensors(self, rng):
+        base = self._tensors(rng)
+        current = {k: v.copy() for k, v in base.items()}
+        _, meta = encode_delta(base, current)
+        assert all(e["mode"] == MODE_XOR for e in meta["entries"].values())
+
+    def test_apply_missing_base_tensor_rejected(self, rng):
+        base = {"x": np.zeros(4)}
+        delta_tensors, meta = encode_delta(base, {"x": np.ones(4)})
+        with pytest.raises(SerializationError):
+            apply_delta({}, delta_tensors, meta)
+
+    def test_apply_base_shape_mismatch_rejected(self, rng):
+        base = {"x": np.zeros(4)}
+        delta_tensors, meta = encode_delta(base, {"x": np.ones(4)})
+        with pytest.raises(SerializationError):
+            apply_delta({"x": np.zeros(5)}, delta_tensors, meta)
+
+    def test_malformed_meta_rejected(self):
+        with pytest.raises(SerializationError):
+            apply_delta({}, {}, {"entries": {"x": {"mode": "zip"}}, "removed": []})
+        with pytest.raises(SerializationError):
+            apply_delta({}, {}, None)
+
+    def test_append_mode_for_grown_history(self, rng):
+        base = {"history": rng.standard_normal(100)}
+        current = {"history": np.concatenate([base["history"], [1.5, 2.5]])}
+        delta_tensors, meta = encode_delta(base, current)
+        assert meta["entries"]["history"]["mode"] == MODE_APPEND
+        assert meta["entries"]["history"]["base_size"] == 100
+        assert delta_tensors["history"].size == 2  # only the suffix stored
+        rebuilt = apply_delta(base, delta_tensors, meta)
+        assert np.array_equal(rebuilt["history"], current["history"])
+
+    def test_append_requires_bitwise_prefix(self, rng):
+        base = {"history": rng.standard_normal(100)}
+        grown = np.concatenate([base["history"], [1.5]])
+        grown[0] += 1e-12  # prefix no longer bitwise equal
+        _, meta = encode_delta(base, {"history": grown})
+        assert meta["entries"]["history"]["mode"] == MODE_FULL
+
+    def test_append_preserves_dtype(self):
+        base = {"steps": np.arange(5, dtype=np.int32)}
+        current = {"steps": np.arange(8, dtype=np.int32)}
+        delta_tensors, meta = encode_delta(base, current)
+        assert meta["entries"]["steps"]["mode"] == MODE_APPEND
+        rebuilt = apply_delta(base, delta_tensors, meta)
+        assert rebuilt["steps"].dtype == np.int32
+        assert np.array_equal(rebuilt["steps"], current["steps"])
+
+    def test_append_apply_validates_base(self, rng):
+        base = {"h": rng.standard_normal(10)}
+        delta_tensors, meta = encode_delta(
+            base, {"h": np.concatenate([base["h"], [1.0]])}
+        )
+        with pytest.raises(SerializationError):
+            apply_delta({"h": np.zeros(9)}, delta_tensors, meta)
+        with pytest.raises(SerializationError):
+            apply_delta({}, delta_tensors, meta)
+
+    def test_append_apply_validates_suffix_dtype(self, rng):
+        base = {"h": rng.standard_normal(10)}
+        delta_tensors, meta = encode_delta(
+            base, {"h": np.concatenate([base["h"], [1.0]])}
+        )
+        bad = {"h": delta_tensors["h"].astype(np.float32)}
+        with pytest.raises(SerializationError):
+            apply_delta(base, bad, meta)
+
+    def test_shrunk_history_stored_full(self, rng):
+        base = {"h": rng.standard_normal(10)}
+        current = {"h": base["h"][:6].copy()}
+        _, meta = encode_delta(base, current)
+        assert meta["entries"]["h"]["mode"] == MODE_FULL
+
+    def test_small_parameter_moves_compress_well(self, rng):
+        """The Fig. 5 premise: near-identical snapshots yield tiny deltas."""
+        import zlib
+
+        base = {"sv": haar_state(10, rng)}
+        current = {"sv": base["sv"].copy()}
+        current["sv"][:8] += 1e-9  # a few amplitudes nudged
+        current["sv"] /= np.linalg.norm(current["sv"])
+        delta_tensors, meta = encode_delta(base, current)
+        delta_compressed = len(zlib.compress(delta_tensors["sv"].tobytes(), 6))
+        full_compressed = len(
+            zlib.compress(np.ascontiguousarray(current["sv"]).tobytes(), 6)
+        )
+        # Renormalization touches every amplitude, so the delta is not sparse
+        # in general — but when only a few bytes differ it must beat full.
+        assert delta_sparsity(delta_tensors, meta) >= 0.0
+        assert delta_compressed <= full_compressed * 1.05

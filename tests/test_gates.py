@@ -1,0 +1,180 @@
+"""Unit tests for the gate library: matrices, derivatives, shift rules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.quantum import gates as G
+
+
+class TestFixedGates:
+    def test_registry_contains_expected_gates(self):
+        for name in ["i", "x", "y", "z", "h", "s", "t", "cnot", "cz", "swap",
+                     "toffoli", "rx", "ry", "rz", "rot", "crx", "zz"]:
+            assert name in G.REGISTRY
+
+    @pytest.mark.parametrize("name", sorted(G.REGISTRY))
+    def test_every_gate_is_unitary(self, name):
+        spec = G.REGISTRY[name]
+        params = tuple(0.3 + 0.1 * k for k in range(spec.n_params))
+        assert G.is_unitary(G.matrix_for(name, params))
+
+    def test_pauli_x_flips_basis(self):
+        assert np.allclose(G.PAULI_X @ np.array([1, 0]), np.array([0, 1]))
+
+    def test_hadamard_creates_superposition(self):
+        out = G.HADAMARD @ np.array([1, 0])
+        assert np.allclose(out, np.array([1, 1]) / math.sqrt(2))
+
+    def test_s_squared_is_z(self):
+        assert np.allclose(G.S_GATE @ G.S_GATE, G.PAULI_Z)
+
+    def test_t_squared_is_s(self):
+        assert np.allclose(G.T_GATE @ G.T_GATE, G.S_GATE)
+
+    def test_sx_squared_is_x(self):
+        assert np.allclose(G.SX_GATE @ G.SX_GATE, G.PAULI_X)
+
+    def test_sdg_is_s_inverse(self):
+        assert np.allclose(G.S_GATE @ G.SDG_GATE, np.eye(2))
+
+    def test_cnot_control_on_first_wire(self):
+        # |10> -> |11>
+        state = np.zeros(4)
+        state[2] = 1.0
+        out = G.CNOT @ state
+        assert out[3] == 1.0
+
+    def test_cnot_identity_when_control_zero(self):
+        state = np.zeros(4)
+        state[1] = 1.0  # |01>
+        assert np.allclose(G.CNOT @ state, state)
+
+    def test_swap_swaps(self):
+        state = np.zeros(4)
+        state[1] = 1.0  # |01>
+        out = G.SWAP @ state
+        assert out[2] == 1.0  # |10>
+
+    def test_toffoli_flips_only_when_both_controls_set(self):
+        state = np.zeros(8)
+        state[6] = 1.0  # |110>
+        assert (G.TOFFOLI @ state)[7] == 1.0
+        state = np.zeros(8)
+        state[4] = 1.0  # |100>
+        assert np.allclose(G.TOFFOLI @ state, state)
+
+    def test_fredkin_swaps_targets_when_control_set(self):
+        state = np.zeros(8)
+        state[5] = 1.0  # |101>
+        assert (G.FREDKIN @ state)[6] == 1.0  # |110>
+
+    def test_controlled_helper_matches_cnot(self):
+        assert np.allclose(G.controlled(G.PAULI_X), G.CNOT)
+
+    def test_is_unitary_rejects_non_unitary(self):
+        assert not G.is_unitary(np.array([[1, 1], [0, 1]], dtype=complex))
+
+
+class TestParametricGates:
+    def test_rx_at_zero_is_identity(self):
+        assert np.allclose(G.rx(0.0), np.eye(2))
+
+    def test_rx_at_pi_is_minus_i_x(self):
+        assert np.allclose(G.rx(math.pi), -1j * G.PAULI_X)
+
+    def test_ry_at_pi_is_minus_i_y(self):
+        assert np.allclose(G.ry(math.pi), -1j * G.PAULI_Y)
+
+    def test_rz_at_pi_is_minus_i_z(self):
+        assert np.allclose(G.rz(math.pi), -1j * G.PAULI_Z)
+
+    def test_rot_composition(self):
+        phi, theta, omega = 0.2, 0.5, 1.1
+        assert np.allclose(
+            G.rot(phi, theta, omega), G.rz(omega) @ G.ry(theta) @ G.rz(phi)
+        )
+
+    def test_phase_shift_diag(self):
+        m = G.phase_shift(0.7)
+        assert m[0, 0] == 1.0
+        assert np.isclose(m[1, 1], np.exp(0.7j))
+
+    def test_controlled_rotations_block_structure(self):
+        theta = 0.9
+        m = G.crx(theta)
+        assert np.allclose(m[:2, :2], np.eye(2))
+        assert np.allclose(m[2:, 2:], G.rx(theta))
+
+    def test_ising_zz_is_diagonal(self):
+        m = G.ising_zz(0.4)
+        off_diag = m - np.diag(np.diag(m))
+        assert np.allclose(off_diag, 0)
+
+    def test_ising_xx_at_zero_identity(self):
+        assert np.allclose(G.ising_xx(0.0), np.eye(4))
+
+    def test_rotation_composition_law(self):
+        # R(a) @ R(b) == R(a + b) for exponential-form rotations.
+        for fn in (G.rx, G.ry, G.rz, G.ising_zz):
+            assert np.allclose(fn(0.3) @ fn(0.4), fn(0.7))
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize(
+        "name", [n for n, s in G.REGISTRY.items() if s.n_params > 0]
+    )
+    def test_analytic_derivative_matches_numerical(self, name):
+        spec = G.REGISTRY[name]
+        params = [0.37 + 0.21 * k for k in range(spec.n_params)]
+        eps = 1e-7
+        for k in range(spec.n_params):
+            analytic = G.derivative_for(name, params, k)
+            bumped_up = list(params)
+            bumped_up[k] += eps
+            bumped_dn = list(params)
+            bumped_dn[k] -= eps
+            numerical = (
+                G.matrix_for(name, bumped_up) - G.matrix_for(name, bumped_dn)
+            ) / (2 * eps)
+            assert np.allclose(analytic, numerical, atol=1e-6), (name, k)
+
+    def test_derivative_errors_on_fixed_gate(self):
+        with pytest.raises(CircuitError):
+            G.derivative_for("h", (), 0)
+
+    def test_derivative_errors_on_bad_index(self):
+        with pytest.raises(CircuitError):
+            G.derivative_for("rx", (0.1,), 1)
+
+
+class TestRegistryAccess:
+    def test_spec_for_is_case_insensitive(self):
+        assert G.spec_for("CNOT").name == "cnot"
+
+    def test_spec_for_unknown_gate(self):
+        with pytest.raises(CircuitError, match="unknown gate"):
+            G.spec_for("frobnicate")
+
+    def test_matrix_for_wrong_param_count(self):
+        with pytest.raises(CircuitError, match="parameter"):
+            G.matrix_for("rx", (0.1, 0.2))
+
+    def test_shift_rule_classification(self):
+        assert G.REGISTRY["rx"].shift_rule == G.TWO_TERM
+        assert G.REGISTRY["crx"].shift_rule == G.FOUR_TERM
+        assert G.REGISTRY["cphase"].shift_rule == G.TWO_TERM
+        assert G.REGISTRY["h"].shift_rule is None
+
+    def test_four_term_coefficients(self):
+        c1, c2 = G.FOUR_TERM_COEFFS
+        sqrt2 = math.sqrt(2)
+        assert np.isclose(c1, (sqrt2 + 1) / (4 * sqrt2))
+        assert np.isclose(c2, (sqrt2 - 1) / (4 * sqrt2))
+
+    def test_fixed_gate_matrices_are_readonly(self):
+        matrix = G.matrix_for("h")
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 5.0

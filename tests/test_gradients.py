@@ -1,0 +1,197 @@
+"""Cross-validation of the three gradient engines.
+
+The finite-difference differentiator is the independent numerical oracle;
+adjoint and parameter-shift must agree with it (and with each other to
+machine precision, both being exact).
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    adjoint_gradient,
+    finite_difference_gradient,
+    parameter_shift_gradient,
+)
+from repro.autodiff.parameter_shift import shift_rule_evaluations
+from repro.errors import GradientError
+from repro.quantum.circuit import Circuit, Param
+from repro.quantum.haar import haar_state
+from repro.quantum.observables import Hamiltonian, PauliString, Projector
+from repro.quantum.templates import (
+    hardware_efficient,
+    initial_parameters,
+    qaoa_maxcut,
+    strongly_entangling,
+)
+
+Z0 = PauliString.from_label("Z0")
+
+
+def _cases():
+    rng = np.random.default_rng(99)
+    hea = hardware_efficient(3, 2)
+    se = strongly_entangling(3, 2)
+    qaoa = qaoa_maxcut(3, [(0, 1), (1, 2), (0, 2)], 2)
+    ctrl = Circuit(3)
+    ctrl.h(0).crx(0, 1, ctrl.new_param()).cry(1, 2, ctrl.new_param())
+    ctrl.crz(0, 2, ctrl.new_param()).cphase(0, 1, ctrl.new_param())
+    mixed = Circuit(2)
+    mixed.rot(0, mixed.new_param(), 0.4, mixed.new_param())
+    mixed.xx(0, 1, mixed.new_param()).yy(0, 1, mixed.new_param())
+    mixed.zz(0, 1, mixed.new_param()).phase(1, mixed.new_param())
+    tfim = Hamiltonian.transverse_field_ising(3, 1.0, 0.7)
+    small = Hamiltonian.from_terms({"Z0": 1.0, "X0 X1": 0.5})
+    return [
+        ("hea", hea, initial_parameters(hea, rng, 0.8), tfim),
+        ("se", se, initial_parameters(se, rng, 0.8), tfim),
+        ("qaoa-shared", qaoa, rng.uniform(0, np.pi, qaoa.n_params), tfim),
+        ("controlled", ctrl, rng.uniform(0, np.pi, ctrl.n_params), tfim),
+        ("mixed-gates", mixed, rng.uniform(0, np.pi, mixed.n_params), small),
+    ]
+
+
+class TestGradientAgreement:
+    @pytest.mark.parametrize("name,circuit,params,obs", _cases())
+    def test_adjoint_vs_parameter_shift(self, name, circuit, params, obs):
+        adj = adjoint_gradient(circuit, params, obs)
+        ps = parameter_shift_gradient(circuit, params, obs)
+        assert np.allclose(adj, ps, atol=1e-10), name
+
+    @pytest.mark.parametrize("name,circuit,params,obs", _cases())
+    def test_adjoint_vs_finite_difference(self, name, circuit, params, obs):
+        adj = adjoint_gradient(circuit, params, obs)
+        fd = finite_difference_gradient(circuit, params, obs)
+        assert np.allclose(adj, fd, atol=1e-5), name
+
+    def test_gradients_nonzero_somewhere(self):
+        _, circuit, params, obs = _cases()[0]
+        assert np.linalg.norm(adjoint_gradient(circuit, params, obs)) > 1e-6
+
+
+class TestAdjoint:
+    def test_return_value_matches_expectation(self, rng):
+        circuit = hardware_efficient(2, 1)
+        params = initial_parameters(circuit, rng, 0.5)
+        h = Hamiltonian.from_terms({"Z0": 1.0, "Z1": -0.5})
+        value, grads = adjoint_gradient(circuit, params, h, return_value=True)
+        from repro.quantum.statevector import apply_circuit
+
+        assert np.isclose(value, h.expectation(apply_circuit(circuit, params)))
+        assert grads.shape == params.shape
+
+    def test_initial_state_support(self, rng):
+        circuit = Circuit(2)
+        circuit.rx(0, circuit.new_param())
+        initial = haar_state(2, rng)
+        adj = adjoint_gradient(circuit, [0.3], Z0, initial_state=initial)
+        fd = finite_difference_gradient(circuit, [0.3], Z0, initial_state=initial)
+        assert np.allclose(adj, fd, atol=1e-5)
+
+    def test_projector_observable(self, rng):
+        circuit = hardware_efficient(2, 1)
+        params = initial_parameters(circuit, rng, 0.5)
+        target = haar_state(2, rng)
+        adj = adjoint_gradient(circuit, params, Projector(target))
+        fd = finite_difference_gradient(circuit, params, Projector(target))
+        assert np.allclose(adj, fd, atol=1e-5)
+
+    def test_unsupported_observable_rejected(self):
+        circuit = Circuit(1)
+        circuit.rx(0, circuit.new_param())
+        with pytest.raises(GradientError):
+            adjoint_gradient(circuit, [0.1], object())
+
+    def test_constant_parameters_not_differentiated(self):
+        circuit = Circuit(1)
+        circuit.rx(0, 0.7)  # constant, not trainable
+        circuit.ry(0, circuit.new_param())
+        grads = adjoint_gradient(circuit, [0.2], Z0)
+        assert grads.shape == (1,)
+
+
+class TestParameterShift:
+    def test_known_analytic_gradient(self):
+        # <Z> after RY(theta) is cos(theta); gradient is -sin(theta).
+        circuit = Circuit(1)
+        circuit.ry(0, circuit.new_param())
+        theta = 0.83
+        grads = parameter_shift_gradient(circuit, [theta], Z0)
+        assert np.isclose(grads[0], -np.sin(theta), atol=1e-12)
+
+    def test_shared_parameter_chain_rule(self):
+        # Same Param feeding two RY gates: d/dtheta cos(2 theta) = -2 sin(2 theta).
+        circuit = Circuit(1)
+        shared = circuit.new_param()
+        circuit.ry(0, shared).ry(0, shared)
+        theta = 0.4
+        grads = parameter_shift_gradient(circuit, [theta], Z0)
+        assert np.isclose(grads[0], -2 * np.sin(2 * theta), atol=1e-12)
+
+    def test_four_term_rule_for_controlled_rotation(self):
+        circuit = Circuit(2)
+        circuit.h(0).crx(0, 1, circuit.new_param())
+        theta = 1.234
+        z1 = PauliString.from_label("Z1")
+        grads = parameter_shift_gradient(circuit, [theta], z1)
+        fd = finite_difference_gradient(circuit, [theta], z1)
+        assert np.allclose(grads, fd, atol=1e-6)
+
+    def test_shot_based_requires_rng(self):
+        circuit = Circuit(1)
+        circuit.ry(0, circuit.new_param())
+        with pytest.raises(ValueError):
+            parameter_shift_gradient(circuit, [0.1], Z0, shots=100)
+
+    def test_shot_based_reproducible(self):
+        circuit = Circuit(1)
+        circuit.ry(0, circuit.new_param())
+        a = parameter_shift_gradient(
+            circuit, [0.5], Z0, shots=128, rng=np.random.default_rng(4)
+        )
+        b = parameter_shift_gradient(
+            circuit, [0.5], Z0, shots=128, rng=np.random.default_rng(4)
+        )
+        assert np.array_equal(a, b)
+
+    def test_shot_based_converges(self):
+        circuit = Circuit(1)
+        circuit.ry(0, circuit.new_param())
+        theta = 0.9
+        grads = parameter_shift_gradient(
+            circuit, [theta], Z0, shots=40000, rng=np.random.default_rng(8)
+        )
+        assert abs(grads[0] + np.sin(theta)) < 0.03
+
+    def test_evaluation_count(self):
+        circuit = Circuit(2)
+        circuit.ry(0, circuit.new_param())
+        circuit.crx(0, 1, circuit.new_param())
+        assert shift_rule_evaluations(circuit) == 2 + 4
+
+    def test_unparameterized_circuit_gives_empty_gradient(self):
+        circuit = Circuit(1).h(0)
+        grads = parameter_shift_gradient(circuit, [], Z0)
+        assert grads.size == 0
+
+
+class TestFiniteDifference:
+    def test_forward_scheme(self):
+        circuit = Circuit(1)
+        circuit.ry(0, circuit.new_param())
+        grads = finite_difference_gradient(
+            circuit, [0.6], Z0, scheme="forward", step=1e-7
+        )
+        assert np.isclose(grads[0], -np.sin(0.6), atol=1e-4)
+
+    def test_invalid_scheme(self):
+        circuit = Circuit(1)
+        circuit.ry(0, circuit.new_param())
+        with pytest.raises(GradientError):
+            finite_difference_gradient(circuit, [0.1], Z0, scheme="sideways")
+
+    def test_invalid_step(self):
+        circuit = Circuit(1)
+        circuit.ry(0, circuit.new_param())
+        with pytest.raises(GradientError):
+            finite_difference_gradient(circuit, [0.1], Z0, step=0.0)

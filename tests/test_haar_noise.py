@@ -1,0 +1,169 @@
+"""Unit tests for Haar sampling and stochastic noise channels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.quantum.circuit import Circuit
+from repro.quantum.haar import (
+    haar_state,
+    haar_unitary,
+    random_circuit,
+    random_pauli_string,
+)
+from repro.quantum.noise import (
+    NoiseModel,
+    amplitude_damping_kraus,
+    apply_kraus_channel,
+    bit_flip_kraus,
+    depolarizing_kraus,
+    noisy_expectation,
+    phase_flip_kraus,
+    run_noisy,
+)
+from repro.quantum.observables import PauliString
+from repro.quantum.statevector import zero_state
+
+
+class TestHaar:
+    def test_unitary_is_unitary(self, rng):
+        for dim in (2, 4, 8):
+            u = haar_unitary(dim, rng)
+            assert np.allclose(u.conj().T @ u, np.eye(dim), atol=1e-10)
+
+    def test_unitary_rejects_bad_dim(self, rng):
+        with pytest.raises(CircuitError):
+            haar_unitary(0, rng)
+
+    def test_state_normalized(self, rng):
+        assert np.isclose(np.linalg.norm(haar_state(5, rng)), 1.0)
+
+    def test_states_differ_across_draws(self, rng):
+        a, b = haar_state(3, rng), haar_state(3, rng)
+        assert abs(np.vdot(a, b)) < 0.999
+
+    def test_mean_fidelity_matches_haar_average(self):
+        # E[|<a|b>|^2] over Haar pairs = 1/d.
+        rng = np.random.default_rng(0)
+        n, trials = 4, 300
+        total = 0.0
+        for _ in range(trials):
+            total += abs(np.vdot(haar_state(n, rng), haar_state(n, rng))) ** 2
+        assert abs(total / trials - 1 / 16) < 0.02
+
+    def test_random_pauli_weight_bounds(self, rng):
+        for _ in range(20):
+            p = random_pauli_string(5, rng, max_weight=2)
+            assert 1 <= len(p.paulis) <= 2
+
+    def test_random_circuit_gate_count(self, rng):
+        circuit = random_circuit(3, 25, rng)
+        assert len(circuit) == 25
+
+    def test_random_circuit_parametric_executes(self, rng):
+        circuit = random_circuit(3, 10, rng, parametric=True)
+        from repro.quantum.statevector import apply_circuit
+
+        assert np.isclose(np.linalg.norm(apply_circuit(circuit)), 1.0)
+
+
+class TestKrausSets:
+    @pytest.mark.parametrize(
+        "factory,p",
+        [
+            (bit_flip_kraus, 0.1),
+            (phase_flip_kraus, 0.25),
+            (depolarizing_kraus, 0.3),
+            (amplitude_damping_kraus, 0.4),
+        ],
+    )
+    def test_completeness_relation(self, factory, p):
+        kraus = factory(p)
+        total = sum(k.conj().T @ k for k in kraus)
+        assert np.allclose(total, np.eye(2), atol=1e-12)
+
+    def test_probability_validated(self):
+        with pytest.raises(CircuitError):
+            bit_flip_kraus(1.5)
+
+
+class TestChannelApplication:
+    def test_preserves_norm(self, rng):
+        state = haar_state(3, rng)
+        out = apply_kraus_channel(state, depolarizing_kraus(0.5), 1, rng)
+        assert np.isclose(np.linalg.norm(out), 1.0)
+
+    def test_bit_flip_p1_flips(self, rng):
+        out = apply_kraus_channel(zero_state(1), bit_flip_kraus(1.0), 0, rng)
+        assert np.isclose(abs(out[1]), 1.0)
+
+    def test_bit_flip_p0_identity(self, rng):
+        out = apply_kraus_channel(zero_state(1), bit_flip_kraus(0.0), 0, rng)
+        assert np.isclose(abs(out[0]), 1.0)
+
+    def test_amplitude_damping_keeps_ground_state(self, rng):
+        out = apply_kraus_channel(
+            zero_state(1), amplitude_damping_kraus(0.9), 0, rng
+        )
+        assert np.isclose(abs(out[0]), 1.0)
+
+    def test_deterministic_given_seed(self):
+        state = haar_state(2, np.random.default_rng(3))
+        a = apply_kraus_channel(
+            state, depolarizing_kraus(0.5), 0, np.random.default_rng(7)
+        )
+        b = apply_kraus_channel(
+            state, depolarizing_kraus(0.5), 0, np.random.default_rng(7)
+        )
+        assert np.array_equal(a, b)
+
+
+class TestNoiseModel:
+    def test_trivial_detection(self):
+        assert NoiseModel().is_trivial
+        assert not NoiseModel(depolarizing=0.01).is_trivial
+
+    def test_channels_only_enabled(self):
+        model = NoiseModel(bit_flip=0.1, amplitude_damping=0.2)
+        assert len(model.channels()) == 2
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            NoiseModel(depolarizing=-0.1)
+
+    def test_noiseless_run_matches_exact(self, rng):
+        from repro.quantum.statevector import apply_circuit
+
+        circuit = Circuit(2).h(0).cnot(0, 1)
+        noisy = run_noisy(circuit, None, NoiseModel(), rng)
+        assert np.allclose(noisy, apply_circuit(circuit))
+
+    def test_noisy_run_normalized(self, rng):
+        circuit = Circuit(2).h(0).cnot(0, 1).ry(1, 0.4)
+        out = run_noisy(circuit, None, NoiseModel(depolarizing=0.05), rng)
+        assert np.isclose(np.linalg.norm(out), 1.0)
+
+    def test_depolarizing_degrades_expectation(self):
+        # <Z0 Z1> on a Bell state is 1 exactly; strong noise pulls it toward 0.
+        circuit = Circuit(2).h(0).cnot(0, 1)
+        obs = PauliString.from_label("Z0 Z1")
+        noisy = noisy_expectation(
+            circuit,
+            None,
+            obs,
+            NoiseModel(depolarizing=0.2),
+            np.random.default_rng(5),
+            trajectories=200,
+        )
+        assert noisy < 0.9
+
+    def test_trajectories_validated(self, rng):
+        with pytest.raises(CircuitError):
+            noisy_expectation(
+                Circuit(1).h(0),
+                None,
+                PauliString.from_label("Z0"),
+                NoiseModel(),
+                rng,
+                trajectories=0,
+            )

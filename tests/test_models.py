@@ -1,0 +1,248 @@
+"""Unit tests for the trainable hybrid models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ml.models import UnitaryLearningModel, VariationalClassifier, VQEModel
+from repro.quantum.circuit import Circuit
+from repro.quantum.haar import haar_state, haar_unitary
+from repro.quantum.observables import Hamiltonian, PauliString
+from repro.quantum.templates import hardware_efficient
+
+
+def _numeric_loss_grad(model, params, batch, eps=1e-6):
+    grads = np.zeros_like(params)
+    for i in range(params.size):
+        up = params.copy()
+        up[i] += eps
+        down = params.copy()
+        down[i] -= eps
+        loss_up, _ = model.loss_and_grad(up, batch)
+        loss_down, _ = model.loss_and_grad(down, batch)
+        grads[i] = (loss_up - loss_down) / (2 * eps)
+    return grads
+
+
+class TestVariationalClassifier:
+    def _model(self, loss="mse"):
+        return VariationalClassifier(hardware_efficient(2, 1), loss=loss)
+
+    def test_output_in_range(self, rng):
+        model = self._model()
+        params = model.init_params(rng)
+        for _ in range(5):
+            value = model.forward_one(params, rng.standard_normal(2))
+            assert -1.0 <= value <= 1.0 + 1e-12
+
+    def test_predict_signs(self, rng):
+        model = self._model()
+        params = model.init_params(rng)
+        preds = model.predict(params, rng.standard_normal((6, 2)))
+        assert set(np.unique(preds)) <= {-1.0, 1.0}
+
+    def test_accuracy_bounds(self, rng):
+        model = self._model()
+        params = model.init_params(rng)
+        features = rng.standard_normal((8, 2))
+        labels = np.ones(8)
+        acc = model.accuracy(params, features, labels)
+        assert 0.0 <= acc <= 1.0
+
+    @pytest.mark.parametrize("loss", ["mse", "bce"])
+    def test_gradient_matches_numeric(self, loss, rng):
+        model = self._model(loss)
+        params = model.init_params(rng, scale=0.4)
+        features = rng.standard_normal((3, 2))
+        labels = np.array([1.0, -1.0, 1.0])
+        _, grads = model.loss_and_grad(params, (features, labels))
+        numeric = _numeric_loss_grad(model, params, (features, labels))
+        assert np.allclose(grads, numeric, atol=1e-5)
+
+    def test_mse_loss_zero_when_perfect(self):
+        # Build a model whose output is exactly +1 for the given sample.
+        model = VariationalClassifier(
+            hardware_efficient(1, 1, rotations=("ry",), ring=False),
+            encoder=lambda x: Circuit(1),
+            encoder_id="null",
+        )
+        params = np.zeros(model.n_params)
+        loss, _ = model.loss_and_grad(params, (np.zeros((1, 1)), np.array([1.0])))
+        assert np.isclose(loss, 0.0)
+
+    def test_bce_loss_positive(self, rng):
+        model = self._model("bce")
+        params = model.init_params(rng)
+        loss, _ = model.loss_and_grad(
+            params, (rng.standard_normal((2, 2)), np.array([1.0, -1.0]))
+        )
+        assert loss > 0.0
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ConfigError):
+            self._model("hinge")
+
+    def test_shot_forward_requires_rng(self, rng):
+        model = self._model()
+        params = model.init_params(rng)
+        with pytest.raises(ConfigError):
+            model.forward_one(params, np.zeros(2), shots=10)
+
+    def test_shot_based_loss_reproducible(self):
+        model = self._model()
+        params = model.init_params(np.random.default_rng(0), scale=0.3)
+        batch = (np.ones((2, 2)) * 0.2, np.array([1.0, -1.0]))
+        a = model.loss_and_grad(
+            params, batch, shots=64, rng=np.random.default_rng(3)
+        )
+        b = model.loss_and_grad(
+            params, batch, shots=64, rng=np.random.default_rng(3)
+        )
+        assert a[0] == b[0] and np.array_equal(a[1], b[1])
+
+    def test_fingerprint_distinguishes_structure(self):
+        a = VariationalClassifier(hardware_efficient(2, 1))
+        b = VariationalClassifier(hardware_efficient(2, 2))
+        c = VariationalClassifier(
+            hardware_efficient(2, 1), readout=PauliString.from_label("Z1")
+        )
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
+
+    def test_fingerprint_stable(self):
+        a = VariationalClassifier(hardware_efficient(2, 1))
+        b = VariationalClassifier(hardware_efficient(2, 1))
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestVQEModel:
+    def _model(self, n=2, layers=2):
+        return VQEModel(
+            hardware_efficient(n, layers), Hamiltonian.h2_minimal()
+        )
+
+    def test_energy_matches_loss(self, rng):
+        model = self._model()
+        params = model.init_params(rng)
+        loss, _ = model.loss_and_grad(params)
+        assert np.isclose(loss, model.energy(params))
+
+    def test_gradient_matches_numeric(self, rng):
+        model = self._model()
+        params = model.init_params(rng, 0.5)
+        _, grads = model.loss_and_grad(params)
+        numeric = _numeric_loss_grad(model, params, None)
+        assert np.allclose(grads, numeric, atol=1e-5)
+
+    def test_energy_above_ground_state(self, rng):
+        model = self._model()
+        ground = Hamiltonian.h2_minimal().ground_energy(2)
+        for _ in range(5):
+            assert model.energy(model.init_params(rng, 1.0)) >= ground - 1e-9
+
+    def test_training_reaches_chemical_accuracy(self):
+        from repro.ml.optimizers import Adam
+
+        model = self._model()
+        rng = np.random.default_rng(2)
+        params = model.init_params(rng, 0.1)
+        optimizer = Adam(lr=0.1)
+        for _ in range(200):
+            _, grads = model.loss_and_grad(params)
+            params = optimizer.step(params, grads)
+        assert model.energy(params) < -1.85  # ground is -1.8573
+
+    def test_statevector_shape(self, rng):
+        model = self._model()
+        sv = model.statevector(model.init_params(rng))
+        assert sv.shape == (4,)
+        assert np.isclose(np.linalg.norm(sv), 1.0)
+
+    def test_shot_based_needs_rng(self, rng):
+        model = self._model()
+        with pytest.raises(ConfigError):
+            model.loss_and_grad(model.init_params(rng), shots=16)
+
+    def test_hamiltonian_width_checked(self):
+        with pytest.raises(ConfigError):
+            VQEModel(
+                hardware_efficient(1, 1),
+                Hamiltonian.transverse_field_ising(3, 1.0, 1.0),
+            )
+
+    def test_fingerprint_depends_on_hamiltonian(self):
+        a = VQEModel(hardware_efficient(2, 1), Hamiltonian.h2_minimal())
+        b = VQEModel(
+            hardware_efficient(2, 1),
+            Hamiltonian.transverse_field_ising(2, 1.0, 1.0),
+        )
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestUnitaryLearningModel:
+    def _model(self, rng, n=2, n_states=3):
+        target = haar_unitary(2**n, rng)
+        inputs = [haar_state(n, rng) for _ in range(n_states)]
+        return UnitaryLearningModel(strongly(n), target, inputs)
+
+    def test_loss_is_one_minus_fidelity(self, rng):
+        model = self._model(rng)
+        params = model.init_params(rng)
+        loss, _ = model.loss_and_grad(params)
+        assert np.isclose(loss, 1.0 - model.mean_fidelity(params))
+
+    def test_loss_bounded(self, rng):
+        model = self._model(rng)
+        for _ in range(3):
+            loss, _ = model.loss_and_grad(model.init_params(rng, 1.0))
+            assert -1e-9 <= loss <= 1.0 + 1e-9
+
+    def test_gradient_matches_numeric(self, rng):
+        model = self._model(rng)
+        params = model.init_params(rng, 0.5)
+        _, grads = model.loss_and_grad(params)
+        numeric = _numeric_loss_grad(model, params, None)
+        assert np.allclose(grads, numeric, atol=1e-5)
+
+    def test_identity_target_perfect_at_zero_params(self, rng):
+        # Rotation-only ansatz is the identity at zero parameters.
+        ansatz = Circuit(2)
+        ansatz.ry(0, ansatz.new_param()).ry(1, ansatz.new_param())
+        inputs = [haar_state(2, rng)]
+        model = UnitaryLearningModel(ansatz, np.eye(4), inputs)
+        loss, _ = model.loss_and_grad(np.zeros(ansatz.n_params))
+        assert loss < 1e-10
+
+    def test_training_improves_fidelity(self, rng):
+        from repro.ml.optimizers import Adam
+
+        model = self._model(rng)
+        params = model.init_params(rng, 0.1)
+        before = model.mean_fidelity(params)
+        optimizer = Adam(lr=0.1)
+        for _ in range(60):
+            _, grads = model.loss_and_grad(params)
+            params = optimizer.step(params, grads)
+        assert model.mean_fidelity(params) > before
+
+    def test_rejects_wrong_unitary_shape(self, rng):
+        with pytest.raises(ConfigError):
+            UnitaryLearningModel(strongly(2), np.eye(2), [haar_state(2, rng)])
+
+    def test_rejects_wrong_state_shape(self, rng):
+        with pytest.raises(ConfigError):
+            UnitaryLearningModel(strongly(2), np.eye(4), [haar_state(3, rng)])
+
+    def test_rejects_empty_training_set(self):
+        with pytest.raises(ConfigError):
+            UnitaryLearningModel(strongly(2), np.eye(4), [])
+
+    def test_shots_unsupported(self, rng):
+        model = self._model(rng)
+        with pytest.raises(ConfigError):
+            model.loss_and_grad(model.init_params(rng), shots=16)
+
+
+def strongly(n: int) -> Circuit:
+    from repro.quantum.templates import strongly_entangling
+
+    return strongly_entangling(n, 2)

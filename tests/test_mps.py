@@ -1,0 +1,490 @@
+"""Tests for the MPS (tensor-train) compressor and its QCKPT transform."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.codecs import get_transform
+from repro.core.serialize import pack_payload, unpack_payload
+from repro.errors import CircuitError, ConfigError, SerializationError
+from repro.mps import (
+    MatrixProductState,
+    MPSTransform,
+    entanglement_entropy,
+    entropy_profile,
+    mps_nbytes,
+    required_bond_dimension,
+    schmidt_rank,
+    schmidt_values,
+    truncation_fidelity_lower_bound,
+)
+from repro.quantum.haar import haar_state
+from repro.quantum.statevector import apply_circuit, fidelity, zero_state
+from repro.quantum.templates import hardware_efficient
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def ghz_state(n: int) -> np.ndarray:
+    state = np.zeros(2**n, dtype=np.complex128)
+    state[0] = state[-1] = 1.0 / math.sqrt(2.0)
+    return state
+
+
+def shallow_state(n: int, seed: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    circuit = hardware_efficient(n, 1)
+    return apply_circuit(circuit, 0.1 * rng.standard_normal(circuit.n_params))
+
+
+# ---------------------------------------------------------------------------
+# Decomposition / contraction
+# ---------------------------------------------------------------------------
+
+
+class TestFromStatevector:
+    def test_exact_roundtrip_haar(self, rng):
+        psi = haar_state(6, rng)
+        mps = MatrixProductState.from_statevector(psi)
+        assert fidelity(psi, mps.to_statevector()) == pytest.approx(1.0, abs=1e-12)
+
+    def test_exact_roundtrip_preserves_amplitudes(self, rng):
+        psi = haar_state(4, rng)
+        back = MatrixProductState.from_statevector(psi).to_statevector()
+        np.testing.assert_allclose(back, psi, atol=1e-12)
+
+    def test_product_state_is_bond_one(self):
+        mps = MatrixProductState.from_statevector(zero_state(7))
+        assert mps.bond_dims == (1,) * 6
+        assert mps.max_bond == 1
+
+    def test_ghz_is_bond_two(self):
+        mps = MatrixProductState.from_statevector(ghz_state(6))
+        assert mps.bond_dims == (2,) * 5
+
+    def test_haar_state_saturates_bonds(self, rng):
+        mps = MatrixProductState.from_statevector(haar_state(6, rng))
+        assert mps.bond_dims == (2, 4, 8, 4, 2)
+
+    def test_max_bond_caps_every_cut(self, rng):
+        mps = MatrixProductState.from_statevector(haar_state(7, rng), max_bond=3)
+        assert all(d <= 3 for d in mps.bond_dims)
+
+    def test_single_qubit(self):
+        amplitudes = np.array([0.6, 0.8j], dtype=np.complex128)
+        mps = MatrixProductState.from_statevector(amplitudes)
+        assert mps.n_qubits == 1
+        assert mps.bond_dims == ()
+        np.testing.assert_allclose(mps.to_statevector(), amplitudes)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(CircuitError):
+            MatrixProductState.from_statevector(np.zeros(6, dtype=np.complex128))
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(CircuitError):
+            MatrixProductState.from_statevector(
+                np.zeros((4, 4), dtype=np.complex128)
+            )
+
+    def test_rejects_bad_max_bond(self, rng):
+        with pytest.raises(ConfigError):
+            MatrixProductState.from_statevector(haar_state(3, rng), max_bond=0)
+
+    def test_rejects_negative_tol(self, rng):
+        with pytest.raises(ConfigError):
+            MatrixProductState.from_statevector(haar_state(3, rng), tol=-0.1)
+
+    def test_tol_truncates_small_schmidt_weight(self):
+        # A nearly-product two-qubit state: tol above the small Schmidt
+        # coefficient collapses the bond to 1.
+        state = np.array([1.0, 0.0, 0.0, 1e-4], dtype=np.complex128)
+        state /= np.linalg.norm(state)
+        loose = MatrixProductState.from_statevector(state, tol=1e-3)
+        tight = MatrixProductState.from_statevector(state, tol=1e-6)
+        assert loose.bond_dims == (1,)
+        assert tight.bond_dims == (2,)
+
+
+class TestConstructorsValidation:
+    def test_product_state_builder(self):
+        plus = np.array([1.0, 1.0]) / math.sqrt(2.0)
+        mps = MatrixProductState.product_state([plus, plus, plus])
+        expected = np.full(8, (1 / math.sqrt(2.0)) ** 3, dtype=np.complex128)
+        np.testing.assert_allclose(mps.to_statevector(), expected)
+
+    def test_zero_state_builder(self):
+        np.testing.assert_allclose(
+            MatrixProductState.zero_state(4).to_statevector(), zero_state(4)
+        )
+
+    def test_zero_state_rejects_bad_width(self):
+        with pytest.raises(ConfigError):
+            MatrixProductState.zero_state(0)
+
+    def test_rejects_empty_core_list(self):
+        with pytest.raises(ConfigError):
+            MatrixProductState([])
+
+    def test_rejects_bond_mismatch(self):
+        a = np.zeros((1, 2, 3), dtype=np.complex128)
+        b = np.zeros((2, 2, 1), dtype=np.complex128)
+        with pytest.raises(ConfigError):
+            MatrixProductState([a, b])
+
+    def test_rejects_open_right_boundary(self):
+        a = np.zeros((1, 2, 2), dtype=np.complex128)
+        with pytest.raises(ConfigError):
+            MatrixProductState([a])
+
+    def test_rejects_wrong_physical_dimension(self):
+        a = np.zeros((1, 3, 1), dtype=np.complex128)
+        with pytest.raises(ConfigError):
+            MatrixProductState([a])
+
+
+# ---------------------------------------------------------------------------
+# Overlap / norm / fidelity
+# ---------------------------------------------------------------------------
+
+
+class TestOverlap:
+    def test_overlap_matches_vdot(self, rng):
+        a = haar_state(5, rng)
+        b = haar_state(5, rng)
+        mps_a = MatrixProductState.from_statevector(a)
+        mps_b = MatrixProductState.from_statevector(b)
+        assert mps_a.overlap(mps_b) == pytest.approx(np.vdot(a, b), abs=1e-10)
+
+    def test_norm_of_normalized_state(self, rng):
+        mps = MatrixProductState.from_statevector(haar_state(5, rng))
+        assert mps.norm() == pytest.approx(1.0, abs=1e-12)
+
+    def test_normalize_after_truncation(self, rng):
+        mps = MatrixProductState.from_statevector(haar_state(6, rng), max_bond=2)
+        assert mps.norm() < 1.0  # truncation discards weight
+        assert mps.normalize().norm() == pytest.approx(1.0, abs=1e-12)
+
+    def test_fidelity_is_normalized(self, rng):
+        psi = haar_state(5, rng)
+        exact = MatrixProductState.from_statevector(psi)
+        truncated = MatrixProductState.from_statevector(psi, max_bond=2)
+        # fidelity() normalizes both sides, so it matches the dense fidelity
+        # of the renormalized truncated state.
+        dense = truncated.normalize().to_statevector()
+        assert exact.fidelity(truncated) == pytest.approx(
+            fidelity(psi, dense), abs=1e-10
+        )
+
+    def test_overlap_width_mismatch(self, rng):
+        a = MatrixProductState.from_statevector(haar_state(3, rng))
+        b = MatrixProductState.from_statevector(haar_state(4, rng))
+        with pytest.raises(ConfigError):
+            a.overlap(b)
+
+    def test_normalize_zero_mps_raises(self):
+        zero = MatrixProductState(
+            [np.zeros((1, 2, 1), dtype=np.complex128)] * 2
+        )
+        with pytest.raises(CircuitError):
+            zero.normalize()
+
+
+# ---------------------------------------------------------------------------
+# Recompression
+# ---------------------------------------------------------------------------
+
+
+class TestTruncate:
+    def test_truncate_respects_cap(self, rng):
+        mps = MatrixProductState.from_statevector(haar_state(7, rng))
+        truncated = mps.truncate(max_bond=3)
+        assert all(d <= 3 for d in truncated.bond_dims)
+
+    def test_truncate_exact_when_uncapped(self, rng):
+        psi = haar_state(6, rng)
+        mps = MatrixProductState.from_statevector(psi)
+        again = mps.truncate()
+        assert fidelity(psi, again.to_statevector()) == pytest.approx(
+            1.0, abs=1e-12
+        )
+
+    def test_fidelity_monotone_in_bond(self, rng):
+        psi = haar_state(7, rng)
+        mps = MatrixProductState.from_statevector(psi)
+        fidelities = []
+        for chi in (1, 2, 4, 8):
+            dense = mps.truncate(max_bond=chi).normalize().to_statevector()
+            fidelities.append(fidelity(psi, dense))
+        assert fidelities == sorted(fidelities)
+        assert fidelities[-1] == pytest.approx(1.0, abs=1e-10)
+
+    def test_truncate_shallow_state_is_cheap_and_faithful(self):
+        psi = shallow_state(9)
+        truncated = MatrixProductState.from_statevector(psi, max_bond=4)
+        dense = truncated.normalize().to_statevector()
+        assert fidelity(psi, dense) > 0.999
+        assert truncated.nbytes() < psi.nbytes / 2
+
+    def test_canonicalize_preserves_state(self, rng):
+        psi = haar_state(6, rng)
+        mps = MatrixProductState.from_statevector(psi)
+        np.testing.assert_allclose(
+            mps.canonicalize().to_statevector(), psi, atol=1e-10
+        )
+
+    def test_truncate_validates_arguments(self, rng):
+        mps = MatrixProductState.from_statevector(haar_state(3, rng))
+        with pytest.raises(ConfigError):
+            mps.truncate(max_bond=0)
+        with pytest.raises(ConfigError):
+            mps.truncate(tol=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Schmidt diagnostics (MPS and dense)
+# ---------------------------------------------------------------------------
+
+
+class TestSchmidt:
+    def test_mps_schmidt_matches_dense_svd(self, rng):
+        psi = haar_state(6, rng)
+        mps = MatrixProductState.from_statevector(psi)
+        for cut in (1, 3, 5):
+            dense = np.linalg.svd(
+                psi.reshape(2**cut, -1), compute_uv=False
+            )
+            mine = mps.schmidt_values(cut)
+            np.testing.assert_allclose(mine, dense[: mine.size], atol=1e-10)
+
+    def test_dense_schmidt_values_sum_to_norm(self, rng):
+        psi = haar_state(5, rng)
+        values = schmidt_values(psi, 2)
+        assert float((values**2).sum()) == pytest.approx(1.0, abs=1e-12)
+
+    def test_entropy_product_state_is_zero(self):
+        assert entanglement_entropy(zero_state(5), 2) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_entropy_ghz_is_one_bit(self):
+        psi = ghz_state(6)
+        assert entanglement_entropy(psi, 3) == pytest.approx(1.0, abs=1e-12)
+        mps = MatrixProductState.from_statevector(psi)
+        assert mps.entanglement_entropy(3) == pytest.approx(1.0, abs=1e-10)
+
+    def test_entropy_profile_length(self, rng):
+        psi = haar_state(5, rng)
+        assert len(entropy_profile(psi)) == 4
+
+    def test_schmidt_rank_ghz(self):
+        assert schmidt_rank(ghz_state(5), 2) == 2
+
+    def test_required_bond_dimension_product(self):
+        assert required_bond_dimension(zero_state(6)) == 1
+
+    def test_required_bond_dimension_haar_is_large(self, rng):
+        psi = haar_state(6, rng)
+        assert required_bond_dimension(psi, fidelity_target=0.999) > 4
+
+    def test_required_bond_validates_target(self, rng):
+        with pytest.raises(ConfigError):
+            required_bond_dimension(haar_state(3, rng), fidelity_target=0.0)
+
+    def test_cut_bounds(self, rng):
+        psi = haar_state(4, rng)
+        mps = MatrixProductState.from_statevector(psi)
+        with pytest.raises(ConfigError):
+            schmidt_values(psi, 0)
+        with pytest.raises(ConfigError):
+            schmidt_values(psi, 4)
+        with pytest.raises(ConfigError):
+            mps.schmidt_values(0)
+
+    def test_truncation_bound(self):
+        assert truncation_fidelity_lower_bound([0.01, 0.02]) == pytest.approx(0.97)
+        assert truncation_fidelity_lower_bound([2.0]) == 0.0
+        with pytest.raises(ConfigError):
+            truncation_fidelity_lower_bound([-0.1])
+
+
+# ---------------------------------------------------------------------------
+# Flat (de)serialization and the QCKPT transform
+# ---------------------------------------------------------------------------
+
+
+class TestFlatSerialization:
+    def test_flat_roundtrip(self, rng):
+        mps = MatrixProductState.from_statevector(haar_state(5, rng))
+        flat, shapes = mps.to_flat()
+        back = MatrixProductState.from_flat(flat, shapes)
+        np.testing.assert_allclose(
+            back.to_statevector(), mps.to_statevector(), atol=1e-12
+        )
+
+    def test_from_flat_rejects_short_buffer(self, rng):
+        mps = MatrixProductState.from_statevector(haar_state(4, rng))
+        flat, shapes = mps.to_flat()
+        with pytest.raises(ConfigError):
+            MatrixProductState.from_flat(flat[:-1], shapes)
+
+    def test_from_flat_rejects_trailing_values(self, rng):
+        mps = MatrixProductState.from_statevector(haar_state(4, rng))
+        flat, shapes = mps.to_flat()
+        with pytest.raises(ConfigError):
+            MatrixProductState.from_flat(
+                np.concatenate([flat, np.zeros(1, dtype=np.complex128)]), shapes
+            )
+
+    def test_from_flat_rejects_bad_shape_rank(self):
+        with pytest.raises(ConfigError):
+            MatrixProductState.from_flat(
+                np.zeros(4, dtype=np.complex128), [[2, 2]]
+            )
+
+
+class TestMPSTransform:
+    def test_registered_names(self):
+        for name in ("mps-8", "mps-16", "mps-32", "mps-64", "mps-exact"):
+            assert get_transform(name).lossy
+
+    def test_exact_transform_high_fidelity(self, rng):
+        psi = haar_state(6, rng)
+        transform = get_transform("mps-exact")
+        encoded, meta = transform.encode(psi)
+        decoded = transform.decode(encoded, meta)
+        assert fidelity(psi, decoded) == pytest.approx(1.0, abs=1e-10)
+
+    def test_capped_transform_compresses_shallow_state(self):
+        psi = shallow_state(10)
+        transform = MPSTransform(max_bond=8)
+        encoded, meta = transform.encode(psi)
+        decoded = transform.decode(encoded, meta)
+        assert encoded.nbytes < psi.nbytes / 2
+        assert fidelity(psi, decoded) > 0.999
+
+    def test_decoded_state_is_normalized(self, rng):
+        transform = MPSTransform(max_bond=2)
+        encoded, meta = transform.encode(haar_state(6, rng))
+        decoded = transform.decode(encoded, meta)
+        assert np.linalg.norm(decoded) == pytest.approx(1.0, abs=1e-12)
+
+    def test_meta_is_json_compatible(self, rng):
+        import json
+
+        _, meta = MPSTransform(max_bond=4).encode(haar_state(5, rng))
+        assert json.loads(json.dumps(meta)) == meta
+
+    def test_qckpt_roundtrip_through_container(self, rng):
+        psi = shallow_state(8)
+        data = pack_payload(
+            {"kind": "test"}, {"sv": psi}, transforms={"sv": "mps-16"}
+        )
+        _, tensors = unpack_payload(data)
+        assert fidelity(psi, tensors["sv"]) > 0.9999
+
+    def test_rejects_wrong_dtype(self):
+        transform = MPSTransform(max_bond=4)
+        with pytest.raises(SerializationError):
+            transform.encode(np.zeros(8, dtype=np.float64))
+
+    def test_rejects_non_power_of_two(self):
+        transform = MPSTransform(max_bond=4)
+        with pytest.raises(SerializationError):
+            transform.encode(np.zeros(6, dtype=np.complex128))
+
+    def test_decode_rejects_malformed_meta(self, rng):
+        transform = MPSTransform(max_bond=4)
+        encoded, _ = transform.encode(haar_state(4, rng))
+        with pytest.raises(SerializationError):
+            transform.decode(encoded, {"shapes": [[1, 2, 1]]})
+
+    def test_decode_rejects_wrong_amplitude_count(self, rng):
+        transform = MPSTransform(max_bond=4)
+        encoded, meta = transform.encode(haar_state(4, rng))
+        bad = dict(meta, n_amplitudes=32)
+        with pytest.raises(SerializationError):
+            transform.decode(encoded, bad)
+
+
+# ---------------------------------------------------------------------------
+# Size model
+# ---------------------------------------------------------------------------
+
+
+class TestSizeModel:
+    def test_mps_nbytes_matches_actual_haar(self, rng):
+        psi = haar_state(8, rng)
+        mps = MatrixProductState.from_statevector(psi, max_bond=4)
+        assert mps.nbytes() == mps_nbytes(8, 4)
+
+    def test_mps_nbytes_validates(self):
+        with pytest.raises(ConfigError):
+            mps_nbytes(0, 4)
+        with pytest.raises(ConfigError):
+            mps_nbytes(4, 0)
+
+    def test_linear_growth_at_fixed_bond(self):
+        # O(n * chi^2): once bonds saturate, each extra site costs exactly
+        # chi * 2 * chi complex128 values.
+        per_site = 8 * 2 * 8 * 16
+        assert mps_nbytes(64, 8) - mps_nbytes(32, 8) == 32 * per_site
+
+
+# ---------------------------------------------------------------------------
+# Property-based invariants
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def _low_entanglement_states(draw):
+    """Random few-qubit states from shallow circuits (compressible family)."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    circuit = hardware_efficient(n, 1)
+    return apply_circuit(circuit, 0.2 * rng.standard_normal(circuit.n_params))
+
+
+@_SETTINGS
+@given(state=_low_entanglement_states())
+def test_property_exact_decomposition_roundtrips(state):
+    mps = MatrixProductState.from_statevector(state)
+    assert fidelity(state, mps.to_statevector()) > 1.0 - 1e-10
+
+
+@_SETTINGS
+@given(state=_low_entanglement_states(), chi=st.integers(min_value=1, max_value=8))
+def test_property_truncation_fidelity_bounded_by_discarded_weight(state, chi):
+    truncated = MatrixProductState.from_statevector(state, max_bond=chi)
+    dense = truncated.normalize().to_statevector()
+    # Fidelity can never exceed 1 and the truncated state stays a valid state.
+    fid = fidelity(state, dense)
+    assert 0.0 <= fid <= 1.0 + 1e-12
+    assert np.linalg.norm(dense) == pytest.approx(1.0, abs=1e-12)
+
+
+@_SETTINGS
+@given(state=_low_entanglement_states())
+def test_property_entropy_nonnegative_and_bounded(state):
+    mps = MatrixProductState.from_statevector(state)
+    for cut in range(1, mps.n_qubits):
+        entropy = mps.entanglement_entropy(cut)
+        bound = min(cut, mps.n_qubits - cut)
+        assert -1e-10 <= entropy <= bound + 1e-10
+
+
+@_SETTINGS
+@given(state=_low_entanglement_states())
+def test_property_flat_roundtrip_identity(state):
+    mps = MatrixProductState.from_statevector(state)
+    flat, shapes = mps.to_flat()
+    back = MatrixProductState.from_flat(flat, shapes)
+    assert abs(mps.overlap(back) - mps.overlap(mps)) < 1e-10

@@ -1,0 +1,245 @@
+"""Unit tests for Pauli strings, Hamiltonians, and projectors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservableError
+from repro.quantum.circuit import Circuit
+from repro.quantum.haar import haar_state
+from repro.quantum.observables import Hamiltonian, PauliString, Projector
+from repro.quantum.statevector import apply_circuit, zero_state
+
+
+class TestPauliStringConstruction:
+    def test_from_label(self):
+        p = PauliString.from_label("X0 Z2", coeff=0.5)
+        assert p.coeff == 0.5
+        assert p.paulis == ((0, "X"), (2, "Z"))
+
+    def test_from_label_identity(self):
+        assert PauliString.from_label("I").is_identity
+        assert PauliString.from_label("").is_identity
+
+    def test_from_label_rejects_garbage(self):
+        with pytest.raises(ObservableError):
+            PauliString.from_label("Xq")
+
+    def test_paulis_sorted_by_wire(self):
+        p = PauliString(1.0, ((3, "Y"), (1, "X")))
+        assert p.paulis == ((1, "X"), (3, "Y"))
+
+    def test_identity_letters_dropped(self):
+        p = PauliString(1.0, ((0, "I"), (1, "X")))
+        assert p.paulis == ((1, "X"),)
+
+    def test_duplicate_wire_rejected(self):
+        with pytest.raises(ObservableError):
+            PauliString(1.0, ((0, "X"), (0, "Y")))
+
+    def test_bad_letter_rejected(self):
+        with pytest.raises(ObservableError):
+            PauliString(1.0, ((0, "Q"),))
+
+    def test_negative_wire_rejected(self):
+        with pytest.raises(ObservableError):
+            PauliString(1.0, ((-1, "X"),))
+
+    def test_label_rendering(self):
+        assert PauliString.from_label("Z3 X1").label() == "X1 Z3"
+        assert PauliString.identity().label() == "I"
+
+
+class TestPauliAlgebra:
+    def test_scalar_multiplication(self):
+        p = 2.0 * PauliString.from_label("X0")
+        assert p.coeff == 2.0
+
+    def test_negation(self):
+        assert (-PauliString.from_label("X0")).coeff == -1.0
+
+    def test_addition_gives_hamiltonian(self):
+        h = PauliString.from_label("X0") + PauliString.from_label("Z0")
+        assert isinstance(h, Hamiltonian)
+        assert len(h) == 2
+
+    def test_compose_same_letter_gives_identity(self):
+        p = PauliString.from_label("X0").compose(PauliString.from_label("X0"))
+        assert p.is_identity and p.coeff == 1.0
+
+    def test_compose_disjoint_wires(self):
+        p = PauliString.from_label("X0").compose(PauliString.from_label("Z1"))
+        assert p.paulis == ((0, "X"), (1, "Z"))
+
+    def test_compose_xy_raises_imaginary(self):
+        with pytest.raises(ObservableError, match="imaginary"):
+            PauliString.from_label("X0").compose(PauliString.from_label("Y0"))
+
+    def test_compose_xyz_cycle_real(self):
+        # (X @ Y) @ Z = iZ @ Z -> i * I : imaginary, but (X@Y)@(Y@X) is real.
+        xy_square = PauliString.from_label("X0 Y1").compose(
+            PauliString.from_label("X0 Y1")
+        )
+        assert xy_square.is_identity
+
+    def test_compose_matches_dense(self, rng):
+        a = PauliString(0.7, ((0, "X"), (1, "Z")))
+        b = PauliString(-1.3, ((1, "Z"), (2, "Y")))
+        product = a.compose(b)
+        dense = a.matrix(3) @ b.matrix(3)
+        assert np.allclose(product.matrix(3), dense)
+
+    def test_commutes_qubitwise(self):
+        a = PauliString.from_label("X0 Z1")
+        assert a.commutes_qubitwise(PauliString.from_label("X0"))
+        assert not a.commutes_qubitwise(PauliString.from_label("Y0"))
+
+
+class TestPauliEvaluation:
+    def test_z_expectation_on_basis_states(self):
+        z0 = PauliString.from_label("Z0")
+        assert z0.expectation(zero_state(1)) == 1.0
+        minus = apply_circuit(Circuit(1).x(0))
+        assert z0.expectation(minus) == -1.0
+
+    def test_x_expectation_on_plus(self):
+        plus = apply_circuit(Circuit(1).h(0))
+        assert np.isclose(PauliString.from_label("X0").expectation(plus), 1.0)
+
+    def test_expectation_matches_dense(self, rng):
+        state = haar_state(3, rng)
+        p = PauliString(1.7, ((0, "X"), (2, "Y")))
+        dense = float(np.real(np.vdot(state, p.matrix(3) @ state)))
+        assert np.isclose(p.expectation(state), dense)
+
+    def test_expectation_bounded_by_coeff(self, rng):
+        p = PauliString(2.5, ((0, "Z"), (1, "X")))
+        for _ in range(5):
+            state = haar_state(3, rng)
+            assert abs(p.expectation(state)) <= 2.5 + 1e-12
+
+    def test_identity_expectation_is_coeff(self, rng):
+        state = haar_state(2, rng)
+        assert np.isclose(PauliString.identity(3.5).expectation(state), 3.5)
+
+    def test_apply_out_of_range_wire(self):
+        with pytest.raises(ObservableError):
+            PauliString.from_label("Z5").apply(zero_state(2))
+
+    def test_json_roundtrip(self):
+        p = PauliString(0.25, ((1, "Y"), (4, "Z")))
+        assert PauliString.from_json(p.to_json()) == p
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ObservableError):
+            PauliString.from_json({"coeff": 1.0})
+
+
+class TestHamiltonian:
+    def test_from_terms(self):
+        h = Hamiltonian.from_terms({"Z0": 1.0, "X0 X1": -0.5})
+        assert len(h) == 2
+
+    def test_expectation_is_sum_of_terms(self, rng):
+        state = haar_state(2, rng)
+        h = Hamiltonian.from_terms({"Z0": 0.3, "X1": -0.2})
+        expected = 0.3 * PauliString.from_label("Z0").expectation(state) - (
+            0.2 * PauliString.from_label("X1").expectation(state)
+        )
+        assert np.isclose(h.expectation(state), expected)
+
+    def test_matrix_matches_term_sum(self):
+        h = Hamiltonian.from_terms({"Z0": 1.0, "X0": 2.0})
+        expected = PauliString.from_label("Z0").matrix(1) + 2 * PauliString.from_label(
+            "X0"
+        ).matrix(1)
+        assert np.allclose(h.matrix(1), expected)
+
+    def test_simplify_merges_duplicates(self):
+        h = Hamiltonian(
+            [PauliString.from_label("Z0", 1.0), PauliString.from_label("Z0", 2.0)]
+        )
+        simplified = h.simplify()
+        assert len(simplified) == 1
+        assert simplified.terms[0].coeff == 3.0
+
+    def test_simplify_drops_cancelled_terms(self):
+        h = Hamiltonian(
+            [PauliString.from_label("X0", 1.0), PauliString.from_label("X0", -1.0)]
+        )
+        assert len(h.simplify()) == 0
+
+    def test_algebra(self):
+        h = Hamiltonian.from_terms({"Z0": 1.0})
+        doubled = 2.0 * h
+        assert doubled.terms[0].coeff == 2.0
+        combined = h + PauliString.from_label("X0")
+        assert len(combined) == 2
+
+    def test_tfim_ground_energy_known_small_case(self):
+        # Single qubit TFIM: H = -h X, ground energy = -h.
+        h = Hamiltonian.transverse_field_ising(1, coupling=1.0, field=0.7)
+        assert np.isclose(h.ground_energy(1), -0.7)
+
+    def test_tfim_two_qubits_exact(self):
+        # H = -ZZ - h(X1+X2): ground energy -sqrt(1 + 4h^2 + ...) checked densely.
+        h = Hamiltonian.transverse_field_ising(2, 1.0, 1.0)
+        eigs = np.linalg.eigvalsh(h.matrix(2))
+        assert np.isclose(h.ground_energy(2), eigs[0])
+
+    def test_heisenberg_term_count(self):
+        h = Hamiltonian.heisenberg_chain(4)
+        assert len(h) == 9  # 3 bonds * 3 letters
+
+    def test_h2_minimal_ground_energy(self):
+        h2 = Hamiltonian.h2_minimal()
+        assert np.isclose(h2.ground_energy(2), -1.85727503, atol=1e-6)
+
+    def test_qubitwise_commuting_groups_cover_all_terms(self):
+        h = Hamiltonian.transverse_field_ising(4, 1.0, 0.5)
+        groups = h.qubitwise_commuting_groups()
+        assert sum(len(g) for g in groups) == len(h)
+        # ZZ terms pairwise commute qubit-wise; X terms form their own group.
+        assert len(groups) == 2
+
+    def test_json_roundtrip(self):
+        h = Hamiltonian.transverse_field_ising(3, 1.0, 0.5)
+        restored = Hamiltonian.from_json(h.to_json())
+        assert [t.paulis for t in restored] == [t.paulis for t in h]
+
+    def test_ground_energy_via_expectation_bound(self, rng):
+        h = Hamiltonian.transverse_field_ising(3, 1.0, 0.8)
+        ground = h.ground_energy(3)
+        for _ in range(5):
+            assert h.expectation(haar_state(3, rng)) >= ground - 1e-10
+
+    def test_repr_preview(self):
+        text = repr(Hamiltonian.transverse_field_ising(6, 1.0, 1.0))
+        assert "..." in text
+
+
+class TestProjector:
+    def test_expectation_is_fidelity(self, rng):
+        target = haar_state(3, rng)
+        other = haar_state(3, rng)
+        projector = Projector(target)
+        assert np.isclose(projector.expectation(target), 1.0)
+        fid = abs(np.vdot(target, other)) ** 2
+        assert np.isclose(projector.expectation(other), fid)
+
+    def test_apply(self, rng):
+        target = haar_state(2, rng)
+        state = haar_state(2, rng)
+        out = Projector(target).apply(state)
+        assert np.allclose(out, np.vdot(target, state) * target)
+
+    def test_normalizes_target(self):
+        projector = Projector(np.array([2.0, 0.0], dtype=complex))
+        assert np.isclose(np.linalg.norm(projector.target), 1.0)
+
+    def test_rejects_zero_target(self):
+        with pytest.raises(ObservableError):
+            Projector(np.zeros(4, dtype=complex))
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ObservableError):
+            Projector(haar_state(2, rng)).expectation(haar_state(3, rng))

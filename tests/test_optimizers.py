@@ -1,0 +1,207 @@
+"""Unit tests for optimizers, focused on exact state round-tripping.
+
+The checkpoint-critical property: capture ``state_dict`` at step k, restore
+it into a *fresh* optimizer, continue — the continuation must be bitwise
+identical to the uninterrupted run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, IncompatibleCheckpointError
+from repro.ml.optimizers import (
+    SGD,
+    AdaGrad,
+    Adam,
+    RMSProp,
+    optimizer_from_state_dict,
+)
+
+ALL_OPTIMIZERS = [
+    lambda: SGD(lr=0.1),
+    lambda: SGD(lr=0.1, momentum=0.9),
+    lambda: SGD(lr=0.1, momentum=0.9, nesterov=True),
+    lambda: SGD(lr=0.1, weight_decay=0.01),
+    lambda: Adam(lr=0.05),
+    lambda: Adam(lr=0.05, amsgrad=True),
+    lambda: RMSProp(lr=0.01),
+    lambda: RMSProp(lr=0.01, momentum=0.5),
+    lambda: AdaGrad(lr=0.5),
+]
+
+
+def _quadratic_grad(params: np.ndarray) -> np.ndarray:
+    return 2.0 * (params - 3.0)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("factory", ALL_OPTIMIZERS)
+    def test_minimizes_quadratic(self, factory):
+        optimizer = factory()
+        params = np.array([10.0, -5.0])
+        for _ in range(300):
+            params = optimizer.step(params, _quadratic_grad(params))
+        assert np.linalg.norm(params - 3.0) < np.linalg.norm(
+            np.array([10.0, -5.0]) - 3.0
+        )
+
+    def test_adam_converges_close(self):
+        optimizer = Adam(lr=0.2)
+        params = np.array([10.0])
+        for _ in range(400):
+            params = optimizer.step(params, _quadratic_grad(params))
+        assert abs(params[0] - 3.0) < 0.05
+
+
+class TestStateRoundtrip:
+    @pytest.mark.parametrize("factory", ALL_OPTIMIZERS)
+    def test_resume_is_bitwise_identical(self, factory):
+        rng = np.random.default_rng(0)
+        grads = [rng.standard_normal(4) for _ in range(20)]
+
+        reference = factory()
+        params_ref = np.ones(4)
+        for g in grads:
+            params_ref = reference.step(params_ref, g)
+
+        first = factory()
+        params = np.ones(4)
+        for g in grads[:9]:
+            params = first.step(params, g)
+        state = first.state_dict()
+
+        second = factory()
+        second.load_state_dict(state)
+        for g in grads[9:]:
+            params = second.step(params, g)
+        assert np.array_equal(params, params_ref)
+
+    @pytest.mark.parametrize("factory", ALL_OPTIMIZERS)
+    def test_factory_reconstruction(self, factory):
+        optimizer = factory()
+        optimizer.step(np.zeros(3), np.ones(3))
+        clone = optimizer_from_state_dict(optimizer.state_dict())
+        assert type(clone) is type(optimizer)
+        a = optimizer.step(np.zeros(3), np.ones(3))
+        b = clone.step(np.zeros(3), np.ones(3))
+        assert np.array_equal(a, b)
+
+    def test_state_dict_has_no_callables(self):
+        optimizer = Adam(lr=0.01)
+        optimizer.step(np.zeros(2), np.ones(2))
+        state = optimizer.state_dict()
+
+        def check(node):
+            if isinstance(node, dict):
+                for v in node.values():
+                    check(v)
+            else:
+                assert not callable(node)
+
+        check(state)
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(IncompatibleCheckpointError):
+            Adam().load_state_dict(SGD().state_dict())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(IncompatibleCheckpointError):
+            optimizer_from_state_dict({"kind": "quantum-adam"})
+
+    def test_reset_clears_slots(self):
+        optimizer = Adam(lr=0.3)
+        optimizer.step(np.zeros(2), np.ones(2))
+        optimizer.reset()
+        assert optimizer.t == 0
+        fresh = Adam(lr=0.3)
+        a = optimizer.step(np.zeros(2), np.ones(2))
+        b = fresh.step(np.zeros(2), np.ones(2))
+        assert np.array_equal(a, b)
+
+    def test_losing_adam_slots_changes_trajectory(self):
+        """The bug this library prevents: warm params + cold optimizer."""
+        rng = np.random.default_rng(1)
+        grads = [rng.standard_normal(3) for _ in range(10)]
+        good, params_good = Adam(lr=0.1), np.zeros(3)
+        for g in grads:
+            params_good = good.step(params_good, g)
+
+        warm, params_warm = Adam(lr=0.1), np.zeros(3)
+        for g in grads[:5]:
+            params_warm = warm.step(params_warm, g)
+        cold = Adam(lr=0.1)  # slots lost!
+        for g in grads[5:]:
+            params_warm = cold.step(params_warm, g)
+        assert not np.allclose(params_warm, params_good)
+
+
+class TestValidation:
+    def test_lr_positive(self):
+        with pytest.raises(ConfigError):
+            SGD(lr=0.0)
+
+    def test_momentum_range(self):
+        with pytest.raises(ConfigError):
+            SGD(momentum=1.0)
+
+    def test_nesterov_needs_momentum(self):
+        with pytest.raises(ConfigError):
+            SGD(nesterov=True)
+
+    def test_adam_beta_range(self):
+        with pytest.raises(ConfigError):
+            Adam(beta1=1.0)
+        with pytest.raises(ConfigError):
+            Adam(beta2=-0.1)
+
+    def test_rmsprop_alpha_range(self):
+        with pytest.raises(ConfigError):
+            RMSProp(alpha=1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            SGD().step(np.zeros(2), np.zeros(3))
+
+    def test_step_counter_advances(self):
+        optimizer = SGD()
+        optimizer.step(np.zeros(1), np.zeros(1))
+        optimizer.step(np.zeros(1), np.zeros(1))
+        assert optimizer.t == 2
+
+    def test_repr_shows_hyperparameters(self):
+        assert "lr=0.01" in repr(SGD(lr=0.01))
+
+
+class TestBehaviour:
+    def test_sgd_plain_update(self):
+        optimizer = SGD(lr=0.5)
+        params = optimizer.step(np.array([1.0]), np.array([2.0]))
+        assert params[0] == 0.0
+
+    def test_weight_decay_shrinks_params(self):
+        optimizer = SGD(lr=0.1, weight_decay=1.0)
+        params = optimizer.step(np.array([1.0]), np.array([0.0]))
+        assert params[0] == pytest.approx(0.9)
+
+    def test_momentum_accelerates(self):
+        plain, params_plain = SGD(lr=0.1), np.array([10.0])
+        momentum, params_momentum = SGD(lr=0.1, momentum=0.9), np.array([10.0])
+        for _ in range(5):
+            params_plain = plain.step(params_plain, np.array([1.0]))
+            params_momentum = momentum.step(params_momentum, np.array([1.0]))
+        assert params_momentum[0] < params_plain[0]
+
+    def test_adam_first_step_is_lr_sized(self):
+        optimizer = Adam(lr=0.1)
+        params = optimizer.step(np.array([0.0]), np.array([123.0]))
+        # bias-corrected first step is ~lr regardless of gradient magnitude
+        assert abs(params[0] + 0.1) < 1e-6
+
+    def test_adagrad_decreasing_effective_rate(self):
+        optimizer = AdaGrad(lr=1.0)
+        p0 = np.array([0.0])
+        p1 = optimizer.step(p0, np.array([1.0]))
+        p2 = optimizer.step(p1, np.array([1.0]))
+        first_step = abs(p1[0] - p0[0])
+        second_step = abs(p2[0] - p1[0])
+        assert second_step < first_step

@@ -1,0 +1,267 @@
+"""Unit tests for interval policies and the sync/async writers."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.policy import (
+    AdaptiveOverheadPolicy,
+    EveryKSteps,
+    FixedTimeInterval,
+    YoungDalyPolicy,
+    young_daly_interval,
+    young_interval,
+)
+from repro.core.writer import AsyncCheckpointWriter, SyncCheckpointWriter
+from repro.errors import CheckpointError, ConfigError
+from repro.faults.injector import SimulatedClock
+
+
+class TestYoungDalyFormulas:
+    def test_young_known_value(self):
+        # sqrt(2 * 10 * 7200) = 379.47...
+        assert young_interval(10, 7200) == pytest.approx(379.473, abs=0.01)
+
+    def test_daly_close_to_young_for_small_delta(self):
+        young = young_interval(1, 100000)
+        daly = young_daly_interval(1, 100000)
+        assert abs(daly - young) / young < 0.01
+
+    def test_daly_caps_at_mtbf_for_huge_cost(self):
+        assert young_daly_interval(10000, 100) == 100
+
+    def test_zero_cost_zero_interval(self):
+        assert young_daly_interval(0.0, 100) == 0.0
+
+    def test_interval_grows_with_mtbf(self):
+        intervals = [young_daly_interval(10, m) for m in (100, 1000, 10000)]
+        assert intervals == sorted(intervals)
+
+    def test_interval_grows_with_cost(self):
+        intervals = [young_daly_interval(c, 10000) for c in (1, 10, 100)]
+        assert intervals == sorted(intervals)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            young_interval(-1, 100)
+        with pytest.raises(ConfigError):
+            young_daly_interval(1, 0)
+
+    def test_daly_interval_is_near_optimal(self):
+        """The Daly interval should (approximately) minimize the analytic
+        makespan among a dense sweep of alternatives."""
+        from repro.faults.daly import expected_makespan
+
+        work, cost, restart, mtbf = 36000.0, 30.0, 60.0, 3600.0
+        star = young_daly_interval(cost, mtbf)
+        best = expected_makespan(work, star, cost, restart, mtbf)
+        for interval in np.linspace(60, 7200, 120):
+            assert best <= expected_makespan(
+                work, float(interval), cost, restart, mtbf
+            ) * 1.01
+
+
+class TestPolicies:
+    def test_every_k_steps(self):
+        policy = EveryKSteps(3)
+        fires = [s for s in range(1, 10) if policy.should_checkpoint(s, 0.0)]
+        assert fires == [3, 6, 9]
+
+    def test_every_k_validation(self):
+        with pytest.raises(ConfigError):
+            EveryKSteps(0)
+
+    def test_fixed_time_interval(self):
+        clock = SimulatedClock()
+        policy = FixedTimeInterval(10.0, clock=clock)
+        assert not policy.should_checkpoint(1, clock.now)
+        clock.advance(10.0)
+        assert policy.should_checkpoint(2, clock.now)
+        policy.record_checkpoint(clock.now, 1.0)
+        assert not policy.should_checkpoint(3, clock.now)
+
+    def test_fixed_time_validation(self):
+        with pytest.raises(ConfigError):
+            FixedTimeInterval(0.0)
+
+    def test_young_daly_policy_fires_at_interval(self):
+        clock = SimulatedClock()
+        policy = YoungDalyPolicy(
+            mtbf_seconds=7200, initial_cost_estimate=10.0, clock=clock
+        )
+        target = policy.interval_seconds
+        clock.advance(target - 1)
+        assert not policy.should_checkpoint(1, clock.now)
+        clock.advance(2)
+        assert policy.should_checkpoint(2, clock.now)
+
+    def test_young_daly_policy_adapts_to_observed_cost(self):
+        clock = SimulatedClock()
+        policy = YoungDalyPolicy(
+            mtbf_seconds=7200, initial_cost_estimate=1.0, clock=clock
+        )
+        before = policy.interval_seconds
+        for _ in range(20):
+            policy.record_checkpoint(clock.now, 50.0)
+        assert policy.interval_seconds > before
+        assert policy.mean_cost > 1.0
+
+    def test_young_daly_interval_at_least_cost(self):
+        policy = YoungDalyPolicy(
+            mtbf_seconds=10.0, initial_cost_estimate=100.0,
+            clock=SimulatedClock(),
+        )
+        assert policy.interval_seconds >= policy.mean_cost
+
+    def test_adaptive_overhead_math(self):
+        clock = SimulatedClock()
+        policy = AdaptiveOverheadPolicy(
+            target_overhead=0.05, initial_cost_estimate=0.2, clock=clock
+        )
+        assert policy.interval_seconds == pytest.approx(4.0)
+        clock.advance(3.9)
+        assert not policy.should_checkpoint(1, clock.now)
+        clock.advance(0.2)
+        assert policy.should_checkpoint(2, clock.now)
+
+    def test_adaptive_overhead_validation(self):
+        with pytest.raises(ConfigError):
+            AdaptiveOverheadPolicy(target_overhead=0.0)
+        with pytest.raises(ConfigError):
+            AdaptiveOverheadPolicy(initial_cost_estimate=0.0)
+
+    def test_policies_observe_step_is_optional_noop(self):
+        EveryKSteps(2).observe_step(1, 0.5)  # must not raise
+
+
+class TestSyncWriter:
+    def test_executes_inline(self):
+        writer = SyncCheckpointWriter()
+        ran = []
+        writer.submit(lambda: ran.append(1))
+        assert ran == [1]
+        assert writer.stats.tasks == 1
+        assert writer.pending == 0
+
+    def test_drain_and_close_are_noops(self):
+        writer = SyncCheckpointWriter()
+        writer.drain()
+        writer.close()
+
+    def test_blocked_equals_total_time(self):
+        writer = SyncCheckpointWriter()
+        writer.submit(lambda: time.sleep(0.01))
+        assert writer.stats.blocked_seconds == pytest.approx(
+            writer.stats.seconds, rel=0.5
+        )
+
+
+class TestAsyncWriter:
+    def test_tasks_execute_in_order(self):
+        order = []
+        with AsyncCheckpointWriter() as writer:
+            for i in range(5):
+                writer.submit(lambda i=i: order.append(i))
+            writer.drain()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_submit_does_not_block_on_slow_task(self):
+        gate = threading.Event()
+        with AsyncCheckpointWriter(max_pending=2) as writer:
+            writer.submit(gate.wait)
+            started = time.perf_counter()
+            writer.submit(lambda: None)
+            elapsed = time.perf_counter() - started
+            assert elapsed < 0.5
+            gate.set()
+            writer.drain()
+
+    def test_backpressure_when_queue_full(self):
+        # max_pending counts the *running* task too: with a bound of 1 and
+        # one task wedged on the gate, the next submit must block until the
+        # first task completes.  The gate is released in a finally block so a
+        # failing assertion can never wedge the writer's cleanup.
+        gate = threading.Event()
+        try:
+            with AsyncCheckpointWriter(max_pending=1, close_timeout=5.0) as writer:
+                writer.submit(gate.wait)
+
+                unblocked = []
+
+                def late_submit():
+                    writer.submit(lambda: None)
+                    unblocked.append(True)
+
+                thread = threading.Thread(target=late_submit)
+                thread.start()
+                time.sleep(0.05)
+                assert not unblocked  # still blocked: one task outstanding
+                gate.set()
+                thread.join(timeout=5)
+                assert unblocked
+        finally:
+            gate.set()
+
+    def test_close_raises_on_wedged_task(self):
+        gate = threading.Event()
+        writer = AsyncCheckpointWriter(max_pending=1, close_timeout=0.2)
+        writer.submit(gate.wait)
+        try:
+            with pytest.raises(CheckpointError, match="stuck"):
+                writer.close()
+        finally:
+            gate.set()  # release the daemon worker
+
+    def test_close_timeout_validation(self):
+        with pytest.raises(CheckpointError):
+            AsyncCheckpointWriter(close_timeout=0.0)
+
+    def test_error_raised_on_next_submit(self):
+        writer = AsyncCheckpointWriter()
+
+        def bad():
+            raise ValueError("disk full")
+
+        writer.submit(bad)
+        writer.drain_or_error = None
+        time.sleep(0.05)
+        with pytest.raises(CheckpointError, match="disk full"):
+            writer.submit(lambda: None)
+        writer.close()
+
+    def test_error_raised_on_drain(self):
+        writer = AsyncCheckpointWriter()
+        writer.submit(lambda: 1 / 0)
+        with pytest.raises(CheckpointError):
+            writer.drain()
+        writer.close()
+
+    def test_error_raised_on_close(self):
+        writer = AsyncCheckpointWriter()
+        writer.submit(lambda: 1 / 0)
+        with pytest.raises(CheckpointError):
+            writer.close()
+
+    def test_close_idempotent(self):
+        writer = AsyncCheckpointWriter()
+        writer.close()
+        writer.close()
+
+    def test_submit_after_close_rejected(self):
+        writer = AsyncCheckpointWriter()
+        writer.close()
+        with pytest.raises(CheckpointError, match="closed"):
+            writer.submit(lambda: None)
+
+    def test_stats_count_tasks(self):
+        with AsyncCheckpointWriter() as writer:
+            for _ in range(3):
+                writer.submit(lambda: None)
+            writer.drain()
+            assert writer.stats.tasks == 3
+
+    def test_max_pending_validation(self):
+        with pytest.raises(CheckpointError):
+            AsyncCheckpointWriter(max_pending=0)

@@ -1,0 +1,201 @@
+"""Unit tests for recovery and the checkpoint manager hook."""
+
+import numpy as np
+import pytest
+
+from repro.core.manager import CheckpointManager
+from repro.core.policy import EveryKSteps, FixedTimeInterval
+from repro.core.recovery import RecoveryManager, resume_trainer
+from repro.core.store import CheckpointStore, RetentionPolicy
+from repro.core.writer import AsyncCheckpointWriter
+from repro.errors import (
+    CheckpointNotFoundError,
+    ConfigError,
+    IncompatibleCheckpointError,
+)
+from repro.faults.injector import SimulatedClock
+from repro.storage.memory import InMemoryBackend
+from tests.test_snapshot import sample_snapshot
+from tests.test_trainer import make_classifier_trainer, make_vqe_trainer
+
+
+def _corrupt(store, record):
+    data = bytearray(store.backend.read(record.object_name))
+    data[len(data) // 2] ^= 0xFF
+    store.backend.write(record.object_name, bytes(data))
+
+
+class TestRecoveryManager:
+    def test_latest_valid_simple(self, memory_store):
+        memory_store.save_full(sample_snapshot(step=1))
+        newest = memory_store.save_full(sample_snapshot(step=2))
+        report = RecoveryManager(memory_store).latest_valid()
+        assert report.recovered
+        assert report.record.id == newest.id
+        assert report.skipped == []
+
+    def test_falls_back_over_damaged_newest(self, memory_store):
+        memory_store.save_full(sample_snapshot(step=1))
+        newest = memory_store.save_full(sample_snapshot(step=2))
+        _corrupt(memory_store, newest)
+        report = RecoveryManager(memory_store).latest_valid()
+        assert report.recovered
+        assert report.record.step == 1
+        assert report.skipped[0][0] == newest.id
+
+    def test_all_damaged_reports_everything(self, memory_store):
+        for step in (1, 2):
+            record = memory_store.save_full(sample_snapshot(step=step))
+            _corrupt(memory_store, record)
+        report = RecoveryManager(memory_store).latest_valid()
+        assert not report.recovered
+        assert len(report.skipped) == 2
+
+    def test_empty_store(self, memory_store):
+        report = RecoveryManager(memory_store).latest_valid()
+        assert not report.recovered
+
+    def test_damaged_delta_base_skips_chain(self, memory_store):
+        base_snapshot = sample_snapshot(step=1)
+        base = memory_store.save_full(base_snapshot)
+        nxt = base_snapshot.copy()
+        nxt.step = 2
+        memory_store.save_delta(nxt, base.id)
+        independent = memory_store.save_full(sample_snapshot(step=0))
+        _corrupt(memory_store, base)
+        report = RecoveryManager(memory_store).latest_valid()
+        # both chain members are now unreadable; only the independent survives
+        assert report.recovered
+        assert report.record.id == independent.id
+        assert len(report.skipped) == 2
+
+
+class TestResumeTrainer:
+    def test_resume_restores_progress(self, memory_store):
+        trainer = make_vqe_trainer()
+        trainer.run(6)
+        memory_store.save_full(trainer.capture())
+
+        fresh = make_vqe_trainer()
+        record = resume_trainer(fresh, memory_store)
+        assert record is not None
+        assert fresh.step_count == 6
+        assert np.array_equal(fresh.params, trainer.params)
+
+    def test_resume_empty_store_returns_none(self, memory_store):
+        assert resume_trainer(make_vqe_trainer(), memory_store) is None
+
+    def test_resume_required_raises(self, memory_store):
+        with pytest.raises(CheckpointNotFoundError):
+            resume_trainer(make_vqe_trainer(), memory_store, required=True)
+
+    def test_resume_wrong_model_raises(self, memory_store):
+        vqe = make_vqe_trainer()
+        vqe.run(2)
+        memory_store.save_full(vqe.capture())
+        with pytest.raises(IncompatibleCheckpointError):
+            resume_trainer(make_classifier_trainer(), memory_store)
+
+
+class TestCheckpointManager:
+    def test_policy_drives_saves(self, memory_store):
+        trainer = make_vqe_trainer()
+        manager = CheckpointManager(memory_store, EveryKSteps(4))
+        trainer.run(12, hooks=[manager])
+        assert [r.step for r in memory_store.records()] == [4, 8, 12]
+
+    def test_stats_accounting(self, memory_store):
+        trainer = make_vqe_trainer()
+        manager = CheckpointManager(memory_store, EveryKSteps(5))
+        trainer.run(10, hooks=[manager])
+        assert manager.stats.full_saves == 2
+        assert manager.stats.delta_saves == 0
+        assert manager.stats.bytes_written == memory_store.total_bytes()
+        assert manager.stats.saves == 2
+        assert manager.stats.mean_save_seconds >= 0
+
+    def test_delta_cadence(self, memory_store):
+        trainer = make_vqe_trainer()
+        manager = CheckpointManager(
+            memory_store, EveryKSteps(1), delta=True, full_every=4
+        )
+        trainer.run(8, hooks=[manager])
+        kinds = [r.kind for r in memory_store.records()]
+        assert kinds == [
+            "full", "delta", "delta", "delta",
+            "full", "delta", "delta", "delta",
+        ]
+
+    def test_delta_checkpoints_restore_exactly(self, memory_store):
+        trainer = make_vqe_trainer()
+        manager = CheckpointManager(
+            memory_store, EveryKSteps(1), delta=True, full_every=3
+        )
+        trainer.run(7, hooks=[manager])
+        loaded = memory_store.load(memory_store.latest().id)
+        assert loaded == trainer.capture()
+
+    def test_retention_applied_after_save(self, memory_store):
+        trainer = make_vqe_trainer()
+        manager = CheckpointManager(
+            memory_store,
+            EveryKSteps(1),
+            retention=RetentionPolicy(keep_last=2),
+        )
+        trainer.run(6, hooks=[manager])
+        assert len(memory_store.records()) == 2
+
+    def test_lossy_delta_combination_rejected(self, memory_store):
+        with pytest.raises(ConfigError, match="lossless"):
+            CheckpointManager(
+                memory_store,
+                delta=True,
+                transforms={"statevector": "f16-pair"},
+            )
+
+    def test_full_every_validated(self, memory_store):
+        with pytest.raises(ConfigError):
+            CheckpointManager(memory_store, full_every=0)
+
+    def test_async_writer_integration(self, memory_store):
+        trainer = make_vqe_trainer()
+        writer = AsyncCheckpointWriter(max_pending=2)
+        manager = CheckpointManager(
+            memory_store, EveryKSteps(2), writer=writer
+        )
+        trainer.run(8, hooks=[manager])  # on_run_end drains
+        manager.close()
+        assert [r.step for r in memory_store.records()] == [2, 4, 6, 8]
+        loaded = memory_store.load(memory_store.latest().id)
+        assert np.array_equal(loaded.params, trainer.params)
+
+    def test_time_based_policy_with_fake_clock(self, memory_store):
+        clock = SimulatedClock()
+        trainer = make_vqe_trainer()
+        policy = FixedTimeInterval(10.0, clock=clock)
+        manager = CheckpointManager(memory_store, policy, clock=clock)
+
+        class Ticker:
+            def on_step_end(self, trainer, info):
+                clock.advance(3.0)
+
+        trainer.run(10, hooks=[Ticker(), manager])
+        # 10 steps x 3s = 30s; interval 10s -> roughly 3 saves
+        assert 2 <= len(memory_store.records()) <= 4
+
+    def test_manual_save(self, memory_store):
+        trainer = make_vqe_trainer()
+        trainer.run(3)
+        manager = CheckpointManager(memory_store)
+        manager.save(trainer.capture())
+        assert memory_store.latest().step == 3
+
+    def test_snapshot_isolated_from_later_training(self, memory_store):
+        trainer = make_vqe_trainer()
+        manager = CheckpointManager(memory_store, EveryKSteps(2))
+        trainer.run(2, hooks=[manager])
+        saved_params = memory_store.load(memory_store.latest().id).params.copy()
+        trainer.run(4)
+        assert np.array_equal(
+            memory_store.load(memory_store.latest().id).params, saved_params
+        )

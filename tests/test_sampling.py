@@ -1,0 +1,116 @@
+"""Unit tests for shot-based sampling and expectation estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservableError
+from repro.quantum.circuit import Circuit
+from repro.quantum.observables import Hamiltonian, PauliString
+from repro.quantum.sampling import (
+    estimate_expectation,
+    estimate_variance_bound,
+    sample_bitstrings,
+    sample_counts,
+)
+from repro.quantum.statevector import apply_circuit, zero_state
+
+
+class TestSampling:
+    def test_deterministic_state_always_same_outcome(self, rng):
+        samples = sample_bitstrings(zero_state(3), 100, rng)
+        assert np.all(samples == 0)
+
+    def test_sample_counts_sum_to_shots(self, rng):
+        state = apply_circuit(Circuit(2).h(0).h(1))
+        counts = sample_counts(state, 500, rng)
+        assert sum(counts.values()) == 500
+        assert set(counts) <= {"00", "01", "10", "11"}
+
+    def test_bell_state_only_correlated_outcomes(self, rng):
+        state = apply_circuit(Circuit(2).h(0).cnot(0, 1))
+        counts = sample_counts(state, 400, rng)
+        assert set(counts) <= {"00", "11"}
+
+    def test_reproducible_given_same_seed(self):
+        state = apply_circuit(Circuit(3).h(0).h(1).h(2))
+        a = sample_bitstrings(state, 64, np.random.default_rng(42))
+        b = sample_bitstrings(state, 64, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_shots_validated(self, rng):
+        with pytest.raises(ObservableError):
+            sample_bitstrings(zero_state(1), 0, rng)
+
+    def test_distribution_approaches_born_rule(self, rng):
+        state = apply_circuit(Circuit(1).ry(0, 2 * np.arccos(np.sqrt(0.8))))
+        samples = sample_bitstrings(state, 20000, rng)
+        p0 = float(np.mean(samples == 0))
+        assert abs(p0 - 0.8) < 0.02
+
+
+class TestEstimateExpectation:
+    def test_z_on_zero_state_exact(self, rng):
+        value = estimate_expectation(
+            zero_state(1), PauliString.from_label("Z0"), 100, rng
+        )
+        assert value == 1.0
+
+    def test_x_on_plus_exact(self, rng):
+        plus = apply_circuit(Circuit(1).h(0))
+        value = estimate_expectation(plus, PauliString.from_label("X0"), 100, rng)
+        assert np.isclose(value, 1.0)
+
+    def test_y_basis_rotation(self, rng):
+        # S|+> is the +i eigenstate of Y.
+        state = apply_circuit(Circuit(1).h(0).s(0))
+        value = estimate_expectation(state, PauliString.from_label("Y0"), 200, rng)
+        assert np.isclose(value, 1.0)
+
+    def test_identity_term_added_exactly(self, rng):
+        h = Hamiltonian([PauliString.identity(2.5)])
+        assert estimate_expectation(zero_state(2), h, 10, rng) == 2.5
+
+    def test_converges_to_exact_value(self, rng):
+        circuit = Circuit(3).h(0).cnot(0, 1).ry(2, 0.7).cnot(1, 2)
+        state = apply_circuit(circuit)
+        h = Hamiltonian.transverse_field_ising(3, 1.0, 0.6)
+        exact = h.expectation(state)
+        estimate = estimate_expectation(state, h, 40000, rng)
+        assert abs(estimate - exact) < 0.05
+
+    def test_coefficient_scaling(self, rng):
+        state = zero_state(1)
+        value = estimate_expectation(state, PauliString(3.0, ((0, "Z"),)), 50, rng)
+        assert value == 3.0
+
+    def test_reproducible_with_same_generator_state(self):
+        state = apply_circuit(Circuit(2).h(0).cnot(0, 1).ry(1, 0.3))
+        h = Hamiltonian.from_terms({"Z0 Z1": 1.0, "X0": 0.5})
+        a = estimate_expectation(state, h, 256, np.random.default_rng(9))
+        b = estimate_expectation(state, h, 256, np.random.default_rng(9))
+        assert a == b
+
+    def test_variance_bound(self):
+        h = Hamiltonian.from_terms({"Z0": 2.0, "X1": 1.0, "I": 5.0})
+        # identity excluded: (4 + 1) / shots
+        assert np.isclose(estimate_variance_bound(h, 100), 0.05)
+
+    def test_variance_bound_single_string(self):
+        assert np.isclose(
+            estimate_variance_bound(PauliString(2.0, ((0, "Z"),)), 400), 0.01
+        )
+
+    def test_estimator_error_within_statistical_bound(self):
+        state = apply_circuit(Circuit(2).h(0).ry(1, 1.1).cnot(0, 1))
+        h = Hamiltonian.from_terms({"Z0": 1.0, "Z1": 1.0, "X0 X1": 0.5})
+        exact = h.expectation(state)
+        shots = 4096
+        sigma = np.sqrt(estimate_variance_bound(h, shots))
+        errors = []
+        for seed in range(20):
+            estimate = estimate_expectation(
+                state, h, shots, np.random.default_rng(seed)
+            )
+            errors.append(abs(estimate - exact))
+        # 5-sigma criterion on the mean absolute error: loose but meaningful.
+        assert np.mean(errors) < 5 * sigma

@@ -1,0 +1,228 @@
+"""Unit tests for the statevector engine, validated against dense algebra."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.quantum import gates as G
+from repro.quantum.circuit import Circuit
+from repro.quantum.haar import haar_state, random_circuit
+from repro.quantum.statevector import (
+    StatevectorSimulator,
+    apply_circuit,
+    apply_gate,
+    basis_state,
+    fidelity,
+    iter_states,
+    n_qubits_of,
+    normalize,
+    probabilities,
+    statevector_nbytes,
+    zero_state,
+)
+
+
+def dense_circuit_matrix(circuit: Circuit, params=None) -> np.ndarray:
+    """Oracle: build the full 2^n unitary by Kronecker products."""
+    values = np.zeros(circuit.n_params) if params is None else np.asarray(params)
+    n = circuit.n_qubits
+    total = np.eye(2**n, dtype=complex)
+    for op in circuit.ops:
+        gate = op.matrix(values)
+        expanded = _embed(gate, op.wires, n)
+        total = expanded @ total
+    return total
+
+
+def _embed(gate: np.ndarray, wires, n: int) -> np.ndarray:
+    k = len(wires)
+    dim = 2**n
+    out = np.zeros((dim, dim), dtype=complex)
+    gate_tensor = gate.reshape((2,) * (2 * k))
+    for row in range(dim):
+        row_bits = [(row >> (n - 1 - q)) & 1 for q in range(n)]
+        for local_in in range(2**k):
+            in_bits = [(local_in >> (k - 1 - j)) & 1 for j in range(k)]
+            col_bits = list(row_bits)
+            for j, wire in enumerate(wires):
+                col_bits[wire] = in_bits[j]
+            col = sum(bit << (n - 1 - q) for q, bit in enumerate(col_bits))
+            out_index = tuple(row_bits[w] for w in wires)
+            amplitude = gate_tensor[out_index + tuple(in_bits)]
+            out[row, col] += amplitude
+    return out
+
+
+class TestStates:
+    def test_zero_state(self):
+        state = zero_state(3)
+        assert state[0] == 1.0 and np.count_nonzero(state) == 1
+
+    def test_zero_state_rejects_bad_count(self):
+        with pytest.raises(CircuitError):
+            zero_state(0)
+
+    def test_basis_state(self):
+        state = basis_state(2, 3)
+        assert state[3] == 1.0
+
+    def test_basis_state_range(self):
+        with pytest.raises(CircuitError):
+            basis_state(2, 4)
+
+    def test_n_qubits_of(self):
+        assert n_qubits_of(zero_state(5)) == 5
+
+    def test_n_qubits_of_rejects_non_power(self):
+        with pytest.raises(CircuitError):
+            n_qubits_of(np.zeros(3, dtype=complex))
+
+    def test_normalize(self):
+        state = normalize(np.array([3.0, 4.0], dtype=complex))
+        assert np.isclose(np.linalg.norm(state), 1.0)
+
+    def test_normalize_zero_rejected(self):
+        with pytest.raises(CircuitError):
+            normalize(np.zeros(2, dtype=complex))
+
+    def test_fidelity_self_is_one(self, rng):
+        state = haar_state(4, rng)
+        assert np.isclose(fidelity(state, state), 1.0)
+
+    def test_fidelity_orthogonal_is_zero(self):
+        assert fidelity(basis_state(2, 0), basis_state(2, 1)) == 0.0
+
+    def test_statevector_nbytes(self):
+        assert statevector_nbytes(10) == 1024 * 16
+        assert statevector_nbytes(10, np.complex64) == 1024 * 8
+
+
+class TestApplyGate:
+    def test_x_on_wire0_most_significant(self):
+        state = apply_gate(zero_state(2), G.PAULI_X, (0,))
+        assert state[2] == 1.0  # |10>
+
+    def test_x_on_wire1(self):
+        state = apply_gate(zero_state(2), G.PAULI_X, (1,))
+        assert state[1] == 1.0  # |01>
+
+    def test_cnot_wire_order(self):
+        # control=1, target=0 : |01> -> |11>
+        state = apply_gate(basis_state(2, 1), G.CNOT, (1, 0))
+        assert state[3] == 1.0
+
+    def test_shape_validation(self):
+        with pytest.raises(CircuitError):
+            apply_gate(zero_state(2), G.CNOT, (0,))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_circuit_matches_dense_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit = random_circuit(3, 12, rng, parametric=bool(seed % 2))
+        via_engine = apply_circuit(circuit)
+        via_dense = dense_circuit_matrix(circuit) @ zero_state(3)
+        assert np.allclose(via_engine, via_dense, atol=1e-12)
+
+    def test_norm_preserved_by_long_random_circuit(self, rng):
+        circuit = random_circuit(4, 60, rng, parametric=True)
+        state = apply_circuit(circuit)
+        assert np.isclose(np.linalg.norm(state), 1.0, atol=1e-10)
+
+
+class TestApplyCircuit:
+    def test_bell_state(self):
+        state = apply_circuit(Circuit(2).h(0).cnot(0, 1))
+        expected = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_ghz_state(self):
+        state = apply_circuit(Circuit(3).h(0).cnot(0, 1).cnot(1, 2))
+        assert np.isclose(abs(state[0]) ** 2, 0.5)
+        assert np.isclose(abs(state[7]) ** 2, 0.5)
+
+    def test_initial_state_is_not_mutated(self, rng):
+        initial = haar_state(2, rng)
+        before = initial.copy()
+        apply_circuit(Circuit(2).x(0), initial_state=initial)
+        assert np.array_equal(initial, before)
+
+    def test_initial_state_dimension_checked(self):
+        with pytest.raises(CircuitError):
+            apply_circuit(Circuit(2).h(0), initial_state=zero_state(3))
+
+    def test_param_underflow_rejected(self):
+        c = Circuit(1)
+        c.rx(0, c.new_param())
+        with pytest.raises(CircuitError):
+            apply_circuit(c, params=[])
+
+    def test_iter_states_yields_per_op(self):
+        c = Circuit(1).h(0).z(0)
+        states = list(iter_states(c))
+        assert len(states) == 3
+        assert np.allclose(states[0], zero_state(1))
+        assert np.allclose(states[2], np.array([1, -1]) / np.sqrt(2))
+
+
+class TestProbabilities:
+    def test_full_distribution_sums_to_one(self, rng):
+        probs = probabilities(haar_state(5, rng))
+        assert np.isclose(probs.sum(), 1.0)
+
+    def test_marginal_single_wire(self):
+        state = apply_circuit(Circuit(2).h(0))
+        probs = probabilities(state, wires=(0,))
+        assert np.allclose(probs, [0.5, 0.5])
+
+    def test_marginal_other_wire_deterministic(self):
+        state = apply_circuit(Circuit(2).h(0))
+        probs = probabilities(state, wires=(1,))
+        assert np.allclose(probs, [1.0, 0.0])
+
+    def test_marginal_wire_order_respected(self):
+        state = apply_circuit(Circuit(3).x(2))
+        probs = probabilities(state, wires=(2, 0))
+        # wire2=1, wire0=0 -> bitstring "10" -> index 2
+        assert probs[2] == 1.0
+
+    def test_marginal_of_bell_state_is_correlated(self):
+        state = apply_circuit(Circuit(2).h(0).cnot(0, 1))
+        probs = probabilities(state, wires=(0, 1))
+        assert np.allclose(probs, [0.5, 0, 0, 0.5])
+
+    def test_duplicate_wires_rejected(self, rng):
+        with pytest.raises(CircuitError):
+            probabilities(haar_state(2, rng), wires=(0, 0))
+
+    def test_wire_out_of_range_rejected(self, rng):
+        with pytest.raises(CircuitError):
+            probabilities(haar_state(2, rng), wires=(2,))
+
+
+class TestSimulator:
+    def test_run_equals_apply_circuit(self):
+        c = Circuit(2).h(0).cnot(0, 1)
+        assert np.allclose(StatevectorSimulator().run(c), apply_circuit(c))
+
+    def test_expectation(self):
+        from repro.quantum.observables import PauliString
+
+        sim = StatevectorSimulator()
+        value = sim.expectation(Circuit(1).h(0), None, PauliString.from_label("X0"))
+        assert np.isclose(value, 1.0)
+
+    def test_expectations_batch(self):
+        from repro.quantum.observables import PauliString
+
+        sim = StatevectorSimulator()
+        values = sim.expectations(
+            Circuit(1).h(0),
+            None,
+            [PauliString.from_label("X0"), PauliString.from_label("Z0")],
+        )
+        assert np.allclose(values, [1.0, 0.0], atol=1e-12)
+
+    def test_probabilities_shortcut(self):
+        sim = StatevectorSimulator()
+        probs = sim.probabilities(Circuit(1).h(0))
+        assert np.allclose(probs, [0.5, 0.5])

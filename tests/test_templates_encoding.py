@@ -1,0 +1,205 @@
+"""Unit tests for ansatz templates and data encoders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.quantum.circuit import Param
+from repro.quantum.encoding import (
+    amplitude_state,
+    angle_encoding,
+    basis_encoding,
+    iqp_encoding,
+)
+from repro.quantum.statevector import apply_circuit, zero_state
+from repro.quantum.templates import (
+    hardware_efficient,
+    initial_parameters,
+    qaoa_maxcut,
+    real_amplitudes,
+    strongly_entangling,
+)
+
+
+class TestHardwareEfficient:
+    def test_param_count(self):
+        circuit = hardware_efficient(4, 3, rotations=("ry", "rz"))
+        assert circuit.n_params == 4 * 3 * 2
+
+    def test_single_rotation_param_count(self):
+        assert hardware_efficient(5, 2, rotations=("ry",)).n_params == 10
+
+    def test_entangler_count_ring(self):
+        circuit = hardware_efficient(4, 1)
+        assert circuit.gate_counts()["cnot"] == 4  # ring closes
+
+    def test_entangler_count_two_qubits_no_double_edge(self):
+        circuit = hardware_efficient(2, 1)
+        assert circuit.gate_counts()["cnot"] == 1
+
+    def test_ladder_when_ring_disabled(self):
+        circuit = hardware_efficient(4, 1, ring=False)
+        assert circuit.gate_counts()["cnot"] == 3
+
+    def test_cz_entangler(self):
+        circuit = hardware_efficient(3, 1, entangler="cz")
+        assert "cz" in circuit.gate_counts()
+
+    def test_rejects_bad_rotation(self):
+        with pytest.raises(CircuitError):
+            hardware_efficient(2, 1, rotations=("h",))
+
+    def test_rejects_bad_entangler(self):
+        with pytest.raises(CircuitError):
+            hardware_efficient(2, 1, entangler="swap")
+
+    def test_single_qubit_no_entanglers(self):
+        circuit = hardware_efficient(1, 2)
+        assert "cnot" not in circuit.gate_counts()
+
+    def test_executes(self):
+        circuit = hardware_efficient(3, 2)
+        state = apply_circuit(circuit, np.zeros(circuit.n_params))
+        assert np.isclose(np.linalg.norm(state), 1.0)
+
+
+class TestStronglyEntangling:
+    def test_param_count(self):
+        assert strongly_entangling(4, 2).n_params == 4 * 2 * 3
+
+    def test_custom_ranges_length_checked(self):
+        with pytest.raises(CircuitError):
+            strongly_entangling(3, 2, ranges=[1])
+
+    def test_range_wraps(self):
+        circuit = strongly_entangling(3, 1, ranges=[2])
+        cnots = [op for op in circuit.ops if op.gate == "cnot"]
+        assert cnots[0].wires == (0, 2)
+
+    def test_executes(self):
+        circuit = strongly_entangling(3, 2)
+        state = apply_circuit(circuit, 0.1 * np.ones(circuit.n_params))
+        assert np.isclose(np.linalg.norm(state), 1.0)
+
+
+class TestQAOA:
+    def test_param_count_is_two_per_layer(self):
+        circuit = qaoa_maxcut(4, [(0, 1), (1, 2), (2, 3)], 3)
+        assert circuit.n_params == 6
+
+    def test_parameters_shared_across_edges(self):
+        circuit = qaoa_maxcut(3, [(0, 1), (1, 2)], 1)
+        zz_params = [
+            op.params[0] for op in circuit.ops if op.gate == "zz"
+        ]
+        assert all(isinstance(p, Param) for p in zz_params)
+        assert len({p.index for p in zz_params}) == 1
+
+    def test_starts_with_hadamard_layer(self):
+        circuit = qaoa_maxcut(3, [(0, 1)], 1)
+        assert [op.gate for op in circuit.ops[:3]] == ["h", "h", "h"]
+
+    def test_executes(self):
+        circuit = qaoa_maxcut(3, [(0, 1), (1, 2)], 2)
+        state = apply_circuit(circuit, 0.3 * np.ones(circuit.n_params))
+        assert np.isclose(np.linalg.norm(state), 1.0)
+
+
+class TestRealAmplitudes:
+    def test_state_is_real(self):
+        circuit = real_amplitudes(3, 2)
+        state = apply_circuit(circuit, 0.4 * np.ones(circuit.n_params))
+        assert np.allclose(state.imag, 0.0)
+
+
+class TestInitialParameters:
+    def test_shape_and_scale(self, rng):
+        circuit = hardware_efficient(3, 2)
+        params = initial_parameters(circuit, rng, scale=0.01)
+        assert params.shape == (circuit.n_params,)
+        assert np.max(np.abs(params)) < 0.1
+
+
+class TestAngleEncoding:
+    def test_ry_encoding_rotates_each_qubit(self):
+        circuit = angle_encoding([np.pi, 0.0], 2, rotation="ry")
+        state = apply_circuit(circuit)
+        # qubit 0 rotated by pi -> |1>, qubit 1 untouched -> |0>
+        assert np.isclose(abs(state[2]) ** 2, 1.0)
+
+    def test_features_cycle_over_wires(self):
+        circuit = angle_encoding([0.5], 3)
+        rotations = [op for op in circuit.ops if op.gate == "ry"]
+        assert len(rotations) == 3
+
+    def test_extra_features_wrap_around_wires(self):
+        circuit = angle_encoding([0.1, 0.2, 0.3], 2)
+        rotations = [op for op in circuit.ops if op.gate == "ry"]
+        assert len(rotations) == 3
+
+    def test_rz_encoding_prepends_hadamard(self):
+        circuit = angle_encoding([0.3], 2, rotation="rz")
+        assert circuit.ops[0].gate == "h"
+
+    def test_no_trainable_params(self):
+        assert angle_encoding([0.1, 0.2], 2).n_params == 0
+
+    def test_rejects_bad_rotation(self):
+        with pytest.raises(CircuitError):
+            angle_encoding([0.1], 1, rotation="rot")
+
+    def test_rejects_empty_features(self):
+        with pytest.raises(CircuitError):
+            angle_encoding([], 2)
+
+
+class TestIQPEncoding:
+    def test_structure(self):
+        circuit = iqp_encoding([0.1, 0.2, 0.3], 3)
+        counts = circuit.gate_counts()
+        assert counts["h"] == 3 and counts["rz"] == 3 and counts["zz"] == 2
+
+    def test_depth_repeats(self):
+        shallow = iqp_encoding([0.1, 0.2], 2, depth=1)
+        deep = iqp_encoding([0.1, 0.2], 2, depth=3)
+        assert len(deep) == 3 * len(shallow)
+
+    def test_short_features_resized(self):
+        circuit = iqp_encoding([0.5], 3)
+        assert np.isclose(
+            np.linalg.norm(apply_circuit(circuit)), 1.0
+        )
+
+
+class TestBasisEncoding:
+    def test_sets_requested_bits(self):
+        circuit = basis_encoding([1, 0, 1], 3)
+        state = apply_circuit(circuit)
+        assert state[0b101] == 1.0
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(CircuitError):
+            basis_encoding([2], 1)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(CircuitError):
+            basis_encoding([1, 1], 1)
+
+
+class TestAmplitudeEncoding:
+    def test_normalizes(self):
+        state = amplitude_state([3.0, 4.0], 1)
+        assert np.isclose(np.linalg.norm(state), 1.0)
+        assert np.isclose(abs(state[0]) ** 2, 9 / 25)
+
+    def test_pads_with_zeros(self):
+        state = amplitude_state([1.0], 2)
+        assert state[0] == 1.0 and np.count_nonzero(state) == 1
+
+    def test_rejects_oversized_vector(self):
+        with pytest.raises(CircuitError):
+            amplitude_state(np.ones(5), 2)
+
+    def test_rejects_zero_vector(self):
+        with pytest.raises(CircuitError):
+            amplitude_state([0.0, 0.0], 1)

@@ -1,0 +1,462 @@
+"""Tests for the replicated and tiered storage backends."""
+
+import numpy as np
+import pytest
+
+from repro.core.manager import CheckpointManager
+from repro.core.policy import EveryKSteps
+from repro.core.recovery import resume_trainer
+from repro.core.store import CheckpointStore
+from repro.errors import ConfigError, StorageError
+from repro.ml.optimizers import Adam
+from repro.ml.trainer import Trainer, TrainerConfig
+from repro.quantum.observables import Hamiltonian
+from repro.quantum.templates import hardware_efficient
+from repro.ml.models import VQEModel
+from repro.storage.flaky import FlakyBackend
+from repro.storage.memory import InMemoryBackend
+from repro.storage.replicated import ReplicatedBackend
+from repro.storage.tiered import TieredBackend
+
+
+def make_replicated(n=3, **kwargs):
+    replicas = [InMemoryBackend() for _ in range(n)]
+    return ReplicatedBackend(replicas, **kwargs), replicas
+
+
+# ---------------------------------------------------------------------------
+# ReplicatedBackend
+# ---------------------------------------------------------------------------
+
+
+class TestReplicatedConstruction:
+    def test_rejects_single_replica(self):
+        with pytest.raises(ConfigError):
+            ReplicatedBackend([InMemoryBackend()])
+
+    def test_rejects_bad_quorum(self):
+        replicas = [InMemoryBackend(), InMemoryBackend()]
+        with pytest.raises(ConfigError):
+            ReplicatedBackend(replicas, write_quorum=3)
+        with pytest.raises(ConfigError):
+            ReplicatedBackend(replicas, write_quorum=0)
+
+    def test_rejects_bad_consistency(self):
+        with pytest.raises(ConfigError):
+            ReplicatedBackend(
+                [InMemoryBackend(), InMemoryBackend()], consistency="eventual"
+            )
+
+    def test_default_quorum_is_majority(self):
+        backend, _ = make_replicated(5)
+        assert backend.write_quorum == 3
+
+
+class TestReplicatedWrites:
+    def test_write_mirrors_to_all(self):
+        backend, replicas = make_replicated(3)
+        backend.write("obj", b"payload")
+        for replica in replicas:
+            assert replica.read("obj") == b"payload"
+
+    def test_write_survives_minority_failure(self):
+        fast = InMemoryBackend()
+        flaky = FlakyBackend(InMemoryBackend())
+        backend = ReplicatedBackend([fast, flaky, InMemoryBackend()])
+        flaky.arm("error")
+        backend.write("obj", b"payload")
+        assert backend.stats.degraded_writes == 1
+        assert backend.stats.per_replica_write_failures == [0, 1, 0]
+        assert backend.read("obj") == b"payload"
+
+    def test_write_fails_below_quorum(self):
+        flaky_a = FlakyBackend(InMemoryBackend())
+        flaky_b = FlakyBackend(InMemoryBackend())
+        backend = ReplicatedBackend([flaky_a, flaky_b, InMemoryBackend()])
+        flaky_a.arm("error")
+        flaky_b.arm("error")
+        with pytest.raises(StorageError, match="quorum"):
+            backend.write("obj", b"payload")
+        assert backend.stats.failed_writes == 1
+
+
+class TestReplicatedReads:
+    def test_first_mode_reads_any_available(self):
+        backend, replicas = make_replicated(3)
+        backend.write("obj", b"payload")
+        replicas[0].delete("obj")
+        assert backend.read("obj") == b"payload"
+
+    def test_missing_everywhere_raises(self):
+        backend, _ = make_replicated(3)
+        with pytest.raises(StorageError, match="not found"):
+            backend.read("ghost")
+
+    def test_quorum_read_returns_majority(self):
+        backend, replicas = make_replicated(3, consistency="quorum")
+        backend.write("obj", b"good")
+        replicas[1].write("obj", b"rot!")
+        assert backend.read("obj") == b"good"
+        assert backend.stats.divergent_reads == 1
+
+    def test_quorum_read_repairs_minority(self):
+        backend, replicas = make_replicated(3, consistency="quorum")
+        backend.write("obj", b"good")
+        replicas[2].write("obj", b"rot!")
+        backend.read("obj")
+        assert replicas[2].read("obj") == b"good"
+        assert backend.stats.repaired_objects == 1
+
+    def test_quorum_read_without_repair_leaves_rot(self):
+        backend, replicas = make_replicated(
+            3, consistency="quorum", read_repair=False
+        )
+        backend.write("obj", b"good")
+        replicas[2].write("obj", b"rot!")
+        assert backend.read("obj") == b"good"
+        assert replicas[2].read("obj") == b"rot!"
+
+    def test_unresolvable_tie_raises(self):
+        backend, replicas = make_replicated(2, consistency="quorum")
+        backend.write("obj", b"aaaa")
+        replicas[1].write("obj", b"bbbb")
+        with pytest.raises(StorageError, match="divergent"):
+            backend.read("obj")
+
+
+class TestReplicatedNamespace:
+    def test_exists_any(self):
+        backend, replicas = make_replicated(3)
+        replicas[2].write("solo", b"x")
+        assert backend.exists("solo")
+        assert not backend.exists("ghost")
+
+    def test_list_is_union(self):
+        backend, replicas = make_replicated(2)
+        replicas[0].write("a", b"1")
+        replicas[1].write("b", b"2")
+        assert backend.list() == ["a", "b"]
+
+    def test_delete_removes_everywhere(self):
+        backend, replicas = make_replicated(3)
+        backend.write("obj", b"payload")
+        backend.delete("obj")
+        assert not backend.exists("obj")
+
+    def test_size_from_first_holder(self):
+        backend, replicas = make_replicated(2)
+        backend.write("obj", b"12345")
+        assert backend.size("obj") == 5
+        with pytest.raises(StorageError):
+            backend.size("ghost")
+
+
+class TestScrub:
+    def test_scrub_fills_missing_copies(self):
+        backend, replicas = make_replicated(3)
+        backend.write("obj", b"payload")
+        replicas[1].delete("obj")
+        report = backend.scrub()
+        assert report == {"obj": "replicated"}
+        assert replicas[1].read("obj") == b"payload"
+
+    def test_scrub_repairs_divergence(self):
+        backend, replicas = make_replicated(3)
+        backend.write("obj", b"good")
+        replicas[0].write("obj", b"rot!")
+        report = backend.scrub()
+        assert report == {"obj": "repaired"}
+        assert replicas[0].read("obj") == b"good"
+
+    def test_scrub_reports_conflicts(self):
+        backend, replicas = make_replicated(2)
+        replicas[0].write("obj", b"aaaa")
+        replicas[1].write("obj", b"bbbb")
+        assert backend.scrub() == {"obj": "conflict"}
+
+    def test_scrub_clean_store_is_empty_report(self):
+        backend, _ = make_replicated(3)
+        backend.write("obj", b"payload")
+        assert backend.scrub() == {}
+
+    def test_validator_breaks_tie(self):
+        backend, replicas = make_replicated(2)
+        replicas[0].write("obj", b"good")
+        replicas[1].write("obj", b"rot!")
+        report = backend.scrub(lambda name, data: data == b"good")
+        assert report == {"obj": "validated"}
+        assert replicas[1].read("obj") == b"good"
+
+    def test_validator_rejecting_everything_keeps_conflict(self):
+        backend, replicas = make_replicated(2)
+        replicas[0].write("obj", b"aaaa")
+        replicas[1].write("obj", b"bbbb")
+        assert backend.scrub(lambda name, data: False) == {"obj": "conflict"}
+
+    def test_validator_accepting_both_keeps_conflict(self):
+        backend, replicas = make_replicated(2)
+        replicas[0].write("obj", b"aaaa")
+        replicas[1].write("obj", b"bbbb")
+        assert backend.scrub(lambda name, data: True) == {"obj": "conflict"}
+
+    def test_store_object_validator_identifies_intact_copy(self):
+        backend, replicas = make_replicated(2)
+        store = CheckpointStore(backend)
+        model = VQEModel(
+            hardware_efficient(2, 1),
+            Hamiltonian.transverse_field_ising(2, 1.0, 0.8),
+        )
+        trainer = Trainer(model, Adam(lr=0.1), config=TrainerConfig(seed=4))
+        manager = CheckpointManager(store, EveryKSteps(1))
+        trainer.run(1, hooks=[manager])
+        manager.close()
+
+        name = store.latest().object_name
+        rotten = bytearray(replicas[1].read(name))
+        rotten[len(rotten) // 2] ^= 0xFF
+        replicas[1].write(name, bytes(rotten))
+
+        validator = store.object_validator()
+        assert validator(name, replicas[0].read(name))
+        assert not validator(name, bytes(rotten))
+        assert not validator("unknown-object", b"anything")
+        assert validator("MANIFEST.json", replicas[0].read("MANIFEST.json"))
+        assert not validator("MANIFEST.json", b"\xff not json")
+
+        report = backend.scrub(validator)
+        assert report[name] == "validated"
+        assert replicas[1].read(name) == replicas[0].read(name)
+
+
+class TestReplicatedCheckpointing:
+    def test_store_survives_one_dead_replica(self):
+        backend, replicas = make_replicated(3)
+        store = CheckpointStore(backend)
+        model = VQEModel(
+            hardware_efficient(2, 1),
+            Hamiltonian.transverse_field_ising(2, 1.0, 0.8),
+        )
+        config = TrainerConfig(seed=4)
+        trainer = Trainer(model, Adam(lr=0.1), config=config)
+        manager = CheckpointManager(store, EveryKSteps(2))
+        trainer.run(4, hooks=[manager])
+        manager.close()
+        trainer.run(2)
+
+        # Lose an entire replica, then resume through a fresh store handle.
+        replicas[0]._objects.clear()  # simulate total replica loss
+        resumed = Trainer(model, Adam(lr=0.1), config=config)
+        fresh = CheckpointStore(backend)
+        record = resume_trainer(resumed, fresh)
+        assert record is not None and record.step == 4
+        resumed.run(2)
+        np.testing.assert_array_equal(resumed.params, trainer.params)
+
+
+# ---------------------------------------------------------------------------
+# TieredBackend
+# ---------------------------------------------------------------------------
+
+
+class TestTieredConstruction:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigError):
+            TieredBackend(InMemoryBackend(), InMemoryBackend(), 0)
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ConfigError):
+            TieredBackend(
+                InMemoryBackend(), InMemoryBackend(), 100, policy="write-around"
+            )
+
+    def test_adopts_existing_fast_objects(self):
+        fast = InMemoryBackend()
+        fast.write("warm", b"xyz")
+        tiered = TieredBackend(fast, InMemoryBackend(), 100)
+        assert tiered.fast_bytes_used() == 3
+        tiered.read("warm")
+        assert tiered.stats.fast_hits == 1
+
+
+class TestWriteThrough:
+    def test_write_lands_in_both_tiers(self):
+        fast, slow = InMemoryBackend(), InMemoryBackend()
+        tiered = TieredBackend(fast, slow, 100)
+        tiered.write("obj", b"data")
+        assert fast.read("obj") == b"data"
+        assert slow.read("obj") == b"data"
+        assert tiered.dirty_objects() == []
+
+    def test_read_hits_fast_tier(self):
+        tiered = TieredBackend(InMemoryBackend(), InMemoryBackend(), 100)
+        tiered.write("obj", b"data")
+        tiered.read("obj")
+        assert tiered.stats.fast_hits == 1
+        assert tiered.stats.fast_misses == 0
+
+    def test_eviction_is_lru(self):
+        fast, slow = InMemoryBackend(), InMemoryBackend()
+        tiered = TieredBackend(fast, slow, 10)
+        tiered.write("a", b"aaaa")  # 4 bytes
+        tiered.write("b", b"bbbb")  # 8 bytes total
+        tiered.read("a")  # refresh a; b is now LRU
+        tiered.write("c", b"cccc")  # needs eviction: b goes
+        assert not fast.exists("b")
+        assert fast.exists("a") and fast.exists("c")
+        assert tiered.stats.evictions == 1
+        assert slow.exists("b")  # write-through kept it durable
+
+    def test_miss_promotes_from_slow(self):
+        fast, slow = InMemoryBackend(), InMemoryBackend()
+        tiered = TieredBackend(fast, slow, 100)
+        slow.write("cold", b"brrr")
+        assert tiered.read("cold") == b"brrr"
+        assert tiered.stats.fast_misses == 1
+        assert tiered.stats.promotions == 1
+        assert fast.read("cold") == b"brrr"
+
+    def test_oversized_object_is_served_without_promotion(self):
+        fast, slow = InMemoryBackend(), InMemoryBackend()
+        tiered = TieredBackend(fast, slow, 4)
+        slow.write("big", b"0123456789")
+        assert tiered.read("big") == b"0123456789"
+        assert tiered.stats.promotions == 0
+        assert not fast.exists("big")
+
+    def test_oversized_write_raises(self):
+        tiered = TieredBackend(InMemoryBackend(), InMemoryBackend(), 4)
+        with pytest.raises(StorageError, match="capacity"):
+            tiered.write("big", b"0123456789")
+
+    def test_replace_reuses_residency(self):
+        tiered = TieredBackend(InMemoryBackend(), InMemoryBackend(), 10)
+        tiered.write("obj", b"0123456789")
+        tiered.write("obj", b"01234")
+        assert tiered.fast_bytes_used() == 5
+        assert tiered.stats.evictions == 0
+
+
+class TestWriteBack:
+    def test_write_defers_slow_tier(self):
+        fast, slow = InMemoryBackend(), InMemoryBackend()
+        tiered = TieredBackend(fast, slow, 100, policy="write-back")
+        tiered.write("obj", b"data")
+        assert fast.read("obj") == b"data"
+        assert not slow.exists("obj")
+        assert tiered.dirty_objects() == ["obj"]
+
+    def test_flush_pushes_dirty_objects(self):
+        fast, slow = InMemoryBackend(), InMemoryBackend()
+        tiered = TieredBackend(fast, slow, 100, policy="write-back")
+        tiered.write("a", b"1")
+        tiered.write("b", b"2")
+        assert tiered.flush() == ["a", "b"]
+        assert slow.read("a") == b"1" and slow.read("b") == b"2"
+        assert tiered.dirty_objects() == []
+        assert tiered.stats.flushes == 2
+
+    def test_eviction_flushes_dirty_victim(self):
+        fast, slow = InMemoryBackend(), InMemoryBackend()
+        tiered = TieredBackend(fast, slow, 8, policy="write-back")
+        tiered.write("a", b"aaaa")
+        tiered.write("b", b"bbbb")
+        tiered.write("c", b"cccc")  # evicts a, which is dirty
+        assert slow.read("a") == b"aaaa"
+        assert tiered.stats.evictions == 1
+        assert "a" not in tiered.dirty_objects()
+
+    def test_close_flushes(self):
+        fast, slow = InMemoryBackend(), InMemoryBackend()
+        tiered = TieredBackend(fast, slow, 100, policy="write-back")
+        tiered.write("obj", b"data")
+        tiered.close()
+        assert slow.read("obj") == b"data"
+
+    def test_delete_clears_dirty_state(self):
+        tiered = TieredBackend(
+            InMemoryBackend(), InMemoryBackend(), 100, policy="write-back"
+        )
+        tiered.write("obj", b"data")
+        tiered.delete("obj")
+        assert tiered.dirty_objects() == []
+        assert not tiered.exists("obj")
+
+
+class TestTieredNamespace:
+    def test_list_is_union_of_tiers(self):
+        fast, slow = InMemoryBackend(), InMemoryBackend()
+        tiered = TieredBackend(fast, slow, 100, policy="write-back")
+        tiered.write("hot", b"1")
+        slow.write("cold", b"2")
+        assert tiered.list() == ["cold", "hot"]
+        assert tiered.list("h") == ["hot"]
+
+    def test_size_prefers_fast_metadata(self):
+        fast, slow = InMemoryBackend(), InMemoryBackend()
+        tiered = TieredBackend(fast, slow, 100)
+        tiered.write("obj", b"12345")
+        assert tiered.size("obj") == 5
+        slow.write("cold", b"123")
+        assert tiered.size("cold") == 3
+
+    def test_exists_checks_both(self):
+        fast, slow = InMemoryBackend(), InMemoryBackend()
+        tiered = TieredBackend(fast, slow, 100, policy="write-back")
+        tiered.write("hot", b"1")
+        slow.write("cold", b"2")
+        assert tiered.exists("hot") and tiered.exists("cold")
+        assert not tiered.exists("ghost")
+
+
+class TestTieredCheckpointing:
+    def test_checkpoint_roundtrip_through_tiers(self):
+        fast, slow = InMemoryBackend(), InMemoryBackend()
+        tiered = TieredBackend(fast, slow, 1 << 20)
+        store = CheckpointStore(tiered)
+        model = VQEModel(
+            hardware_efficient(2, 1),
+            Hamiltonian.transverse_field_ising(2, 1.0, 0.8),
+        )
+        config = TrainerConfig(seed=4)
+        trainer = Trainer(model, Adam(lr=0.1), config=config)
+        manager = CheckpointManager(store, EveryKSteps(2))
+        trainer.run(4, hooks=[manager])
+        manager.close()
+
+        # Losing the entire fast tier must not lose checkpoints.
+        fast._objects.clear()
+        fresh = CheckpointStore(TieredBackend(InMemoryBackend(), slow, 1 << 20))
+        snapshot = fresh.load(fresh.latest().id)
+        assert snapshot.step == 4
+
+
+class TestTieredWriteFailureConsistency:
+    def test_failed_eviction_flush_preserves_bookkeeping(self):
+        """A slow-tier failure during evict-flush must not orphan fast objects."""
+        from repro.storage.flaky import FlakyBackend
+
+        fast = InMemoryBackend()
+        slow = FlakyBackend(InMemoryBackend())
+        tiered = TieredBackend(fast, slow, 8, policy="write-back")
+        tiered.write("a", b"aaaa")
+        tiered.write("b", b"bbbb")
+        slow.arm("error")  # next flush (triggered by eviction of dirty 'a') fails
+        with pytest.raises(StorageError):
+            tiered.write("c", b"cccc")
+        # 'a' and 'b' still tracked and readable; no orphan bookkeeping.
+        assert tiered.read("a") == b"aaaa"
+        assert tiered.read("b") == b"bbbb"
+        assert sorted(tiered.dirty_objects()) == ["a", "b"]
+        assert tiered.fast_bytes_used() == 8
+        # Once the slow tier recovers, the same write succeeds.
+        tiered.write("c", b"cccc")
+        assert tiered.read("c") == b"cccc"
+
+    def test_replacement_write_failure_restores_residency(self):
+        fast, slow = InMemoryBackend(), InMemoryBackend()
+        tiered = TieredBackend(fast, slow, 8)
+        tiered.write("a", b"aaaa")
+        with pytest.raises(StorageError, match="capacity"):
+            tiered.write("a", b"0123456789")  # oversized replacement
+        assert tiered.read("a") == b"aaaa"
+        assert tiered.fast_bytes_used() == 4
