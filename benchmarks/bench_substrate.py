@@ -1,18 +1,55 @@
 """Substrate microbenchmarks (not a paper figure).
 
 Times the simulation and gradient kernels the experiments above sit on, so
-regressions in the quantum substrate are visible next to the storage
-numbers: statevector execution, adjoint gradient, shot sampling.
+regressions in the quantum substrate are visible next to the storage numbers:
+statevector execution, adjoint gradient, shot sampling, and — since the fast
+execution engine landed — old-path-vs-engine comparisons for gate application
+and parameter-shift gradient throughput.  The comparison rows are also written
+to ``BENCH_substrate.json`` at the repo root so the perf trajectory is
+tracked across PRs.
 """
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 
 from repro.autodiff import adjoint_gradient
+from repro.autodiff.parameter_shift import (
+    parameter_shift_gradient,
+    shift_rule_evaluations,
+)
+from repro.bench.workloads import gradient_workload
 from repro.quantum.haar import haar_state
 from repro.quantum.observables import Hamiltonian
 from repro.quantum.sampling import estimate_expectation
-from repro.quantum.statevector import apply_circuit
+from repro.quantum.statevector import apply_circuit, apply_gate, zero_state
 from repro.quantum.templates import hardware_efficient, initial_parameters
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+
+# The acceptance target for the engine: >= 3x on a 12-qubit, 4-layer HEA
+# parameter-shift gradient versus the seed execution path.
+GRAD_SPEEDUP_TARGET = 3.0
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _reference_apply_circuit(circuit, params):
+    """The seed execution path: per-gate tensordot with rebuilt matrices."""
+    state = zero_state(circuit.n_qubits)
+    for op in circuit.ops:
+        state = apply_gate(state, op.matrix(params), op.wires, circuit.n_qubits)
+    return state
 
 
 def test_statevector_execution_12q(benchmark):
@@ -36,3 +73,74 @@ def test_shot_sampling_12q(benchmark):
     rng = np.random.default_rng(2)
     value = benchmark(estimate_expectation, state, hamiltonian, 1024, rng)
     assert np.isfinite(value)
+
+
+def test_batched_shift_gradient_12q(benchmark):
+    """Throughput of the batched engine gradient itself."""
+    circuit, params, hamiltonian = gradient_workload(12, 4)
+    grads = benchmark(parameter_shift_gradient, circuit, params, hamiltonian)
+    assert grads.shape == params.shape
+
+
+def test_engine_speedups(report):
+    """Old path vs fast engine: gate kernels and gradient throughput.
+
+    Asserts the acceptance target (>= 3x on the 12-qubit, 4-layer HEA
+    parameter-shift gradient) and writes every row to BENCH_substrate.json.
+    """
+    circuit, params, hamiltonian = gradient_workload(12, 4)
+
+    exec_ref, state_ref = _best_of(lambda: _reference_apply_circuit(circuit, params), 3)
+    exec_fast, state_fast = _best_of(lambda: apply_circuit(circuit, params), 5)
+    assert np.allclose(state_ref, state_fast, atol=1e-12)
+
+    grad_ref, g_ref = _best_of(
+        lambda: parameter_shift_gradient(
+            circuit, params, hamiltonian, engine="reference"
+        ),
+        2,
+    )
+    grad_fast, g_fast = _best_of(
+        lambda: parameter_shift_gradient(circuit, params, hamiltonian), 5
+    )
+    assert np.allclose(g_ref, g_fast, atol=1e-10)
+
+    evaluations = shift_rule_evaluations(circuit)
+    rows = {
+        "workload": {
+            "n_qubits": 12,
+            "n_layers": 4,
+            "n_params": int(circuit.n_params),
+            "n_ops": len(circuit.ops),
+            "shift_evaluations": evaluations,
+        },
+        "execution_seconds": {"reference": exec_ref, "engine": exec_fast},
+        "gradient_seconds": {"reference": grad_ref, "engine": grad_fast},
+        "speedups": {
+            "execution": exec_ref / exec_fast,
+            "gradient": grad_ref / grad_fast,
+        },
+        "gradient_evals_per_second": {
+            "reference": evaluations / grad_ref,
+            "engine": evaluations / grad_fast,
+        },
+    }
+    _JSON_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+
+    table = "\n".join(
+        [
+            f"{'path':<12} {'execute (ms)':>14} {'gradient (ms)':>14} {'evals/s':>10}",
+            f"{'reference':<12} {exec_ref * 1e3:>14.2f} {grad_ref * 1e3:>14.1f} "
+            f"{evaluations / grad_ref:>10.0f}",
+            f"{'engine':<12} {exec_fast * 1e3:>14.2f} {grad_fast * 1e3:>14.1f} "
+            f"{evaluations / grad_fast:>10.0f}",
+            f"{'speedup':<12} {exec_ref / exec_fast:>13.1f}x "
+            f"{grad_ref / grad_fast:>13.1f}x",
+        ]
+    )
+    report("Substrate engine: 12-qubit 4-layer HEA (old path vs fast engine)", table)
+
+    assert grad_ref / grad_fast >= GRAD_SPEEDUP_TARGET, (
+        f"gradient speedup {grad_ref / grad_fast:.2f}x below the "
+        f"{GRAD_SPEEDUP_TARGET}x acceptance target"
+    )

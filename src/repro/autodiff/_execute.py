@@ -5,6 +5,11 @@ operation occurrences.  Overriding occurrences (rather than entries of the
 parameter vector) is what makes the shift rules correct for circuits where one
 trainable parameter feeds several gates (e.g. QAOA): each occurrence is
 shifted independently and contributions are summed by the chain rule.
+
+Two engines are available: ``"fast"`` routes through the in-place kernels and
+matrix cache of :mod:`repro.quantum.kernels`; ``"reference"`` preserves the
+original per-gate ``tensordot`` loop as the oracle the fast path is
+benchmarked and property-tested against.
 """
 
 from __future__ import annotations
@@ -14,12 +19,34 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.quantum import gates as _gates
+from repro.quantum import kernels as _kernels
 from repro.quantum.circuit import Circuit
 from repro.quantum.sampling import estimate_expectation
 from repro.quantum.statevector import COMPLEX_DTYPE, apply_gate, zero_state
 
 # overrides: {op_position: [(param_slot, value), ...]}
 Overrides = Dict[int, List[Tuple[int, float]]]
+
+
+def _reference_state(
+    circuit: Circuit,
+    values: np.ndarray,
+    overrides: Overrides,
+    initial_state: Optional[np.ndarray],
+) -> np.ndarray:
+    """The seed execution path: per-gate tensordot with rebuilt matrices."""
+    state = (
+        zero_state(circuit.n_qubits)
+        if initial_state is None
+        else np.array(initial_state, dtype=COMPLEX_DTYPE, copy=True)
+    )
+    for position, op in enumerate(circuit.ops):
+        resolved = list(op.resolve(values))
+        for slot, value in overrides.get(position, ()):
+            resolved[slot] = value
+        matrix = _gates.matrix_for(op.gate, resolved)
+        state = apply_gate(state, matrix, op.wires, circuit.n_qubits)
+    return state
 
 
 def execute_with_overrides(
@@ -30,20 +57,16 @@ def execute_with_overrides(
     initial_state: Optional[np.ndarray] = None,
     shots: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
+    engine: str = "fast",
 ) -> float:
     """Expectation value with selected parameter occurrences overridden."""
-    state = (
-        zero_state(circuit.n_qubits)
-        if initial_state is None
-        else np.array(initial_state, dtype=COMPLEX_DTYPE, copy=True)
-    )
     overrides = overrides or {}
-    for position, op in enumerate(circuit.ops):
-        resolved = list(op.resolve(values))
-        for slot, value in overrides.get(position, ()):
-            resolved[slot] = value
-        matrix = _gates.matrix_for(op.gate, resolved)
-        state = apply_gate(state, matrix, op.wires, circuit.n_qubits)
+    if engine == "reference":
+        state = _reference_state(circuit, values, overrides, initial_state)
+    else:
+        state = _kernels.run(
+            circuit, values, initial_state=initial_state, overrides=overrides
+        )
     if shots is None:
         return float(observable.expectation(state))
     if rng is None:

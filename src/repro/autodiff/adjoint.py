@@ -11,6 +11,11 @@ O(#params) executions the shift rule needs.  Derivation: with
 The backward sweep maintains ``psi`` and ``phi`` with one gate application
 each per operation, plus one derivative-matrix application per trainable
 slot.  Requires a Hermitian observable and an exact statevector (no shots).
+
+Gate applications run on the in-place kernels of
+:mod:`repro.quantum.kernels`; gate and derivative matrices come from its
+per-``(gate, params)`` caches, so the forward pass, the unitary undo, and the
+adjoint undo of the same operation resolve the matrix once.
 """
 
 from __future__ import annotations
@@ -20,12 +25,11 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import GradientError
-from repro.quantum import gates as _gates
+from repro.quantum import kernels as _kernels
 from repro.quantum.circuit import Circuit, Param
 from repro.quantum.observables import Hamiltonian, PauliString, Projector
 from repro.quantum.statevector import (
     COMPLEX_DTYPE,
-    apply_gate,
     zero_state,
 )
 
@@ -60,8 +64,11 @@ def adjoint_gradient(
         if initial_state is None
         else np.array(initial_state, dtype=COMPLEX_DTYPE, copy=True)
     )
+    scratch = _kernels.make_scratch(psi.size)
     for op in circuit.ops:
-        psi = apply_gate(psi, op.matrix(values), op.wires, n)
+        _kernels.apply_matrix_inplace(
+            psi, _kernels.cached_matrix(op.gate, op.resolve(values)), op.wires, n, scratch
+        )
 
     lam = _apply_observable(observable, psi)
     value = float(np.vdot(psi, lam).real)
@@ -69,17 +76,17 @@ def adjoint_gradient(
 
     for op in reversed(circuit.ops):
         resolved = op.resolve(values)
-        matrix = _gates.matrix_for(op.gate, resolved)
-        dagger = matrix.conj().T
-        psi = apply_gate(psi, dagger, op.wires, n)
+        dagger = _kernels.cached_matrix(op.gate, resolved).conj().T
+        _kernels.apply_matrix_inplace(psi, dagger, op.wires, n, scratch)
         if op.is_trainable:
             for slot, value_ref in enumerate(op.params):
                 if not isinstance(value_ref, Param):
                     continue
-                derivative = _gates.derivative_for(op.gate, resolved, slot)
-                mu = apply_gate(psi, derivative, op.wires, n)
+                derivative = _kernels.cached_derivative(op.gate, resolved, slot)
+                mu = psi.copy()
+                _kernels.apply_matrix_inplace(mu, derivative, op.wires, n, scratch)
                 grads[value_ref.index] += 2.0 * float(np.vdot(lam, mu).real)
-        lam = apply_gate(lam, dagger, op.wires, n)
+        _kernels.apply_matrix_inplace(lam, dagger, op.wires, n, scratch)
 
     grads = grads[: circuit.n_params] if circuit.n_params else grads
     if return_value:

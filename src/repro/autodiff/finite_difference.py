@@ -1,14 +1,42 @@
-"""Finite-difference gradients (numerical oracle for tests)."""
+"""Finite-difference gradients (numerical oracle for tests).
+
+Bumping entry ``i`` of the parameter vector is equivalent to overriding every
+gate occurrence whose :class:`~repro.quantum.circuit.Param` slot references
+``i``, so all bumped executions of a gradient run as one batched sweep through
+:func:`repro.quantum.kernels.run_shifted_batch` — the circuit's unchanged
+matrices are resolved once and shared across the batch.  ``engine="reference"``
+keeps the original one-execution-per-bump loop.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import GradientError
-from repro.quantum.circuit import Circuit
+from repro.quantum import kernels as _kernels
+from repro.quantum.circuit import Circuit, Param
 from repro.autodiff._execute import execute_with_overrides
+
+
+def _occurrences_by_index(circuit: Circuit) -> Dict[int, List[Tuple[int, int]]]:
+    """vector index -> [(op_position, param_slot), ...] for trainable slots."""
+    out: Dict[int, List[Tuple[int, int]]] = {}
+    for position, op in enumerate(circuit.ops):
+        for slot, value in enumerate(op.params):
+            if isinstance(value, Param):
+                out.setdefault(value.index, []).append((position, slot))
+    return out
+
+
+def _bump_overrides(
+    occurrences: List[Tuple[int, int]], value: float
+) -> Dict[int, List[Tuple[int, float]]]:
+    overrides: Dict[int, List[Tuple[int, float]]] = {}
+    for position, slot in occurrences:
+        overrides.setdefault(position, []).append((slot, value))
+    return overrides
 
 
 def finite_difference_gradient(
@@ -18,6 +46,7 @@ def finite_difference_gradient(
     initial_state: Optional[np.ndarray] = None,
     step: float = 1e-6,
     scheme: str = "central",
+    engine: str = "fast",
 ) -> np.ndarray:
     """Numerical gradient by central or forward differences on the vector."""
     if step <= 0:
@@ -25,13 +54,68 @@ def finite_difference_gradient(
     if scheme not in {"central", "forward"}:
         raise GradientError(f"scheme must be 'central' or 'forward', got {scheme!r}")
     values = np.asarray(params, dtype=np.float64).copy()
+    grads = np.zeros(values.size)
+
+    if engine == "reference":
+        return _reference_finite_difference(
+            circuit, values, observable, initial_state, step, scheme, grads
+        )
+
+    occurrences = _occurrences_by_index(circuit)
+    active = [i for i in range(values.size) if i in occurrences]
+    if not active:
+        return grads
+
+    batch: List[dict] = []
+    for index in active:
+        batch.append(_bump_overrides(occurrences[index], values[index] + step))
+        if scheme == "central":
+            batch.append(_bump_overrides(occurrences[index], values[index] - step))
+    batch_expectation = getattr(observable, "expectation_batch", None)
+    states = _kernels.run_shifted_batch(
+        circuit, values, batch, initial_state, columns=batch_expectation is not None
+    )
+    if batch_expectation is not None:
+        energies = np.asarray(
+            batch_expectation(states, columns=True), dtype=np.float64
+        )
+    else:
+        energies = [float(observable.expectation(state)) for state in states]
+
+    if scheme == "central":
+        for k, index in enumerate(active):
+            grads[index] = (energies[2 * k] - energies[2 * k + 1]) / (2 * step)
+    else:
+        base = float(
+            observable.expectation(
+                _kernels.run(circuit, values, initial_state=initial_state)
+            )
+        )
+        for k, index in enumerate(active):
+            grads[index] = (energies[k] - base) / step
+    return grads
+
+
+def _reference_finite_difference(
+    circuit: Circuit,
+    values: np.ndarray,
+    observable,
+    initial_state: Optional[np.ndarray],
+    step: float,
+    scheme: str,
+    grads: np.ndarray,
+) -> np.ndarray:
+    """The seed path: one full execution per bumped parameter vector."""
 
     def evaluate(vector: np.ndarray) -> float:
         return execute_with_overrides(
-            circuit, vector, observable, initial_state=initial_state
+            circuit,
+            vector,
+            observable,
+            initial_state=initial_state,
+            engine="reference",
         )
 
-    grads = np.zeros(values.size)
     base = evaluate(values) if scheme == "forward" else 0.0
     for index in range(values.size):
         bumped = values.copy()

@@ -17,12 +17,30 @@ from repro.ml.models import VariationalClassifier, VQEModel
 from repro.ml.optimizers import Adam
 from repro.ml.rng import capture_rng_state
 from repro.ml.trainer import Trainer, TrainerConfig
+from repro.quantum.circuit import Circuit
 from repro.quantum.haar import haar_state
 from repro.quantum.observables import Hamiltonian
 from repro.quantum.statevector import apply_circuit
-from repro.quantum.templates import hardware_efficient
+from repro.quantum.templates import hardware_efficient, initial_parameters
 
 DEFAULT_LAYERS = 4
+
+
+def gradient_workload(
+    n_qubits: int = 12,
+    n_layers: int = DEFAULT_LAYERS,
+    seed: int = 0,
+) -> Tuple[Circuit, np.ndarray, Hamiltonian]:
+    """The gradient-throughput workload the substrate benchmarks time.
+
+    A hardware-efficient ansatz with a TFIM observable — the shape whose
+    parameter-shift gradient costs ``2 * n_params`` circuit executions and is
+    what the batched execution engine accelerates.
+    """
+    circuit = hardware_efficient(n_qubits, n_layers)
+    params = initial_parameters(circuit, np.random.default_rng(seed))
+    hamiltonian = Hamiltonian.transverse_field_ising(n_qubits, 1.0, 0.8)
+    return circuit, params, hamiltonian
 
 
 def classifier_workload(

@@ -22,6 +22,7 @@ from repro.core.snapshot import TrainingSnapshot
 from repro.errors import ConfigError
 from repro.ml.dataset import ArrayDataset, BatchSampler
 from repro.ml.rng import capture_rng_state, restore_rng_state
+from repro.quantum.kernels import prime_circuit_cache
 
 
 @dataclass(frozen=True)
@@ -79,6 +80,11 @@ class Trainer:
             if dataset is not None
             else None
         )
+        ansatz = getattr(model, "ansatz", None)
+        if ansatz is not None and ansatz.n_params <= self.params.size:
+            # Warm the execution engine's matrix cache so the first step does
+            # not pay cold builds for the ansatz's fixed/constant gates.
+            prime_circuit_cache(ansatz, self.params)
         self.step_count = 0
         self.loss_history: List[float] = []
         self.wall_time = 0.0

@@ -9,6 +9,16 @@ experiments run on.  It provides:
   round-tripping and a structural fingerprint used by checkpoint compatibility
   checks,
 * :mod:`repro.quantum.statevector` — the simulation engine,
+* :mod:`repro.quantum.kernels` — the fast execution engine under it:
+  bit-indexed in-place 1- and 2-qubit gate kernels with diagonal and
+  phase-permutation fast paths, single-qubit gate fusion, an LRU cache of
+  resolved gate/derivative matrices, and batched execution
+  (:func:`~repro.quantum.kernels.run_batch` /
+  :func:`~repro.quantum.kernels.run_shifted_batch`) that evaluates many
+  parameter vectors or shift-rule overrides as one amplitude-major
+  ``(2**n, B)`` sweep — the engine behind
+  ``StatevectorSimulator.run_batch`` and the batched gradients in
+  :mod:`repro.autodiff`,
 * :mod:`repro.quantum.observables` — Pauli strings and Hamiltonians,
 * :mod:`repro.quantum.sampling` — shot-based expectation estimation,
 * :mod:`repro.quantum.templates` — variational ansatz builders,

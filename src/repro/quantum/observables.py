@@ -10,12 +10,14 @@ computed exactly against statevectors; shot-based estimation lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ObservableError
 from repro.quantum import gates as _gates
+from repro.quantum import kernels as _kernels
 from repro.quantum.statevector import apply_gate, n_qubits_of
 
 _PAULI_MATRICES = {
@@ -23,6 +25,24 @@ _PAULI_MATRICES = {
     "Y": _gates.PAULI_Y,
     "Z": _gates.PAULI_Z,
 }
+
+@lru_cache(maxsize=256)
+def _diagonal_signs(paulis: Tuple[Tuple[int, str], ...], n: int) -> np.ndarray:
+    """±1 eigenvalue of an all-Z Pauli word per computational basis state.
+
+    Stored as int8 (8x smaller than float64) and dropped by
+    :func:`repro.quantum.kernels.clear_caches`.
+    """
+    indices = np.arange(1 << n)
+    signs = np.ones(1 << n, dtype=np.int8)
+    for wire, _letter in paulis:
+        signs = signs * (1 - 2 * ((indices >> (n - 1 - wire)) & 1)).astype(np.int8)
+    signs.setflags(write=False)
+    return signs
+
+
+_kernels.register_cache_clearer(_diagonal_signs.cache_clear)
+
 
 # Single-qubit Pauli multiplication table: (a, b) -> (phase, product letter).
 _PAULI_PRODUCT: Dict[Tuple[str, str], Tuple[complex, str]] = {
@@ -164,6 +184,84 @@ class PauliString:
             return self.coeff * float(np.vdot(state, state).real)
         return float(np.vdot(state, self.apply(state)).real)
 
+    def _batch_kind(self) -> str:
+        """Fast-path classification for batched expectations."""
+        letters = [letter for _, letter in self.paulis]
+        if not letters:
+            return "identity"
+        if all(letter == "Z" for letter in letters):
+            return "diagonal"
+        if len(letters) == 1 and letters[0] == "X":
+            return "single-x"
+        return "general"
+
+    def expectation_batch(
+        self,
+        states: np.ndarray,
+        bra: Optional[np.ndarray] = None,
+        columns: bool = False,
+        probs: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Expectation against every state of a batch.
+
+        ``states`` is row-major ``(B, 2**n)`` by default, or amplitude-major
+        ``(2**n, B)`` when ``columns`` is true (the layout the batched
+        execution engine produces).  All-Z words reduce against the Born
+        probabilities (optionally shared via ``probs``), single-X words reduce
+        the amplitude-pair halves directly, and general words apply the Pauli
+        once across the whole batch with the in-place kernels.  ``bra``
+        optionally supplies ``states.conj()`` so Hamiltonians conjugate the
+        batch once.
+        """
+        states = np.asarray(states)
+        if states.ndim != 2:
+            raise ObservableError(
+                f"expected a 2-D state batch, got shape {states.shape}"
+            )
+        spec = "ib,ib->b" if columns else "bi,bi->b"
+        if self.is_identity:
+            if bra is None:
+                bra = states.conj()
+            return self.coeff * np.einsum(spec, bra, states).real
+        dim = states.shape[0] if columns else states.shape[1]
+        n = int(round(np.log2(dim))) if dim else 0
+        if 2**n != dim:
+            raise ObservableError(f"batch dimension {dim} is not a power of two")
+        if self.max_wire() >= n:
+            raise ObservableError(
+                f"observable uses wire {self.max_wire()}, state has {n} qubits"
+            )
+        kind = self._batch_kind()
+        if kind == "diagonal":
+            if probs is None:
+                probs = states.real**2 + states.imag**2
+            signs = _diagonal_signs(self.paulis, n)
+            if columns:
+                return self.coeff * np.einsum("i,ib->b", signs, probs)
+            return self.coeff * np.einsum("bi,i->b", probs, signs)
+        if kind == "single-x":
+            # <X_w> = 2 Re sum conj(upper) * lower over the wire's pair halves.
+            wire = self.paulis[0][0]
+            rest = 1 << (n - wire - 1)
+            if columns:
+                psi = states.reshape(1 << wire, 2, rest, states.shape[1])
+                upper, lower = psi[:, 0], psi[:, 1]
+                overlap = np.einsum("xyb,xyb->b", upper.conj(), lower)
+            else:
+                psi = states.reshape(-1, 1 << wire, 2, rest)
+                upper, lower = psi[:, :, 0, :], psi[:, :, 1, :]
+                overlap = np.einsum("bxy,bxy->b", upper.conj(), lower)
+            return self.coeff * 2.0 * overlap.real
+        if bra is None:
+            bra = states.conj()
+        tail = states.shape[1] if columns else 1
+        applied = states.copy()
+        for wire, letter in self.paulis:
+            _kernels.apply_matrix_inplace(
+                applied, _PAULI_MATRICES[letter], (wire,), n, tail=tail
+            )
+        return self.coeff * np.einsum(spec, bra, applied).real
+
     def matrix(self, n_qubits: int) -> np.ndarray:
         """Dense ``2^n x 2^n`` matrix (small systems only)."""
         if self.max_wire() >= n_qubits:
@@ -239,6 +337,24 @@ class Projector:
                 f"state shape {state.shape} != target shape {self.target.shape}"
             )
         return self.coeff * float(abs(np.vdot(self.target, state)) ** 2)
+
+    def expectation_batch(
+        self, states: np.ndarray, columns: bool = False
+    ) -> np.ndarray:
+        """Fidelity with the target for every state of a batch.
+
+        ``states`` is ``(B, 2**n)`` row-major, or ``(2**n, B)`` when
+        ``columns`` is true.
+        """
+        states = np.asarray(states)
+        dim = states.shape[0] if columns else (states.shape[1] if states.ndim == 2 else -1)
+        if states.ndim != 2 or dim != self.target.shape[0]:
+            raise ObservableError(
+                f"state batch shape {states.shape} incompatible with target "
+                f"shape {self.target.shape}"
+            )
+        overlaps = self.target.conj() @ states if columns else states @ self.target.conj()
+        return self.coeff * np.abs(overlaps) ** 2
 
 
 class Hamiltonian:
@@ -341,6 +457,31 @@ class Hamiltonian:
     def expectation(self, state: np.ndarray) -> float:
         """Exact expectation value against a statevector."""
         return float(sum(term.expectation(state) for term in self.terms))
+
+    def expectation_batch(
+        self, states: np.ndarray, columns: bool = False
+    ) -> np.ndarray:
+        """Expectation against every state of a batch (see PauliString).
+
+        Shares the Born probabilities across all-Z terms and the conjugated
+        batch across general terms, so each is computed at most once.
+        """
+        states = np.asarray(states)
+        kinds = [term._batch_kind() for term in self.terms]
+        probs = (
+            states.real**2 + states.imag**2 if "diagonal" in kinds else None
+        )
+        bra = (
+            states.conj()
+            if any(k in ("general", "identity") for k in kinds)
+            else None
+        )
+        total = np.zeros(states.shape[1] if columns else states.shape[0])
+        for term in self.terms:
+            total += term.expectation_batch(
+                states, bra, columns=columns, probs=probs
+            )
+        return total
 
     def matrix(self, n_qubits: int) -> np.ndarray:
         """Dense matrix of the full Hamiltonian (small systems only)."""

@@ -4,9 +4,13 @@ State layout: an ``n``-qubit pure state is a contiguous ``complex128`` array
 of length ``2**n``.  Qubit 0 is the *most significant* bit of the basis index,
 so ``|q0 q1 ... q_{n-1}>`` lives at index ``q0*2^{n-1} + ... + q_{n-1}``.
 
-Gate application uses tensor contraction (``np.tensordot``) against the state
-reshaped to ``(2,) * n``, which is the same strategy PennyLane's
-``default.qubit`` uses and is exact to machine precision.
+Circuit execution runs on the fast in-place kernels of
+:mod:`repro.quantum.kernels` (bit-indexed amplitude-pair updates, single-qubit
+gate fusion, cached matrices, batched execution).  :func:`apply_gate` keeps
+the original tensor-contraction path (``np.tensordot`` against the state
+reshaped to ``(2,) * n``, the strategy PennyLane's ``default.qubit`` uses) as
+the *reference kernel*: it is exact to machine precision, and the property
+tests validate the fast engine against it gate-by-gate.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import CircuitError
+from repro.quantum import kernels as _kernels
 from repro.quantum.circuit import Circuit
 
 COMPLEX_DTYPE = np.complex128
@@ -69,7 +74,13 @@ def apply_gate(
     wires: Sequence[int],
     n_qubits: Optional[int] = None,
 ) -> np.ndarray:
-    """Apply ``matrix`` to ``wires`` of ``state``; returns a new flat array."""
+    """Apply ``matrix`` to ``wires`` of ``state``; returns a new flat array.
+
+    This is the tensor-contraction *reference kernel*.  The hot paths go
+    through :mod:`repro.quantum.kernels`; this implementation is kept as the
+    machine-precision oracle the fast kernels are validated against, and as
+    the general fallback for ``k >= 3`` wires.
+    """
     if n_qubits is None:
         n_qubits = n_qubits_of(state)
     k = len(wires)
@@ -91,18 +102,12 @@ def apply_circuit(
 ) -> np.ndarray:
     """Run ``circuit`` with ``params`` and return the final statevector."""
     values = _check_params(circuit, params)
-    if initial_state is None:
-        state = zero_state(circuit.n_qubits)
-    else:
-        if initial_state.shape[0] != 2**circuit.n_qubits:
-            raise CircuitError(
-                f"initial state has dimension {initial_state.shape[0]}, "
-                f"circuit expects {2**circuit.n_qubits}"
-            )
-        state = np.array(initial_state, dtype=COMPLEX_DTYPE, copy=True)
-    for op in circuit.ops:
-        state = apply_gate(state, op.matrix(values), op.wires, circuit.n_qubits)
-    return state
+    if initial_state is not None and initial_state.shape[0] != 2**circuit.n_qubits:
+        raise CircuitError(
+            f"initial state has dimension {initial_state.shape[0]}, "
+            f"circuit expects {2**circuit.n_qubits}"
+        )
+    return _kernels.run(circuit, values, initial_state=initial_state)
 
 
 def iter_states(
@@ -119,7 +124,13 @@ def iter_states(
     )
     yield state
     for op in circuit.ops:
-        state = apply_gate(state, op.matrix(values), op.wires, circuit.n_qubits)
+        state = state.copy()
+        _kernels.apply_matrix_inplace(
+            state,
+            _kernels.cached_matrix(op.gate, op.resolve(values)),
+            op.wires,
+            circuit.n_qubits,
+        )
         yield state
 
 
@@ -183,6 +194,37 @@ class StatevectorSimulator:
     ) -> np.ndarray:
         """Execute ``circuit`` and return the final statevector."""
         return apply_circuit(circuit, params, initial_state)
+
+    def run_batch(
+        self,
+        circuit: Circuit,
+        params_batch,
+        initial_state: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Execute ``circuit`` for ``B`` parameter vectors in one batched sweep.
+
+        Returns a ``(B, 2**n)`` array of final statevectors.  Gates shared by
+        every batch element (fixed gates, constant encodings) are applied with
+        one vectorized kernel call across the whole batch.
+        """
+        return _kernels.run_batch(circuit, params_batch, initial_state)
+
+    def expectation_batch(
+        self,
+        circuit: Circuit,
+        params_batch,
+        observable,
+        initial_state: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``<psi_b|O|psi_b>`` for each parameter vector of a batch."""
+        batch_fn = getattr(observable, "expectation_batch", None)
+        if batch_fn is not None:
+            states = _kernels.run_batch(
+                circuit, params_batch, initial_state, columns=True
+            )
+            return np.asarray(batch_fn(states, columns=True), dtype=np.float64)
+        states = self.run_batch(circuit, params_batch, initial_state)
+        return np.array([float(observable.expectation(s)) for s in states])
 
     def expectation(
         self,
