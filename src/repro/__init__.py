@@ -13,7 +13,10 @@ Open-source reproduction of *"Quantum Neural Networks Need Checkpointing"*
   lossy statevector transforms, delta checkpoints, atomic/async writers,
   manifest store, interval policies (Young–Daly), and recovery,
 * ``repro.storage`` — local / in-memory / simulated-remote / fault-injecting
-  backends,
+  / replicated / tiered / hash-sharded backends,
+* ``repro.service`` — the multi-job checkpoint service: content-addressed
+  chunk store with cross-job dedup, shared writer pool with per-job
+  backpressure, and the fleet harness for preemption-storm scenarios,
 * ``repro.faults`` — crash injection and makespan models,
 * ``repro.bench`` — the experiment harness regenerating every figure/table.
 

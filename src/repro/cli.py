@@ -10,6 +10,7 @@ Subcommands::
     qckpt export <dir> <id> <out>  materialize a checkpoint as a standalone file
     qckpt peek <dir> <id> <t...>   read named tensors via ranged (partial) I/O
     qckpt stats <dir>              aggregate store statistics
+    qckpt fleet [--jobs N ...]     run a multi-job checkpoint-service scenario
 
 The CLI never unpickles anything — it reads QCKPT headers (JSON) and
 validates checksums, so it is safe to point at untrusted files.
@@ -201,6 +202,108 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run an N-job sweep through the checkpoint service and report."""
+    import numpy as np
+
+    from repro.faults.injector import Brownout, PreemptionStorm
+    from repro.ml.dataset import make_moons
+    from repro.ml.models import VariationalClassifier
+    from repro.ml.optimizers import Adam
+    from repro.ml.trainer import Trainer, TrainerConfig
+    from repro.quantum.templates import hardware_efficient
+    from repro.service import (
+        ChunkStore,
+        FleetHarness,
+        FleetJobSpec,
+        ThrottledBackend,
+        WriterPool,
+    )
+    from repro.storage.memory import InMemoryBackend
+    from repro.storage.sharded import ShardedBackend
+
+    def trainer_factory(lr: float):
+        def make() -> Trainer:
+            model = VariationalClassifier(
+                hardware_efficient(args.qubits, args.layers)
+            )
+            dataset = make_moons(args.samples, np.random.default_rng(args.seed))
+            return Trainer(
+                model,
+                Adam(lr=lr),
+                dataset=dataset,
+                config=TrainerConfig(batch_size=8, seed=args.seed),
+            )
+
+        return make
+
+    if args.store:
+        shards = [
+            LocalDirectoryBackend(Path(args.store) / f"shard-{i}")
+            for i in range(args.shards)
+        ]
+    else:
+        shards = [InMemoryBackend() for _ in range(args.shards)]
+    throttled = ThrottledBackend(ShardedBackend(shards))
+    store = ChunkStore(
+        throttled, codec=args.codec, block_bytes=args.block_bytes
+    )
+    pool = WriterPool(workers=args.workers)
+    specs = [
+        FleetJobSpec(
+            job_id=f"job{i:02d}",
+            trainer_factory=trainer_factory(0.01 * (1 + i)),
+            target_steps=args.steps,
+            checkpoint_every=args.every,
+            cadence_offset=i if args.staggered else 0,
+            backpressure=args.backpressure,
+        )
+        for i in range(args.jobs)
+    ]
+    events = []
+    if args.scenario == "storm":
+        events.append(PreemptionStorm(at_tick=args.storm_tick))
+    elif args.scenario == "brownout":
+        events.append(
+            Brownout(
+                start_tick=args.storm_tick,
+                end_tick=args.storm_tick + 2,
+                write_delay_seconds=args.brownout_delay,
+            )
+        )
+    harness = FleetHarness(store, pool, specs, events=events, throttle=throttled)
+    try:
+        result = harness.run()
+    finally:
+        pool.close()
+
+    print(
+        f"{'JOB':<8} {'FINAL':>6} {'EXEC':>6} {'LOST':>6} {'RESTORES':>9} "
+        f"{'DROPPED':>8} {'DEGRADED':>9}"
+    )
+    for job_id in sorted(result.jobs):
+        job = result.jobs[job_id]
+        print(
+            f"{job_id:<8} {job.final_step:>6} {job.steps_executed:>6} "
+            f"{job.lost_steps:>6} {job.restores:>9} {job.dropped_saves:>8} "
+            f"{job.degraded_saves:>9}"
+        )
+    print(
+        f"\nfleet: {result.makespan_ticks} ticks, "
+        f"{result.wall_seconds:.2f}s wall, "
+        f"recovered-work ratio {result.recovered_work_ratio:.3f}"
+    )
+    print(
+        f"store: {_human_bytes(result.physical_bytes)} written for "
+        f"{_human_bytes(result.logical_bytes)} logical "
+        f"(dedup {result.dedup_ratio:.2f}x), "
+        f"{_human_bytes(result.manifest_bytes)} manifests"
+    )
+    if args.scenario != "sweep":
+        print(f"events: {', '.join(result.events_fired) or '(none fired)'}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="qckpt", description="Inspect and validate QCkpt checkpoint stores."
@@ -258,6 +361,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser("stats", help="aggregate store statistics")
     p_stats.add_argument("store", help="store directory")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="run a multi-job checkpoint-service scenario"
+    )
+    p_fleet.add_argument("--jobs", type=int, default=4)
+    p_fleet.add_argument("--steps", type=int, default=4)
+    p_fleet.add_argument("--every", type=int, default=1, help="checkpoint cadence")
+    p_fleet.add_argument("--workers", type=int, default=2, help="writer pool size")
+    p_fleet.add_argument("--shards", type=int, default=2, help="storage shards")
+    p_fleet.add_argument(
+        "--scenario",
+        choices=["sweep", "storm", "brownout"],
+        default="storm",
+    )
+    p_fleet.add_argument(
+        "--storm-tick", type=int, default=2, help="event tick (storm/brownout)"
+    )
+    p_fleet.add_argument(
+        "--brownout-delay",
+        type=float,
+        default=0.02,
+        help="per-write delay during a brownout (seconds)",
+    )
+    p_fleet.add_argument(
+        "--backpressure",
+        choices=["block", "drop-oldest", "degrade"],
+        default="block",
+    )
+    p_fleet.add_argument(
+        "--staggered",
+        action="store_true",
+        help="offset each job's start tick so checkpoints desynchronize",
+    )
+    p_fleet.add_argument(
+        "--store",
+        default=None,
+        help="persist to this directory (default: in-memory)",
+    )
+    p_fleet.add_argument("--block-bytes", type=int, default=1 << 12)
+    p_fleet.add_argument("--codec", default="zlib-6")
+    p_fleet.add_argument("--qubits", type=int, default=4)
+    p_fleet.add_argument("--layers", type=int, default=2)
+    p_fleet.add_argument("--samples", type=int, default=128)
+    p_fleet.add_argument("--seed", type=int, default=11)
+    p_fleet.set_defaults(func=cmd_fleet)
     return parser
 
 

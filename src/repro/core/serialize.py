@@ -64,6 +64,50 @@ def _canonical_dtype(array: np.ndarray) -> Tuple[np.ndarray, str]:
     return np.ascontiguousarray(array), token
 
 
+def tensor_to_bytes(array: np.ndarray) -> Tuple[bytes, str, Tuple[int, ...]]:
+    """Canonical raw encoding of one tensor: ``(bytes, dtype_token, shape)``.
+
+    The canonical form (little-endian, contiguous, whitelisted dtype) is what
+    both the QCKPT container and the service chunk store hash and persist —
+    equal arrays always produce equal bytes, which is what makes
+    content-addressed dedup sound.
+    """
+    if not isinstance(array, np.ndarray):
+        raise SerializationError(
+            f"expected ndarray, got {type(array).__name__}"
+        )
+    canonical, token = _canonical_dtype(array)
+    return canonical.tobytes(), token, tuple(canonical.shape)
+
+
+def tensor_from_bytes(
+    raw: bytes, dtype_token: str, shape: Tuple[int, ...]
+) -> np.ndarray:
+    """Inverse of :func:`tensor_to_bytes`.
+
+    Validates against the dtype whitelist and requires every dim to be an
+    explicit non-negative int whose product matches the byte count — a
+    malicious ``-1`` dim from an untrusted directory must not let numpy
+    "resolve" a truncated buffer into a silently wrong shape.
+    """
+    if dtype_token not in _ALLOWED_DTYPES:
+        raise IntegrityError(f"illegal tensor dtype {dtype_token!r}")
+    dims = []
+    for dim in shape:
+        if not isinstance(dim, (int, np.integer)) or dim < 0:
+            raise IntegrityError(f"illegal tensor shape {tuple(shape)!r}")
+        dims.append(int(dim))
+    dtype = np.dtype(dtype_token)
+    expected = int(np.prod(dims, dtype=np.int64)) * dtype.itemsize
+    if expected != len(raw):
+        raise IntegrityError(
+            f"tensor bytes ({len(raw)}) do not match shape "
+            f"{tuple(dims)!r} of dtype {dtype_token!r}"
+        )
+    array = np.frombuffer(raw, dtype=dtype).reshape(tuple(dims))
+    return np.array(array, copy=True)
+
+
 def pack_payload(
     meta: Dict,
     tensors: Dict[str, np.ndarray],
@@ -94,14 +138,13 @@ def pack_payload(
         transform_name = transforms.get(name, "identity")
         transform = get_transform(transform_name)
         encoded_array, transform_meta = transform.encode(array)
-        encoded_array, dtype_token = _canonical_dtype(encoded_array)
-        raw = encoded_array.tobytes()
+        raw, dtype_token, shape = tensor_to_bytes(encoded_array)
         stored = codec_obj.encode(raw)
         directory.append(
             {
                 "name": name,
                 "dtype": dtype_token,
-                "shape": list(encoded_array.shape),
+                "shape": list(shape),
                 "offset": offset,
                 "stored_nbytes": len(stored),
                 "raw_nbytes": len(raw),

@@ -89,6 +89,7 @@ class AsyncCheckpointWriter:
         self._queue: "queue.Queue[Optional[Callable[[], None]]]" = queue.Queue()
         self._error: Optional[BaseException] = None
         self._closed = False
+        self._sentinel_sent = False
         self._idle = threading.Event()
         self._idle.set()
         self._thread = threading.Thread(
@@ -124,10 +125,14 @@ class AsyncCheckpointWriter:
             ) from error
 
     def submit(self, task: Callable[[], None]) -> None:
-        """Enqueue ``task``; blocks only while ``max_pending`` tasks are outstanding."""
+        """Enqueue ``task``; blocks only while ``max_pending`` tasks are outstanding.
+
+        A pending write error is surfaced even on a closed writer — rejecting
+        the submit must not shadow a failure the caller has not seen yet.
+        """
+        self._raise_pending_error()
         if self._closed:
             raise CheckpointError("writer is closed")
-        self._raise_pending_error()
         started = time.perf_counter()
         self._idle.clear()
         self._slots.acquire()
@@ -146,13 +151,22 @@ class AsyncCheckpointWriter:
         not finish within ``close_timeout`` (e.g. a save wedged on a hung
         backend) — the worker is a daemon thread, so the process can still
         exit.
+
+        Shutdown semantics: a task that fails while ``close`` is waiting still
+        surfaces its error (exactly once) from this call; calling ``close``
+        again after it raised does not re-raise a seen error, but *does*
+        re-join the worker and surface an error that arrived after a timed-out
+        first attempt — a failure is never silently dropped just because the
+        writer was already closing.
         """
-        if self._closed:
-            return
         self._closed = True
-        self._queue.put(None)
+        if not self._sentinel_sent:
+            self._sentinel_sent = True
+            self._queue.put(None)
         self._thread.join(timeout=self._close_timeout)
         if self._thread.is_alive():
+            # Prefer surfacing a real write failure over the stuck report.
+            self._raise_pending_error()
             raise CheckpointError(
                 f"async writer failed to drain within {self._close_timeout}s; "
                 "a checkpoint save task appears to be stuck"

@@ -18,8 +18,10 @@ from repro.faults.daly import (
 )
 from repro.faults.harness import FaultRunResult, run_with_failures
 from repro.faults.injector import (
+    Brownout,
     CrashAtStep,
     PoissonStepFailures,
+    PreemptionStorm,
     SimulatedClock,
     SimulatedFailure,
 )
@@ -28,6 +30,8 @@ __all__ = [
     "SimulatedFailure",
     "CrashAtStep",
     "PoissonStepFailures",
+    "PreemptionStorm",
+    "Brownout",
     "SimulatedClock",
     "FaultRunResult",
     "run_with_failures",

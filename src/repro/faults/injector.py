@@ -68,6 +68,65 @@ class CrashAtStep:
             raise SimulatedFailure(trainer.step_count, "CrashAtStep")
 
 
+class PreemptionStorm:
+    """Fleet-level event: a set of jobs is killed at one scheduler tick.
+
+    The correlated-failure mode the service layer must survive: a spot-market
+    reclaim or rack maintenance preempts many trainings at once, and they all
+    restore (and often immediately re-checkpoint) against the same store.
+    ``job_ids=None`` means every running job.  ``restart_delay_ticks`` models
+    the scheduler's re-queue latency before a preempted job is reincarnated.
+    """
+
+    def __init__(
+        self,
+        at_tick: int,
+        job_ids: Optional[Iterable[str]] = None,
+        restart_delay_ticks: int = 0,
+    ):
+        if at_tick < 0:
+            raise ConfigError(f"at_tick must be >= 0, got {at_tick}")
+        if restart_delay_ticks < 0:
+            raise ConfigError(
+                f"restart_delay_ticks must be >= 0, got {restart_delay_ticks}"
+            )
+        self.at_tick = int(at_tick)
+        self.job_ids = None if job_ids is None else {str(j) for j in job_ids}
+        self.restart_delay_ticks = int(restart_delay_ticks)
+
+    def hits(self, job_id: str) -> bool:
+        """Whether this storm preempts ``job_id``."""
+        return self.job_ids is None or job_id in self.job_ids
+
+
+class Brownout:
+    """Fleet-level event: storage writes slow down over a tick window.
+
+    Models a shared-tier degradation (an object store running hot, a network
+    partition healing) as an extra per-write delay during
+    ``[start_tick, end_tick)``.  The fleet harness applies the delay to its
+    store wrapper; the interesting system response is writer-pool queue
+    growth and the backpressure policy engaging.
+    """
+
+    def __init__(self, start_tick: int, end_tick: int, write_delay_seconds: float):
+        if start_tick < 0 or end_tick <= start_tick:
+            raise ConfigError(
+                f"brownout window [{start_tick}, {end_tick}) is invalid"
+            )
+        if write_delay_seconds < 0:
+            raise ConfigError(
+                f"write_delay_seconds must be >= 0, got {write_delay_seconds}"
+            )
+        self.start_tick = int(start_tick)
+        self.end_tick = int(end_tick)
+        self.write_delay_seconds = float(write_delay_seconds)
+
+    def active_at(self, tick: int) -> bool:
+        """Whether the brownout window covers ``tick``."""
+        return self.start_tick <= tick < self.end_tick
+
+
 class PoissonStepFailures:
     """Memoryless per-step failure process.
 

@@ -145,17 +145,23 @@ class Trainer:
 
     # -- snapshot interface -------------------------------------------------------
 
-    def capture(self) -> TrainingSnapshot:
+    def capture(self, lite: bool = False) -> TrainingSnapshot:
         """Capture complete training state into a snapshot (deep copies).
 
         With ``capture_statevector`` enabled the model's warm-start cache is
         included: a pure-state model contributes its ``statevector``; a
         density-matrix model (e.g. :class:`repro.ml.models.NoisyVQEModel`)
         contributes ``extra["density_matrix"]`` instead.
+
+        ``lite`` skips the (re-derivable) warm-start cache even when capture
+        is configured — the cheap degraded snapshot the service writer pool
+        falls back to under backpressure, and what fleet jobs write as their
+        restore-validation save.  A lite snapshot restores to bitwise-equal
+        training state; only the warm-start cache must be recomputed.
         """
         statevector = None
         extra = {}
-        if self.config.capture_statevector:
+        if self.config.capture_statevector and not lite:
             provider = getattr(self.model, "statevector", None)
             if provider is not None:
                 statevector = provider(self.params)

@@ -5,13 +5,14 @@ and the shift-rule differentiators.  It replaces the reference
 ``tensordot`` + ``moveaxis`` + contiguous-copy gate application with three
 layers:
 
-1. **Specialized kernels** — 1-qubit and 2-qubit gates are applied by slicing
+1. **Specialized kernels** — 1-, 2-, and 3-qubit gates are applied by slicing
    the state into strided views at the target bit positions and updating
-   amplitude pairs in place, with fast paths for diagonal matrices (``rz``,
+   amplitude tuples in place, with fast paths for diagonal matrices (``rz``,
    ``cz``, ``phase``) and phase-permutation matrices (``x``, ``cnot``,
-   ``swap``, ``iswap``).  Gates on three or more wires fall back to the exact
-   ``tensordot`` reference contraction.  Adjacent single-qubit gates on the
-   same wire are fused into one 2x2 matmul before application.
+   ``swap``, ``iswap``, ``toffoli``, ``fredkin``).  Gates on four or more
+   wires fall back to the exact ``tensordot`` reference contraction.
+   Adjacent single-qubit gates on the same wire are fused into one 2x2
+   matmul before application.
 2. **Matrix caching** — resolved gate matrices are cached per
    ``(gate, resolved-params)`` so the ``2P`` shifted executions of a gradient,
    each of which changes exactly one gate, stop rebuilding ``P`` unchanged
@@ -310,7 +311,116 @@ def _apply_2q_column_matrices(
 
 
 # ---------------------------------------------------------------------------
-# k-qubit reference fallback (k >= 3)
+# 3-qubit kernels
+# ---------------------------------------------------------------------------
+
+
+def _three_qubit_views(
+    states: np.ndarray, wires: Sequence[int], n: int, tail: int = 1
+) -> List[np.ndarray]:
+    """Eighth-state views indexed by the gate's basis index on ``wires``.
+
+    The matrix basis index is ``bit(wires[0])*4 + bit(wires[1])*2 +
+    bit(wires[2])``, so arbitrary wire orderings reduce to picking each
+    wire's bit out of the index.
+    """
+    s0, s1, s2 = sorted(wires)
+    psi = states.reshape(
+        -1,
+        1 << s0,
+        2,
+        1 << (s1 - s0 - 1),
+        2,
+        1 << (s2 - s1 - 1),
+        2,
+        (1 << (n - s2 - 1)) * tail,
+    )
+    views = []
+    for index in range(8):
+        bit = {w: (index >> (2 - j)) & 1 for j, w in enumerate(wires)}
+        views.append(psi[:, :, bit[s0], :, bit[s1], :, bit[s2], :])
+    return views
+
+
+def _apply_3q(
+    states: np.ndarray,
+    matrix: np.ndarray,
+    wires: Sequence[int],
+    n: int,
+    scratch: Optional[np.ndarray] = None,
+    tail: int = 1,
+) -> None:
+    """Apply an 8x8 matrix to ``wires`` in place (see :func:`_apply_1q`).
+
+    Fast paths mirror the 2-qubit kernel: diagonal matrices (``ccz``-style
+    phases) scale the eight views, phase-permutation matrices (``toffoli``,
+    ``fredkin``) relabel them cycle-by-cycle, and the general dense case runs
+    the 8x8 row expansion through eighth-state scratch buffers.
+    """
+    views = _three_qubit_views(states, wires, n, tail)
+    nonzero = matrix != 0
+    if not np.any(nonzero & ~np.eye(8, dtype=bool)):  # diagonal
+        for k in range(8):
+            mk = matrix[k, k]
+            if mk != 1:
+                views[k] *= mk
+        return
+    scratch = _scratch_for(states, scratch)
+    rows = nonzero.sum(axis=1)
+    cols = nonzero.sum(axis=0)
+    if np.all(rows == 1) and np.all(cols == 1):  # toffoli, fredkin, ...
+        perm = nonzero.argmax(axis=1)
+        phases = matrix[np.arange(8), perm]
+        _apply_phase_permutation(views, perm, phases, scratch)
+        return
+    # General dense 8x8: eight old-eighth buffers plus one accumulator is
+    # 9/8 of the state — within the 5/4 scratch every kernel shares.
+    eighth = states.size >> 3
+    olds = []
+    for k in range(8):
+        buf = scratch[k * eighth : (k + 1) * eighth].reshape(views[0].shape)
+        buf[...] = views[k]
+        olds.append(buf)
+    acc = scratch[8 * eighth : 9 * eighth].reshape(views[0].shape)
+    for k in range(8):
+        np.multiply(olds[0], matrix[k, 0], out=views[k])
+        for l in range(1, 8):
+            if matrix[k, l] != 0:
+                np.multiply(olds[l], matrix[k, l], out=acc)
+                views[k] += acc
+
+
+def _apply_3q_column_matrices(
+    states: np.ndarray, matrices: np.ndarray, wires: Sequence[int], n: int
+) -> None:
+    """Per-column 8x8 matrices on a ``(2**n, B)`` batch: ``matrices`` is (B, 8, 8)."""
+    batch = matrices.shape[0]
+    s0, s1, s2 = sorted(wires)
+    psi = states.reshape(
+        1 << s0,
+        2,
+        1 << (s1 - s0 - 1),
+        2,
+        1 << (s2 - s1 - 1),
+        2,
+        1 << (n - s2 - 1),
+        batch,
+    )
+    tensors = matrices.reshape(batch, 2, 2, 2, 2, 2, 2)
+    outs = dict(zip(wires, "ijk"))
+    ins = dict(zip(wires, "uvs"))
+    tensor_sub = (
+        "b"
+        + "".join(outs[w] for w in wires)
+        + "".join(ins[w] for w in wires)
+    )
+    in_sub = "x" + ins[s0] + "y" + ins[s1] + "z" + ins[s2] + "wb"
+    out_sub = "x" + outs[s0] + "y" + outs[s1] + "z" + outs[s2] + "wb"
+    psi[...] = np.einsum(f"{tensor_sub},{in_sub}->{out_sub}", tensors, psi)
+
+
+# ---------------------------------------------------------------------------
+# k-qubit reference fallback (k >= 4)
 # ---------------------------------------------------------------------------
 
 
@@ -329,7 +439,7 @@ def _apply_kq_reference(
     n: int,
     tail: int = 1,
 ) -> None:
-    """Exact tensor-contraction fallback for gates on three or more wires."""
+    """Exact tensor-contraction fallback for gates on four or more wires."""
     dim = 1 << n
     if tail > 1:
         columns = states.reshape(dim, tail)
@@ -372,6 +482,8 @@ def apply_matrix_inplace(
             _apply_1q_column_matrices(states, matrix, wires[0], n)
         elif k == 2:
             _apply_2q_column_matrices(states, matrix, wires, n)
+        elif k == 3:
+            _apply_3q_column_matrices(states, matrix, wires, n)
         else:
             _apply_kq_reference(states, matrix, wires, n, tail)
         return
@@ -379,6 +491,8 @@ def apply_matrix_inplace(
         _apply_1q(states, matrix, wires[0], n, scratch, tail)
     elif k == 2:
         _apply_2q(states, matrix, wires, n, scratch, tail)
+    elif k == 3:
+        _apply_3q(states, matrix, wires, n, scratch, tail)
     else:
         _apply_kq_reference(states, matrix, wires, n, tail)
 

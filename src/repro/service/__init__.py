@@ -1,0 +1,50 @@
+"""Multi-job checkpoint service: the fleet-scale layer over ``repro.core``.
+
+The paper reproduces checkpointing one training job at a time; real QNN
+workloads are *fleets* — hyperparameter sweeps, architecture selection,
+capacity scans — whose checkpoint traffic shares one store.  This package is
+that service layer:
+
+* :mod:`repro.service.chunkstore` — content-addressed, sharded chunk store
+  deduplicating blocks across checkpoints *and* across jobs,
+* :mod:`repro.service.pool` — a shared writer pool with bounded per-job
+  queues, round-robin fairness, and pluggable backpressure
+  (block / drop-oldest / degrade-to-lite),
+* :mod:`repro.service.manager` — the per-job trainer hook submitting into
+  the pool,
+* :mod:`repro.service.fleet` — the scheduler harness running N jobs against
+  the shared stack under preemption storms and brownouts.
+"""
+
+from repro.service.chunkstore import (
+    ChunkCheckpointRecord,
+    ChunkStore,
+    ChunkStoreStats,
+    chunk_name,
+)
+from repro.service.fleet import (
+    FleetHarness,
+    FleetJobResult,
+    FleetJobSpec,
+    FleetResult,
+    ThrottledBackend,
+)
+from repro.service.manager import ServiceCheckpointManager, ServiceCheckpointStats
+from repro.service.pool import ChannelStats, PoolChannel, WriterPool
+
+__all__ = [
+    "ChunkStore",
+    "ChunkStoreStats",
+    "ChunkCheckpointRecord",
+    "chunk_name",
+    "WriterPool",
+    "PoolChannel",
+    "ChannelStats",
+    "ServiceCheckpointManager",
+    "ServiceCheckpointStats",
+    "FleetHarness",
+    "FleetJobSpec",
+    "FleetJobResult",
+    "FleetResult",
+    "ThrottledBackend",
+]

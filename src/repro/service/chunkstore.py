@@ -1,0 +1,595 @@
+"""Content-addressed, sharded chunk store for multi-job checkpointing.
+
+Where :class:`~repro.core.store.CheckpointStore` persists each checkpoint as
+one monolithic QCKPT object, the service chunk store splits every snapshot
+into fixed-size blocks of canonical tensor bytes and addresses each block by
+the SHA-256 of its *raw* content:
+
+* blocks whose content was already written — by an earlier checkpoint of the
+  same job, or by *any other job* sharing the store — are not written again
+  (cross-checkpoint and cross-job dedup; sweep fleets share their initial
+  and slow-moving tensors),
+* the content address doubles as the integrity check: a chunk read back must
+  hash to its own name,
+* chunk names hash uniformly, so putting a
+  :class:`~repro.storage.sharded.ShardedBackend` underneath spreads fleet
+  write traffic across devices with no placement state.
+
+Layout inside the backend (flat namespace, possibly sharded)::
+
+    ch-<sha256[:32]>             # one compressed block of tensor bytes
+    job-<job>-ckpt-000001.json   # checkpoint manifest: meta tree + block map
+
+Ordering guarantee (same as the core store): every referenced chunk is fully
+written *before* the checkpoint manifest that names it, so a crash leaves at
+most orphan chunks — swept by :meth:`ChunkStore.gc` against the set of
+blocks reachable from surviving manifests.  Refcounts are therefore never
+persisted; manifests are the single source of truth.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.codecs import get_codec
+from repro.core.integrity import sha256_hex
+from repro.core.serialize import tensor_from_bytes, tensor_to_bytes
+from repro.core.snapshot import TrainingSnapshot
+from repro.errors import (
+    CheckpointNotFoundError,
+    ConfigError,
+    IntegrityError,
+    ReproError,
+)
+from repro.storage.backend import StorageBackend, validate_name
+
+CHUNK_PREFIX = "ch-"
+MANIFEST_VERSION = 1
+_HASH_CHARS = 32  # 128 bits of SHA-256: collision-safe at fleet scale
+
+
+def chunk_name(raw: bytes, codec_name: str) -> str:
+    """Content address of one raw block.
+
+    The codec is part of the identity: the same raw content stored under two
+    codecs is two different objects, so stores reopened with a different
+    codec neither overwrite old-codec chunks nor dedup against them — every
+    manifest's ``codec`` field describes all of its blocks.
+    """
+    digest = sha256_hex(codec_name.encode("utf-8") + b"\x00" + raw)
+    return CHUNK_PREFIX + digest[:_HASH_CHARS]
+
+
+@dataclass
+class ChunkStoreStats:
+    """Dedup accounting across the store's lifetime (this process).
+
+    ``logical`` counts every block reference as if dedup did not exist;
+    ``physical`` counts blocks actually written.  Their ratio is what
+    content addressing saved.
+    """
+
+    chunks_written: int = 0
+    chunks_deduped: int = 0
+    logical_bytes: int = 0
+    physical_bytes: int = 0
+    manifest_bytes: int = 0
+    checkpoints: int = 0
+
+    @property
+    def dedup_ratio(self) -> float:
+        if self.physical_bytes == 0:
+            return 1.0
+        return self.logical_bytes / self.physical_bytes
+
+
+@dataclass(frozen=True)
+class ChunkCheckpointRecord:
+    """Summary of one checkpoint committed to the chunk store."""
+
+    job_id: str
+    ckpt_id: str
+    step: int
+    object_name: str
+    created: float
+    n_blocks: int
+    n_new_blocks: int
+    logical_bytes: int
+    physical_bytes: int
+    extra: Dict = field(default_factory=dict)
+
+
+class ChunkStore:
+    """Multi-tenant snapshot store with content-addressed block dedup.
+
+    Thread-safe: writer-pool workers serving different jobs commit
+    checkpoints concurrently.  The chunk index is guarded by a lock; chunk
+    payload writes are idempotent (same name ⇒ same bytes) so two workers
+    racing on a block both land the identical object.
+    """
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        codec: str = "zlib-6",
+        block_bytes: int = 1 << 16,
+    ):
+        if block_bytes < 64:
+            raise ConfigError(f"block_bytes must be >= 64, got {block_bytes}")
+        self.backend = backend
+        self.codec = get_codec(codec)
+        self.block_bytes = int(block_bytes)
+        self.stats = ChunkStoreStats()
+        self._lock = threading.RLock()
+        # raw-hash name -> stored (compressed) size.  -1 marks a chunk another
+        # save is currently packing+writing; a real size is published only
+        # AFTER the chunk's backend write landed, so deduping against a known
+        # entry never references bytes that might not exist.
+        self._known: Dict[str, int] = {}
+        # addresses pinned by in-flight saves (written or about to be
+        # referenced, manifest not yet committed); gc treats them as live.
+        self._inflight: Dict[str, int] = {}
+        self._next_seq: Dict[str, int] = {}
+        self._adopt_existing()
+
+    def _adopt_existing(self) -> None:
+        """Rebuild the dedup index of a reopened store from its manifests.
+
+        Only chunks actually present in the backend are adopted: a manifest
+        may survive the loss of a chunk (a wiped shard), and deduping against
+        a phantom entry would silently propagate the damage into brand-new
+        checkpoints instead of letting the re-save heal it.
+        """
+        present = set(self.backend.list(CHUNK_PREFIX))
+        for object_name in self.backend.list("job-"):
+            job_id, seq = _parse_manifest_name(object_name)
+            if job_id is None:
+                continue
+            self._next_seq[job_id] = max(self._next_seq.get(job_id, 1), seq + 1)
+            try:
+                manifest = self._read_manifest(object_name)
+            except ReproError:
+                continue  # damaged manifest: recovery skips it too
+            if manifest.get("codec") != self.codec.name:
+                continue  # other-codec chunks live in a disjoint address space
+            for entry in manifest["tensors"]:
+                for block in entry["blocks"]:
+                    if block["chunk"] in present:
+                        self._known[block["chunk"]] = int(
+                            block["stored_nbytes"]
+                        )
+
+    # -- saving -----------------------------------------------------------------
+
+    def save_snapshot(
+        self,
+        job_id: str,
+        snapshot: TrainingSnapshot,
+        extra: Optional[Dict] = None,
+    ) -> ChunkCheckpointRecord:
+        """Commit ``snapshot`` for ``job_id``; dedups against every tenant.
+
+        Block packing (hash + compress) and chunk writes run outside the
+        index lock, so concurrent jobs overlap their CPU and I/O; only index
+        bookkeeping and sequence allocation serialize.  A new chunk is
+        published to the dedup index only *after* its backend write returned
+        — a racing save deduping against it can safely commit a manifest
+        naming it.  Every address this save will reference (new or deduped)
+        is pinned in ``_inflight`` until the manifest lands, so a concurrent
+        :meth:`gc` cannot sweep it out from underneath the commit.
+        """
+        _validate_job_id(job_id)
+        meta, tensors = snapshot.to_payload()
+        directory = []
+        n_blocks = 0
+        n_new = 0
+        logical = 0
+        physical = 0
+        reserved: List[str] = []
+        pinned: List[str] = []
+
+        def pin(address: str) -> None:
+            self._inflight[address] = self._inflight.get(address, 0) + 1
+            pinned.append(address)
+
+        try:
+            for name in sorted(tensors):
+                raw, dtype_token, shape = tensor_to_bytes(tensors[name])
+                blocks = []
+                for start in range(0, max(len(raw), 1), self.block_bytes):
+                    piece = raw[start : start + self.block_bytes]
+                    address = chunk_name(piece, self.codec.name)
+                    n_blocks += 1
+                    with self._lock:
+                        pin(address)
+                    stored_nbytes, was_new = self._ensure_block(
+                        piece, address, reserved
+                    )
+                    if was_new:
+                        n_new += 1
+                        physical += stored_nbytes
+                    blocks.append(
+                        {
+                            "chunk": address,
+                            "raw_nbytes": len(piece),
+                            "stored_nbytes": int(stored_nbytes),
+                        }
+                    )
+                    logical += int(stored_nbytes)
+                directory.append(
+                    {
+                        "name": name,
+                        "dtype": dtype_token,
+                        "shape": list(shape),
+                        "blocks": blocks,
+                    }
+                )
+            with self._lock:
+                seq = self._next_seq.get(job_id, 1)
+                self._next_seq[job_id] = seq + 1
+                ckpt_id = f"ckpt-{seq:06d}"
+            object_name = f"job-{job_id}-{ckpt_id}.json"
+            manifest = {
+                "version": MANIFEST_VERSION,
+                "job": job_id,
+                "ckpt_id": ckpt_id,
+                "step": snapshot.step,
+                "created": time.time(),
+                "codec": self.codec.name,
+                "meta": meta,
+                "tensors": directory,
+                "extra": dict(extra or {}),
+            }
+            manifest_bytes = json.dumps(manifest, sort_keys=True).encode(
+                "utf-8"
+            )
+            self.backend.write(object_name, manifest_bytes)
+        except BaseException:
+            # Roll back reservations that never published: concurrent
+            # writers must not wait on (or dedup against) content whose
+            # write died.  Published chunks stay — their bytes are in the
+            # backend; if no manifest ever names them, gc sweeps them.
+            with self._lock:
+                for address in reserved:
+                    if self._known.get(address) == -1:
+                        del self._known[address]
+                self._unpin(pinned)
+            raise
+        with self._lock:
+            self._unpin(pinned)
+            self.stats.chunks_written += n_new
+            self.stats.logical_bytes += logical
+            self.stats.physical_bytes += physical
+            self.stats.manifest_bytes += len(manifest_bytes)
+            self.stats.checkpoints += 1
+        return ChunkCheckpointRecord(
+            job_id=job_id,
+            ckpt_id=ckpt_id,
+            step=snapshot.step,
+            object_name=object_name,
+            created=float(manifest["created"]),
+            n_blocks=n_blocks,
+            n_new_blocks=n_new,
+            logical_bytes=logical,
+            physical_bytes=physical,
+            extra=dict(extra or {}),
+        )
+
+    def _ensure_block(
+        self, piece: bytes, address: str, reserved: List[str]
+    ) -> Tuple[int, bool]:
+        """Make sure ``address`` holds ``piece``; returns ``(size, was_new)``.
+
+        Three outcomes per attempt: the chunk is published (dedup hit), this
+        thread claims the reservation and writes it, or another thread holds
+        the reservation — then wait for its write to publish.  If that
+        writer fails, its rollback removes the reservation and the wait
+        returns ``None``; we loop and claim the address ourselves (we hold
+        the bytes in hand, so the failed peer must not fail us too).
+        """
+        while True:
+            with self._lock:
+                stored_nbytes = self._known.get(address)
+                if stored_nbytes is None:
+                    # Reserve the address so a racing writer of the same
+                    # content skips the redundant encode+write.
+                    self._known[address] = -1
+                    reserved.append(address)
+                    claimed = True
+                elif stored_nbytes == -1:
+                    claimed = False
+                else:
+                    self.stats.chunks_deduped += 1
+                    return int(stored_nbytes), False
+            if claimed:
+                stored = self.codec.encode(piece)
+                self.backend.write(address, stored)
+                with self._lock:
+                    # Write landed: now (and only now) publish it, so a
+                    # racing save deduping against this entry can safely
+                    # commit a manifest naming the chunk.
+                    self._known[address] = len(stored)
+                return len(stored), True
+            waited = self._wait_for_size(address)
+            if waited is not None:
+                with self._lock:
+                    self.stats.chunks_deduped += 1
+                return waited, False
+
+    def _unpin(self, pinned: List[str]) -> None:
+        """Release this save's in-flight pins (caller holds the lock)."""
+        for address in pinned:
+            count = self._inflight.get(address, 0) - 1
+            if count <= 0:
+                self._inflight.pop(address, None)
+            else:
+                self._inflight[address] = count
+        pinned.clear()
+
+    def _wait_for_size(
+        self, address: str, timeout: float = 60.0
+    ) -> Optional[int]:
+        """Wait for a reserved chunk to publish its stored size.
+
+        Returns the size once the owning writer's backend write lands, or
+        ``None`` if the reservation disappeared (the writer failed and
+        rolled back) — the caller should claim the address itself.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                size = self._known.get(address)
+                if size is None:
+                    return None
+                if size >= 0:
+                    return size
+            time.sleep(0.001)
+        raise IntegrityError(f"chunk {address} never finished packing")
+
+    # -- discovery ----------------------------------------------------------------
+
+    def jobs(self) -> List[str]:
+        """Job ids with at least one committed checkpoint."""
+        found = set()
+        for object_name in self.backend.list("job-"):
+            job_id, _ = _parse_manifest_name(object_name)
+            if job_id is not None:
+                found.add(job_id)
+        return sorted(found)
+
+    def manifest_names(self, job_id: str) -> List[str]:
+        """Manifest object names of ``job_id`` in commit (sequence) order."""
+        _validate_job_id(job_id)
+        return self.backend.list(f"job-{job_id}-ckpt-")
+
+    def latest(self, job_id: str) -> Optional[str]:
+        """Newest checkpoint id of ``job_id`` (highest sequence).
+
+        Sequence order is commit order: a save allocates its sequence only
+        after every earlier save of the job committed (per-job channels are
+        FIFO, and the fleet harness waits out a dead incarnation's in-flight
+        save before reincarnating), so the highest sequence is also the
+        latest training state.
+        """
+        names = self.manifest_names(job_id)
+        if not names:
+            return None
+        _, seq = _parse_manifest_name(names[-1])
+        return f"ckpt-{seq:06d}"
+
+    # -- loading -----------------------------------------------------------------
+
+    def _read_manifest(self, object_name: str) -> Dict:
+        try:
+            manifest = json.loads(self.backend.read(object_name).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise IntegrityError(
+                f"manifest {object_name!r} is not valid JSON: {exc}"
+            ) from exc
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise IntegrityError(
+                f"unsupported chunk manifest version {manifest.get('version')!r}"
+            )
+        return manifest
+
+    def _read_chunk(self, address: str, raw_nbytes: int, codec_obj) -> bytes:
+        """Read one block, decoding with *the manifest's* codec — a store
+        reopened under a different codec still reads every old checkpoint."""
+        stored = self.backend.read(address)
+        raw = codec_obj.decode(stored)
+        if len(raw) != raw_nbytes:
+            raise IntegrityError(
+                f"chunk {address} decoded to {len(raw)} bytes, "
+                f"manifest says {raw_nbytes}"
+            )
+        if chunk_name(raw, codec_obj.name) != address:
+            raise IntegrityError(
+                f"chunk {address} content does not match its address"
+            )
+        return raw
+
+    def load_snapshot(
+        self, job_id: str, ckpt_id: Optional[str] = None
+    ) -> TrainingSnapshot:
+        """Reassemble a snapshot (``ckpt_id=None`` selects the newest)."""
+        meta, tensors = self.load_tensors(job_id, ckpt_id)
+        return TrainingSnapshot.from_payload(meta, tensors)
+
+    def load_tensors(
+        self, job_id: str, ckpt_id: Optional[str] = None
+    ) -> Tuple[Dict, Dict[str, np.ndarray]]:
+        """Resolve one checkpoint to ``(snapshot_meta, tensors)``."""
+        _validate_job_id(job_id)
+        if ckpt_id is None:
+            ckpt_id = self.latest(job_id)
+            if ckpt_id is None:
+                raise CheckpointNotFoundError(
+                    f"job {job_id!r} has no checkpoints"
+                )
+        object_name = f"job-{job_id}-{ckpt_id}.json"
+        if not self.backend.exists(object_name):
+            raise CheckpointNotFoundError(
+                f"checkpoint {ckpt_id!r} of job {job_id!r} not found"
+            )
+        manifest = self._read_manifest(object_name)
+        codec_obj = get_codec(manifest["codec"])
+        tensors: Dict[str, np.ndarray] = {}
+        for entry in manifest["tensors"]:
+            raw = b"".join(
+                self._read_chunk(
+                    block["chunk"], int(block["raw_nbytes"]), codec_obj
+                )
+                for block in entry["blocks"]
+            )
+            tensors[entry["name"]] = tensor_from_bytes(
+                raw, entry["dtype"], tuple(entry["shape"])
+            )
+        return manifest["meta"], tensors
+
+    def latest_valid(
+        self, job_id: str
+    ) -> Tuple[Optional[str], Optional[TrainingSnapshot], List[Tuple[str, str]]]:
+        """Newest checkpoint of ``job_id`` that loads; skips damaged ones.
+
+        Returns ``(ckpt_id, snapshot, skipped)`` — the fleet-recovery analog
+        of :class:`repro.core.recovery.RecoveryManager`.
+        """
+        skipped: List[Tuple[str, str]] = []
+        for object_name in reversed(self.manifest_names(job_id)):
+            _, seq = _parse_manifest_name(object_name)
+            ckpt_id = f"ckpt-{seq:06d}"
+            try:
+                return ckpt_id, self.load_snapshot(job_id, ckpt_id), skipped
+            except ReproError as exc:
+                skipped.append((ckpt_id, str(exc)))
+        return None, None, skipped
+
+    # -- verification & GC ------------------------------------------------------------
+
+    def verify(self, job_id: str, ckpt_id: str) -> Tuple[bool, str]:
+        """Validate one checkpoint end to end."""
+        try:
+            self.load_snapshot(job_id, ckpt_id)
+            return True, "ok"
+        except ReproError as exc:
+            return False, str(exc)
+
+    def delete_checkpoint(self, job_id: str, ckpt_id: str) -> None:
+        """Drop one manifest (manifest first; chunks go at the next gc)."""
+        _validate_job_id(job_id)
+        self.backend.delete(f"job-{job_id}-{ckpt_id}.json")
+
+    def _manifest_references(self, object_name: str) -> set:
+        """Chunk addresses one manifest pins (empty if unreadable)."""
+        try:
+            manifest = self._read_manifest(object_name)
+        except IntegrityError:
+            # Unreadable manifest = unrestorable checkpoint; it pins
+            # nothing.  Recovery reports it via latest_valid().
+            return set()
+        return {
+            block["chunk"]
+            for entry in manifest["tensors"]
+            for block in entry["blocks"]
+        }
+
+    def gc(self, keep_last_per_job: Optional[int] = None) -> Dict[str, int]:
+        """Apply retention and sweep unreferenced chunks.
+
+        Returns ``{"manifests": n, "chunks": n, "bytes": n}`` deleted.
+        Unlike per-job retention in the core store, the sweep is global: a
+        chunk survives as long as *any* job still references it.
+
+        Concurrency: the bulk of the work — reading every manifest — runs
+        without the index lock, so concurrent saves are not stalled for the
+        whole sweep.  The lock is held only to reconcile: manifests that
+        committed during the scan are read then, in-flight pins are added,
+        and the deletes happen under the lock so they cannot race a save
+        re-writing the same address (a writer pins before it writes).
+        """
+        if keep_last_per_job is not None and keep_last_per_job < 1:
+            raise ConfigError(
+                f"keep_last_per_job must be >= 1, got {keep_last_per_job}"
+            )
+        deleted_manifests = 0
+        if keep_last_per_job is not None:
+            for job_id in self.jobs():
+                names = self.manifest_names(job_id)
+                for object_name in names[:-keep_last_per_job]:
+                    self.backend.delete(object_name)
+                    deleted_manifests += 1
+        # Phase 1 (unlocked): scan every surviving manifest.
+        scanned = set()
+        referenced = set()
+        for object_name in self.backend.list("job-"):
+            job_id, _ = _parse_manifest_name(object_name)
+            if job_id is None:
+                continue
+            scanned.add(object_name)
+            referenced.update(self._manifest_references(object_name))
+        # Phase 2 (locked): reconcile and sweep.
+        with self._lock:
+            for object_name in self.backend.list("job-"):
+                job_id, _ = _parse_manifest_name(object_name)
+                if job_id is None or object_name in scanned:
+                    continue
+                # Committed while we were scanning: read the small delta.
+                referenced.update(self._manifest_references(object_name))
+            # Chunks a concurrent save has written (or will reference) but
+            # not yet named in a manifest are live, not orphans.
+            referenced.update(self._inflight)
+            deleted_chunks = 0
+            deleted_bytes = 0
+            for address in self.backend.list(CHUNK_PREFIX):
+                if address not in referenced:
+                    deleted_bytes += self.backend.size(address)
+                    self.backend.delete(address)
+                    self._known.pop(address, None)
+                    deleted_chunks += 1
+        return {
+            "manifests": deleted_manifests,
+            "chunks": deleted_chunks,
+            "bytes": deleted_bytes,
+        }
+
+    def total_physical_bytes(self) -> int:
+        """Bytes held by chunk objects currently in the backend."""
+        return sum(
+            self.backend.size(name) for name in self.backend.list(CHUNK_PREFIX)
+        )
+
+
+def _validate_job_id(job_id: str) -> str:
+    # "-ckpt-" anywhere (or "-ckpt" at the end) would make this job's
+    # manifest names parse as another job's, colliding the namespaces.
+    if (
+        not isinstance(job_id, str)
+        or not job_id
+        or "-ckpt-" in job_id
+        or job_id.endswith("-ckpt")
+    ):
+        raise ConfigError(f"invalid job id {job_id!r}")
+    # Reuse backend name validation by probing the name we will construct.
+    validate_name(f"job-{job_id}-ckpt-000001.json")
+    return job_id
+
+
+def _parse_manifest_name(object_name: str) -> Tuple[Optional[str], int]:
+    """``job-<id>-ckpt-<seq>.json`` -> ``(job_id, seq)`` or ``(None, 0)``."""
+    if not object_name.startswith("job-") or not object_name.endswith(".json"):
+        return None, 0
+    stem = object_name[len("job-") : -len(".json")]
+    marker = stem.rfind("-ckpt-")
+    if marker < 1:
+        return None, 0
+    job_id = stem[:marker]
+    seq_text = stem[marker + len("-ckpt-") :]
+    if not seq_text.isdigit():
+        return None, 0
+    return job_id, int(seq_text)

@@ -1,0 +1,358 @@
+"""Fleet harness: N concurrent training jobs over one checkpoint service.
+
+The multi-tenant crash/recover/resume loop — a cluster scheduler in
+miniature.  Jobs advance in round-robin *ticks* (one training step per tick
+per running job, offset by their cadence), checkpoints flow through a shared
+:class:`~repro.service.pool.WriterPool` into a shared
+:class:`~repro.service.chunkstore.ChunkStore`, and scenario events from
+:mod:`repro.faults.injector` disturb the fleet:
+
+* :class:`~repro.faults.injector.PreemptionStorm` kills a set of jobs at one
+  tick — their queued saves are abandoned (a dead process writes nothing),
+  their channels die, and after a restart delay each job is *reincarnated
+  from a fresh trainer* and restored from the newest valid checkpoint,
+* :class:`~repro.faults.injector.Brownout` slows every store write for a
+  window of ticks, which backs the writer pool up and engages each channel's
+  backpressure policy.
+
+The result quantifies exactly what the service buys a fleet: recovered-work
+ratio, bytes written vs bytes deduped, per-job and fleet makespan.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.policy import EveryKSteps
+from repro.errors import ConfigError
+from repro.faults.injector import Brownout, PreemptionStorm
+from repro.service.chunkstore import ChunkStore
+from repro.service.manager import ServiceCheckpointManager
+from repro.service.pool import PoolChannel, WriterPool
+from repro.storage.backend import StorageBackend
+
+
+class ThrottledBackend(StorageBackend):
+    """Backend decorator adding a settable real delay per write.
+
+    The knob the brownout scenario turns: while the window is active every
+    write to the shared store stalls, the pool's queues grow, and channel
+    backpressure (block / drop-oldest / degrade) becomes observable.
+    """
+
+    def __init__(self, inner: StorageBackend):
+        self.inner = inner
+        self.write_delay_seconds = 0.0
+        self.delayed_writes = 0
+        self._counter_lock = threading.Lock()  # pool workers write concurrently
+
+    def write(self, name: str, data: bytes) -> None:
+        delay = self.write_delay_seconds
+        if delay > 0:
+            with self._counter_lock:
+                self.delayed_writes += 1
+            time.sleep(delay)
+        self.inner.write(name, data)
+
+    def read(self, name: str) -> bytes:
+        return self.inner.read(name)
+
+    def read_range(self, name: str, start: int, length: int) -> bytes:
+        return self.inner.read_range(name, start, length)
+
+    def exists(self, name: str) -> bool:
+        return self.inner.exists(name)
+
+    def delete(self, name: str) -> None:
+        self.inner.delete(name)
+
+    def list(self, prefix: str = ""):
+        return self.inner.list(prefix)
+
+    def size(self, name: str) -> int:
+        return self.inner.size(name)
+
+
+@dataclass(frozen=True)
+class FleetJobSpec:
+    """Static description of one job in the fleet."""
+
+    job_id: str
+    trainer_factory: Callable[[], "object"]
+    target_steps: int
+    checkpoint_every: int = 1
+    cadence_offset: int = 0
+    max_pending: int = 2
+    backpressure: str = "block"
+    save_on_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.target_steps < 1:
+            raise ConfigError(
+                f"target_steps must be >= 1, got {self.target_steps}"
+            )
+        if self.checkpoint_every < 1:
+            raise ConfigError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.cadence_offset < 0:
+            raise ConfigError(
+                f"cadence_offset must be >= 0, got {self.cadence_offset}"
+            )
+
+
+@dataclass
+class FleetJobResult:
+    """Per-job outcome."""
+
+    job_id: str
+    final_step: int = 0
+    steps_executed: int = 0
+    preemptions: int = 0
+    restores: int = 0
+    lost_steps: int = 0
+    abandoned_saves: int = 0
+    degraded_saves: int = 0
+    dropped_saves: int = 0
+    resumed_from_steps: List[int] = field(default_factory=list)
+    finish_tick: Optional[int] = None
+
+    @property
+    def wasted_steps(self) -> int:
+        return self.steps_executed - self.final_step
+
+    @property
+    def recovered_work_ratio(self) -> float:
+        """Fraction of pre-crash progress the store gave back, averaged."""
+        if not self.preemptions:
+            return 1.0
+        recovered = sum(self.resumed_from_steps)
+        lost = self.lost_steps
+        executed_at_crashes = recovered + lost
+        if executed_at_crashes == 0:
+            return 1.0
+        return recovered / executed_at_crashes
+
+
+@dataclass
+class FleetResult:
+    """Fleet-wide outcome of one harness run."""
+
+    jobs: Dict[str, FleetJobResult]
+    makespan_ticks: int
+    wall_seconds: float
+    logical_bytes: int
+    physical_bytes: int
+    manifest_bytes: int
+    dedup_ratio: float
+    pool_tasks: int
+    events_fired: List[str] = field(default_factory=list)
+
+    @property
+    def total_lost_steps(self) -> int:
+        return sum(j.lost_steps for j in self.jobs.values())
+
+    @property
+    def recovered_work_ratio(self) -> float:
+        recovered = sum(sum(j.resumed_from_steps) for j in self.jobs.values())
+        lost = self.total_lost_steps
+        if recovered + lost == 0:
+            return 1.0
+        return recovered / (recovered + lost)
+
+
+class _JobRuntime:
+    """Mutable state of one job incarnation inside the harness."""
+
+    def __init__(self, spec: FleetJobSpec):
+        self.spec = spec
+        self.trainer = None
+        self.manager: Optional[ServiceCheckpointManager] = None
+        self.channel: Optional[PoolChannel] = None
+        self.result = FleetJobResult(job_id=spec.job_id)
+        self.down_until: Optional[int] = None  # tick when restart is allowed
+        self.dead_channel: Optional[PoolChannel] = None
+        self.steps_at_crash = 0
+        self.done = False
+
+
+class FleetHarness:
+    """Drives N jobs to completion across storms and brownouts."""
+
+    def __init__(
+        self,
+        store: ChunkStore,
+        pool: WriterPool,
+        specs: Sequence[FleetJobSpec],
+        events: Sequence = (),
+        throttle: Optional[ThrottledBackend] = None,
+        max_ticks: int = 100000,
+    ):
+        if not specs:
+            raise ConfigError("fleet needs at least one job spec")
+        ids = [spec.job_id for spec in specs]
+        if len(set(ids)) != len(ids):
+            raise ConfigError(f"duplicate job ids in fleet: {ids}")
+        self.store = store
+        self.pool = pool
+        self.specs = list(specs)
+        self.events = list(events)
+        self.throttle = throttle
+        self.max_ticks = int(max_ticks)
+
+    # -- lifecycle of one job ------------------------------------------------------
+
+    def _start_job(self, job: _JobRuntime, tick: int, fresh: bool) -> None:
+        spec = job.spec
+        job.trainer = spec.trainer_factory()
+        job.channel = self.pool.channel(
+            spec.job_id,
+            max_pending=spec.max_pending,
+            backpressure=spec.backpressure,
+        )
+        job.manager = ServiceCheckpointManager(
+            self.store,
+            spec.job_id,
+            job.channel,
+            policy=EveryKSteps(spec.checkpoint_every),
+        )
+        restored_step = 0
+        if not fresh:
+            ckpt_id, snapshot, _skipped = self.store.latest_valid(spec.job_id)
+            if snapshot is not None:
+                job.trainer.restore(snapshot)
+                restored_step = snapshot.step
+            job.result.restores += 1
+            job.result.resumed_from_steps.append(restored_step)
+        if spec.save_on_start and (fresh or restored_step > 0):
+            # Restore-validation save: prove the write path before burning
+            # compute.  On a resume this is free — every block dedups against
+            # the checkpoint just read.
+            job.manager.save(job.trainer.capture(lite=True))
+        job.down_until = None
+
+    def _absorb_channel_stats(self, job: _JobRuntime) -> None:
+        if job.channel is not None:
+            job.result.dropped_saves += job.channel.stats.dropped
+            job.result.degraded_saves += job.channel.stats.degraded
+
+    def _preempt_job(self, job: _JobRuntime, tick: int, delay: int) -> None:
+        # Record the crash point so recovery can compute the loss.
+        job.steps_at_crash = job.trainer.step_count if job.trainer else 0
+        job.result.preemptions += 1
+        self._absorb_channel_stats(job)
+        if job.channel is not None:
+            job.result.abandoned_saves += job.channel.abandon()
+        job.trainer = None
+        job.manager = None
+        job.dead_channel = job.channel
+        job.channel = None
+        job.down_until = tick + 1 + delay
+
+    def _recover_job(self, job: _JobRuntime, tick: int) -> None:
+        if job.dead_channel is not None:
+            # Let the dead incarnation's in-flight save (if any) commit
+            # before the reincarnation allocates its first sequence number:
+            # checkpoint sequence order then always matches commit order.
+            job.dead_channel.wait_idle(timeout=60.0)
+            job.dead_channel = None
+        self._start_job(job, tick, fresh=False)
+        recovered = job.result.resumed_from_steps[-1]
+        job.result.lost_steps += max(0, job.steps_at_crash - recovered)
+
+    # -- the scheduler loop -------------------------------------------------------
+
+    def run(self) -> FleetResult:
+        started = time.perf_counter()
+        jobs = {spec.job_id: _JobRuntime(spec) for spec in self.specs}
+        events_fired: List[str] = []
+        brownouts_engaged: set = set()
+        brownouts_ended: set = set()
+        tick = 0
+        for job in jobs.values():
+            self._start_job(job, tick, fresh=True)
+        while not all(job.done for job in jobs.values()):
+            if tick >= self.max_ticks:
+                raise ConfigError(
+                    f"fleet did not finish within {self.max_ticks} ticks"
+                )
+            # 1. scenario events for this tick
+            for event in self.events:
+                if isinstance(event, PreemptionStorm) and event.at_tick == tick:
+                    for job in jobs.values():
+                        if (
+                            not job.done
+                            and job.trainer is not None
+                            and event.hits(job.spec.job_id)
+                        ):
+                            self._preempt_job(
+                                job, tick, event.restart_delay_ticks
+                            )
+                    events_fired.append(f"storm@{tick}")
+                if isinstance(event, Brownout) and self.throttle is not None:
+                    if event.active_at(tick) and id(event) not in brownouts_engaged:
+                        brownouts_engaged.add(id(event))
+                        events_fired.append(f"brownout-on@{tick}")
+                    if (
+                        tick >= event.end_tick
+                        and id(event) in brownouts_engaged
+                        and id(event) not in brownouts_ended
+                    ):
+                        brownouts_ended.add(id(event))
+                        events_fired.append(f"brownout-off@{tick}")
+            if self.throttle is not None:
+                # The slowest active window wins; overlapping brownouts do
+                # not end each other early.
+                self.throttle.write_delay_seconds = max(
+                    (
+                        event.write_delay_seconds
+                        for event in self.events
+                        if isinstance(event, Brownout) and event.active_at(tick)
+                    ),
+                    default=0.0,
+                )
+            # 2. reincarnate preempted jobs whose delay elapsed
+            for job in jobs.values():
+                if (
+                    not job.done
+                    and job.trainer is None
+                    and job.down_until is not None
+                    and tick >= job.down_until
+                ):
+                    self._recover_job(job, tick)
+            # 3. advance every running job due at this tick
+            for job in jobs.values():
+                if job.done or job.trainer is None:
+                    continue
+                if tick < job.spec.cadence_offset:
+                    continue
+                info = job.trainer.train_step()
+                job.result.steps_executed += 1
+                job.manager.on_step_end(job.trainer, info)
+                if job.trainer.step_count >= job.spec.target_steps:
+                    # Terminal checkpoint (unless the cadence just saved this
+                    # exact step) + drain, then release the channel.
+                    if job.trainer.step_count % job.spec.checkpoint_every != 0:
+                        job.manager.save(job.trainer.capture())
+                    job.manager.close()
+                    self._absorb_channel_stats(job)
+                    job.result.final_step = job.trainer.step_count
+                    job.result.finish_tick = tick
+                    job.done = True
+            tick += 1
+        self.pool.drain()
+        stats = self.store.stats
+        return FleetResult(
+            jobs={job_id: job.result for job_id, job in jobs.items()},
+            makespan_ticks=tick,
+            wall_seconds=time.perf_counter() - started,
+            logical_bytes=stats.logical_bytes,
+            physical_bytes=stats.physical_bytes,
+            manifest_bytes=stats.manifest_bytes,
+            dedup_ratio=stats.dedup_ratio,
+            pool_tasks=self.pool.stats.tasks,
+            events_fired=events_fired,
+        )

@@ -1,0 +1,139 @@
+"""Per-job checkpoint hook routing snapshots into the shared service stack.
+
+The service analog of :class:`repro.core.manager.CheckpointManager`: one
+instance per training job, submitting saves to the job's
+:class:`~repro.service.pool.PoolChannel` and persisting through the shared
+:class:`~repro.service.chunkstore.ChunkStore`.  There is no full-vs-delta
+cadence here — content addressing *is* the delta mechanism (unchanged blocks
+cost nothing, whoever wrote them first) — but each submit carries a degraded
+fallback (a ``lite`` capture without the warm-start cache) for channels with
+``degrade`` backpressure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.policy import CheckpointPolicy, Clock, EveryKSteps
+from repro.core.snapshot import TrainingSnapshot
+from repro.service.chunkstore import ChunkCheckpointRecord, ChunkStore
+from repro.service.pool import PoolChannel
+
+
+@dataclass
+class ServiceCheckpointStats:
+    """Aggregate accounting for one job's manager."""
+
+    saves: int = 0
+    lite_saves: int = 0
+    blocks: int = 0
+    new_blocks: int = 0
+    logical_bytes: int = 0
+    physical_bytes: int = 0
+    save_seconds: float = 0.0
+    last_record: Optional[ChunkCheckpointRecord] = None
+
+
+class ServiceCheckpointManager:
+    """Trainer hook persisting one job's snapshots via the writer pool."""
+
+    def __init__(
+        self,
+        store: ChunkStore,
+        job_id: str,
+        channel: PoolChannel,
+        policy: Optional[CheckpointPolicy] = None,
+        clock: Optional[Clock] = None,
+        extra: Optional[Dict] = None,
+    ):
+        self.store = store
+        self.job_id = job_id
+        self.channel = channel
+        self.policy = policy or EveryKSteps(1)
+        self._clock = clock or time.monotonic
+        self.extra = dict(extra or {})
+        self.stats = ServiceCheckpointStats()
+        self._stats_lock = threading.Lock()  # tasks run on pool workers
+
+    # -- hook protocol ------------------------------------------------------------
+
+    def on_step_end(self, trainer, info) -> None:
+        """Trainer hook: maybe checkpoint after this step."""
+        self.policy.observe_step(info.step, info.seconds)
+        if self.policy.should_checkpoint(trainer.step_count, self._clock()):
+            # The lite capture is deferred to the moment the channel actually
+            # degrades (synchronously inside submit, same step state), so an
+            # uncongested degrade-mode job never pays for a second capture.
+            lite_factory = (
+                (lambda: trainer.capture(lite=True))
+                if self.channel.backpressure == "degrade"
+                else None
+            )
+            self.save(trainer.capture(), lite_factory=lite_factory)
+
+    def on_run_end(self, trainer) -> None:
+        """Trainer hook: wait for this job's queue to empty."""
+        self.channel.drain()
+
+    # -- saving -----------------------------------------------------------------
+
+    def save(
+        self,
+        snapshot: TrainingSnapshot,
+        lite_snapshot: Optional[TrainingSnapshot] = None,
+        lite_factory=None,
+    ) -> None:
+        """Submit ``snapshot`` through the channel.
+
+        The degrade fallback comes either ready-made (``lite_snapshot``) or
+        lazily (``lite_factory``, a zero-arg callable returning a snapshot,
+        invoked only if the channel's queue is full at submit time).
+        """
+        snapshot = snapshot.copy()
+
+        def task() -> None:
+            self._commit(snapshot, lite=False)
+
+        fallback = None
+        fallback_factory = None
+        if lite_snapshot is not None:
+            lite = lite_snapshot.copy()
+
+            def fallback() -> None:
+                self._commit(lite, lite=True)
+
+        elif lite_factory is not None:
+
+            def fallback_factory() -> "object":
+                lite = lite_factory().copy()
+                return lambda: self._commit(lite, lite=True)
+
+        self.channel.submit(
+            task, fallback=fallback, fallback_factory=fallback_factory
+        )
+
+    def _commit(self, snapshot: TrainingSnapshot, lite: bool) -> None:
+        started = time.perf_counter()
+        extra = dict(self.extra)
+        if lite:
+            extra["lite"] = True
+        record = self.store.save_snapshot(self.job_id, snapshot, extra=extra)
+        elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self.stats.saves += 1
+            if lite:
+                self.stats.lite_saves += 1
+            self.stats.blocks += record.n_blocks
+            self.stats.new_blocks += record.n_new_blocks
+            self.stats.logical_bytes += record.logical_bytes
+            self.stats.physical_bytes += record.physical_bytes
+            self.stats.save_seconds += elapsed
+            self.stats.last_record = record
+        self.policy.record_checkpoint(self._clock(), elapsed)
+
+    def close(self) -> None:
+        """Flush this job's queue and release the channel."""
+        self.channel.close()

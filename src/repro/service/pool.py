@@ -1,0 +1,390 @@
+"""Shared checkpoint writer pool: bounded per-job queues, fair workers.
+
+:class:`~repro.core.writer.AsyncCheckpointWriter` gives one training job one
+background thread; a fleet of N jobs would spawn N threads and contend
+blindly for the store.  :class:`WriterPool` replaces that with a fixed pool
+of workers serving per-job :class:`PoolChannel` queues:
+
+* **per-job FIFO** — one channel's tasks never run concurrently or out of
+  order, preserving the store's payload-before-manifest ordering per job;
+  tasks from *different* channels run in parallel (zlib/sha256 release the
+  GIL, so pack+write throughput scales with workers),
+* **fairness** — workers pick the next task round-robin across channels, so
+  one chatty job cannot starve the fleet,
+* **backpressure** — each channel bounds its queue and picks a policy when
+  full: ``block`` the trainer (the async-writer default), ``drop-oldest``
+  (newest snapshot wins; dropped saves are counted), or ``degrade`` (enqueue
+  the submitter's cheaper fallback task — e.g. a lite snapshot without the
+  statevector cache — instead of the full one),
+* **per-job errors, exactly once** — a failed task surfaces on that
+  channel's next ``submit``/``drain``/``close`` and nowhere else.
+
+A channel implements the writer protocol (``submit``/``drain``/``close``/
+``pending``/``stats``), so a :class:`~repro.core.manager.CheckpointManager`
+can be pointed at a pool channel unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.writer import WriteStats
+from repro.errors import CheckpointError, ConfigError
+
+_POLICIES = ("block", "drop-oldest", "degrade")
+
+
+@dataclass
+class ChannelStats(WriteStats):
+    """Per-channel accounting (extends the writer's ``WriteStats``)."""
+
+    dropped: int = 0
+    degraded: int = 0
+
+
+class PoolChannel:
+    """One job's bounded submission queue into a :class:`WriterPool`."""
+
+    def __init__(
+        self,
+        pool: "WriterPool",
+        job_id: str,
+        max_pending: int,
+        backpressure: str,
+    ):
+        if max_pending < 1:
+            raise ConfigError(f"max_pending must be >= 1, got {max_pending}")
+        if backpressure not in _POLICIES:
+            raise ConfigError(
+                f"backpressure must be one of {_POLICIES}, got {backpressure!r}"
+            )
+        self.pool = pool
+        self.job_id = job_id
+        self.max_pending = int(max_pending)
+        self.backpressure = backpressure
+        self.stats = ChannelStats()
+        # Degrade-mode fallbacks are resolved synchronously inside submit,
+        # so the queue holds bare ready-to-run tasks.
+        self.queue: Deque[Callable[[], None]] = deque()
+        self.active = False  # a worker is running this channel's task
+        self.closed = False
+        self.abandoned = 0
+        self._error: Optional[BaseException] = None
+        # Only an abandoned (crashed-process) channel discards task errors;
+        # a channel closed by a timed-out close/drain keeps them so the
+        # failure still surfaces on the next interaction, exactly once.
+        self._discard_errors = False
+
+    # -- internal (called under the pool lock) ------------------------------------
+
+    def _outstanding(self) -> int:
+        return len(self.queue) + (1 if self.active else 0)
+
+    def _raise_pending_error(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise CheckpointError(
+                f"checkpoint write for job {self.job_id!r} failed: {error}"
+            ) from error
+
+    # -- writer protocol ----------------------------------------------------------
+
+    def submit(
+        self,
+        task: Callable[[], None],
+        fallback: Optional[Callable[[], None]] = None,
+        fallback_factory: Optional[Callable[[], Callable[[], None]]] = None,
+    ) -> None:
+        """Enqueue ``task`` under this channel's backpressure policy.
+
+        ``fallback`` is the cheaper variant the ``degrade`` policy swaps in
+        when the queue is full.  ``fallback_factory`` builds that variant
+        lazily — it is invoked (on this thread, at most once, *outside* the
+        pool lock) only when the queue is full at submit time, so submitters
+        do not pay for a degraded capture they usually discard and an
+        expensive capture never stalls other jobs' bookkeeping.  Policies
+        other than ``degrade`` ignore both.
+        """
+        pool = self.pool
+        started = time.perf_counter()
+        if (
+            self.backpressure == "degrade"
+            and fallback is None
+            and fallback_factory is not None
+        ):
+            # A channel has one submitter (its job), so congestion observed
+            # here cannot appear later within this same submit — building
+            # the fallback now, outside the lock, loses no laziness.
+            with pool._cond:
+                congested = self._outstanding() >= self.max_pending
+            if congested:
+                fallback = fallback_factory()
+            fallback_factory = None
+        with pool._cond:
+            self._raise_pending_error()
+            if self.closed:
+                raise CheckpointError(f"channel {self.job_id!r} is closed")
+            if pool._stopped:
+                raise CheckpointError("writer pool is closed")
+            while self._outstanding() >= self.max_pending:
+                if self.backpressure == "drop-oldest" and self.queue:
+                    self.queue.popleft()
+                    self.stats.dropped += 1
+                    continue
+                if self.backpressure == "degrade" and fallback is not None:
+                    task = fallback
+                    fallback = None
+                    self.stats.degraded += 1
+                    if self.queue:
+                        # Replace the newest queued save (full or already
+                        # lite) with this cheap one rather than waiting
+                        # behind it; the discarded save counts as dropped.
+                        self.queue.pop()
+                        self.stats.dropped += 1
+                        break
+                # block (and degrade-without-room): wait for a slot.
+                pool._cond.wait(timeout=0.1)
+                self._raise_pending_error()
+                if self.closed or pool._stopped:
+                    raise CheckpointError(
+                        f"channel {self.job_id!r} closed while blocked on submit"
+                    )
+            self.queue.append(task)
+            pool._cond.notify_all()
+        self.stats.blocked_seconds += time.perf_counter() - started
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until this channel is idle; re-raise its pending error."""
+        pool = self.pool
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with pool._cond:
+            while self._outstanding() > 0:
+                if pool._stopped:
+                    raise CheckpointError(
+                        "writer pool stopped with tasks still queued"
+                    )
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise CheckpointError(
+                            f"channel {self.job_id!r} failed to drain "
+                            f"within {timeout}s"
+                        )
+                pool._cond.wait(timeout=remaining if remaining else 0.1)
+            self._raise_pending_error()
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain and detach from the pool; surfaces pending errors once.
+
+        ``timeout`` defaults to the pool's close timeout, so a save wedged on
+        a hung backend raises :class:`~repro.errors.CheckpointError` instead
+        of hanging the fleet forever (the same bound the single-job async
+        writer enforces).
+        """
+        if timeout is None:
+            timeout = self.pool._close_timeout
+        try:
+            self.drain(timeout=timeout)
+        finally:
+            with self.pool._cond:
+                self.closed = True
+                self.pool._cond.notify_all()
+
+    def abandon(self) -> int:
+        """Crash semantics: discard queued (not yet started) tasks.
+
+        A preempted process loses the saves still sitting in its queue; the
+        in-flight task, if any, completes on the worker (an atomic store
+        write either lands or leaves an orphan).  Returns the number of
+        tasks discarded.  The channel is closed and its pending error —
+        which a dead process can no longer observe — is cleared.
+        """
+        with self.pool._cond:
+            dropped = len(self.queue)
+            self.queue.clear()
+            self.abandoned += dropped
+            self.closed = True
+            self._error = None
+            self._discard_errors = True
+            self.pool._cond.notify_all()
+        return dropped
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no task of this channel is in flight.
+
+        Unlike :meth:`drain` this ignores queued tasks and pending errors —
+        it exists for crash semantics: after :meth:`abandon`, the harness
+        waits for the dead incarnation's in-flight save to finish before a
+        reincarnation allocates its first checkpoint sequence, so a stale
+        save can never commit *after* (and therefore outrank) the new
+        incarnation's saves.  Returns ``False`` on timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self.pool._cond:
+            while self.active:
+                remaining = 0.1
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    remaining = min(remaining, 0.1)
+                self.pool._cond.wait(timeout=remaining)
+            return True
+
+    @property
+    def pending(self) -> int:
+        """Tasks submitted but not yet finished."""
+        with self.pool._cond:
+            return self._outstanding()
+
+
+class WriterPool:
+    """Fixed worker pool multiplexing many jobs' checkpoint writes."""
+
+    def __init__(self, workers: int = 2, close_timeout: float = 60.0):
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if close_timeout <= 0:
+            raise ConfigError(
+                f"close_timeout must be > 0, got {close_timeout}"
+            )
+        self.workers = int(workers)
+        self._close_timeout = float(close_timeout)
+        self._cond = threading.Condition()
+        self._channels: Dict[str, PoolChannel] = {}
+        self._rr: List[str] = []  # round-robin rotation of channel ids
+        self._stopped = False
+        self.stats = WriteStats()
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"qckpt-pool-{i}", daemon=True
+            )
+            for i in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- channels ---------------------------------------------------------------
+
+    def channel(
+        self,
+        job_id: str,
+        max_pending: int = 2,
+        backpressure: str = "block",
+    ) -> PoolChannel:
+        """Create (or return) the submission channel for ``job_id``.
+
+        Re-requesting an open channel returns it unchanged; after a crash
+        (``abandon``) or ``close`` a fresh channel replaces the dead one —
+        the reincarnated job starts with a clean queue and no stale error.
+        """
+        with self._cond:
+            if self._stopped:
+                raise CheckpointError("writer pool is closed")
+            existing = self._channels.get(job_id)
+            if existing is not None and not existing.closed:
+                return existing
+            channel = PoolChannel(self, job_id, max_pending, backpressure)
+            self._channels[job_id] = channel
+            if job_id not in self._rr:
+                self._rr.append(job_id)
+            return channel
+
+    def channels(self) -> List[PoolChannel]:
+        """All currently registered channels."""
+        with self._cond:
+            return list(self._channels.values())
+
+    # -- workers -----------------------------------------------------------------
+
+    def _next_task(self) -> Optional[Tuple[PoolChannel, Callable[[], None]]]:
+        """Round-robin pick under the lock; marks the channel active."""
+        for offset in range(len(self._rr)):
+            job_id = self._rr[offset]
+            channel = self._channels.get(job_id)
+            if channel is None or channel.active or not channel.queue:
+                continue
+            # Rotate so the next pick starts after this job: fairness.
+            self._rr = (
+                self._rr[offset + 1 :] + self._rr[: offset + 1]
+            )
+            task = channel.queue.popleft()
+            channel.active = True
+            return channel, task
+        return None
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                picked = self._next_task()
+                while picked is None:
+                    if self._stopped:
+                        return
+                    self._cond.wait()
+                    picked = self._next_task()
+            channel, task = picked
+            started = time.perf_counter()
+            error: Optional[BaseException] = None
+            try:
+                task()
+            except BaseException as exc:  # surfaces on the job's channel
+                error = exc
+            elapsed = time.perf_counter() - started
+            with self._cond:
+                channel.active = False
+                channel.stats.tasks += 1
+                channel.stats.seconds += elapsed
+                self.stats.tasks += 1
+                self.stats.seconds += elapsed
+                if error is not None and not channel._discard_errors:
+                    channel._error = error
+                self._cond.notify_all()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Drain every open channel (first pending error wins)."""
+        for channel in self.channels():
+            if not channel.closed:
+                channel.drain(timeout=self._close_timeout)
+
+    def close(self) -> None:
+        """Drain all channels, stop the workers, join the threads.
+
+        Channel errors surface from the drain; a pool whose workers fail to
+        stop within the close timeout raises
+        :class:`~repro.errors.CheckpointError` (daemon threads, so the
+        process still exits).
+        """
+        try:
+            self.drain()
+        finally:
+            with self._cond:
+                self._stopped = True
+                self._cond.notify_all()
+            deadline = time.monotonic() + self._close_timeout
+            for thread in self._threads:
+                remaining = deadline - time.monotonic()
+                if remaining > 0:
+                    thread.join(timeout=remaining)
+            if any(thread.is_alive() for thread in self._threads):
+                raise CheckpointError(
+                    f"writer pool failed to stop within {self._close_timeout}s"
+                )
+
+    @property
+    def pending(self) -> int:
+        """Outstanding tasks across all channels."""
+        with self._cond:
+            return sum(c._outstanding() for c in self._channels.values())
+
+    def __enter__(self) -> "WriterPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -16,7 +16,9 @@ implementations:
 * :class:`~repro.storage.replicated.ReplicatedBackend` — N-way mirroring with
   quorum writes, majority reads, read-repair, and scrubbing,
 * :class:`~repro.storage.tiered.TieredBackend` — byte-budgeted LRU fast tier
-  over a slow tier, write-through or write-back.
+  over a slow tier, write-through or write-back,
+* :class:`~repro.storage.sharded.ShardedBackend` — stable-hash routing of one
+  namespace across several backends (the chunk-store substrate).
 """
 
 from repro.storage.backend import StorageBackend
@@ -24,6 +26,7 @@ from repro.storage.flaky import FlakyBackend
 from repro.storage.local import LocalDirectoryBackend
 from repro.storage.memory import InMemoryBackend
 from repro.storage.replicated import ReplicatedBackend, ReplicationStats
+from repro.storage.sharded import ShardedBackend
 from repro.storage.simulated import SimulatedRemoteBackend, TransferCostModel
 from repro.storage.tiered import TieredBackend, TierStats
 
@@ -36,6 +39,7 @@ __all__ = [
     "FlakyBackend",
     "ReplicatedBackend",
     "ReplicationStats",
+    "ShardedBackend",
     "TieredBackend",
     "TierStats",
 ]

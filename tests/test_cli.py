@@ -174,3 +174,55 @@ class TestPeek:
         root, _ = populated_store
         assert main(["peek", str(root), "ckpt-000001", "ghost"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestFleet:
+    def test_fleet_storm_in_memory(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--jobs", "2",
+                    "--steps", "3",
+                    "--qubits", "2",
+                    "--layers", "1",
+                    "--samples", "32",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "job00" in out and "job01" in out
+        assert "storm@2" in out
+        assert "dedup" in out
+        assert "recovered-work ratio" in out
+
+    def test_fleet_persists_to_directory(self, tmp_path, capsys):
+        store_dir = tmp_path / "fleet"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--jobs", "2",
+                    "--steps", "1",
+                    "--qubits", "2",
+                    "--layers", "1",
+                    "--samples", "32",
+                    "--scenario", "sweep",
+                    "--shards", "2",
+                    "--store", str(store_dir),
+                ]
+            )
+            == 0
+        )
+        # Chunks and manifests landed on the shard directories.
+        from repro.service import ChunkStore
+        from repro.storage.local import LocalDirectoryBackend
+        from repro.storage.sharded import ShardedBackend
+
+        backend = ShardedBackend(
+            [LocalDirectoryBackend(store_dir / f"shard-{i}") for i in range(2)]
+        )
+        store = ChunkStore(backend)
+        assert store.jobs() == ["job00", "job01"]
+        assert store.load_snapshot("job00").step == 1

@@ -81,14 +81,55 @@ class TestKernelsMatchReference:
         assert np.allclose(fused, ref, atol=ATOL)
         assert np.allclose(unfused, ref, atol=ATOL)
 
-    def test_three_qubit_gates_fallback(self, rng):
-        """Toffoli/Fredkin exercise the k>=3 tensordot fallback path."""
+    def test_three_qubit_gates(self, rng):
+        """Toffoli/Fredkin exercise the specialized 3-qubit permutation kernel."""
         circuit = Circuit(4)
         circuit.h(0).toffoli(0, 1, 3).append("fredkin", (3, 0, 2))
         initial = haar_state(4, rng)
         fast = kernels.run(circuit, initial_state=initial)
         ref = reference_run(circuit, initial_state=initial)
         assert np.allclose(fast, ref, atol=ATOL)
+
+    @pytest.mark.parametrize("gate", ["toffoli", "fredkin"])
+    def test_three_qubit_kernel_every_wire_order(self, gate, rng):
+        """All 3! orderings of 3 wires on 3-5 qubits match the oracle."""
+        from itertools import permutations
+
+        for n in (3, 4, 5):
+            base = tuple(int(w) for w in rng.choice(n, 3, replace=False))
+            for wires in permutations(base):
+                circuit = Circuit(n).append(gate, wires, ())
+                initial = haar_state(n, rng)
+                fast = kernels.run(circuit, initial_state=initial)
+                ref = reference_run(circuit, initial_state=initial)
+                assert np.allclose(fast, ref, atol=ATOL), (gate, n, wires)
+
+    def test_three_qubit_dense_kernel_matches_reference(self, rng):
+        """Random dense, diagonal, and batched 8x8 matrices match the oracle."""
+        n = 5
+        z = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        unitary, _ = np.linalg.qr(z)
+        diagonal = np.diag(np.exp(1j * rng.uniform(0, 2 * np.pi, 8)))
+        for matrix in (unitary, diagonal):
+            for wires in ((0, 2, 4), (4, 1, 3), (3, 4, 0)):
+                initial = haar_state(n, rng)
+                fast = initial.copy()
+                kernels.apply_matrix_inplace(fast, matrix, wires, n)
+                ref = apply_gate(initial, matrix, wires, n)
+                assert np.allclose(fast, ref, atol=ATOL), wires
+        # Per-column (B, 8, 8) stacks on an amplitude-major batch.
+        batch = 4
+        stacks = np.stack(
+            [np.linalg.qr(rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8)))[0]
+             for _ in range(batch)]
+        )
+        states = np.stack([haar_state(n, rng) for _ in range(batch)], axis=1)
+        fast = states.copy()
+        wires = (4, 0, 2)
+        kernels.apply_matrix_inplace(fast, stacks, wires, n, tail=batch)
+        for b in range(batch):
+            ref = apply_gate(np.ascontiguousarray(states[:, b]), stacks[b], wires, n)
+            assert np.allclose(fast[:, b], ref, atol=ATOL), b
 
     def test_fusion_across_interleaved_entanglers(self, rng):
         """Pending 1q products must flush correctly at 2q barriers."""

@@ -265,3 +265,63 @@ class TestAsyncWriter:
     def test_max_pending_validation(self):
         with pytest.raises(CheckpointError):
             AsyncCheckpointWriter(max_pending=0)
+
+
+class TestAsyncWriterShutdownSemantics:
+    """Regression tests: close() vs in-flight failures (exactly-once errors)."""
+
+    def test_close_during_inflight_failing_task_surfaces_error_once(self):
+        started = threading.Event()
+        release = threading.Event()
+        writer = AsyncCheckpointWriter()
+
+        def failing():
+            started.set()
+            release.wait(5)
+            raise ValueError("torn write")
+
+        writer.submit(failing)
+        assert started.wait(5)
+        # The task is mid-flight and about to fail while close() waits.
+        release.set()
+        with pytest.raises(CheckpointError, match="torn write"):
+            writer.close()
+        # Exactly once: a second close must not re-raise the seen error.
+        writer.close()
+
+    def test_error_after_timed_out_close_is_not_lost(self):
+        """A failure landing after close() timed out surfaces on re-close."""
+        release = threading.Event()
+        writer = AsyncCheckpointWriter(close_timeout=0.1)
+
+        def slow_failing():
+            release.wait(5)
+            raise ValueError("late failure")
+
+        writer.submit(slow_failing)
+        with pytest.raises(CheckpointError, match="stuck"):
+            writer.close()
+        release.set()
+        writer._thread.join(timeout=5)
+        with pytest.raises(CheckpointError, match="late failure"):
+            writer.close()
+        writer.close()  # and exactly once
+
+    def test_submit_after_close_does_not_shadow_pending_error(self):
+        """'writer is closed' must not hide an unseen write failure."""
+        release = threading.Event()
+        writer = AsyncCheckpointWriter(close_timeout=0.1)
+
+        def slow_failing():
+            release.wait(5)
+            raise ValueError("hidden failure")
+
+        writer.submit(slow_failing)
+        with pytest.raises(CheckpointError, match="stuck"):
+            writer.close()
+        release.set()
+        writer._thread.join(timeout=5)
+        with pytest.raises(CheckpointError, match="hidden failure"):
+            writer.submit(lambda: None)
+        with pytest.raises(CheckpointError, match="closed"):
+            writer.submit(lambda: None)

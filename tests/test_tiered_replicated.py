@@ -460,3 +460,126 @@ class TestTieredWriteFailureConsistency:
             tiered.write("a", b"0123456789")  # oversized replacement
         assert tiered.read("a") == b"aaaa"
         assert tiered.fast_bytes_used() == 4
+
+
+class _OpLogBackend(InMemoryBackend):
+    """In-memory backend recording (tier, op, name) for ordering assertions.
+
+    Pass a shared ``log`` list to two instances to get one global timeline
+    across tiers.
+    """
+
+    def __init__(self, tier="", log=None):
+        super().__init__()
+        self.tier = tier
+        self.log = [] if log is None else log
+
+    def write(self, name, data):
+        self.log.append((self.tier, "write", name))
+        super().write(name, data)
+
+    def delete(self, name):
+        self.log.append((self.tier, "delete", name))
+        super().delete(name)
+
+
+class TestWriteBackDurabilityWindow:
+    """The write-back durability window Tab. 4's interval analysis prices."""
+
+    def _train_write_back(self, steps, fast_capacity=1 << 20):
+        fast, slow = _OpLogBackend(), _OpLogBackend()
+        tiered = TieredBackend(fast, slow, fast_capacity, policy="write-back")
+        store = CheckpointStore(tiered)
+        model = VQEModel(
+            hardware_efficient(2, 1),
+            Hamiltonian.transverse_field_ising(2, 1.0, 0.8),
+        )
+        trainer = Trainer(model, Adam(lr=0.1), config=TrainerConfig(seed=4))
+        manager = CheckpointManager(store, EveryKSteps(1))
+        trainer.run(steps, hooks=[manager])
+        manager.close()
+        return tiered, fast, slow
+
+    def test_crash_before_flush_loses_dirty_window(self):
+        """Unflushed write-back checkpoints die with the fast tier."""
+        tiered, fast, slow = self._train_write_back(3)
+        dirty = tiered.dirty_objects()
+        assert dirty  # every object is still fast-tier-only
+        assert slow.write_count == 0
+        # Simulated crash: the fast tier (node-local SSD) is gone, no flush.
+        survivor = CheckpointStore(
+            TieredBackend(InMemoryBackend(), slow, 1 << 20)
+        )
+        assert survivor.records() == []  # the whole window was lost
+
+    def test_flush_closes_the_durability_window(self):
+        tiered, fast, slow = self._train_write_back(3)
+        flushed = tiered.flush()
+        assert sorted(flushed) == sorted(set(flushed))
+        assert tiered.dirty_objects() == []
+        survivor = CheckpointStore(
+            TieredBackend(InMemoryBackend(), slow, 1 << 20)
+        )
+        assert survivor.latest().step == 3
+        snapshot = survivor.load(survivor.latest().id)
+        assert snapshot.step == 3
+
+    def test_partial_flush_crash_recovers_to_flushed_prefix(self):
+        """Crash after an early flush: recovery lands on the flushed state."""
+        fast, slow = InMemoryBackend(), InMemoryBackend()
+        tiered = TieredBackend(fast, slow, 1 << 20, policy="write-back")
+        store = CheckpointStore(tiered)
+        model = VQEModel(
+            hardware_efficient(2, 1),
+            Hamiltonian.transverse_field_ising(2, 1.0, 0.8),
+        )
+        trainer = Trainer(model, Adam(lr=0.1), config=TrainerConfig(seed=4))
+        manager = CheckpointManager(store, EveryKSteps(1))
+        trainer.run(2, hooks=[manager])
+        tiered.flush()  # durability point at step 2
+        trainer.run(2, hooks=[manager])
+        manager.close()
+        assert tiered.dirty_objects()  # steps 3-4 still in the window
+        survivor = CheckpointStore(
+            TieredBackend(InMemoryBackend(), slow, 1 << 20)
+        )
+        # Manifest and objects are consistent at the flushed prefix.
+        assert survivor.latest().step == 2
+        fresh_model = VQEModel(
+            hardware_efficient(2, 1),
+            Hamiltonian.transverse_field_ising(2, 1.0, 0.8),
+        )
+        fresh = Trainer(fresh_model, Adam(lr=0.1), config=TrainerConfig(seed=4))
+        record = resume_trainer(fresh, survivor)
+        assert record is not None and fresh.step_count == 2
+
+    def test_eviction_flushes_dirty_victim_before_delete(self):
+        """Under byte pressure the dirty LRU victim is flushed, then evicted."""
+        shared_log = []
+        fast = _OpLogBackend("fast", shared_log)
+        slow = _OpLogBackend("slow", shared_log)
+        tiered = TieredBackend(fast, slow, 8, policy="write-back")
+        tiered.write("a", b"aaaa")
+        tiered.write("b", b"bbbb")
+        assert shared_log == [("fast", "write", "a"), ("fast", "write", "b")]
+        shared_log.clear()
+        tiered.write("c", b"cccc")  # evicts 'a' (LRU)
+        # One timeline: 'a' reaches the slow tier strictly before it leaves
+        # the fast tier — the victim is never in a "neither tier" state.
+        assert shared_log == [
+            ("slow", "write", "a"),
+            ("fast", "delete", "a"),
+            ("fast", "write", "c"),
+        ]
+        assert tiered.dirty_objects() == ["b", "c"]  # victim is clean in slow
+        assert tiered.read("a") == b"aaaa"  # served from (and promoted off) slow
+
+    def test_eviction_order_under_sustained_pressure_is_lru(self):
+        fast, slow = _OpLogBackend(), _OpLogBackend()
+        tiered = TieredBackend(fast, slow, 8, policy="write-back")
+        for name in ("a", "b", "c", "d", "e"):
+            tiered.write(name, b"xxxx")
+        # a, b, c flushed+evicted in LRU order; d, e still dirty-resident.
+        assert [name for _, op, name in slow.log if op == "write"] == ["a", "b", "c"]
+        assert tiered.dirty_objects() == ["d", "e"]
+        assert tiered.fast_bytes_used() == 8
