@@ -1,6 +1,6 @@
 """Fleet-scale checkpoint service benchmark (the service-layer acceptance run).
 
-Two experiments, both written to ``BENCH_fleet.json`` at the repo root:
+Three experiments, all written to ``BENCH_fleet.json`` at the repo root:
 
 1. **8-job sweep + preemption storm** — a learning-rate sweep of identical
    architecture/seed classifier trainings checkpoints every step through the
@@ -15,6 +15,13 @@ Two experiments, both written to ``BENCH_fleet.json`` at the repo root:
    target).  Checkpoint writes are latency-dominated, so pool workers
    overlap them regardless of core count; pack CPU (sha256 + zlib, both
    GIL-releasing) additionally overlaps where cores allow.
+
+3. **Restore-latency sweep** — the read-path acceptance run for the unified
+   restore pipeline: full cold restore vs parameters-only warm start vs
+   tier-warm full restore out of a tiered store whose slow tier carries a
+   modelled object-store cost (RTT + bandwidth).  Parameters-only must
+   fetch a small fraction of the bytes; the tier-warm restore must beat the
+   cold one because the first restore promoted what it touched.
 """
 
 import json
@@ -247,4 +254,145 @@ def test_writer_pool_throughput_scaling(report):
 
     assert speedup > SCALING_TARGET, (
         f"pool scaling {speedup:.2f}x below the {SCALING_TARGET}x target"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Restore-latency sweep: full vs parameters-only vs tier-warm
+# ---------------------------------------------------------------------------
+
+# Parameters-only warm start must fetch at most this fraction of full bytes.
+PARAMS_FETCH_FRACTION = 0.2
+# The tier-warm restore must cost at most this fraction of the cold one in
+# modelled transfer seconds (it should be near zero: everything is resident).
+TIER_WARM_FRACTION = 0.5
+
+
+def _restore_workload_snapshot(step: int) -> TrainingSnapshot:
+    """One checkpoint with a fat statevector cache and small parameters."""
+    rng = np.random.default_rng(100 + step)
+    elems = 1 << 15  # 512 KiB of complex128 warm-start cache
+    return TrainingSnapshot(
+        step=step,
+        params=rng.standard_normal(96),
+        optimizer_state={"name": "adam", "t": step, "m": rng.standard_normal(96)},
+        rng_state={"bit_generator": "PCG64", "state": {"state": step}},
+        model_fingerprint="restore-sweep",
+        loss_history=rng.standard_normal(step),
+        statevector=rng.standard_normal(elems) + 1j * rng.standard_normal(elems),
+    )
+
+
+def test_restore_latency_sweep(report):
+    """Full vs parameters-only vs tier-warm restore through the pipeline."""
+    from repro.storage.simulated import SimulatedRemoteBackend, TransferCostModel
+    from repro.storage.tiered import TieredBackend
+
+    # Slow tier: datacenter object store (10 ms RTT, 200 MB/s); fast tier:
+    # local memory.  Restore cost is the *modelled* transfer time, so the
+    # sweep is deterministic across machines.
+    def remote():
+        return SimulatedRemoteBackend(
+            TransferCostModel(bandwidth_bytes_per_s=200e6, rtt_seconds=0.01)
+        )
+
+    slow = remote()
+    write_tier = TieredBackend(
+        InMemoryBackend(), slow, fast_capacity_bytes=1 << 24
+    )
+    store = ChunkStore(write_tier, block_bytes=1 << 16)
+    for step in (1, 2, 3):
+        store.save_snapshot("sweep", _restore_workload_snapshot(step))
+    reference = _restore_workload_snapshot(3)
+
+    def cold_store():
+        """Fresh tier over the same slow store; returns the modelled cost
+        of the open-time manifest/adoption scan alongside the store."""
+        tier = TieredBackend(
+            InMemoryBackend(), slow, fast_capacity_bytes=1 << 24
+        )
+        slow.reset_accounting()
+        fresh = ChunkStore(tier, block_bytes=1 << 16)
+        adopt = slow.simulated_seconds
+        slow.reset_accounting()
+        return tier, fresh, adopt
+
+    rows = {}
+
+    # 1. cold full restore: every chunk comes over the modelled wire.
+    tier, fresh, adopt_seconds = cold_store()
+    started = time.perf_counter()
+    snapshot = fresh.load_snapshot("sweep")
+    assert snapshot == reference, "cold restore not bitwise"
+    cold_plan = fresh.plan_restore("sweep")
+    rows["cold_full"] = {
+        "modelled_seconds": slow.simulated_seconds,
+        "wall_seconds": time.perf_counter() - started,
+        "fetch_bytes": cold_plan.fetch_bytes,
+        "blocks": cold_plan.n_blocks,
+    }
+
+    # 2. tier-warm full restore: the cold restore promoted what it touched.
+    slow.reset_accounting()
+    started = time.perf_counter()
+    snapshot = fresh.load_snapshot("sweep")
+    assert snapshot == reference, "tier-warm restore not bitwise"
+    rows["tier_warm_full"] = {
+        "modelled_seconds": slow.simulated_seconds,
+        "wall_seconds": time.perf_counter() - started,
+        "fetch_bytes": cold_plan.fetch_bytes,
+        "fast_hits": tier.stats.fast_hits,
+        "promotions": tier.stats.promotions,
+    }
+
+    # 3. parameters-only warm start from a cold tier.
+    _, fresh, _ = cold_store()
+    slow.reset_accounting()
+    started = time.perf_counter()
+    _, tensors = fresh.load_partial("sweep", ["params"])
+    np.testing.assert_array_equal(tensors["params"], reference.params)
+    params_plan = fresh.plan_restore("sweep", names=["params"])
+    rows["params_only"] = {
+        "modelled_seconds": slow.simulated_seconds,
+        "wall_seconds": time.perf_counter() - started,
+        "fetch_bytes": params_plan.fetch_bytes,
+        "blocks": params_plan.n_blocks,
+    }
+
+    fraction = rows["params_only"]["fetch_bytes"] / rows["cold_full"]["fetch_bytes"]
+    warm_ratio = (
+        rows["tier_warm_full"]["modelled_seconds"]
+        / rows["cold_full"]["modelled_seconds"]
+    )
+    payload = {
+        "checkpoints": 3,
+        "total_stored_bytes": cold_plan.total_stored_bytes,
+        "adopt_modelled_seconds": adopt_seconds,
+        "params_fetch_fraction": fraction,
+        "tier_warm_vs_cold_modelled": warm_ratio,
+        **rows,
+    }
+    _write_json("restore_latency", payload)
+
+    table = "\n".join(
+        [f"{'restore':<18} {'modelled (s)':>14} {'bytes':>12} "]
+        + [
+            f"{name:<18} {row['modelled_seconds']:>14.4f} "
+            f"{row['fetch_bytes']:>12}"
+            for name, row in rows.items()
+        ]
+        + [
+            f"{'params fraction':<18} {fraction:>14.3f}",
+            f"{'warm/cold':<18} {warm_ratio:>14.3f}",
+        ]
+    )
+    report("Fleet service: restore-latency sweep", table)
+
+    assert fraction < PARAMS_FETCH_FRACTION, (
+        f"parameters-only restore fetched {fraction:.1%} of the full bytes "
+        f"(target < {PARAMS_FETCH_FRACTION:.0%})"
+    )
+    assert warm_ratio < TIER_WARM_FRACTION, (
+        f"tier-warm restore cost {warm_ratio:.1%} of cold "
+        f"(target < {TIER_WARM_FRACTION:.0%})"
     )

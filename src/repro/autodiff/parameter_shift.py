@@ -34,7 +34,7 @@ from repro.errors import GradientError
 from repro.quantum import gates as _gates
 from repro.quantum import kernels as _kernels
 from repro.quantum.circuit import Circuit, Param
-from repro.quantum.sampling import estimate_expectation
+from repro.quantum.sampling import estimate_expectation_batch
 from repro.autodiff._execute import execute_with_overrides
 
 _TWO_TERM_SHIFT = math.pi / 2
@@ -128,7 +128,7 @@ def parameter_shift_gradient(
                 values,
                 chunk,
                 initial_state,
-                columns=batch_expectation is not None,
+                columns=batch_expectation is not None or shots is not None,
             )
             chunk_plan = plan[start : start + len(chunk)]
             if batch_expectation is not None:
@@ -140,13 +140,11 @@ def parameter_shift_gradient(
                     [float(observable.expectation(s)) for s in states]
                 )
             else:
-                # Sequential draws keep the random stream identical to the
-                # reference per-execution loop.
-                energies = np.array(
-                    [
-                        float(estimate_expectation(s, observable, shots, rng))
-                        for s in states
-                    ]
+                # Batched Born probabilities (one rotation sweep + one
+                # |amplitudes|^2 per measurement group for the whole chunk);
+                # draws stay in per-shift order on the shared rng.
+                energies = estimate_expectation_batch(
+                    states, observable, shots, rng, columns=True
                 )
             for (index, coeff), value in zip(chunk_plan, energies):
                 grads[index] += coeff * value

@@ -9,6 +9,9 @@ Subcommands::
     qckpt diff <dir> <id_a> <id_b> compare two checkpoints tensor by tensor
     qckpt export <dir> <id> <out>  materialize a checkpoint as a standalone file
     qckpt peek <dir> <id> <t...>   read named tensors via ranged (partial) I/O
+    qckpt restore <dir> [...]      restore through the unified pipeline
+                                   (--tensors subset / --warm-start / --plan);
+                                   works on both monolithic and chunk stores
     qckpt stats <dir>              aggregate store statistics
     qckpt fleet [--jobs N ...]     run a multi-job checkpoint-service scenario
 
@@ -172,6 +175,188 @@ def cmd_peek(args: argparse.Namespace) -> int:
             f"  {name}: {array.dtype} {'x'.join(str(d) for d in array.shape)} "
             f"|x|={norm:.6g} head={preview}"
         )
+    return 0
+
+
+def _print_plan(plan) -> None:
+    fetched = plan.fetch_bytes
+    total = plan.total_stored_bytes
+    what = (
+        "full checkpoint"
+        if plan.requested is None
+        else "tensors " + ", ".join(plan.requested)
+    )
+    print(
+        f"plan [{plan.kind}]: {what}: {plan.n_blocks} block(s) from "
+        f"{len(plan.objects)} object(s), fetching {_human_bytes(fetched)}"
+        + (
+            f" of {_human_bytes(total)} stored"
+            f" ({100.0 * fetched / total:.1f}%)"
+            if total
+            else ""
+        )
+    )
+
+
+def _print_tensors(tensors: dict) -> None:
+    for name, array in tensors.items():
+        preview = np.array2string(
+            array.reshape(-1)[:4], precision=6, separator=", "
+        )
+        norm = float(np.linalg.norm(array))
+        print(
+            f"  {name}: {array.dtype} "
+            f"{'x'.join(str(d) for d in array.shape) or 'scalar'} "
+            f"|x|={norm:.6g} head={preview}"
+        )
+
+
+def cmd_restore(args: argparse.Namespace) -> int:
+    """Restore a checkpoint through the unified pipeline.
+
+    Detects the store format: a directory with ``MANIFEST.json`` is a
+    monolithic :class:`CheckpointStore`; one with ``job-*.json`` manifests
+    is a service :class:`ChunkStore`.  ``--tensors``/``--warm-start``
+    restrict the plan to a tensor subset; ``--plan`` prints what would be
+    fetched without fetching it.  Damaged checkpoints (a manifest naming a
+    garbage-collected chunk, a bit-rotted object) surface as clean errors;
+    without an explicit ``--id`` the restore falls back to the newest valid
+    checkpoint, reporting what it skipped.
+    """
+    from repro.core.restore import WARM_START_TENSORS
+
+    if args.warm_start and args.tensors:
+        raise ReproError("--warm-start and --tensors are mutually exclusive")
+    names = None
+    if args.warm_start:
+        names = list(WARM_START_TENSORS)
+    elif args.tensors:
+        names = list(args.tensors)
+
+    backend = LocalDirectoryBackend(args.store)
+    if backend.exists("MANIFEST.json"):
+        return _restore_core(args, names)
+    if backend.list("job-"):
+        return _restore_chunks(args, backend, names)
+    raise ReproError(
+        f"{args.store!r} is neither a checkpoint store (no MANIFEST.json) "
+        "nor a chunk store (no job-*.json manifests)"
+    )
+
+
+def _restore_core(args: argparse.Namespace, names) -> int:
+    from repro.core.recovery import RecoveryManager
+
+    store = _open_store(args.store)
+    checkpoint_id = args.id
+    skipped = []
+    if checkpoint_id is None:
+        if names is None:
+            report = RecoveryManager(store).latest_valid()
+            if not report.recovered:
+                raise ReproError(
+                    "no restorable checkpoint in store"
+                    + (f"; skipped: {report.skipped}" if report.skipped else "")
+                )
+            checkpoint_id, skipped = report.record.id, report.skipped
+        else:
+            record, _, skipped = RecoveryManager(store).latest_valid_tensors(
+                names
+            )
+            if record is None:
+                raise ReproError(
+                    "no restorable checkpoint in store"
+                    + (f"; skipped: {skipped}" if skipped else "")
+                )
+            checkpoint_id = record.id
+    for ckpt_id, reason in skipped:
+        print(f"warning: skipped damaged checkpoint {ckpt_id}: {reason}")
+    plans = store.restore_plan(checkpoint_id, names)
+    for plan in plans:
+        _print_plan(plan)
+    if args.plan:
+        return 0
+    meta, tensors = (
+        store.load_tensors(checkpoint_id)
+        if names is None
+        else store.load_partial(checkpoint_id, names)
+    )
+    print(f"{checkpoint_id} at step {meta.get('step', '?')}")
+    _print_tensors(tensors)
+    if args.out:
+        if names is not None:
+            raise ReproError(
+                "--out requires a full restore (drop --tensors/--warm-start)"
+            )
+        data = pack_snapshot(store.load(checkpoint_id), codec=args.codec)
+        Path(args.out).write_bytes(data)
+        print(f"wrote {_human_bytes(len(data))} to {args.out}")
+    return 0
+
+
+def _restore_chunks(args: argparse.Namespace, backend, names) -> int:
+    from repro.core.snapshot import TrainingSnapshot
+    from repro.service.chunkstore import ChunkStore
+
+    store = ChunkStore(backend)
+    jobs = store.jobs()
+    job_id = args.job
+    if job_id is None:
+        if len(jobs) != 1:
+            raise ReproError(
+                f"store holds jobs {jobs}; pick one with --job"
+            )
+        job_id = jobs[0]
+    if args.plan:
+        plan = store.plan_restore(job_id, args.id, names)
+        _print_plan(plan)
+        return 0
+    if args.id is not None:
+        # Explicit checkpoint: no fallback.  Damage (a manifest naming a
+        # gc'd chunk, a corrupt block) surfaces as one clean error line.
+        ckpt_id = args.id
+        _print_plan(store.plan_restore(job_id, ckpt_id, names))
+        meta, tensors = store.load_tensors(job_id, ckpt_id, names=names)
+    else:
+        # Newest-first with fallback — the same damage-tolerant walk fleet
+        # recovery uses, so `qckpt restore` and reincarnation agree on what
+        # counts as restorable.
+        meta = None
+        if names is None:
+            ckpt_id, snapshot, skipped = store.latest_valid(job_id)
+            tensors = None
+            if snapshot is not None:
+                meta, tensors = snapshot.to_payload()
+        else:
+            ckpt_id, tensors, skipped = store.latest_valid_partial(
+                job_id, names
+            )
+        for bad_id, reason in skipped:
+            print(f"warning: skipped damaged checkpoint {bad_id}: {reason}")
+        if ckpt_id is None or tensors is None:
+            raise ReproError(
+                f"job {job_id!r} has no restorable checkpoint"
+                + (
+                    f"; skipped: {[s[0] for s in skipped]}"
+                    if skipped
+                    else ""
+                )
+            )
+        plan = store.plan_restore(job_id, ckpt_id, names)
+        _print_plan(plan)
+        if meta is None:
+            meta = plan.meta
+    print(f"job {job_id} {ckpt_id} at step {meta.get('step', '?')}")
+    _print_tensors(tensors)
+    if args.out:
+        if names is not None:
+            raise ReproError(
+                "--out requires a full restore (drop --tensors/--warm-start)"
+            )
+        snapshot = TrainingSnapshot.from_payload(meta, tensors)
+        data = pack_snapshot(snapshot, codec=args.codec)
+        Path(args.out).write_bytes(data)
+        print(f"wrote {_human_bytes(len(data))} to {args.out}")
     return 0
 
 
@@ -358,6 +543,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_peek.set_defaults(func=cmd_peek)
 
+    p_restore = sub.add_parser(
+        "restore",
+        help="restore a checkpoint through the unified pipeline "
+        "(monolithic or chunk store)",
+    )
+    p_restore.add_argument("store", help="store directory")
+    p_restore.add_argument(
+        "--id", default=None, help="checkpoint id (default: newest valid)"
+    )
+    p_restore.add_argument(
+        "--job",
+        default=None,
+        help="job id (chunk stores; default: the store's only job)",
+    )
+    p_restore.add_argument(
+        "--tensors",
+        nargs="+",
+        default=None,
+        help="restore only these tensors (ranged/partial fetch)",
+    )
+    p_restore.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="restore the parameters-only warm-start subset",
+    )
+    p_restore.add_argument(
+        "--plan",
+        action="store_true",
+        help="print the fetch plan without transferring payload",
+    )
+    p_restore.add_argument(
+        "--out", default=None, help="write a standalone .qckpt file here"
+    )
+    p_restore.add_argument(
+        "--codec", default="zlib-6", help="byte codec for --out"
+    )
+    p_restore.set_defaults(func=cmd_restore)
+
     p_stats = sub.add_parser("stats", help="aggregate store statistics")
     p_stats.add_argument("store", help="store directory")
     p_stats.set_defaults(func=cmd_stats)
@@ -417,6 +640,13 @@ def main(argv=None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

@@ -17,6 +17,8 @@ Mechanism
 * :mod:`repro.core.writer` — atomic and asynchronous write paths,
 * :mod:`repro.core.store` — manifest, discovery, retention/GC,
 * :mod:`repro.core.policy` — when to checkpoint (fixed, Young–Daly, adaptive),
+* :mod:`repro.core.restore` — the unified restore pipeline (plan → ranged
+  fetch → verify → assemble) every read path runs through,
 * :mod:`repro.core.recovery` — finding and applying the latest valid snapshot,
 * :mod:`repro.core.manager` — the trainer hook tying it all together.
 """
@@ -29,7 +31,19 @@ from repro.core.policy import (
     YoungDalyPolicy,
     young_daly_interval,
 )
-from repro.core.recovery import RecoveryManager, resume_trainer
+from repro.core.recovery import (
+    RecoveryManager,
+    resume_trainer,
+    warm_start_trainer,
+)
+from repro.core.restore import (
+    WARM_START_TENSORS,
+    QckptSource,
+    RestoreExecutor,
+    RestorePlan,
+    RestoreSource,
+    restore_tensors,
+)
 from repro.core.snapshot import TrainingSnapshot
 from repro.core.store import CheckpointRecord, CheckpointStore, RetentionPolicy
 from repro.core.writer import AsyncCheckpointWriter, SyncCheckpointWriter
@@ -37,6 +51,13 @@ from repro.core.writer import AsyncCheckpointWriter, SyncCheckpointWriter
 __all__ = [
     "TrainingSnapshot",
     "CheckpointStore",
+    "RestorePlan",
+    "RestoreSource",
+    "RestoreExecutor",
+    "QckptSource",
+    "restore_tensors",
+    "WARM_START_TENSORS",
+    "warm_start_trainer",
     "CheckpointRecord",
     "RetentionPolicy",
     "CheckpointManager",

@@ -23,6 +23,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.policy import CheckpointPolicy, Clock, EveryKSteps
+from repro.core.recovery import resume_trainer, warm_start_trainer
 from repro.core.snapshot import TrainingSnapshot
 from repro.core.store import CheckpointRecord, CheckpointStore, RetentionPolicy
 from repro.core.writer import SyncCheckpointWriter
@@ -138,6 +139,26 @@ class CheckpointManager:
                 self.store.gc(self.retention)
 
         self.writer.submit(task)
+
+    # -- restoring ----------------------------------------------------------------
+
+    def resume(
+        self, trainer, mode: str = "exact", required: bool = False
+    ) -> Optional[CheckpointRecord]:
+        """Restore ``trainer`` from this manager's store via the pipeline.
+
+        ``mode="exact"`` resumes bitwise (full tensor set, whole-object
+        integrity); ``mode="warm-start"`` fetches only the parameters (the
+        planner's minimal byte ranges) and seeds a fresh run.  Returns the
+        record used, or ``None`` when nothing restorable exists.
+        """
+        if mode == "exact":
+            return resume_trainer(trainer, self.store, required=required)
+        if mode == "warm-start":
+            return warm_start_trainer(trainer, self.store, required=required)
+        raise ConfigError(
+            f"mode must be 'exact' or 'warm-start', got {mode!r}"
+        )
 
     def close(self) -> None:
         """Flush and shut down the writer."""

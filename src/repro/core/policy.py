@@ -101,6 +101,14 @@ class YoungDalyPolicy(CheckpointPolicy):
     The interval is recomputed from the running mean of measured checkpoint
     costs, starting from ``initial_cost_estimate`` before any save has been
     observed.
+
+    When a *cost source* is attached (:meth:`attach_cost_source`), the
+    policy prefers its live estimate over the lifetime running mean.  The
+    service layer attaches each job's
+    :meth:`~repro.service.pool.PoolChannel.observed_save_seconds` — a moving
+    window over recent save durations *as measured on the shared writer
+    pool*, so the interval tracks what saves actually cost under pool
+    contention (brownouts, chatty neighbors) instead of a stale average.
     """
 
     def __init__(
@@ -120,12 +128,29 @@ class YoungDalyPolicy(CheckpointPolicy):
         self.use_daly_refinement = bool(use_daly_refinement)
         self._cost_sum = float(initial_cost_estimate)
         self._cost_count = 1
+        self._cost_source: Optional[Callable[[], Optional[float]]] = None
         self._clock = clock or time.monotonic
         self._last_checkpoint = self._clock()
 
+    def attach_cost_source(
+        self, source: Callable[[], Optional[float]]
+    ) -> None:
+        """Prefer ``source()`` (a live moving cost estimate, seconds) over
+        the running mean.  A source returning ``None`` or a non-positive
+        value falls back to the running mean for that query."""
+        self._cost_source = source
+
     @property
     def mean_cost(self) -> float:
-        """Running mean of observed checkpoint costs (seconds)."""
+        """Current checkpoint-cost estimate (seconds).
+
+        The attached cost source wins when it has data; otherwise the
+        lifetime running mean of :meth:`record_checkpoint` observations.
+        """
+        if self._cost_source is not None:
+            observed = self._cost_source()
+            if observed is not None and observed > 0:
+                return float(observed)
         return self._cost_sum / self._cost_count
 
     @property

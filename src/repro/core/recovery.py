@@ -11,8 +11,11 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.restore import WARM_START_TENSORS
 from repro.core.snapshot import TrainingSnapshot
 from repro.core.store import CheckpointRecord, CheckpointStore
 from repro.errors import CheckpointNotFoundError, ReproError
@@ -63,6 +66,61 @@ class RecoveryManager:
             report.snapshot = snapshot
             return report
         return report
+
+    def latest_valid_tensors(
+        self, names: Sequence[str]
+    ) -> Tuple[Optional[CheckpointRecord], Optional[Dict], List[Tuple[str, str]]]:
+        """Newest checkpoint whose named tensors restore; skips damaged ones.
+
+        The partial-restore analog of :meth:`latest_valid`: only the
+        requested tensors' chunks are planned and fetched per candidate, so
+        probing a damaged history costs ranged reads, not full transfers.
+        Returns ``(record, {name: array} or None, skipped)``.
+        """
+        skipped: List[Tuple[str, str]] = []
+        records = sorted(
+            self.store.records(),
+            key=lambda r: (r.step, r.created, r.id),
+            reverse=True,
+        )
+        for record in records:
+            try:
+                _, tensors = self.store.load_partial(record.id, names)
+            except ReproError as exc:
+                logger.warning(
+                    "skipping damaged checkpoint %s (step %d): %s",
+                    record.id,
+                    record.step,
+                    exc,
+                )
+                skipped.append((record.id, str(exc)))
+                continue
+            return record, tensors, skipped
+        return None, None, skipped
+
+
+def warm_start_trainer(
+    trainer, store: CheckpointStore, required: bool = False
+) -> Optional[CheckpointRecord]:
+    """Seed ``trainer`` with parameters from the newest valid checkpoint.
+
+    The planner fetches only the ``params`` tensor (ranged reads where the
+    backend supports them) — the cheap warm start for architecture-search
+    and cross-validation sweeps.  Returns the record used, or ``None`` when
+    nothing restorable exists (raising instead when ``required``).
+    """
+    record, tensors, skipped = RecoveryManager(store).latest_valid_tensors(
+        WARM_START_TENSORS
+    )
+    if tensors is None:
+        if required:
+            raise CheckpointNotFoundError(
+                "no restorable checkpoint in store"
+                + (f"; skipped: {skipped}" if skipped else "")
+            )
+        return None
+    trainer.warm_start(np.asarray(tensors["params"]))
+    return record
 
 
 def resume_trainer(

@@ -1,0 +1,558 @@
+"""Unified restore pipeline: plan → fetch → verify → assemble.
+
+Every restore in the system — full exact resume, tensor-selective partial
+restore, warm start, fleet reincarnation, CLI ``qckpt restore`` — runs
+through the same three stages:
+
+1. a :class:`RestoreSource` (one per checkpoint format) turns one stored
+   checkpoint into a :class:`RestorePlan`: the *minimal* set of byte ranges
+   or chunk objects that must be transferred to materialize the requested
+   tensor subset, plus the integrity evidence each block must satisfy,
+2. a :class:`RestoreExecutor` fetches the plan's blocks — ranged reads where
+   the backend supports them, whole-object reads where it does not or where
+   whole-file integrity is wanted, in parallel when the plan has independent
+   blocks — and verifies every transferred byte (CRC32, content address, or
+   whole-object SHA-256),
+3. verified raw blocks are reassembled into tensors
+   (:func:`~repro.core.serialize.tensor_from_bytes` + transform decode).
+
+Two sources exist: :class:`QckptSource` for the monolithic QCKPT container
+(`core.serialize` / `core.store`) and
+:class:`~repro.service.chunkstore.ChunkManifestSource` for the
+content-addressed chunk format.  Callers —
+:class:`~repro.core.store.CheckpointStore`,
+:class:`~repro.service.chunkstore.ChunkStore`,
+:class:`~repro.core.recovery.RecoveryManager`, the trainer, the fleet
+harness, and the CLI — never touch format bytes directly.
+
+Failure contract: a restore either returns tensors bitwise-identical to what
+was saved or raises :class:`~repro.errors.IntegrityError` /
+:class:`~repro.errors.StorageError`.  It never returns corrupt tensors —
+every block is verified against evidence recorded at save time before any
+byte of it reaches an array.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.codecs import get_codec, get_transform
+from repro.core.integrity import SHA256_NBYTES, sha256_hex
+from repro.core.serialize import (
+    decode_stored_chunk,
+    read_header_ranged,
+    tensor_from_bytes,
+)
+from repro.errors import (
+    ConfigError,
+    IntegrityError,
+    SerializationError,
+)
+
+#: The tensor subset a parameters-only warm start needs: enough to seed a new
+#: training run (architecture search, cross-validation) without transferring
+#: optimizer slots, RNG streams, or the warm-start statevector cache.
+WARM_START_TENSORS: Tuple[str, ...] = ("params",)
+
+CONTENT_ADDRESS_PREFIX = "ch-"
+_CONTENT_ADDRESS_CHARS = 32  # 128 bits of SHA-256: collision-safe at fleet scale
+
+
+def content_address(raw: bytes, codec_name: str) -> str:
+    """Content address of one raw block under one codec.
+
+    The codec is part of the identity: the same raw content stored under two
+    codecs is two different objects.  This is the canonical address format of
+    the service chunk store; it lives here so the restore executor can verify
+    fetched chunks without importing the service layer.
+    """
+    digest = sha256_hex(codec_name.encode("utf-8") + b"\x00" + raw)
+    return CONTENT_ADDRESS_PREFIX + digest[:_CONTENT_ADDRESS_CHARS]
+
+
+# ---------------------------------------------------------------------------
+# Plan data model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One verifiable unit of stored bytes belonging to one tensor.
+
+    ``start`` is a byte offset inside ``object_name`` (0 for chunk objects,
+    which are fetched whole).  Exactly one kind of evidence is set: ``crc32``
+    checks the *stored* (encoded) bytes, ``chunk_address`` checks the decoded
+    raw bytes against their content address.
+    """
+
+    tensor: str
+    seq: int
+    object_name: str
+    start: int
+    stored_nbytes: int
+    raw_nbytes: int
+    crc32: Optional[int] = None
+    chunk_address: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TensorPlan:
+    """Decode recipe for one requested tensor."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    transform: str
+    transform_meta: Dict
+    blocks: Tuple[BlockSpec, ...]
+
+    @property
+    def stored_nbytes(self) -> int:
+        return sum(block.stored_nbytes for block in self.blocks)
+
+
+MODE_RANGED = "ranged"
+MODE_WHOLE = "whole"
+
+
+@dataclass(frozen=True)
+class ObjectPlan:
+    """How one backend object participates in a plan.
+
+    ``whole`` objects are read in one piece (and, when ``sha256`` is set,
+    verified end to end before any block is sliced out); ``ranged`` objects
+    contribute only the byte ranges their blocks name.
+    """
+
+    name: str
+    mode: str
+    sha256: Optional[str] = None
+    nbytes: Optional[int] = None
+
+
+@dataclass
+class RestorePlan:
+    """Minimal fetch set for one checkpoint restore.
+
+    ``requested`` is ``None`` for a full restore; otherwise the tensor names
+    asked for.  ``fetch_bytes`` is what the executor will transfer;
+    ``total_stored_bytes`` is what a *full* restore of this checkpoint
+    would transfer — their ratio is what partial restore saves.
+    """
+
+    kind: str  # "qckpt" | "chunks"
+    meta: Dict
+    codec: str
+    tensors: Dict[str, TensorPlan]
+    objects: List[ObjectPlan]
+    requested: Optional[Tuple[str, ...]]
+    total_stored_bytes: int = 0
+
+    @property
+    def fetch_bytes(self) -> int:
+        """Bytes this plan transfers (ranged blocks + whole objects)."""
+        total = 0
+        whole = {o.name: o for o in self.objects if o.mode == MODE_WHOLE}
+        counted: set = set()
+        for plan in self.tensors.values():
+            for block in plan.blocks:
+                if block.object_name in whole:
+                    if block.object_name not in counted:
+                        counted.add(block.object_name)
+                        obj = whole[block.object_name]
+                        total += (
+                            obj.nbytes
+                            if obj.nbytes is not None
+                            else block.stored_nbytes
+                        )
+                else:
+                    total += block.stored_nbytes
+        return total
+
+    @property
+    def n_blocks(self) -> int:
+        return sum(len(plan.blocks) for plan in self.tensors.values())
+
+
+# ---------------------------------------------------------------------------
+# Source contract
+# ---------------------------------------------------------------------------
+
+
+class RestoreSource(ABC):
+    """One stored checkpoint, queryable for plans and raw bytes.
+
+    Implementations exist per format: :class:`QckptSource` for the monolithic
+    container, ``ChunkManifestSource`` (service layer) for the chunk store.
+    A source is cheap to construct and short-lived — plan, execute, discard.
+    """
+
+    kind: str = "abstract"
+
+    @abstractmethod
+    def plan(
+        self,
+        names: Optional[Sequence[str]] = None,
+        require_all: bool = True,
+    ) -> RestorePlan:
+        """Compute the minimal fetch set for ``names`` (``None`` = all).
+
+        With ``require_all`` (default) a requested name absent from the
+        checkpoint raises :class:`~repro.errors.SerializationError`; without
+        it the name is silently skipped (delta chains store a tensor only in
+        the records where it changed).
+        """
+
+    @abstractmethod
+    def read_object(self, name: str) -> bytes:
+        """Whole content of one backend object in the plan."""
+
+    @abstractmethod
+    def read_range(self, name: str, start: int, length: int) -> bytes:
+        """Bytes ``[start, start+length)`` of one backend object."""
+
+    @property
+    def supports_ranged(self) -> bool:
+        """Whether ranged reads transfer less than whole objects here."""
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Executor
+# ---------------------------------------------------------------------------
+
+
+class RestoreExecutor:
+    """Fetches a plan's blocks, verifies them, and assembles tensors.
+
+    ``max_workers`` bounds the parallel ranged-read fan-out.  Independent
+    fetch units (distinct chunk objects, distinct byte ranges) run
+    concurrently — backend reads release the GIL for files and sleep for
+    simulated remotes, so restore latency approaches the slowest single
+    fetch rather than the sum.  Verification and decode run on the fetching
+    thread; assembly order is deterministic regardless of completion order.
+    """
+
+    def __init__(self, max_workers: int = 4):
+        if max_workers < 1:
+            raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers)
+        # One persistent pool per executor, created on first parallel fetch:
+        # damage-tolerant walks run one restore per candidate checkpoint,
+        # and spawning/joining threads per fetch would dominate small plans.
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # -- fetch units ------------------------------------------------------------
+
+    def run(
+        self,
+        source: RestoreSource,
+        plan: RestorePlan,
+        verify: bool = True,
+    ) -> Tuple[Dict, Dict[str, np.ndarray]]:
+        """Execute ``plan`` against ``source``; returns ``(meta, tensors)``."""
+        codec_obj = get_codec(plan.codec)
+        whole = {o.name: o for o in plan.objects if o.mode == MODE_WHOLE}
+        needed_whole: List[ObjectPlan] = []
+        seen: set = set()
+        ranged_blocks: List[BlockSpec] = []
+        for tensor_plan in plan.tensors.values():
+            for block in tensor_plan.blocks:
+                if block.object_name in whole:
+                    if block.object_name not in seen:
+                        seen.add(block.object_name)
+                        needed_whole.append(whole[block.object_name])
+                else:
+                    ranged_blocks.append(block)
+
+        buffers = self._fetch_whole_objects(source, needed_whole, verify)
+        ranged_bytes = self._fetch_ranged_blocks(source, ranged_blocks)
+
+        tensors: Dict[str, np.ndarray] = {}
+        for name, tensor_plan in plan.tensors.items():
+            raws: List[bytes] = []
+            for block in tensor_plan.blocks:
+                if block.object_name in buffers:
+                    data = buffers[block.object_name]
+                    stored = data[block.start : block.start + block.stored_nbytes]
+                else:
+                    stored = ranged_bytes[id(block)]
+                raws.append(
+                    self._verified_raw(block, stored, codec_obj, verify)
+                )
+            raw = raws[0] if len(raws) == 1 else b"".join(raws)
+            array = tensor_from_bytes(raw, tensor_plan.dtype, tensor_plan.shape)
+            transform = get_transform(tensor_plan.transform)
+            tensors[name] = transform.decode(array, tensor_plan.transform_meta)
+        return plan.meta, tensors
+
+    def _fetch_whole_objects(
+        self,
+        source: RestoreSource,
+        objects: List[ObjectPlan],
+        verify: bool,
+    ) -> Dict[str, bytes]:
+        def fetch(obj: ObjectPlan) -> Tuple[str, bytes]:
+            data = source.read_object(obj.name)
+            if verify and obj.sha256 is not None:
+                actual = sha256_hex(data)
+                if actual != obj.sha256:
+                    raise IntegrityError(
+                        f"object {obj.name!r}: expected SHA-256 "
+                        f"{obj.sha256[:16]}..., got {actual[:16]}..."
+                    )
+            return obj.name, data
+
+        return dict(self._map(fetch, objects))
+
+    def _fetch_ranged_blocks(
+        self, source: RestoreSource, blocks: List[BlockSpec]
+    ) -> Dict[int, bytes]:
+        def fetch(block: BlockSpec) -> Tuple[int, bytes]:
+            return id(block), source.read_range(
+                block.object_name, block.start, block.stored_nbytes
+            )
+
+        return dict(self._map(fetch, blocks))
+
+    def _map(self, fn: Callable, items: List) -> List:
+        if len(items) <= 1 or self.max_workers == 1:
+            return [fn(item) for item in items]
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="qckpt-restore",
+                )
+            pool = self._pool
+        return list(pool.map(fn, items))
+
+    def close(self) -> None:
+        """Release the fetch threads (idempotent; pool rebuilds on use)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+
+    def __del__(self):  # release threads when the owning store is dropped
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter teardown
+            pass
+
+    @staticmethod
+    def _verified_raw(
+        block: BlockSpec, stored: bytes, codec_obj, verify: bool
+    ) -> bytes:
+        """Stored bytes → verified raw bytes for one block."""
+        if len(stored) != block.stored_nbytes:
+            raise IntegrityError(
+                f"block {block.seq} of tensor {block.tensor!r} is truncated: "
+                f"got {len(stored)} of {block.stored_nbytes} bytes"
+            )
+        try:
+            raw = decode_stored_chunk(
+                stored,
+                block.crc32,
+                block.raw_nbytes,
+                codec_obj,
+                label=f"tensor {block.tensor!r} block {block.seq}",
+                verify=verify,
+            )
+        except SerializationError as exc:
+            # A block that will not decode is damaged data, not a caller
+            # bug: content-addressed blocks carry no CRC, so a corrupted
+            # codec frame surfaces here first.
+            raise IntegrityError(
+                f"tensor {block.tensor!r} block {block.seq} failed to "
+                f"decode: {exc}"
+            ) from exc
+        if verify and block.chunk_address is not None:
+            actual = content_address(raw, codec_obj.name)
+            if actual != block.chunk_address:
+                raise IntegrityError(
+                    f"chunk {block.chunk_address} content does not match "
+                    "its address"
+                )
+        return raw
+
+
+_DEFAULT_EXECUTOR = RestoreExecutor()
+
+
+def restore_tensors(
+    source: RestoreSource,
+    names: Optional[Sequence[str]] = None,
+    require_all: bool = True,
+    executor: Optional[RestoreExecutor] = None,
+    verify: bool = True,
+) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """Plan + execute in one call; returns ``(meta, tensors)``."""
+    executor = executor or _DEFAULT_EXECUTOR
+    plan = source.plan(names, require_all=require_all)
+    return executor.run(source, plan, verify=verify)
+
+
+# ---------------------------------------------------------------------------
+# Monolithic QCKPT source
+# ---------------------------------------------------------------------------
+
+
+class QckptSource(RestoreSource):
+    """Restore source over one QCKPT container object.
+
+    Planning parses the container's JSON header through ranged reads; block
+    specs are the header's tensor directory entries (one stored chunk per
+    tensor, CRC32-verified).  A full restore against a known whole-file
+    SHA-256 plans a single whole-object fetch instead — same transfer as the
+    legacy path, plus its end-to-end integrity check.  On backends without
+    ranged-read support the source reads the object once and serves every
+    "ranged" read from that buffer, so planning never multiplies transfers.
+    """
+
+    kind = "qckpt"
+
+    def __init__(
+        self,
+        backend,
+        object_name: str,
+        expected_sha256: Optional[str] = None,
+        data: Optional[bytes] = None,
+    ):
+        self.backend = backend
+        self.object_name = object_name
+        self.expected_sha256 = expected_sha256
+        self._buffer: Optional[bytes] = data
+        self._verified = False
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_bytes(cls, data: bytes, name: str = "<bytes>") -> "QckptSource":
+        """Source over an already-loaded container (CLI standalone files)."""
+        return cls(None, name, data=data)
+
+    @property
+    def supports_ranged(self) -> bool:
+        if self._buffer is not None:
+            return True  # slicing a resident buffer is free
+        return bool(getattr(self.backend, "supports_ranged_reads", False))
+
+    def _whole(self) -> bytes:
+        with self._lock:
+            if self._buffer is None:
+                self._buffer = self.backend.read(self.object_name)
+            return self._buffer
+
+    def _whole_verified(self) -> bytes:
+        """Whole object, checked against the expected SHA-256 exactly once.
+
+        Matches the legacy full-restore ordering: end-to-end integrity is
+        established *before* any byte of the object is interpreted.
+        """
+        data = self._whole()
+        with self._lock:
+            if self.expected_sha256 is not None and not self._verified:
+                actual = sha256_hex(data)
+                if actual != self.expected_sha256:
+                    raise IntegrityError(
+                        f"checkpoint object {self.object_name!r}: expected "
+                        f"SHA-256 {self.expected_sha256[:16]}..., "
+                        f"got {actual[:16]}..."
+                    )
+                self._verified = True
+        return data
+
+    def read_object(self, name: str) -> bytes:
+        return self._whole_verified()
+
+    def read_range(self, name: str, start: int, length: int) -> bytes:
+        if self._buffer is not None or not self.supports_ranged:
+            return self._whole()[start : start + length]
+        return self.backend.read_range(name, start, length)
+
+    def plan(
+        self,
+        names: Optional[Sequence[str]] = None,
+        require_all: bool = True,
+        prefetch: bool = True,
+    ) -> RestorePlan:
+        # A full restore is one whole-object read (verified end to end when
+        # the caller knows the object's SHA-256); so is any restore against a
+        # backend where ranged reads cannot transfer less.  With ``prefetch``
+        # (the load path) that read happens now, so integrity is established
+        # *before* header parsing — the legacy ordering — and the executor
+        # reuses the buffer.  ``prefetch=False`` (plan introspection, e.g.
+        # ``qckpt restore --plan``) keeps planning to header-sized reads.
+        wanted = None if names is None else tuple(dict.fromkeys(names))
+        whole = wanted is None or not self.supports_ranged
+        if whole and prefetch:
+            self._whole_verified()
+        header, payload_offset = read_header_ranged(
+            lambda start, length: self.read_range(
+                self.object_name, start, length
+            )
+        )
+        entries = header["tensors"]
+        payload_stored = sum(int(e["stored_nbytes"]) for e in entries)
+        # What a full restore transfers: the whole container
+        # (magic + header + payload + SHA-256 footer).
+        total_stored = (
+            len(self._buffer)
+            if self._buffer is not None
+            else payload_offset + payload_stored + SHA256_NBYTES
+        )
+        tensors: Dict[str, TensorPlan] = {}
+        found: set = set()
+        for entry in entries:
+            name = entry["name"]
+            if wanted is not None and name not in wanted:
+                continue
+            found.add(name)
+            block = BlockSpec(
+                tensor=name,
+                seq=0,
+                object_name=self.object_name,
+                start=payload_offset + int(entry["offset"]),
+                stored_nbytes=int(entry["stored_nbytes"]),
+                raw_nbytes=int(entry["raw_nbytes"]),
+                crc32=int(entry["crc32"]),
+            )
+            tensors[name] = TensorPlan(
+                name=name,
+                dtype=entry["dtype"],
+                shape=tuple(int(d) for d in entry["shape"]),
+                transform=entry.get("transform", "identity"),
+                transform_meta=entry.get("transform_meta", {}),
+                blocks=(block,),
+            )
+        if require_all and wanted is not None and found != set(wanted):
+            missing = sorted(set(wanted) - found)
+            raise SerializationError(
+                f"tensors not in this checkpoint: {missing}"
+            )
+        objects = [
+            ObjectPlan(
+                name=self.object_name,
+                mode=MODE_WHOLE if whole else MODE_RANGED,
+                # The source verifies whole reads itself (before header
+                # parse); no second hash at the executor.
+                sha256=None,
+                nbytes=total_stored,
+            )
+        ]
+        return RestorePlan(
+            kind=self.kind,
+            meta=header["meta"],
+            codec=header["codec"],
+            tensors=tensors,
+            objects=objects,
+            requested=wanted,
+            total_stored_bytes=total_stored,
+        )

@@ -219,6 +219,32 @@ def unpack_payload(
     return header["meta"], tensors
 
 
+def decode_stored_chunk(
+    stored: bytes,
+    crc32: Optional[int],
+    raw_nbytes: int,
+    codec_obj,
+    label: str,
+    verify: bool = True,
+) -> bytes:
+    """One stored (encoded) chunk → verified raw bytes.
+
+    The shared decode step of every read path: CRC32 over the stored bytes
+    (when recorded and ``verify``), codec decode, decoded-length check.
+    Both the in-place unpackers here and the restore pipeline's block
+    executor use it, so integrity rules cannot drift between paths.
+    """
+    if verify and crc32 is not None:
+        verify_crc32(stored, int(crc32), label=label)
+    raw = codec_obj.decode(stored)
+    if len(raw) != int(raw_nbytes):
+        raise IntegrityError(
+            f"{label} decoded to {len(raw)} bytes, "
+            f"directory says {raw_nbytes}"
+        )
+    return raw
+
+
 def _decode_directory_entry(
     entry: Dict, stored: bytes, codec_obj, verify: bool
 ) -> np.ndarray:
@@ -226,14 +252,14 @@ def _decode_directory_entry(
     name = entry["name"]
     if len(stored) != int(entry["stored_nbytes"]):
         raise IntegrityError(f"tensor {name!r} chunk is truncated")
-    if verify:
-        verify_crc32(stored, int(entry["crc32"]), label=f"tensor {name!r}")
-    raw = codec_obj.decode(stored)
-    if len(raw) != int(entry["raw_nbytes"]):
-        raise IntegrityError(
-            f"tensor {name!r} decoded to {len(raw)} bytes, "
-            f"directory says {entry['raw_nbytes']}"
-        )
+    raw = decode_stored_chunk(
+        stored,
+        int(entry["crc32"]),
+        int(entry["raw_nbytes"]),
+        codec_obj,
+        label=f"tensor {name!r}",
+        verify=verify,
+    )
     dtype_token = entry["dtype"]
     if dtype_token not in _ALLOWED_DTYPES:
         raise IntegrityError(f"tensor {name!r} has illegal dtype {dtype_token!r}")

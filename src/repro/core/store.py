@@ -23,7 +23,13 @@ import numpy as np
 
 from repro.core.delta import apply_delta, encode_delta
 from repro.core.integrity import sha256_hex
-from repro.core.serialize import pack_payload, unpack_partial, unpack_payload
+from repro.core.restore import (
+    QckptSource,
+    RestoreExecutor,
+    RestorePlan,
+    restore_tensors,
+)
+from repro.core.serialize import pack_payload
 from repro.core.snapshot import TrainingSnapshot
 from repro.errors import (
     CheckpointNotFoundError,
@@ -112,14 +118,23 @@ class RetentionPolicy:
 
 
 class CheckpointStore:
-    """Durable, manifest-tracked checkpoint collection on a backend."""
+    """Durable, manifest-tracked checkpoint collection on a backend.
 
-    def __init__(self, backend: StorageBackend):
+    Every read — full load, partial load, recovery probe — runs through the
+    unified restore pipeline (:mod:`repro.core.restore`): the store builds a
+    :class:`~repro.core.restore.QckptSource` per stored object and lets the
+    planner decide between one SHA-verified whole-object fetch (full
+    restores, non-ranged backends) and CRC-verified ranged fetches (tensor
+    subsets).  ``restore_workers`` bounds the executor's fetch parallelism.
+    """
+
+    def __init__(self, backend: StorageBackend, restore_workers: int = 4):
         self.backend = backend
         self._lock = threading.RLock()
         self._records: Dict[str, CheckpointRecord] = {}
         self._order: List[str] = []
         self._next_seq = 1
+        self._executor = RestoreExecutor(max_workers=restore_workers)
         self._load_manifest()
 
     # -- manifest ---------------------------------------------------------------
@@ -271,15 +286,9 @@ class CheckpointStore:
                 key=lambda r: (r.step, r.created, r.id),
             )
 
-    def _read_verified(self, record: CheckpointRecord) -> bytes:
-        data = self.backend.read(record.object_name)
-        actual = sha256_hex(data)
-        if actual != record.sha256:
-            raise IntegrityError(
-                f"checkpoint {record.id}: manifest SHA-256 {record.sha256[:16]}... "
-                f"does not match object {actual[:16]}..."
-            )
-        return data
+    def restore_source(self, checkpoint_id: str) -> QckptSource:
+        """Pipeline source over one stored checkpoint object."""
+        return self._source_for(self.get(checkpoint_id))
 
     def _resolve_chain(self, checkpoint_id: str) -> List[CheckpointRecord]:
         """Records from ``checkpoint_id`` back to its full base (validated)."""
@@ -302,27 +311,42 @@ class CheckpointStore:
             )
         return chain
 
+    def _source_for(self, record: CheckpointRecord) -> QckptSource:
+        return QckptSource(
+            self.backend, record.object_name, expected_sha256=record.sha256
+        )
+
+    def restore_plan(
+        self, checkpoint_id: str, names: Optional[Sequence[str]] = None
+    ) -> List[RestorePlan]:
+        """Fetch plans for a restore, oldest chain link first (header-sized
+        I/O only, no payload transfer).  CLI/bench introspection: what would
+        this restore fetch?"""
+        chain = self._resolve_chain(checkpoint_id)
+        wanted = None if names is None else tuple(dict.fromkeys(names))
+        return [
+            self._source_for(record).plan(
+                wanted, require_all=False, prefetch=False
+            )
+            for record in reversed(chain)
+        ]
+
     def load_tensors(
         self, checkpoint_id: str
     ) -> Tuple[Dict, Dict[str, np.ndarray]]:
         """Resolve ``checkpoint_id`` (through its delta chain) to
-        ``(snapshot_meta, tensors)``."""
+        ``(snapshot_meta, tensors)`` via the restore pipeline."""
         chain = self._resolve_chain(checkpoint_id)
-        meta, tensors = unpack_payload(self._read_verified(chain[-1]))
+        meta, tensors = restore_tensors(
+            self._source_for(chain[-1]), executor=self._executor
+        )
         for record in reversed(chain[:-1]):
-            delta_meta, delta_tensors = unpack_payload(self._read_verified(record))
+            delta_meta, delta_tensors = restore_tensors(
+                self._source_for(record), executor=self._executor
+            )
             tensors = apply_delta(tensors, delta_tensors, delta_meta["delta"])
             meta = delta_meta
         return meta["snapshot"], tensors
-
-    def _ranged_reader(self, record: CheckpointRecord):
-        """(start, length) -> bytes reader over one stored object."""
-        object_name = record.object_name
-
-        def reader(start: int, length: int) -> bytes:
-            return self.backend.read_range(object_name, start, length)
-
-        return reader
 
     def load_partial(
         self, checkpoint_id: str, names: Sequence[str]
@@ -334,20 +358,26 @@ class CheckpointStore:
         Delta chains are resolved per tensor (XOR/append entries pull the
         tensor's base; untouched records are skipped).
 
-        Integrity note: ranged reads cannot check the whole-file SHA-256;
-        every transferred chunk is still CRC32-verified.  Returns
-        ``(snapshot_meta, {name: array})``.
+        Integrity note: the planner's ranged fetches cannot check the
+        whole-file SHA-256; every transferred chunk is still CRC32-verified.
+        Returns ``(snapshot_meta, {name: array})``.
         """
         wanted = tuple(dict.fromkeys(names))
         if not wanted:
             raise ConfigError("load_partial needs at least one tensor name")
         chain = self._resolve_chain(checkpoint_id)
-        meta, tensors = unpack_partial(
-            self._ranged_reader(chain[-1]), wanted, require_all=False
+        meta, tensors = restore_tensors(
+            self._source_for(chain[-1]),
+            wanted,
+            require_all=False,
+            executor=self._executor,
         )
         for record in reversed(chain[:-1]):
-            delta_meta, delta_tensors = unpack_partial(
-                self._ranged_reader(record), wanted, require_all=False
+            delta_meta, delta_tensors = restore_tensors(
+                self._source_for(record),
+                wanted,
+                require_all=False,
+                executor=self._executor,
             )
             full_delta = delta_meta["delta"]
             sub_meta = {

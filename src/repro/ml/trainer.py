@@ -182,6 +182,32 @@ class Trainer:
             extra=extra,
         )
 
+    def warm_start(self, params: np.ndarray) -> None:
+        """Adopt parameters only; everything else stays a fresh run.
+
+        The cheap half of the restore planner's split: architecture-search
+        and cross-validation workloads seed a *new* training run from a
+        previous run's parameters without transferring (or re-applying)
+        optimizer slots, RNG streams, sampler position, or the warm-start
+        statevector cache.  Unlike :meth:`restore` this resets the run
+        counters (step count, loss history, wall time) — a warm-started run
+        is a new run, not a resumed one — and performs no fingerprint check
+        beyond the parameter shape (donor and recipient architectures need
+        only agree on the parameter vector).  Optimizer, RNG, and sampler
+        state are left as constructed: pass a freshly built trainer for a
+        clean run.
+        """
+        params = np.asarray(params, dtype=np.float64)
+        if params.shape != (self.model.n_params,):
+            raise ConfigError(
+                f"warm-start params shape {params.shape} does not match "
+                f"model ({self.model.n_params} parameters)"
+            )
+        self.params = params.copy()
+        self.step_count = 0
+        self.loss_history = []
+        self.wall_time = 0.0
+
     def restore(self, snapshot: TrainingSnapshot) -> None:
         """Restore a snapshot, refusing incompatible model structures."""
         snapshot.check_compatible(self.model.fingerprint())

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import ObservableError
 from repro.quantum import gates as _gates
+from repro.quantum import kernels as _kernels
 from repro.quantum.observables import Hamiltonian, PauliString
 from repro.quantum.statevector import apply_gate, n_qubits_of
 
@@ -122,6 +123,76 @@ def estimate_expectation(
             parities = _parity_values(indices, term.wires, n)
             total += term.coeff * float(parities.mean())
     return total
+
+
+def estimate_expectation_batch(
+    states: np.ndarray,
+    observable: "Hamiltonian | PauliString",
+    shots: int,
+    rng: np.random.Generator,
+    columns: bool = False,
+) -> np.ndarray:
+    """Shot-based estimates for a batch of states in one vectorized pass.
+
+    The batched analog of :func:`estimate_expectation`, built for the shift
+    rule: all ``B`` shifted statevectors of a gradient share their basis
+    rotations and Born-probability computation, so per measurement group the
+    rotation runs as *one* batched kernel sweep over the amplitude-major
+    ``(2**n, B)`` array and the probabilities as one vectorized
+    ``|amplitudes|^2`` — only the ``rng`` draws stay per-state (sampling is
+    inherently sequential on a shared generator).
+
+    ``states`` is ``(B, 2**n)`` row-major, or amplitude-major ``(2**n, B)``
+    with ``columns=True`` (what :func:`repro.quantum.kernels.run_shifted_batch`
+    emits natively).  Draws happen in state-major order — state 0's groups,
+    then state 1's — matching a sequential per-state estimate loop, so the
+    consumed random stream does not depend on the batch split.  Returns a
+    ``(B,)`` float64 array.
+    """
+    if shots < 1:
+        raise ObservableError(f"shots must be >= 1, got {shots}")
+    if isinstance(observable, PauliString):
+        observable = Hamiltonian([observable])
+    states = np.asarray(states)
+    if states.ndim != 2:
+        raise ObservableError(
+            f"states must be a 2-d batch, got shape {states.shape}"
+        )
+    cols = states if columns else states.T
+    dim, batch = cols.shape
+    n = int(round(np.log2(dim)))
+    if 2**n != dim:
+        raise ObservableError(
+            f"state dimension {dim} is not a power of two"
+        )
+    exact = 0.0
+    measured: List[Tuple[np.ndarray, List[PauliString]]] = []
+    for group in observable.qubitwise_commuting_groups():
+        exact += sum(term.coeff for term in group if term.is_identity)
+        sampled = [term for term in group if not term.is_identity]
+        if not sampled:
+            continue
+        basis = _measurement_basis(sampled)
+        # order="C": the in-place kernels need a contiguous amplitude-major
+        # buffer (a transposed row-major batch arrives Fortran-ordered).
+        rotated = np.array(cols, dtype=np.complex128, order="C", copy=True)
+        for wire, letter in basis.items():
+            rotation = _BASIS_ROTATIONS[letter]
+            if rotation is not None:
+                _kernels.apply_matrix_inplace(
+                    rotated, rotation, (wire,), n, tail=batch
+                )
+        probs = np.abs(rotated) ** 2
+        probs /= probs.sum(axis=0)
+        measured.append((probs, sampled))
+    totals = np.full(batch, exact, dtype=np.float64)
+    for b in range(batch):
+        for probs, sampled in measured:
+            indices = rng.choice(dim, size=shots, p=probs[:, b])
+            for term in sampled:
+                parities = _parity_values(indices, term.wires, n)
+                totals[b] += term.coeff * float(parities.mean())
+    return totals
 
 
 def estimate_variance_bound(

@@ -18,6 +18,7 @@ that service layer:
 
 from repro.service.chunkstore import (
     ChunkCheckpointRecord,
+    ChunkManifestSource,
     ChunkStore,
     ChunkStoreStats,
     chunk_name,
@@ -36,6 +37,7 @@ __all__ = [
     "ChunkStore",
     "ChunkStoreStats",
     "ChunkCheckpointRecord",
+    "ChunkManifestSource",
     "chunk_name",
     "WriterPool",
     "PoolChannel",

@@ -38,20 +38,31 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.codecs import get_codec
-from repro.core.integrity import sha256_hex
-from repro.core.serialize import tensor_from_bytes, tensor_to_bytes
+from repro.core.restore import (
+    CONTENT_ADDRESS_PREFIX,
+    BlockSpec,
+    MODE_WHOLE,
+    ObjectPlan,
+    RestoreExecutor,
+    RestorePlan,
+    RestoreSource,
+    TensorPlan,
+    content_address,
+)
+from repro.core.serialize import tensor_to_bytes
 from repro.core.snapshot import TrainingSnapshot
 from repro.errors import (
     CheckpointNotFoundError,
     ConfigError,
     IntegrityError,
     ReproError,
+    SerializationError,
+    StorageError,
 )
 from repro.storage.backend import StorageBackend, validate_name
 
-CHUNK_PREFIX = "ch-"
+CHUNK_PREFIX = CONTENT_ADDRESS_PREFIX
 MANIFEST_VERSION = 1
-_HASH_CHARS = 32  # 128 bits of SHA-256: collision-safe at fleet scale
 
 
 def chunk_name(raw: bytes, codec_name: str) -> str:
@@ -60,10 +71,11 @@ def chunk_name(raw: bytes, codec_name: str) -> str:
     The codec is part of the identity: the same raw content stored under two
     codecs is two different objects, so stores reopened with a different
     codec neither overwrite old-codec chunks nor dedup against them — every
-    manifest's ``codec`` field describes all of its blocks.
+    manifest's ``codec`` field describes all of its blocks.  (The address
+    format itself is owned by :func:`repro.core.restore.content_address`, so
+    the restore executor can verify chunks without importing this module.)
     """
-    digest = sha256_hex(codec_name.encode("utf-8") + b"\x00" + raw)
-    return CHUNK_PREFIX + digest[:_HASH_CHARS]
+    return content_address(raw, codec_name)
 
 
 @dataclass
@@ -87,6 +99,112 @@ class ChunkStoreStats:
         if self.physical_bytes == 0:
             return 1.0
         return self.logical_bytes / self.physical_bytes
+
+
+class ChunkManifestSource(RestoreSource):
+    """Restore source over one chunk-store checkpoint manifest.
+
+    Plans chunk-object fetches: each block of a requested tensor is one
+    content-addressed object, read whole (chunk objects *are* blocks) and
+    verified against its address by the executor.  Chunks shared by several
+    tensors are fetched once.  Reads go through :meth:`StorageBackend.read`,
+    so a :class:`~repro.storage.tiered.TieredBackend` underneath promotes
+    every chunk a restore touches — repeated restores of hot jobs run at
+    fast-tier speed.
+    """
+
+    kind = "chunks"
+
+    def __init__(self, backend: StorageBackend, object_name: str, manifest: Dict):
+        self.backend = backend
+        self.object_name = object_name
+        self.manifest = manifest
+
+    def read_object(self, name: str) -> bytes:
+        try:
+            return self.backend.read(name)
+        except StorageError as exc:
+            if name.startswith(CHUNK_PREFIX):
+                # The classic damage mode: a gc raced this restore, or a
+                # shard was wiped.  Surface it as integrity damage naming
+                # the checkpoint, not a bare missing-object error.
+                raise IntegrityError(
+                    f"checkpoint {self.manifest.get('ckpt_id')!r} of job "
+                    f"{self.manifest.get('job')!r} references chunk {name} "
+                    f"which is missing from the store "
+                    f"(garbage-collected or lost): {exc}"
+                ) from exc
+            raise
+
+    def read_range(self, name: str, start: int, length: int) -> bytes:
+        return self.read_object(name)[start : start + length]
+
+    def plan(
+        self,
+        names: Optional[Sequence[str]] = None,
+        require_all: bool = True,
+    ) -> RestorePlan:
+        manifest = self.manifest
+        wanted = None if names is None else tuple(dict.fromkeys(names))
+        tensors: Dict[str, TensorPlan] = {}
+        objects: Dict[str, ObjectPlan] = {}
+        # What a full restore fetches: each *distinct* chunk once — blocks
+        # deduplicated within the checkpoint share one stored object.
+        total_stored = 0
+        stored_addresses: set = set()
+        found: set = set()
+        for entry in manifest["tensors"]:
+            blocks_meta = entry["blocks"]
+            for block in blocks_meta:
+                if block["chunk"] not in stored_addresses:
+                    stored_addresses.add(block["chunk"])
+                    total_stored += int(block["stored_nbytes"])
+            name = entry["name"]
+            if wanted is not None and name not in wanted:
+                continue
+            found.add(name)
+            blocks = []
+            for seq, block in enumerate(blocks_meta):
+                address = block["chunk"]
+                blocks.append(
+                    BlockSpec(
+                        tensor=name,
+                        seq=seq,
+                        object_name=address,
+                        start=0,
+                        stored_nbytes=int(block["stored_nbytes"]),
+                        raw_nbytes=int(block["raw_nbytes"]),
+                        chunk_address=address,
+                    )
+                )
+                if address not in objects:
+                    objects[address] = ObjectPlan(
+                        name=address,
+                        mode=MODE_WHOLE,
+                        nbytes=int(block["stored_nbytes"]),
+                    )
+            tensors[name] = TensorPlan(
+                name=name,
+                dtype=entry["dtype"],
+                shape=tuple(int(d) for d in entry["shape"]),
+                transform="identity",
+                transform_meta={},
+                blocks=tuple(blocks),
+            )
+        if require_all and wanted is not None and found != set(wanted):
+            missing = sorted(set(wanted) - found)
+            raise SerializationError(
+                f"tensors not in this checkpoint: {missing}"
+            )
+        return RestorePlan(
+            kind=self.kind,
+            meta=manifest["meta"],
+            codec=manifest["codec"],
+            tensors=tensors,
+            objects=list(objects.values()),
+            requested=wanted,
+            total_stored_bytes=total_stored,
+        )
 
 
 @dataclass(frozen=True)
@@ -119,12 +237,17 @@ class ChunkStore:
         backend: StorageBackend,
         codec: str = "zlib-6",
         block_bytes: int = 1 << 16,
+        restore_workers: int = 4,
+        tier_placement: bool = True,
     ):
         if block_bytes < 64:
             raise ConfigError(f"block_bytes must be >= 64, got {block_bytes}")
         self.backend = backend
         self.codec = get_codec(codec)
         self.block_bytes = int(block_bytes)
+        self.restore_workers = int(restore_workers)
+        self.tier_placement = bool(tier_placement)
+        self._executor = RestoreExecutor(max_workers=restore_workers)
         self.stats = ChunkStoreStats()
         self._lock = threading.RLock()
         # raw-hash name -> stored (compressed) size.  -1 marks a chunk another
@@ -136,6 +259,8 @@ class ChunkStore:
         # referenced, manifest not yet committed); gc treats them as live.
         self._inflight: Dict[str, int] = {}
         self._next_seq: Dict[str, int] = {}
+        # job id -> the manifest object currently pinned to its fast tier.
+        self._pinned_manifests: Dict[str, str] = {}
         self._adopt_existing()
 
     def _adopt_existing(self) -> None:
@@ -164,6 +289,88 @@ class ChunkStore:
                         self._known[block["chunk"]] = int(
                             block["stored_nbytes"]
                         )
+        # Re-establish hot placement: each job's newest manifest goes back
+        # onto the fast tier of whatever shard holds it.
+        for job_id in list(self._next_seq):
+            names = self.manifest_names(job_id)
+            if names:
+                self._pin_manifest(names[-1])
+
+    # -- tier-aware placement ---------------------------------------------------
+
+    def _tier_of(self, name: str):
+        """The tiered backend holding ``name``, if placement is enabled."""
+        if not self.tier_placement:
+            return None
+        return self.backend.tier_for(name)
+
+    def _pin_manifest(self, object_name: str) -> None:
+        """Keep a job's *newest* manifest fast-tier resident.
+
+        The newest manifest is what every restore, discovery and gc pass
+        reads first; pinning it means chunk churn cannot evict it.  Older
+        manifests of the job are unpinned as newer ones land (they stay
+        LRU-resident until evicted), so pinned bytes stay bounded at one
+        manifest per job per tier no matter how long the history grows.
+        """
+        tier = self._tier_of(object_name)
+        if tier is None:
+            return
+        job_id, _ = _parse_manifest_name(object_name)
+        try:
+            tier.pin(object_name)
+        except (StorageError, ReproError):
+            return  # placement is an optimization, never a save/load failure
+        if job_id is not None:
+            with self._lock:
+                previous = self._pinned_manifests.get(job_id)
+                self._pinned_manifests[job_id] = object_name
+            if previous is not None and previous != object_name:
+                previous_tier = self._tier_of(previous)
+                if previous_tier is not None:
+                    previous_tier.unpin(previous)
+
+    def rebalance_tiers(self, hot_per_job: int = 1) -> Dict[str, int]:
+        """Demote cold chunks, promote the hot set; returns move counts.
+
+        The *hot set* is every chunk referenced by the newest ``hot_per_job``
+        checkpoints of each job — what the next fleet-wide restore would
+        touch.  Fast-tier-resident chunks outside it are demoted (making
+        room), hot chunks are promoted while capacity allows.  Manifests
+        stay pinned throughout.  A no-op without a tiered backend.
+        """
+        if hot_per_job < 1:
+            raise ConfigError(f"hot_per_job must be >= 1, got {hot_per_job}")
+        hot: set = set()
+        for job_id in self.jobs():
+            for object_name in self.manifest_names(job_id)[-hot_per_job:]:
+                hot.update(self._manifest_references(object_name))
+        promoted = 0
+        demoted = 0
+        addresses = self.backend.list(CHUNK_PREFIX)
+        # Demote every cold chunk first so promotions land in freed space
+        # instead of evicting other hot chunks.
+        for address in addresses:
+            if address in hot:
+                continue
+            tier = self._tier_of(address)
+            if tier is None:
+                continue
+            try:
+                demoted += 1 if tier.demote(address) else 0
+            except (StorageError, ReproError):
+                continue  # placement is best-effort
+        for address in addresses:
+            if address not in hot:
+                continue
+            tier = self._tier_of(address)
+            if tier is None:
+                continue
+            try:
+                promoted += 1 if tier.promote(address) else 0
+            except (StorageError, ReproError):
+                continue
+        return {"promoted": promoted, "demoted": demoted}
 
     # -- saving -----------------------------------------------------------------
 
@@ -250,6 +457,7 @@ class ChunkStore:
                 "utf-8"
             )
             self.backend.write(object_name, manifest_bytes)
+            self._pin_manifest(object_name)
         except BaseException:
             # Roll back reservations that never published: concurrent
             # writers must not wait on (or dedup against) content whose
@@ -398,33 +606,11 @@ class ChunkStore:
             )
         return manifest
 
-    def _read_chunk(self, address: str, raw_nbytes: int, codec_obj) -> bytes:
-        """Read one block, decoding with *the manifest's* codec — a store
-        reopened under a different codec still reads every old checkpoint."""
-        stored = self.backend.read(address)
-        raw = codec_obj.decode(stored)
-        if len(raw) != raw_nbytes:
-            raise IntegrityError(
-                f"chunk {address} decoded to {len(raw)} bytes, "
-                f"manifest says {raw_nbytes}"
-            )
-        if chunk_name(raw, codec_obj.name) != address:
-            raise IntegrityError(
-                f"chunk {address} content does not match its address"
-            )
-        return raw
-
-    def load_snapshot(
+    def restore_source(
         self, job_id: str, ckpt_id: Optional[str] = None
-    ) -> TrainingSnapshot:
-        """Reassemble a snapshot (``ckpt_id=None`` selects the newest)."""
-        meta, tensors = self.load_tensors(job_id, ckpt_id)
-        return TrainingSnapshot.from_payload(meta, tensors)
-
-    def load_tensors(
-        self, job_id: str, ckpt_id: Optional[str] = None
-    ) -> Tuple[Dict, Dict[str, np.ndarray]]:
-        """Resolve one checkpoint to ``(snapshot_meta, tensors)``."""
+    ) -> ChunkManifestSource:
+        """Pipeline source over one committed checkpoint manifest
+        (``ckpt_id=None`` selects the newest)."""
         _validate_job_id(job_id)
         if ckpt_id is None:
             ckpt_id = self.latest(job_id)
@@ -438,19 +624,61 @@ class ChunkStore:
                 f"checkpoint {ckpt_id!r} of job {job_id!r} not found"
             )
         manifest = self._read_manifest(object_name)
-        codec_obj = get_codec(manifest["codec"])
-        tensors: Dict[str, np.ndarray] = {}
-        for entry in manifest["tensors"]:
-            raw = b"".join(
-                self._read_chunk(
-                    block["chunk"], int(block["raw_nbytes"]), codec_obj
-                )
-                for block in entry["blocks"]
-            )
-            tensors[entry["name"]] = tensor_from_bytes(
-                raw, entry["dtype"], tuple(entry["shape"])
-            )
-        return manifest["meta"], tensors
+        return ChunkManifestSource(self.backend, object_name, manifest)
+
+    def plan_restore(
+        self,
+        job_id: str,
+        ckpt_id: Optional[str] = None,
+        names: Optional[Sequence[str]] = None,
+    ) -> RestorePlan:
+        """Fetch plan for one restore: which chunks, how many bytes."""
+        return self.restore_source(job_id, ckpt_id).plan(
+            names, require_all=False
+        )
+
+    def load_snapshot(
+        self, job_id: str, ckpt_id: Optional[str] = None
+    ) -> TrainingSnapshot:
+        """Reassemble a snapshot (``ckpt_id=None`` selects the newest)."""
+        meta, tensors = self.load_tensors(job_id, ckpt_id)
+        return TrainingSnapshot.from_payload(meta, tensors)
+
+    def load_tensors(
+        self,
+        job_id: str,
+        ckpt_id: Optional[str] = None,
+        names: Optional[Sequence[str]] = None,
+    ) -> Tuple[Dict, Dict[str, np.ndarray]]:
+        """Resolve one checkpoint to ``(snapshot_meta, tensors)``.
+
+        ``names`` selects a tensor subset (the chunk-level partial restore:
+        only the blocks of the requested tensors are fetched).  Chunks are
+        fetched through the restore pipeline — in parallel, each verified
+        against its content address, decoded with *the manifest's* codec so
+        a store reopened under a different codec still reads every old
+        checkpoint.
+        """
+        source = self.restore_source(job_id, ckpt_id)
+        plan = source.plan(names, require_all=names is not None)
+        return self._executor.run(source, plan)
+
+    def load_partial(
+        self,
+        job_id: str,
+        names: Sequence[str],
+        ckpt_id: Optional[str] = None,
+    ) -> Tuple[Dict, Dict[str, np.ndarray]]:
+        """Restore only the named tensors, fetching only their chunks.
+
+        The fleet warm-start path: pulling the O(kB) ``params`` out of a
+        checkpoint whose statevector cache is orders of magnitude larger
+        costs only the parameter blocks plus the manifest.
+        """
+        wanted = tuple(dict.fromkeys(names))
+        if not wanted:
+            raise ConfigError("load_partial needs at least one tensor name")
+        return self.load_tensors(job_id, ckpt_id, names=wanted)
 
     def latest_valid(
         self, job_id: str
@@ -466,6 +694,33 @@ class ChunkStore:
             ckpt_id = f"ckpt-{seq:06d}"
             try:
                 return ckpt_id, self.load_snapshot(job_id, ckpt_id), skipped
+            except ReproError as exc:
+                skipped.append((ckpt_id, str(exc)))
+        return None, None, skipped
+
+    def latest_valid_partial(
+        self, job_id: str, names: Sequence[str]
+    ) -> Tuple[Optional[str], Optional[Dict], List[Tuple[str, str]]]:
+        """Newest checkpoint whose named tensors restore; skips damaged ones.
+
+        The warm-start analog of :meth:`latest_valid`: each candidate costs
+        only the requested tensors' chunk fetches (a damaged statevector
+        block cannot fail a parameters-only probe, and a missing parameter
+        chunk falls back to the previous checkpoint).  Returns
+        ``(ckpt_id, {name: array} or None, skipped)``.
+        """
+        wanted = tuple(dict.fromkeys(names))
+        if not wanted:
+            raise ConfigError(
+                "latest_valid_partial needs at least one tensor name"
+            )
+        skipped: List[Tuple[str, str]] = []
+        for object_name in reversed(self.manifest_names(job_id)):
+            _, seq = _parse_manifest_name(object_name)
+            ckpt_id = f"ckpt-{seq:06d}"
+            try:
+                _, tensors = self.load_partial(job_id, wanted, ckpt_id)
+                return ckpt_id, tensors, skipped
             except ReproError as exc:
                 skipped.append((ckpt_id, str(exc)))
         return None, None, skipped

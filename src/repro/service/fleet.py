@@ -63,6 +63,13 @@ class ThrottledBackend(StorageBackend):
     def read_range(self, name: str, start: int, length: int) -> bytes:
         return self.inner.read_range(name, start, length)
 
+    @property
+    def supports_ranged_reads(self) -> bool:
+        return self.inner.supports_ranged_reads
+
+    def tier_for(self, name: str):
+        return self.inner.tier_for(name)
+
     def exists(self, name: str) -> bool:
         return self.inner.exists(name)
 
@@ -78,7 +85,15 @@ class ThrottledBackend(StorageBackend):
 
 @dataclass(frozen=True)
 class FleetJobSpec:
-    """Static description of one job in the fleet."""
+    """Static description of one job in the fleet.
+
+    ``restore_mode`` selects how a preempted job reincarnates: ``"exact"``
+    resumes bitwise from the newest valid checkpoint; ``"warm-start"``
+    fetches only the parameter blocks through the restore planner and
+    restarts a fresh run from them (the architecture-search/cross-validation
+    pattern — a warm-started incarnation redoes its steps from better
+    parameters, so its step count restarts at zero).
+    """
 
     job_id: str
     trainer_factory: Callable[[], "object"]
@@ -88,6 +103,7 @@ class FleetJobSpec:
     max_pending: int = 2
     backpressure: str = "block"
     save_on_start: bool = True
+    restore_mode: str = "exact"
 
     def __post_init__(self) -> None:
         if self.target_steps < 1:
@@ -101,6 +117,11 @@ class FleetJobSpec:
         if self.cadence_offset < 0:
             raise ConfigError(
                 f"cadence_offset must be >= 0, got {self.cadence_offset}"
+            )
+        if self.restore_mode not in ("exact", "warm-start"):
+            raise ConfigError(
+                f"restore_mode must be 'exact' or 'warm-start', "
+                f"got {self.restore_mode!r}"
             )
 
 
@@ -220,14 +241,22 @@ class FleetHarness:
             policy=EveryKSteps(spec.checkpoint_every),
         )
         restored_step = 0
+        adopted = False
         if not fresh:
-            ckpt_id, snapshot, _skipped = self.store.latest_valid(spec.job_id)
-            if snapshot is not None:
-                job.trainer.restore(snapshot)
-                restored_step = snapshot.step
+            # All reincarnation restores run through the unified pipeline:
+            # exact resume reassembles the full tensor set; warm start plans
+            # only the parameter blocks.  Either walks past damaged
+            # checkpoints to the newest restorable one.
+            ckpt_id = job.manager.resume(job.trainer, mode=spec.restore_mode)
+            adopted = ckpt_id is not None
+            # A warm-started trainer restarts at step 0 by design, so its
+            # recovered step count is 0 even though its parameters came
+            # from a checkpoint.
+            restored_step = job.trainer.step_count if adopted else 0
             job.result.restores += 1
             job.result.resumed_from_steps.append(restored_step)
-        if spec.save_on_start and (fresh or restored_step > 0):
+        warm_adopted = adopted and spec.restore_mode == "warm-start"
+        if spec.save_on_start and (fresh or restored_step > 0 or warm_adopted):
             # Restore-validation save: prove the write path before burning
             # compute.  On a resume this is free — every block dedups against
             # the checkpoint just read.

@@ -19,6 +19,7 @@ from typing import Dict, Optional
 
 from repro.core.policy import CheckpointPolicy, Clock, EveryKSteps
 from repro.core.snapshot import TrainingSnapshot
+from repro.errors import ConfigError
 from repro.service.chunkstore import ChunkCheckpointRecord, ChunkStore
 from repro.service.pool import PoolChannel
 
@@ -57,6 +58,12 @@ class ServiceCheckpointManager:
         self.extra = dict(extra or {})
         self.stats = ServiceCheckpointStats()
         self._stats_lock = threading.Lock()  # tasks run on pool workers
+        # Adaptive policies (Young–Daly) re-derive their interval from this
+        # job's *observed* save cost on the shared pool — queueing, shard
+        # contention and brownouts included — not from a static estimate.
+        attach = getattr(self.policy, "attach_cost_source", None)
+        if attach is not None:
+            attach(channel.observed_save_seconds)
 
     # -- hook protocol ------------------------------------------------------------
 
@@ -133,6 +140,38 @@ class ServiceCheckpointManager:
             self.stats.save_seconds += elapsed
             self.stats.last_record = record
         self.policy.record_checkpoint(self._clock(), elapsed)
+
+    # -- restoring ----------------------------------------------------------------
+
+    def resume(self, trainer, mode: str = "exact") -> Optional[str]:
+        """Restore ``trainer`` from this job's newest valid checkpoint.
+
+        ``mode="exact"`` resumes bitwise from the newest checkpoint that
+        fully restores.  ``mode="warm-start"`` fetches only the parameter
+        blocks of the newest checkpoint whose parameters restore and seeds
+        a fresh run (the architecture-search warm start).  Both walk the
+        restore pipeline and fall back past damaged checkpoints.  Returns
+        the checkpoint id used, or ``None`` when nothing restorable exists.
+        """
+        from repro.core.restore import WARM_START_TENSORS
+
+        if mode == "exact":
+            ckpt_id, snapshot, _skipped = self.store.latest_valid(self.job_id)
+            if snapshot is None:
+                return None
+            trainer.restore(snapshot)
+            return ckpt_id
+        if mode == "warm-start":
+            ckpt_id, tensors, _skipped = self.store.latest_valid_partial(
+                self.job_id, WARM_START_TENSORS
+            )
+            if tensors is None:
+                return None
+            trainer.warm_start(tensors["params"])
+            return ckpt_id
+        raise ConfigError(
+            f"mode must be 'exact' or 'warm-start', got {mode!r}"
+        )
 
     def close(self) -> None:
         """Flush this job's queue and release the channel."""

@@ -67,6 +67,12 @@ class PoolChannel:
         self.max_pending = int(max_pending)
         self.backpressure = backpressure
         self.stats = ChannelStats()
+        # Moving window of recent task durations as measured on the pool
+        # worker — the job's *observed* save cost under pool contention.
+        # Adaptive policies (Young–Daly) read it through
+        # observed_save_seconds(); a fixed lifetime mean would lag brownouts
+        # and chatty-neighbor contention by the whole history.
+        self.recent_task_seconds: Deque[float] = deque(maxlen=16)
         # Degrade-mode fallbacks are resolved synchronously inside submit,
         # so the queue holds bare ready-to-run tasks.
         self.queue: Deque[Callable[[], None]] = deque()
@@ -236,6 +242,19 @@ class PoolChannel:
                 self.pool._cond.wait(timeout=remaining)
             return True
 
+    def observed_save_seconds(self) -> Optional[float]:
+        """Moving mean of recent save durations on the pool (seconds).
+
+        ``None`` until the first task of this channel completes.  This is
+        the live checkpoint-cost estimate the Young–Daly policy re-derives
+        its interval from: it includes queue-side effects the submitter
+        never sees (backend brownouts, shard contention, pool fairness).
+        """
+        with self.pool._cond:
+            if not self.recent_task_seconds:
+                return None
+            return sum(self.recent_task_seconds) / len(self.recent_task_seconds)
+
     @property
     def pending(self) -> int:
         """Tasks submitted but not yet finished."""
@@ -339,6 +358,7 @@ class WriterPool:
                 channel.active = False
                 channel.stats.tasks += 1
                 channel.stats.seconds += elapsed
+                channel.recent_task_seconds.append(elapsed)
                 self.stats.tasks += 1
                 self.stats.seconds += elapsed
                 if error is not None and not channel._discard_errors:

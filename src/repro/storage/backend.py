@@ -56,6 +56,28 @@ class StorageBackend(ABC):
         """Stored size of ``name`` in bytes."""
         return len(self.read(name))
 
+    @property
+    def supports_ranged_reads(self) -> bool:
+        """Whether :meth:`read_range` transfers less than a full object.
+
+        ``False`` here (the base class slices a whole-object read), so the
+        restore planner knows to coalesce a partial restore into one
+        whole-object fetch instead of paying a full transfer per range.
+        Backends with real random access override this to ``True``;
+        decorators delegate to what they wrap.
+        """
+        return False
+
+    def tier_for(self, name: str):
+        """The :class:`~repro.storage.tiered.TieredBackend` holding ``name``.
+
+        ``None`` when no tiered backend is in the path.  Composite backends
+        (sharded, throttled, flaky) delegate so tier-aware placement —
+        pinning hot manifests, promoting restored chunks — reaches the right
+        device regardless of how backends are stacked.
+        """
+        return None
+
     def read_range(self, name: str, start: int, length: int) -> bytes:
         """Bytes ``[start, start+length)`` of object ``name``.
 

@@ -32,6 +32,11 @@ class FlakyBackend(StorageBackend):
         self._writes_seen = 0
         self._truncate_fraction = 0.5
         self._flip_offset = 0
+        self._read_mode: Optional[str] = None
+        self._fail_on_read = 0
+        self._reads_seen = 0
+        self._read_truncate_fraction = 0.5
+        self._read_flip_offset = 0
         self.faults_injected = 0
 
     def arm(
@@ -56,9 +61,57 @@ class FlakyBackend(StorageBackend):
         self._truncate_fraction = truncate_fraction
         self._flip_offset = flip_offset
 
+    def arm_read(
+        self,
+        mode: str,
+        fail_on_read: int = 1,
+        truncate_fraction: float = 0.5,
+        flip_offset: int = 0,
+    ) -> None:
+        """Schedule one fault on the ``fail_on_read``-th subsequent read.
+
+        ``read`` and ``read_range`` share the ordinal counter, so a restore
+        pipeline issuing many ranged fetches can be failed mid-stream at a
+        chosen fetch.  ``error`` raises; ``truncate`` returns a prefix;
+        ``bitflip`` corrupts one byte of the returned data — the latter two
+        model a backend that *lies*, which integrity verification must catch.
+        """
+        if mode not in _MODES:
+            raise ConfigError(f"mode must be one of {_MODES}, got {mode!r}")
+        if fail_on_read < 1:
+            raise ConfigError(f"fail_on_read must be >= 1, got {fail_on_read}")
+        if not 0.0 <= truncate_fraction < 1.0:
+            raise ConfigError(
+                f"truncate_fraction must be in [0, 1), got {truncate_fraction}"
+            )
+        self._read_mode = mode
+        self._fail_on_read = fail_on_read
+        self._reads_seen = 0
+        self._read_truncate_fraction = truncate_fraction
+        self._read_flip_offset = flip_offset
+
     def disarm(self) -> None:
-        """Cancel any pending fault."""
+        """Cancel any pending fault (write and read alike)."""
         self._mode = None
+        self._read_mode = None
+
+    def _maybe_damage_read(self, name: str, data: bytes) -> bytes:
+        if self._read_mode is None:
+            return data
+        self._reads_seen += 1
+        if self._reads_seen != self._fail_on_read:
+            return data
+        mode = self._read_mode
+        self._read_mode = None
+        self.faults_injected += 1
+        if mode == "error":
+            raise StorageError(f"injected read error for {name!r}")
+        if mode == "truncate":
+            return data[: int(len(data) * self._read_truncate_fraction)]
+        corrupted = bytearray(data)  # bitflip
+        if corrupted:
+            corrupted[self._read_flip_offset % len(corrupted)] ^= 0xFF
+        return bytes(corrupted)
 
     def write(self, name: str, data: bytes) -> None:
         if self._mode is not None:
@@ -83,10 +136,19 @@ class FlakyBackend(StorageBackend):
         self.inner.write(name, data)
 
     def read(self, name: str) -> bytes:
-        return self.inner.read(name)
+        return self._maybe_damage_read(name, self.inner.read(name))
 
     def read_range(self, name: str, start: int, length: int) -> bytes:
-        return self.inner.read_range(name, start, length)
+        return self._maybe_damage_read(
+            name, self.inner.read_range(name, start, length)
+        )
+
+    @property
+    def supports_ranged_reads(self) -> bool:
+        return self.inner.supports_ranged_reads
+
+    def tier_for(self, name: str):
+        return self.inner.tier_for(name)
 
     def exists(self, name: str) -> bool:
         return self.inner.exists(name)

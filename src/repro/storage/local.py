@@ -83,6 +83,10 @@ class LocalDirectoryBackend(StorageBackend):
         except OSError as exc:
             raise StorageError(f"read of {name!r} failed: {exc}") from exc
 
+    @property
+    def supports_ranged_reads(self) -> bool:
+        return True  # seek + read transfers only the requested range
+
     def exists(self, name: str) -> bool:
         return self._path(name).is_file()
 

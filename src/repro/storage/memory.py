@@ -62,6 +62,10 @@ class InMemoryBackend(StorageBackend):
             self.read_count += 1
             return chunk
 
+    @property
+    def supports_ranged_reads(self) -> bool:
+        return True  # slicing transfers (and accounts) only the range
+
     def exists(self, name: str) -> bool:
         validate_name(name)
         with self._lock:

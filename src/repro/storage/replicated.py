@@ -184,6 +184,10 @@ class ReplicatedBackend(StorageBackend):
             )
         raise StorageError(f"object {name!r} not found on any replica")
 
+    @property
+    def supports_ranged_reads(self) -> bool:
+        return all(r.supports_ranged_reads for r in self.replicas)
+
     # -- namespace ---------------------------------------------------------------
 
     def exists(self, name: str) -> bool:

@@ -43,6 +43,13 @@ class ShardedBackend(StorageBackend):
 
     # -- StorageBackend contract ----------------------------------------------------
 
+    @property
+    def supports_ranged_reads(self) -> bool:
+        return all(shard.supports_ranged_reads for shard in self.shards)
+
+    def tier_for(self, name: str):
+        return self.shard_for(name).tier_for(name)
+
     def write(self, name: str, data: bytes) -> None:
         self.shard_for(name).write(name, data)
 

@@ -87,6 +87,13 @@ class SimulatedRemoteBackend(StorageBackend):
         self._account(len(chunk))  # ranged reads pay only transferred bytes
         return chunk
 
+    @property
+    def supports_ranged_reads(self) -> bool:
+        return self.inner.supports_ranged_reads
+
+    def tier_for(self, name: str):
+        return self.inner.tier_for(name)
+
     def exists(self, name: str) -> bool:
         return self.inner.exists(name)
 

@@ -14,10 +14,27 @@ a cheaper object store.  The fast tier is a byte-budgeted LRU cache:
 Reads hit the fast tier first and *promote* slow-tier objects into it.
 Evictions are strictly LRU by last access and never drop a dirty object
 without flushing it first.
+
+Placement control (the chunk store's tier-aware read path drives these):
+
+* :meth:`pin` / :meth:`unpin` — pinned objects (checkpoint manifests) are
+  never chosen as eviction victims, so chunk churn cannot push the small,
+  always-read metadata out of the fast tier;
+* :meth:`promote` — pull one slow-tier object into the fast tier without
+  returning its bytes (warming a restore set ahead of time);
+* :meth:`demote` — flush-if-dirty and drop one object from the fast tier
+  (cold chunks referenced only by old checkpoints make room for hot ones).
+
+Thread safety: the restore executor fetches chunks through this backend
+from several threads, so LRU/pin/dirty bookkeeping is guarded by a lock.
+Slow-tier fetches on the miss path run *outside* the lock (concurrent
+misses overlap their transfers; a raced double-fetch installs once), while
+fast-tier operations — which are fast by definition — run under it.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Set
@@ -37,6 +54,7 @@ class TierStats:
     promotions: int = 0
     evictions: int = 0
     flushes: int = 0
+    demotions: int = 0
 
 
 class TieredBackend(StorageBackend):
@@ -65,6 +83,13 @@ class TieredBackend(StorageBackend):
         # LRU bookkeeping: name -> size, in access order (oldest first).
         self._resident: "OrderedDict[str, int]" = OrderedDict()
         self._dirty: Set[str] = set()
+        self._pinned: Set[str] = set()
+        # name -> token of the newest write-through slow write still in
+        # flight (performed outside the lock); the object stays dirty until
+        # its token completes, so eviction/demotion in that window flushes
+        # instead of dropping the only copy.
+        self._pending_slow: dict = {}
+        self._lock = threading.RLock()
         self._adopt_existing_fast_objects()
 
     def _adopt_existing_fast_objects(self) -> None:
@@ -75,17 +100,27 @@ class TieredBackend(StorageBackend):
 
     def fast_bytes_used(self) -> int:
         """Bytes currently resident in the fast tier."""
-        return sum(self._resident.values())
+        with self._lock:
+            return sum(self._resident.values())
 
-    def _evict_until_fits(self, incoming: int) -> None:
+    def _evict_until_fits(self, incoming: int) -> bool:
+        """Free fast-tier space for ``incoming`` bytes (caller holds the lock).
+
+        Returns ``False`` when the object cannot be made resident — it is
+        larger than the tier, or every current resident is pinned.  Callers
+        then skip caching (reads/promotes) or degrade to a slow-only write;
+        pinning must never turn into a data-path failure.
+        """
         if incoming > self.fast_capacity_bytes:
-            raise StorageError(
-                f"object of {incoming} bytes exceeds the fast tier capacity "
-                f"({self.fast_capacity_bytes} bytes)"
+            return False
+        while sum(self._resident.values()) + incoming > self.fast_capacity_bytes:
+            victim = next(
+                (n for n in self._resident if n not in self._pinned), None
             )
-        while self.fast_bytes_used() + incoming > self.fast_capacity_bytes:
-            victim, _ = next(iter(self._resident.items()))
+            if victim is None:
+                return False
             self._evict(victim)
+        return True
 
     def _evict(self, name: str) -> None:
         if name in self._dirty:
@@ -107,18 +142,96 @@ class TieredBackend(StorageBackend):
 
     def flush(self) -> List[str]:
         """Push every dirty object to the slow tier; returns flushed names."""
-        flushed = sorted(self._dirty)
-        for name in flushed:
-            self._flush_one(name)
-        return flushed
+        with self._lock:
+            flushed = sorted(self._dirty)
+            for name in flushed:
+                self._flush_one(name)
+            return flushed
 
     def dirty_objects(self) -> List[str]:
         """Objects present only in the fast tier (durability window)."""
-        return sorted(self._dirty)
+        with self._lock:
+            return sorted(self._dirty)
 
     def close(self) -> None:
         """Flush outstanding write-back state (call before process exit)."""
         self.flush()
+
+    # -- placement control ------------------------------------------------------
+
+    def pin(self, name: str) -> None:
+        """Keep ``name`` fast-tier resident; never an eviction victim.
+
+        Promotes the object first if it only lives in the slow tier.  The
+        chunk store pins checkpoint manifests: they are read by every
+        restore, discovery, and gc pass, and are tiny next to the chunk
+        churn that would otherwise evict them.  Raises
+        :class:`~repro.errors.StorageError` when the object cannot be made
+        resident (too big, or the tier is full of other pinned objects).
+        """
+        with self._lock:
+            if name not in self._resident:
+                self.promote(name)
+            if name not in self._resident:
+                raise StorageError(
+                    f"cannot pin {name!r}: it does not fit the fast tier"
+                )
+            self._pinned.add(name)
+
+    def unpin(self, name: str) -> None:
+        """Make ``name`` evictable again (resident until LRU says otherwise)."""
+        with self._lock:
+            self._pinned.discard(name)
+
+    def pinned_objects(self) -> List[str]:
+        """Currently pinned names."""
+        with self._lock:
+            return sorted(self._pinned)
+
+    def promote(self, name: str) -> bool:
+        """Ensure ``name`` is fast-tier resident; returns whether it moved.
+
+        A resident object is just touched (LRU refresh).  Objects that
+        cannot fit (larger than the tier, or squeezed out by pins) are left
+        where they are (returns ``False``) rather than raising — placement
+        is an optimization, not a contract.
+        """
+        with self._lock:
+            if name in self._resident:
+                self._touch(name, self._resident[name])
+                return False
+            data = self.slow.read(name)
+            if not self._evict_until_fits(len(data)):
+                return False
+            self.fast.write(name, data)
+            self._touch(name, len(data))
+            self.stats.promotions += 1
+            return True
+
+    def demote(self, name: str) -> bool:
+        """Drop ``name`` from the fast tier (flushing first if dirty).
+
+        Pinned or non-resident objects are left alone (returns ``False``).
+        The object stays fully readable from the slow tier — demotion moves
+        cold data out of the cache, it never loses it.
+        """
+        with self._lock:
+            if name not in self._resident or name in self._pinned:
+                return False
+            if name in self._dirty:
+                self._flush_one(name)
+            self.fast.delete(name)
+            self._resident.pop(name, None)
+            self.stats.demotions += 1
+            return True
+
+    def resident_objects(self, prefix: str = "") -> List[str]:
+        """Fast-tier resident names (LRU order, oldest first)."""
+        with self._lock:
+            return [n for n in self._resident if n.startswith(prefix)]
+
+    def tier_for(self, name: str) -> "TieredBackend":
+        return self
 
     # -- StorageBackend contract ------------------------------------------------------
 
@@ -128,67 +241,113 @@ class TieredBackend(StorageBackend):
                 f"object of {len(data)} bytes exceeds the fast tier capacity "
                 f"({self.fast_capacity_bytes} bytes)"
             )
-        # Replacing: release the old residency before sizing the new one, but
-        # restore it if eviction fails so bookkeeping never diverges from the
-        # fast tier's actual contents.
-        previous = self._resident.pop(name, None)
-        try:
-            self._evict_until_fits(len(data))
-        except StorageError:
-            if previous is not None:
-                self._resident[name] = previous
-            raise
-        self.fast.write(name, data)
-        self._touch(name, len(data))
-        if self.policy == "write-through":
-            self.slow.write(name, data)
-            self._dirty.discard(name)
-        else:
-            self._dirty.add(name)
+        token = None
+        with self._lock:
+            # Replacing: release the old residency before sizing the new one.
+            previous = self._resident.pop(name, None)
+            if self._evict_until_fits(len(data)):
+                self.fast.write(name, data)
+                self._touch(name, len(data))
+                if self.policy == "write-back":
+                    self._dirty.add(name)
+                    return
+                # Write-through: the slow write happens outside the lock,
+                # so the object stays *dirty* until it lands — an eviction
+                # in the window flushes the fast copy instead of deleting
+                # the only one.
+                self._dirty.add(name)
+                token = self._pending_slow.get(name, 0) + 1
+                self._pending_slow[name] = token
+            else:
+                # Pinned objects fill the tier: degrade to a slow-only
+                # write instead of failing the save (write-back loses its
+                # latency edge for this object but stays durable).  An
+                # unflushed previous version is flushed *before* anything
+                # is deleted, so a failing slow write below cannot lose the
+                # only copy.
+                if previous is not None:
+                    if name in self._dirty:
+                        self._flush_one(name)
+                    self.fast.delete(name)
+                self._dirty.discard(name)
+                self._pinned.discard(name)
+        self.slow.write(name, data)
+        if token is not None:
+            with self._lock:
+                if self._pending_slow.get(name) == token:
+                    del self._pending_slow[name]
+                    self._dirty.discard(name)
+                elif name in self._resident:
+                    # A newer same-name write raced us and its slow copy
+                    # may have landed *before* our older payload.  Keep the
+                    # object dirty: the newest fast copy then flushes over
+                    # whatever ordering the slow tier ended up with.
+                    self._dirty.add(name)
 
     def read(self, name: str) -> bytes:
-        if name in self._resident:
-            self.stats.fast_hits += 1
-            data = self.fast.read(name)
-            self._touch(name, len(data))
-            return data
-        self.stats.fast_misses += 1
+        with self._lock:
+            if name in self._resident:
+                self.stats.fast_hits += 1
+                data = self.fast.read(name)
+                self._touch(name, len(data))
+                return data
+            self.stats.fast_misses += 1
+        # Slow fetch outside the lock: concurrent restore misses overlap
+        # their transfers instead of serializing on the bookkeeping.
         data = self.slow.read(name)
-        if len(data) <= self.fast_capacity_bytes:
-            self._evict_until_fits(len(data))
-            self.fast.write(name, data)
-            self._touch(name, len(data))
-            self.stats.promotions += 1
+        with self._lock:
+            if name not in self._resident and self._evict_until_fits(
+                len(data)
+            ):
+                self.fast.write(name, data)
+                self._touch(name, len(data))
+                self.stats.promotions += 1
         return data
 
     def read_range(self, name: str, start: int, length: int) -> bytes:
         """Ranged read: fast tier when resident, slow tier otherwise.
 
         Ranged misses do not promote — partial restores deliberately avoid
-        pulling whole objects into the fast tier.
+        pulling whole objects into the fast tier.  Ranged *hits* refresh the
+        LRU position, so objects a partial-restore workload keeps touching
+        stay hot.
         """
-        if name in self._resident:
-            self.stats.fast_hits += 1
-            return self.fast.read_range(name, start, length)
-        self.stats.fast_misses += 1
+        with self._lock:
+            if name in self._resident:
+                self.stats.fast_hits += 1
+                self._touch(name, self._resident[name])
+                return self.fast.read_range(name, start, length)
+            self.stats.fast_misses += 1
         return self.slow.read_range(name, start, length)
 
+    @property
+    def supports_ranged_reads(self) -> bool:
+        # The hint describes the miss path; fast-tier hits slice locally.
+        return self.slow.supports_ranged_reads
+
     def exists(self, name: str) -> bool:
-        return name in self._resident or self.slow.exists(name)
+        with self._lock:
+            if name in self._resident:
+                return True
+        return self.slow.exists(name)
 
     def delete(self, name: str) -> None:
-        if name in self._resident:
-            self.fast.delete(name)
-            self._resident.pop(name, None)
-        self._dirty.discard(name)
+        with self._lock:
+            if name in self._resident:
+                self.fast.delete(name)
+                self._resident.pop(name, None)
+            self._dirty.discard(name)
+            self._pinned.discard(name)
         self.slow.delete(name)
 
     def list(self, prefix: str = "") -> List[str]:
         names = set(self.slow.list(prefix))
-        names.update(n for n in self._resident if n.startswith(prefix))
+        with self._lock:
+            names.update(n for n in self._resident if n.startswith(prefix))
         return sorted(names)
 
     def size(self, name: str) -> int:
-        if name in self._resident:
-            return self._resident[name]
+        with self._lock:
+            if name in self._resident:
+                return self._resident[name]
         return self.slow.size(name)

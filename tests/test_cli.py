@@ -226,3 +226,109 @@ class TestFleet:
         store = ChunkStore(backend)
         assert store.jobs() == ["job00", "job01"]
         assert store.load_snapshot("job00").step == 1
+
+
+class TestRestore:
+    def test_full_restore_core_store(self, populated_store, capsys):
+        root, _ = populated_store
+        assert main(["restore", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "plan [qckpt]" in out
+        assert "ckpt-000002 at step 20" in out
+        assert "params" in out
+
+    def test_warm_start_plans_fewer_bytes(self, populated_store, capsys):
+        root, _ = populated_store
+        assert main(["restore", str(root), "--warm-start"]) == 0
+        out = capsys.readouterr().out
+        assert "tensors params" in out
+        assert "params" in out
+
+    def test_plan_only_transfers_nothing(self, populated_store, capsys):
+        root, _ = populated_store
+        assert main(["restore", str(root), "--plan"]) == 0
+        out = capsys.readouterr().out
+        assert "plan [qckpt]" in out
+        assert "at step" not in out
+
+    def test_out_writes_standalone_file(self, populated_store, tmp_path, capsys):
+        root, _ = populated_store
+        target = tmp_path / "standalone.qckpt"
+        assert main(["restore", str(root), "--out", str(target)]) == 0
+        from repro.core.serialize import unpack_snapshot
+
+        assert unpack_snapshot(target.read_bytes()).step == 20
+
+    def test_tensors_subset(self, populated_store, capsys):
+        root, _ = populated_store
+        assert main(["restore", str(root), "--tensors", "params"]) == 0
+        out = capsys.readouterr().out
+        assert "params:" in out
+
+    def test_not_a_store_errors_cleanly(self, tmp_path, capsys):
+        assert main(["restore", str(tmp_path / "nothing")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def _chunk_store(self, tmp_path):
+        import numpy as np
+
+        from repro.service.chunkstore import ChunkStore
+        from tests.test_snapshot import sample_snapshot
+
+        root = tmp_path / "chunks"
+        store = ChunkStore(LocalDirectoryBackend(root), block_bytes=256)
+        for step in (1, 2):
+            snap = sample_snapshot(step=step)
+            store.save_snapshot("jobA", snap)
+        return root, store
+
+    def test_chunk_store_restore(self, tmp_path, capsys):
+        root, _ = self._chunk_store(tmp_path)
+        assert main(["restore", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "plan [chunks]" in out
+        assert "job jobA ckpt-000002" in out
+
+    def test_gcd_chunk_explicit_id_is_clean_error(self, tmp_path, capsys):
+        root, store = self._chunk_store(tmp_path)
+        plan = store.plan_restore("jobA", "ckpt-000002")
+        backend = LocalDirectoryBackend(root)
+        ref1 = {
+            o.name for o in store.plan_restore("jobA", "ckpt-000001").objects
+        }
+        victim = next(o.name for o in plan.objects if o.name not in ref1)
+        backend.delete(victim)
+        assert main(["restore", str(root), "--id", "ckpt-000002"]) == 2
+        err = capsys.readouterr().err
+        # One clean error line naming the damage, not a traceback.
+        assert err.startswith("error:")
+        assert "garbage-collected or lost" in err
+
+    def test_gcd_chunk_without_id_falls_back_to_latest_valid(
+        self, tmp_path, capsys
+    ):
+        root, store = self._chunk_store(tmp_path)
+        plan = store.plan_restore("jobA", "ckpt-000002")
+        backend = LocalDirectoryBackend(root)
+        ref1 = {
+            o.name for o in store.plan_restore("jobA", "ckpt-000001").objects
+        }
+        victim = next(o.name for o in plan.objects if o.name not in ref1)
+        backend.delete(victim)
+        assert main(["restore", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "warning: skipped damaged checkpoint ckpt-000002" in out
+        assert "job jobA ckpt-000001" in out
+
+    def test_multi_job_requires_job_flag(self, tmp_path, capsys):
+        from repro.service.chunkstore import ChunkStore
+        from tests.test_snapshot import sample_snapshot
+
+        root = tmp_path / "chunks"
+        store = ChunkStore(LocalDirectoryBackend(root), block_bytes=256)
+        store.save_snapshot("a", sample_snapshot(step=1))
+        store.save_snapshot("b", sample_snapshot(step=1))
+        assert main(["restore", str(root)]) == 2
+        assert "--job" in capsys.readouterr().err
+        assert main(["restore", str(root), "--job", "b", "--warm-start"]) == 0

@@ -325,3 +325,94 @@ class TestAsyncWriterShutdownSemantics:
             writer.submit(lambda: None)
         with pytest.raises(CheckpointError, match="closed"):
             writer.submit(lambda: None)
+
+
+class TestObservedCostWiring:
+    """Young–Daly re-derives its interval from pool-observed save cost."""
+
+    def test_cost_source_overrides_running_mean(self):
+        clock = SimulatedClock()
+        policy = YoungDalyPolicy(
+            mtbf_seconds=10000.0, initial_cost_estimate=1.0, clock=clock
+        )
+        base_interval = policy.interval_seconds
+        observed = {"value": None}
+        policy.attach_cost_source(lambda: observed["value"])
+        # Source empty: running mean still governs.
+        assert policy.interval_seconds == base_interval
+        # Contention quadruples the observed save cost: sqrt scaling doubles
+        # the interval.
+        observed["value"] = 4.0
+        assert policy.mean_cost == 4.0
+        assert policy.interval_seconds == pytest.approx(
+            2 * base_interval, rel=0.15
+        )
+        # Source drying up (non-positive) falls back again.
+        observed["value"] = 0.0
+        assert policy.mean_cost == 1.0
+
+    def test_channel_records_recent_save_durations(self):
+        from repro.service.pool import WriterPool
+
+        pool = WriterPool(workers=1)
+        try:
+            channel = pool.channel("job0", max_pending=4)
+            assert channel.observed_save_seconds() is None
+            for _ in range(3):
+                channel.submit(lambda: time.sleep(0.01))
+            channel.drain()
+            observed = channel.observed_save_seconds()
+            assert observed is not None and observed >= 0.01
+            assert len(channel.recent_task_seconds) == 3
+        finally:
+            pool.close()
+
+    def test_service_manager_attaches_pool_cost_source(self):
+        from repro.service.chunkstore import ChunkStore
+        from repro.service.manager import ServiceCheckpointManager
+        from repro.service.pool import WriterPool
+        from repro.storage.memory import InMemoryBackend
+
+        store = ChunkStore(InMemoryBackend(), block_bytes=512)
+        pool = WriterPool(workers=1)
+        try:
+            channel = pool.channel("job0", max_pending=4)
+            clock = SimulatedClock()
+            policy = YoungDalyPolicy(
+                mtbf_seconds=1000.0, initial_cost_estimate=0.5, clock=clock
+            )
+            ServiceCheckpointManager(store, "job0", channel, policy=policy)
+            assert policy._cost_source is not None
+            # Before any save the policy falls back to its initial estimate.
+            assert policy.mean_cost == 0.5
+            # Simulate the pool finishing saves of known duration.
+            channel.recent_task_seconds.extend([0.2, 0.4])
+            assert policy.mean_cost == pytest.approx(0.3)
+            expected = max(
+                young_daly_interval(0.3, 1000.0), 0.3
+            )
+            assert policy.interval_seconds == pytest.approx(expected)
+        finally:
+            pool.close()
+
+    def test_interval_tracks_contention_window(self):
+        """A brownout-slowed pool widens the interval; recovery narrows it."""
+        from repro.service.pool import WriterPool
+
+        pool = WriterPool(workers=1)
+        try:
+            channel = pool.channel("job0", max_pending=4)
+            clock = SimulatedClock()
+            policy = YoungDalyPolicy(
+                mtbf_seconds=400.0, initial_cost_estimate=0.01, clock=clock
+            )
+            policy.attach_cost_source(channel.observed_save_seconds)
+            channel.recent_task_seconds.extend([0.01] * 4)
+            calm = policy.interval_seconds
+            channel.recent_task_seconds.extend([1.0] * 16)  # window is 16
+            stormy = policy.interval_seconds
+            assert stormy > calm * 5
+            channel.recent_task_seconds.extend([0.01] * 16)
+            assert policy.interval_seconds == pytest.approx(calm)
+        finally:
+            pool.close()

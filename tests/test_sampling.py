@@ -114,3 +114,85 @@ class TestEstimateExpectation:
             errors.append(abs(estimate - exact))
         # 5-sigma criterion on the mean absolute error: loose but meaningful.
         assert np.mean(errors) < 5 * sigma
+
+
+class TestEstimateExpectationBatch:
+    def _states(self, thetas):
+        circuit = Circuit(2).h(0)
+        circuit.ry(1, circuit.new_param())
+        circuit.cnot(0, 1)
+        return np.stack([apply_circuit(circuit, [t]) for t in thetas])
+
+    def test_matches_sequential_stream(self):
+        """Batched draws consume the rng exactly like a per-state loop."""
+        from repro.quantum.sampling import estimate_expectation_batch
+
+        states = self._states([0.2, 0.9, 1.7])
+        h = Hamiltonian.from_terms({"Z0": 1.0, "Z1": 0.5, "X0 X1": 0.25, "I": 2.0})
+        batched = estimate_expectation_batch(
+            states, h, 64, np.random.default_rng(3)
+        )
+        rng = np.random.default_rng(3)
+        sequential = np.array(
+            [estimate_expectation(s, h, 64, rng) for s in states]
+        )
+        np.testing.assert_allclose(batched, sequential)
+
+    def test_columns_layout(self):
+        from repro.quantum.sampling import estimate_expectation_batch
+
+        states = self._states([0.4, 1.1])
+        h = Hamiltonian.from_terms({"Z0": 1.0})
+        rows = estimate_expectation_batch(
+            states, h, 128, np.random.default_rng(7)
+        )
+        cols = estimate_expectation_batch(
+            np.ascontiguousarray(states.T),
+            h,
+            128,
+            np.random.default_rng(7),
+            columns=True,
+        )
+        np.testing.assert_allclose(rows, cols)
+
+    def test_converges_to_exact(self):
+        from repro.quantum.sampling import estimate_expectation_batch
+
+        states = self._states([0.3, 2.1])
+        h = Hamiltonian.from_terms({"Z0": 1.0, "X0 X1": 0.5})
+        exact = np.array([h.expectation(s) for s in states])
+        estimates = estimate_expectation_batch(
+            states, h, 40000, np.random.default_rng(11)
+        )
+        np.testing.assert_allclose(estimates, exact, atol=0.05)
+
+    def test_identity_only_is_exact(self):
+        from repro.quantum.sampling import estimate_expectation_batch
+
+        states = self._states([0.5])
+        h = Hamiltonian.from_terms({"I": 3.25})
+        np.testing.assert_array_equal(
+            estimate_expectation_batch(states, h, 10, np.random.default_rng(0)),
+            [3.25],
+        )
+
+    def test_rejects_bad_inputs(self):
+        from repro.quantum.sampling import estimate_expectation_batch
+
+        states = self._states([0.5])
+        h = Hamiltonian.from_terms({"Z0": 1.0})
+        with pytest.raises(ObservableError):
+            estimate_expectation_batch(states, h, 0, np.random.default_rng(0))
+        with pytest.raises(ObservableError):
+            estimate_expectation_batch(
+                states[0], h, 16, np.random.default_rng(0)
+            )
+
+    def test_empty_batch(self):
+        from repro.quantum.sampling import estimate_expectation_batch
+
+        h = Hamiltonian.from_terms({"Z0": 1.0})
+        out = estimate_expectation_batch(
+            np.zeros((0, 4)), h, 16, np.random.default_rng(0)
+        )
+        assert out.shape == (0,)
