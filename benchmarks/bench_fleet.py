@@ -22,6 +22,15 @@ Three experiments, all written to ``BENCH_fleet.json`` at the repo root:
    modelled object-store cost (RTT + bandwidth).  Parameters-only must
    fetch a small fraction of the bytes; the tier-warm restore must beat the
    cold one because the first restore promoted what it touched.
+
+4. **Chain-restore read-ahead sweep** — cold restore of a long delta chain
+   with and without executor read-ahead, against a store with real
+   (slept) object-store fetch latency.  Records measured wall seconds and
+   modelled pipeline latency; read-ahead must reduce both.
+
+5. **Daemon churn** — the long-running daemon absorbing two waves of job
+   submissions, a mid-run preemption of the whole fleet, reincarnation
+   with staged (prefetched) restores, and a clean drain.
 """
 
 import json
@@ -396,3 +405,255 @@ def test_restore_latency_sweep(report):
         f"tier-warm restore cost {warm_ratio:.1%} of cold "
         f"(target < {TIER_WARM_FRACTION:.0%})"
     )
+
+
+# ---------------------------------------------------------------------------
+# Chain-restore read-ahead: cold delta-chain latency with/without prefetch
+# ---------------------------------------------------------------------------
+
+CHAIN_LINKS = 8
+READAHEAD_LINKS = 3
+# Object-store-like fetch cost, really slept by the throttled backend.
+READ_RTT_SECONDS = 0.002
+READ_BANDWIDTH = 5e6  # 5 MB/s: a cold WAN object store
+DECODE_BANDWIDTH = 200e6  # modelled zlib decode throughput
+# The measured wall-clock speedup read-ahead must deliver on the cold chain.
+PREFETCH_WALL_SPEEDUP_TARGET = 1.2
+
+
+def _chain_snapshot(step: int) -> TrainingSnapshot:
+    """Chain links with real per-step statevector churn (nothing dedups)."""
+    rng = np.random.default_rng(4000 + step)
+    elems = 1 << 14  # 256 KiB of complex128 per link
+    return TrainingSnapshot(
+        step=step,
+        params=rng.standard_normal(96),
+        optimizer_state={"name": "adam", "t": step},
+        rng_state={"bit_generator": "PCG64", "state": {"state": step}},
+        model_fingerprint="chain-sweep",
+        loss_history=rng.standard_normal(step),
+        statevector=rng.standard_normal(elems) + 1j * rng.standard_normal(elems),
+    )
+
+
+def test_chain_restore_readahead_sweep(report):
+    """Delta-chain restore: read-ahead must beat the sequential walk.
+
+    A full checkpoint plus 7 XOR deltas live behind a store whose reads
+    cost RTT + bytes/bandwidth in *real slept time*.  The sequential
+    restore (readahead_links=0) fetches link i+1 only after decoding link
+    i; the read-ahead restore keeps up to 3 links of transfer in flight
+    behind the decode cursor.  Both must produce bitwise-identical
+    tensors; the pipelined walk must be measurably faster, and the
+    modelled pipeline latency (same cost model the restore-latency sweep
+    uses) must agree on the direction.
+    """
+    from repro.core.store import CheckpointStore
+
+    inner = InMemoryBackend()
+    build_store = CheckpointStore(inner)
+    snapshots = [_chain_snapshot(step) for step in range(1, CHAIN_LINKS + 1)]
+    record = build_store.save_full(snapshots[0])
+    for snapshot in snapshots[1:]:
+        record = build_store.save_delta(snapshot, base_id=record.id)
+    tip = record.id
+    reference = snapshots[-1]
+
+    throttled = ThrottledBackend(inner)
+    throttled.read_rtt_seconds = READ_RTT_SECONDS
+    throttled.read_bandwidth_bytes_per_s = READ_BANDWIDTH
+
+    def timed_restore(readahead: int):
+        store = CheckpointStore(throttled, readahead_links=readahead)
+        started = time.perf_counter()
+        restored = store.load(tip)
+        wall = time.perf_counter() - started
+        assert restored == reference, "chain restore not bitwise"
+        return wall, store
+
+    wall_sequential, store = timed_restore(0)
+    wall_readahead, _ = timed_restore(READAHEAD_LINKS)
+    speedup = wall_sequential / wall_readahead
+
+    # Modelled pipeline latency from the actual plans (fetch = RTT +
+    # bytes/bw per link; decode = raw bytes / decode bandwidth).  The
+    # pipelined model overlaps fetch i with decode i-1, with up to
+    # READAHEAD_LINKS transfers sharing the wire.
+    plans = store.restore_plan(tip)
+    fetch = [
+        READ_RTT_SECONDS + plan.fetch_bytes / READ_BANDWIDTH for plan in plans
+    ]
+    decode = [
+        sum(t.blocks[0].raw_nbytes for t in plan.tensors.values())
+        / DECODE_BANDWIDTH
+        for plan in plans
+    ]
+    modelled_sequential = sum(fetch) + sum(decode)
+    width = max(1, READAHEAD_LINKS)
+    modelled_readahead = (
+        fetch[0]
+        + sum(
+            max(decode[i - 1], fetch[i] / width)
+            for i in range(1, len(plans))
+        )
+        + decode[-1]
+    )
+
+    payload = {
+        "links": CHAIN_LINKS,
+        "readahead_links": READAHEAD_LINKS,
+        "read_rtt_seconds": READ_RTT_SECONDS,
+        "read_bandwidth_bytes_per_s": READ_BANDWIDTH,
+        "chain_fetch_bytes": sum(plan.fetch_bytes for plan in plans),
+        "wall_sequential_seconds": wall_sequential,
+        "wall_readahead_seconds": wall_readahead,
+        "wall_speedup": speedup,
+        "modelled_sequential_seconds": modelled_sequential,
+        "modelled_readahead_seconds": modelled_readahead,
+        "modelled_speedup": modelled_sequential / modelled_readahead,
+        "restore_bitwise": True,
+    }
+    _write_json("chain_readahead", payload)
+
+    table = "\n".join(
+        [
+            f"{'chain links':<26} {CHAIN_LINKS}",
+            f"{'fetch bytes':<26} {payload['chain_fetch_bytes']}",
+            f"{'sequential wall (s)':<26} {wall_sequential:.3f}",
+            f"{'read-ahead wall (s)':<26} {wall_readahead:.3f}",
+            f"{'measured speedup':<26} {speedup:.2f}x",
+            f"{'modelled sequential (s)':<26} {modelled_sequential:.3f}",
+            f"{'modelled read-ahead (s)':<26} {modelled_readahead:.3f}",
+            f"{'modelled speedup':<26} "
+            f"{modelled_sequential / modelled_readahead:.2f}x",
+        ]
+    )
+    report("Fleet service: delta-chain read-ahead", table)
+
+    assert modelled_readahead < modelled_sequential, (
+        "read-ahead must reduce modelled cold-chain restore latency"
+    )
+    assert speedup > PREFETCH_WALL_SPEEDUP_TARGET, (
+        f"chain read-ahead speedup {speedup:.2f}x below the "
+        f"{PREFETCH_WALL_SPEEDUP_TARGET}x target"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Daemon churn: submissions arriving over time, a storm, a clean drain
+# ---------------------------------------------------------------------------
+
+DAEMON_JOBS_PER_WAVE = 3
+DAEMON_TARGET_STEPS = 20
+
+
+def test_daemon_churn_storm_drain(report):
+    """The long-running daemon absorbs churn, a storm, and a drain.
+
+    Two waves of submissions (the second arriving while the first runs),
+    a fleet-wide preemption with staged restores during the restart delay,
+    then a drain that finishes every job.  Every job must complete at its
+    target step with its history restorable bitwise from the shared store.
+    """
+    import threading
+
+    from repro.service import DaemonClient, DaemonConfig, FleetDaemon
+
+    store = ChunkStore(InMemoryBackend(), block_bytes=4096)
+    pool = WriterPool(workers=2)
+    import tempfile
+
+    control = tempfile.mkdtemp(prefix="qckpt-daemon-bench-")
+    daemon = FleetDaemon(
+        store, pool, control, config=DaemonConfig(tick_seconds=0.002)
+    )
+    thread = threading.Thread(target=daemon.serve, daemon=True)
+    thread.start()
+    client = DaemonClient(control, timeout=60.0)
+    started = time.perf_counter()
+    try:
+        client.ping()
+
+        def spec(i: int) -> dict:
+            return {
+                "job_id": f"churn{i:02d}",
+                "workload": "classifier",
+                "target_steps": DAEMON_TARGET_STEPS,
+                "params": {
+                    "qubits": 3,
+                    "layers": 1,
+                    "lr": 0.01 * (1 + i),
+                    "samples": 32,
+                },
+            }
+
+        for i in range(DAEMON_JOBS_PER_WAVE):
+            assert client.submit(spec(i))["ok"]
+        # Let wave 1 make (checkpointed) progress, then preempt every
+        # running job — mid-flight, well before their targets.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            jobs = client.status()["jobs"]
+            if all((job["step"] or 0) >= 2 for job in jobs.values()):
+                break
+            time.sleep(0.01)
+        storm = client.preempt(None, restart_delay_ticks=5)
+        # Wave 2 arrives while wave 1 is down/reincarnating: churn.
+        for i in range(DAEMON_JOBS_PER_WAVE, 2 * DAEMON_JOBS_PER_WAVE):
+            assert client.submit(spec(i))["ok"]
+        status = client.status()
+        client.drain(wait=True, timeout=120.0)
+    finally:
+        thread.join(timeout=30.0)
+        pool.close()
+    wall = time.perf_counter() - started
+    assert not thread.is_alive()
+
+    final = {
+        job_id: job
+        for job_id, job in daemon._op_status(None)["jobs"].items()
+    }
+    assert len(final) == 2 * DAEMON_JOBS_PER_WAVE
+    assert all(job["state"] == "finished" for job in final.values()), final
+    assert all(
+        job["final_step"] == DAEMON_TARGET_STEPS for job in final.values()
+    )
+    storm_jobs = [job for job in final.values() if job["preemptions"]]
+    assert storm_jobs, "the storm must have preempted wave 1"
+    assert all(job["restores"] == 1 for job in storm_jobs)
+
+    # Bitwise: the store's newest checkpoint per job round-trips.
+    for job_id in final:
+        assert store.load_snapshot(job_id).step == DAEMON_TARGET_STEPS
+
+    payload = {
+        "jobs": len(final),
+        "waves": 2,
+        "target_steps": DAEMON_TARGET_STEPS,
+        "storm_preempted": sorted(storm.get("preempted", [])),
+        "wall_seconds": wall,
+        "scheduler_ticks": daemon.tick,
+        "requests_served": daemon.requests_served,
+        "checkpoints": store.stats.checkpoints,
+        "dedup_ratio": store.stats.dedup_ratio,
+        "recovered_steps": sum(
+            sum(job["resumed_from_steps"]) for job in final.values()
+        ),
+        "lost_steps": sum(job["lost_steps"] for job in final.values()),
+        "all_finished": True,
+    }
+    _write_json("daemon_churn", payload)
+
+    table = "\n".join(
+        [
+            f"{'jobs (2 waves)':<26} {payload['jobs']}",
+            f"{'storm preempted':<26} {len(payload['storm_preempted'])}",
+            f"{'wall (s)':<26} {wall:.2f}",
+            f"{'scheduler ticks':<26} {daemon.tick}",
+            f"{'requests served':<26} {daemon.requests_served}",
+            f"{'checkpoints':<26} {payload['checkpoints']}",
+            f"{'dedup':<26} {payload['dedup_ratio']:.2f}x",
+            f"{'lost steps':<26} {payload['lost_steps']}",
+        ]
+    )
+    report("Fleet service: daemon churn + storm + drain", table)

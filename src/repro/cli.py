@@ -14,9 +14,15 @@ Subcommands::
                                    works on both monolithic and chunk stores
     qckpt stats <dir>              aggregate store statistics
     qckpt fleet [--jobs N ...]     run a multi-job checkpoint-service scenario
+    qckpt daemon start <dir>       run the long-running fleet daemon
+    qckpt daemon submit ...        submit a job to a running daemon
+    qckpt daemon status ...        query daemon and per-job state
+    qckpt daemon drain ...         finish running jobs, then stop the daemon
 
-The CLI never unpickles anything — it reads QCKPT headers (JSON) and
-validates checksums, so it is safe to point at untrusted files.
+Every subcommand is documented with copy-pasteable examples in
+``docs/OPERATIONS.md``.  The CLI never unpickles anything — it reads QCKPT
+headers (JSON) and validates checksums, so it is safe to point at untrusted
+files.
 """
 
 from __future__ import annotations
@@ -489,6 +495,154 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_daemon_start(args: argparse.Namespace) -> int:
+    """Build the storage stack and run the fleet daemon loop (foreground)."""
+    from repro.service import ChunkStore, DaemonConfig, FleetDaemon, WriterPool
+    from repro.storage.memory import InMemoryBackend
+    from repro.storage.placement import PlacementJournal
+    from repro.storage.sharded import ShardedBackend
+    from repro.storage.tiered import TieredBackend
+
+    import uuid
+
+    store_dir = Path(args.store)
+    control = args.control or str(store_dir / "control")
+    # One identity for heartbeats AND journal records: without --daemon-id
+    # it must be unique per process, never derived from paths — two daemons
+    # sharing a store would otherwise collide journal record names and both
+    # "hold" the rebalance lease.
+    daemon_id = args.daemon_id or f"daemon-{uuid.uuid4().hex[:8]}"
+    shards = [
+        LocalDirectoryBackend(store_dir / f"shard-{i}")
+        for i in range(args.shards)
+    ]
+    backend = shards[0] if args.shards == 1 else ShardedBackend(shards)
+    journal = None
+    if args.fast_bytes > 0:
+        journal = PlacementJournal(
+            LocalDirectoryBackend(store_dir / "placement"), owner=daemon_id
+        )
+        backend = TieredBackend(
+            InMemoryBackend(),
+            backend,
+            fast_capacity_bytes=args.fast_bytes,
+            journal=journal,
+        )
+    store = ChunkStore(
+        backend,
+        codec=args.codec,
+        block_bytes=args.block_bytes,
+        placement_journal=journal,
+    )
+    pool = WriterPool(workers=args.workers)
+    config = DaemonConfig(
+        tick_seconds=args.tick_seconds,
+        rebalance_every_ticks=args.rebalance_every,
+        restart_delay_ticks=args.restart_delay,
+        max_ticks=args.max_ticks if args.max_ticks > 0 else None,
+    )
+    daemon = FleetDaemon(
+        store, pool, control, config=config, daemon_id=daemon_id
+    )
+    print(
+        f"daemon {daemon.daemon_id} serving {args.store} "
+        f"(control plane: {control}); drain with: "
+        f"qckpt daemon drain --control {control}"
+    )
+    try:
+        daemon.serve()
+    finally:
+        pool.close()
+    print(
+        f"daemon {daemon.daemon_id} stopped after {daemon.tick} tick(s), "
+        f"{daemon.requests_served} request(s) served"
+    )
+    return 0
+
+
+def _daemon_client(args: argparse.Namespace):
+    from repro.service import DaemonClient
+
+    return DaemonClient(args.control, timeout=args.timeout)
+
+
+def cmd_daemon_submit(args: argparse.Namespace) -> int:
+    """Submit one job to a running daemon over its control plane."""
+    client = _daemon_client(args)
+    spec = {
+        "job_id": args.job,
+        "workload": args.workload,
+        "target_steps": args.steps,
+        "checkpoint_every": args.every,
+        "max_pending": args.max_pending,
+        "backpressure": args.backpressure,
+        "restore_mode": args.restore_mode,
+        "params": {
+            "qubits": args.qubits,
+            "layers": args.layers,
+            "lr": args.lr,
+            "samples": args.samples,
+            "batch_size": args.batch_size,
+            "seed": args.seed,
+        },
+    }
+    response = client.submit(spec)
+    if not response.get("ok"):
+        raise ReproError(f"submit refused: {response.get('error')}")
+    resumed = response.get("resumed_from_step", 0)
+    print(
+        f"submitted {args.job} ({args.workload}, {args.steps} steps)"
+        + (f", resumed from step {resumed}" if resumed else "")
+    )
+    return 0
+
+
+def cmd_daemon_status(args: argparse.Namespace) -> int:
+    """Print daemon state and a per-job table (or one job with --job)."""
+    client = _daemon_client(args)
+    if not client.is_alive():
+        meta = client.daemon_meta()
+        state = (meta or {}).get("state", "absent")
+        print(f"daemon: not running (control meta: {state})")
+        return 1
+    response = client.status(args.job)
+    if not response.get("ok"):
+        raise ReproError(f"status failed: {response.get('error')}")
+    print(
+        f"daemon: {response['state']} at tick {response['tick']}"
+        + (
+            f" ({response.get('requests_served')} requests served)"
+            if "requests_served" in response
+            else ""
+        )
+    )
+    jobs = response.get("jobs", {})
+    if not jobs:
+        print("(no jobs submitted)")
+        return 0
+    print(
+        f"{'JOB':<12} {'STATE':<9} {'STEP':>6} {'TARGET':>7} "
+        f"{'PREEMPT':>8} {'RESTORES':>9} {'LOST':>5}"
+    )
+    for job_id in sorted(jobs):
+        job = jobs[job_id]
+        step = job["step"] if job["step"] is not None else job["final_step"]
+        print(
+            f"{job_id:<12} {job['state']:<9} {step:>6} "
+            f"{job['target_steps']:>7} {job['preemptions']:>8} "
+            f"{job['restores']:>9} {job['lost_steps']:>5}"
+        )
+    return 0
+
+
+def cmd_daemon_drain(args: argparse.Namespace) -> int:
+    """Stop accepting jobs, let running jobs finish, then stop the daemon."""
+    client = _daemon_client(args)
+    response = client.drain(wait=not args.no_wait)
+    print(f"daemon: {response.get('state', 'draining')}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="qckpt", description="Inspect and validate QCkpt checkpoint stores."
@@ -512,8 +666,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_gc = sub.add_parser("gc", help="apply a retention policy")
     p_gc.add_argument("store", help="store directory")
-    p_gc.add_argument("--keep-last", type=int, default=None)
-    p_gc.add_argument("--keep-every", type=int, default=None)
+    p_gc.add_argument(
+        "--keep-last",
+        type=int,
+        default=None,
+        help="retain the N checkpoints with the highest steps",
+    )
+    p_gc.add_argument(
+        "--keep-every",
+        type=int,
+        default=None,
+        help="additionally retain checkpoints whose step is a multiple of N",
+    )
     p_gc.set_defaults(func=cmd_gc)
 
     p_diff = sub.add_parser("diff", help="compare two checkpoints")
@@ -588,8 +752,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet = sub.add_parser(
         "fleet", help="run a multi-job checkpoint-service scenario"
     )
-    p_fleet.add_argument("--jobs", type=int, default=4)
-    p_fleet.add_argument("--steps", type=int, default=4)
+    p_fleet.add_argument("--jobs", type=int, default=4, help="number of jobs")
+    p_fleet.add_argument(
+        "--steps", type=int, default=4, help="training steps per job"
+    )
     p_fleet.add_argument("--every", type=int, default=1, help="checkpoint cadence")
     p_fleet.add_argument("--workers", type=int, default=2, help="writer pool size")
     p_fleet.add_argument("--shards", type=int, default=2, help="storage shards")
@@ -597,6 +763,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario",
         choices=["sweep", "storm", "brownout"],
         default="storm",
+        help="fault scenario to inject (sweep = none)",
     )
     p_fleet.add_argument(
         "--storm-tick", type=int, default=2, help="event tick (storm/brownout)"
@@ -611,6 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backpressure",
         choices=["block", "drop-oldest", "degrade"],
         default="block",
+        help="per-job channel policy when its save queue is full",
     )
     p_fleet.add_argument(
         "--staggered",
@@ -622,13 +790,189 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persist to this directory (default: in-memory)",
     )
-    p_fleet.add_argument("--block-bytes", type=int, default=1 << 12)
-    p_fleet.add_argument("--codec", default="zlib-6")
-    p_fleet.add_argument("--qubits", type=int, default=4)
-    p_fleet.add_argument("--layers", type=int, default=2)
-    p_fleet.add_argument("--samples", type=int, default=128)
-    p_fleet.add_argument("--seed", type=int, default=11)
+    p_fleet.add_argument(
+        "--block-bytes",
+        type=int,
+        default=1 << 12,
+        help="chunk-store block size in bytes",
+    )
+    p_fleet.add_argument("--codec", default="zlib-6", help="chunk byte codec")
+    p_fleet.add_argument(
+        "--qubits", type=int, default=4, help="circuit width per job"
+    )
+    p_fleet.add_argument(
+        "--layers", type=int, default=2, help="ansatz layers per job"
+    )
+    p_fleet.add_argument(
+        "--samples", type=int, default=128, help="training set size"
+    )
+    p_fleet.add_argument("--seed", type=int, default=11, help="RNG seed")
     p_fleet.set_defaults(func=cmd_fleet)
+
+    p_daemon = sub.add_parser(
+        "daemon",
+        help="run and control the long-running fleet daemon",
+    )
+    dsub = p_daemon.add_subparsers(dest="daemon_command", required=True)
+
+    d_start = dsub.add_parser(
+        "start",
+        help="run the daemon loop in the foreground (Ctrl-C or drain to stop)",
+    )
+    d_start.add_argument("store", help="store directory (shards live inside)")
+    d_start.add_argument(
+        "--control",
+        default=None,
+        help="control-plane directory (default: <store>/control)",
+    )
+    d_start.add_argument(
+        "--workers", type=int, default=2, help="writer pool size"
+    )
+    d_start.add_argument(
+        "--shards", type=int, default=2, help="storage shards under the store"
+    )
+    d_start.add_argument(
+        "--block-bytes",
+        type=int,
+        default=1 << 12,
+        help="chunk-store block size in bytes",
+    )
+    d_start.add_argument("--codec", default="zlib-6", help="chunk byte codec")
+    d_start.add_argument(
+        "--fast-bytes",
+        type=int,
+        default=0,
+        help="fast-tier capacity in bytes; > 0 enables tiering with a "
+        "durable placement journal at <store>/placement",
+    )
+    d_start.add_argument(
+        "--tick-seconds",
+        type=float,
+        default=0.02,
+        help="idle sleep between scheduler passes",
+    )
+    d_start.add_argument(
+        "--rebalance-every",
+        type=int,
+        default=0,
+        help="run a lease-gated tier rebalance every N ticks (0 = never)",
+    )
+    d_start.add_argument(
+        "--restart-delay",
+        type=int,
+        default=1,
+        help="default reincarnation delay (ticks) after a preemption",
+    )
+    d_start.add_argument(
+        "--max-ticks",
+        type=int,
+        default=0,
+        help="stop after N scheduler ticks (0 = run until drained)",
+    )
+    d_start.add_argument(
+        "--daemon-id",
+        default=None,
+        help="stable identity for heartbeats and placement-journal leases",
+    )
+    d_start.set_defaults(func=cmd_daemon_start)
+
+    d_submit = dsub.add_parser(
+        "submit", help="submit one job to a running daemon"
+    )
+    d_submit.add_argument(
+        "--control", required=True, help="the daemon's control directory"
+    )
+    d_submit.add_argument("--job", required=True, help="job id (unique)")
+    d_submit.add_argument(
+        "--workload",
+        default="classifier",
+        help="registered workload recipe the job is built from",
+    )
+    d_submit.add_argument(
+        "--steps", type=int, default=4, help="training steps to run"
+    )
+    d_submit.add_argument(
+        "--every", type=int, default=1, help="checkpoint cadence (steps)"
+    )
+    d_submit.add_argument(
+        "--max-pending",
+        type=int,
+        default=2,
+        help="bounded save-queue depth before backpressure",
+    )
+    d_submit.add_argument(
+        "--backpressure",
+        choices=["block", "drop-oldest", "degrade"],
+        default="block",
+        help="policy when the job's save queue is full",
+    )
+    d_submit.add_argument(
+        "--restore-mode",
+        choices=["exact", "warm-start"],
+        default="exact",
+        help="how a preempted incarnation reincarnates",
+    )
+    d_submit.add_argument(
+        "--qubits", type=int, default=4, help="circuit width"
+    )
+    d_submit.add_argument(
+        "--layers", type=int, default=2, help="ansatz layers"
+    )
+    d_submit.add_argument(
+        "--lr", type=float, default=0.01, help="optimizer learning rate"
+    )
+    d_submit.add_argument(
+        "--samples", type=int, default=64, help="training set size"
+    )
+    d_submit.add_argument(
+        "--batch-size", type=int, default=8, help="minibatch size"
+    )
+    d_submit.add_argument("--seed", type=int, default=11, help="RNG seed")
+    d_submit.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for the daemon's answer",
+    )
+    d_submit.set_defaults(func=cmd_daemon_submit)
+
+    d_status = dsub.add_parser(
+        "status", help="query daemon liveness and per-job progress"
+    )
+    d_status.add_argument(
+        "--control", required=True, help="the daemon's control directory"
+    )
+    d_status.add_argument(
+        "--job", default=None, help="report only this job id"
+    )
+    d_status.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for the daemon's answer",
+    )
+    d_status.set_defaults(func=cmd_daemon_status)
+
+    d_drain = dsub.add_parser(
+        "drain",
+        help="refuse new jobs, finish running ones, then stop the daemon",
+    )
+    d_drain.add_argument(
+        "--control", required=True, help="the daemon's control directory"
+    )
+    d_drain.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="return after the drain is acknowledged instead of waiting "
+        "for the daemon to stop",
+    )
+    d_drain.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="seconds to wait for drain acknowledgement (and stop)",
+    )
+    d_drain.set_defaults(func=cmd_daemon_drain)
     return parser
 
 

@@ -30,13 +30,23 @@ was saved or raises :class:`~repro.errors.IntegrityError` /
 :class:`~repro.errors.StorageError`.  It never returns corrupt tensors —
 every block is verified against evidence recorded at save time before any
 byte of it reaches an array.
+
+Read-ahead: plans carry chain identity (``checkpoint_id``/``base_id``), and
+:meth:`RestoreExecutor.prefetch` starts a plan's transfers in the
+background — bounded by a byte window, cancellable, and advisory (a failed
+or skipped prefetch unit is re-fetched synchronously at run time).  Chain
+restores in :class:`~repro.core.store.CheckpointStore` use it to hide the
+next delta's fetch latency behind the current delta's decode; the service
+chunk store uses it to stage (and tier-promote) a restore before it runs.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from abc import ABC, abstractmethod
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import CancelledError, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -114,6 +124,7 @@ class TensorPlan:
 
     @property
     def stored_nbytes(self) -> int:
+        """Encoded bytes this tensor's blocks occupy in the store."""
         return sum(block.stored_nbytes for block in self.blocks)
 
 
@@ -144,6 +155,13 @@ class RestorePlan:
     asked for.  ``fetch_bytes`` is what the executor will transfer;
     ``total_stored_bytes`` is what a *full* restore of this checkpoint
     would transfer — their ratio is what partial restore saves.
+
+    Chain identity (read-ahead support): ``checkpoint_id`` names the
+    checkpoint this plan restores and ``base_id`` the checkpoint its delta
+    applies to (``None`` for self-contained records).  A chain restore is a
+    sequence of plans linked by ``base_id``; the executor can
+    :meth:`~RestoreExecutor.prefetch` the next link's blocks while the
+    current link decodes.
     """
 
     kind: str  # "qckpt" | "chunks"
@@ -153,6 +171,8 @@ class RestorePlan:
     objects: List[ObjectPlan]
     requested: Optional[Tuple[str, ...]]
     total_stored_bytes: int = 0
+    checkpoint_id: Optional[str] = None
+    base_id: Optional[str] = None
 
     @property
     def fetch_bytes(self) -> int:
@@ -177,6 +197,7 @@ class RestorePlan:
 
     @property
     def n_blocks(self) -> int:
+        """Total verifiable blocks across the plan's tensors."""
         return sum(len(plan.blocks) for plan in self.tensors.values())
 
 
@@ -228,6 +249,87 @@ class RestoreSource(ABC):
 # ---------------------------------------------------------------------------
 
 
+class PrefetchedPlan:
+    """Handle over the in-flight read-ahead of one plan's fetch units.
+
+    Produced by :meth:`RestoreExecutor.prefetch`; consumed by passing it back
+    to :meth:`RestoreExecutor.run` for the same plan instance.  The handle is
+    *advisory*: a cancelled, failed, or window-skipped unit is simply fetched
+    synchronously at run time, so prefetch can never change what a restore
+    returns — only when its bytes arrive.
+    """
+
+    def __init__(self, plan: RestorePlan):
+        self.plan = plan
+        self.object_futures: Dict[str, "object"] = {}
+        self.block_futures: Dict[int, "object"] = {}
+        #: Bytes submitted to the fetch pool (bounded by the window).
+        self.enqueued_bytes = 0
+        #: Bytes the window bound kept out of the read-ahead.
+        self.skipped_bytes = 0
+        self.cancelled = False
+
+    @property
+    def n_enqueued(self) -> int:
+        """Fetch units this read-ahead actually submitted to the pool."""
+        return len(self.object_futures) + len(self.block_futures)
+
+    def cancel(self) -> int:
+        """Cancel not-yet-started fetches; returns how many were cancelled.
+
+        In-flight reads complete on their worker thread and are discarded —
+        backends have no abort primitive — but no *new* read-ahead I/O
+        starts after this returns.
+        """
+        cancelled = 0
+        for future in (
+            list(self.object_futures.values())
+            + list(self.block_futures.values())
+        ):
+            if future.cancel():
+                cancelled += 1
+        self.cancelled = True
+        return cancelled
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until every enqueued fetch finished; ``False`` on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for future in (
+            list(self.object_futures.values())
+            + list(self.block_futures.values())
+        ):
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            try:
+                future.exception(timeout=remaining)
+            except CancelledError:
+                continue
+            except FuturesTimeoutError:
+                return False
+        return True
+
+    @staticmethod
+    def _result_or_none(future) -> Optional[bytes]:
+        """A future's bytes, or ``None`` when it failed/was cancelled."""
+        if future is None:
+            return None
+        try:
+            return future.result()
+        except CancelledError:
+            return None
+        except Exception:  # noqa: BLE001 - sync fallback is the retry
+            return None
+
+    def take_object(self, name: str) -> Optional[bytes]:
+        """Prefetched bytes of one whole object (``None`` = fetch yourself)."""
+        return self._result_or_none(self.object_futures.get(name))
+
+    def take_block(self, block: BlockSpec) -> Optional[bytes]:
+        """Prefetched bytes of one ranged block (``None`` = fetch yourself)."""
+        return self._result_or_none(self.block_futures.get(id(block)))
+
+
 class RestoreExecutor:
     """Fetches a plan's blocks, verifies them, and assembles tensors.
 
@@ -237,28 +339,52 @@ class RestoreExecutor:
     simulated remotes, so restore latency approaches the slowest single
     fetch rather than the sum.  Verification and decode run on the fetching
     thread; assembly order is deterministic regardless of completion order.
+
+    Read-ahead: :meth:`prefetch` starts a plan's fetches in the background —
+    bounded by ``prefetch_window_bytes``, cancellable — so a delta-chain
+    restore can overlap the next link's transfers with the current link's
+    decode.  Prefetched bytes are consumed by passing the handle back to
+    :meth:`run`; anything the window skipped, a fault killed, or a cancel
+    dropped is re-fetched synchronously there, so prefetch never weakens the
+    integrity contract (every consumed byte is verified the same way).
     """
 
-    def __init__(self, max_workers: int = 4):
+    def __init__(
+        self,
+        max_workers: int = 4,
+        prefetch_window_bytes: int = 64 << 20,
+    ):
         if max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        if prefetch_window_bytes < 0:
+            raise ConfigError(
+                f"prefetch_window_bytes must be >= 0, "
+                f"got {prefetch_window_bytes}"
+            )
         self.max_workers = int(max_workers)
+        self.prefetch_window_bytes = int(prefetch_window_bytes)
         # One persistent pool per executor, created on first parallel fetch:
         # damage-tolerant walks run one restore per candidate checkpoint,
         # and spawning/joining threads per fetch would dominate small plans.
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
 
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="qckpt-restore",
+                )
+            return self._pool
+
     # -- fetch units ------------------------------------------------------------
 
-    def run(
-        self,
-        source: RestoreSource,
+    @staticmethod
+    def _fetch_units(
         plan: RestorePlan,
-        verify: bool = True,
-    ) -> Tuple[Dict, Dict[str, np.ndarray]]:
-        """Execute ``plan`` against ``source``; returns ``(meta, tensors)``."""
-        codec_obj = get_codec(plan.codec)
+    ) -> Tuple[List[ObjectPlan], List[BlockSpec]]:
+        """A plan's transfer list: distinct whole objects + ranged blocks."""
         whole = {o.name: o for o in plan.objects if o.mode == MODE_WHOLE}
         needed_whole: List[ObjectPlan] = []
         seen: set = set()
@@ -271,9 +397,69 @@ class RestoreExecutor:
                         needed_whole.append(whole[block.object_name])
                 else:
                     ranged_blocks.append(block)
+        return needed_whole, ranged_blocks
 
-        buffers = self._fetch_whole_objects(source, needed_whole, verify)
-        ranged_bytes = self._fetch_ranged_blocks(source, ranged_blocks)
+    def prefetch(
+        self, source: RestoreSource, plan: RestorePlan
+    ) -> PrefetchedPlan:
+        """Start fetching ``plan``'s blocks in the background (read-ahead).
+
+        Fetches are enqueued in plan order until ``prefetch_window_bytes``
+        is reached; the rest stays for run time.  The returned handle is
+        passed to :meth:`run` (same plan instance) to consume the bytes, or
+        :meth:`PrefetchedPlan.cancel`-ed when the restore is abandoned.
+        Verification does *not* happen here — the bytes are checked when
+        :meth:`run` consumes them, exactly as on the synchronous path.
+        """
+        handle = PrefetchedPlan(plan)
+        pool = self._ensure_pool()
+        needed_whole, ranged_blocks = self._fetch_units(plan)
+        budget = self.prefetch_window_bytes
+        for obj in needed_whole:
+            cost = obj.nbytes if obj.nbytes is not None else 0
+            if handle.enqueued_bytes + cost > budget:
+                handle.skipped_bytes += cost
+                continue
+            handle.enqueued_bytes += cost
+            handle.object_futures[obj.name] = pool.submit(
+                source.read_object, obj.name
+            )
+        for block in ranged_blocks:
+            if handle.enqueued_bytes + block.stored_nbytes > budget:
+                handle.skipped_bytes += block.stored_nbytes
+                continue
+            handle.enqueued_bytes += block.stored_nbytes
+            handle.block_futures[id(block)] = pool.submit(
+                source.read_range,
+                block.object_name,
+                block.start,
+                block.stored_nbytes,
+            )
+        return handle
+
+    def run(
+        self,
+        source: RestoreSource,
+        plan: RestorePlan,
+        verify: bool = True,
+        prefetched: Optional[PrefetchedPlan] = None,
+    ) -> Tuple[Dict, Dict[str, np.ndarray]]:
+        """Execute ``plan`` against ``source``; returns ``(meta, tensors)``.
+
+        ``prefetched`` consumes a read-ahead started by :meth:`prefetch` for
+        this plan instance; missing/failed/cancelled units fall back to
+        synchronous fetches (the retry), so the result is identical with or
+        without it.
+        """
+        codec_obj = get_codec(plan.codec)
+        needed_whole, ranged_blocks = self._fetch_units(plan)
+
+        buffers = self._fetch_whole_objects(
+            source, needed_whole, verify, prefetched
+        )
+        ranged_bytes = self._fetch_ranged_blocks(
+            source, ranged_blocks, prefetched
+        )
 
         tensors: Dict[str, np.ndarray] = {}
         for name, tensor_plan in plan.tensors.items():
@@ -298,9 +484,14 @@ class RestoreExecutor:
         source: RestoreSource,
         objects: List[ObjectPlan],
         verify: bool,
+        prefetched: Optional[PrefetchedPlan] = None,
     ) -> Dict[str, bytes]:
         def fetch(obj: ObjectPlan) -> Tuple[str, bytes]:
-            data = source.read_object(obj.name)
+            data = None
+            if prefetched is not None:
+                data = prefetched.take_object(obj.name)
+            if data is None:
+                data = source.read_object(obj.name)
             if verify and obj.sha256 is not None:
                 actual = sha256_hex(data)
                 if actual != obj.sha256:
@@ -313,26 +504,27 @@ class RestoreExecutor:
         return dict(self._map(fetch, objects))
 
     def _fetch_ranged_blocks(
-        self, source: RestoreSource, blocks: List[BlockSpec]
+        self,
+        source: RestoreSource,
+        blocks: List[BlockSpec],
+        prefetched: Optional[PrefetchedPlan] = None,
     ) -> Dict[int, bytes]:
         def fetch(block: BlockSpec) -> Tuple[int, bytes]:
-            return id(block), source.read_range(
-                block.object_name, block.start, block.stored_nbytes
-            )
+            data = None
+            if prefetched is not None:
+                data = prefetched.take_block(block)
+            if data is None:
+                data = source.read_range(
+                    block.object_name, block.start, block.stored_nbytes
+                )
+            return id(block), data
 
         return dict(self._map(fetch, blocks))
 
     def _map(self, fn: Callable, items: List) -> List:
         if len(items) <= 1 or self.max_workers == 1:
             return [fn(item) for item in items]
-        with self._pool_lock:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.max_workers,
-                    thread_name_prefix="qckpt-restore",
-                )
-            pool = self._pool
-        return list(pool.map(fn, items))
+        return list(self._ensure_pool().map(fn, items))
 
     def close(self) -> None:
         """Release the fetch threads (idempotent; pool rebuilds on use)."""

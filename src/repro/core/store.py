@@ -126,10 +126,26 @@ class CheckpointStore:
     planner decide between one SHA-verified whole-object fetch (full
     restores, non-ranged backends) and CRC-verified ranged fetches (tensor
     subsets).  ``restore_workers`` bounds the executor's fetch parallelism.
+
+    Delta-chain read-ahead: restoring a chain fetches link 1, decodes it
+    while links 2..(1+``readahead_links``) are already being prefetched on
+    the executor's threads, and so on — transfer latency of later links
+    hides behind decode/XOR-apply of earlier ones.  ``readahead_links=0``
+    restores chains strictly sequentially (fetch, decode, fetch, ...).
     """
 
-    def __init__(self, backend: StorageBackend, restore_workers: int = 4):
+    def __init__(
+        self,
+        backend: StorageBackend,
+        restore_workers: int = 4,
+        readahead_links: int = 2,
+    ):
+        if readahead_links < 0:
+            raise ConfigError(
+                f"readahead_links must be >= 0, got {readahead_links}"
+            )
         self.backend = backend
+        self.readahead_links = int(readahead_links)
         self._lock = threading.RLock()
         self._records: Dict[str, CheckpointRecord] = {}
         self._order: List[str] = []
@@ -321,31 +337,111 @@ class CheckpointStore:
     ) -> List[RestorePlan]:
         """Fetch plans for a restore, oldest chain link first (header-sized
         I/O only, no payload transfer).  CLI/bench introspection: what would
-        this restore fetch?"""
+        this restore fetch?  Each plan carries its chain identity
+        (``checkpoint_id``/``base_id``), so the list doubles as the
+        read-ahead schedule."""
         chain = self._resolve_chain(checkpoint_id)
         wanted = None if names is None else tuple(dict.fromkeys(names))
-        return [
-            self._source_for(record).plan(
+        plans = []
+        for record in reversed(chain):
+            plan = self._source_for(record).plan(
                 wanted, require_all=False, prefetch=False
             )
-            for record in reversed(chain)
-        ]
+            plan.checkpoint_id = record.id
+            plan.base_id = record.base_id
+            plans.append(plan)
+        return plans
+
+    @staticmethod
+    def _subset_delta(full_delta: Dict, wanted: Tuple[str, ...]) -> Dict:
+        """The slice of one delta record that touches ``wanted`` tensors."""
+        return {
+            "entries": {
+                name: entry
+                for name, entry in full_delta["entries"].items()
+                if name in wanted
+            },
+            "removed": [
+                name
+                for name in full_delta.get("removed", [])
+                if name in wanted
+            ],
+        }
+
+    def _restore_chain(
+        self,
+        chain: List[CheckpointRecord],
+        wanted: Optional[Tuple[str, ...]],
+    ) -> Tuple[Dict, Dict[str, np.ndarray]]:
+        """Pipelined chain restore: decode link i, prefetch links i+1...
+
+        Single-link chains take the legacy path (whole-object verify before
+        header parse).  Multi-link chains plan every link upfront
+        (header-sized I/O), then walk oldest-first with up to
+        ``readahead_links`` links of transfer in flight ahead of the decode
+        cursor — later links' transfer latency hides behind earlier links'
+        decode and XOR-apply.  On any failure the outstanding read-ahead is
+        cancelled, so no background I/O outlives the restore.
+        """
+        if len(chain) == 1:
+            return restore_tensors(
+                self._source_for(chain[0]),
+                wanted,
+                require_all=False,
+                executor=self._executor,
+            )
+        ordered = list(reversed(chain))  # full base first
+        sources = [self._source_for(record) for record in ordered]
+        plans = []
+        for record, source in zip(ordered, sources):
+            plan = source.plan(wanted, require_all=False, prefetch=False)
+            plan.checkpoint_id = record.id
+            plan.base_id = record.base_id
+            plans.append(plan)
+        handles: List = [None] * len(ordered)
+        meta: Dict = {}
+        tensors: Dict[str, np.ndarray] = {}
+        try:
+            for i in range(len(ordered)):
+                if self.readahead_links > 0:
+                    ahead = min(len(ordered), i + 1 + self.readahead_links)
+                    for j in range(i + 1, ahead):
+                        if handles[j] is None:
+                            handles[j] = self._executor.prefetch(
+                                sources[j], plans[j]
+                            )
+                link_meta, link_tensors = self._executor.run(
+                    sources[i], plans[i], prefetched=handles[i]
+                )
+                # Release the consumed link: the source caches the whole
+                # container buffer on non-ranged paths, so keeping every
+                # link alive would make peak memory O(chain) instead of
+                # O(readahead window).
+                handles[i] = None
+                sources[i] = None
+                plans[i] = None
+                if i == 0:
+                    meta, tensors = link_meta, link_tensors
+                else:
+                    delta = link_meta["delta"]
+                    if wanted is not None:
+                        delta = self._subset_delta(delta, wanted)
+                    tensors = apply_delta(tensors, link_tensors, delta)
+                    meta = link_meta
+        finally:
+            for handle in handles:
+                if handle is not None:
+                    handle.cancel()
+        return meta, tensors
 
     def load_tensors(
         self, checkpoint_id: str
     ) -> Tuple[Dict, Dict[str, np.ndarray]]:
         """Resolve ``checkpoint_id`` (through its delta chain) to
-        ``(snapshot_meta, tensors)`` via the restore pipeline."""
+        ``(snapshot_meta, tensors)`` via the restore pipeline, with
+        read-ahead across chain links."""
         chain = self._resolve_chain(checkpoint_id)
-        meta, tensors = restore_tensors(
-            self._source_for(chain[-1]), executor=self._executor
-        )
-        for record in reversed(chain[:-1]):
-            delta_meta, delta_tensors = restore_tensors(
-                self._source_for(record), executor=self._executor
-            )
-            tensors = apply_delta(tensors, delta_tensors, delta_meta["delta"])
-            meta = delta_meta
+        meta, tensors = self._restore_chain(chain, None)
         return meta["snapshot"], tensors
 
     def load_partial(
@@ -356,7 +452,8 @@ class CheckpointStore:
         The point of partial restore: reading the O(kB) parameters out of a
         checkpoint whose 2^n statevector cache is orders of magnitude larger.
         Delta chains are resolved per tensor (XOR/append entries pull the
-        tensor's base; untouched records are skipped).
+        tensor's base; untouched records are skipped), with the same
+        read-ahead pipelining as full chain restores.
 
         Integrity note: the planner's ranged fetches cannot check the
         whole-file SHA-256; every transferred chunk is still CRC32-verified.
@@ -366,34 +463,7 @@ class CheckpointStore:
         if not wanted:
             raise ConfigError("load_partial needs at least one tensor name")
         chain = self._resolve_chain(checkpoint_id)
-        meta, tensors = restore_tensors(
-            self._source_for(chain[-1]),
-            wanted,
-            require_all=False,
-            executor=self._executor,
-        )
-        for record in reversed(chain[:-1]):
-            delta_meta, delta_tensors = restore_tensors(
-                self._source_for(record),
-                wanted,
-                require_all=False,
-                executor=self._executor,
-            )
-            full_delta = delta_meta["delta"]
-            sub_meta = {
-                "entries": {
-                    name: entry
-                    for name, entry in full_delta["entries"].items()
-                    if name in wanted
-                },
-                "removed": [
-                    name
-                    for name in full_delta.get("removed", [])
-                    if name in wanted
-                ],
-            }
-            tensors = apply_delta(tensors, delta_tensors, sub_meta)
-            meta = delta_meta
+        meta, tensors = self._restore_chain(chain, wanted)
         missing = [name for name in wanted if name not in tensors]
         if missing:
             raise SerializationError(

@@ -13,7 +13,11 @@ that service layer:
 * :mod:`repro.service.manager` — the per-job trainer hook submitting into
   the pool,
 * :mod:`repro.service.fleet` — the scheduler harness running N jobs against
-  the shared stack under preemption storms and brownouts.
+  the shared stack under preemption storms and brownouts,
+* :mod:`repro.service.daemon` — the same scheduler as a long-running
+  process: file-based control plane (``qckpt daemon``), dynamic job
+  submission from a JSON workload registry, restore read-ahead during
+  restart delays, and lease-gated cross-daemon tier rebalancing.
 """
 
 from repro.service.chunkstore import (
@@ -23,17 +27,29 @@ from repro.service.chunkstore import (
     ChunkStoreStats,
     chunk_name,
 )
+from repro.service.daemon import (
+    DaemonAlreadyRunning,
+    DaemonClient,
+    DaemonConfig,
+    FleetDaemon,
+)
 from repro.service.fleet import (
     FleetHarness,
     FleetJobResult,
     FleetJobSpec,
     FleetResult,
+    JobLifecycle,
     ThrottledBackend,
 )
 from repro.service.manager import ServiceCheckpointManager, ServiceCheckpointStats
 from repro.service.pool import ChannelStats, PoolChannel, WriterPool
 
 __all__ = [
+    "FleetDaemon",
+    "DaemonClient",
+    "DaemonConfig",
+    "DaemonAlreadyRunning",
+    "JobLifecycle",
     "ChunkStore",
     "ChunkStoreStats",
     "ChunkCheckpointRecord",

@@ -1,0 +1,723 @@
+"""Long-running fleet daemon: the checkpoint service as a *process*.
+
+:class:`~repro.service.fleet.FleetHarness` runs one fixed fleet to
+completion and dies with its caller; real sweep traffic (capacity scans,
+architecture selection) is a *stream* of small jobs arriving while others
+finish.  :class:`FleetDaemon` runs the same job lifecycle
+(:class:`~repro.service.fleet.JobLifecycle` — identical crash semantics)
+inside a long-lived scheduler loop that:
+
+* accepts job submissions, status queries, drain and preemption commands
+  over a **file-based control plane** — a directory of single-shot JSON
+  request/response objects written through
+  :class:`~repro.storage.local.LocalDirectoryBackend`'s atomic-replace
+  protocol, so any process (the ``qckpt daemon`` CLI, a test, another
+  daemon) can talk to it without sockets or serialization of code,
+* survives job churn: jobs are created from a **workload registry** (named
+  trainer recipes + JSON parameters — never unpickled callables), advance
+  one step per tick, die on ``preempt``, and reincarnate through the
+  shared restore pipeline after their restart delay,
+* stages restores ahead of time: the moment a job is preempted the daemon
+  issues :meth:`~repro.service.chunkstore.ChunkStore.prefetch_restore`,
+  so the restart delay doubles as the read-ahead window and the
+  reincarnation restore is tier-warm,
+* coordinates placement across daemons: with a
+  :class:`~repro.storage.placement.PlacementJournal` on the store, pins
+  are durable/shared and the periodic ``rebalance_tiers()`` sweep runs
+  under the journal's ``rebalance`` lease.
+
+Liveness and single-instance are both carried by ``daemon.json`` in the
+control directory: the daemon heartbeats it; a second ``start`` against a
+fresh heartbeat is refused; clients treat a stale heartbeat as daemon-down.
+
+Operator surface (see ``docs/OPERATIONS.md``)::
+
+    qckpt daemon start  <store> --control <dir>     # run the loop (foreground)
+    qckpt daemon submit --control <dir> --job lr01 --steps 8 --lr 0.02
+    qckpt daemon status --control <dir> [--job lr01]
+    qckpt daemon drain  --control <dir>             # finish jobs, then exit
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import (
+    CheckpointNotFoundError,
+    ConfigError,
+    ReproError,
+    StorageError,
+)
+from repro.service.chunkstore import ChunkStore
+from repro.service.fleet import FleetJobSpec, JobLifecycle, _JobRuntime
+from repro.service.pool import WriterPool
+from repro.storage.backend import StorageBackend
+from repro.storage.local import LocalDirectoryBackend
+
+META_NAME = "daemon.json"
+REQUEST_PREFIX = "req-"
+RESPONSE_PREFIX = "res-"
+
+STATE_RUNNING = "running"
+STATE_DRAINING = "draining"
+STATE_STOPPED = "stopped"
+
+
+# ---------------------------------------------------------------------------
+# Workload registry
+# ---------------------------------------------------------------------------
+
+
+def _classifier_workload(params: Dict) -> Callable[[], object]:
+    """Builtin workload: the moons variational classifier used everywhere.
+
+    JSON-parameterized so submissions never carry code: ``qubits``,
+    ``layers``, ``lr``, ``samples``, ``batch_size``, ``seed``.
+    """
+    from repro.ml.dataset import make_moons
+    from repro.ml.models import VariationalClassifier
+    from repro.ml.optimizers import Adam
+    from repro.ml.trainer import Trainer, TrainerConfig
+    from repro.quantum.templates import hardware_efficient
+
+    qubits = int(params.get("qubits", 4))
+    layers = int(params.get("layers", 2))
+    lr = float(params.get("lr", 0.01))
+    samples = int(params.get("samples", 64))
+    batch_size = int(params.get("batch_size", 8))
+    seed = int(params.get("seed", 11))
+
+    def make():
+        model = VariationalClassifier(hardware_efficient(qubits, layers))
+        dataset = make_moons(samples, np.random.default_rng(seed))
+        return Trainer(
+            model,
+            Adam(lr=lr),
+            dataset=dataset,
+            config=TrainerConfig(batch_size=batch_size, seed=seed),
+        )
+
+    return make
+
+
+#: Name -> builder; a builder maps JSON params to a trainer factory.
+BUILTIN_WORKLOADS: Dict[str, Callable[[Dict], Callable[[], object]]] = {
+    "classifier": _classifier_workload,
+}
+
+
+# ---------------------------------------------------------------------------
+# Daemon
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DaemonConfig:
+    """Knobs of the scheduler loop."""
+
+    tick_seconds: float = 0.02  # idle sleep between scheduler passes
+    heartbeat_seconds: float = 0.5  # daemon.json refresh cadence
+    stale_after_seconds: float = 5.0  # older heartbeat = daemon presumed dead
+    rebalance_every_ticks: int = 0  # 0 disables the periodic placement sweep
+    restart_delay_ticks: int = 1  # default reincarnation delay on preempt
+    max_ticks: Optional[int] = None  # loop bound for tests; None = forever
+
+    def __post_init__(self) -> None:
+        if self.tick_seconds < 0:
+            raise ConfigError(
+                f"tick_seconds must be >= 0, got {self.tick_seconds}"
+            )
+        if self.heartbeat_seconds <= 0:
+            raise ConfigError(
+                f"heartbeat_seconds must be > 0, got {self.heartbeat_seconds}"
+            )
+        if self.stale_after_seconds <= self.heartbeat_seconds:
+            raise ConfigError(
+                "stale_after_seconds must exceed heartbeat_seconds "
+                f"({self.stale_after_seconds} vs {self.heartbeat_seconds})"
+            )
+        if self.rebalance_every_ticks < 0:
+            raise ConfigError(
+                f"rebalance_every_ticks must be >= 0, "
+                f"got {self.rebalance_every_ticks}"
+            )
+        if self.restart_delay_ticks < 0:
+            raise ConfigError(
+                f"restart_delay_ticks must be >= 0, "
+                f"got {self.restart_delay_ticks}"
+            )
+
+
+class DaemonAlreadyRunning(ReproError):
+    """A live daemon already owns this control directory."""
+
+
+def _control_backend(control) -> StorageBackend:
+    if isinstance(control, StorageBackend):
+        return control
+    # Control traffic is transient request/response objects: atomic replace
+    # matters (readers must never see torn JSON), fsync does not.
+    return LocalDirectoryBackend(control, fsync=False)
+
+
+def _read_control_meta(control: StorageBackend) -> Optional[Dict]:
+    """Parse ``daemon.json`` from a control directory (``None`` if absent
+    or unreadable) — shared by the daemon's claim check and the client's
+    liveness probe so their tolerance rules cannot drift."""
+    if not control.exists(META_NAME):
+        return None
+    try:
+        return json.loads(control.read(META_NAME).decode("utf-8"))
+    except (StorageError, UnicodeDecodeError, json.JSONDecodeError):
+        return None
+
+
+class FleetDaemon(JobLifecycle):
+    """The scheduler loop of a checkpoint service, run as a daemon.
+
+    One instance per control directory; construct with the shared
+    :class:`~repro.service.chunkstore.ChunkStore` and
+    :class:`~repro.service.pool.WriterPool`, then call :meth:`serve` (which
+    blocks until drained/stopped).  Everything else — submissions, status,
+    drain — arrives through the control plane.
+    """
+
+    def __init__(
+        self,
+        store: ChunkStore,
+        pool: WriterPool,
+        control,
+        config: Optional[DaemonConfig] = None,
+        workloads: Optional[Dict[str, Callable]] = None,
+        daemon_id: Optional[str] = None,
+    ):
+        super().__init__(store, pool)
+        self.control = _control_backend(control)
+        self.config = config or DaemonConfig()
+        self.workloads = dict(BUILTIN_WORKLOADS)
+        if workloads:
+            self.workloads.update(workloads)
+        self.daemon_id = daemon_id or f"daemon-{uuid.uuid4().hex[:8]}"
+        self.state = STATE_STOPPED
+        self.tick = 0
+        self._jobs: Dict[str, _JobRuntime] = {}
+        self._prefetches: Dict[str, object] = {}  # job id -> PrefetchedPlan
+        self._stop_requested = False
+        self._started_at: Optional[float] = None
+        self._last_heartbeat = 0.0
+        self.requests_served = 0
+
+    # -- workloads --------------------------------------------------------------
+
+    def register_workload(
+        self, name: str, builder: Callable[[Dict], Callable[[], object]]
+    ) -> None:
+        """Add/replace a named workload recipe (tests, embedders)."""
+        if not name:
+            raise ConfigError("workload name must be non-empty")
+        self.workloads[name] = builder
+
+    # -- daemon.json ------------------------------------------------------------
+
+    def _read_meta(self) -> Optional[Dict]:
+        return _read_control_meta(self.control)
+
+    def _write_meta(self) -> None:
+        meta = {
+            "daemon_id": self.daemon_id,
+            "pid": os.getpid(),
+            "state": self.state,
+            "started": self._started_at,
+            "heartbeat": time.time(),
+            "tick": self.tick,
+            "jobs": len(self._jobs),
+            "active_jobs": sum(
+                1 for job in self._jobs.values() if not job.done
+            ),
+        }
+        self.control.write(
+            META_NAME, json.dumps(meta, sort_keys=True).encode("utf-8")
+        )
+        self._last_heartbeat = time.monotonic()
+
+    def _claim_control(self) -> None:
+        meta = self._read_meta()
+        if meta is not None and meta.get("state") != STATE_STOPPED:
+            age = time.time() - float(meta.get("heartbeat", 0.0))
+            if age < self.config.stale_after_seconds:
+                raise DaemonAlreadyRunning(
+                    f"daemon {meta.get('daemon_id')!r} (pid "
+                    f"{meta.get('pid')}) already serves this control "
+                    f"directory (heartbeat {age:.1f}s ago); "
+                    "drain it first or pick another --control"
+                )
+        self._started_at = time.time()
+        self.state = STATE_RUNNING
+        self._write_meta()
+
+    # -- control plane ----------------------------------------------------------
+
+    def _poll_control(self) -> int:
+        """Serve every pending request; returns how many were handled."""
+        handled = 0
+        for name in self.control.list(REQUEST_PREFIX):
+            request_id = name[len(REQUEST_PREFIX) : -len(".json")]
+            try:
+                request = json.loads(self.control.read(name).decode("utf-8"))
+            except (StorageError, UnicodeDecodeError, json.JSONDecodeError):
+                request = None
+            if request is None:
+                response = {"ok": False, "error": "unreadable request"}
+            else:
+                try:
+                    response = self._handle(request)
+                except Exception as exc:  # noqa: BLE001 - a bad request
+                    # must never kill the daemon; the error goes back to
+                    # the requester instead.
+                    response = {
+                        "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+            response["id"] = request_id
+            self.control.write(
+                f"{RESPONSE_PREFIX}{request_id}.json",
+                json.dumps(response, sort_keys=True).encode("utf-8"),
+            )
+            self.control.delete(name)
+            handled += 1
+            self.requests_served += 1
+        return handled
+
+    def _handle(self, request: Dict) -> Dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "state": self.state, "tick": self.tick}
+        if op == "submit":
+            return self._op_submit(request.get("spec") or {})
+        if op == "status":
+            return self._op_status(request.get("job"))
+        if op == "drain":
+            if self.state == STATE_RUNNING:
+                self.state = STATE_DRAINING
+            return {"ok": True, "state": self.state}
+        if op == "stop":
+            self._stop_requested = True
+            return {"ok": True, "state": self.state}
+        if op == "preempt":
+            return self._op_preempt(
+                request.get("job"), request.get("restart_delay_ticks")
+            )
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _op_submit(self, spec: Dict) -> Dict:
+        if self.state != STATE_RUNNING:
+            return {
+                "ok": False,
+                "error": f"daemon is {self.state}; not accepting jobs",
+            }
+        job_id = spec.get("job_id")
+        if not job_id:
+            return {"ok": False, "error": "submission needs a job_id"}
+        existing = self._jobs.get(job_id)
+        if existing is not None and not existing.done:
+            return {"ok": False, "error": f"job {job_id!r} is already active"}
+        workload = spec.get("workload", "classifier")
+        builder = self.workloads.get(workload)
+        if builder is None:
+            return {
+                "ok": False,
+                "error": f"unknown workload {workload!r} "
+                f"(have: {sorted(self.workloads)})",
+            }
+        factory = builder(dict(spec.get("params") or {}))
+        job_spec = FleetJobSpec(
+            job_id=job_id,
+            trainer_factory=factory,
+            target_steps=int(spec.get("target_steps", 1)),
+            checkpoint_every=int(spec.get("checkpoint_every", 1)),
+            max_pending=int(spec.get("max_pending", 2)),
+            backpressure=str(spec.get("backpressure", "block")),
+            save_on_start=bool(spec.get("save_on_start", True)),
+            restore_mode=str(spec.get("restore_mode", "exact")),
+        )
+        job = _JobRuntime(job_spec)
+        # A re-submitted job id *resumes* its history: the fresh incarnation
+        # restores from the store if it ever checkpointed there.
+        resumable = bool(self.store.manifest_names(job_id))
+        self._start_job(job, self.tick, fresh=not resumable)
+        self._jobs[job_id] = job
+        return {
+            "ok": True,
+            "job": job_id,
+            "resumed_from_step": (
+                job.result.resumed_from_steps[-1] if resumable else 0
+            ),
+            "submitted_at_tick": self.tick,
+        }
+
+    def _job_status(self, job: _JobRuntime) -> Dict:
+        if job.done:
+            state = "failed" if job.error is not None else "finished"
+        elif job.trainer is None:
+            state = "down"
+        else:
+            state = "running"
+        result = job.result
+        return {
+            "state": state,
+            "error": job.error,
+            "step": job.trainer.step_count if job.trainer else None,
+            "target_steps": job.spec.target_steps,
+            "final_step": result.final_step,
+            "steps_executed": result.steps_executed,
+            "preemptions": result.preemptions,
+            "restores": result.restores,
+            "lost_steps": result.lost_steps,
+            "resumed_from_steps": list(result.resumed_from_steps),
+            "down_until_tick": job.down_until,
+            "finish_tick": result.finish_tick,
+            "prefetching_restore": job.spec.job_id in self._prefetches,
+        }
+
+    def _op_status(self, job_id: Optional[str]) -> Dict:
+        if job_id is not None:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return {"ok": False, "error": f"unknown job {job_id!r}"}
+            return {
+                "ok": True,
+                "state": self.state,
+                "tick": self.tick,
+                "jobs": {job_id: self._job_status(job)},
+            }
+        return {
+            "ok": True,
+            "state": self.state,
+            "tick": self.tick,
+            "daemon_id": self.daemon_id,
+            "requests_served": self.requests_served,
+            "jobs": {
+                job_id: self._job_status(job)
+                for job_id, job in self._jobs.items()
+            },
+        }
+
+    def _op_preempt(
+        self, job_id: Optional[str], delay: Optional[int]
+    ) -> Dict:
+        delay = (
+            self.config.restart_delay_ticks if delay is None else int(delay)
+        )
+        targets: List[_JobRuntime] = []
+        if job_id is None:
+            targets = [
+                job
+                for job in self._jobs.values()
+                if not job.done and job.trainer is not None
+            ]
+        else:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return {"ok": False, "error": f"unknown job {job_id!r}"}
+            if job.done or job.trainer is None:
+                return {
+                    "ok": False,
+                    "error": f"job {job_id!r} is not running",
+                }
+            targets = [job]
+        for job in targets:
+            self._preempt_job(job, self.tick, delay)
+            self._stage_restore(job)
+        return {
+            "ok": True,
+            "preempted": sorted(job.spec.job_id for job in targets),
+            "restart_delay_ticks": delay,
+        }
+
+    # -- restore read-ahead -------------------------------------------------------
+
+    def _await_dead_channel(self, channel) -> None:
+        """Sliced wait that keeps heartbeating the control file.
+
+        A dead incarnation's in-flight save can stall for tens of seconds
+        on a throttled store; one long blocking wait would let the
+        heartbeat go stale and invite a second daemon to claim this
+        control directory.  Waiting in heartbeat-sized slices keeps this
+        daemon visibly alive the whole time.
+        """
+        deadline = time.monotonic() + 60.0
+        slice_seconds = min(self.config.heartbeat_seconds / 2, 0.25)
+        while time.monotonic() < deadline:
+            if channel.wait_idle(timeout=slice_seconds):
+                return
+            self._write_meta()
+
+    def _stage_restore(self, job: _JobRuntime) -> None:
+        """Start read-ahead for a preempted job's reincarnation restore.
+
+        The restart delay is dead time; spending it fetching — and, on a
+        tiered store, *promoting* — the newest checkpoint's chunks means
+        the actual restore finds everything already staged.  Only worth it
+        when a fast tier exists to stage into: without one the restore
+        cannot reuse the prefetched bytes, and staging would just read
+        every chunk twice.  Best-effort: a job that never checkpointed
+        simply has nothing to stage.
+        """
+        job_id = job.spec.job_id
+        self._cancel_prefetch(job_id)
+        if self.store.backend.tier_for("ch-staging-probe") is None:
+            return  # no fast tier to warm; staging would double the reads
+        try:
+            self._prefetches[job_id] = self.store.prefetch_restore(job_id)
+        except (CheckpointNotFoundError, ReproError):
+            pass
+
+    def _cancel_prefetch(self, job_id: str) -> None:
+        handle = self._prefetches.pop(job_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    # -- the loop ----------------------------------------------------------------
+
+    def _park_failed(self, job: _JobRuntime, exc: BaseException) -> None:
+        """Terminal failure of one job: record it, release its resources.
+
+        The channel is abandoned (crash semantics) so the pool hands a
+        *fresh* channel — with no stale queue or pending error — to any
+        later resubmission of the same job id.
+        """
+        job.error = str(exc)
+        job.result.finish_tick = self.tick
+        job.done = True
+        self._absorb_channel_stats(job)
+        if job.channel is not None:
+            job.channel.abandon()
+            job.channel = None
+        job.manager = None
+        job.trainer = None
+        job.dead_channel = None
+        self._cancel_prefetch(job.spec.job_id)
+
+    def _tick_once(self) -> bool:
+        """One scheduler pass; returns whether any job advanced."""
+        progressed = False
+        # 1. reincarnate preempted jobs whose delay elapsed
+        for job in self._jobs.values():
+            if (
+                not job.done
+                and job.trainer is None
+                and job.down_until is not None
+                and self.tick >= job.down_until
+            ):
+                try:
+                    self._recover_job(job, self.tick)
+                except ReproError as exc:
+                    # A failed restore must not take the daemon (or its
+                    # neighbours) down: park this job, keep serving.
+                    self._park_failed(job, exc)
+                # The read-ahead did its job (promotion/staging); drop the
+                # handle so its buffers are released.
+                self._cancel_prefetch(job.spec.job_id)
+                progressed = True
+        # 2. advance every running job
+        for job in self._jobs.values():
+            if job.done or job.trainer is None:
+                continue
+            try:
+                self._advance_job(job, self.tick)
+            except ReproError as exc:
+                self._park_failed(job, exc)
+            progressed = True
+        # 3. periodic placement sweep (lease-gated when a journal is set)
+        every = self.config.rebalance_every_ticks
+        if every > 0 and self.tick > 0 and self.tick % every == 0:
+            try:
+                self.store.rebalance_tiers()
+            except ReproError:
+                pass  # placement is advisory; the sweep retries next period
+        self.tick += 1
+        return progressed
+
+    def _active_jobs(self) -> int:
+        return sum(1 for job in self._jobs.values() if not job.done)
+
+    def serve(self) -> None:
+        """Run the daemon loop until stopped or drained (blocking).
+
+        Raises :class:`DaemonAlreadyRunning` when a live daemon already
+        heartbeats this control directory.
+        """
+        self._claim_control()
+        try:
+            while not self._stop_requested:
+                if (
+                    time.monotonic() - self._last_heartbeat
+                    >= self.config.heartbeat_seconds
+                ):
+                    self._write_meta()
+                handled = self._poll_control()
+                progressed = self._tick_once()
+                if self.state == STATE_DRAINING and self._active_jobs() == 0:
+                    break
+                if (
+                    self.config.max_ticks is not None
+                    and self.tick >= self.config.max_ticks
+                ):
+                    break
+                if not handled and not progressed:
+                    time.sleep(self.config.tick_seconds)
+        finally:
+            for job_id in list(self._prefetches):
+                self._cancel_prefetch(job_id)
+            try:
+                self.pool.drain()
+                self._compact_journal()
+            finally:
+                self.state = STATE_STOPPED
+                self._write_meta()
+
+    def _compact_journal(self) -> None:
+        """Fold the placement journal at shutdown (the quiescent moment).
+
+        Pin/unpin and lease records accumulate for the daemon's whole
+        lifetime; compacting on drain keeps the next daemon's journal
+        refreshes O(pins), not O(history).  Best-effort — the journal is
+        advisory metadata and shutdown must not fail over it.
+        """
+        journal = getattr(self.store, "placement_journal", None)
+        if journal is None:
+            return
+        try:
+            journal.compact()
+        except (ReproError, StorageError):
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Client
+# ---------------------------------------------------------------------------
+
+
+class DaemonClient:
+    """Talks to a :class:`FleetDaemon` through its control directory.
+
+    Every call is one request/response round trip over atomic file objects;
+    requests time out (daemon dead or wedged) instead of hanging forever.
+    """
+
+    def __init__(self, control, timeout: float = 30.0):
+        if timeout <= 0:
+            raise ConfigError(f"timeout must be > 0, got {timeout}")
+        self.control = _control_backend(control)
+        self.timeout = float(timeout)
+
+    # -- liveness ---------------------------------------------------------------
+
+    def daemon_meta(self) -> Optional[Dict]:
+        """The daemon's last ``daemon.json`` heartbeat, or ``None``."""
+        return _read_control_meta(self.control)
+
+    def is_alive(self, stale_after_seconds: float = 5.0) -> bool:
+        """Whether a daemon heartbeat is fresh enough to trust."""
+        meta = self.daemon_meta()
+        if meta is None or meta.get("state") == STATE_STOPPED:
+            return False
+        return time.time() - float(meta.get("heartbeat", 0.0)) < stale_after_seconds
+
+    # -- request/response -------------------------------------------------------
+
+    def request(
+        self, op: str, timeout: Optional[float] = None, **payload
+    ) -> Dict:
+        """One control-plane round trip; raises on timeout."""
+        timeout = self.timeout if timeout is None else float(timeout)
+        request_id = uuid.uuid4().hex[:12]
+        body = {"op": op, **payload}
+        self.control.write(
+            f"{REQUEST_PREFIX}{request_id}.json",
+            json.dumps(body, sort_keys=True).encode("utf-8"),
+        )
+        response_name = f"{RESPONSE_PREFIX}{request_id}.json"
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.control.exists(response_name):
+                try:
+                    response = json.loads(
+                        self.control.read(response_name).decode("utf-8")
+                    )
+                except (StorageError, json.JSONDecodeError):
+                    time.sleep(0.005)
+                    continue
+                self.control.delete(response_name)
+                return response
+            time.sleep(0.005)
+        # Leave no orphan request behind: the daemon may be gone for good.
+        self.control.delete(f"{REQUEST_PREFIX}{request_id}.json")
+        raise ConfigError(
+            f"daemon did not answer {op!r} within {timeout}s "
+            f"(alive={self.is_alive()})"
+        )
+
+    # -- verbs ------------------------------------------------------------------
+
+    def ping(self, timeout: Optional[float] = None) -> Dict:
+        """Round-trip liveness probe: daemon state + current tick."""
+        return self.request("ping", timeout=timeout)
+
+    def submit(self, spec: Dict, timeout: Optional[float] = None) -> Dict:
+        """Submit one job spec (see :meth:`FleetDaemon._op_submit`)."""
+        return self.request("submit", timeout=timeout, spec=spec)
+
+    def status(
+        self, job_id: Optional[str] = None, timeout: Optional[float] = None
+    ) -> Dict:
+        """Daemon state plus per-job progress (one job with ``job_id``)."""
+        return self.request("status", timeout=timeout, job=job_id)
+
+    def preempt(
+        self,
+        job_id: Optional[str] = None,
+        restart_delay_ticks: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        """Kill one job's incarnation (or every running job's with
+        ``job_id=None``); each reincarnates after the restart delay."""
+        return self.request(
+            "preempt",
+            timeout=timeout,
+            job=job_id,
+            restart_delay_ticks=restart_delay_ticks,
+        )
+
+    def drain(
+        self,
+        wait: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        """Ask the daemon to finish its jobs and exit.
+
+        With ``wait`` the call returns only once ``daemon.json`` reports
+        ``stopped`` (or the timeout elapses).
+        """
+        timeout = self.timeout if timeout is None else float(timeout)
+        response = self.request("drain", timeout=timeout)
+        if not wait:
+            return response
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            meta = self.daemon_meta()
+            if meta is not None and meta.get("state") == STATE_STOPPED:
+                return {"ok": True, "state": STATE_STOPPED}
+            time.sleep(0.01)
+        raise ConfigError(f"daemon did not stop within {timeout}s")
+
+    def stop(self, timeout: Optional[float] = None) -> Dict:
+        """Immediate shutdown: queued saves flush, running jobs halt."""
+        return self.request("stop", timeout=timeout)

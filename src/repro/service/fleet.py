@@ -36,17 +36,27 @@ from repro.storage.backend import StorageBackend
 
 
 class ThrottledBackend(StorageBackend):
-    """Backend decorator adding a settable real delay per write.
+    """Backend decorator adding settable real delays per operation.
 
-    The knob the brownout scenario turns: while the window is active every
-    write to the shared store stalls, the pool's queues grow, and channel
-    backpressure (block / drop-oldest / degrade) becomes observable.
+    Write side: the knob the brownout scenario turns — while the window is
+    active every write to the shared store stalls, the pool's queues grow,
+    and channel backpressure (block / drop-oldest / degrade) becomes
+    observable.
+
+    Read side: an RTT + bandwidth model with *real* sleeps
+    (``read_rtt_seconds`` + ``nbytes / read_bandwidth_bytes_per_s``), so
+    wall-clock restore benchmarks — notably the chain-restore read-ahead
+    sweep — experience object-store-like fetch latency that concurrent
+    fetches genuinely overlap.  Both default to free (0 / unlimited).
     """
 
     def __init__(self, inner: StorageBackend):
         self.inner = inner
         self.write_delay_seconds = 0.0
         self.delayed_writes = 0
+        self.read_rtt_seconds = 0.0
+        self.read_bandwidth_bytes_per_s = 0.0  # 0 = unlimited
+        self.delayed_reads = 0
         self._counter_lock = threading.Lock()  # pool workers write concurrently
 
     def write(self, name: str, data: bytes) -> None:
@@ -57,11 +67,24 @@ class ThrottledBackend(StorageBackend):
             time.sleep(delay)
         self.inner.write(name, data)
 
+    def _read_delay(self, nbytes: int) -> None:
+        delay = self.read_rtt_seconds
+        if self.read_bandwidth_bytes_per_s > 0:
+            delay += nbytes / self.read_bandwidth_bytes_per_s
+        if delay > 0:
+            with self._counter_lock:
+                self.delayed_reads += 1
+            time.sleep(delay)
+
     def read(self, name: str) -> bytes:
-        return self.inner.read(name)
+        data = self.inner.read(name)
+        self._read_delay(len(data))
+        return data
 
     def read_range(self, name: str, start: int, length: int) -> bytes:
-        return self.inner.read_range(name, start, length)
+        data = self.inner.read_range(name, start, length)
+        self._read_delay(len(data))
+        return data
 
     @property
     def supports_ranged_reads(self) -> bool:
@@ -143,6 +166,7 @@ class FleetJobResult:
 
     @property
     def wasted_steps(self) -> int:
+        """Steps executed beyond the final step (redone after crashes)."""
         return self.steps_executed - self.final_step
 
     @property
@@ -174,10 +198,12 @@ class FleetResult:
 
     @property
     def total_lost_steps(self) -> int:
+        """Steps lost to crashes across the whole fleet."""
         return sum(j.lost_steps for j in self.jobs.values())
 
     @property
     def recovered_work_ratio(self) -> float:
+        """Fleet-wide fraction of pre-crash progress the store gave back."""
         recovered = sum(sum(j.resumed_from_steps) for j in self.jobs.values())
         lost = self.total_lost_steps
         if recovered + lost == 0:
@@ -186,7 +212,7 @@ class FleetResult:
 
 
 class _JobRuntime:
-    """Mutable state of one job incarnation inside the harness."""
+    """Mutable state of one job incarnation inside the scheduler."""
 
     def __init__(self, spec: FleetJobSpec):
         self.spec = spec
@@ -198,31 +224,23 @@ class _JobRuntime:
         self.dead_channel: Optional[PoolChannel] = None
         self.steps_at_crash = 0
         self.done = False
+        self.error: Optional[str] = None  # terminal failure (daemon jobs)
 
 
-class FleetHarness:
-    """Drives N jobs to completion across storms and brownouts."""
+class JobLifecycle:
+    """Per-job start/preempt/recover/advance machinery over one store+pool.
 
-    def __init__(
-        self,
-        store: ChunkStore,
-        pool: WriterPool,
-        specs: Sequence[FleetJobSpec],
-        events: Sequence = (),
-        throttle: Optional[ThrottledBackend] = None,
-        max_ticks: int = 100000,
-    ):
-        if not specs:
-            raise ConfigError("fleet needs at least one job spec")
-        ids = [spec.job_id for spec in specs]
-        if len(set(ids)) != len(ids):
-            raise ConfigError(f"duplicate job ids in fleet: {ids}")
+    The scheduler-agnostic half of fleet execution: both the
+    run-to-completion :class:`FleetHarness` and the long-running
+    :class:`~repro.service.daemon.FleetDaemon` drive job incarnations
+    through exactly these transitions, so crash semantics (abandoned
+    queues, wait-for-in-flight-save, restore-validation saves) cannot
+    drift between the two schedulers.
+    """
+
+    def __init__(self, store: ChunkStore, pool: WriterPool):
         self.store = store
         self.pool = pool
-        self.specs = list(specs)
-        self.events = list(events)
-        self.throttle = throttle
-        self.max_ticks = int(max_ticks)
 
     # -- lifecycle of one job ------------------------------------------------------
 
@@ -281,20 +299,78 @@ class FleetHarness:
         job.channel = None
         job.down_until = tick + 1 + delay
 
+    def _await_dead_channel(self, channel: PoolChannel) -> None:
+        """Wait out a dead incarnation's in-flight save.
+
+        Schedulers with liveness obligations (the daemon heartbeats a
+        control file) override this to keep signalling while they wait.
+        """
+        channel.wait_idle(timeout=60.0)
+
     def _recover_job(self, job: _JobRuntime, tick: int) -> None:
         if job.dead_channel is not None:
             # Let the dead incarnation's in-flight save (if any) commit
             # before the reincarnation allocates its first sequence number:
             # checkpoint sequence order then always matches commit order.
-            job.dead_channel.wait_idle(timeout=60.0)
+            self._await_dead_channel(job.dead_channel)
             job.dead_channel = None
         self._start_job(job, tick, fresh=False)
         recovered = job.result.resumed_from_steps[-1]
         job.result.lost_steps += max(0, job.steps_at_crash - recovered)
 
+    def _advance_job(self, job: _JobRuntime, tick: int) -> bool:
+        """One training step for a running job; returns whether it finished."""
+        info = job.trainer.train_step()
+        job.result.steps_executed += 1
+        job.manager.on_step_end(job.trainer, info)
+        if job.trainer.step_count >= job.spec.target_steps:
+            # Terminal checkpoint (unless the cadence just saved this
+            # exact step) + drain, then release the channel.
+            if job.trainer.step_count % job.spec.checkpoint_every != 0:
+                job.manager.save(job.trainer.capture())
+            job.manager.close()
+            self._absorb_channel_stats(job)
+            job.result.final_step = job.trainer.step_count
+            job.result.finish_tick = tick
+            job.done = True
+            return True
+        return False
+
+
+class FleetHarness(JobLifecycle):
+    """Drives N jobs to completion across storms and brownouts."""
+
+    def __init__(
+        self,
+        store: ChunkStore,
+        pool: WriterPool,
+        specs: Sequence[FleetJobSpec],
+        events: Sequence = (),
+        throttle: Optional[ThrottledBackend] = None,
+        max_ticks: int = 100000,
+    ):
+        if not specs:
+            raise ConfigError("fleet needs at least one job spec")
+        ids = [spec.job_id for spec in specs]
+        if len(set(ids)) != len(ids):
+            raise ConfigError(f"duplicate job ids in fleet: {ids}")
+        super().__init__(store, pool)
+        self.specs = list(specs)
+        self.events = list(events)
+        self.throttle = throttle
+        self.max_ticks = int(max_ticks)
+
     # -- the scheduler loop -------------------------------------------------------
 
     def run(self) -> FleetResult:
+        """Drive every job to its target step; returns the fleet outcome.
+
+        Each tick applies scenario events (storms preempt, brownouts
+        throttle), reincarnates jobs whose restart delay elapsed, then
+        advances every running job one training step.  Raises
+        :class:`~repro.errors.ConfigError` if the fleet does not finish
+        within ``max_ticks``.
+        """
         started = time.perf_counter()
         jobs = {spec.job_id: _JobRuntime(spec) for spec in self.specs}
         events_fired: List[str] = []
@@ -358,19 +434,7 @@ class FleetHarness:
                     continue
                 if tick < job.spec.cadence_offset:
                     continue
-                info = job.trainer.train_step()
-                job.result.steps_executed += 1
-                job.manager.on_step_end(job.trainer, info)
-                if job.trainer.step_count >= job.spec.target_steps:
-                    # Terminal checkpoint (unless the cadence just saved this
-                    # exact step) + drain, then release the channel.
-                    if job.trainer.step_count % job.spec.checkpoint_every != 0:
-                        job.manager.save(job.trainer.capture())
-                    job.manager.close()
-                    self._absorb_channel_stats(job)
-                    job.result.final_step = job.trainer.step_count
-                    job.result.finish_tick = tick
-                    job.done = True
+                self._advance_job(job, tick)
             tick += 1
         self.pool.drain()
         stats = self.store.stats

@@ -19,12 +19,18 @@ implementations:
   over a slow tier, write-through or write-back,
 * :class:`~repro.storage.sharded.ShardedBackend` — stable-hash routing of one
   namespace across several backends (the chunk-store substrate).
+
+:class:`~repro.storage.placement.PlacementJournal` is not a backend but the
+shared placement state *over* one: an append-only, on-store journal making
+tier pins durable across restarts and visible across processes, with
+lease-based single-holder roles for fleet-wide sweeps (rebalance, compact).
 """
 
 from repro.storage.backend import StorageBackend
 from repro.storage.flaky import FlakyBackend
 from repro.storage.local import LocalDirectoryBackend
 from repro.storage.memory import InMemoryBackend
+from repro.storage.placement import LeaseState, PlacementJournal
 from repro.storage.replicated import ReplicatedBackend, ReplicationStats
 from repro.storage.sharded import ShardedBackend
 from repro.storage.simulated import SimulatedRemoteBackend, TransferCostModel
@@ -37,6 +43,8 @@ __all__ = [
     "SimulatedRemoteBackend",
     "TransferCostModel",
     "FlakyBackend",
+    "PlacementJournal",
+    "LeaseState",
     "ReplicatedBackend",
     "ReplicationStats",
     "ShardedBackend",

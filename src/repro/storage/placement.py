@@ -1,0 +1,383 @@
+"""Cross-process tier placement journal: durable pins, shared leases.
+
+:class:`~repro.storage.tiered.TieredBackend` keeps pin/promote/demote
+bookkeeping in per-process dicts, which has two failure modes the fleet
+daemon cannot live with:
+
+* **pins die with the process** — after a crash the reopened tier has an
+  empty pin set, so pinned-aware eviction can evict a job's newest manifest
+  (the object every restore, discovery and gc pass reads first);
+* **two daemons sharing one store fight** — process A pins a manifest,
+  process B (same slow tier, its own fast tier) knows nothing about it and
+  happily demotes or rebalances it away.
+
+:class:`PlacementJournal` fixes both by writing placement facts into the
+*store itself* as an append-only log of single-object records.  Every record
+is one backend object (backend writes are atomic), so two processes never
+clobber each other — they interleave, and the deterministic fold order
+``(seq, owner)`` makes every reader agree on the resulting state:
+
+* ``pin`` / ``unpin`` — last operation per name wins.  Pins are durable: a
+  reopened :class:`TieredBackend` re-adopts them before serving traffic.
+* ``lease`` / ``release`` — advisory single-holder roles (``"rebalance"``,
+  ``"compact"``) with wall-clock expiry.  A claim only takes the slot when
+  it is free, expired, or already held by the claimant; losers observe that
+  they lost on the read-back.  This is what keeps two daemons from demoting
+  the same chunk set concurrently: ``ChunkStore.rebalance_tiers`` runs only
+  while holding the ``rebalance`` lease.
+* ``snapshot`` — compaction: the folded state re-written as one record so
+  the log stays bounded.  Compaction requires the ``compact`` lease and is
+  meant for quiescent moments (daemon drain); records that land concurrently
+  with a compaction may need their pins re-asserted, which the chunk store's
+  pin-on-save path does anyway.
+
+Record layout (``plj-<seq:08d>-<owner>.json``)::
+
+    {"version": 1, "seq": 12, "owner": "daemon-a", "ts": 1750000000.0,
+     "op": "pin", "name": "job-lr01-ckpt-000004.json"}
+
+The journal is deliberately *advisory metadata*: losing it costs placement
+quality (a manifest may be evicted to the slow tier), never data — every
+object it names remains fully readable from the slow tier.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigError, StorageError
+from repro.storage.backend import StorageBackend, validate_name
+
+RECORD_PREFIX = "plj-"
+JOURNAL_VERSION = 1
+
+#: Lease role serializing fleet-wide demote/promote sweeps across daemons.
+LEASE_REBALANCE = "rebalance"
+#: Lease role serializing journal compaction.
+LEASE_COMPACT = "compact"
+
+
+@dataclass(frozen=True)
+class LeaseState:
+    """One role's current holder, as folded from the journal."""
+
+    role: str
+    holder: str
+    expires: float
+    seq: int
+
+
+def _record_sort_key(record: Dict) -> Tuple[int, str]:
+    return int(record.get("seq", 0)), str(record.get("owner", ""))
+
+
+class PlacementJournal:
+    """Shared, append-only placement state over one storage backend.
+
+    ``owner`` identifies this process in records and lease claims (use a
+    stable daemon id, not a PID, if pins should survive the owner's own
+    restarts — ownership of a *pin* does not matter for eviction, only the
+    pinned name does).  ``refresh_seconds`` bounds how stale the cached fold
+    may get before reads hit the backend again; ``0`` re-reads on every
+    query (tests), the default keeps eviction decisions cheap.
+    """
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        owner: str,
+        lease_seconds: float = 30.0,
+        refresh_seconds: float = 0.2,
+        clock: Callable[[], float] = time.time,
+    ):
+        if not owner:
+            raise ConfigError("journal owner must be a non-empty string")
+        # Probe the record name we will construct so bad owners fail fast.
+        validate_name(f"{RECORD_PREFIX}00000001-{owner}.json")
+        if lease_seconds <= 0:
+            raise ConfigError(
+                f"lease_seconds must be > 0, got {lease_seconds}"
+            )
+        if refresh_seconds < 0:
+            raise ConfigError(
+                f"refresh_seconds must be >= 0, got {refresh_seconds}"
+            )
+        self.backend = backend
+        self.owner = str(owner)
+        self.lease_seconds = float(lease_seconds)
+        self.refresh_seconds = float(refresh_seconds)
+        self._clock = clock
+        self._lock = threading.RLock()
+        # Parsed-record cache: object name -> record dict (None = unreadable,
+        # kept so damaged records are not re-fetched every refresh).
+        self._cache: Dict[str, Optional[Dict]] = {}
+        self._pins: Set[str] = set()
+        self._pin_owner: Dict[str, str] = {}
+        self._leases: Dict[str, LeaseState] = {}
+        self._next_seq = 1
+        self._last_refresh = float("-inf")
+        self.refresh()
+
+    # -- reading ----------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Re-read the log and fold it into the cached state."""
+        with self._lock:
+            names = self.backend.list(RECORD_PREFIX)
+            listed = set(names)
+            # Drop cache entries for compacted (deleted) records.
+            for name in list(self._cache):
+                if name not in listed:
+                    del self._cache[name]
+            for name in names:
+                if name in self._cache:
+                    continue
+                try:
+                    self._cache[name] = self._parse(self.backend.read(name))
+                except StorageError:
+                    # Deleted between list and read: a compaction races us,
+                    # and the surviving snapshot record carries its effect.
+                    continue
+            self._fold()
+            self._last_refresh = self._clock()
+
+    def _maybe_refresh(self) -> None:
+        with self._lock:
+            if self._clock() - self._last_refresh >= self.refresh_seconds:
+                self.refresh()
+
+    @staticmethod
+    def _parse(data: bytes) -> Optional[Dict]:
+        try:
+            record = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None  # damaged record: placement is advisory, skip it
+        if (
+            not isinstance(record, dict)
+            or record.get("version") != JOURNAL_VERSION
+        ):
+            return None
+        return record
+
+    def _fold(self) -> None:
+        """Rebuild pins/leases from the cached records (caller holds lock)."""
+        records = sorted(
+            (r for r in self._cache.values() if r is not None),
+            key=_record_sort_key,
+        )
+        pins: Set[str] = set()
+        pin_owner: Dict[str, str] = {}
+        leases: Dict[str, LeaseState] = {}
+        top_seq = 0
+        for record in records:
+            seq = int(record.get("seq", 0))
+            owner = str(record.get("owner", ""))
+            ts = float(record.get("ts", 0.0))
+            top_seq = max(top_seq, seq)
+            op = record.get("op")
+            if op == "pin":
+                name = record.get("name")
+                if isinstance(name, str):
+                    pins.add(name)
+                    pin_owner[name] = owner
+            elif op == "unpin":
+                name = record.get("name")
+                if isinstance(name, str):
+                    pins.discard(name)
+                    pin_owner.pop(name, None)
+            elif op == "lease":
+                role = str(record.get("role", ""))
+                expires = float(record.get("expires", 0.0))
+                slot = leases.get(role)
+                # A claim takes the slot when it is free, already the
+                # claimant's, or expired *at the time the claim was made*.
+                if (
+                    slot is None
+                    or slot.holder == owner
+                    or slot.expires <= ts
+                ):
+                    leases[role] = LeaseState(
+                        role=role, holder=owner, expires=expires, seq=seq
+                    )
+            elif op == "release":
+                role = str(record.get("role", ""))
+                slot = leases.get(role)
+                if slot is not None and slot.holder == owner:
+                    del leases[role]
+            elif op == "snapshot":
+                pins = {n for n in record.get("pins", []) if isinstance(n, str)}
+                pin_owner = {
+                    n: str(o)
+                    for n, o in dict(record.get("pin_owners", {})).items()
+                    if isinstance(n, str)
+                }
+                leases = {}
+                for role, slot in dict(record.get("leases", {})).items():
+                    leases[str(role)] = LeaseState(
+                        role=str(role),
+                        holder=str(slot.get("holder", "")),
+                        expires=float(slot.get("expires", 0.0)),
+                        seq=seq,
+                    )
+        self._pins = pins
+        self._pin_owner = pin_owner
+        self._leases = leases
+        self._next_seq = top_seq + 1
+
+    # -- writing ----------------------------------------------------------------
+
+    def _append(self, op: Dict) -> Dict:
+        """Write one record (atomic backend object) and fold it in locally."""
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            record = {
+                "version": JOURNAL_VERSION,
+                "seq": seq,
+                "owner": self.owner,
+                "ts": self._clock(),
+                **op,
+            }
+            name = f"{RECORD_PREFIX}{seq:08d}-{self.owner}.json"
+            self.backend.write(
+                name, json.dumps(record, sort_keys=True).encode("utf-8")
+            )
+            self._cache[name] = record
+            self._fold()
+            return record
+
+    # -- pins -------------------------------------------------------------------
+
+    def pin(self, name: str) -> None:
+        """Durably mark ``name`` as never-evict for every sharing process."""
+        with self._lock:
+            self._maybe_refresh()
+            if name in self._pins:
+                return
+            self._append({"op": "pin", "name": name})
+
+    def unpin(self, name: str) -> None:
+        """Durably clear the pin on ``name`` (any process may clear it)."""
+        with self._lock:
+            self._maybe_refresh()
+            if name not in self._pins:
+                return
+            self._append({"op": "unpin", "name": name})
+
+    def pinned_names(self) -> Set[str]:
+        """Names currently pinned according to the (possibly cached) fold."""
+        with self._lock:
+            self._maybe_refresh()
+            return set(self._pins)
+
+    def is_pinned(self, name: str) -> bool:
+        """Whether ``name`` is pinned by any sharing process."""
+        with self._lock:
+            self._maybe_refresh()
+            return name in self._pins
+
+    # -- leases -----------------------------------------------------------------
+
+    def acquire_lease(self, role: str, ttl: Optional[float] = None) -> bool:
+        """Try to take ``role``; returns whether this owner now holds it.
+
+        The protocol is claim-then-verify: write a claim record, re-read the
+        log, and check which claim the deterministic fold awarded the slot
+        to.  Two daemons claiming concurrently both observe the same winner.
+        """
+        ttl = self.lease_seconds if ttl is None else float(ttl)
+        if ttl <= 0:
+            raise ConfigError(f"lease ttl must be > 0, got {ttl}")
+        with self._lock:
+            self.refresh()
+            now = self._clock()
+            slot = self._leases.get(role)
+            if slot is not None and slot.expires > now and slot.holder != self.owner:
+                return False
+            self._append(
+                {
+                    "op": "lease",
+                    "role": role,
+                    "expires": now + ttl,
+                }
+            )
+            self.refresh()
+            slot = self._leases.get(role)
+            return (
+                slot is not None
+                and slot.holder == self.owner
+                and slot.expires > now
+            )
+
+    def release_lease(self, role: str) -> None:
+        """Give ``role`` back if this owner holds it (idempotent)."""
+        with self._lock:
+            self.refresh()
+            slot = self._leases.get(role)
+            if slot is not None and slot.holder == self.owner:
+                self._append({"op": "release", "role": role})
+
+    def lease_holder(self, role: str) -> Optional[str]:
+        """Current unexpired holder of ``role``, or ``None``."""
+        with self._lock:
+            self._maybe_refresh()
+            slot = self._leases.get(role)
+            if slot is None or slot.expires <= self._clock():
+                return None
+            return slot.holder
+
+    def holds_lease(self, role: str) -> bool:
+        """Whether this owner currently holds ``role``."""
+        return self.lease_holder(role) == self.owner
+
+    # -- compaction -------------------------------------------------------------
+
+    def records(self) -> List[str]:
+        """Record object names currently in the log (diagnostics)."""
+        with self._lock:
+            self._maybe_refresh()
+            return sorted(self._cache)
+
+    def compact(self) -> int:
+        """Fold the log into one snapshot record; returns records deleted.
+
+        Requires the ``compact`` lease (taken and released here) so two
+        daemons never compact concurrently.  Call this at quiescent moments
+        — daemon drain — because a record appended *while* the snapshot is
+        being written may be reset away; pin-on-save re-asserts such pins.
+        """
+        with self._lock:
+            if not self.acquire_lease(LEASE_COMPACT):
+                return 0
+            try:
+                covered = [
+                    name
+                    for name, record in self._cache.items()
+                    if record is not None
+                ]
+                snapshot = {
+                    "op": "snapshot",
+                    "pins": sorted(self._pins),
+                    "pin_owners": dict(self._pin_owner),
+                    "leases": {
+                        role: {"holder": s.holder, "expires": s.expires}
+                        for role, s in self._leases.items()
+                    },
+                }
+                kept = self._append(snapshot)
+                kept_name = f"{RECORD_PREFIX}{kept['seq']:08d}-{self.owner}.json"
+                deleted = 0
+                for name in covered:
+                    if name == kept_name:
+                        continue
+                    self.backend.delete(name)
+                    self._cache.pop(name, None)
+                    deleted += 1
+                self._fold()
+                return deleted
+            finally:
+                self.release_lease(LEASE_COMPACT)

@@ -25,6 +25,14 @@ Placement control (the chunk store's tier-aware read path drives these):
 * :meth:`demote` — flush-if-dirty and drop one object from the fast tier
   (cold chunks referenced only by old checkpoints make room for hot ones).
 
+Cross-process placement: per-process pin state dies with the process and is
+invisible to other processes sharing the slow tier.  Passing a
+:class:`~repro.storage.placement.PlacementJournal` makes pins *durable*
+(a reopened backend re-adopts and re-promotes journal pins before serving
+traffic) and *shared* (eviction and demotion also honour names pinned by
+any other process writing the same journal).  The journal is advisory
+metadata: losing it costs fast-tier residency, never data.
+
 Thread safety: the restore executor fetches chunks through this backend
 from several threads, so LRU/pin/dirty bookkeeping is guarded by a lock.
 Slow-tier fetches on the miss path run *outside* the lock (concurrent
@@ -37,10 +45,11 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Set
+from typing import List, Optional, Set
 
 from repro.errors import ConfigError, StorageError
 from repro.storage.backend import StorageBackend
+from repro.storage.placement import PlacementJournal
 
 _POLICIES = {"write-through", "write-back"}
 
@@ -66,6 +75,7 @@ class TieredBackend(StorageBackend):
         slow: StorageBackend,
         fast_capacity_bytes: int,
         policy: str = "write-through",
+        journal: Optional[PlacementJournal] = None,
     ):
         if fast_capacity_bytes < 1:
             raise ConfigError(
@@ -79,6 +89,7 @@ class TieredBackend(StorageBackend):
         self.slow = slow
         self.fast_capacity_bytes = int(fast_capacity_bytes)
         self.policy = policy
+        self.journal = journal
         self.stats = TierStats()
         # LRU bookkeeping: name -> size, in access order (oldest first).
         self._resident: "OrderedDict[str, int]" = OrderedDict()
@@ -91,10 +102,36 @@ class TieredBackend(StorageBackend):
         self._pending_slow: dict = {}
         self._lock = threading.RLock()
         self._adopt_existing_fast_objects()
+        self._adopt_journal_pins()
 
     def _adopt_existing_fast_objects(self) -> None:
         for name in self.fast.list():
             self._resident[name] = self.fast.size(name)
+
+    def _adopt_journal_pins(self) -> None:
+        """Re-establish durable pins after a reopen (crash recovery).
+
+        Every journal-pinned name is promoted (best-effort) and locally
+        pinned, so pinned-aware eviction protects it from the first write
+        onwards — the per-process pin set no longer starts empty after a
+        crash.  Names the journal pins that no longer exist anywhere are
+        skipped (a gc removed the object; the stale pin is harmless and
+        cleared by the next compaction or unpin).
+        """
+        if self.journal is None:
+            return
+        for name in sorted(self.journal.pinned_names()):
+            try:
+                self.promote(name)
+            except StorageError:
+                continue  # pinned name no longer exists: stale journal entry
+            with self._lock:
+                if name in self._resident:
+                    self._pinned.add(name)
+
+    def _journal_pinned(self, name: str) -> bool:
+        """Whether another process's (or a pre-crash) pin protects ``name``."""
+        return self.journal is not None and self.journal.is_pinned(name)
 
     # -- capacity ---------------------------------------------------------------
 
@@ -113,9 +150,19 @@ class TieredBackend(StorageBackend):
         """
         if incoming > self.fast_capacity_bytes:
             return False
+        # One journal read per eviction pass: names pinned by *any* process
+        # sharing the journal are off-limits, exactly like local pins.
+        journal_pins = (
+            self.journal.pinned_names() if self.journal is not None else ()
+        )
         while sum(self._resident.values()) + incoming > self.fast_capacity_bytes:
             victim = next(
-                (n for n in self._resident if n not in self._pinned), None
+                (
+                    n
+                    for n in self._resident
+                    if n not in self._pinned and n not in journal_pins
+                ),
+                None,
             )
             if victim is None:
                 return False
@@ -177,11 +224,17 @@ class TieredBackend(StorageBackend):
                     f"cannot pin {name!r}: it does not fit the fast tier"
                 )
             self._pinned.add(name)
+        if self.journal is not None:
+            # Durable + cross-process: the pin survives this process and is
+            # honoured by every other backend sharing the journal.
+            self.journal.pin(name)
 
     def unpin(self, name: str) -> None:
         """Make ``name`` evictable again (resident until LRU says otherwise)."""
         with self._lock:
             self._pinned.discard(name)
+        if self.journal is not None:
+            self.journal.unpin(name)
 
     def pinned_objects(self) -> List[str]:
         """Currently pinned names."""
@@ -211,10 +264,13 @@ class TieredBackend(StorageBackend):
     def demote(self, name: str) -> bool:
         """Drop ``name`` from the fast tier (flushing first if dirty).
 
-        Pinned or non-resident objects are left alone (returns ``False``).
-        The object stays fully readable from the slow tier — demotion moves
-        cold data out of the cache, it never loses it.
+        Pinned or non-resident objects are left alone (returns ``False``);
+        with a journal, pins held by *other* processes refuse the demotion
+        too.  The object stays fully readable from the slow tier — demotion
+        moves cold data out of the cache, it never loses it.
         """
+        if self._journal_pinned(name):
+            return False
         with self._lock:
             if name not in self._resident or name in self._pinned:
                 return False
@@ -333,12 +389,23 @@ class TieredBackend(StorageBackend):
 
     def delete(self, name: str) -> None:
         with self._lock:
+            was_pinned = name in self._pinned
             if name in self._resident:
                 self.fast.delete(name)
                 self._resident.pop(name, None)
             self._dirty.discard(name)
             self._pinned.discard(name)
         self.slow.delete(name)
+        if self.journal is not None:
+            # A deleted object needs no placement; clear the durable pin so
+            # reopened backends do not try to re-adopt a ghost.  Best-effort:
+            # the delete itself succeeded, and advisory journal trouble must
+            # not fail a gc pass.
+            try:
+                if was_pinned or self.journal.is_pinned(name):
+                    self.journal.unpin(name)
+            except StorageError:
+                pass
 
     def list(self, prefix: str = "") -> List[str]:
         names = set(self.slow.list(prefix))
