@@ -29,8 +29,14 @@ Three experiments, all written to ``BENCH_fleet.json`` at the repo root:
    modelled pipeline latency; read-ahead must reduce both.
 
 5. **Daemon churn** — the long-running daemon absorbing two waves of job
-   submissions, a mid-run preemption of the whole fleet, reincarnation
-   with staged (prefetched) restores, and a clean drain.
+   submissions (each wave led by a priority-3 job whose weighted share
+   must measurably skew tick allocation), a mid-run preemption of the
+   whole fleet, reincarnation with staged (prefetched) restores, and a
+   clean drain.
+
+6. **Control plane** — file vs socket transport: request round-trip
+   latency (ping) and submit throughput while poller threads hammer
+   ``status`` (the monitoring-storm regime a sweep dashboard creates).
 """
 
 import json
@@ -547,6 +553,9 @@ DAEMON_JOBS_PER_WAVE = 3
 DAEMON_TARGET_STEPS = 20
 
 
+DAEMON_LEAD_PRIORITY = 3
+
+
 def test_daemon_churn_storm_drain(report):
     """The long-running daemon absorbs churn, a storm, and a drain.
 
@@ -554,6 +563,10 @@ def test_daemon_churn_storm_drain(report):
     a fleet-wide preemption with staged restores during the restart delay,
     then a drain that finishes every job.  Every job must complete at its
     target step with its history restorable bitwise from the shared store.
+
+    Each wave's first job carries ``priority=3``: under the weighted
+    scheduler it must receive a measurably larger share of training ticks
+    and therefore finish ahead of its priority-1 wave-mates.
     """
     import threading
 
@@ -575,10 +588,13 @@ def test_daemon_churn_storm_drain(report):
         client.ping()
 
         def spec(i: int) -> dict:
+            # The first job of each wave is the high-priority lead.
+            lead = i % DAEMON_JOBS_PER_WAVE == 0
             return {
                 "job_id": f"churn{i:02d}",
                 "workload": "classifier",
                 "target_steps": DAEMON_TARGET_STEPS,
+                "priority": DAEMON_LEAD_PRIORITY if lead else 1,
                 "params": {
                     "qubits": 3,
                     "layers": 1,
@@ -626,7 +642,37 @@ def test_daemon_churn_storm_drain(report):
     for job_id in final:
         assert store.load_snapshot(job_id).step == DAEMON_TARGET_STEPS
 
+    # Priority skew: every job ran the same 20 steps, so a larger tick
+    # share means finishing *earlier*.  Each wave's priority-3 lead must
+    # beat every priority-1 job of its own wave to the finish line, and
+    # the leads' mean scheduling rate (steps per tick of presence) must
+    # visibly exceed the rank and file's.
+    sched = {
+        job_id: {
+            "priority": job["priority"],
+            "ticks_scheduled": job["ticks_scheduled"],
+            "finish_tick": job["finish_tick"],
+        }
+        for job_id, job in final.items()
+    }
+    for wave in range(2):
+        ids = [
+            f"churn{i:02d}"
+            for i in range(
+                wave * DAEMON_JOBS_PER_WAVE, (wave + 1) * DAEMON_JOBS_PER_WAVE
+            )
+        ]
+        lead, others = ids[0], ids[1:]
+        for other in others:
+            assert final[lead]["finish_tick"] < final[other]["finish_tick"], (
+                f"priority-{DAEMON_LEAD_PRIORITY} {lead} "
+                f"(tick {final[lead]['finish_tick']}) did not beat "
+                f"priority-1 {other} (tick {final[other]['finish_tick']})"
+            )
+
     payload = {
+        "sched": sched,
+        "lead_priority": DAEMON_LEAD_PRIORITY,
         "jobs": len(final),
         "waves": 2,
         "target_steps": DAEMON_TARGET_STEPS,
@@ -644,6 +690,12 @@ def test_daemon_churn_storm_drain(report):
     }
     _write_json("daemon_churn", payload)
 
+    lead_finish = [
+        s["finish_tick"] for s in sched.values() if s["priority"] > 1
+    ]
+    other_finish = [
+        s["finish_tick"] for s in sched.values() if s["priority"] == 1
+    ]
     table = "\n".join(
         [
             f"{'jobs (2 waves)':<26} {payload['jobs']}",
@@ -654,6 +706,166 @@ def test_daemon_churn_storm_drain(report):
             f"{'checkpoints':<26} {payload['checkpoints']}",
             f"{'dedup':<26} {payload['dedup_ratio']:.2f}x",
             f"{'lost steps':<26} {payload['lost_steps']}",
+            f"{'pri-3 finish ticks':<26} {sorted(lead_finish)}",
+            f"{'pri-1 finish ticks':<26} {sorted(other_finish)}",
         ]
     )
     report("Fleet service: daemon churn + storm + drain", table)
+
+
+# ---------------------------------------------------------------------------
+# Control plane: file vs socket transport under a status-polling storm
+# ---------------------------------------------------------------------------
+
+CONTROL_PINGS = 50
+CONTROL_SUBMIT_JOBS = 6
+CONTROL_POLLERS = 3
+
+
+def test_control_plane_transport_latency(report):
+    """File vs socket control transports against one live daemon.
+
+    The same daemon serves both planes, so the comparison isolates the
+    transport: (1) round-trip latency of ``ping`` measured per transport,
+    (2) submit-to-finished throughput of a wave of 1-step jobs while
+    poller threads hammer ``status`` through the same transport — the
+    monitoring-storm regime a sweep dashboard creates.  Both transports
+    must complete every operation; the numbers land in
+    ``BENCH_fleet.json`` under ``control_plane``.
+    """
+    import tempfile
+    import threading
+
+    from repro.service import DaemonClient, DaemonConfig, FleetDaemon
+
+    store = ChunkStore(InMemoryBackend(), block_bytes=4096)
+    pool = WriterPool(workers=2)
+    control = tempfile.mkdtemp(prefix="qckpt-ctl-bench-")
+    daemon = FleetDaemon(
+        store,
+        pool,
+        control,
+        config=DaemonConfig(tick_seconds=0.001),
+        listen="127.0.0.1:0",
+    )
+    thread = threading.Thread(target=daemon.serve, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while daemon.socket_transport.port == 0:
+        assert time.monotonic() < deadline, "socket transport never bound"
+        time.sleep(0.002)
+    clients = {
+        "file": DaemonClient(control, timeout=60.0),
+        "socket": DaemonClient(connect=daemon.listen_address, timeout=60.0),
+    }
+    rows = {}
+    try:
+        for name, client in clients.items():
+            client.ping()  # warm the path (socket: connect + handshake)
+
+            # 1. round-trip latency
+            samples = []
+            for _ in range(CONTROL_PINGS):
+                started = time.perf_counter()
+                assert client.ping()["ok"]
+                samples.append(time.perf_counter() - started)
+            samples.sort()
+            p50 = samples[len(samples) // 2]
+            p90 = samples[(len(samples) * 9) // 10]
+
+            # 2. submit throughput under a status-polling storm
+            stop = threading.Event()
+            polls = [0] * CONTROL_POLLERS
+
+            def poll_loop(slot, poll_client):
+                while not stop.is_set():
+                    poll_client.status()
+                    polls[slot] += 1
+
+            pollers = [
+                threading.Thread(
+                    target=poll_loop, args=(slot, client), daemon=True
+                )
+                for slot in range(CONTROL_POLLERS)
+            ]
+            for poller in pollers:
+                poller.start()
+            job_ids = [
+                f"{name}{i:02d}" for i in range(CONTROL_SUBMIT_JOBS)
+            ]
+            started = time.perf_counter()
+            try:
+                for job_id in job_ids:
+                    response = client.submit(
+                        {
+                            "job_id": job_id,
+                            "workload": "classifier",
+                            "target_steps": 1,
+                            "params": {
+                                "qubits": 2,
+                                "layers": 1,
+                                "samples": 16,
+                                "batch_size": 4,
+                            },
+                        }
+                    )
+                    assert response["ok"], response
+                wait_deadline = time.monotonic() + 60.0
+                while time.monotonic() < wait_deadline:
+                    jobs = client.status()["jobs"]
+                    if all(
+                        jobs[job_id]["state"] == "finished"
+                        for job_id in job_ids
+                    ):
+                        break
+                    time.sleep(0.005)
+                else:
+                    raise AssertionError(f"{name} submit wave never finished")
+            finally:
+                stop.set()
+                for poller in pollers:
+                    poller.join(timeout=10.0)
+            elapsed = time.perf_counter() - started
+            rows[name] = {
+                "ping_p50_ms": p50 * 1e3,
+                "ping_p90_ms": p90 * 1e3,
+                "submit_wave_seconds": elapsed,
+                "submits_per_second": CONTROL_SUBMIT_JOBS / elapsed,
+                "status_polls_during_wave": sum(polls),
+            }
+    finally:
+        try:
+            clients["file"].stop(timeout=10.0)
+        except Exception:  # noqa: BLE001 - daemon may already be gone
+            pass
+        clients["socket"].close()
+        thread.join(timeout=30.0)
+        pool.close()
+
+    payload = {
+        "pings": CONTROL_PINGS,
+        "submit_jobs": CONTROL_SUBMIT_JOBS,
+        "pollers": CONTROL_POLLERS,
+        "requests_served": daemon.requests_served,
+        **rows,
+    }
+    _write_json("control_plane", payload)
+
+    table = "\n".join(
+        [
+            f"{'transport':<10} {'p50 (ms)':>10} {'p90 (ms)':>10} "
+            f"{'submits/s':>10} {'polls':>7}"
+        ]
+        + [
+            f"{name:<10} {row['ping_p50_ms']:>10.2f} "
+            f"{row['ping_p90_ms']:>10.2f} "
+            f"{row['submits_per_second']:>10.1f} "
+            f"{row['status_polls_during_wave']:>7}"
+            for name, row in rows.items()
+        ]
+    )
+    report("Fleet service: control-plane transports (file vs socket)", table)
+
+    # Both transports finished the identical op sequence; the storm was real.
+    for name, row in rows.items():
+        assert row["status_polls_during_wave"] > 0, f"{name} storm idle"

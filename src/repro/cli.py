@@ -15,9 +15,15 @@ Subcommands::
     qckpt stats <dir>              aggregate store statistics
     qckpt fleet [--jobs N ...]     run a multi-job checkpoint-service scenario
     qckpt daemon start <dir>       run the long-running fleet daemon
+                                   (--listen HOST:PORT serves TCP as well)
     qckpt daemon submit ...        submit a job to a running daemon
     qckpt daemon status ...        query daemon and per-job state
+    qckpt daemon preempt ...       kill job incarnations (they reincarnate)
     qckpt daemon drain ...         finish running jobs, then stop the daemon
+    qckpt daemon stop ...          stop now: flush queued saves, halt jobs
+
+Every daemon client verb reaches its daemon through ``--control DIR``
+(shared filesystem) or ``--connect HOST:PORT [--token T]`` (TCP).
 
 Every subcommand is documented with copy-pasteable examples in
 ``docs/OPERATIONS.md``.  The CLI never unpickles anything — it reads QCKPT
@@ -540,14 +546,22 @@ def cmd_daemon_start(args: argparse.Namespace) -> int:
         rebalance_every_ticks=args.rebalance_every,
         restart_delay_ticks=args.restart_delay,
         max_ticks=args.max_ticks if args.max_ticks > 0 else None,
+        compact_journal_records=args.compact_journal_records,
     )
     daemon = FleetDaemon(
-        store, pool, control, config=config, daemon_id=daemon_id
+        store,
+        pool,
+        control,
+        config=config,
+        daemon_id=daemon_id,
+        listen=args.listen,
+        auth_token=args.token,
     )
     print(
         f"daemon {daemon.daemon_id} serving {args.store} "
-        f"(control plane: {control}); drain with: "
-        f"qckpt daemon drain --control {control}"
+        f"(control plane: {control}"
+        + (f", listening on {args.listen}" if args.listen else "")
+        + f"); drain with: qckpt daemon drain --control {control}"
     )
     try:
         daemon.serve()
@@ -561,9 +575,20 @@ def cmd_daemon_start(args: argparse.Namespace) -> int:
 
 
 def _daemon_client(args: argparse.Namespace):
+    """Build a client from --control (files) or --connect (TCP socket)."""
     from repro.service import DaemonClient
 
-    return DaemonClient(args.control, timeout=args.timeout)
+    if args.control is None and args.connect is None:
+        raise ReproError(
+            "pick a control plane: --control DIR (shared filesystem) "
+            "or --connect HOST:PORT (TCP)"
+        )
+    return DaemonClient(
+        args.control,
+        timeout=args.timeout,
+        connect=args.connect,
+        token=args.token,
+    )
 
 
 def cmd_daemon_submit(args: argparse.Namespace) -> int:
@@ -577,6 +602,7 @@ def cmd_daemon_submit(args: argparse.Namespace) -> int:
         "max_pending": args.max_pending,
         "backpressure": args.backpressure,
         "restore_mode": args.restore_mode,
+        "priority": args.priority,
         "params": {
             "qubits": args.qubits,
             "layers": args.layers,
@@ -621,17 +647,35 @@ def cmd_daemon_status(args: argparse.Namespace) -> int:
         print("(no jobs submitted)")
         return 0
     print(
-        f"{'JOB':<12} {'STATE':<9} {'STEP':>6} {'TARGET':>7} "
-        f"{'PREEMPT':>8} {'RESTORES':>9} {'LOST':>5}"
+        f"{'JOB':<12} {'STATE':<9} {'STEP':>6} {'TARGET':>7} {'PRI':>4} "
+        f"{'SHARE':>6} {'PREEMPT':>8} {'RESTORES':>9} {'LOST':>5}"
     )
     for job_id in sorted(jobs):
         job = jobs[job_id]
         step = job["step"] if job["step"] is not None else job["final_step"]
+        share = job.get("sched_share", 0.0)
         print(
             f"{job_id:<12} {job['state']:<9} {step:>6} "
-            f"{job['target_steps']:>7} {job['preemptions']:>8} "
+            f"{job['target_steps']:>7} {job.get('priority', 1):>4} "
+            f"{share:>6.2f} {job['preemptions']:>8} "
             f"{job['restores']:>9} {job['lost_steps']:>5}"
         )
+    return 0
+
+
+def cmd_daemon_preempt(args: argparse.Namespace) -> int:
+    """Kill one job's incarnation (or every running job's without --job)."""
+    client = _daemon_client(args)
+    response = client.preempt(
+        args.job, restart_delay_ticks=args.restart_delay
+    )
+    if not response.get("ok"):
+        raise ReproError(f"preempt refused: {response.get('error')}")
+    preempted = response.get("preempted", [])
+    print(
+        f"preempted {len(preempted)} job(s): {', '.join(preempted) or '-'} "
+        f"(restart delay {response.get('restart_delay_ticks')} tick(s))"
+    )
     return 0
 
 
@@ -640,6 +684,16 @@ def cmd_daemon_drain(args: argparse.Namespace) -> int:
     client = _daemon_client(args)
     response = client.drain(wait=not args.no_wait)
     print(f"daemon: {response.get('state', 'draining')}")
+    return 0
+
+
+def cmd_daemon_stop(args: argparse.Namespace) -> int:
+    """Stop the daemon now: queued saves flush, running jobs halt."""
+    client = _daemon_client(args)
+    response = client.stop()
+    if not response.get("ok"):
+        raise ReproError(f"stop refused: {response.get('error')}")
+    print(f"daemon: stopping (was {response.get('state', '?')})")
     return 0
 
 
@@ -815,6 +869,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dsub = p_daemon.add_subparsers(dest="daemon_command", required=True)
 
+    def _add_daemon_client_flags(parser, timeout_default: float) -> None:
+        """The shared way every client verb reaches its daemon."""
+        parser.add_argument(
+            "--control",
+            default=None,
+            help="the daemon's control directory (file transport)",
+        )
+        parser.add_argument(
+            "--connect",
+            default=None,
+            metavar="HOST:PORT",
+            help="the daemon's socket address (TCP transport; needs "
+            "a daemon started with --listen)",
+        )
+        parser.add_argument(
+            "--token",
+            default=None,
+            help="shared-secret auth token for --connect",
+        )
+        parser.add_argument(
+            "--timeout",
+            type=float,
+            default=timeout_default,
+            help="seconds to wait for the daemon's answer",
+        )
+
     d_start = dsub.add_parser(
         "start",
         help="run the daemon loop in the foreground (Ctrl-C or drain to stop)",
@@ -824,6 +904,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--control",
         default=None,
         help="control-plane directory (default: <store>/control)",
+    )
+    d_start.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="additionally serve the control plane over TCP on this "
+        "address (port 0 picks a free port, printed in daemon.json)",
+    )
+    d_start.add_argument(
+        "--token",
+        default=None,
+        help="shared-secret auth token required from --connect clients "
+        "(only meaningful with --listen)",
     )
     d_start.add_argument(
         "--workers", type=int, default=2, help="writer pool size"
@@ -858,6 +951,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a lease-gated tier rebalance every N ticks (0 = never)",
     )
     d_start.add_argument(
+        "--compact-journal-records",
+        type=int,
+        default=512,
+        help="compact the placement journal when it exceeds N records "
+        "(0 = only at drain)",
+    )
+    d_start.add_argument(
         "--restart-delay",
         type=int,
         default=1,
@@ -879,10 +979,15 @@ def build_parser() -> argparse.ArgumentParser:
     d_submit = dsub.add_parser(
         "submit", help="submit one job to a running daemon"
     )
-    d_submit.add_argument(
-        "--control", required=True, help="the daemon's control directory"
-    )
+    _add_daemon_client_flags(d_submit, timeout_default=30.0)
     d_submit.add_argument("--job", required=True, help="job id (unique)")
+    d_submit.add_argument(
+        "--priority",
+        type=int,
+        default=1,
+        help="scheduling weight: a priority-2 job gets ~2x the training "
+        "ticks of a priority-1 job",
+    )
     d_submit.add_argument(
         "--workload",
         default="classifier",
@@ -928,51 +1033,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=8, help="minibatch size"
     )
     d_submit.add_argument("--seed", type=int, default=11, help="RNG seed")
-    d_submit.add_argument(
-        "--timeout",
-        type=float,
-        default=30.0,
-        help="seconds to wait for the daemon's answer",
-    )
     d_submit.set_defaults(func=cmd_daemon_submit)
 
     d_status = dsub.add_parser(
         "status", help="query daemon liveness and per-job progress"
     )
-    d_status.add_argument(
-        "--control", required=True, help="the daemon's control directory"
-    )
+    _add_daemon_client_flags(d_status, timeout_default=30.0)
     d_status.add_argument(
         "--job", default=None, help="report only this job id"
     )
-    d_status.add_argument(
-        "--timeout",
-        type=float,
-        default=30.0,
-        help="seconds to wait for the daemon's answer",
-    )
     d_status.set_defaults(func=cmd_daemon_status)
+
+    d_preempt = dsub.add_parser(
+        "preempt",
+        help="kill job incarnations; each reincarnates from the store "
+        "after its restart delay",
+    )
+    _add_daemon_client_flags(d_preempt, timeout_default=30.0)
+    d_preempt.add_argument(
+        "--job",
+        default=None,
+        help="preempt only this job (default: every running job)",
+    )
+    d_preempt.add_argument(
+        "--restart-delay",
+        type=int,
+        default=None,
+        help="reincarnation delay in ticks (default: the daemon's)",
+    )
+    d_preempt.set_defaults(func=cmd_daemon_preempt)
 
     d_drain = dsub.add_parser(
         "drain",
         help="refuse new jobs, finish running ones, then stop the daemon",
     )
-    d_drain.add_argument(
-        "--control", required=True, help="the daemon's control directory"
-    )
+    _add_daemon_client_flags(d_drain, timeout_default=60.0)
     d_drain.add_argument(
         "--no-wait",
         action="store_true",
         help="return after the drain is acknowledged instead of waiting "
         "for the daemon to stop",
     )
-    d_drain.add_argument(
-        "--timeout",
-        type=float,
-        default=60.0,
-        help="seconds to wait for drain acknowledgement (and stop)",
-    )
     d_drain.set_defaults(func=cmd_daemon_drain)
+
+    d_stop = dsub.add_parser(
+        "stop",
+        help="stop the daemon immediately: queued saves flush, running "
+        "jobs halt where they are",
+    )
+    _add_daemon_client_flags(d_stop, timeout_default=30.0)
+    d_stop.set_defaults(func=cmd_daemon_stop)
     return parser
 
 

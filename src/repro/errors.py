@@ -35,6 +35,10 @@ class StorageError(ReproError):
     """A storage backend operation failed."""
 
 
+class TransportError(ReproError):
+    """A control-plane transport failed (framing, connection, or auth)."""
+
+
 class CheckpointError(ReproError):
     """Base class for checkpoint-related failures."""
 

@@ -15,9 +15,14 @@ that service layer:
 * :mod:`repro.service.fleet` — the scheduler harness running N jobs against
   the shared stack under preemption storms and brownouts,
 * :mod:`repro.service.daemon` — the same scheduler as a long-running
-  process: file-based control plane (``qckpt daemon``), dynamic job
-  submission from a JSON workload registry, restore read-ahead during
-  restart delays, and lease-gated cross-daemon tier rebalancing.
+  process: pluggable control plane (``qckpt daemon``), dynamic job
+  submission from a JSON workload registry, priority-weighted tick
+  scheduling, restore read-ahead during restart delays, and lease-gated
+  cross-daemon tier rebalancing,
+* :mod:`repro.service.transport` — the daemon's control-plane transports:
+  the file protocol plus a TCP socket server/client speaking
+  length-prefixed JSON frames with shared-secret auth, for driving a
+  daemon from another host.
 """
 
 from repro.service.chunkstore import (
@@ -31,6 +36,7 @@ from repro.service.daemon import (
     DaemonAlreadyRunning,
     DaemonClient,
     DaemonConfig,
+    DaemonUnavailable,
     FleetDaemon,
 )
 from repro.service.fleet import (
@@ -43,12 +49,27 @@ from repro.service.fleet import (
 )
 from repro.service.manager import ServiceCheckpointManager, ServiceCheckpointStats
 from repro.service.pool import ChannelStats, PoolChannel, WriterPool
+from repro.service.transport import (
+    ControlRequest,
+    ControlTransport,
+    FileTransport,
+    SocketControlClient,
+    SocketTransport,
+    TransportConnectError,
+)
 
 __all__ = [
     "FleetDaemon",
     "DaemonClient",
     "DaemonConfig",
     "DaemonAlreadyRunning",
+    "DaemonUnavailable",
+    "ControlTransport",
+    "ControlRequest",
+    "FileTransport",
+    "SocketTransport",
+    "SocketControlClient",
+    "TransportConnectError",
     "JobLifecycle",
     "ChunkStore",
     "ChunkStoreStats",

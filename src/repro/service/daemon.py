@@ -8,11 +8,20 @@ finish.  :class:`FleetDaemon` runs the same job lifecycle
 inside a long-lived scheduler loop that:
 
 * accepts job submissions, status queries, drain and preemption commands
-  over a **file-based control plane** — a directory of single-shot JSON
-  request/response objects written through
+  over **pluggable control transports**
+  (:mod:`repro.service.transport`): always the file-based plane — a
+  directory of single-shot JSON request/response objects written through
   :class:`~repro.storage.local.LocalDirectoryBackend`'s atomic-replace
-  protocol, so any process (the ``qckpt daemon`` CLI, a test, another
-  daemon) can talk to it without sockets or serialization of code,
+  protocol — and, with ``listen=...``, a TCP socket server speaking
+  length-prefixed JSON frames, so a daemon on one host can be driven and
+  monitored from another with no shared filesystem for control traffic.
+  Both transports feed the same :meth:`FleetDaemon._handle` dispatch,
+* schedules runnable jobs by **weighted round-robin**: each job's
+  ``priority`` is its share weight (a priority-2 job gets ~2x the training
+  ticks of a priority-1 neighbour), implemented as stride scheduling whose
+  min-pass selection doubles as starvation protection — a low-priority
+  job's virtual pass stands still while it waits, so it is always
+  scheduled within a bounded number of ticks,
 * survives job churn: jobs are created from a **workload registry** (named
   trainer recipes + JSON parameters — never unpickled callables), advance
   one step per tick, die on ``preempt``, and reincarnate through the
@@ -33,8 +42,11 @@ fresh heartbeat is refused; clients treat a stale heartbeat as daemon-down.
 Operator surface (see ``docs/OPERATIONS.md``)::
 
     qckpt daemon start  <store> --control <dir>     # run the loop (foreground)
+    qckpt daemon start  <store> --listen 0.0.0.0:7777 --token s3cret
     qckpt daemon submit --control <dir> --job lr01 --steps 8 --lr 0.02
+    qckpt daemon submit --connect host:7777 --token s3cret --job lr01 ...
     qckpt daemon status --control <dir> [--job lr01]
+    qckpt daemon preempt --connect host:7777 --job lr01
     qckpt daemon drain  --control <dir>             # finish jobs, then exit
 """
 
@@ -42,6 +54,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 import uuid
 from dataclasses import dataclass
@@ -54,16 +67,25 @@ from repro.errors import (
     ConfigError,
     ReproError,
     StorageError,
+    TransportError,
 )
 from repro.service.chunkstore import ChunkStore
 from repro.service.fleet import FleetJobSpec, JobLifecycle, _JobRuntime
 from repro.service.pool import WriterPool
+from repro.service.transport import (
+    REQUEST_PREFIX,
+    RESPONSE_PREFIX,
+    ControlTransport,
+    FileTransport,
+    SocketControlClient,
+    SocketTransport,
+    TransportConnectError,
+    parse_address,
+)
 from repro.storage.backend import StorageBackend
 from repro.storage.local import LocalDirectoryBackend
 
 META_NAME = "daemon.json"
-REQUEST_PREFIX = "req-"
-RESPONSE_PREFIX = "res-"
 
 STATE_RUNNING = "running"
 STATE_DRAINING = "draining"
@@ -128,6 +150,17 @@ class DaemonConfig:
     rebalance_every_ticks: int = 0  # 0 disables the periodic placement sweep
     restart_delay_ticks: int = 1  # default reincarnation delay on preempt
     max_ticks: Optional[int] = None  # loop bound for tests; None = forever
+    # Compact the placement journal during serve() once its record count
+    # exceeds this (checked at heartbeat cadence, guarded by the journal's
+    # ``compact`` lease).  0 = compact only at drain, as PR 4 did — a
+    # week-long daemon would then fold pin/lease history only on exit.
+    compact_journal_records: int = 512
+    # How long a socket connection thread waits for the scheduler loop to
+    # answer before self-reporting a timeout envelope.  Requests are only
+    # handled between scheduler passes, and a pass's duration is bounded
+    # by the slowest training steps in flight — size this to the workload,
+    # not the network.
+    socket_response_timeout_seconds: float = 60.0
 
     def __post_init__(self) -> None:
         if self.tick_seconds < 0:
@@ -153,10 +186,24 @@ class DaemonConfig:
                 f"restart_delay_ticks must be >= 0, "
                 f"got {self.restart_delay_ticks}"
             )
+        if self.compact_journal_records < 0:
+            raise ConfigError(
+                f"compact_journal_records must be >= 0, "
+                f"got {self.compact_journal_records}"
+            )
+        if self.socket_response_timeout_seconds <= 0:
+            raise ConfigError(
+                f"socket_response_timeout_seconds must be > 0, "
+                f"got {self.socket_response_timeout_seconds}"
+            )
 
 
 class DaemonAlreadyRunning(ReproError):
     """A live daemon already owns this control directory."""
+
+
+class DaemonUnavailable(ReproError):
+    """No live daemon is answering: dead heartbeat or unreachable socket."""
 
 
 def _control_backend(control) -> StorageBackend:
@@ -179,6 +226,18 @@ def _read_control_meta(control: StorageBackend) -> Optional[Dict]:
         return None
 
 
+def _effective_stale_after(meta: Dict, floor: float) -> float:
+    """Trust the incumbent daemon's own advertised staleness threshold when
+    it is laxer than the observer's: a daemon configured with a slow
+    heartbeat cadence must not be presumed dead — by a client *or* by a
+    rival ``start`` — just because the observer assumed the default."""
+    try:
+        advertised = float(meta.get("stale_after_seconds") or 0.0)
+    except (TypeError, ValueError):
+        advertised = 0.0
+    return max(floor, advertised)
+
+
 class FleetDaemon(JobLifecycle):
     """The scheduler loop of a checkpoint service, run as a daemon.
 
@@ -187,6 +246,14 @@ class FleetDaemon(JobLifecycle):
     :class:`~repro.service.pool.WriterPool`, then call :meth:`serve` (which
     blocks until drained/stopped).  Everything else — submissions, status,
     drain — arrives through the control plane.
+
+    The control *directory* is mandatory (it carries the single-instance
+    lock and heartbeat) and always doubles as the file transport.  With
+    ``listen="host:port"`` the daemon additionally serves the same op set
+    over TCP (see :class:`~repro.service.transport.SocketTransport`);
+    ``auth_token`` is the socket's shared secret.  ``transports`` injects
+    extra pre-built transports (tests, embedders).  All transports are
+    polled from the one scheduler loop, so handlers never race.
     """
 
     def __init__(
@@ -197,6 +264,9 @@ class FleetDaemon(JobLifecycle):
         config: Optional[DaemonConfig] = None,
         workloads: Optional[Dict[str, Callable]] = None,
         daemon_id: Optional[str] = None,
+        listen: "Optional[str | tuple]" = None,
+        auth_token: Optional[str] = None,
+        transports: "tuple[ControlTransport, ...]" = (),
     ):
         super().__init__(store, pool)
         self.control = _control_backend(control)
@@ -205,6 +275,27 @@ class FleetDaemon(JobLifecycle):
         if workloads:
             self.workloads.update(workloads)
         self.daemon_id = daemon_id or f"daemon-{uuid.uuid4().hex[:8]}"
+        self.socket_transport: Optional[SocketTransport] = None
+        if listen is not None:
+            host, port = parse_address(listen)
+            self.socket_transport = SocketTransport(
+                host,
+                port,
+                auth_token=auth_token,
+                response_timeout_seconds=(
+                    self.config.socket_response_timeout_seconds
+                ),
+            )
+        elif auth_token is not None:
+            raise ConfigError(
+                "auth_token only guards the socket transport; pass listen= too"
+            )
+        self.transports: List[ControlTransport] = [
+            FileTransport(self.control)
+        ]
+        if self.socket_transport is not None:
+            self.transports.append(self.socket_transport)
+        self.transports.extend(transports)
         self.state = STATE_STOPPED
         self.tick = 0
         self._jobs: Dict[str, _JobRuntime] = {}
@@ -212,7 +303,18 @@ class FleetDaemon(JobLifecycle):
         self._stop_requested = False
         self._started_at: Optional[float] = None
         self._last_heartbeat = 0.0
+        self._hb_stop = threading.Event()
+        self._sched_clock = 0.0  # virtual time of the last scheduled tick
         self.requests_served = 0
+        self.journal_compactions = 0
+
+    @property
+    def listen_address(self) -> Optional[str]:
+        """``host:port`` the socket transport serves (post-start resolves
+        a requested port 0 to the actual bound port), or ``None``."""
+        if self.socket_transport is None:
+            return None
+        return self.socket_transport.address
 
     # -- workloads --------------------------------------------------------------
 
@@ -230,6 +332,11 @@ class FleetDaemon(JobLifecycle):
         return _read_control_meta(self.control)
 
     def _write_meta(self) -> None:
+        # One snapshot of the job table: the background heartbeat thread
+        # calls this while the scheduler thread may be inserting a newly
+        # submitted job, and two separate iterations would double the
+        # exposure to a size change mid-iteration.
+        jobs = list(self._jobs.values())
         meta = {
             "daemon_id": self.daemon_id,
             "pid": os.getpid(),
@@ -237,11 +344,15 @@ class FleetDaemon(JobLifecycle):
             "started": self._started_at,
             "heartbeat": time.time(),
             "tick": self.tick,
-            "jobs": len(self._jobs),
-            "active_jobs": sum(
-                1 for job in self._jobs.values() if not job.done
-            ),
+            "jobs": len(jobs),
+            "active_jobs": sum(1 for job in jobs if not job.done),
+            # Advertised so clients judge staleness by *this* daemon's
+            # cadence instead of assuming the default.
+            "heartbeat_seconds": self.config.heartbeat_seconds,
+            "stale_after_seconds": self.config.stale_after_seconds,
         }
+        for transport in self.transports:
+            meta.update(transport.describe())
         self.control.write(
             META_NAME, json.dumps(meta, sort_keys=True).encode("utf-8")
         )
@@ -251,7 +362,10 @@ class FleetDaemon(JobLifecycle):
         meta = self._read_meta()
         if meta is not None and meta.get("state") != STATE_STOPPED:
             age = time.time() - float(meta.get("heartbeat", 0.0))
-            if age < self.config.stale_after_seconds:
+            stale_after = _effective_stale_after(
+                meta, self.config.stale_after_seconds
+            )
+            if age < stale_after:
                 raise DaemonAlreadyRunning(
                     f"daemon {meta.get('daemon_id')!r} (pid "
                     f"{meta.get('pid')}) already serves this control "
@@ -265,40 +379,41 @@ class FleetDaemon(JobLifecycle):
     # -- control plane ----------------------------------------------------------
 
     def _poll_control(self) -> int:
-        """Serve every pending request; returns how many were handled."""
+        """Serve every pending request on every transport; returns count.
+
+        File and socket requests feed the same :meth:`_handle` dispatch —
+        the transports only differ in how bytes arrive and leave.  A bad
+        request must never kill the daemon; the error goes back to the
+        requester as an envelope instead.
+        """
         handled = 0
-        for name in self.control.list(REQUEST_PREFIX):
-            request_id = name[len(REQUEST_PREFIX) : -len(".json")]
-            try:
-                request = json.loads(self.control.read(name).decode("utf-8"))
-            except (StorageError, UnicodeDecodeError, json.JSONDecodeError):
-                request = None
-            if request is None:
-                response = {"ok": False, "error": "unreadable request"}
-            else:
-                try:
-                    response = self._handle(request)
-                except Exception as exc:  # noqa: BLE001 - a bad request
-                    # must never kill the daemon; the error goes back to
-                    # the requester instead.
-                    response = {
-                        "ok": False,
-                        "error": f"{type(exc).__name__}: {exc}",
-                    }
-            response["id"] = request_id
-            self.control.write(
-                f"{RESPONSE_PREFIX}{request_id}.json",
-                json.dumps(response, sort_keys=True).encode("utf-8"),
-            )
-            self.control.delete(name)
-            handled += 1
-            self.requests_served += 1
+        for transport in self.transports:
+            for pending in transport.poll():
+                if pending.request is None:
+                    response = {"ok": False, "error": "unreadable request"}
+                else:
+                    try:
+                        response = self._handle(pending.request)
+                    except Exception as exc:  # noqa: BLE001
+                        response = {
+                            "ok": False,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
+                response["id"] = pending.request_id
+                pending.respond(response)
+                handled += 1
+                self.requests_served += 1
         return handled
 
     def _handle(self, request: Dict) -> Dict:
         op = request.get("op")
         if op == "ping":
-            return {"ok": True, "state": self.state, "tick": self.tick}
+            return {
+                "ok": True,
+                "state": self.state,
+                "tick": self.tick,
+                "daemon_id": self.daemon_id,
+            }
         if op == "submit":
             return self._op_submit(request.get("spec") or {})
         if op == "status":
@@ -346,12 +461,14 @@ class FleetDaemon(JobLifecycle):
             backpressure=str(spec.get("backpressure", "block")),
             save_on_start=bool(spec.get("save_on_start", True)),
             restore_mode=str(spec.get("restore_mode", "exact")),
+            priority=int(spec.get("priority", 1)),
         )
         job = _JobRuntime(job_spec)
         # A re-submitted job id *resumes* its history: the fresh incarnation
         # restores from the store if it ever checkpointed there.
         resumable = bool(self.store.manifest_names(job_id))
         self._start_job(job, self.tick, fresh=not resumable)
+        self._sched_join(job)
         self._jobs[job_id] = job
         return {
             "ok": True,
@@ -384,9 +501,25 @@ class FleetDaemon(JobLifecycle):
             "down_until_tick": job.down_until,
             "finish_tick": result.finish_tick,
             "prefetching_restore": job.spec.job_id in self._prefetches,
+            "priority": job.spec.priority,
+            "ticks_scheduled": job.ticks_scheduled,
         }
 
+    def _sched_total_ticks(self) -> int:
+        return sum(job.ticks_scheduled for job in self._jobs.values())
+
     def _op_status(self, job_id: Optional[str]) -> Dict:
+        # Scheduling shares are fractions of *all* ticks ever granted, so a
+        # single-job query still reports its share of the contended loop.
+        total_ticks = self._sched_total_ticks()
+
+        def status_of(job: _JobRuntime) -> Dict:
+            status = self._job_status(job)
+            status["sched_share"] = (
+                job.ticks_scheduled / total_ticks if total_ticks else 0.0
+            )
+            return status
+
         if job_id is not None:
             job = self._jobs.get(job_id)
             if job is None:
@@ -395,7 +528,7 @@ class FleetDaemon(JobLifecycle):
                 "ok": True,
                 "state": self.state,
                 "tick": self.tick,
-                "jobs": {job_id: self._job_status(job)},
+                "jobs": {job_id: status_of(job)},
             }
         return {
             "ok": True,
@@ -403,8 +536,9 @@ class FleetDaemon(JobLifecycle):
             "tick": self.tick,
             "daemon_id": self.daemon_id,
             "requests_served": self.requests_served,
+            "sched_total_ticks": total_ticks,
             "jobs": {
-                job_id: self._job_status(job)
+                job_id: status_of(job)
                 for job_id, job in self._jobs.items()
             },
         }
@@ -415,6 +549,11 @@ class FleetDaemon(JobLifecycle):
         delay = (
             self.config.restart_delay_ticks if delay is None else int(delay)
         )
+        if delay < 0:
+            return {
+                "ok": False,
+                "error": f"restart_delay_ticks must be >= 0, got {delay}",
+            }
         targets: List[_JobRuntime] = []
         if job_id is None:
             targets = [
@@ -505,6 +644,51 @@ class FleetDaemon(JobLifecycle):
         job.dead_channel = None
         self._cancel_prefetch(job.spec.job_id)
 
+    def _heartbeat_if_due(self) -> None:
+        """Refresh ``daemon.json`` if the cadence elapsed (cheap check).
+
+        Called between individual job steps inside a scheduler pass, not
+        just between passes: a pass advances every runnable job one
+        training step, so its duration is unbounded (many jobs, wide
+        circuits) and one long pass must not let the heartbeat go stale —
+        clients would presume this daemon dead and a rival ``start``
+        could claim the control directory out from under it.
+        """
+        if (
+            time.monotonic() - self._last_heartbeat
+            >= self.config.heartbeat_seconds
+        ):
+            self._write_meta()
+
+    def _heartbeat_loop(self) -> None:
+        """Background heartbeat covering what the loop's checks cannot.
+
+        The in-loop refreshes run *between* steps; a single training step
+        is opaque to the scheduler and can outlast the staleness window on
+        wide circuits.  This thread keeps ``daemon.json`` fresh regardless
+        of what the scheduler thread is grinding through, so "stale
+        heartbeat" means dead-or-hung process, never just a slow step.
+        """
+        while not self._hb_stop.wait(self.config.heartbeat_seconds / 2):
+            try:
+                self._heartbeat_if_due()
+            except Exception:  # noqa: BLE001 - liveness is best-effort;
+                # a transient failure (control-dir hiccup, a job-table
+                # resize caught mid-snapshot) must not kill the thread —
+                # a silently dead heartbeat is the one failure mode this
+                # thread exists to rule out.  The next beat retries.
+                pass
+
+    def _sched_join(self, job: _JobRuntime) -> None:
+        """Enter ``job`` into the weighted scheduler at the current clock.
+
+        A job joining (fresh submission) or re-joining (reincarnation)
+        starts at the scheduler's virtual time instead of its own frozen
+        pass — otherwise a job that sat out 500 ticks would monopolize the
+        loop "catching up" and starve every incumbent.
+        """
+        job.sched_pass = max(job.sched_pass, self._sched_clock)
+
     def _tick_once(self) -> bool:
         """One scheduler pass; returns whether any job advanced."""
         progressed = False
@@ -518,6 +702,7 @@ class FleetDaemon(JobLifecycle):
             ):
                 try:
                     self._recover_job(job, self.tick)
+                    self._sched_join(job)
                 except ReproError as exc:
                     # A failed restore must not take the daemon (or its
                     # neighbours) down: park this job, keep serving.
@@ -525,16 +710,36 @@ class FleetDaemon(JobLifecycle):
                 # The read-ahead did its job (promotion/staging); drop the
                 # handle so its buffers are released.
                 self._cancel_prefetch(job.spec.job_id)
+                self._heartbeat_if_due()  # restores can be slow
                 progressed = True
-        # 2. advance every running job
-        for job in self._jobs.values():
-            if job.done or job.trainer is None:
-                continue
+        # 2. advance runnable jobs by weighted round-robin (stride
+        # scheduling).  The pass grants as many training-step slots as
+        # there are runnable jobs — identical total throughput to the old
+        # everyone-advances loop — but each slot goes to the runnable job
+        # with the *smallest virtual pass*, and a scheduled job's pass
+        # advances by 1/priority.  Shares therefore converge to the
+        # priority ratio, and a waiting job's pass stands still, which
+        # bounds how long it can be passed over: starvation-free.
+        runnable = [
+            job
+            for job in self._jobs.values()
+            if not job.done and job.trainer is not None
+        ]
+        for _ in range(len(runnable)):
+            job = min(runnable, key=lambda j: (j.sched_pass, j.spec.job_id))
+            self._sched_clock = job.sched_pass
+            job.sched_pass += 1.0 / job.spec.priority
+            job.ticks_scheduled += 1
+            progressed = True
             try:
                 self._advance_job(job, self.tick)
             except ReproError as exc:
                 self._park_failed(job, exc)
-            progressed = True
+            self._heartbeat_if_due()  # a pass of N slow steps is unbounded
+            if job.done or job.trainer is None:
+                runnable.remove(job)
+                if not runnable:
+                    break
         # 3. periodic placement sweep (lease-gated when a journal is set)
         every = self.config.rebalance_every_ticks
         if every > 0 and self.tick > 0 and self.tick % every == 0:
@@ -552,16 +757,37 @@ class FleetDaemon(JobLifecycle):
         """Run the daemon loop until stopped or drained (blocking).
 
         Raises :class:`DaemonAlreadyRunning` when a live daemon already
-        heartbeats this control directory.
+        heartbeats this control directory, and
+        :class:`~repro.errors.TransportError` when a socket transport
+        cannot bind its address.
         """
         self._claim_control()
+        heartbeat_thread: Optional[threading.Thread] = None
         try:
+            for transport in self.transports:
+                transport.start()
+            # Re-advertise now that transports are live: a socket transport
+            # asked to listen on port 0 only knows its real port post-bind.
+            self._write_meta()
+            self._hb_stop.clear()
+            heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"qckpt-heartbeat-{self.daemon_id}",
+                daemon=True,
+            )
+            heartbeat_thread.start()
+            # Compaction keeps its own clock: heartbeats are refreshed
+            # from several places (in-pass, background thread), so "the
+            # heartbeat was due *here*" is a race this check must not
+            # piggyback on — a busy daemon would never compact.
+            next_compact_check = 0.0
             while not self._stop_requested:
-                if (
-                    time.monotonic() - self._last_heartbeat
-                    >= self.config.heartbeat_seconds
-                ):
-                    self._write_meta()
+                self._heartbeat_if_due()
+                if time.monotonic() >= next_compact_check:
+                    next_compact_check = (
+                        time.monotonic() + self.config.heartbeat_seconds
+                    )
+                    self._maybe_compact_journal()
                 handled = self._poll_control()
                 progressed = self._tick_once()
                 if self.state == STATE_DRAINING and self._active_jobs() == 0:
@@ -574,14 +800,75 @@ class FleetDaemon(JobLifecycle):
                 if not handled and not progressed:
                     time.sleep(self.config.tick_seconds)
         finally:
+            # Close transports first: remote clients then see a refused
+            # connection (daemon gone) instead of requests that hang while
+            # the pool flushes below.
+            for transport in self.transports:
+                try:
+                    transport.close()
+                except (TransportError, OSError):
+                    pass
             for job_id in list(self._prefetches):
                 self._cancel_prefetch(job_id)
             try:
                 self.pool.drain()
                 self._compact_journal()
             finally:
+                # Join the heartbeat thread *before* the terminal meta
+                # write: a beat landing after "stopped" would resurrect a
+                # daemon that no longer exists.
+                self._hb_stop.set()
+                if heartbeat_thread is not None:
+                    heartbeat_thread.join(timeout=5.0)
                 self.state = STATE_STOPPED
                 self._write_meta()
+
+    def _maybe_compact_journal(self) -> None:
+        """Cadence compaction: fold the journal when its log grows long.
+
+        PR 4 compacted only at drain, so a week-long daemon accumulated
+        pin/lease history without bound and every sharing process paid
+        O(history) on journal refreshes.  Checked at heartbeat cadence
+        (listing the log every tick would be pure overhead) and guarded by
+        the journal's own ``compact`` lease, so two daemons sharing a store
+        never compact concurrently — the loser just skips its turn.
+
+        Compacting mid-run (unlike the quiescent drain-time fold) can race
+        a *sharing* daemon's concurrent append: a record the snapshot never
+        saw but that sorts at or before it is folded away.  The journal is
+        advisory by contract — a lost pin costs fast-tier residency until
+        the owner's pin-on-save re-asserts it, never data — and this daemon
+        re-asserts its own jobs' newest-manifest pins immediately after
+        each compaction, so the exposure is one sharing daemon's pins for
+        at most one checkpoint interval.
+        """
+        threshold = self.config.compact_journal_records
+        if threshold <= 0:
+            return
+        journal = getattr(self.store, "placement_journal", None)
+        if journal is None:
+            return
+        try:
+            if len(journal.records()) > threshold and journal.compact() > 0:
+                self.journal_compactions += 1
+                self._reassert_journal_pins(journal)
+        except (ReproError, StorageError):
+            pass  # advisory metadata; the next heartbeat retries
+
+    def _reassert_journal_pins(self, journal) -> None:
+        """Re-pin this daemon's active jobs' newest manifests post-compact.
+
+        Idempotent (``pin`` is a no-op when the fold already shows the
+        name), so the common case costs one journal refresh; only a pin
+        the compaction actually raced away gets a fresh record.
+        """
+        pinned = journal.pinned_names()
+        for job_id, job in self._jobs.items():
+            if job.done:
+                continue
+            names = self.store.manifest_names(job_id)
+            if names and names[-1] not in pinned:
+                journal.pin(names[-1])
 
     def _compact_journal(self) -> None:
         """Fold the placement journal at shutdown (the quiescent moment).
@@ -606,46 +893,162 @@ class FleetDaemon(JobLifecycle):
 
 
 class DaemonClient:
-    """Talks to a :class:`FleetDaemon` through its control directory.
+    """Talks to a :class:`FleetDaemon` over either control transport.
 
-    Every call is one request/response round trip over atomic file objects;
-    requests time out (daemon dead or wedged) instead of hanging forever.
+    File mode (``control=...``): every call is one request/response round
+    trip over atomic file objects.  A pending request against a control
+    directory whose daemon died **fails fast** — the client watches the
+    ``daemon.json`` heartbeat while it waits and raises
+    :class:`DaemonUnavailable` (naming the dead daemon's pid and last
+    heartbeat) instead of spinning out the full timeout.
+
+    Socket mode (``connect="host:port"``, optional ``token``): the same op
+    set over the TCP wire protocol — no shared filesystem needed.
+    Transport failures (refused connection, bad auth, dropped daemon)
+    surface as :class:`DaemonUnavailable`.
     """
 
-    def __init__(self, control, timeout: float = 30.0):
+    def __init__(
+        self,
+        control=None,
+        timeout: float = 30.0,
+        connect: "Optional[str | tuple]" = None,
+        token: Optional[str] = None,
+        stale_after_seconds: float = 5.0,
+    ):
         if timeout <= 0:
             raise ConfigError(f"timeout must be > 0, got {timeout}")
-        self.control = _control_backend(control)
+        if control is None and connect is None:
+            raise ConfigError(
+                "DaemonClient needs a control directory or a connect address"
+            )
+        if stale_after_seconds <= 0:
+            raise ConfigError(
+                f"stale_after_seconds must be > 0, got {stale_after_seconds}"
+            )
+        self.control = _control_backend(control) if control is not None else None
         self.timeout = float(timeout)
+        self.stale_after_seconds = float(stale_after_seconds)
+        self._socket: Optional[SocketControlClient] = None
+        if connect is not None:
+            self._socket = SocketControlClient(
+                connect, token=token, timeout=self.timeout
+            )
+
+    def close(self) -> None:
+        """Release the cached socket connection (file mode: no-op)."""
+        if self._socket is not None:
+            self._socket.close()
 
     # -- liveness ---------------------------------------------------------------
 
     def daemon_meta(self) -> Optional[Dict]:
-        """The daemon's last ``daemon.json`` heartbeat, or ``None``."""
-        return _read_control_meta(self.control)
+        """The daemon's last heartbeat: ``daemon.json`` in file mode, a
+        ``ping`` round trip in socket mode; ``None`` when unreachable."""
+        if self.control is not None:
+            return _read_control_meta(self.control)
+        try:
+            response = self._socket.request(
+                {"op": "ping"}, timeout=self.timeout
+            )
+        except TransportError:
+            return None
+        return response if response.get("ok") else None
 
-    def is_alive(self, stale_after_seconds: float = 5.0) -> bool:
-        """Whether a daemon heartbeat is fresh enough to trust."""
+    def is_alive(self, stale_after_seconds: Optional[float] = None) -> bool:
+        """Whether a daemon is answering (socket) or heartbeating (file)."""
         meta = self.daemon_meta()
         if meta is None or meta.get("state") == STATE_STOPPED:
             return False
-        return time.time() - float(meta.get("heartbeat", 0.0)) < stale_after_seconds
+        if self.control is None:
+            return True  # a socket answer *is* liveness; no clock involved
+        stale_after = (
+            self.stale_after_seconds
+            if stale_after_seconds is None
+            else float(stale_after_seconds)
+        )
+        stale_after = _effective_stale_after(meta, stale_after)
+        return time.time() - float(meta.get("heartbeat", 0.0)) < stale_after
 
     # -- request/response -------------------------------------------------------
+
+    #: How long a ``stopped`` daemon.json may linger before a pending
+    #: request gives up on it.  A clean ``stopped`` state is ambiguous: it
+    #: is permanent if nobody restarts the daemon, but a restart on a
+    #: previously-used control directory spends a second or two in
+    #: interpreter startup before claiming — failing on first sight would
+    #: abort requests PR 4's patient client completed.
+    STOPPED_GRACE_SECONDS = 3.0
+
+    def _raise_if_daemon_dead(
+        self,
+        op: str,
+        request_name: str,
+        response_name: str,
+        stopped_since: Optional[float],
+    ) -> Optional[float]:
+        """Fail a pending file-mode request fast when the daemon is gone.
+
+        Stale heartbeat, or a ``stopped`` state that persists past the
+        restart grace, both mean nobody will ever answer; naming the pid
+        and heartbeat age makes the failure actionable ("kill -0 that
+        pid") instead of a mute timeout.  Returns the updated
+        ``stopped_since`` marker for the caller's poll loop.
+        """
+        meta = _read_control_meta(self.control)
+        if meta is None:
+            return None  # no daemon.json yet: a daemon may be about to start
+        if self.control.exists(response_name):
+            return None  # answered just now; let the poll loop consume it
+        state = meta.get("state")
+        age = time.time() - float(meta.get("heartbeat", 0.0))
+        if state == STATE_STOPPED:
+            now = time.monotonic()
+            if stopped_since is None:
+                return now  # first sighting: give a restart time to claim
+            if now - stopped_since < self.STOPPED_GRACE_SECONDS:
+                return stopped_since
+            self.control.delete(request_name)
+            raise DaemonUnavailable(
+                f"no daemon is serving this control directory: daemon.json "
+                f"names {meta.get('daemon_id')!r} (pid {meta.get('pid')}) "
+                f"but it reports state 'stopped'; request {op!r} abandoned"
+            )
+        stale_after = _effective_stale_after(meta, self.stale_after_seconds)
+        if age >= stale_after:
+            self.control.delete(request_name)
+            raise DaemonUnavailable(
+                f"daemon {meta.get('daemon_id')!r} (pid {meta.get('pid')}) "
+                f"in daemon.json last heartbeat {age:.1f}s ago (stale after "
+                f"{stale_after:.1f}s) — presumed dead; request "
+                f"{op!r} abandoned"
+            )
+        return None
 
     def request(
         self, op: str, timeout: Optional[float] = None, **payload
     ) -> Dict:
-        """One control-plane round trip; raises on timeout."""
+        """One control-plane round trip; raises on timeout or dead daemon."""
         timeout = self.timeout if timeout is None else float(timeout)
-        request_id = uuid.uuid4().hex[:12]
         body = {"op": op, **payload}
+        if self._socket is not None:
+            try:
+                return self._socket.request(body, timeout=timeout)
+            except TransportError as exc:
+                raise DaemonUnavailable(
+                    f"daemon at {self._socket.address} is unreachable for "
+                    f"{op!r}: {exc}"
+                ) from exc
+        request_id = uuid.uuid4().hex[:12]
+        request_name = f"{REQUEST_PREFIX}{request_id}.json"
         self.control.write(
-            f"{REQUEST_PREFIX}{request_id}.json",
+            request_name,
             json.dumps(body, sort_keys=True).encode("utf-8"),
         )
         response_name = f"{RESPONSE_PREFIX}{request_id}.json"
         deadline = time.monotonic() + timeout
+        next_liveness_probe = time.monotonic() + 0.2
+        stopped_since: Optional[float] = None
         while time.monotonic() < deadline:
             if self.control.exists(response_name):
                 try:
@@ -657,9 +1060,14 @@ class DaemonClient:
                     continue
                 self.control.delete(response_name)
                 return response
+            if time.monotonic() >= next_liveness_probe:
+                next_liveness_probe = time.monotonic() + 0.2
+                stopped_since = self._raise_if_daemon_dead(
+                    op, request_name, response_name, stopped_since
+                )
             time.sleep(0.005)
         # Leave no orphan request behind: the daemon may be gone for good.
-        self.control.delete(f"{REQUEST_PREFIX}{request_id}.json")
+        self.control.delete(request_name)
         raise ConfigError(
             f"daemon did not answer {op!r} within {timeout}s "
             f"(alive={self.is_alive()})"
@@ -712,10 +1120,32 @@ class DaemonClient:
             return response
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
-            meta = self.daemon_meta()
-            if meta is not None and meta.get("state") == STATE_STOPPED:
-                return {"ok": True, "state": STATE_STOPPED}
-            time.sleep(0.01)
+            if self.control is not None:
+                meta = self.daemon_meta()
+                if meta is not None and meta.get("state") == STATE_STOPPED:
+                    return {"ok": True, "state": STATE_STOPPED}
+            else:
+                try:
+                    probe = self._socket.request(
+                        {"op": "ping"}, timeout=min(2.0, timeout)
+                    )
+                    if probe.get("state") == STATE_STOPPED:
+                        return {"ok": True, "state": STATE_STOPPED}
+                except TransportConnectError:
+                    # The daemon closes its transports on the way out, so
+                    # "drain acknowledged, now refusing connections" is
+                    # the remote observation of a finished drain.
+                    return {"ok": True, "state": STATE_STOPPED}
+                except TransportError:
+                    # Answered-then-slow (long final passes, pool flush):
+                    # still draining, keep waiting — a timeout is not an
+                    # exit.
+                    pass
+            # File mode reads a local file — poll tightly.  Socket mode
+            # costs the draining daemon a full request round trip per
+            # probe, so back off: the stop is still observed within a
+            # quarter second of the socket closing.
+            time.sleep(0.01 if self.control is not None else 0.25)
         raise ConfigError(f"daemon did not stop within {timeout}s")
 
     def stop(self, timeout: Optional[float] = None) -> Dict:

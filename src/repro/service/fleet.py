@@ -116,6 +116,13 @@ class FleetJobSpec:
     restarts a fresh run from them (the architecture-search/cross-validation
     pattern — a warm-started incarnation redoes its steps from better
     parameters, so its step count restarts at zero).
+
+    ``priority`` is the job's scheduling weight under the daemon's weighted
+    round-robin: a priority-2 job receives ~2x the training ticks of a
+    priority-1 neighbour while both are runnable.  The run-to-completion
+    :class:`FleetHarness` advances every job each tick regardless (its
+    cadence is the experiment, not a contended resource), so the weight
+    only shapes daemon scheduling.
     """
 
     job_id: str
@@ -127,6 +134,7 @@ class FleetJobSpec:
     backpressure: str = "block"
     save_on_start: bool = True
     restore_mode: str = "exact"
+    priority: int = 1
 
     def __post_init__(self) -> None:
         if self.target_steps < 1:
@@ -145,6 +153,10 @@ class FleetJobSpec:
             raise ConfigError(
                 f"restore_mode must be 'exact' or 'warm-start', "
                 f"got {self.restore_mode!r}"
+            )
+        if self.priority < 1:
+            raise ConfigError(
+                f"priority must be >= 1, got {self.priority}"
             )
 
 
@@ -225,6 +237,11 @@ class _JobRuntime:
         self.steps_at_crash = 0
         self.done = False
         self.error: Optional[str] = None  # terminal failure (daemon jobs)
+        # Stride-scheduling state (daemon only): the virtual "pass" this job
+        # has consumed (advances by 1/priority per scheduled tick) and the
+        # number of ticks it was actually scheduled for.
+        self.sched_pass = 0.0
+        self.ticks_scheduled = 0
 
 
 class JobLifecycle:

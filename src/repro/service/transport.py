@@ -1,0 +1,714 @@
+"""Pluggable control-plane transports for the fleet daemon.
+
+PR 4's daemon spoke exactly one dialect: single-shot JSON objects in a
+shared control *directory*.  That is perfect for same-host tooling (atomic
+renames, no ports, inspectable with ``ls``) and useless the moment the
+operator's terminal and the daemon live on different machines.  This module
+splits "how requests arrive" from "what the daemon does with them":
+
+* :class:`ControlTransport` — the contract: a transport surfaces pending
+  :class:`ControlRequest` objects via :meth:`~ControlTransport.poll` and
+  carries each response back to whoever asked.  The daemon serves *all* of
+  its transports from one scheduler loop; every request, regardless of
+  transport, funnels into the same ``FleetDaemon._handle`` dispatch.
+* :class:`FileTransport` — the PR 4 protocol, extracted verbatim:
+  ``req-<id>.json`` in, ``res-<id>.json`` out, atomic-replace objects.
+* :class:`SocketTransport` — a threaded TCP server speaking
+  **length-prefixed JSON frames** (4-byte big-endian length + UTF-8 JSON)
+  with a shared-secret auth handshake, per-connection timeouts, and a
+  maximum frame size.  Connection threads only *enqueue* requests; the
+  daemon thread handles them, so job state never needs locking.
+* :class:`SocketControlClient` — the client half of the wire protocol,
+  used by ``DaemonClient(connect=...)`` and ``qckpt daemon * --connect``.
+
+Wire protocol (see ``docs/FORMATS.md`` for the byte-level spec)::
+
+    frame    := len(4 bytes, big-endian uint32) + payload(len bytes, JSON)
+    client   -> {"qckpt": 1, "token": "<shared secret>"}      # handshake
+    server   -> {"ok": true, "protocol": 1}
+    client   -> {"id": "ab12...", "op": "status", ...}        # request
+    server   -> {"id": "ab12...", "ok": true, ...}            # response
+
+Every server reply is a complete JSON object — errors are envelopes
+(``{"ok": false, "error": "..."}``), never raw exceptions or closed pipes
+without a reason where one can still be written.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import queue
+import socket
+import struct
+import threading
+import time
+import uuid
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError, StorageError, TransportError
+from repro.storage.backend import StorageBackend
+
+PROTOCOL_VERSION = 1
+FRAME_HEADER = struct.Struct(">I")  # big-endian uint32 payload length
+DEFAULT_MAX_FRAME_BYTES = 1 << 20  # 1 MiB: control traffic, not tensors
+DEFAULT_CONNECTION_TIMEOUT = 30.0
+
+REQUEST_PREFIX = "req-"
+RESPONSE_PREFIX = "res-"
+
+
+class TransportConnectError(TransportError):
+    """No server accepted the connection (refused, unreachable, no route).
+
+    Distinct from in-flight failures (timeouts, dropped frames) because
+    callers reason differently about the two: a daemon that *refuses*
+    connections after acknowledging a drain has exited; one that is merely
+    slow to answer has not.
+    """
+
+
+def parse_address(address: "str | Tuple[str, int]") -> Tuple[str, int]:
+    """``"host:port"`` (or a ready tuple) -> ``(host, port)``.
+
+    The split is on the *last* colon so bracketless IPv6 hosts at least
+    fail with a useful message instead of binding port garbage.
+    """
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    host, sep, port = str(address).rpartition(":")
+    if not sep or not host:
+        raise ConfigError(
+            f"address must look like HOST:PORT, got {address!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ConfigError(
+            f"address port must be an integer, got {address!r}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, payload: Dict) -> None:
+    """Write one length-prefixed JSON frame (sorted keys, like the files)."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    try:
+        sock.sendall(FRAME_HEADER.pack(len(body)) + body)
+    except OSError as exc:
+        raise TransportError(f"frame send failed: {exc}") from exc
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 16))
+        except socket.timeout as exc:
+            raise TransportError("connection timed out mid-frame") from exc
+        except OSError as exc:
+            raise TransportError(f"frame receive failed: {exc}") from exc
+        if not chunk:
+            raise TransportError(
+                f"connection closed mid-frame ({n - remaining} of {n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(
+    sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Optional[Dict]:
+    """Read one frame; ``None`` on clean EOF before any byte.
+
+    Raises :class:`~repro.errors.TransportError` on truncation, oversized
+    frames (the remote is either broken or hostile — the connection cannot
+    be resynchronized, so the caller must close it), and non-JSON payloads.
+    """
+    try:
+        first = sock.recv(1)
+    except socket.timeout as exc:
+        raise TransportError("connection idle past its timeout") from exc
+    except OSError as exc:
+        raise TransportError(f"frame receive failed: {exc}") from exc
+    if not first:
+        return None  # clean EOF between frames
+    header = first + _recv_exact(sock, FRAME_HEADER.size - 1)
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise TransportError(
+            f"frame of {length} bytes exceeds the {max_frame_bytes}-byte "
+            "limit"
+        )
+    body = _recv_exact(sock, length)
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TransportError(f"frame payload is not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise TransportError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# The transport contract
+# ---------------------------------------------------------------------------
+
+
+class ControlRequest:
+    """One pending control-plane request, however it arrived.
+
+    ``request`` is the parsed body (``None`` when the bytes were
+    unreadable — the server still owes the requester an error envelope);
+    ``request_id`` is the requester's correlation id; :meth:`respond`
+    carries the response back over whatever medium the request came in on.
+    Responding is best-effort by design: a requester that vanished (deleted
+    control directory, dropped connection) must never take the daemon down.
+    """
+
+    def __init__(
+        self,
+        request: Optional[Dict],
+        request_id: str,
+        responder: Callable[[Dict], None],
+        transport: str,
+    ):
+        self.request = request
+        self.request_id = request_id
+        self._responder = responder
+        self.transport = transport
+
+    def respond(self, response: Dict) -> None:
+        """Deliver the response envelope (swallows requester-side failures)."""
+        try:
+            self._responder(response)
+        except (TransportError, StorageError):
+            pass  # the requester is gone; nothing is owed to anyone else
+
+
+class ControlTransport:
+    """Receive requests, send replies, advertise liveness.
+
+    Lifecycle: :meth:`start` before the first poll (binds sockets, spawns
+    acceptors), :meth:`poll` from the daemon loop (non-blocking, returns
+    every request that arrived since the last poll), :meth:`close` on the
+    way out.  :meth:`describe` contributes key/value pairs to the daemon's
+    heartbeat object so clients can discover how to reach the daemon.
+    """
+
+    name = "abstract"
+
+    def start(self) -> None:  # pragma: no cover - trivial default
+        """Begin accepting requests (idempotent)."""
+
+    def poll(self) -> List[ControlRequest]:
+        """Pending requests, in arrival order; never blocks."""
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Stop accepting and release resources (idempotent)."""
+
+    def describe(self) -> Dict:
+        """Liveness advertisement merged into ``daemon.json``."""
+        return {}
+
+
+# ---------------------------------------------------------------------------
+# File transport (the PR 4 protocol, extracted)
+# ---------------------------------------------------------------------------
+
+
+class FileTransport(ControlTransport):
+    """Single-shot JSON request/response objects in a control directory.
+
+    The daemon-side half of the original file protocol: ``poll`` lists
+    ``req-*.json``, parses each, and the responder writes the matching
+    ``res-<id>.json`` *before* deleting the request — a crash between the
+    two leaves a request that will simply be re-served, never a requester
+    waiting on a response that was never written.
+    """
+
+    name = "file"
+
+    def __init__(self, control: StorageBackend):
+        self.control = control
+
+    def poll(self) -> List[ControlRequest]:
+        pending = []
+        for obj_name in self.control.list(REQUEST_PREFIX):
+            request_id = obj_name[len(REQUEST_PREFIX) : -len(".json")]
+            try:
+                request = json.loads(self.control.read(obj_name).decode("utf-8"))
+            except (StorageError, UnicodeDecodeError, json.JSONDecodeError):
+                request = None
+            if not isinstance(request, dict):
+                request = None
+            pending.append(
+                ControlRequest(
+                    request,
+                    request_id,
+                    self._responder(obj_name, request_id),
+                    transport=self.name,
+                )
+            )
+        return pending
+
+    def _responder(self, obj_name: str, request_id: str) -> Callable[[Dict], None]:
+        def respond(response: Dict) -> None:
+            self.control.write(
+                f"{RESPONSE_PREFIX}{request_id}.json",
+                json.dumps(response, sort_keys=True).encode("utf-8"),
+            )
+            self.control.delete(obj_name)
+
+        return respond
+
+
+# ---------------------------------------------------------------------------
+# Socket transport (TCP server)
+# ---------------------------------------------------------------------------
+
+
+class _Connection:
+    """Server-side state of one accepted client connection."""
+
+    def __init__(self, sock: socket.socket, peer: str):
+        self.sock = sock
+        self.peer = peer
+
+
+class SocketTransport(ControlTransport):
+    """Threaded TCP server feeding the daemon loop with framed requests.
+
+    Threading model: an acceptor thread plus one reader thread per
+    connection.  A reader authenticates its client, then for each request
+    frame enqueues a :class:`ControlRequest` and *blocks* until the daemon
+    thread responds (or ``response_timeout_seconds`` passes, in which case
+    the reader answers with an error envelope itself).  All socket writes
+    for a connection happen on its own reader thread, so frames are never
+    interleaved and the daemon thread never touches a socket.
+
+    ``auth_token``: when set, the first frame of every connection must be a
+    handshake carrying the exact token (compared constant-time); a wrong or
+    missing token gets one error frame and a closed connection.  When
+    unset, the handshake is still required (it versions the protocol) but
+    any token value is accepted.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        auth_token: Optional[str] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        connection_timeout_seconds: float = DEFAULT_CONNECTION_TIMEOUT,
+        response_timeout_seconds: float = 10.0,
+        backlog: int = 16,
+    ):
+        if max_frame_bytes < 1024:
+            raise ConfigError(
+                f"max_frame_bytes must be >= 1024, got {max_frame_bytes}"
+            )
+        if connection_timeout_seconds <= 0:
+            raise ConfigError(
+                "connection_timeout_seconds must be > 0, "
+                f"got {connection_timeout_seconds}"
+            )
+        if response_timeout_seconds <= 0:
+            raise ConfigError(
+                "response_timeout_seconds must be > 0, "
+                f"got {response_timeout_seconds}"
+            )
+        self.host = host
+        self.port = int(port)
+        self.auth_token = auth_token
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.connection_timeout_seconds = float(connection_timeout_seconds)
+        self.response_timeout_seconds = float(response_timeout_seconds)
+        self.backlog = int(backlog)
+        self._listener: Optional[socket.socket] = None
+        self._acceptor: Optional[threading.Thread] = None
+        self._queue: "queue.Queue[ControlRequest]" = queue.Queue()
+        self._connections: Dict[int, _Connection] = {}
+        self._conn_lock = threading.Lock()
+        self._closed = threading.Event()
+        # Requests enqueued whose response frame is not yet on the wire;
+        # close() waits (briefly) for these so a "drain" acknowledgement
+        # is not severed by the very shutdown it triggered.
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        # Observability counters (read by tests and the bench).
+        self.connections_accepted = 0
+        self.auth_failures = 0
+        self.frame_errors = 0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._listener is not None:
+            return
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((self.host, self.port))
+            listener.listen(self.backlog)
+        except OSError as exc:
+            listener.close()
+            raise TransportError(
+                f"cannot listen on {self.host}:{self.port}: {exc}"
+            ) from exc
+        self.port = listener.getsockname()[1]  # resolve port 0
+        listener.settimeout(0.2)  # so close() is noticed promptly
+        self._listener = listener
+        self._closed.clear()
+        self._acceptor = threading.Thread(
+            target=self._accept_loop,
+            name=f"qckpt-accept-{self.port}",
+            daemon=True,
+        )
+        self._acceptor.start()
+
+    def close(self) -> None:
+        self._closed.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        # Let responses already handed to connection threads reach the
+        # wire before the sockets are torn down under them.  Bounded: a
+        # request the daemon will never answer (it enqueued after the
+        # final poll) still times out on its own thread, so don't wait
+        # for it here.
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            with self._inflight_lock:
+                if self._inflight == 0:
+                    break
+            time.sleep(0.005)
+        with self._conn_lock:
+            connections = list(self._connections.values())
+            self._connections.clear()
+        for connection in connections:
+            try:
+                connection.sock.close()
+            except OSError:
+                pass
+        if self._acceptor is not None:
+            self._acceptor.join(timeout=5.0)
+            self._acceptor = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def describe(self) -> Dict:
+        # The advertisement exists so a *remote* client can learn where to
+        # connect; a wildcard bind address is not a routable destination,
+        # so substitute this machine's hostname (best effort) for it.
+        host = self.host
+        if host in ("", "0.0.0.0", "::"):
+            host = socket.gethostname()
+        return {
+            "listen": f"{host}:{self.port}",
+            "auth": self.auth_token is not None,
+        }
+
+    # -- accept / read loops ----------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            listener = self._listener
+            if listener is None:
+                return
+            try:
+                sock, addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed under us
+            connection = _Connection(sock, f"{addr[0]}:{addr[1]}")
+            with self._conn_lock:
+                self._connections[id(connection)] = connection
+            self.connections_accepted += 1
+            threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name=f"qckpt-conn-{connection.peer}",
+                daemon=True,
+            ).start()
+
+    def _drop_connection(self, connection: _Connection) -> None:
+        with self._conn_lock:
+            self._connections.pop(id(connection), None)
+        try:
+            connection.sock.close()
+        except OSError:
+            pass
+
+    def _serve_connection(self, connection: _Connection) -> None:
+        sock = connection.sock
+        sock.settimeout(self.connection_timeout_seconds)
+        try:
+            if not self._handshake(sock):
+                return
+            while not self._closed.is_set():
+                try:
+                    request = recv_frame(sock, self.max_frame_bytes)
+                except TransportError as exc:
+                    self.frame_errors += 1
+                    self._try_error(sock, f"bad frame: {exc}")
+                    return
+                if request is None:
+                    return  # client hung up cleanly
+                if not self._serve_request(sock, request):
+                    return  # client vanished mid-response: close our half
+        finally:
+            self._drop_connection(connection)
+
+    def _handshake(self, sock: socket.socket) -> bool:
+        try:
+            hello = recv_frame(sock, self.max_frame_bytes)
+        except TransportError as exc:
+            self.frame_errors += 1
+            self._try_error(sock, f"bad handshake frame: {exc}")
+            return False
+        if hello is None:
+            return False  # port-scanner said nothing; nothing owed
+        if hello.get("qckpt") != PROTOCOL_VERSION:
+            self.auth_failures += 1
+            self._try_error(
+                sock,
+                f"unsupported protocol {hello.get('qckpt')!r} "
+                f"(server speaks {PROTOCOL_VERSION})",
+            )
+            return False
+        if self.auth_token is not None:
+            offered = hello.get("token")
+            if not isinstance(offered, str) or not hmac.compare_digest(
+                offered, self.auth_token
+            ):
+                self.auth_failures += 1
+                self._try_error(sock, "bad auth token")
+                return False
+        try:
+            send_frame(sock, {"ok": True, "protocol": PROTOCOL_VERSION})
+        except TransportError:
+            return False
+        return True
+
+    def _serve_request(self, sock: socket.socket, request: Dict) -> bool:
+        request_id = str(request.get("id") or uuid.uuid4().hex[:12])
+        done = threading.Event()
+        req_lock = threading.Lock()
+        slot: List[Dict] = []
+        abandoned = [False]
+
+        def responder(response: Dict) -> None:
+            # Counted as in-flight only while this connection thread will
+            # still send it — a late answer to an abandoned (timed-out)
+            # request must not pin close() on a frame nobody will write.
+            with req_lock:
+                slot.append(response)
+                if not abandoned[0]:
+                    with self._inflight_lock:
+                        self._inflight += 1
+                done.set()
+
+        self._queue.put(
+            ControlRequest(request, request_id, responder, transport=self.name)
+        )
+        # The daemon thread handles the request between scheduler passes; a
+        # wedged daemon must not wedge the connection forever.
+        done.wait(timeout=self.response_timeout_seconds)
+        with req_lock:
+            if slot:
+                response = slot[0]
+                counted = True
+            else:
+                abandoned[0] = True
+                counted = False
+                response = {
+                    "ok": False,
+                    "id": request_id,
+                    "error": "daemon did not answer within "
+                    f"{self.response_timeout_seconds}s",
+                }
+        try:
+            send_frame(sock, response)
+        except TransportError:
+            # Client disconnected mid-response: its loss, daemon unharmed.
+            return False
+        finally:
+            if counted:
+                with self._inflight_lock:
+                    self._inflight -= 1
+        return True
+
+    def _try_error(self, sock: socket.socket, message: str) -> None:
+        try:
+            send_frame(sock, {"ok": False, "error": message})
+        except TransportError:
+            pass
+
+    # -- the daemon-facing side -------------------------------------------------
+
+    def poll(self) -> List[ControlRequest]:
+        pending = []
+        while True:
+            try:
+                pending.append(self._queue.get_nowait())
+            except queue.Empty:
+                return pending
+
+
+# ---------------------------------------------------------------------------
+# Socket client
+# ---------------------------------------------------------------------------
+
+
+class SocketControlClient:
+    """One authenticated connection to a :class:`SocketTransport`.
+
+    Connects lazily, re-handshakes transparently after a dropped
+    connection (one reconnect attempt per request), and correlates every
+    response by request id.  Thread-safe: a lock serializes round trips so
+    concurrent callers never interleave frames.
+    """
+
+    def __init__(
+        self,
+        address: "str | Tuple[str, int]",
+        token: Optional[str] = None,
+        timeout: float = 30.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
+        if timeout <= 0:
+            raise ConfigError(f"timeout must be > 0, got {timeout}")
+        self.host, self.port = parse_address(address)
+        self.token = token
+        self.timeout = float(timeout)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- connection management --------------------------------------------------
+
+    def _connect(self, timeout: float) -> socket.socket:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=timeout
+            )
+        except OSError as exc:
+            raise TransportConnectError(
+                f"cannot connect to daemon at {self.address}: {exc}"
+            ) from exc
+        sock.settimeout(timeout)
+        try:
+            send_frame(
+                sock, {"qckpt": PROTOCOL_VERSION, "token": self.token or ""}
+            )
+            welcome = recv_frame(sock, self.max_frame_bytes)
+        except TransportError:
+            sock.close()
+            raise
+        if welcome is None or not welcome.get("ok"):
+            error = (welcome or {}).get("error", "connection closed")
+            sock.close()
+            raise TransportError(
+                f"daemon at {self.address} refused the handshake: {error}"
+            )
+        return sock
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
+
+    # -- round trips ------------------------------------------------------------
+
+    def request(self, body: Dict, timeout: Optional[float] = None) -> Dict:
+        """One request/response round trip; raises on transport failure.
+
+        The request is retried on a *fresh* connection exactly once if the
+        cached connection turns out to be dead (daemon restarted, idle
+        timeout) — but only when the failure happened before any response
+        byte arrived, so a request is never silently issued twice after
+        the daemon may have acted on it.
+        """
+        timeout = self.timeout if timeout is None else float(timeout)
+        request_id = str(body.get("id") or uuid.uuid4().hex[:12])
+        frame = {**body, "id": request_id}
+        with self._lock:
+            for attempt in (0, 1):
+                sock = self._sock
+                fresh = sock is None
+                if sock is None:
+                    sock = self._connect(timeout)
+                    self._sock = sock
+                else:
+                    sock.settimeout(timeout)
+                try:
+                    send_frame(sock, frame)
+                except TransportError:
+                    self._drop()
+                    if fresh or attempt:
+                        raise
+                    continue  # stale cached connection: retry once, fresh
+                try:
+                    response = recv_frame(sock, self.max_frame_bytes)
+                except TransportError:
+                    self._drop()
+                    raise
+                if response is None:
+                    self._drop()
+                    if fresh or attempt:
+                        raise TransportError(
+                            f"daemon at {self.address} closed the "
+                            "connection before responding"
+                        )
+                    continue
+                if response.get("id") != request_id:
+                    # Not ours — e.g. the server's buffered idle-timeout
+                    # error envelope (no id) on a connection it already
+                    # closed.  Frames are ordered, so an un-correlated
+                    # frame predates our request: the server never read
+                    # it on this connection, making a single fresh retry
+                    # safe.
+                    self._drop()
+                    if fresh or attempt:
+                        raise TransportError(
+                            f"response id {response.get('id')!r} does not "
+                            f"match request id {request_id!r}"
+                        )
+                    continue
+                return response
+        raise TransportError(f"request to {self.address} failed")  # unreachable
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
