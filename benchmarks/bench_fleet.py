@@ -37,6 +37,13 @@ Three experiments, all written to ``BENCH_fleet.json`` at the repo root:
 6. **Control plane** — file vs socket transport: request round-trip
    latency (ping) and submit throughput while poller threads hammer
    ``status`` (the monitoring-storm regime a sweep dashboard creates).
+
+7. **Fault storm** — a repeating transient-fault window over the store's
+   write and read paths (``FlakyBackend.arm_schedule``).  Unretried, the
+   storm fails a measurable fraction of checkpoint saves; behind
+   ``ReliableBackend`` + ``RetryPolicy`` every op completes, and the added
+   latency is exactly the policy's deterministic backoff (recorded, not
+   slept) — recovered-op rate and added p50/p90/max latency per save.
 """
 
 import json
@@ -48,12 +55,14 @@ import numpy as np
 import pytest
 
 from repro.core.snapshot import TrainingSnapshot
+from repro.errors import TransientStorageError
 from repro.faults.injector import PreemptionStorm
 from repro.ml.dataset import make_moons
 from repro.ml.models import VariationalClassifier
 from repro.ml.optimizers import Adam
 from repro.ml.trainer import Trainer, TrainerConfig
 from repro.quantum.templates import hardware_efficient
+from repro.reliability import RetryPolicy
 from repro.service import (
     ChunkStore,
     FleetHarness,
@@ -61,7 +70,9 @@ from repro.service import (
     ThrottledBackend,
     WriterPool,
 )
+from repro.storage.flaky import FlakyBackend
 from repro.storage.memory import InMemoryBackend
+from repro.storage.reliable import ReliableBackend
 from repro.storage.sharded import ShardedBackend
 
 _JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
@@ -869,3 +880,167 @@ def test_control_plane_transport_latency(report):
     # Both transports finished the identical op sequence; the storm was real.
     for name, row in rows.items():
         assert row["status_polls_during_wave"] > 0, f"{name} storm idle"
+
+
+# ---------------------------------------------------------------------------
+# Fault storm: transient-error windows vs the reliability layer
+# ---------------------------------------------------------------------------
+
+STORM_JOBS = 4
+STORM_SAVES_PER_JOB = 10
+STORM_ELEMS = 384  # 3 KiB of params -> a couple of chunks per save
+
+# Repeating transient window: write ordinals 4-5 fail, healing by ordinal 6,
+# recurring every 9 ops.  count < max_attempts-1, so the policy always
+# out-lasts a window and no op can exhaust.
+WRITE_STORM = {"first": 4, "count": 2, "period": 9}
+READ_STORM = {"first": 2, "count": 1, "period": 5}
+
+
+def _storm_snapshots():
+    """Unique snapshots per (job, step): every save writes fresh chunks."""
+    rng = np.random.default_rng(23)
+    jobs = {}
+    for j in range(STORM_JOBS):
+        jobs[f"storm{j:02d}"] = [
+            TrainingSnapshot(
+                step=s + 1,
+                params=rng.normal(size=STORM_ELEMS),
+                optimizer_state={"name": "adam", "t": s},
+                rng_state={"seed": 23 + j},
+                model_fingerprint=f"storm-{j}",
+            )
+            for s in range(STORM_SAVES_PER_JOB)
+        ]
+    return jobs
+
+
+def _storm_store(retry=None):
+    mem = InMemoryBackend()
+    flaky = FlakyBackend(mem)
+    backend = flaky if retry is None else ReliableBackend(flaky, retry=retry)
+    store = ChunkStore(backend, block_bytes=2048, tier_placement=False)
+    return mem, flaky, backend, store
+
+
+def test_fault_storm_retry_recovery(report):
+    """Every checkpoint op must complete through a repeating fault storm.
+
+    The same deterministic storm is driven twice: raw (saves fail — proving
+    the storm bites) and behind ``ReliableBackend``.  The retried run must
+    complete every save and restore bitwise under a read storm, with the
+    added latency exactly the policy's jitter-free backoff schedule —
+    recorded via the policy's injected sleep, so the bench itself is fast
+    and the bound is verified deterministically, not statistically.
+    """
+    jobs = _storm_snapshots()
+    total_saves = STORM_JOBS * STORM_SAVES_PER_JOB
+
+    # Leg 1: no retry layer.  The storm must fail real saves.
+    _, flaky, _, store = _storm_store()
+    flaky.arm_schedule("write", "error", **WRITE_STORM)
+    unretried_failed = 0
+    for job_id, snaps in jobs.items():
+        for snap in snaps:
+            try:
+                store.save_snapshot(job_id, snap)
+            except TransientStorageError:
+                unretried_failed += 1
+    assert unretried_failed > 0, "storm never bit the unretried store"
+
+    # Leg 2: identical storm behind the reliability layer.
+    sleeps = []
+    policy = RetryPolicy(
+        max_attempts=4,
+        base_delay=0.05,
+        multiplier=2.0,
+        jitter="none",
+        sleep=sleeps.append,
+    )
+    mem, flaky, backend, store = _storm_store(retry=policy)
+    flaky.arm_schedule("write", "error", **WRITE_STORM)
+    per_save_added = []
+    for job_id, snaps in jobs.items():
+        for snap in snaps:
+            before = len(sleeps)
+            store.save_snapshot(job_id, snap)  # must not raise
+            per_save_added.append(sum(sleeps[before:]))
+    write_stats = (
+        backend.stats.retries,
+        backend.stats.recovered_ops,
+        backend.stats.exhausted_ops,
+    )
+    write_ops = len(mem.list(""))  # each op succeeds exactly once
+
+    # Read storm over the restore path: every job must come back bitwise.
+    flaky.arm_schedule("read", "error", **READ_STORM)
+    for job_id, snaps in jobs.items():
+        _, restored, skipped = store.latest_valid(job_id)
+        assert skipped == [], f"{job_id} skipped checkpoints: {skipped}"
+        assert restored is not None
+        assert restored.step == snaps[-1].step
+        assert restored.params.tobytes() == snaps[-1].params.tobytes()
+    read_retries = backend.stats.retries - write_stats[0]
+    read_recovered = backend.stats.recovered_ops - write_stats[1]
+
+    # The storm was absorbed: nothing exhausted, nothing rejected, and the
+    # added latency is policy-derived — every recorded pause is one of the
+    # policy's jitter-free delays, and no save exceeds the worst case for a
+    # single op (a window never spans two ops' full attempt budgets).
+    assert backend.stats.exhausted_ops == 0
+    assert backend.stats.rejected_ops == 0
+    assert write_stats[1] > 0, "write storm never hit the retried run"
+    assert read_recovered > 0, "read storm never hit the restores"
+    allowed = {policy.delay_for(i) for i in range(policy.max_attempts - 1)}
+    assert set(sleeps) <= allowed, f"non-policy pause in {sorted(set(sleeps))}"
+    assert max(per_save_added) <= policy.worst_case_delay()
+
+    payload = {
+        "jobs": STORM_JOBS,
+        "saves": total_saves,
+        "write_ops": write_ops,
+        "write_storm": WRITE_STORM,
+        "read_storm": READ_STORM,
+        "unretried_failed_saves": unretried_failed,
+        "unretried_save_failure_rate": unretried_failed / total_saves,
+        "retried_completed_saves": total_saves,
+        "write_retries": write_stats[0],
+        "recovered_write_ops": write_stats[1],
+        "recovered_write_op_rate": write_stats[1] / write_ops,
+        "read_retries": read_retries,
+        "recovered_read_ops": read_recovered,
+        "exhausted_ops": backend.stats.exhausted_ops,
+        "added_latency_total_s": sum(sleeps),
+        "added_latency_p50_ms": float(np.percentile(per_save_added, 50)) * 1e3,
+        "added_latency_p90_ms": float(np.percentile(per_save_added, 90)) * 1e3,
+        "added_latency_max_ms": max(per_save_added) * 1e3,
+        "policy": {
+            "max_attempts": policy.max_attempts,
+            "base_delay": policy.base_delay,
+            "multiplier": policy.multiplier,
+            "jitter": "none",
+            "worst_case_delay_s": policy.worst_case_delay(),
+        },
+    }
+    _write_json("fault_storm", payload)
+
+    table = "\n".join(
+        [
+            f"{'saves (4 jobs)':<26} {total_saves}",
+            f"{'unretried failed saves':<26} {unretried_failed} "
+            f"({payload['unretried_save_failure_rate']:.0%})",
+            f"{'retried completed':<26} {total_saves} (100%)",
+            f"{'recovered write ops':<26} {write_stats[1]}/{write_ops} "
+            f"({payload['recovered_write_op_rate']:.0%})",
+            f"{'recovered read ops':<26} {read_recovered}",
+            f"{'added latency p50 (ms)':<26} "
+            f"{payload['added_latency_p50_ms']:.0f}",
+            f"{'added latency p90 (ms)':<26} "
+            f"{payload['added_latency_p90_ms']:.0f}",
+            f"{'added latency max (ms)':<26} "
+            f"{payload['added_latency_max_ms']:.0f}",
+            f"{'policy worst case (ms)':<26} "
+            f"{policy.worst_case_delay() * 1e3:.0f}",
+        ]
+    )
+    report("Fleet service: fault storm through the reliability layer", table)

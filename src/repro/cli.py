@@ -13,6 +13,8 @@ Subcommands::
                                    (--tensors subset / --warm-start / --plan);
                                    works on both monolithic and chunk stores
     qckpt stats <dir>              aggregate store statistics
+    qckpt scrub <dir> [<dir>...]   verify chunk content; quarantine + repair
+    qckpt fsck <dir> [<dir>...]    read-only health check (scrub, no repair)
     qckpt fleet [--jobs N ...]     run a multi-job checkpoint-service scenario
     qckpt daemon start <dir>       run the long-running fleet daemon
                                    (--listen HOST:PORT serves TCP as well)
@@ -397,6 +399,80 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print(f"step range: {min(steps)}..{max(steps)}")
     print(f"total stored: {_human_bytes(store.total_bytes())}")
     return 0
+
+
+def _scrub_backend(dirs):
+    """Storage stack over chunk-store director(ies) for scrub/fsck.
+
+    Mirrors how ``daemon start`` lays stores out on disk: a directory with
+    ``shard-N`` subdirectories reopens as a :class:`ShardedBackend`; several
+    directories are replicas of one logical store (read_repair off — scrub
+    is the explicit repair path here, and fsck must observe, not heal).
+    """
+    from repro.storage.replicated import ReplicatedBackend
+    from repro.storage.sharded import ShardedBackend
+
+    def one(path: str):
+        directory = Path(path)
+        if (directory / "MANIFEST.json").exists():
+            raise ReproError(
+                f"{path} is a monolithic checkpoint store; scrub/fsck work "
+                "on chunk stores — use 'qckpt verify' there instead"
+            )
+        shards = sorted(
+            (p for p in directory.glob("shard-*") if p.is_dir()),
+            key=lambda p: (len(p.name), p.name),
+        )
+        if shards:
+            backends = [LocalDirectoryBackend(p) for p in shards]
+            return (
+                backends[0] if len(backends) == 1 else ShardedBackend(backends)
+            )
+        return LocalDirectoryBackend(directory)
+
+    backends = [one(path) for path in dirs]
+    if len(backends) == 1:
+        return backends[0]
+    return ReplicatedBackend(backends, read_repair=False)
+
+
+def _scrub_journal(dirs, daemon_id=None):
+    """Placement journal of the store, when it keeps one on disk."""
+    from repro.storage.placement import PlacementJournal
+
+    import uuid
+
+    journal_dir = Path(dirs[0]) / "placement"
+    if not journal_dir.is_dir():
+        return None
+    owner = daemon_id or f"scrub-{uuid.uuid4().hex[:8]}"
+    return PlacementJournal(LocalDirectoryBackend(journal_dir), owner=owner)
+
+
+def cmd_scrub(args: argparse.Namespace) -> int:
+    from repro.service.scrub import scrub_store
+
+    backend = _scrub_backend(args.store)
+    journal = _scrub_journal(args.store)
+    report = scrub_store(backend, repair=True, journal=journal)
+    print(report.summary())
+    if report.lease_holder is not None:
+        return 1
+    # Orphan chunks are gc's business, not damage — only unrepaired
+    # corruption (or an unrestorable checkpoint) fails the scrub.
+    damaged = report.unrestorable or any(
+        not f.repaired and f.kind != "orphan-chunk" for f in report.findings
+    )
+    return 1 if damaged else 0
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.service.scrub import scrub_store
+
+    backend = _scrub_backend(args.store)
+    report = scrub_store(backend, repair=False)
+    print(report.summary())
+    return 0 if report.clean else 1
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
@@ -798,6 +874,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--codec", default="zlib-6", help="byte codec for --out"
     )
     p_restore.set_defaults(func=cmd_restore)
+
+    p_scrub = sub.add_parser(
+        "scrub",
+        help="verify chunk content addresses; quarantine and repair damage",
+    )
+    p_scrub.add_argument(
+        "store",
+        nargs="+",
+        help="chunk-store directory; pass several replicas of one store to "
+        "repair each from the others",
+    )
+    p_scrub.set_defaults(func=cmd_scrub)
+
+    p_fsck = sub.add_parser(
+        "fsck", help="read-only store health check (scrub without repair)"
+    )
+    p_fsck.add_argument(
+        "store", nargs="+", help="chunk-store directory (or its replicas)"
+    )
+    p_fsck.set_defaults(func=cmd_fsck)
 
     p_stats = sub.add_parser("stats", help="aggregate store statistics")
     p_stats.add_argument("store", help="store directory")

@@ -63,7 +63,9 @@ from repro.errors import (
     ConfigError,
     IntegrityError,
     SerializationError,
+    TransientStorageError,
 )
+from repro.reliability import RetryPolicy
 
 #: The tensor subset a parameters-only warm start needs: enough to seed a new
 #: training run (architecture search, cross-validation) without transferring
@@ -353,6 +355,7 @@ class RestoreExecutor:
         self,
         max_workers: int = 4,
         prefetch_window_bytes: int = 64 << 20,
+        retry: Optional[RetryPolicy] = None,
     ):
         if max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
@@ -363,6 +366,12 @@ class RestoreExecutor:
             )
         self.max_workers = int(max_workers)
         self.prefetch_window_bytes = int(prefetch_window_bytes)
+        # Per-fetch-unit retry: transient backend failures are retried
+        # with backoff, and a block that fails *verification* is refetched
+        # fresh and re-verified (a backend that lied once — a flaky read —
+        # does not doom the restore; replica-capable backends fall through
+        # to a surviving copy on the refetch).
+        self.retry = retry
         # One persistent pool per executor, created on first parallel fetch:
         # damage-tolerant walks run one restore per candidate checkpoint,
         # and spawning/joining threads per fetch would dominate small plans.
@@ -471,7 +480,7 @@ class RestoreExecutor:
                 else:
                     stored = ranged_bytes[id(block)]
                 raws.append(
-                    self._verified_raw(block, stored, codec_obj, verify)
+                    self._block_raw(source, block, stored, codec_obj, verify)
                 )
             raw = raws[0] if len(raws) == 1 else b"".join(raws)
             array = tensor_from_bytes(raw, tensor_plan.dtype, tensor_plan.shape)
@@ -491,7 +500,7 @@ class RestoreExecutor:
             if prefetched is not None:
                 data = prefetched.take_object(obj.name)
             if data is None:
-                data = source.read_object(obj.name)
+                data = self._read(lambda: source.read_object(obj.name))
             if verify and obj.sha256 is not None:
                 actual = sha256_hex(data)
                 if actual != obj.sha256:
@@ -514,12 +523,52 @@ class RestoreExecutor:
             if prefetched is not None:
                 data = prefetched.take_block(block)
             if data is None:
-                data = source.read_range(
-                    block.object_name, block.start, block.stored_nbytes
+                data = self._read(
+                    lambda: source.read_range(
+                        block.object_name, block.start, block.stored_nbytes
+                    )
                 )
             return id(block), data
 
         return dict(self._map(fetch, blocks))
+
+    def _read(self, fn: Callable[[], bytes]) -> bytes:
+        """One source read, retried on transient failures if a policy is set."""
+        if self.retry is None:
+            return fn()
+        return self.retry.call(fn)
+
+    def _block_raw(
+        self,
+        source: RestoreSource,
+        block: BlockSpec,
+        stored: bytes,
+        codec_obj,
+        verify: bool,
+    ) -> bytes:
+        """Verify one block; on damage, refetch fresh and re-verify.
+
+        The retry path bypasses every buffer (prefetch, whole-object cache)
+        and goes straight back to the source: the point is to observe the
+        backend *again*, where a transient lie has cleared or a replicated
+        backend falls through to a surviving copy.
+        """
+        try:
+            return self._verified_raw(block, stored, codec_obj, verify)
+        except IntegrityError:
+            if self.retry is None:
+                raise
+
+            def refetch_and_verify() -> bytes:
+                fresh = source.read_range(
+                    block.object_name, block.start, block.stored_nbytes
+                )
+                return self._verified_raw(block, fresh, codec_obj, verify)
+
+            return self.retry.call(
+                refetch_and_verify,
+                retry_on=(TransientStorageError, IntegrityError),
+            )
 
     def _map(self, fn: Callable, items: List) -> List:
         if len(items) <= 1 or self.max_workers == 1:

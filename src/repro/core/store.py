@@ -39,7 +39,22 @@ from repro.errors import (
     SerializationError,
     StorageError,
 )
+from repro.faults.crashpoints import crash_point, register_crash_point
 from repro.storage.backend import StorageBackend
+
+CP_OBJECT_BEFORE_WRITE = register_crash_point(
+    "corestore.object.before-write",
+    "die before a checkpoint object reaches the backend (manifest unchanged)",
+)
+CP_MANIFEST_BEFORE_WRITE = register_crash_point(
+    "corestore.manifest.before-write",
+    "die with the object durable but MANIFEST.json not yet rewritten "
+    "(an orphan object, swept by gc)",
+)
+CP_MANIFEST_AFTER_WRITE = register_crash_point(
+    "corestore.manifest.after-write",
+    "die right after the atomic MANIFEST.json replace (commit point)",
+)
 
 MANIFEST_NAME = "MANIFEST.json"
 MANIFEST_VERSION = 1
@@ -139,6 +154,7 @@ class CheckpointStore:
         backend: StorageBackend,
         restore_workers: int = 4,
         readahead_links: int = 2,
+        retry=None,
     ):
         if readahead_links < 0:
             raise ConfigError(
@@ -150,7 +166,11 @@ class CheckpointStore:
         self._records: Dict[str, CheckpointRecord] = {}
         self._order: List[str] = []
         self._next_seq = 1
-        self._executor = RestoreExecutor(max_workers=restore_workers)
+        # retry: an optional repro.reliability.RetryPolicy — restores retry
+        # transient fetch failures and refetch blocks that fail verification.
+        self._executor = RestoreExecutor(
+            max_workers=restore_workers, retry=retry
+        )
         self._load_manifest()
 
     # -- manifest ---------------------------------------------------------------
@@ -179,7 +199,9 @@ class CheckpointStore:
             "records": [self._records[i].to_json() for i in self._order],
         }
         data = json.dumps(manifest, sort_keys=True, indent=1).encode("utf-8")
+        crash_point(CP_MANIFEST_BEFORE_WRITE)
         self.backend.write(MANIFEST_NAME, data)
+        crash_point(CP_MANIFEST_AFTER_WRITE)
 
     # -- identifiers ---------------------------------------------------------------
 
@@ -218,6 +240,7 @@ class CheckpointStore:
                 created=time.time(),
                 extra=dict(extra or {}),
             )
+            crash_point(CP_OBJECT_BEFORE_WRITE)
             self.backend.write(record.object_name, data)
             self._records[record.id] = record
             self._order.append(record.id)
@@ -269,6 +292,7 @@ class CheckpointStore:
                 base_id=base_id,
                 extra=dict(extra or {}),
             )
+            crash_point(CP_OBJECT_BEFORE_WRITE)
             self.backend.write(record.object_name, data)
             self._records[record.id] = record
             self._order.append(record.id)

@@ -32,7 +32,44 @@ class GradientError(ReproError):
 
 
 class StorageError(ReproError):
-    """A storage backend operation failed."""
+    """A storage backend operation failed.
+
+    Base ``StorageError`` means *persistent*: the operation will keep failing
+    if repeated unchanged (object absent, invalid name, namespace exhausted).
+    Failures worth retrying raise :class:`TransientStorageError` instead.
+    """
+
+
+class TransientStorageError(StorageError):
+    """A storage operation failed in a way a retry may fix.
+
+    The transient/persistent split is the contract the reliability layer is
+    built on: :class:`~repro.reliability.RetryPolicy` retries these (injected
+    faults, throttling windows, lossy transports) and treats every other
+    :class:`StorageError` — missing objects, invalid names — as a final
+    answer.
+    """
+
+
+class RetryExhaustedError(StorageError):
+    """A retried operation still failed after its policy's final attempt.
+
+    Chains from the last underlying error (``__cause__``), so callers keep
+    the root failure while a single ``except StorageError`` still works.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """A :class:`~repro.reliability.Deadline` budget ran out mid-operation."""
+
+
+class CircuitOpenError(ReproError):
+    """A :class:`~repro.reliability.CircuitBreaker` is refusing calls.
+
+    (The breaker kind of circuit — :class:`CircuitError` is the quantum one.)
+    Raised without touching the backend while the breaker is open; transient
+    by nature, since the breaker re-probes after its reset timeout.
+    """
 
 
 class TransportError(ReproError):

@@ -8,15 +8,29 @@ failures — enters the reproduction here:
 * :mod:`repro.faults.harness` — the crash/recover/resume loop around a
   trainer (what a supervisor process does in production),
 * :mod:`repro.faults.daly` — analytic (Daly 2006) and discrete-event models
-  of expected makespan under failures with checkpointing.
+  of expected makespan under failures with checkpointing,
+* :mod:`repro.faults.crashpoints` — named kill-here barriers instrumented
+  through every store write path,
+* :mod:`repro.faults.chaos` — the sweep that kills at *every* registered
+  crash point, reopens the store, and asserts recovery invariants.
+
+Harness and chaos symbols are imported lazily (PEP 562): the store modules
+they exercise themselves import :mod:`repro.faults.crashpoints`, and an eager
+import here would close that loop.
 """
 
+from repro.faults.crashpoints import (
+    REGISTRY,
+    CrashPointRegistry,
+    CrashPointTriggered,
+    crash_point,
+    register_crash_point,
+)
 from repro.faults.daly import (
     expected_makespan,
     no_checkpoint_makespan,
     simulate_makespan,
 )
-from repro.faults.harness import FaultRunResult, run_with_failures
 from repro.faults.injector import (
     Brownout,
     CrashAtStep,
@@ -25,6 +39,24 @@ from repro.faults.injector import (
     SimulatedClock,
     SimulatedFailure,
 )
+
+_LAZY = {
+    "FaultRunResult": "repro.faults.harness",
+    "run_with_failures": "repro.faults.harness",
+    "CrashPointResult": "repro.faults.chaos",
+    "run_crash_point": "repro.faults.chaos",
+    "run_sweep": "repro.faults.chaos",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
 
 __all__ = [
     "SimulatedFailure",
@@ -38,4 +70,12 @@ __all__ = [
     "expected_makespan",
     "no_checkpoint_makespan",
     "simulate_makespan",
+    "REGISTRY",
+    "CrashPointRegistry",
+    "CrashPointTriggered",
+    "crash_point",
+    "register_crash_point",
+    "CrashPointResult",
+    "run_crash_point",
+    "run_sweep",
 ]

@@ -1,0 +1,435 @@
+"""Crash-point chaos harness: kill at every barrier, reopen, assert.
+
+For each name in :data:`repro.faults.crashpoints.REGISTRY` this module runs
+a scenario that arms the point, drives the code path through it, catches the
+simulated kill (:class:`CrashPointTriggered` — a ``BaseException``, so no
+internal handler can swallow it), then *reopens* the affected store from its
+backend exactly like a restarted process would and asserts the crash-
+consistency invariants:
+
+* the newest restorable checkpoint restores **bitwise** (``latest_valid``
+  never returns a half-written snapshot),
+* no orphan manifests: every committed manifest still verifies end to end
+  (orphan *chunks* are permitted — chunks are written before the manifest
+  that names them, so a crash between the two legitimately leaves
+  unreferenced chunks for gc),
+* the placement journal's fold converges: a fresh reader folds the
+  (possibly half-compacted) log to the same pin/lease state,
+* the daemon's control-directory lock is recoverable: a fresh daemon can
+  claim the directory once the dead one's heartbeat goes stale,
+* scrub's own quarantine/repair sequence is re-runnable: a scrub killed
+  mid-repair finishes the repair on the next run.
+
+Coverage is closed-loop: a crash point registered anywhere without a
+scenario prefix here fails the sweep with "no chaos scenario covers ...",
+so new barriers cannot silently escape testing.
+
+Run it directly::
+
+    PYTHONPATH=src python -m repro.faults.chaos          # full sweep
+    PYTHONPATH=src python -m repro.faults.chaos --list   # show points
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.snapshot import TrainingSnapshot
+from repro.core.store import CheckpointStore
+from repro.faults.crashpoints import REGISTRY, CrashPointTriggered
+from repro.service.chunkstore import ChunkStore
+from repro.service.daemon import (
+    DaemonAlreadyRunning,
+    DaemonConfig,
+    FleetDaemon,
+    _read_control_meta,
+)
+from repro.service.pool import WriterPool
+from repro.service.scrub import scrub_store
+from repro.storage.memory import InMemoryBackend
+from repro.storage.placement import PlacementJournal
+from repro.storage.replicated import ReplicatedBackend
+
+
+@dataclass
+class CrashPointResult:
+    """Outcome of one kill-reopen-assert scenario."""
+
+    point: str
+    triggered: bool
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.triggered and not self.violations
+
+
+def _snapshot(step: int) -> TrainingSnapshot:
+    """Deterministic snapshot whose tensors differ per ``step`` (distinct
+    steps must produce distinct chunks, or an armed chunk write dedups
+    instead of writing)."""
+    rng = np.random.default_rng(step)
+    return TrainingSnapshot(
+        step=step,
+        params=rng.normal(size=48),
+        optimizer_state={"lr": 0.01, "beta": 0.9},
+        rng_state={"seed": step},
+        model_fingerprint="chaos-model",
+    )
+
+
+def _bitwise(a: TrainingSnapshot, b: TrainingSnapshot) -> bool:
+    return a.step == b.step and a.params.tobytes() == b.params.tobytes()
+
+
+def _trigger(point: str, action: Callable[[], object]) -> Optional[str]:
+    """Arm ``point``, run ``action``, absorb the kill.
+
+    Returns a violation string when the armed point never fired — the
+    scenario does not actually exercise that barrier.
+    """
+    try:
+        with REGISTRY.armed(point):
+            action()
+    except CrashPointTriggered:
+        return None
+    return "armed crash point never fired during its scenario"
+
+
+# -- scenarios, one per point prefix -------------------------------------------
+
+
+def _scenario_chunkstore(point: str) -> CrashPointResult:
+    backend = InMemoryBackend()
+    store = ChunkStore(backend)
+    snap1, snap2 = _snapshot(1), _snapshot(2)
+    store.save_snapshot("chaos", snap1)
+    miss = _trigger(point, lambda: store.save_snapshot("chaos", snap2))
+    if miss:
+        return CrashPointResult(point, False, [miss])
+
+    violations: List[str] = []
+    reopened = ChunkStore(backend)  # the process restart
+    fsck = scrub_store(backend, repair=False)
+    for finding in fsck.findings:
+        if finding.kind != "orphan-chunk":  # orphan chunks are legitimate
+            violations.append(
+                f"fsck after crash: [{finding.kind}] {finding.name}: "
+                f"{finding.detail}"
+            )
+    if fsck.unrestorable:
+        violations.append(
+            f"manifests unrestorable after crash: {fsck.unrestorable}"
+        )
+    _, snapshot, _ = reopened.latest_valid("chaos")
+    # Only a crash *after* the manifest barrier leaves the new checkpoint
+    # committed; at every earlier point the store must fall back to snap1.
+    expect = snap2 if point.endswith("manifest.after-write") else snap1
+    if snapshot is None:
+        violations.append("no restorable checkpoint after crash")
+    elif not _bitwise(snapshot, expect):
+        violations.append(
+            f"latest_valid restored step {snapshot.step}, expected "
+            f"step {expect.step} bitwise"
+        )
+    reopened.save_snapshot("chaos", _snapshot(3))
+    _, after, _ = reopened.latest_valid("chaos")
+    if after is None or after.step != 3:
+        violations.append("save after reopen did not commit")
+    return CrashPointResult(point, True, violations)
+
+
+def _scenario_corestore(point: str) -> CrashPointResult:
+    backend = InMemoryBackend()
+    store = CheckpointStore(backend)
+    snap1, snap2 = _snapshot(1), _snapshot(2)
+    rec1 = store.save_full(snap1)
+    miss = _trigger(point, lambda: store.save_full(snap2))
+    if miss:
+        return CrashPointResult(point, False, [miss])
+
+    violations: List[str] = []
+    reopened = CheckpointStore(backend)
+    results = reopened.verify_all()
+    for ckpt_id, (ok, detail) in sorted(results.items()):
+        if not ok:
+            violations.append(
+                f"orphan-manifest entry: record {ckpt_id} fails "
+                f"verify after crash: {detail}"
+            )
+    committed = 2 if point.endswith("manifest.after-write") else 1
+    if len(results) != committed:
+        violations.append(
+            f"manifest lists {len(results)} record(s) after crash, "
+            f"expected {committed}"
+        )
+    if rec1.id in results and not _bitwise(reopened.load(rec1.id), snap1):
+        violations.append("baseline checkpoint no longer restores bitwise")
+    if committed == 2:
+        new_ids = set(results) - {rec1.id}
+        if new_ids and not _bitwise(reopened.load(new_ids.pop()), snap2):
+            violations.append(
+                "committed checkpoint does not restore bitwise"
+            )
+    rec3 = reopened.save_full(_snapshot(3))
+    if not _bitwise(reopened.load(rec3.id), _snapshot(3)):
+        violations.append("save after reopen does not restore bitwise")
+    return CrashPointResult(point, True, violations)
+
+
+def _scenario_placement_record(point: str) -> CrashPointResult:
+    backend = InMemoryBackend()
+    journal = PlacementJournal(backend, owner="chaos-a")
+    journal.pin("job-base")
+    miss = _trigger(point, lambda: journal.pin("job-target"))
+    if miss:
+        return CrashPointResult(point, False, [miss])
+
+    violations: List[str] = []
+    reader = PlacementJournal(backend, owner="chaos-b")  # fresh fold
+    try:
+        pins = reader.pinned_names()
+    except Exception as exc:  # noqa: BLE001 - any failure = fold diverged
+        return CrashPointResult(
+            point, True, [f"journal fold failed after crash: {exc!r}"]
+        )
+    if "job-base" not in pins:
+        violations.append("pre-crash pin lost from the fold")
+    durable = point.endswith("after-write")
+    if durable and "job-target" not in pins:
+        violations.append("record written before crash missing from fold")
+    if not durable and "job-target" in pins:
+        violations.append("crash before record write still produced a pin")
+    reader.pin("job-target")  # the retried operation must converge
+    if "job-target" not in reader.pinned_names():
+        violations.append("re-issued pin did not converge")
+    return CrashPointResult(point, True, violations)
+
+
+def _scenario_placement_compact(point: str) -> CrashPointResult:
+    backend = InMemoryBackend()
+    journal = PlacementJournal(backend, owner="chaos-a")
+    journal.pin("job-a")
+    journal.pin("job-b")
+    journal.acquire_lease("warm")
+    journal.release_lease("warm")
+    miss = _trigger(point, journal.compact)
+    if miss:
+        return CrashPointResult(point, False, [miss])
+
+    violations: List[str] = []
+    reader = PlacementJournal(backend, owner="chaos-b")
+    try:
+        pins = reader.pinned_names()
+    except Exception as exc:  # noqa: BLE001
+        return CrashPointResult(
+            point, True, [f"journal fold failed after crash: {exc!r}"]
+        )
+    if pins != {"job-a", "job-b"}:
+        violations.append(
+            f"fold of half-compacted log diverged: pins {sorted(pins)}"
+        )
+    try:
+        reader.compact()  # a later compaction must be able to finish the job
+    except Exception as exc:  # noqa: BLE001
+        violations.append(f"re-run compaction failed: {exc!r}")
+    if reader.pinned_names() != {"job-a", "job-b"}:
+        violations.append("pins changed across re-run compaction")
+    return CrashPointResult(point, True, violations)
+
+
+def _scenario_daemon(point: str) -> CrashPointResult:
+    control = InMemoryBackend()
+    config = DaemonConfig(heartbeat_seconds=0.05, stale_after_seconds=0.2)
+    pool = WriterPool(workers=1)
+    try:
+        daemon = FleetDaemon(
+            ChunkStore(InMemoryBackend()),
+            pool,
+            control,
+            config=config,
+            daemon_id="chaos-1",
+        )
+        daemon._claim_control()
+        miss = _trigger(point, daemon._write_meta)
+        if miss:
+            return CrashPointResult(point, False, [miss])
+
+        violations: List[str] = []
+        meta = _read_control_meta(control)
+        # Heartbeats atomically replace daemon.json: a kill mid-write must
+        # leave the previous copy readable, never torn JSON.
+        if meta is None or meta.get("daemon_id") != "chaos-1":
+            violations.append(
+                "daemon.json unreadable (or wrong owner) after crash "
+                "mid-heartbeat"
+            )
+        rival = FleetDaemon(
+            ChunkStore(InMemoryBackend()),
+            pool,
+            control,
+            config=config,
+            daemon_id="chaos-2",
+        )
+        try:
+            rival._claim_control()
+            violations.append(
+                "rival claimed the control directory while the dead "
+                "daemon's heartbeat was still fresh"
+            )
+        except DaemonAlreadyRunning:
+            pass
+        time.sleep(config.stale_after_seconds + 0.1)
+        try:
+            rival._claim_control()  # stale heartbeat: lock must recover
+        except DaemonAlreadyRunning:
+            violations.append(
+                "control lock never became claimable after the daemon died"
+            )
+        return CrashPointResult(point, True, violations)
+    finally:
+        pool.close()
+
+
+def _scenario_scrub(point: str) -> CrashPointResult:
+    replica_a, replica_b = InMemoryBackend(), InMemoryBackend()
+    backend = ReplicatedBackend([replica_a, replica_b], read_repair=False)
+    store = ChunkStore(backend)
+    snap = _snapshot(1)
+    store.save_snapshot("chaos", snap)
+    address = sorted(replica_a.list("ch-"))[0]
+    replica_a.write(address, b"bit-rot")  # one replica survives
+    miss = _trigger(point, lambda: scrub_store(backend, repair=True))
+    if miss:
+        return CrashPointResult(point, False, [miss])
+
+    violations: List[str] = []
+    finish = scrub_store(backend, repair=True)  # re-run completes the repair
+    if finish.unrestorable:
+        violations.append(
+            f"re-run scrub left unrestorable manifests: {finish.unrestorable}"
+        )
+    if finish.unrepaired:
+        violations.append(
+            f"re-run scrub left {finish.unrepaired} finding(s) unrepaired"
+        )
+    fsck = scrub_store(backend, repair=False)
+    if not fsck.clean:
+        violations.append(
+            f"store not clean after crashed-then-finished repair: "
+            f"{fsck.summary()}"
+        )
+    _, restored, _ = ChunkStore(backend).latest_valid("chaos")
+    if restored is None or not _bitwise(restored, snap):
+        violations.append("checkpoint does not restore bitwise after repair")
+    return CrashPointResult(point, True, violations)
+
+
+_SCENARIOS = [
+    ("chunkstore.", _scenario_chunkstore),
+    ("corestore.", _scenario_corestore),
+    ("placement.record.", _scenario_placement_record),
+    ("placement.compact.", _scenario_placement_compact),
+    ("daemon.", _scenario_daemon),
+    ("scrub.", _scenario_scrub),
+]
+
+
+def run_crash_point(point: str) -> CrashPointResult:
+    """Kill at ``point``, reopen, assert; returns the scenario's verdict."""
+    for prefix, scenario in _SCENARIOS:
+        if point.startswith(prefix):
+            try:
+                return scenario(point)
+            except CrashPointTriggered as exc:
+                return CrashPointResult(
+                    point, True, [f"simulated kill escaped the harness: {exc}"]
+                )
+    return CrashPointResult(
+        point,
+        False,
+        [f"no chaos scenario covers {point!r}; add one to repro.faults.chaos"],
+    )
+
+
+def run_sweep(points: Optional[List[str]] = None) -> List[CrashPointResult]:
+    """Run every (or the given) registered crash point's scenario."""
+    return [run_crash_point(p) for p in (points or REGISTRY.names())]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.chaos",
+        description="systematic crash-consistency sweep over every "
+        "registered crash point",
+    )
+    parser.add_argument(
+        "--points",
+        nargs="+",
+        metavar="NAME",
+        help="sweep only these crash points (default: all registered)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered crash points and exit",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit results as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, description in sorted(REGISTRY.describe().items()):
+            print(f"{name}: {description}")
+        return 0
+
+    results = run_sweep(args.points)
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "point": r.point,
+                        "triggered": r.triggered,
+                        "violations": r.violations,
+                    }
+                    for r in results
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for result in results:
+            if result.ok:
+                print(f"ok   {result.point}")
+            else:
+                print(f"FAIL {result.point}")
+                if not result.triggered:
+                    print("     - crash point never triggered")
+                for violation in result.violations:
+                    print(f"     - {violation}")
+        failed = sum(1 for r in results if not r.ok)
+        print(
+            f"{len(results)} crash point(s) swept, "
+            f"{len(results) - failed} ok, {failed} failed"
+        )
+    return 0 if all(r.ok for r in results) else 1
+
+
+__all__ = [
+    "CrashPointResult",
+    "main",
+    "run_crash_point",
+    "run_sweep",
+]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,129 @@
+"""Named crash points: systematic kill-here hooks through the write path.
+
+Crash-consistency testing used to be anecdotal — a handful of hand-picked
+``FlakyBackend.arm`` calls at points someone thought of.  This module makes
+it systematic: every durability-relevant barrier in the write path declares a
+*named* crash point (``crash_point("chunkstore.manifest.before-write")``),
+and the chaos harness (:mod:`repro.faults.chaos`) loops over **every**
+registered name — kill there, reopen the store, assert invariants.  A new
+barrier added without a scenario fails the sweep, so coverage cannot rot
+silently.
+
+Mechanics:
+
+* modules register their points at import time via :func:`register_crash_point`
+  and call :func:`crash_point` inline; a disarmed hit is a dict lookup — noise
+  in production code is one line per barrier, runtime cost ~nothing;
+* arming (:meth:`CrashPointRegistry.armed`) makes the n-th hit of one chosen
+  point raise :class:`CrashPointTriggered`;
+* :class:`CrashPointTriggered` derives from :class:`BaseException`, not
+  :class:`Exception` — internal ``except StorageError`` / ``except Exception``
+  recovery code must *not* be able to swallow a simulated ``kill -9``.  The
+  harness catches it at the very top, exactly where a process boundary would
+  be.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Dict, List, Optional
+
+
+class CrashPointTriggered(BaseException):
+    """The simulated process kill.
+
+    BaseException on purpose: recovery paths that legitimately handle
+    ``ReproError``/``Exception`` (rollback, damage-tolerant walks) stay out
+    of the way, mirroring a real crash where no handler runs at all.
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"crash point {point!r} triggered")
+        self.point = point
+
+
+class CrashPointRegistry:
+    """All known crash points, plus at most one armed at a time."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._points: Dict[str, str] = {}
+        self._armed: Optional[str] = None
+        self._arm_on_hit = 1
+        self._hits = 0
+
+    def register(self, name: str, description: str) -> str:
+        """Declare a crash point (idempotent); returns ``name``."""
+        with self._lock:
+            self._points.setdefault(name, description)
+        return name
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._points)
+
+    def describe(self) -> Dict[str, str]:
+        """``{name: description}`` for docs and the sweep report."""
+        with self._lock:
+            return dict(self._points)
+
+    def arm(self, name: str, on_hit: int = 1) -> None:
+        """Make the ``on_hit``-th :func:`crash_point` hit of ``name`` raise."""
+        with self._lock:
+            if name not in self._points:
+                raise KeyError(f"unknown crash point {name!r}")
+            if on_hit < 1:
+                raise ValueError(f"on_hit must be >= 1, got {on_hit}")
+            self._armed = name
+            self._arm_on_hit = int(on_hit)
+            self._hits = 0
+
+    def disarm(self) -> None:
+        with self._lock:
+            self._armed = None
+            self._hits = 0
+
+    @contextlib.contextmanager
+    def armed(self, name: str, on_hit: int = 1):
+        """Arm ``name`` for the body; always disarms, even on the crash."""
+        self.arm(name, on_hit=on_hit)
+        try:
+            yield
+        finally:
+            self.disarm()
+
+    def hit(self, name: str) -> None:
+        """Inline barrier hook; raises :class:`CrashPointTriggered` if armed."""
+        with self._lock:
+            if self._armed != name:
+                return
+            self._hits += 1
+            if self._hits < self._arm_on_hit:
+                return
+            self._armed = None
+        raise CrashPointTriggered(name)
+
+
+#: Process-wide registry: instrumented modules register against this at
+#: import, the chaos harness sweeps it, tests arm it.
+REGISTRY = CrashPointRegistry()
+
+
+def register_crash_point(name: str, description: str) -> str:
+    """Module-level registration shorthand (returns ``name`` for reuse)."""
+    return REGISTRY.register(name, description)
+
+
+def crash_point(name: str) -> None:
+    """The inline hook placed at each barrier; no-op unless armed."""
+    REGISTRY.hit(name)
+
+
+__all__ = [
+    "REGISTRY",
+    "CrashPointRegistry",
+    "CrashPointTriggered",
+    "crash_point",
+    "register_crash_point",
+]

@@ -1,0 +1,331 @@
+"""Composable reliability policies: retries, deadlines, circuit breaking.
+
+The stack's failure surfaces — storage backends, the restore pipeline, the
+daemon control plane — all face the same question: *a call failed; now what?*
+This module answers it once, with three small composable policies instead of
+per-call-site ad-hoc loops:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and full
+  jitter.  Retries only errors the raiser marked *transient*
+  (:class:`~repro.errors.TransientStorageError` by default); persistent
+  failures (missing object, bad name) surface immediately.  The clock, the
+  RNG, and the sleep function are all injectable, so tests assert the exact
+  delay sequence instead of sampling probabilities.
+* :class:`Deadline` — a wall-clock budget created once at the top of an
+  operation and handed down (explicitly, or ambiently via
+  :func:`deadline_scope`) through nested calls.  Every layer that sleeps or
+  polls checks the same budget, so "give this restore 30 s" means 30 s total,
+  not 30 s per layer.
+* :class:`CircuitBreaker` — after ``failure_threshold`` consecutive transient
+  failures, stop hammering a clearly-down backend and fail fast with
+  :class:`~repro.errors.CircuitOpenError`; after ``reset_timeout`` let probe
+  traffic through (half-open) and close again on the first success.
+
+:class:`~repro.storage.reliable.ReliableBackend` wires all three across the
+``StorageBackend`` contract; the socket control client and the daemon client
+reuse :class:`RetryPolicy` / :class:`Deadline` directly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import threading
+import time
+from typing import Callable, List, Optional, Tuple, Type
+
+from repro.errors import (
+    CircuitOpenError,
+    ConfigError,
+    DeadlineExceeded,
+    RetryExhaustedError,
+    TransientStorageError,
+)
+
+_JITTER_MODES = {"full", "none"}
+
+
+class Deadline:
+    """A fixed wall-clock budget that nested calls share.
+
+    ``Deadline(5.0)`` expires five seconds after construction no matter how
+    many layers it passes through — the point is that budgets *propagate*
+    rather than multiply.  ``clock`` is injectable (monotonic seconds) so
+    expiry is testable without real waiting.
+    """
+
+    def __init__(self, seconds: float, clock: Callable[[], float] = time.monotonic):
+        if seconds < 0:
+            raise ConfigError(f"deadline budget must be >= 0, got {seconds}")
+        self.budget_seconds = float(seconds)
+        self._clock = clock
+        self._expires_at = clock() + self.budget_seconds
+
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self._expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self._expires_at
+
+    def check(self, label: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is gone."""
+        if self.expired:
+            what = f" during {label}" if label else ""
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_seconds:.3f}s exceeded{what}"
+            )
+
+    def clamp(self, timeout: float) -> float:
+        """``timeout`` bounded by what is left of the budget."""
+        return min(float(timeout), self.remaining())
+
+
+# Ambient deadline: a per-thread stack so a budget set at the top of an
+# operation reaches layers whose signatures cannot thread it explicitly
+# (e.g. the StorageBackend contract).
+_AMBIENT = threading.local()
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The innermost :func:`deadline_scope` deadline on this thread, if any."""
+    stack = getattr(_AMBIENT, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextlib.contextmanager
+def deadline_scope(deadline: Optional[Deadline]):
+    """Make ``deadline`` ambient for the body (``None`` is a no-op scope)."""
+    if deadline is None:
+        yield None
+        return
+    stack = getattr(_AMBIENT, "stack", None)
+    if stack is None:
+        stack = _AMBIENT.stack = []
+    stack.append(deadline)
+    try:
+        yield deadline
+    finally:
+        stack.pop()
+
+
+class RetryPolicy:
+    """Exponential backoff with full jitter over a bounded attempt count.
+
+    The backoff cap before retry ``i`` (0-based) is
+    ``min(max_delay, base_delay * multiplier**i)``; full jitter draws the
+    actual delay uniformly from ``[0, cap]`` (the AWS-style scheme that
+    decorrelates simultaneous retriers).  ``jitter="none"`` sleeps the cap
+    itself.  :meth:`worst_case_delay` — the sum of caps — is the
+    policy-derived bound tests assert against.
+
+    Determinism: pass ``rng=random.Random(seed)`` and a fake ``sleep`` (for
+    example ``SimulatedClock.advance``) and the policy's entire timing
+    becomes a pure function of the seed.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        multiplier: float = 2.0,
+        jitter: str = "full",
+        retry_on: Tuple[Type[BaseException], ...] = (TransientStorageError,),
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise ConfigError(
+                f"delays must be >= 0, got base={base_delay} max={max_delay}"
+            )
+        if multiplier < 1.0:
+            raise ConfigError(f"multiplier must be >= 1, got {multiplier}")
+        if jitter not in _JITTER_MODES:
+            raise ConfigError(
+                f"jitter must be one of {_JITTER_MODES}, got {jitter!r}"
+            )
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.multiplier = float(multiplier)
+        self.jitter = jitter
+        self.retry_on = tuple(retry_on)
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+
+    def backoff_cap(self, retry_index: int) -> float:
+        """Upper bound of the delay before retry ``retry_index`` (0-based)."""
+        return min(self.max_delay, self.base_delay * self.multiplier**retry_index)
+
+    def delay_for(self, retry_index: int) -> float:
+        """Actual (jittered) delay before retry ``retry_index``; consumes RNG."""
+        cap = self.backoff_cap(retry_index)
+        if self.jitter == "none" or cap <= 0:
+            return cap
+        return self._rng.uniform(0.0, cap)
+
+    def worst_case_delay(self) -> float:
+        """Total sleep of a fully exhausted call — the latency bound."""
+        return sum(self.backoff_cap(i) for i in range(self.max_attempts - 1))
+
+    def pause(self, retry_index: int, deadline: Optional[Deadline] = None) -> float:
+        """Sleep the backoff before retry ``retry_index``; returns the delay.
+
+        Refuses to sleep past ``deadline`` — sleeping through a budget only
+        to fail the post-sleep check would waste the caller's whole wait.
+        """
+        delay = self.delay_for(retry_index)
+        if deadline is not None and deadline.remaining() < delay:
+            raise DeadlineExceeded(
+                f"deadline of {deadline.budget_seconds:.3f}s cannot absorb a "
+                f"{delay:.3f}s backoff (retry {retry_index + 1})"
+            )
+        if delay > 0:
+            self._sleep(delay)
+        return delay
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        retry_on: Optional[Tuple[Type[BaseException], ...]] = None,
+        deadline: Optional[Deadline] = None,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ):
+        """Run ``fn`` under this policy and return its result.
+
+        Retries only ``retry_on`` errors (the policy default when ``None``);
+        anything else propagates untouched.  The effective deadline is the
+        explicit one or the ambient :func:`current_deadline`.  ``on_retry``
+        observes each scheduled retry as ``(retry_index, error)`` — the hook
+        :class:`~repro.storage.reliable.ReliableBackend` counts retries with.
+        Exhaustion raises :class:`RetryExhaustedError` chained from the last
+        underlying error.
+        """
+        retryable = self.retry_on if retry_on is None else tuple(retry_on)
+        if deadline is None:
+            deadline = current_deadline()
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            if deadline is not None:
+                deadline.check("retry attempt")
+            try:
+                return fn()
+            except retryable as exc:
+                last = exc
+                if attempt + 1 >= self.max_attempts:
+                    break
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self.pause(attempt, deadline)
+        raise RetryExhaustedError(
+            f"operation still failing after {self.max_attempts} attempts: {last}"
+        ) from last
+
+
+class CircuitBreaker:
+    """Fail fast against a backend that keeps failing.
+
+    Closed → open after ``failure_threshold`` *consecutive* counted failures;
+    open → half-open once ``reset_timeout`` seconds pass (probe traffic is
+    admitted); half-open → closed on the first success, back to open on the
+    first failure.  Only transient-class errors should be counted — a missing
+    object is an answer, not an outage — which is what :meth:`call` and
+    :class:`~repro.storage.reliable.ReliableBackend` enforce.
+
+    Thread-safe; the clock is injectable for deterministic tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout < 0:
+            raise ConfigError(f"reset_timeout must be >= 0, got {reset_timeout}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+        self.opens = 0  # lifetime open transitions, for tests/benchmarks
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = self.HALF_OPEN
+        return self._state
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def before(self) -> None:
+        """Gate a call: raises :class:`CircuitOpenError` while open."""
+        with self._lock:
+            if self._state_locked() == self.OPEN:
+                retry_in = self.reset_timeout - (self._clock() - self._opened_at)
+                raise CircuitOpenError(
+                    f"circuit open after {self._failures} consecutive "
+                    f"failures; probing again in {max(0.0, retry_in):.3f}s"
+                )
+
+    def success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = self.CLOSED
+
+    def failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            state = self._state_locked()
+            if state == self.HALF_OPEN or (
+                state == self.CLOSED and self._failures >= self.failure_threshold
+            ):
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self.opens += 1
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        count: Tuple[Type[BaseException], ...] = (
+            TransientStorageError,
+            RetryExhaustedError,
+        ),
+    ):
+        """Run ``fn`` through the breaker, counting only ``count`` errors."""
+        self.before()
+        try:
+            result = fn()
+        except count:
+            self.failure()
+            raise
+        self.success()
+        return result
+
+
+__all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "RetryPolicy",
+    "current_deadline",
+    "deadline_scope",
+]

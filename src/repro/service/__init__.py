@@ -22,7 +22,10 @@ that service layer:
 * :mod:`repro.service.transport` — the daemon's control-plane transports:
   the file protocol plus a TCP socket server/client speaking
   length-prefixed JSON frames with shared-secret auth, for driving a
-  daemon from another host.
+  daemon from another host,
+* :mod:`repro.service.scrub` — store self-healing: content-address scrub,
+  quarantine of corrupt copies, and repair from surviving replicas
+  (``qckpt scrub`` / ``qckpt fsck``).
 """
 
 from repro.service.chunkstore import (
@@ -49,6 +52,12 @@ from repro.service.fleet import (
 )
 from repro.service.manager import ServiceCheckpointManager, ServiceCheckpointStats
 from repro.service.pool import ChannelStats, PoolChannel, WriterPool
+from repro.service.scrub import (
+    ScrubFinding,
+    ScrubReport,
+    StoreScrubber,
+    scrub_store,
+)
 from repro.service.transport import (
     ControlRequest,
     ControlTransport,
@@ -86,4 +95,8 @@ __all__ = [
     "FleetJobResult",
     "FleetResult",
     "ThrottledBackend",
+    "StoreScrubber",
+    "ScrubReport",
+    "ScrubFinding",
+    "scrub_store",
 ]

@@ -58,8 +58,28 @@ from repro.errors import (
     ReproError,
     SerializationError,
     StorageError,
+    TransientStorageError,
 )
+from repro.faults.crashpoints import crash_point, register_crash_point
 from repro.storage.backend import StorageBackend, validate_name
+
+CP_CHUNK_BEFORE_WRITE = register_crash_point(
+    "chunkstore.chunk.before-write",
+    "die before a new chunk's payload reaches the backend",
+)
+CP_CHUNK_AFTER_WRITE = register_crash_point(
+    "chunkstore.chunk.after-write",
+    "die after the chunk write lands but before it is published to the "
+    "dedup index (an orphan chunk, no manifest)",
+)
+CP_MANIFEST_BEFORE_WRITE = register_crash_point(
+    "chunkstore.manifest.before-write",
+    "die with every chunk durable but the checkpoint manifest unwritten",
+)
+CP_MANIFEST_AFTER_WRITE = register_crash_point(
+    "chunkstore.manifest.after-write",
+    "die after the manifest commit point but before in-memory bookkeeping",
+)
 
 CHUNK_PREFIX = CONTENT_ADDRESS_PREFIX
 MANIFEST_VERSION = 1
@@ -123,6 +143,10 @@ class ChunkManifestSource(RestoreSource):
     def read_object(self, name: str) -> bytes:
         try:
             return self.backend.read(name)
+        except TransientStorageError:
+            # Retryable by contract: let the executor's retry policy see
+            # it instead of laundering it into permanent-looking damage.
+            raise
         except StorageError as exc:
             if name.startswith(CHUNK_PREFIX):
                 # The classic damage mode: a gc raced this restore, or a
@@ -241,6 +265,7 @@ class ChunkStore:
         restore_workers: int = 4,
         tier_placement: bool = True,
         placement_journal=None,
+        retry=None,
     ):
         if block_bytes < 64:
             raise ConfigError(f"block_bytes must be >= 64, got {block_bytes}")
@@ -254,7 +279,11 @@ class ChunkStore:
         # "rebalance" lease, so two daemons sharing this store never demote
         # the same chunk set concurrently.
         self.placement_journal = placement_journal
-        self._executor = RestoreExecutor(max_workers=restore_workers)
+        # retry: an optional repro.reliability.RetryPolicy — restores retry
+        # transient fetch failures and refetch blocks that fail verification.
+        self._executor = RestoreExecutor(
+            max_workers=restore_workers, retry=retry
+        )
         self.stats = ChunkStoreStats()
         self._lock = threading.RLock()
         # raw-hash name -> stored (compressed) size.  -1 marks a chunk another
@@ -491,7 +520,9 @@ class ChunkStore:
             manifest_bytes = json.dumps(manifest, sort_keys=True).encode(
                 "utf-8"
             )
+            crash_point(CP_MANIFEST_BEFORE_WRITE)
             self.backend.write(object_name, manifest_bytes)
+            crash_point(CP_MANIFEST_AFTER_WRITE)
             self._pin_manifest(object_name)
         except BaseException:
             # Roll back reservations that never published: concurrent
@@ -552,7 +583,9 @@ class ChunkStore:
                     return int(stored_nbytes), False
             if claimed:
                 stored = self.codec.encode(piece)
+                crash_point(CP_CHUNK_BEFORE_WRITE)
                 self.backend.write(address, stored)
+                crash_point(CP_CHUNK_AFTER_WRITE)
                 with self._lock:
                     # Write landed: now (and only now) publish it, so a
                     # racing save deduping against this entry can safely

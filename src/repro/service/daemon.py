@@ -57,6 +57,7 @@ import os
 import threading
 import time
 import uuid
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -69,6 +70,8 @@ from repro.errors import (
     StorageError,
     TransportError,
 )
+from repro.faults.crashpoints import crash_point, register_crash_point
+from repro.reliability import Deadline, current_deadline
 from repro.service.chunkstore import ChunkStore
 from repro.service.fleet import FleetJobSpec, JobLifecycle, _JobRuntime
 from repro.service.pool import WriterPool
@@ -86,6 +89,18 @@ from repro.storage.backend import StorageBackend
 from repro.storage.local import LocalDirectoryBackend
 
 META_NAME = "daemon.json"
+
+CP_META_BEFORE_WRITE = register_crash_point(
+    "daemon.meta.before-write",
+    "die while refreshing daemon.json (heartbeat goes stale; a successor "
+    "must be able to claim the control directory)",
+)
+
+# Responses already sent, kept so a redelivered request id (a client retry
+# after a connection died post-send) replays the answer instead of applying
+# the operation twice.  Bounded: old entries fall off; by then the retry
+# window (seconds) is long past.
+IDEMPOTENCY_CACHE_SIZE = 256
 
 STATE_RUNNING = "running"
 STATE_DRAINING = "draining"
@@ -307,6 +322,8 @@ class FleetDaemon(JobLifecycle):
         self._sched_clock = 0.0  # virtual time of the last scheduled tick
         self.requests_served = 0
         self.journal_compactions = 0
+        self.duplicate_requests = 0
+        self._served_responses: "OrderedDict[str, Dict]" = OrderedDict()
 
     @property
     def listen_address(self) -> Optional[str]:
@@ -353,6 +370,7 @@ class FleetDaemon(JobLifecycle):
         }
         for transport in self.transports:
             meta.update(transport.describe())
+        crash_point(CP_META_BEFORE_WRITE)
         self.control.write(
             META_NAME, json.dumps(meta, sort_keys=True).encode("utf-8")
         )
@@ -389,6 +407,15 @@ class FleetDaemon(JobLifecycle):
         handled = 0
         for transport in self.transports:
             for pending in transport.poll():
+                cached = self._served_responses.get(pending.request_id)
+                if cached is not None:
+                    # A retried delivery (same request id): replay the
+                    # answer so the op — a submit, a preempt — is applied
+                    # exactly once no matter how often the client resends.
+                    self.duplicate_requests += 1
+                    pending.respond(dict(cached))
+                    handled += 1
+                    continue
                 if pending.request is None:
                     response = {"ok": False, "error": "unreadable request"}
                 else:
@@ -400,6 +427,10 @@ class FleetDaemon(JobLifecycle):
                             "error": f"{type(exc).__name__}: {exc}",
                         }
                 response["id"] = pending.request_id
+                if pending.request is not None:
+                    self._served_responses[pending.request_id] = dict(response)
+                    while len(self._served_responses) > IDEMPOTENCY_CACHE_SIZE:
+                        self._served_responses.popitem(last=False)
                 pending.respond(response)
                 handled += 1
                 self.requests_served += 1
@@ -915,6 +946,7 @@ class DaemonClient:
         connect: "Optional[str | tuple]" = None,
         token: Optional[str] = None,
         stale_after_seconds: float = 5.0,
+        retry=None,
     ):
         if timeout <= 0:
             raise ConfigError(f"timeout must be > 0, got {timeout}")
@@ -932,7 +964,7 @@ class DaemonClient:
         self._socket: Optional[SocketControlClient] = None
         if connect is not None:
             self._socket = SocketControlClient(
-                connect, token=token, timeout=self.timeout
+                connect, token=token, timeout=self.timeout, retry=retry
             )
 
     def close(self) -> None:
@@ -1026,10 +1058,27 @@ class DaemonClient:
         return None
 
     def request(
-        self, op: str, timeout: Optional[float] = None, **payload
+        self,
+        op: str,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+        **payload,
     ) -> Dict:
-        """One control-plane round trip; raises on timeout or dead daemon."""
+        """One control-plane round trip; raises on timeout or dead daemon.
+
+        ``deadline`` (explicit, or ambient via
+        :func:`repro.reliability.deadline_scope`) caps the wait below
+        ``timeout``: a caller that budgeted 5 s for a whole multi-request
+        operation spends at most what is left of those 5 s here, and an
+        already-spent budget raises
+        :class:`~repro.errors.DeadlineExceeded` before any I/O.
+        """
         timeout = self.timeout if timeout is None else float(timeout)
+        if deadline is None:
+            deadline = current_deadline()
+        if deadline is not None:
+            deadline.check(f"daemon request {op!r}")
+            timeout = deadline.clamp(timeout)
         body = {"op": op, **payload}
         if self._socket is not None:
             try:
@@ -1046,10 +1095,10 @@ class DaemonClient:
             json.dumps(body, sort_keys=True).encode("utf-8"),
         )
         response_name = f"{RESPONSE_PREFIX}{request_id}.json"
-        deadline = time.monotonic() + timeout
+        give_up_at = time.monotonic() + timeout
         next_liveness_probe = time.monotonic() + 0.2
         stopped_since: Optional[float] = None
-        while time.monotonic() < deadline:
+        while time.monotonic() < give_up_at:
             if self.control.exists(response_name):
                 try:
                     response = json.loads(
@@ -1068,6 +1117,8 @@ class DaemonClient:
             time.sleep(0.005)
         # Leave no orphan request behind: the daemon may be gone for good.
         self.control.delete(request_name)
+        if deadline is not None and deadline.expired:
+            deadline.check(f"daemon request {op!r}")
         raise ConfigError(
             f"daemon did not answer {op!r} within {timeout}s "
             f"(alive={self.is_alive()})"
@@ -1108,18 +1159,27 @@ class DaemonClient:
         self,
         wait: bool = True,
         timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ) -> Dict:
         """Ask the daemon to finish its jobs and exit.
 
         With ``wait`` the call returns only once ``daemon.json`` reports
-        ``stopped`` (or the timeout elapses).
+        ``stopped`` (or the timeout elapses).  A ``deadline`` bounds the
+        *whole* drain — the request round trip and the stop-wait draw on
+        one shared budget.
         """
         timeout = self.timeout if timeout is None else float(timeout)
-        response = self.request("drain", timeout=timeout)
+        if deadline is None:
+            deadline = current_deadline()
+        if deadline is not None:
+            timeout = deadline.clamp(timeout)
+        response = self.request("drain", timeout=timeout, deadline=deadline)
         if not wait:
             return response
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
+        give_up_at = time.monotonic() + timeout
+        while time.monotonic() < give_up_at:
+            if deadline is not None:
+                deadline.check("daemon drain wait")
             if self.control is not None:
                 meta = self.daemon_meta()
                 if meta is not None and meta.get("state") == STATE_STOPPED:

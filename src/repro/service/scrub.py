@@ -1,0 +1,355 @@
+"""Store self-healing: content-address scrub, quarantine, and repair.
+
+``latest_valid`` already *tolerates* damage — it walks back to the newest
+restorable checkpoint — but tolerance is not health: a rotted chunk stays
+rotted until an operator notices.  :class:`StoreScrubber` closes that loop
+for chunk stores:
+
+* walk every ``job-*`` checkpoint manifest and every chunk they reference,
+* verify each object **by content** — manifests must parse with the right
+  version, chunks must decode and hash back to their own content address
+  (the same end-to-end check a restore applies),
+* gather the bytes of every *leaf* copy by walking the backend decorator
+  graph (replicas, tiers, shards, wrappers), so a corruption hidden behind
+  a replicated ``read()`` fast path is still found,
+* in repair mode: preserve the corrupt bytes under the ``quarantine-``
+  namespace (evidence, never silently destroyed), rewrite the object with a
+  surviving valid copy through the top-level backend — which re-replicates
+  it across every replica and tier in one write — and re-assert the repaired
+  manifest's placement-journal pin,
+* ``fsck`` is the same walk with ``repair=False``: report, touch nothing.
+
+Backends are flat namespaces (no directories), so "the quarantine
+directory" is the ``quarantine-<original-name>`` name prefix; on a
+:class:`~repro.storage.local.LocalDirectoryBackend` these appear as
+``quarantine-*`` files next to the store's objects.
+
+When the store has a :class:`~repro.storage.placement.PlacementJournal`, a
+repairing scrub runs under the journal's ``scrub`` lease so two daemons
+sharing the store never repair (and double-quarantine) concurrently; a
+scrubber that cannot get the lease returns immediately, naming the holder.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.codecs import get_codec
+from repro.core.restore import CONTENT_ADDRESS_PREFIX, content_address
+from repro.errors import ReproError, StorageError
+from repro.faults.crashpoints import crash_point, register_crash_point
+from repro.service.chunkstore import MANIFEST_VERSION
+from repro.storage.backend import StorageBackend
+
+QUARANTINE_PREFIX = "quarantine-"
+LEASE_SCRUB = "scrub"
+
+CP_QUARANTINE_AFTER_WRITE = register_crash_point(
+    "scrub.quarantine.after-write",
+    "die after quarantining corrupt bytes but before rewriting the object "
+    "(store still damaged; a re-run must finish the repair)",
+)
+CP_REPAIR_BEFORE_WRITE = register_crash_point(
+    "scrub.repair.before-write",
+    "die between quarantine and the repairing rewrite of a corrupt object",
+)
+
+
+@dataclass
+class ScrubFinding:
+    """One unhealthy object (or copy) the walk discovered."""
+
+    kind: str  # corrupt-chunk | missing-chunk | damaged-manifest |
+    #            divergent-copies | orphan-chunk
+    name: str
+    detail: str
+    repaired: bool = False
+    quarantined: Optional[str] = None  # quarantine object name, if written
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one scrub/fsck pass."""
+
+    repair: bool
+    findings: List[ScrubFinding] = field(default_factory=list)
+    manifests_checked: int = 0
+    chunks_checked: int = 0
+    repaired: int = 0
+    quarantined: int = 0
+    #: manifest object names whose checkpoints cannot be fully restored
+    #: (a referenced chunk has no valid copy anywhere).
+    unrestorable: List[str] = field(default_factory=list)
+    #: set when a repairing scrub skipped because another owner holds the
+    #: journal's scrub lease.
+    lease_holder: Optional[str] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and self.lease_holder is None
+
+    @property
+    def unrepaired(self) -> int:
+        return sum(1 for f in self.findings if not f.repaired)
+
+    def summary(self) -> str:
+        mode = "scrub" if self.repair else "fsck"
+        if self.lease_holder is not None:
+            return (
+                f"{mode}: skipped — scrub lease held by "
+                f"{self.lease_holder!r}"
+            )
+        lines = [
+            f"{mode}: {self.manifests_checked} manifest(s), "
+            f"{self.chunks_checked} chunk(s) checked — "
+            f"{len(self.findings)} finding(s), {self.repaired} repaired, "
+            f"{self.quarantined} quarantined"
+        ]
+        for finding in self.findings:
+            state = "repaired" if finding.repaired else "UNREPAIRED"
+            if not self.repair:
+                state = "found"
+            lines.append(
+                f"  [{finding.kind}] {finding.name} ({state}): "
+                f"{finding.detail}"
+            )
+        for name in self.unrestorable:
+            lines.append(f"  checkpoint {name} is NOT restorable")
+        return "\n".join(lines)
+
+
+def _leaf_copies(backend: StorageBackend, name: str) -> List[bytes]:
+    """Bytes of every physical copy of ``name``, via the decorator graph.
+
+    Recurses through replicas, shards, tiers, and single-inner wrappers
+    down to leaf backends; a leaf contributes its copy if it has one.
+    Failing leaves are skipped — an unreadable copy is the same as a
+    missing one for repair purposes.
+    """
+    replicas = getattr(backend, "replicas", None)
+    if isinstance(replicas, list) and replicas:
+        return [c for r in replicas for c in _leaf_copies(r, name)]
+    shards = getattr(backend, "shards", None)
+    if isinstance(shards, list) and shards:
+        return [c for s in shards for c in _leaf_copies(s, name)]
+    fast = getattr(backend, "fast", None)
+    slow = getattr(backend, "slow", None)
+    if isinstance(fast, StorageBackend) and isinstance(slow, StorageBackend):
+        return _leaf_copies(fast, name) + _leaf_copies(slow, name)
+    inner = getattr(backend, "inner", None)
+    if isinstance(inner, StorageBackend):
+        return _leaf_copies(inner, name)
+    try:
+        if backend.exists(name):
+            return [backend.read(name)]
+    except StorageError:
+        pass
+    return []
+
+
+class StoreScrubber:
+    """Walks a chunk store's namespace verifying (and repairing) content."""
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        repair: bool = False,
+        journal=None,
+    ):
+        self.backend = backend
+        self.repair = bool(repair)
+        self.journal = journal
+
+    # -- validators -------------------------------------------------------------
+
+    @staticmethod
+    def _manifest_valid(data: bytes) -> bool:
+        try:
+            manifest = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return False
+        return (
+            isinstance(manifest, dict)
+            and manifest.get("version") == MANIFEST_VERSION
+            and isinstance(manifest.get("tensors"), list)
+        )
+
+    @staticmethod
+    def _chunk_valid(address: str, codec_name: str, data: bytes) -> bool:
+        try:
+            raw = get_codec(codec_name).decode(data)
+        except ReproError:
+            return False
+        return content_address(raw, codec_name) == address
+
+    # -- the walk ---------------------------------------------------------------
+
+    def run(self) -> ScrubReport:
+        report = ScrubReport(repair=self.repair)
+        if self.repair and self.journal is not None:
+            if not self.journal.acquire_lease(LEASE_SCRUB):
+                report.lease_holder = self.journal.lease_holder(LEASE_SCRUB)
+                return report
+        try:
+            self._run(report)
+        finally:
+            if self.repair and self.journal is not None:
+                self.journal.release_lease(LEASE_SCRUB)
+        return report
+
+    def _run(self, report: ScrubReport) -> None:
+        # Pass 1: manifests.  Damaged manifests are findings themselves and
+        # cannot contribute chunk references.
+        referenced: Dict[str, Tuple[str, List[str]]] = {}
+        all_parsed = True
+        for object_name in self.backend.list("job-"):
+            report.manifests_checked += 1
+            good = self._check_object(
+                report,
+                object_name,
+                self._manifest_valid,
+                kind="damaged-manifest",
+            )
+            if good is None:
+                all_parsed = False
+                if object_name not in report.unrestorable:
+                    report.unrestorable.append(object_name)
+                continue
+            manifest = json.loads(good.decode("utf-8"))
+            codec_name = str(manifest.get("codec", "zlib-6"))
+            for entry in manifest.get("tensors", []):
+                for block in entry.get("blocks", []):
+                    address = block.get("chunk")
+                    if not address:
+                        continue
+                    referenced.setdefault(address, (codec_name, []))
+                    referenced[address][1].append(object_name)
+
+        # Pass 2: referenced chunks, verified by content address.
+        for address in sorted(referenced):
+            codec_name, referrers = referenced[address]
+            report.chunks_checked += 1
+            if not self.backend.exists(address):
+                report.findings.append(
+                    ScrubFinding(
+                        kind="missing-chunk",
+                        name=address,
+                        detail=(
+                            f"referenced by {len(referrers)} manifest(s), "
+                            "no copy anywhere"
+                        ),
+                    )
+                )
+                self._mark_unrestorable(report, referrers)
+                continue
+            good = self._check_object(
+                report,
+                address,
+                lambda data, a=address, c=codec_name: self._chunk_valid(
+                    a, c, data
+                ),
+                kind="corrupt-chunk",
+            )
+            if good is None:
+                self._mark_unrestorable(report, referrers)
+
+        # Pass 3: orphan chunks (referenced by nothing).  Informational —
+        # gc owns deletion — and only meaningful when every manifest parsed,
+        # otherwise "unreferenced" may just mean "referrer unreadable".
+        if all_parsed:
+            for address in self.backend.list(CONTENT_ADDRESS_PREFIX):
+                if address not in referenced:
+                    report.findings.append(
+                        ScrubFinding(
+                            kind="orphan-chunk",
+                            name=address,
+                            detail="referenced by no manifest (gc candidate)",
+                        )
+                    )
+
+    def _check_object(
+        self, report: ScrubReport, name: str, validate, kind: str
+    ) -> Optional[bytes]:
+        """Verify one object across all its copies; repair when possible.
+
+        Returns the valid bytes for ``name`` (after repair, if any), or
+        ``None`` when no copy anywhere passes validation.
+        """
+        copies = _leaf_copies(self.backend, name)
+        valid = [c for c in copies if validate(c)]
+        good = valid[0] if valid else None
+        bad = [c for c in copies if not validate(c)]
+        if good is not None and not bad and all(c == good for c in copies):
+            return good  # healthy: every copy present and identical
+        if good is None:
+            finding = ScrubFinding(
+                kind=kind,
+                name=name,
+                detail=f"all {len(copies)} cop(ies) fail validation",
+            )
+            report.findings.append(finding)
+            if self.repair and copies:
+                finding.quarantined = self._quarantine(report, name, copies[0])
+            return None
+        finding = ScrubFinding(
+            kind=kind if bad else "divergent-copies",
+            name=name,
+            detail=(
+                f"{len(bad)} of {len(copies)} cop(ies) fail validation"
+                if bad
+                else f"{len(copies)} valid but divergent cop(ies)"
+            ),
+        )
+        report.findings.append(finding)
+        if self.repair:
+            if bad:
+                finding.quarantined = self._quarantine(report, name, bad[0])
+            # One top-level write pushes the good bytes through every
+            # replica/tier/shard in the stack — re-replication for free.
+            crash_point(CP_REPAIR_BEFORE_WRITE)
+            self.backend.write(name, good)
+            finding.repaired = True
+            report.repaired += 1
+            if self.journal is not None and name.startswith("job-"):
+                try:
+                    # Re-assert durable placement for the repaired
+                    # manifest: the journal is how sharing processes learn
+                    # the object is hot again.
+                    self.journal.pin(name)
+                except (StorageError, ReproError):
+                    pass  # advisory, never fails a completed repair
+        return good
+
+    def _quarantine(
+        self, report: ScrubReport, name: str, data: bytes
+    ) -> str:
+        quarantine_name = f"{QUARANTINE_PREFIX}{name}"
+        self.backend.write(quarantine_name, data)
+        crash_point(CP_QUARANTINE_AFTER_WRITE)
+        report.quarantined += 1
+        return quarantine_name
+
+    @staticmethod
+    def _mark_unrestorable(report: ScrubReport, referrers: List[str]) -> None:
+        for object_name in referrers:
+            if object_name not in report.unrestorable:
+                report.unrestorable.append(object_name)
+
+
+def scrub_store(
+    backend: StorageBackend, repair: bool, journal=None
+) -> ScrubReport:
+    """One-call scrub (``repair=True``) or fsck (``repair=False``)."""
+    return StoreScrubber(backend, repair=repair, journal=journal).run()
+
+
+__all__ = [
+    "LEASE_SCRUB",
+    "QUARANTINE_PREFIX",
+    "ScrubFinding",
+    "ScrubReport",
+    "StoreScrubber",
+    "scrub_store",
+]

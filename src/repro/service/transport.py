@@ -47,6 +47,7 @@ import uuid
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError, StorageError, TransportError
+from repro.reliability import Deadline, RetryPolicy, current_deadline
 from repro.storage.backend import StorageBackend
 
 PROTOCOL_VERSION = 1
@@ -583,9 +584,21 @@ class SocketControlClient:
     """One authenticated connection to a :class:`SocketTransport`.
 
     Connects lazily, re-handshakes transparently after a dropped
-    connection (one reconnect attempt per request), and correlates every
-    response by request id.  Thread-safe: a lock serializes round trips so
-    concurrent callers never interleave frames.
+    connection, and correlates every response by request id.  Thread-safe:
+    a lock serializes round trips so concurrent callers never interleave
+    frames.
+
+    Two reconnect regimes:
+
+    * without a ``retry`` policy (the default): one fresh-connection retry
+      per request, and only when the failure provably happened before the
+      daemon could have read the request — the conservative legacy rule;
+    * with a :class:`~repro.reliability.RetryPolicy`: reconnect-with-backoff
+      for up to ``max_attempts``, resending the *same request id* on every
+      attempt.  The daemon deduplicates by id (replaying its recorded
+      response), so a request that died mid-send — where the daemon may or
+      may not have applied it — is safe to resend: a submit or preempt is
+      applied exactly once no matter how many deliveries happen.
     """
 
     def __init__(
@@ -594,6 +607,7 @@ class SocketControlClient:
         token: Optional[str] = None,
         timeout: float = 30.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        retry: Optional[RetryPolicy] = None,
     ):
         if timeout <= 0:
             raise ConfigError(f"timeout must be > 0, got {timeout}")
@@ -601,6 +615,7 @@ class SocketControlClient:
         self.token = token
         self.timeout = float(timeout)
         self.max_frame_bytes = int(max_frame_bytes)
+        self.retry = retry
         self._sock: Optional[socket.socket] = None
         self._lock = threading.Lock()
 
@@ -647,19 +662,45 @@ class SocketControlClient:
 
     # -- round trips ------------------------------------------------------------
 
-    def request(self, body: Dict, timeout: Optional[float] = None) -> Dict:
+    def request(
+        self,
+        body: Dict,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> Dict:
         """One request/response round trip; raises on transport failure.
 
-        The request is retried on a *fresh* connection exactly once if the
-        cached connection turns out to be dead (daemon restarted, idle
-        timeout) — but only when the failure happened before any response
-        byte arrived, so a request is never silently issued twice after
-        the daemon may have acted on it.
+        Without a :attr:`retry` policy the request is retried on a *fresh*
+        connection exactly once if the cached connection turns out to be
+        dead (daemon restarted, idle timeout) — and only when the failure
+        happened before any response byte arrived, so a request is never
+        silently issued twice after the daemon may have acted on it.
+
+        With a policy, every transport failure — including a death
+        mid-send, after the daemon may have applied the op — is retried
+        with backoff under the **same request id**; the daemon's
+        idempotency cache turns the resend into a response replay instead
+        of a second apply.  The id is generated once, before any attempt,
+        and threaded through every reconnect (the fix for the double-apply
+        race).  ``deadline`` (or the ambient one) bounds the backoff sleeps.
         """
         timeout = self.timeout if timeout is None else float(timeout)
         request_id = str(body.get("id") or uuid.uuid4().hex[:12])
         frame = {**body, "id": request_id}
+        if deadline is None:
+            deadline = current_deadline()
         with self._lock:
+            if self.retry is not None:
+                last_error: Optional[TransportError] = None
+                for attempt in range(self.retry.max_attempts):
+                    if attempt:
+                        self.retry.pause(attempt - 1, deadline)
+                    try:
+                        return self._attempt(frame, request_id, timeout)
+                    except TransportError as exc:
+                        self._drop()
+                        last_error = exc
+                raise last_error
             for attempt in (0, 1):
                 sock = self._sock
                 fresh = sock is None
@@ -704,6 +745,38 @@ class SocketControlClient:
                     continue
                 return response
         raise TransportError(f"request to {self.address} failed")  # unreachable
+
+    def _attempt(
+        self, frame: Dict, request_id: str, timeout: float
+    ) -> Dict:
+        """One send/recv on the current (or a fresh) connection.
+
+        Any failure raises :class:`TransportError`; the policy loop owns
+        classification — with id-correlated deduplication on the daemon a
+        resend is always safe, so there is nothing to distinguish.
+        """
+        sock = self._sock
+        if sock is None:
+            sock = self._connect(timeout)
+            self._sock = sock
+        else:
+            sock.settimeout(timeout)
+        send_frame(sock, frame)
+        response = recv_frame(sock, self.max_frame_bytes)
+        if response is None:
+            raise TransportError(
+                f"daemon at {self.address} closed the connection before "
+                "responding"
+            )
+        if response.get("id") != request_id:
+            # A stale buffered frame (e.g. the server's idle-timeout error
+            # envelope) from before this request: the connection is out of
+            # sync, drop it and resend on a fresh one.
+            raise TransportError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}"
+            )
+        return response
 
     def _drop(self) -> None:
         if self._sock is not None:

@@ -18,7 +18,10 @@ implementations:
 * :class:`~repro.storage.tiered.TieredBackend` — byte-budgeted LRU fast tier
   over a slow tier, write-through or write-back,
 * :class:`~repro.storage.sharded.ShardedBackend` — stable-hash routing of one
-  namespace across several backends (the chunk-store substrate).
+  namespace across several backends (the chunk-store substrate),
+* :class:`~repro.storage.reliable.ReliableBackend` — retry/backoff, circuit
+  breaking, and deadline budgets (``repro.reliability``) over any of the
+  above.
 
 :class:`~repro.storage.placement.PlacementJournal` is not a backend but the
 shared placement state *over* one: an append-only, on-store journal making
@@ -31,6 +34,7 @@ from repro.storage.flaky import FlakyBackend
 from repro.storage.local import LocalDirectoryBackend
 from repro.storage.memory import InMemoryBackend
 from repro.storage.placement import LeaseState, PlacementJournal
+from repro.storage.reliable import ReliabilityStats, ReliableBackend
 from repro.storage.replicated import ReplicatedBackend, ReplicationStats
 from repro.storage.sharded import ShardedBackend
 from repro.storage.simulated import SimulatedRemoteBackend, TransferCostModel
@@ -43,6 +47,8 @@ __all__ = [
     "SimulatedRemoteBackend",
     "TransferCostModel",
     "FlakyBackend",
+    "ReliableBackend",
+    "ReliabilityStats",
     "PlacementJournal",
     "LeaseState",
     "ReplicatedBackend",

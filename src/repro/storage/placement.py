@@ -50,7 +50,26 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigError, StorageError
+from repro.faults.crashpoints import crash_point, register_crash_point
 from repro.storage.backend import StorageBackend, validate_name
+
+CP_RECORD_BEFORE_WRITE = register_crash_point(
+    "placement.record.before-write",
+    "die with a journal sequence number allocated but the record unwritten",
+)
+CP_RECORD_AFTER_WRITE = register_crash_point(
+    "placement.record.after-write",
+    "die after the journal record lands but before the local fold",
+)
+CP_COMPACT_AFTER_SNAPSHOT = register_crash_point(
+    "placement.compact.after-snapshot",
+    "die between the compaction snapshot record and the covered-record "
+    "deletes (both snapshot and old records present)",
+)
+CP_COMPACT_MID_SWEEP = register_crash_point(
+    "placement.compact.mid-sweep",
+    "die after deleting the first covered record of a compaction sweep",
+)
 
 RECORD_PREFIX = "plj-"
 JOURNAL_VERSION = 1
@@ -243,9 +262,11 @@ class PlacementJournal:
                 **op,
             }
             name = f"{RECORD_PREFIX}{seq:08d}-{self.owner}.json"
+            crash_point(CP_RECORD_BEFORE_WRITE)
             self.backend.write(
                 name, json.dumps(record, sort_keys=True).encode("utf-8")
             )
+            crash_point(CP_RECORD_AFTER_WRITE)
             self._cache[name] = record
             self._fold()
             return record
@@ -370,6 +391,7 @@ class PlacementJournal:
                 }
                 kept = self._append(snapshot)
                 kept_name = f"{RECORD_PREFIX}{kept['seq']:08d}-{self.owner}.json"
+                crash_point(CP_COMPACT_AFTER_SNAPSHOT)
                 deleted = 0
                 for name in covered:
                     if name == kept_name:
@@ -377,6 +399,8 @@ class PlacementJournal:
                     self.backend.delete(name)
                     self._cache.pop(name, None)
                     deleted += 1
+                    if deleted == 1:
+                        crash_point(CP_COMPACT_MID_SWEEP)
                 self._fold()
                 return deleted
             finally:

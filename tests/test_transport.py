@@ -857,3 +857,152 @@ class TestJournalAutoCompaction:
                 pass
             thread.join(timeout=30.0)
             pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Retried reconnect: one request id across reconnects; daemon-side dedup
+# ---------------------------------------------------------------------------
+
+
+class TestRetriedReconnect:
+    def test_same_request_id_across_reconnect(self):
+        """Regression: a reconnect must resend the SAME request id.
+
+        The old race: the client regenerated the id on its fresh-connection
+        retry, so a daemon that *had* read the first delivery (then lost the
+        connection before answering) saw two distinct requests and applied
+        the op twice.  With a retry policy the id is generated once before
+        any attempt, making the resend deduplicable.
+        """
+        from repro.reliability import RetryPolicy
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(2)
+        port = listener.getsockname()[1]
+        delivered_ids = []
+
+        def dying_then_healthy_server():
+            # Connection 1: handshake, READ the request (the daemon has now
+            # seen it), then die without answering — the ambiguous window.
+            conn, _ = listener.accept()
+            assert recv_frame(conn)["qckpt"] == PROTOCOL_VERSION
+            send_frame(conn, {"ok": True, "protocol": PROTOCOL_VERSION})
+            request = recv_frame(conn)
+            delivered_ids.append(request["id"])
+            conn.close()
+            # Connection 2: the policy-driven reconnect; answer properly.
+            conn, _ = listener.accept()
+            assert recv_frame(conn)["qckpt"] == PROTOCOL_VERSION
+            send_frame(conn, {"ok": True, "protocol": PROTOCOL_VERSION})
+            request = recv_frame(conn)
+            delivered_ids.append(request["id"])
+            send_frame(conn, {"ok": True, "id": request["id"], "applied": 1})
+            conn.close()
+
+        server = threading.Thread(target=dying_then_healthy_server, daemon=True)
+        server.start()
+        client = SocketControlClient(
+            f"127.0.0.1:{port}",
+            timeout=5.0,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0, jitter="none"),
+        )
+        try:
+            response = client.request({"op": "preempt", "job": "j0"})
+            assert response["applied"] == 1
+            assert len(delivered_ids) == 2
+            assert delivered_ids[0] == delivered_ids[1]  # the fix under test
+        finally:
+            client.close()
+            listener.close()
+            server.join(timeout=5.0)
+
+    def test_without_policy_legacy_single_retry_still_works(self):
+        """The conservative legacy regime is untouched when retry=None."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(2)
+        port = listener.getsockname()[1]
+
+        def server_once():
+            conn, _ = listener.accept()
+            assert recv_frame(conn)["qckpt"] == PROTOCOL_VERSION
+            send_frame(conn, {"ok": True, "protocol": PROTOCOL_VERSION})
+            request = recv_frame(conn)
+            send_frame(conn, {"ok": True, "id": request["id"], "pong": 1})
+            conn.close()
+
+        server = threading.Thread(target=server_once, daemon=True)
+        server.start()
+        client = SocketControlClient(f"127.0.0.1:{port}", timeout=5.0)
+        try:
+            assert client.request({"op": "ping"})["pong"] == 1
+        finally:
+            client.close()
+            listener.close()
+            server.join(timeout=5.0)
+
+
+class TestDaemonIdempotency:
+    def test_duplicate_request_id_replays_instead_of_reapplying(self):
+        """A resent submit (same id) must not register the job twice."""
+        control = InMemoryBackend()
+        pool = WriterPool(workers=1)
+        try:
+            daemon = FleetDaemon(
+                ChunkStore(InMemoryBackend(), block_bytes=2048),
+                pool,
+                control,
+                config=DaemonConfig(tick_seconds=0.002),
+            )
+            daemon._claim_control()
+            body = json.dumps(
+                {"op": "submit", "spec": _tiny_spec("j0"), "id": "fixedid00001"},
+                sort_keys=True,
+            ).encode("utf-8")
+            control.write("req-fixedid00001.json", body)
+            assert daemon._poll_control() == 1
+            first = json.loads(
+                control.read("res-fixedid00001.json").decode("utf-8")
+            )
+            assert first["ok"] is True
+
+            # The client never saw the response (crash/drop); it resends the
+            # identical request.  Without dedup this would be "job exists".
+            control.delete("res-fixedid00001.json")
+            control.write("req-fixedid00001.json", body)
+            assert daemon._poll_control() == 1
+            replayed = json.loads(
+                control.read("res-fixedid00001.json").decode("utf-8")
+            )
+            assert replayed == first  # byte-equal replay, not a re-apply
+            assert daemon.duplicate_requests == 1
+            assert list(daemon._jobs) == ["j0"]
+        finally:
+            pool.close()
+
+    def test_distinct_ids_are_not_deduplicated(self):
+        control = InMemoryBackend()
+        pool = WriterPool(workers=1)
+        try:
+            daemon = FleetDaemon(
+                ChunkStore(InMemoryBackend(), block_bytes=2048),
+                pool,
+                control,
+                config=DaemonConfig(tick_seconds=0.002),
+            )
+            daemon._claim_control()
+            for request_id in ("aaaaaaaaaaa1", "aaaaaaaaaaa2"):
+                control.write(
+                    f"req-{request_id}.json",
+                    json.dumps(
+                        {"op": "ping", "id": request_id}, sort_keys=True
+                    ).encode("utf-8"),
+                )
+            assert daemon._poll_control() == 2
+            assert daemon.duplicate_requests == 0
+            assert daemon.requests_served == 2
+        finally:
+            pool.close()
