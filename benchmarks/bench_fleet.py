@@ -44,6 +44,13 @@ Three experiments, all written to ``BENCH_fleet.json`` at the repo root:
    ``ReliableBackend`` + ``RetryPolicy`` every op completes, and the added
    latency is exactly the policy's deterministic backoff (recorded, not
    slept) — recovered-op rate and added p50/p90/max latency per save.
+
+8. **Observability overhead** — the identical CPU-bound save workload
+   (pool + chunk store, zlib pack, no artificial latency) run fully
+   instrumented (live ``MetricsRegistry`` + an installed trace sink
+   recording every span) vs fully disabled (``enabled=False`` registry,
+   no sink).  Best-of-N wall time per leg; the instrumented/disabled
+   ratio must stay ≤ 1.05 — telemetry may not tax the hot path.
 """
 
 import json
@@ -880,6 +887,122 @@ def test_control_plane_transport_latency(report):
     # Both transports finished the identical op sequence; the storm was real.
     for name, row in rows.items():
         assert row["status_polls_during_wave"] > 0, f"{name} storm idle"
+
+
+# ---------------------------------------------------------------------------
+# Observability overhead: instrumented vs disabled on the hot save path
+# ---------------------------------------------------------------------------
+
+OBS_OVERHEAD_TARGET = 1.05  # instrumented may cost at most 5% wall time
+OBS_REPEATS = 5  # best-of-N per leg; min absorbs scheduler noise
+OBS_JOBS = 4
+OBS_SAVES_PER_JOB = 8
+
+
+def _obs_leg(jobs, *, instrumented: bool):
+    """One timed run of the save workload, telemetry on or off.
+
+    The instrumented leg is the worst case the telemetry layer presents in
+    production: a live registry fed by the pool, channel, and chunk-store
+    stats on every save, plus a trace sink recording a span per submitted
+    task (``channel.submit`` captures the ambient context, so each pool
+    task emits a ``pool.task``/``store.save`` span pair).  The disabled
+    leg routes every instrument to the null fast path and installs no
+    sink, so ``span_scope`` yields without allocating.
+    """
+    from repro.obs import trace as obs_trace
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import MemoryTraceSink
+
+    registry = MetricsRegistry(enabled=instrumented)
+    sink = MemoryTraceSink(capacity=100_000) if instrumented else None
+    previous = obs_trace.set_trace_sink(sink)
+    try:
+        store = ChunkStore(
+            InMemoryBackend(),
+            codec="zlib-1",
+            block_bytes=1 << 16,
+            metrics=registry,
+        )
+        pool = WriterPool(workers=2, metrics=registry)
+        channels = {
+            job_id: pool.channel(job_id, max_pending=8) for job_id in jobs
+        }
+        started = time.perf_counter()
+        for job_id, snapshots in jobs.items():
+            for snapshot in snapshots:
+                with obs_trace.span_scope("bench.save", job=job_id):
+                    channels[job_id].submit(
+                        lambda j=job_id, s=snapshot: store.save_snapshot(j, s)
+                    )
+        pool.drain()
+        elapsed = time.perf_counter() - started
+        pool.close()
+    finally:
+        obs_trace.set_trace_sink(previous)
+    spans = len(sink.records()) if sink is not None else 0
+    series = len(registry.snapshot()["series"])
+    return elapsed, spans, series
+
+
+def test_obs_overhead(report):
+    """Full telemetry must cost ≤5% wall time on the hot save path.
+
+    Identical CPU-bound workload (no artificial store latency — latency
+    would hide any overhead), legs interleaved instrumented/disabled to
+    share thermal and cache conditions, best-of-N minima compared.
+    """
+    jobs = _synthetic_snapshots(
+        n_jobs=OBS_JOBS,
+        saves_per_job=OBS_SAVES_PER_JOB,
+        tensor_elems=1 << 15,  # 256 KiB payloads: representative checkpoints
+    )
+    on_times, off_times = [], []
+    on_spans = on_series = off_spans = off_series = 0
+    _obs_leg(jobs, instrumented=True)  # warm-up: imports, allocator, zlib
+    for _ in range(OBS_REPEATS):
+        elapsed, on_spans, on_series = _obs_leg(jobs, instrumented=True)
+        on_times.append(elapsed)
+        elapsed, off_spans, off_series = _obs_leg(jobs, instrumented=False)
+        off_times.append(elapsed)
+
+    # The instrumented leg really recorded; the disabled leg really didn't.
+    total_saves = OBS_JOBS * OBS_SAVES_PER_JOB
+    assert on_spans >= total_saves, f"only {on_spans} spans recorded"
+    assert on_series > 0, "instrumented registry stayed empty"
+    assert off_spans == 0 and off_series == 0, "disabled leg leaked telemetry"
+
+    ratio = min(on_times) / min(off_times)
+    payload = {
+        "jobs": OBS_JOBS,
+        "saves_per_job": OBS_SAVES_PER_JOB,
+        "repeats": OBS_REPEATS,
+        "instrumented_best_seconds": min(on_times),
+        "disabled_best_seconds": min(off_times),
+        "overhead_ratio": ratio,
+        "overhead_target": OBS_OVERHEAD_TARGET,
+        "spans_per_instrumented_run": on_spans,
+        "series_per_instrumented_run": on_series,
+    }
+    _write_json("obs_overhead", payload)
+
+    table = "\n".join(
+        [
+            f"{'saves per leg':<26} {total_saves}",
+            f"{'instrumented best (s)':<26} {min(on_times):.4f}",
+            f"{'disabled best (s)':<26} {min(off_times):.4f}",
+            f"{'overhead ratio':<26} {ratio:.3f} "
+            f"(target <= {OBS_OVERHEAD_TARGET})",
+            f"{'spans recorded':<26} {on_spans}",
+            f"{'series recorded':<26} {on_series}",
+        ]
+    )
+    report("Fleet service: observability overhead (on vs off)", table)
+
+    assert ratio <= OBS_OVERHEAD_TARGET, (
+        f"telemetry overhead {ratio:.3f}x exceeds the "
+        f"{OBS_OVERHEAD_TARGET}x budget"
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -15,6 +15,11 @@ Subcommands::
     qckpt stats <dir>              aggregate store statistics
     qckpt scrub <dir> [<dir>...]   verify chunk content; quarantine + repair
     qckpt fsck <dir> [<dir>...]    read-only health check (scrub, no repair)
+    qckpt metrics [<dir>] [...]    one-shot telemetry dump (--json for raw);
+                                   live from a daemon (--control/--connect)
+                                   or the persisted <store>/obs/registry.json
+    qckpt top [...]                live fleet dashboard: save/restore rates,
+                                   dedup ratio, tier hits, breaker state
     qckpt fleet [--jobs N ...]     run a multi-job checkpoint-service scenario
     qckpt daemon start <dir>       run the long-running fleet daemon
                                    (--listen HOST:PORT serves TCP as well)
@@ -450,11 +455,20 @@ def _scrub_journal(dirs, daemon_id=None):
 
 
 def cmd_scrub(args: argparse.Namespace) -> int:
+    from repro.obs.export import ObsDir, store_obs_dir
+    from repro.obs.metrics import MetricsRegistry
     from repro.service.scrub import scrub_store
 
     backend = _scrub_backend(args.store)
     journal = _scrub_journal(args.store)
-    report = scrub_store(backend, repair=True, journal=journal)
+    # Scrub refreshes the persisted registry: it folds in the prior
+    # snapshot (epoch-bumped) and writes back with this pass's scrub.*
+    # series, so counters survive even daemons that never shut down clean.
+    obs = ObsDir(store_obs_dir(args.store[0]))
+    registry = MetricsRegistry()
+    obs.load_registry(registry)
+    report = scrub_store(backend, repair=True, journal=journal, metrics=registry)
+    obs.save_registry(registry)
     print(report.summary())
     if report.lease_holder is not None:
         return 1
@@ -469,10 +483,258 @@ def cmd_scrub(args: argparse.Namespace) -> int:
 def cmd_fsck(args: argparse.Namespace) -> int:
     from repro.service.scrub import scrub_store
 
+    # fsck observes without mutating — no registry write-back either.
     backend = _scrub_backend(args.store)
     report = scrub_store(backend, repair=False)
     print(report.summary())
     return 0 if report.clean else 1
+
+
+def _hist_quantile(record: dict, q: float) -> float:
+    """Quantile estimate from a snapshot histogram record (upper bound)."""
+    count = record.get("count", 0)
+    buckets = record.get("buckets", [])
+    counts = record.get("counts", [])
+    if not count or not buckets:
+        return 0.0
+    target = q * count
+    seen = 0
+    for index, bucket_count in enumerate(counts):
+        seen += bucket_count
+        if seen >= target:
+            return buckets[min(index, len(buckets) - 1)]
+    return buckets[-1]
+
+
+def _series_value(snapshot: dict, name: str, **labels) -> float:
+    """Value of one counter/gauge series in a snapshot (0.0 if absent)."""
+    want = {str(k): str(v) for k, v in labels.items()}
+    for record in snapshot.get("series", []):
+        if record.get("name") == name and record.get("labels", {}) == want:
+            return float(record.get("value", 0.0))
+    return 0.0
+
+
+def _job_histograms(snapshot: dict, name: str) -> dict:
+    """``job label -> histogram record`` for every ``name`` series."""
+    out = {}
+    for record in snapshot.get("series", []):
+        if record.get("name") == name and record.get("type") == "histogram":
+            out[record.get("labels", {}).get("job", "")] = record
+    return out
+
+
+def _metrics_response(args: argparse.Namespace) -> dict:
+    """Fetch telemetry: live daemon round trip, or the persisted registry."""
+    from repro.obs.export import REGISTRY_FILENAME, store_obs_dir
+
+    if args.control is not None or args.connect is not None:
+        client = _daemon_client(args)
+        response = client.request("metrics")
+        if not response.get("ok"):
+            raise ReproError(f"metrics failed: {response.get('error')}")
+        return response
+    store = getattr(args, "store", None)
+    if not store:
+        raise ReproError(
+            "pick a source: a store directory (reads the persisted "
+            "<store>/obs/registry.json) or --control/--connect (live daemon)"
+        )
+    registry_path = store_obs_dir(store) / REGISTRY_FILENAME
+    try:
+        snapshot = json.loads(registry_path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ReproError(
+            f"no persisted metrics at {registry_path} — a daemon writes it "
+            "at clean shutdown and scrub refreshes it; query a live daemon "
+            "with --control/--connect instead"
+        ) from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read {registry_path}: {exc}") from exc
+    logical = _series_value(snapshot, "store.logical_bytes")
+    physical = _series_value(snapshot, "store.physical_bytes")
+    return {
+        "ok": True,
+        "source": str(registry_path),
+        "epoch": snapshot.get("epoch"),
+        "metrics": snapshot,
+        "dedup_ratio": logical / physical if physical else 0.0,
+    }
+
+
+def _print_metrics(response: dict) -> None:
+    snapshot = response.get("metrics", {})
+    if "daemon_id" in response:
+        print(
+            f"daemon {response['daemon_id']}: {response.get('state')} at "
+            f"tick {response.get('tick')} (metrics epoch "
+            f"{response.get('epoch')})"
+        )
+    else:
+        print(
+            f"source: {response.get('source')} (metrics epoch "
+            f"{response.get('epoch')})"
+        )
+    print(f"dedup ratio: {response.get('dedup_ratio', 0.0):.2f}x")
+    fast_hits = _series_value(snapshot, "tier.fast_hits", tier="fast")
+    fast_misses = _series_value(snapshot, "tier.fast_misses", tier="fast")
+    if fast_hits or fast_misses:
+        total = fast_hits + fast_misses
+        print(
+            f"fast tier: {fast_hits:.0f}/{total:.0f} hits "
+            f"({fast_hits / total:.0%})"
+        )
+    reliability = response.get("reliability")
+    if reliability is not None:
+        breaker = reliability.get("breaker_state", "-")
+        print(
+            f"reliability: {reliability.get('retries', 0)} retries, "
+            f"{reliability.get('recovered_ops', 0)} recovered, "
+            f"{reliability.get('exhausted_ops', 0)} exhausted, "
+            f"breaker {breaker}"
+        )
+    queues = response.get("queues")
+    if queues:
+        depths = ", ".join(f"{j}={d}" for j, d in sorted(queues.items()))
+        print(f"queues: {depths}")
+    saves = _job_histograms(snapshot, "save.seconds")
+    restores = _job_histograms(snapshot, "restore.seconds")
+    if saves or restores:
+        print(
+            f"\n{'JOB':<12} {'SAVES':>6} {'MEAN(ms)':>9} {'P50(ms)':>8} "
+            f"{'P99(ms)':>8} {'RESTORES':>9} {'RST-P99(ms)':>12}"
+        )
+        for job in sorted(set(saves) | set(restores)):
+            save = saves.get(job)
+            restore = restores.get(job)
+            s_count = save.get("count", 0) if save else 0
+            s_mean = (
+                save["sum"] / s_count * 1000 if save and s_count else 0.0
+            )
+            print(
+                f"{job or '-':<12} {s_count:>6} {s_mean:>9.2f} "
+                f"{_hist_quantile(save or {}, 0.5) * 1000:>8.2f} "
+                f"{_hist_quantile(save or {}, 0.99) * 1000:>8.2f} "
+                f"{restore.get('count', 0) if restore else 0:>9} "
+                f"{_hist_quantile(restore or {}, 0.99) * 1000:>12.2f}"
+            )
+    counters = [
+        record
+        for record in snapshot.get("series", [])
+        if record.get("type") in ("counter", "gauge")
+        and record.get("value")
+    ]
+    if counters:
+        print("\nSERIES")
+        for record in counters:
+            labels = record.get("labels", {})
+            label_text = (
+                "{"
+                + ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                + "}"
+                if labels
+                else ""
+            )
+            print(
+                f"  {record['name']}{label_text} = {record['value']:g}"
+            )
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """One-shot telemetry dump from a live daemon or a persisted registry."""
+    response = _metrics_response(args)
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    _print_metrics(response)
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live fleet dashboard: poll the daemon's ``metrics`` op and render.
+
+    Rates are deltas between consecutive polls; a poll that crosses a
+    metrics-epoch boundary (daemon restarted between polls) skips the
+    rate column instead of reporting a bogus negative rate.
+    """
+    import time as _time
+
+    if args.control is None and args.connect is None:
+        raise ReproError(
+            "qckpt top needs a live daemon: --control DIR or "
+            "--connect HOST:PORT"
+        )
+    if args.interval <= 0:
+        raise ReproError(f"--interval must be > 0, got {args.interval}")
+    previous = None
+    shown = 0
+    try:
+        while True:
+            response = _metrics_response(args)
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            _print_top(response, previous, args.interval)
+            previous = response
+            shown += 1
+            if args.iterations and shown >= args.iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def _print_top(response: dict, previous, interval: float) -> None:
+    snapshot = response.get("metrics", {})
+    prev_snapshot = (previous or {}).get("metrics", {})
+    same_epoch = (
+        previous is not None
+        and previous.get("epoch") == response.get("epoch")
+    )
+    print(
+        f"daemon {response.get('daemon_id')}: {response.get('state')} "
+        f"tick {response.get('tick')}  active {response.get('active_jobs')}"
+        + ("" if same_epoch or previous is None else "  (restarted)")
+    )
+    fast_hits = _series_value(snapshot, "tier.fast_hits", tier="fast")
+    fast_misses = _series_value(snapshot, "tier.fast_misses", tier="fast")
+    hit_rate = (
+        f"{fast_hits / (fast_hits + fast_misses):.0%}"
+        if fast_hits + fast_misses
+        else "-"
+    )
+    reliability = response.get("reliability") or {}
+    print(
+        f"dedup {response.get('dedup_ratio', 0.0):.2f}x  "
+        f"fast-tier hits {hit_rate}  "
+        f"retries {reliability.get('retries', '-')}  "
+        f"breaker {reliability.get('breaker_state', '-')}"
+    )
+    queues = response.get("queues") or {}
+    saves = _job_histograms(snapshot, "save.seconds")
+    prev_saves = _job_histograms(prev_snapshot, "save.seconds")
+    restores = _job_histograms(snapshot, "restore.seconds")
+    jobs = sorted(set(saves) | set(restores) | set(queues))
+    if not jobs:
+        print("(no per-job series yet)")
+        return
+    print(
+        f"{'JOB':<12} {'SAVES':>6} {'SAVE/S':>7} {'P99(ms)':>8} "
+        f"{'RESTORES':>9} {'QUEUE':>6}"
+    )
+    for job in jobs:
+        save = saves.get(job, {})
+        rate = "-"
+        if same_epoch:
+            prev = prev_saves.get(job, {})
+            delta = save.get("count", 0) - prev.get("count", 0)
+            rate = f"{delta / interval:.2f}"
+        restore = restores.get(job, {})
+        print(
+            f"{job or '-':<12} {save.get('count', 0):>6} {rate:>7} "
+            f"{_hist_quantile(save, 0.99) * 1000:>8.2f} "
+            f"{restore.get('count', 0):>9} {queues.get(job, 0):>6}"
+        )
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
@@ -579,15 +841,23 @@ def cmd_fleet(args: argparse.Namespace) -> int:
 
 def cmd_daemon_start(args: argparse.Namespace) -> int:
     """Build the storage stack and run the fleet daemon loop (foreground)."""
+    from repro.obs.export import store_obs_dir
+    from repro.obs.metrics import MetricsRegistry
+    from repro.reliability import CircuitBreaker, RetryPolicy
     from repro.service import ChunkStore, DaemonConfig, FleetDaemon, WriterPool
     from repro.storage.memory import InMemoryBackend
     from repro.storage.placement import PlacementJournal
+    from repro.storage.reliable import ReliableBackend
     from repro.storage.sharded import ShardedBackend
     from repro.storage.tiered import TieredBackend
 
     import uuid
 
     store_dir = Path(args.store)
+    # ONE registry threaded through the whole stack: backend tiers, chunk
+    # store, writer pool, and daemon all count into the same labeled
+    # series, which is what `qckpt metrics`/`qckpt top` read back.
+    registry = MetricsRegistry()
     control = args.control or str(store_dir / "control")
     # One identity for heartbeats AND journal records: without --daemon-id
     # it must be unique per process, never derived from paths — two daemons
@@ -609,20 +879,32 @@ def cmd_daemon_start(args: argparse.Namespace) -> int:
             backend,
             fast_capacity_bytes=args.fast_bytes,
             journal=journal,
+            metrics=registry,
+        )
+    if args.retries > 0:
+        # Outermost wrapper so every op — including tier_for probes, which
+        # it forwards — runs under the retry/breaker policy.
+        backend = ReliableBackend(
+            backend,
+            retry=RetryPolicy(max_attempts=args.retries + 1, base_delay=0.05),
+            breaker=CircuitBreaker(failure_threshold=5, reset_timeout=30.0),
+            metrics=registry,
         )
     store = ChunkStore(
         backend,
         codec=args.codec,
         block_bytes=args.block_bytes,
         placement_journal=journal,
+        metrics=registry,
     )
-    pool = WriterPool(workers=args.workers)
+    pool = WriterPool(workers=args.workers, metrics=registry)
     config = DaemonConfig(
         tick_seconds=args.tick_seconds,
         rebalance_every_ticks=args.rebalance_every,
         restart_delay_ticks=args.restart_delay,
         max_ticks=args.max_ticks if args.max_ticks > 0 else None,
         compact_journal_records=args.compact_journal_records,
+        metrics_export_seconds=args.metrics_export_seconds,
     )
     daemon = FleetDaemon(
         store,
@@ -632,6 +914,8 @@ def cmd_daemon_start(args: argparse.Namespace) -> int:
         daemon_id=daemon_id,
         listen=args.listen,
         auth_token=args.token,
+        metrics=registry,
+        obs_dir=store_obs_dir(store_dir),
     )
     print(
         f"daemon {daemon.daemon_id} serving {args.store} "
@@ -777,6 +1061,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="qckpt", description="Inspect and validate QCkpt checkpoint stores."
     )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="structured debug logging to stderr (same as QCKPT_LOG=debug)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_ls = sub.add_parser("ls", help="list checkpoints in a store")
@@ -898,6 +1187,88 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser("stats", help="aggregate store statistics")
     p_stats.add_argument("store", help="store directory")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="one-shot telemetry: live from a daemon, or the persisted "
+        "<store>/obs/registry.json",
+    )
+    p_metrics.add_argument(
+        "store",
+        nargs="?",
+        default=None,
+        help="store directory (reads its persisted obs/registry.json; "
+        "omit when querying a live daemon)",
+    )
+    p_metrics.add_argument(
+        "--control",
+        default=None,
+        help="query a live daemon via its control directory",
+    )
+    p_metrics.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="query a live daemon via its TCP control plane",
+    )
+    p_metrics.add_argument(
+        "--token", default=None, help="shared-secret token for --connect"
+    )
+    p_metrics.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for the daemon's answer",
+    )
+    p_metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full response as JSON instead of the summary",
+    )
+    p_metrics.set_defaults(func=cmd_metrics)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live fleet dashboard over a running daemon (Ctrl-C to exit)",
+    )
+    p_top.add_argument(
+        "--control",
+        default=None,
+        help="the daemon's control directory (file transport)",
+    )
+    p_top.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="the daemon's socket address (TCP transport)",
+    )
+    p_top.add_argument(
+        "--token", default=None, help="shared-secret token for --connect"
+    )
+    p_top.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for each poll's answer",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (rates are per-interval deltas)",
+    )
+    p_top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="exit after N refreshes (0 = run until Ctrl-C)",
+    )
+    p_top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append refreshes instead of clearing the screen (for logs)",
+    )
+    p_top.set_defaults(func=cmd_top)
 
     p_fleet = sub.add_parser(
         "fleet", help="run a multi-job checkpoint-service scenario"
@@ -1070,6 +1441,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stable identity for heartbeats and placement-journal leases",
     )
+    d_start.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="wrap the storage stack in a retry/circuit-breaker layer "
+        "allowing N retries per op (0 = no reliability wrapper)",
+    )
+    d_start.add_argument(
+        "--metrics-export-seconds",
+        type=float,
+        default=5.0,
+        help="append a metrics snapshot to <store>/obs/metrics.jsonl "
+        "every N seconds (0 = only at shutdown)",
+    )
     d_start.set_defaults(func=cmd_daemon_start)
 
     d_submit = dsub.add_parser(
@@ -1185,6 +1570,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.verbose:
+        from repro.obs.log import configure
+
+        configure("debug")
     try:
         return args.func(args)
     except ReproError as exc:

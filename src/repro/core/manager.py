@@ -17,7 +17,6 @@ store round trip per delta and pins chain length to at most ``full_every``.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
@@ -28,17 +27,27 @@ from repro.core.snapshot import TrainingSnapshot
 from repro.core.store import CheckpointRecord, CheckpointStore, RetentionPolicy
 from repro.core.writer import SyncCheckpointWriter
 from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry, StatsView
 
 
-@dataclass
-class CheckpointStats:
-    """Aggregate accounting for one manager's lifetime."""
+class CheckpointStats(StatsView):
+    """Aggregate accounting for one manager's lifetime.
 
-    full_saves: int = 0
-    delta_saves: int = 0
-    bytes_written: int = 0
-    save_seconds: float = 0.0
-    last_record: Optional[CheckpointRecord] = None
+    Registry-backed ``ckpt.*`` counters; ``last_record`` stays a plain
+    attribute.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        super().__init__()
+        registry = metrics if metrics is not None else MetricsRegistry()
+        for name in ("full_saves", "delta_saves", "bytes_written"):
+            self._bind(name, registry.counter(f"ckpt.{name}"))
+        self._bind(
+            "save_seconds",
+            registry.counter("ckpt.save_seconds"),
+            as_int=False,
+        )
+        self.last_record: Optional[CheckpointRecord] = None
 
     @property
     def saves(self) -> int:

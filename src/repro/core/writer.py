@@ -19,19 +19,41 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.errors import CheckpointError
+from repro.obs.metrics import MetricsRegistry, StatsView
 
 
-@dataclass
-class WriteStats:
-    """Aggregate accounting for a writer's lifetime."""
+class WriteStats(StatsView):
+    """Aggregate accounting for a writer's lifetime.
 
-    tasks: int = 0
-    seconds: float = 0.0
-    blocked_seconds: float = 0.0
+    Registry-backed: ``<name>.tasks`` / ``<name>.seconds`` /
+    ``<name>.blocked_seconds`` counters (``name`` distinguishes the core
+    writers, the shared pool, and per-job channels, which add a ``job``
+    label).
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        name: str = "writer",
+        labels: Optional[Dict[str, str]] = None,
+    ):
+        super().__init__()
+        registry = metrics if metrics is not None else MetricsRegistry()
+        labels = labels or {}
+        self._bind("tasks", registry.counter(f"{name}.tasks", **labels))
+        self._bind(
+            "seconds",
+            registry.counter(f"{name}.seconds", **labels),
+            as_int=False,
+        )
+        self._bind(
+            "blocked_seconds",
+            registry.counter(f"{name}.blocked_seconds", **labels),
+            as_int=False,
+        )
 
 
 class SyncCheckpointWriter:

@@ -1,0 +1,73 @@
+"""Unified observability: metrics registry, tracing, structured logs.
+
+See :mod:`repro.obs.metrics` (counters/gauges/histograms + the
+``StatsView`` migration shim), :mod:`repro.obs.trace` (spans with ambient
+propagation across threads and the control-plane wire),
+:mod:`repro.obs.log` (structured stderr diagnostics), and
+:mod:`repro.obs.export` (bounded JSONL logs + the on-store ``obs/``
+directory).
+"""
+
+from repro.obs.export import (
+    BoundedJsonlWriter,
+    JsonlTraceSink,
+    ObsDir,
+    store_obs_dir,
+)
+from repro.obs.log import ObsLogger, configure, get_logger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StatsView,
+)
+from repro.obs.trace import (
+    TRACE_KEY,
+    MemoryTraceSink,
+    Span,
+    TraceSink,
+    capture_context,
+    current_span,
+    current_trace_id,
+    new_span_id,
+    new_trace_id,
+    parse_context,
+    set_trace_sink,
+    span_scope,
+    traced,
+    tracing_enabled,
+    wire_context,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "TRACE_KEY",
+    "BoundedJsonlWriter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlTraceSink",
+    "MemoryTraceSink",
+    "MetricsRegistry",
+    "ObsDir",
+    "ObsLogger",
+    "Span",
+    "StatsView",
+    "TraceSink",
+    "capture_context",
+    "configure",
+    "current_span",
+    "current_trace_id",
+    "get_logger",
+    "new_span_id",
+    "new_trace_id",
+    "parse_context",
+    "set_trace_sink",
+    "span_scope",
+    "store_obs_dir",
+    "traced",
+    "tracing_enabled",
+    "wire_context",
+]

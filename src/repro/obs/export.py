@@ -1,0 +1,137 @@
+"""Exporters: bounded JSONL logs and the on-store ``obs/`` directory.
+
+A serving daemon (or a scrub run) keeps its observability artifacts under
+``<store>/obs/``:
+
+* ``registry.json`` — the persisted metrics snapshot, written at clean
+  shutdown and after a scrub, reloaded (epoch-bumped) at the next start so
+  cumulative counters survive restarts (the stats-loss-on-reopen fix);
+* ``trace.jsonl`` — one JSON object per finished span;
+* ``metrics.jsonl`` — periodic registry snapshots, one per line.
+
+Both ``.jsonl`` files are *bounded*: when a file passes ``max_bytes`` it
+is rotated to ``<name>.1`` (replacing the previous rotation), so the obs
+directory can never eat the store's disk.  Record schemas are documented
+in docs/FORMATS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, TraceSink
+
+OBS_DIR_NAME = "obs"
+REGISTRY_FILENAME = "registry.json"
+TRACE_FILENAME = "trace.jsonl"
+METRICS_FILENAME = "metrics.jsonl"
+DEFAULT_MAX_LOG_BYTES = 4 << 20
+
+
+class BoundedJsonlWriter:
+    """Append JSON records to a file, rotating once past ``max_bytes``."""
+
+    def __init__(self, path, max_bytes: int = DEFAULT_MAX_LOG_BYTES):
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+
+    def append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                if (
+                    self.path.exists()
+                    and self.path.stat().st_size + len(line) > self.max_bytes
+                ):
+                    self.path.replace(self.path.with_name(self.path.name + ".1"))
+                with self.path.open("a", encoding="utf-8") as handle:
+                    handle.write(line)
+            except OSError:
+                pass  # observability must never fail the operation it observes
+
+
+class JsonlTraceSink(TraceSink):
+    """Spans to a bounded JSONL file (the daemon's process sink)."""
+
+    def __init__(self, path, max_bytes: int = DEFAULT_MAX_LOG_BYTES):
+        self._writer = BoundedJsonlWriter(path, max_bytes=max_bytes)
+        self.path = self._writer.path
+
+    def emit(self, span: Span) -> None:
+        self._writer.append(span.to_record())
+
+
+class ObsDir:
+    """The ``<store>/obs/`` directory: registry snapshot + JSONL logs."""
+
+    def __init__(self, root, max_log_bytes: int = DEFAULT_MAX_LOG_BYTES):
+        self.root = Path(root)
+        self.max_log_bytes = int(max_log_bytes)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._metrics_writer: Optional[BoundedJsonlWriter] = None
+
+    @property
+    def registry_path(self) -> Path:
+        return self.root / REGISTRY_FILENAME
+
+    @property
+    def trace_path(self) -> Path:
+        return self.root / TRACE_FILENAME
+
+    @property
+    def metrics_path(self) -> Path:
+        return self.root / METRICS_FILENAME
+
+    def load_registry(self, registry: MetricsRegistry) -> bool:
+        return registry.load(self.registry_path)
+
+    def save_registry(self, registry: MetricsRegistry) -> None:
+        try:
+            registry.save(self.registry_path)
+        except OSError:
+            pass
+
+    def trace_sink(self) -> JsonlTraceSink:
+        return JsonlTraceSink(self.trace_path, max_bytes=self.max_log_bytes)
+
+    def append_metrics(self, registry: MetricsRegistry, **extra) -> None:
+        """One metrics record (full snapshot) onto ``metrics.jsonl``."""
+        if self._metrics_writer is None:
+            self._metrics_writer = BoundedJsonlWriter(
+                self.metrics_path, max_bytes=self.max_log_bytes
+            )
+        snapshot = registry.snapshot()
+        self._metrics_writer.append(
+            {
+                "kind": "metrics",
+                "ts": time.time(),
+                "epoch": snapshot["epoch"],
+                "series": snapshot["series"],
+                **extra,
+            }
+        )
+
+
+def store_obs_dir(store_dir) -> Path:
+    """Conventional obs directory for a store rooted at ``store_dir``."""
+    return Path(store_dir) / OBS_DIR_NAME
+
+
+__all__ = [
+    "DEFAULT_MAX_LOG_BYTES",
+    "METRICS_FILENAME",
+    "OBS_DIR_NAME",
+    "REGISTRY_FILENAME",
+    "TRACE_FILENAME",
+    "BoundedJsonlWriter",
+    "JsonlTraceSink",
+    "ObsDir",
+    "store_obs_dir",
+]

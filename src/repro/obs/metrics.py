@@ -1,0 +1,421 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the single place the repo counts things.  Components
+(:class:`~repro.service.chunkstore.ChunkStore`, the writer pool, the
+tiered/reliable/replicated backends, the daemon) each accept an optional
+``metrics`` registry; when none is given they create a private one, so
+unit tests keep their per-instance counting semantics, while the daemon
+threads ONE shared registry through the whole stack and gets the unified
+fleet view with labeled series (``job``, ``tier``, ``op``).
+
+Design points:
+
+* **Thread safety** — every instrument carries its own lock; a histogram's
+  ``count``/``sum``/bucket counts always move together, so a snapshot taken
+  under load is internally consistent (count == sum of bucket counts).
+* **Deterministic snapshots** — ``snapshot()`` sorts series by name+labels
+  and emits plain JSON types, so tests and benches can assert on it and
+  two snapshots of a quiescent registry are byte-equal.
+* **Near-zero cost when disabled** — a disabled registry hands out shared
+  null instruments whose methods are no-ops; call sites keep their
+  instruments cached, so the disabled path is one no-op method call.
+* **Epochs** (stats-loss-on-reopen fix) — ``load()`` folds a persisted
+  snapshot into the registry as a *baseline* and bumps ``epoch``; merged
+  series stay cumulative across restarts, and every emitted series carries
+  the epoch it was last live in, so consumers (``qckpt top``) can refuse to
+  compute rates across the restart gap.
+
+:class:`StatsView` is the migration shim for the pre-existing ``*Stats``
+dataclasses: attribute reads/writes become registry-series reads/writes
+(with a per-view baseline so a fresh view over a shared registry still
+counts from zero), which keeps ``stats.retries += 1`` call sites and every
+``assert backend.stats.fast_hits == 2`` in the test suite working
+unchanged.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import ConfigError
+
+SNAPSHOT_VERSION = 1
+
+#: Default latency buckets (seconds): 100µs .. 30s, roughly log-spaced.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+_SeriesKey = Tuple[str, _LabelKey]
+
+
+def _label_key(labels: Dict[str, object]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonic (by convention) float total."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: _LabelKey):
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(Counter):
+    """Point-in-time value; ``inc``/``set`` like a counter, may go down."""
+
+    kind = "gauge"
+    __slots__ = ()
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """Fixed-bucket histogram; buckets are upper bounds, plus overflow."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "_lock", "_counts", "_count",
+                 "_sum")
+
+    def __init__(
+        self,
+        name: str,
+        labels: _LabelKey,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ConfigError(f"histogram {name!r} needs at least one bucket")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (0 < q <= 1)."""
+        with self._lock:
+            count, counts = self._count, list(self._counts)
+        if count == 0:
+            return 0.0
+        target = q * count
+        seen = 0
+        for index, bucket_count in enumerate(counts):
+            seen += bucket_count
+            if seen >= target:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return self.buckets[-1]  # overflow: clamp to last bound
+        return self.buckets[-1]
+
+
+class _NullCounter:
+    """Shared no-op instrument handed out by a disabled registry."""
+
+    kind = "counter"
+    name = ""
+    labels: _LabelKey = ()
+    buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @staticmethod
+    def quantile(q: float) -> float:
+        return 0.0
+
+
+NULL_INSTRUMENT = _NullCounter()
+
+Instrument = Union[Counter, Gauge, Histogram, _NullCounter]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labeled instruments.
+
+    ``enabled=None`` reads ``QCKPT_METRICS`` (anything but ``"0"`` enables);
+    a disabled registry returns :data:`NULL_INSTRUMENT` everywhere and
+    snapshots empty.
+    """
+
+    def __init__(self, enabled: Optional[bool] = None):
+        if enabled is None:
+            enabled = os.environ.get("QCKPT_METRICS", "1") != "0"
+        self.enabled = bool(enabled)
+        self.epoch = 1
+        self._lock = threading.Lock()
+        self._series: Dict[_SeriesKey, Instrument] = {}
+        self._baseline: Dict[_SeriesKey, dict] = {}
+
+    # -- instrument factories ---------------------------------------------------
+
+    def _get(self, cls, name: str, labels: Dict[str, object], **kwargs):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._series.get(key)
+            if instrument is None:
+                instrument = cls(name, key[1], **kwargs)
+                self._series[key] = instrument
+            elif instrument.kind != cls.kind:
+                raise ConfigError(
+                    f"series {name!r}{dict(key[1])} already registered as "
+                    f"{instrument.kind}, not {cls.kind}"
+                )
+            return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def find(self, name: str, **labels) -> Optional[Instrument]:
+        """Existing instrument for ``name``+``labels``, or None (no create)."""
+        with self._lock:
+            return self._series.get((name, _label_key(labels)))
+
+    # -- snapshot / merge / persistence -----------------------------------------
+
+    def _record(self, key: _SeriesKey, instrument: Instrument) -> dict:
+        name, label_key = key
+        record: dict = {
+            "name": name,
+            "labels": dict(label_key),
+            "type": instrument.kind,
+            "epoch": self.epoch,
+        }
+        if instrument.kind == "histogram":
+            with instrument._lock:  # noqa: SLF001 - consistent triple
+                record["count"] = instrument._count
+                record["sum"] = instrument._sum
+                record["counts"] = list(instrument._counts)
+            record["buckets"] = list(instrument.buckets)
+        else:
+            record["value"] = instrument.value
+        return record
+
+    @staticmethod
+    def _merge_records(base: dict, live: dict) -> dict:
+        """Fold a prior-epoch record into a live one (cumulative totals)."""
+        merged = dict(live)
+        if live["type"] == "histogram" and base.get("type") == "histogram":
+            merged["count"] = base.get("count", 0) + live["count"]
+            merged["sum"] = base.get("sum", 0.0) + live["sum"]
+            base_counts = base.get("counts", [])
+            if list(base.get("buckets", [])) == list(live["buckets"]) and len(
+                base_counts
+            ) == len(live["counts"]):
+                merged["counts"] = [
+                    b + c for b, c in zip(base_counts, live["counts"])
+                ]
+        elif live["type"] == "counter" and "value" in base:
+            merged["value"] = base["value"] + live["value"]
+        # gauges: the live value wins outright.
+        return merged
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-safe dump of every series (baseline merged)."""
+        with self._lock:
+            live = dict(self._series)
+            baseline = {k: dict(v) for k, v in self._baseline.items()}
+        series: Dict[_SeriesKey, dict] = {}
+        for key, record in baseline.items():
+            series[key] = record
+        for key, instrument in live.items():
+            record = self._record(key, instrument)
+            base = series.get(key)
+            series[key] = (
+                self._merge_records(base, record) if base else record
+            )
+        ordered = [series[key] for key in sorted(series)]
+        return {
+            "version": SNAPSHOT_VERSION,
+            "epoch": self.epoch,
+            "series": ordered,
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a prior snapshot into this registry's baseline."""
+        if not self.enabled:
+            return
+        with self._lock:
+            for record in snapshot.get("series", []):
+                key = (
+                    str(record.get("name")),
+                    _label_key(record.get("labels", {})),
+                )
+                base = self._baseline.get(key)
+                if base is None:
+                    self._baseline[key] = dict(record)
+                else:
+                    self._baseline[key] = self._merge_records(base, record)
+
+    def save(self, path) -> None:
+        Path(path).write_text(
+            json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def load(self, path) -> bool:
+        """Adopt a persisted snapshot as baseline; bump the epoch.
+
+        Returns True when a snapshot was loaded.  Unreadable files are
+        treated as absent — observability must never wedge the store.
+        """
+        path = Path(path)
+        try:
+            snapshot = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return False
+        if not isinstance(snapshot, dict):
+            return False
+        self.merge(snapshot)
+        with self._lock:
+            prior = int(snapshot.get("epoch", 0) or 0)
+            self.epoch = max(self.epoch, prior + 1)
+        return True
+
+
+class StatsView:
+    """Registry-backed stat fields that read/write like plain attributes.
+
+    Subclasses call :meth:`_bind` once per field; thereafter ``view.field``
+    reads the bound series minus the construction-time baseline (so a new
+    view over a shared, already-hot registry starts at zero — per-instance
+    semantics preserved) and ``view.field = v`` / ``view.field += 1`` write
+    through to the series.  Unbound attributes behave normally.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_series", {})
+        object.__setattr__(self, "_base", {})
+        object.__setattr__(self, "_ints", set())
+
+    def _bind(self, attr: str, instrument, as_int: bool = True) -> None:
+        self._series[attr] = instrument
+        self._base[attr] = instrument.value
+        if as_int:
+            self._ints.add(attr)
+
+    def __getattr__(self, attr: str):
+        series = self.__dict__.get("_series")
+        if series and attr in series:
+            value = series[attr].value - self.__dict__["_base"][attr]
+            return int(value) if attr in self.__dict__["_ints"] else value
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {attr!r}"
+        )
+
+    def __setattr__(self, attr: str, value) -> None:
+        series = self.__dict__.get("_series")
+        if series and attr in series:
+            series[attr].set(self.__dict__["_base"][attr] + value)
+        else:
+            object.__setattr__(self, attr, value)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{attr}={getattr(self, attr)!r}"
+            for attr in sorted(self.__dict__.get("_series", ()))
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "SNAPSHOT_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "StatsView",
+]

@@ -61,6 +61,8 @@ from repro.errors import (
     TransientStorageError,
 )
 from repro.faults.crashpoints import crash_point, register_crash_point
+from repro.obs.metrics import MetricsRegistry, StatsView
+from repro.obs.trace import span_scope
 from repro.storage.backend import StorageBackend, validate_name
 
 CP_CHUNK_BEFORE_WRITE = register_crash_point(
@@ -98,21 +100,27 @@ def chunk_name(raw: bytes, codec_name: str) -> str:
     return content_address(raw, codec_name)
 
 
-@dataclass
-class ChunkStoreStats:
+class ChunkStoreStats(StatsView):
     """Dedup accounting across the store's lifetime (this process).
 
     ``logical`` counts every block reference as if dedup did not exist;
     ``physical`` counts blocks actually written.  Their ratio is what
-    content addressing saved.
+    content addressing saved.  Registry-backed (``store.*`` series) so a
+    fleet daemon's shared registry sees the same numbers.
     """
 
-    chunks_written: int = 0
-    chunks_deduped: int = 0
-    logical_bytes: int = 0
-    physical_bytes: int = 0
-    manifest_bytes: int = 0
-    checkpoints: int = 0
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        super().__init__()
+        registry = metrics if metrics is not None else MetricsRegistry()
+        for name in (
+            "chunks_written",
+            "chunks_deduped",
+            "logical_bytes",
+            "physical_bytes",
+            "manifest_bytes",
+            "checkpoints",
+        ):
+            self._bind(name, registry.counter(f"store.{name}"))
 
     @property
     def dedup_ratio(self) -> float:
@@ -266,6 +274,7 @@ class ChunkStore:
         tier_placement: bool = True,
         placement_journal=None,
         retry=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if block_bytes < 64:
             raise ConfigError(f"block_bytes must be >= 64, got {block_bytes}")
@@ -284,7 +293,8 @@ class ChunkStore:
         self._executor = RestoreExecutor(
             max_workers=restore_workers, retry=retry
         )
-        self.stats = ChunkStoreStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = ChunkStoreStats(self.metrics)
         self._lock = threading.RLock()
         # raw-hash name -> stored (compressed) size.  -1 marks a chunk another
         # save is currently packing+writing; a real size is published only
@@ -445,6 +455,28 @@ class ChunkStore:
         extra: Optional[Dict] = None,
     ) -> ChunkCheckpointRecord:
         """Commit ``snapshot`` for ``job_id``; dedups against every tenant.
+
+        Observability wrapper: the commit runs under a ``store.save`` span
+        (joining whatever trace is ambient — e.g. a pool task's) and its
+        latency lands in the per-job ``save.seconds`` histogram.
+        """
+        started = time.perf_counter()
+        with span_scope("store.save", job=job_id) as span:
+            record = self._save_snapshot(job_id, snapshot, extra)
+            if span is not None:
+                span.attrs["ckpt"] = record.ckpt_id
+        self.metrics.histogram("save.seconds", job=job_id).observe(
+            time.perf_counter() - started
+        )
+        return record
+
+    def _save_snapshot(
+        self,
+        job_id: str,
+        snapshot: TrainingSnapshot,
+        extra: Optional[Dict] = None,
+    ) -> ChunkCheckpointRecord:
+        """The actual commit (see :meth:`save_snapshot`).
 
         Block packing (hash + compress) and chunk writes run outside the
         index lock, so concurrent jobs overlap their CPU and I/O; only index
@@ -750,10 +782,21 @@ class ChunkStore:
         against its content address, decoded with *the manifest's* codec so
         a store reopened under a different codec still reads every old
         checkpoint.
+
+        Runs under a ``store.restore`` span; latency lands in the per-job
+        ``restore.seconds`` histogram.
         """
-        source = self.restore_source(job_id, ckpt_id)
-        plan = source.plan(names, require_all=names is not None)
-        return self._executor.run(source, plan)
+        started = time.perf_counter()
+        with span_scope("store.restore", job=job_id) as span:
+            source = self.restore_source(job_id, ckpt_id)
+            plan = source.plan(names, require_all=names is not None)
+            result = self._executor.run(source, plan)
+            if span is not None:
+                span.attrs["partial"] = names is not None
+        self.metrics.histogram("restore.seconds", job=job_id).observe(
+            time.perf_counter() - started
+        )
+        return result
 
     def load_partial(
         self,

@@ -71,6 +71,10 @@ from repro.errors import (
     TransportError,
 )
 from repro.faults.crashpoints import crash_point, register_crash_point
+from repro.obs import trace as obs_trace
+from repro.obs.export import ObsDir
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.reliability import Deadline, current_deadline
 from repro.service.chunkstore import ChunkStore
 from repro.service.fleet import FleetJobSpec, JobLifecycle, _JobRuntime
@@ -87,8 +91,11 @@ from repro.service.transport import (
 )
 from repro.storage.backend import StorageBackend
 from repro.storage.local import LocalDirectoryBackend
+from repro.storage.reliable import ReliableBackend
 
 META_NAME = "daemon.json"
+
+_log = get_logger("daemon")
 
 CP_META_BEFORE_WRITE = register_crash_point(
     "daemon.meta.before-write",
@@ -176,6 +183,10 @@ class DaemonConfig:
     # by the slowest training steps in flight — size this to the workload,
     # not the network.
     socket_response_timeout_seconds: float = 60.0
+    # Cadence of metrics-snapshot records appended to <obs>/metrics.jsonl
+    # while serving (only when an obs directory is configured).  0 disables
+    # the periodic export; the shutdown snapshot is always written.
+    metrics_export_seconds: float = 5.0
 
     def __post_init__(self) -> None:
         if self.tick_seconds < 0:
@@ -210,6 +221,11 @@ class DaemonConfig:
             raise ConfigError(
                 f"socket_response_timeout_seconds must be > 0, "
                 f"got {self.socket_response_timeout_seconds}"
+            )
+        if self.metrics_export_seconds < 0:
+            raise ConfigError(
+                f"metrics_export_seconds must be >= 0, "
+                f"got {self.metrics_export_seconds}"
             )
 
 
@@ -282,9 +298,18 @@ class FleetDaemon(JobLifecycle):
         listen: "Optional[str | tuple]" = None,
         auth_token: Optional[str] = None,
         transports: "tuple[ControlTransport, ...]" = (),
+        metrics: Optional[MetricsRegistry] = None,
+        obs_dir=None,
     ):
         super().__init__(store, pool)
         self.control = _control_backend(control)
+        # One registry for the whole daemon: default to the store's so the
+        # stack wired by `qckpt daemon start` (tiered backend, chunk store,
+        # pool, daemon) shares a single set of series.
+        self.metrics = (
+            metrics if metrics is not None else store.metrics
+        )
+        self._obs = ObsDir(obs_dir) if obs_dir is not None else None
         self.config = config or DaemonConfig()
         self.workloads = dict(BUILTIN_WORKLOADS)
         if workloads:
@@ -320,10 +345,31 @@ class FleetDaemon(JobLifecycle):
         self._last_heartbeat = 0.0
         self._hb_stop = threading.Event()
         self._sched_clock = 0.0  # virtual time of the last scheduled tick
-        self.requests_served = 0
-        self.journal_compactions = 0
-        self.duplicate_requests = 0
+        # Registry-backed daemon counters; the baseline keeps a second
+        # daemon over the same (shared-registry) store counting from zero.
+        self._c_requests = self.metrics.counter("daemon.requests_served")
+        self._c_compactions = self.metrics.counter(
+            "daemon.journal_compactions"
+        )
+        self._c_duplicates = self.metrics.counter("daemon.duplicate_requests")
+        self._c_base = {
+            "requests": self._c_requests.value,
+            "compactions": self._c_compactions.value,
+            "duplicates": self._c_duplicates.value,
+        }
         self._served_responses: "OrderedDict[str, Dict]" = OrderedDict()
+
+    @property
+    def requests_served(self) -> int:
+        return int(self._c_requests.value - self._c_base["requests"])
+
+    @property
+    def journal_compactions(self) -> int:
+        return int(self._c_compactions.value - self._c_base["compactions"])
+
+    @property
+    def duplicate_requests(self) -> int:
+        return int(self._c_duplicates.value - self._c_base["duplicates"])
 
     @property
     def listen_address(self) -> Optional[str]:
@@ -367,6 +413,15 @@ class FleetDaemon(JobLifecycle):
             # cadence instead of assuming the default.
             "heartbeat_seconds": self.config.heartbeat_seconds,
             "stale_after_seconds": self.config.stale_after_seconds,
+            # Compact per-heartbeat summary so `qckpt status` (file
+            # transport, no round trip) surfaces fleet health; the full
+            # labeled series ride the `metrics` op.
+            "metrics": {
+                "epoch": self.metrics.epoch,
+                "requests_served": self.requests_served,
+                "dedup_ratio": self.store.stats.dedup_ratio,
+                "queue_depth": self.pool.pending,
+            },
         }
         for transport in self.transports:
             meta.update(transport.describe())
@@ -412,20 +467,16 @@ class FleetDaemon(JobLifecycle):
                     # A retried delivery (same request id): replay the
                     # answer so the op — a submit, a preempt — is applied
                     # exactly once no matter how often the client resends.
-                    self.duplicate_requests += 1
+                    self._c_duplicates.inc()
                     pending.respond(dict(cached))
                     handled += 1
                     continue
                 if pending.request is None:
                     response = {"ok": False, "error": "unreadable request"}
                 else:
-                    try:
-                        response = self._handle(pending.request)
-                    except Exception as exc:  # noqa: BLE001
-                        response = {
-                            "ok": False,
-                            "error": f"{type(exc).__name__}: {exc}",
-                        }
+                    response = self._handle_traced(
+                        pending.request, pending.transport
+                    )
                 response["id"] = pending.request_id
                 if pending.request is not None:
                     self._served_responses[pending.request_id] = dict(response)
@@ -433,8 +484,36 @@ class FleetDaemon(JobLifecycle):
                         self._served_responses.popitem(last=False)
                 pending.respond(response)
                 handled += 1
-                self.requests_served += 1
+                self._c_requests.inc()
         return handled
+
+    def _handle_traced(self, request: Dict, transport: str) -> Dict:
+        """Dispatch one request under a span joined to the client's trace.
+
+        The client ships its trace context in the request body
+        (``"trace"``, see :func:`repro.obs.trace.wire_context`); opening
+        the handling span as its child makes the daemon-side span tree —
+        including pool tasks and backend writes triggered while handling —
+        part of the client's trace.  Handle latency lands in the
+        ``daemon.handle_seconds`` histogram, labeled by op.
+        """
+        op = str(request.get("op"))
+        parent = obs_trace.parse_context(request.get(obs_trace.TRACE_KEY))
+        started = time.perf_counter()
+        with obs_trace.span_scope(
+            f"daemon.{op}", parent=parent, transport=transport
+        ):
+            try:
+                response = self._handle(request)
+            except Exception as exc:  # noqa: BLE001
+                response = {
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+        self.metrics.histogram("daemon.handle_seconds", op=op).observe(
+            time.perf_counter() - started
+        )
+        return response
 
     def _handle(self, request: Dict) -> Dict:
         op = request.get("op")
@@ -460,6 +539,8 @@ class FleetDaemon(JobLifecycle):
             return self._op_preempt(
                 request.get("job"), request.get("restart_delay_ticks")
             )
+        if op == "metrics":
+            return self._op_metrics()
         return {"ok": False, "error": f"unknown op {op!r}"}
 
     def _op_submit(self, spec: Dict) -> Dict:
@@ -534,7 +615,29 @@ class FleetDaemon(JobLifecycle):
             "prefetching_restore": job.spec.job_id in self._prefetches,
             "priority": job.spec.priority,
             "ticks_scheduled": job.ticks_scheduled,
+            "metrics": self._job_metrics(job),
         }
+
+    def _job_metrics(self, job: _JobRuntime) -> Dict:
+        """Per-job latency summary from the shared registry, if present."""
+        job_id = job.spec.job_id
+        summary: Dict = {
+            "queue_depth": (
+                job.channel.pending if job.channel is not None else 0
+            ),
+        }
+        saves = self.metrics.find("save.seconds", job=job_id)
+        if saves is not None and saves.count:
+            summary["saves"] = saves.count
+            summary["save_mean_seconds"] = saves.mean
+            summary["save_p50_seconds"] = saves.quantile(0.5)
+            summary["save_p99_seconds"] = saves.quantile(0.99)
+        restores = self.metrics.find("restore.seconds", job=job_id)
+        if restores is not None and restores.count:
+            summary["restores"] = restores.count
+            summary["restore_mean_seconds"] = restores.mean
+            summary["restore_p99_seconds"] = restores.quantile(0.99)
+        return summary
 
     def _sched_total_ticks(self) -> int:
         return sum(job.ticks_scheduled for job in self._jobs.values())
@@ -573,6 +676,90 @@ class FleetDaemon(JobLifecycle):
                 for job_id, job in self._jobs.items()
             },
         }
+
+    # -- metrics ------------------------------------------------------------------
+
+    def _find_reliable(self):
+        """Walk the backend decorator chain for a ReliableBackend, if any."""
+        backend = getattr(self.store, "backend", None)
+        seen = 0
+        while backend is not None and seen < 16:
+            if isinstance(backend, ReliableBackend):
+                return backend
+            backend = getattr(backend, "inner", None)
+            seen += 1
+        return None
+
+    def _reliability_state(self) -> Optional[Dict]:
+        reliable = self._find_reliable()
+        if reliable is None:
+            return None
+        state: Dict = {
+            "retries": reliable.stats.retries,
+            "recovered_ops": reliable.stats.recovered_ops,
+            "exhausted_ops": reliable.stats.exhausted_ops,
+            "rejected_ops": reliable.stats.rejected_ops,
+        }
+        breaker = getattr(reliable, "breaker", None)
+        if breaker is not None:
+            state["breaker_state"] = breaker.state
+            state["breaker_opens"] = breaker.opens
+        return state
+
+    def _refresh_gauges(self) -> None:
+        """Point-in-time gauges sampled at snapshot/export time.
+
+        Queue depths and transport counters live as plain attributes on
+        their owners (tests assert them directly); mirroring them into
+        gauges only when a snapshot is taken keeps the hot paths free of
+        registry traffic.
+        """
+        self.metrics.gauge("daemon.active_jobs").set(self._active_jobs())
+        self.metrics.gauge("pool.queue_depth").set(self.pool.pending)
+        for job_id, job in self._jobs.items():
+            if job.channel is not None:
+                self.metrics.gauge("channel.queue_depth", job=job_id).set(
+                    job.channel.pending
+                )
+        if self.socket_transport is not None:
+            sock = self.socket_transport
+            self.metrics.gauge("transport.connections_accepted").set(
+                sock.connections_accepted
+            )
+            self.metrics.gauge("transport.auth_failures").set(
+                sock.auth_failures
+            )
+            self.metrics.gauge("transport.frame_errors").set(
+                sock.frame_errors
+            )
+        reliability = self._reliability_state()
+        if reliability is not None and "breaker_state" in reliability:
+            self.metrics.gauge("reliability.breaker_open").set(
+                0 if reliability["breaker_state"] == "closed" else 1
+            )
+
+    def _op_metrics(self) -> Dict:
+        self._refresh_gauges()
+        queues = {
+            job_id: job.channel.pending
+            for job_id, job in self._jobs.items()
+            if job.channel is not None
+        }
+        response: Dict = {
+            "ok": True,
+            "daemon_id": self.daemon_id,
+            "state": self.state,
+            "tick": self.tick,
+            "epoch": self.metrics.epoch,
+            "metrics": self.metrics.snapshot(),
+            "dedup_ratio": self.store.stats.dedup_ratio,
+            "active_jobs": self._active_jobs(),
+            "queues": queues,
+        }
+        reliability = self._reliability_state()
+        if reliability is not None:
+            response["reliability"] = reliability
+        return response
 
     def _op_preempt(
         self, job_id: Optional[str], delay: Optional[int]
@@ -794,12 +981,31 @@ class FleetDaemon(JobLifecycle):
         """
         self._claim_control()
         heartbeat_thread: Optional[threading.Thread] = None
+        previous_sink = None
+        if self._obs is not None:
+            # Resume the cumulative series from the last clean shutdown
+            # (bumping the epoch so rate readers can see the gap), then
+            # start streaming spans to the bounded trace log.
+            self.metrics.load(self._obs.registry_path)
+            previous_sink = obs_trace.set_trace_sink(self._obs.trace_sink())
+        next_metrics_export = 0.0
         try:
             for transport in self.transports:
                 transport.start()
+                _log.info(
+                    "transport-start",
+                    daemon=self.daemon_id,
+                    transport=transport.name,
+                )
             # Re-advertise now that transports are live: a socket transport
             # asked to listen on port 0 only knows its real port post-bind.
             self._write_meta()
+            _log.info(
+                "serving",
+                daemon=self.daemon_id,
+                control=str(getattr(self.control, "root", "")),
+                listen=self.listen_address or "-",
+            )
             self._hb_stop.clear()
             heartbeat_thread = threading.Thread(
                 target=self._heartbeat_loop,
@@ -819,6 +1025,20 @@ class FleetDaemon(JobLifecycle):
                         time.monotonic() + self.config.heartbeat_seconds
                     )
                     self._maybe_compact_journal()
+                if (
+                    self._obs is not None
+                    and self.config.metrics_export_seconds > 0
+                    and time.monotonic() >= next_metrics_export
+                ):
+                    next_metrics_export = (
+                        time.monotonic() + self.config.metrics_export_seconds
+                    )
+                    self._refresh_gauges()
+                    self._obs.append_metrics(
+                        self.metrics,
+                        daemon_id=self.daemon_id,
+                        tick=self.tick,
+                    )
                 handled = self._poll_control()
                 progressed = self._tick_once()
                 if self.state == STATE_DRAINING and self._active_jobs() == 0:
@@ -839,6 +1059,11 @@ class FleetDaemon(JobLifecycle):
                     transport.close()
                 except (TransportError, OSError):
                     pass
+                _log.info(
+                    "transport-stop",
+                    daemon=self.daemon_id,
+                    transport=transport.name,
+                )
             for job_id in list(self._prefetches):
                 self._cancel_prefetch(job_id)
             try:
@@ -853,6 +1078,25 @@ class FleetDaemon(JobLifecycle):
                     heartbeat_thread.join(timeout=5.0)
                 self.state = STATE_STOPPED
                 self._write_meta()
+                if self._obs is not None:
+                    # Clean-shutdown persistence: the cumulative series
+                    # survive the restart instead of resetting to zero
+                    # (the stats-loss-on-reopen fix).
+                    self._refresh_gauges()
+                    self._obs.append_metrics(
+                        self.metrics,
+                        daemon_id=self.daemon_id,
+                        tick=self.tick,
+                        final=True,
+                    )
+                    self._obs.save_registry(self.metrics)
+                    obs_trace.set_trace_sink(previous_sink)
+                _log.info(
+                    "stopped",
+                    daemon=self.daemon_id,
+                    tick=self.tick,
+                    requests=self.requests_served,
+                )
 
     def _maybe_compact_journal(self) -> None:
         """Cadence compaction: fold the journal when its log grows long.
@@ -881,7 +1125,13 @@ class FleetDaemon(JobLifecycle):
             return
         try:
             if len(journal.records()) > threshold and journal.compact() > 0:
-                self.journal_compactions += 1
+                self._c_compactions.inc()
+                _log.info(
+                    "journal-compact",
+                    daemon=self.daemon_id,
+                    tick=self.tick,
+                    threshold=threshold,
+                )
                 self._reassert_journal_pins(journal)
         except (ReproError, StorageError):
             pass  # advisory metadata; the next heartbeat retries
@@ -1080,6 +1330,22 @@ class DaemonClient:
             deadline.check(f"daemon request {op!r}")
             timeout = deadline.clamp(timeout)
         body = {"op": op, **payload}
+        with obs_trace.span_scope(f"client.{op}"):
+            # The trace context rides the request body: computed once
+            # (inside the client span, so the daemon-side tree hangs off
+            # it), and a socket retry that rebuilds the frame resends the
+            # *same* context — the daemon joins this client's trace
+            # exactly once per logical request.
+            body[obs_trace.TRACE_KEY] = obs_trace.wire_context()
+            return self._request_body(op, body, timeout, deadline)
+
+    def _request_body(
+        self,
+        op: str,
+        body: Dict,
+        timeout: float,
+        deadline: Optional[Deadline],
+    ) -> Dict:
         if self._socket is not None:
             try:
                 return self._socket.request(body, timeout=timeout)

@@ -14,28 +14,47 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.core.policy import CheckpointPolicy, Clock, EveryKSteps
 from repro.core.snapshot import TrainingSnapshot
 from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry, StatsView
 from repro.service.chunkstore import ChunkCheckpointRecord, ChunkStore
 from repro.service.pool import PoolChannel
 
 
-@dataclass
-class ServiceCheckpointStats:
-    """Aggregate accounting for one job's manager."""
+class ServiceCheckpointStats(StatsView):
+    """Aggregate accounting for one job's manager.
 
-    saves: int = 0
-    lite_saves: int = 0
-    blocks: int = 0
-    new_blocks: int = 0
-    logical_bytes: int = 0
-    physical_bytes: int = 0
-    save_seconds: float = 0.0
-    last_record: Optional[ChunkCheckpointRecord] = None
+    Registry-backed ``manager.*`` counters labeled with the job id; the
+    manager binds them against the store's registry so a shared fleet
+    registry aggregates per-job series (``last_record`` stays a plain
+    attribute — it is a reference, not a count).
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        job_id: str = "",
+    ):
+        super().__init__()
+        registry = metrics if metrics is not None else MetricsRegistry()
+        for name in (
+            "saves",
+            "lite_saves",
+            "blocks",
+            "new_blocks",
+            "logical_bytes",
+            "physical_bytes",
+        ):
+            self._bind(name, registry.counter(f"manager.{name}", job=job_id))
+        self._bind(
+            "save_seconds",
+            registry.counter("manager.save_seconds", job=job_id),
+            as_int=False,
+        )
+        self.last_record: Optional[ChunkCheckpointRecord] = None
 
 
 class ServiceCheckpointManager:
@@ -56,7 +75,7 @@ class ServiceCheckpointManager:
         self.policy = policy or EveryKSteps(1)
         self._clock = clock or time.monotonic
         self.extra = dict(extra or {})
-        self.stats = ServiceCheckpointStats()
+        self.stats = ServiceCheckpointStats(store.metrics, job_id)
         self._stats_lock = threading.Lock()  # tasks run on pool workers
         # Adaptive policies (Young–Daly) re-derive their interval from this
         # job's *observed* save cost on the shared pool — queueing, shard

@@ -29,21 +29,33 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.writer import WriteStats
 from repro.errors import CheckpointError, ConfigError
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry
 
 _POLICIES = ("block", "drop-oldest", "degrade")
 
 
-@dataclass
 class ChannelStats(WriteStats):
-    """Per-channel accounting (extends the writer's ``WriteStats``)."""
+    """Per-channel accounting (extends the writer's ``WriteStats``).
 
-    dropped: int = 0
-    degraded: int = 0
+    Registry-backed ``channel.*`` counters, labeled with the channel's
+    ``job`` id so a shared fleet registry keeps per-job series apart.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        job_id: str = "",
+    ):
+        registry = metrics if metrics is not None else MetricsRegistry()
+        labels = {"job": job_id}
+        super().__init__(registry, name="channel", labels=labels)
+        self._bind("dropped", registry.counter("channel.dropped", **labels))
+        self._bind("degraded", registry.counter("channel.degraded", **labels))
 
 
 class PoolChannel:
@@ -66,7 +78,12 @@ class PoolChannel:
         self.job_id = job_id
         self.max_pending = int(max_pending)
         self.backpressure = backpressure
-        self.stats = ChannelStats()
+        self.stats = ChannelStats(pool.metrics, job_id)
+        # Per-job task-latency histogram, observed on the worker thread
+        # (queue-side save cost as the pool actually ran it).
+        self._task_seconds = pool.metrics.histogram(
+            "channel.task_seconds", job=job_id
+        )
         # Moving window of recent task durations as measured on the pool
         # worker — the job's *observed* save cost under pool contention.
         # Adaptive policies (Young–Daly) read it through
@@ -117,6 +134,20 @@ class PoolChannel:
         """
         pool = self.pool
         started = time.perf_counter()
+        # Thread-hop trace propagation: capture the submitter's span
+        # context now, reattach it around the task on the worker thread.
+        context = trace.capture_context()
+        if context is not None or trace.tracing_enabled():
+            task = trace.traced(task, "pool.task", context, job=self.job_id)
+            if fallback is not None:
+                fallback = trace.traced(
+                    fallback, "pool.task", context, job=self.job_id, lite=True
+                )
+            if fallback_factory is not None:
+                build = fallback_factory
+                fallback_factory = lambda: trace.traced(  # noqa: E731
+                    build(), "pool.task", context, job=self.job_id, lite=True
+                )
         if (
             self.backpressure == "degrade"
             and fallback is None
@@ -265,7 +296,12 @@ class PoolChannel:
 class WriterPool:
     """Fixed worker pool multiplexing many jobs' checkpoint writes."""
 
-    def __init__(self, workers: int = 2, close_timeout: float = 60.0):
+    def __init__(
+        self,
+        workers: int = 2,
+        close_timeout: float = 60.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         if close_timeout <= 0:
@@ -278,7 +314,8 @@ class WriterPool:
         self._channels: Dict[str, PoolChannel] = {}
         self._rr: List[str] = []  # round-robin rotation of channel ids
         self._stopped = False
-        self.stats = WriteStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = WriteStats(self.metrics, name="pool")
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"qckpt-pool-{i}", daemon=True
@@ -354,6 +391,7 @@ class WriterPool:
             except BaseException as exc:  # surfaces on the job's channel
                 error = exc
             elapsed = time.perf_counter() - started
+            channel._task_seconds.observe(elapsed)
             with self._cond:
                 channel.active = False
                 channel.stats.tasks += 1

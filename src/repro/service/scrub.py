@@ -40,8 +40,12 @@ from repro.core.codecs import get_codec
 from repro.core.restore import CONTENT_ADDRESS_PREFIX, content_address
 from repro.errors import ReproError, StorageError
 from repro.faults.crashpoints import crash_point, register_crash_point
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.service.chunkstore import MANIFEST_VERSION
 from repro.storage.backend import StorageBackend
+
+_log = get_logger("scrub")
 
 QUARANTINE_PREFIX = "quarantine-"
 LEASE_SCRUB = "scrub"
@@ -157,10 +161,12 @@ class StoreScrubber:
         backend: StorageBackend,
         repair: bool = False,
         journal=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.backend = backend
         self.repair = bool(repair)
         self.journal = journal
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # -- validators -------------------------------------------------------------
 
@@ -191,13 +197,47 @@ class StoreScrubber:
         if self.repair and self.journal is not None:
             if not self.journal.acquire_lease(LEASE_SCRUB):
                 report.lease_holder = self.journal.lease_holder(LEASE_SCRUB)
+                _log.warning(
+                    "lease-held",
+                    lease=LEASE_SCRUB,
+                    holder=report.lease_holder,
+                )
                 return report
+            _log.debug("lease-acquired", lease=LEASE_SCRUB)
         try:
             self._run(report)
         finally:
             if self.repair and self.journal is not None:
                 self.journal.release_lease(LEASE_SCRUB)
+                _log.debug("lease-released", lease=LEASE_SCRUB)
+        self._record_metrics(report)
         return report
+
+    def _record_metrics(self, report: ScrubReport) -> None:
+        """Fold one pass's findings into the registry (``scrub.*`` series)."""
+        self.metrics.counter("scrub.runs").inc()
+        self.metrics.counter("scrub.manifests_checked").inc(
+            report.manifests_checked
+        )
+        self.metrics.counter("scrub.chunks_checked").inc(
+            report.chunks_checked
+        )
+        self.metrics.counter("scrub.repaired").inc(report.repaired)
+        self.metrics.counter("scrub.quarantined").inc(report.quarantined)
+        self.metrics.counter("scrub.unrestorable").inc(
+            len(report.unrestorable)
+        )
+        for finding in report.findings:
+            self.metrics.counter("scrub.findings", kind=finding.kind).inc()
+        _log.info(
+            "pass-complete",
+            mode="scrub" if self.repair else "fsck",
+            manifests=report.manifests_checked,
+            chunks=report.chunks_checked,
+            findings=len(report.findings),
+            repaired=report.repaired,
+            quarantined=report.quarantined,
+        )
 
     def _run(self, report: ScrubReport) -> None:
         # Pass 1: manifests.  Damaged manifests are findings themselves and
@@ -339,10 +379,15 @@ class StoreScrubber:
 
 
 def scrub_store(
-    backend: StorageBackend, repair: bool, journal=None
+    backend: StorageBackend,
+    repair: bool,
+    journal=None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ScrubReport:
     """One-call scrub (``repair=True``) or fsck (``repair=False``)."""
-    return StoreScrubber(backend, repair=repair, journal=journal).run()
+    return StoreScrubber(
+        backend, repair=repair, journal=journal, metrics=metrics
+    ).run()
 
 
 __all__ = [

@@ -47,8 +47,11 @@ import uuid
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError, StorageError, TransportError
+from repro.obs.log import get_logger
 from repro.reliability import Deadline, RetryPolicy, current_deadline
 from repro.storage.backend import StorageBackend
+
+_log = get_logger("transport")
 
 PROTOCOL_VERSION = 1
 FRAME_HEADER = struct.Struct(">I")  # big-endian uint32 payload length
@@ -379,6 +382,11 @@ class SocketTransport(ControlTransport):
             daemon=True,
         )
         self._acceptor.start()
+        _log.info(
+            "listening",
+            address=self.address,
+            auth=self.auth_token is not None,
+        )
 
     def close(self) -> None:
         self._closed.set()
@@ -444,6 +452,7 @@ class SocketTransport(ControlTransport):
             with self._conn_lock:
                 self._connections[id(connection)] = connection
             self.connections_accepted += 1
+            _log.debug("connection-accepted", peer=connection.peer)
             threading.Thread(
                 target=self._serve_connection,
                 args=(connection,),
@@ -490,6 +499,11 @@ class SocketTransport(ControlTransport):
             return False  # port-scanner said nothing; nothing owed
         if hello.get("qckpt") != PROTOCOL_VERSION:
             self.auth_failures += 1
+            _log.warning(
+                "handshake-rejected",
+                reason="protocol",
+                offered=hello.get("qckpt"),
+            )
             self._try_error(
                 sock,
                 f"unsupported protocol {hello.get('qckpt')!r} "
@@ -502,6 +516,7 @@ class SocketTransport(ControlTransport):
                 offered, self.auth_token
             ):
                 self.auth_failures += 1
+                _log.warning("handshake-rejected", reason="auth")
                 self._try_error(sock, "bad auth token")
                 return False
         try:

@@ -15,22 +15,35 @@ absorbed, which the ``fault_storm`` benchmark and the reliability tests read.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.errors import RetryExhaustedError, TransientStorageError
+from repro.obs.metrics import MetricsRegistry, StatsView
 from repro.reliability import CircuitBreaker, Deadline, RetryPolicy
 from repro.storage.backend import StorageBackend
 
 
-@dataclass
-class ReliabilityStats:
-    """What the wrapper absorbed (or gave up on)."""
+class ReliabilityStats(StatsView):
+    """What the wrapper absorbed (or gave up on).
 
-    retries: int = 0  # individual re-attempts across all ops
-    recovered_ops: int = 0  # ops that failed at least once, then succeeded
-    exhausted_ops: int = 0  # ops that failed every attempt
-    rejected_ops: int = 0  # ops refused by an open circuit breaker
+    Registry-backed ``reliability.*`` counters:
+
+    * ``retries`` — individual re-attempts across all ops
+    * ``recovered_ops`` — ops that failed at least once, then succeeded
+    * ``exhausted_ops`` — ops that failed every attempt
+    * ``rejected_ops`` — ops refused by an open circuit breaker
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        super().__init__()
+        registry = metrics if metrics is not None else MetricsRegistry()
+        for name in (
+            "retries",
+            "recovered_ops",
+            "exhausted_ops",
+            "rejected_ops",
+        ):
+            self._bind(name, registry.counter(f"reliability.{name}"))
 
 
 class ReliableBackend(StorageBackend):
@@ -42,12 +55,14 @@ class ReliableBackend(StorageBackend):
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         deadline: Optional[Deadline] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.inner = inner
         self.retry = retry
         self.breaker = breaker
         self.deadline = deadline  # per-backend budget; ambient scope also honored
-        self.stats = ReliabilityStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = ReliabilityStats(self.metrics)
 
     def _run(self, fn: Callable[[], object]):
         if self.breaker is not None:

@@ -22,24 +22,55 @@ given order, so tests can inject faults per replica.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigError, StorageError
+from repro.obs.metrics import MetricsRegistry, StatsView
 from repro.storage.backend import StorageBackend
 
 _CONSISTENCY_MODES = {"first", "quorum"}
 
 
-@dataclass
-class ReplicationStats:
-    """Counters exposed for tests and the remote-storage ablation."""
+class ReplicationStats(StatsView):
+    """Counters exposed for tests and the remote-storage ablation.
 
-    degraded_writes: int = 0
-    failed_writes: int = 0
-    divergent_reads: int = 0
-    repaired_objects: int = 0
-    per_replica_write_failures: List[int] = field(default_factory=list)
+    Registry-backed ``replica.*`` series; per-replica write failures are
+    one ``replica.write_failures`` counter per ``replica=<index>`` label,
+    surfaced as the familiar list through
+    :attr:`per_replica_write_failures`.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        replicas: int = 0,
+    ):
+        super().__init__()
+        registry = metrics if metrics is not None else MetricsRegistry()
+        for name in (
+            "degraded_writes",
+            "failed_writes",
+            "divergent_reads",
+            "repaired_objects",
+        ):
+            self._bind(name, registry.counter(f"replica.{name}"))
+        self._replica_failures = [
+            registry.counter("replica.write_failures", replica=str(index))
+            for index in range(replicas)
+        ]
+        self._replica_base = [c.value for c in self._replica_failures]
+
+    def note_replica_failure(self, index: int) -> None:
+        self._replica_failures[index].inc()
+
+    @property
+    def per_replica_write_failures(self) -> List[int]:
+        return [
+            int(counter.value - base)
+            for counter, base in zip(
+                self._replica_failures, self._replica_base
+            )
+        ]
 
 
 class ReplicatedBackend(StorageBackend):
@@ -51,6 +82,7 @@ class ReplicatedBackend(StorageBackend):
         write_quorum: Optional[int] = None,
         consistency: str = "first",
         read_repair: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if len(replicas) < 2:
             raise ConfigError(
@@ -72,9 +104,8 @@ class ReplicatedBackend(StorageBackend):
         self.write_quorum = write_quorum
         self.consistency = consistency
         self.read_repair = read_repair
-        self.stats = ReplicationStats(
-            per_replica_write_failures=[0] * len(replicas)
-        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = ReplicationStats(self.metrics, replicas=len(replicas))
 
     # -- writes -----------------------------------------------------------------
 
@@ -86,7 +117,7 @@ class ReplicatedBackend(StorageBackend):
                 replica.write(name, data)
                 successes += 1
             except StorageError as exc:
-                self.stats.per_replica_write_failures[index] += 1
+                self.stats.note_replica_failure(index)
                 errors.append(f"replica {index}: {exc}")
         if successes < self.write_quorum:
             self.stats.failed_writes += 1

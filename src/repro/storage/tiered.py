@@ -44,26 +44,36 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import List, Optional, Set
 
 from repro.errors import ConfigError, StorageError
+from repro.obs.metrics import MetricsRegistry, StatsView
 from repro.storage.backend import StorageBackend
 from repro.storage.placement import PlacementJournal
 
 _POLICIES = {"write-through", "write-back"}
 
 
-@dataclass
-class TierStats:
-    """Cache counters exposed for tests and the storage ablation."""
+class TierStats(StatsView):
+    """Cache counters exposed for tests and the storage ablation.
 
-    fast_hits: int = 0
-    fast_misses: int = 0
-    promotions: int = 0
-    evictions: int = 0
-    flushes: int = 0
-    demotions: int = 0
+    Registry-backed (``tier.*`` series, labeled ``tier=fast``): same
+    attribute reads/writes as the old dataclass, but the counts also land
+    in the shared metrics registry when one is threaded through.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        super().__init__()
+        registry = metrics if metrics is not None else MetricsRegistry()
+        for name in (
+            "fast_hits",
+            "fast_misses",
+            "promotions",
+            "evictions",
+            "flushes",
+            "demotions",
+        ):
+            self._bind(name, registry.counter(f"tier.{name}", tier="fast"))
 
 
 class TieredBackend(StorageBackend):
@@ -76,6 +86,7 @@ class TieredBackend(StorageBackend):
         fast_capacity_bytes: int,
         policy: str = "write-through",
         journal: Optional[PlacementJournal] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if fast_capacity_bytes < 1:
             raise ConfigError(
@@ -90,7 +101,8 @@ class TieredBackend(StorageBackend):
         self.fast_capacity_bytes = int(fast_capacity_bytes)
         self.policy = policy
         self.journal = journal
-        self.stats = TierStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = TierStats(self.metrics)
         # LRU bookkeeping: name -> size, in access order (oldest first).
         self._resident: "OrderedDict[str, int]" = OrderedDict()
         self._dirty: Set[str] = set()
