@@ -65,9 +65,11 @@ from repro.core.snapshot import TrainingSnapshot
 from repro.errors import TransientStorageError
 from repro.faults.injector import PreemptionStorm
 from repro.ml.dataset import make_moons
-from repro.ml.models import VariationalClassifier
+from repro.ml.models import VariationalClassifier, VQEModel
 from repro.ml.optimizers import Adam
 from repro.ml.trainer import Trainer, TrainerConfig
+from repro.quantum.engines import sharding
+from repro.quantum.observables import Hamiltonian
 from repro.quantum.templates import hardware_efficient
 from repro.reliability import RetryPolicy
 from repro.service import (
@@ -265,6 +267,52 @@ def test_writer_pool_throughput_scaling(report):
             "store_writes": remote.delayed_writes,
         }
     speedup = rows[worker_counts[-1]]["mb_per_second"] / rows[1]["mb_per_second"]
+
+    # Same pool, real gradient work: a parameter-shift VQE trainer whose
+    # shifted-batch fan-out rides the shard executor while the writer pool
+    # commits its checkpoints.  The in-process and sharded runs must land on
+    # bitwise-identical parameters — fan-out is a pure throughput knob.
+    def shift_trainer(shard_workers: int) -> Trainer:
+        model = VQEModel(
+            hardware_efficient(6, 2),
+            Hamiltonian.transverse_field_ising(6, 1.0, 0.7),
+            gradient_method="parameter-shift",
+        )
+        return Trainer(
+            model,
+            Adam(lr=0.05),
+            config=TrainerConfig(seed=7, shard_workers=shard_workers),
+        )
+
+    grad_steps = 3
+    grad_rows = {}
+    grad_params = {}
+    for shard_workers in (0, 2):
+        remote = ThrottledBackend(InMemoryBackend())
+        remote.write_delay_seconds = write_delay
+        store = ChunkStore(remote, codec="zlib-1", block_bytes=1 << 16)
+        pool = WriterPool(workers=2)
+        channel = pool.channel("grad-job", max_pending=4)
+        trainer = shift_trainer(shard_workers)
+        started = time.perf_counter()
+        for _ in range(grad_steps):
+            trainer.train_step()
+            snapshot = trainer.capture()
+            channel.submit(lambda s=snapshot: store.save_snapshot("grad-job", s))
+        pool.drain()
+        elapsed = time.perf_counter() - started
+        pool.close()
+        grad_rows[str(shard_workers)] = {
+            "seconds": elapsed,
+            "steps_per_second": grad_steps / elapsed,
+            "checkpoints": store.stats.checkpoints,
+        }
+        grad_params[shard_workers] = trainer.params.copy()
+    sharding.shutdown_default()
+    assert np.array_equal(grad_params[0], grad_params[2]), (
+        "sharded training diverged from in-process training"
+    )
+
     payload = {
         "jobs": 8,
         "saves_per_job": 2,
@@ -272,6 +320,12 @@ def test_writer_pool_throughput_scaling(report):
         "cpu_count": os.cpu_count(),
         "workers": {str(k): v for k, v in rows.items()},
         f"speedup_{worker_counts[-1]}v1": speedup,
+        "sharded_gradients": {
+            "workload": "6-qubit 2-layer HEA VQE, parameter-shift",
+            "steps": grad_steps,
+            "shard_workers": grad_rows,
+            "bitwise_identical": True,
+        },
     }
     _write_json("pool_scaling", payload)
 

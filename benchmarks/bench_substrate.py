@@ -10,6 +10,7 @@ tracked across PRs.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -24,6 +25,8 @@ from repro.bench.workloads import gradient_workload
 from repro.quantum.haar import haar_state
 from repro.quantum.observables import Hamiltonian
 from repro.quantum.sampling import estimate_expectation
+from repro.quantum import engines
+from repro.quantum.engines import compiled, sharding
 from repro.quantum.statevector import apply_circuit, apply_gate, zero_state
 from repro.quantum.templates import hardware_efficient, initial_parameters
 
@@ -32,6 +35,22 @@ _JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
 # The acceptance target for the engine: >= 3x on a 12-qubit, 4-layer HEA
 # parameter-shift gradient versus the seed execution path.
 GRAD_SPEEDUP_TARGET = 3.0
+
+# The acceptance target for the compiled kernel tier: >= 2x on the same
+# gradient versus the numpy engine path.  Only asserted where a C compiler
+# produced a library that passed its bitwise self-test.
+TIER_SPEEDUP_TARGET = 2.0
+
+
+def _merge_json(update: dict) -> None:
+    rows = {}
+    if _JSON_PATH.exists():
+        try:
+            rows = json.loads(_JSON_PATH.read_text())
+        except json.JSONDecodeError:
+            rows = {}
+    rows.update(update)
+    _JSON_PATH.write_text(json.dumps(rows, indent=2) + "\n")
 
 
 def _best_of(fn, repeats):
@@ -125,7 +144,7 @@ def test_engine_speedups(report):
             "engine": evaluations / grad_fast,
         },
     }
-    _JSON_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    _merge_json(rows)
 
     table = "\n".join(
         [
@@ -144,3 +163,101 @@ def test_engine_speedups(report):
         f"gradient speedup {grad_ref / grad_fast:.2f}x below the "
         f"{GRAD_SPEEDUP_TARGET}x acceptance target"
     )
+
+
+def test_gradient_sharding_sweep(report):
+    """Engine tier x shard-worker sweep on the 12-qubit 4-layer gradient.
+
+    Two axes, written to ``BENCH_substrate.json`` under ``gradient_sharding``:
+
+    - tier: the numpy engine vs the compiled kernel tier (skipped rows when
+      no compiler is available) — asserts the >= 2x tier acceptance target
+      and bitwise-checks every sharded gradient against the single-process
+      numpy result of its own tier;
+    - workers: 1 (in-process) vs 2 and 4 worker processes, reported as
+      evals/s and parallel efficiency.  On a single-core host the fan-out
+      rows document the dispatch overhead rather than a speedup, so the
+      host's cpu_count rides along in the payload.
+    """
+    circuit, params, hamiltonian = gradient_workload(12, 4)
+    evaluations = shift_rule_evaluations(circuit)
+    tiers = ["numpy"] + (["compiled"] if compiled.available() else [])
+    worker_counts = (1, 2, 4)
+
+    saved_env = os.environ.get(engines.ENGINE_ENV)
+    rows = {}
+    try:
+        for tier in tiers:
+            os.environ[engines.ENGINE_ENV] = tier
+            engines.reset_engine()
+            sharding.shutdown_default()
+            single = parameter_shift_gradient(circuit, params, hamiltonian)
+            per_tier = {}
+            for workers in worker_counts:
+                repeats = 3 if workers == 1 else 2
+                seconds, grads = _best_of(
+                    lambda w=workers: parameter_shift_gradient(
+                        circuit, params, hamiltonian, shard_workers=w
+                    ),
+                    repeats,
+                )
+                assert np.array_equal(grads, single), (
+                    f"sharded gradient diverged from single-process "
+                    f"({tier}, workers={workers})"
+                )
+                per_tier[str(workers)] = {
+                    "seconds": seconds,
+                    "evals_per_second": evaluations / seconds,
+                }
+            base = per_tier["1"]["evals_per_second"]
+            for workers in worker_counts[1:]:
+                row = per_tier[str(workers)]
+                row["parallel_efficiency"] = row["evals_per_second"] / (
+                    workers * base
+                )
+            rows[tier] = per_tier
+    finally:
+        if saved_env is None:
+            os.environ.pop(engines.ENGINE_ENV, None)
+        else:
+            os.environ[engines.ENGINE_ENV] = saved_env
+        engines.reset_engine()
+        sharding.shutdown_default()
+
+    payload = {
+        "workload": {"n_qubits": 12, "n_layers": 4, "shift_evaluations": evaluations},
+        "cpu_count": os.cpu_count(),
+        "compiled_available": compiled.available(),
+        "compiled_reason": engines.engine_info()["compiled_reason"],
+        "tiers": rows,
+    }
+    if "compiled" in rows:
+        payload["tier_speedup"] = (
+            rows["compiled"]["1"]["evals_per_second"]
+            / rows["numpy"]["1"]["evals_per_second"]
+        )
+    _merge_json({"gradient_sharding": payload})
+
+    lines = [f"{'tier':<10} {'workers':>8} {'evals/s':>10} {'efficiency':>11}"]
+    for tier, per_tier in rows.items():
+        for workers in worker_counts:
+            row = per_tier[str(workers)]
+            eff = row.get("parallel_efficiency")
+            lines.append(
+                f"{tier:<10} {workers:>8} {row['evals_per_second']:>10.0f} "
+                f"{eff:>10.0%}" if eff is not None else
+                f"{tier:<10} {workers:>8} {row['evals_per_second']:>10.0f} "
+                f"{'—':>11}"
+            )
+    if "tier_speedup" in payload:
+        lines.append(f"compiled-vs-numpy tier speedup: {payload['tier_speedup']:.2f}x")
+    report(
+        "Gradient sharding: tier x worker sweep (12-qubit 4-layer HEA)",
+        "\n".join(lines),
+    )
+
+    if "compiled" in rows:
+        assert payload["tier_speedup"] >= TIER_SPEEDUP_TARGET, (
+            f"compiled tier speedup {payload['tier_speedup']:.2f}x below the "
+            f"{TIER_SPEEDUP_TARGET}x acceptance target"
+        )

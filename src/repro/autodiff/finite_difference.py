@@ -17,7 +17,7 @@ import numpy as np
 from repro.errors import GradientError
 from repro.quantum import kernels as _kernels
 from repro.quantum.circuit import Circuit, Param
-from repro.autodiff._execute import execute_with_overrides
+from repro.autodiff._execute import execute_with_overrides, shifted_batch_energies
 
 
 def _occurrences_by_index(circuit: Circuit) -> Dict[int, List[Tuple[int, int]]]:
@@ -47,8 +47,15 @@ def finite_difference_gradient(
     step: float = 1e-6,
     scheme: str = "central",
     engine: str = "fast",
+    shard_workers: Optional[int] = None,
 ) -> np.ndarray:
-    """Numerical gradient by central or forward differences on the vector."""
+    """Numerical gradient by central or forward differences on the vector.
+
+    ``shard_workers`` >= 2 fans the bumped-execution batch out across the
+    gradient-shard worker pool (``None`` defers to the ambient execution
+    scope, then ``QCKPT_SHARD_WORKERS``), merging bitwise identically to the
+    in-process sweep.
+    """
     if step <= 0:
         raise GradientError(f"step must be > 0, got {step}")
     if scheme not in {"central", "forward"}:
@@ -71,16 +78,25 @@ def finite_difference_gradient(
         batch.append(_bump_overrides(occurrences[index], values[index] + step))
         if scheme == "central":
             batch.append(_bump_overrides(occurrences[index], values[index] - step))
-    batch_expectation = getattr(observable, "expectation_batch", None)
-    states = _kernels.run_shifted_batch(
-        circuit, values, batch, initial_state, columns=batch_expectation is not None
-    )
-    if batch_expectation is not None:
-        energies = np.asarray(
-            batch_expectation(states, columns=True), dtype=np.float64
+
+    from repro.quantum import engines
+
+    workers = engines.resolve_shard_workers(shard_workers)
+    if workers >= 2 and len(batch) >= 4:
+        from repro.quantum.engines import sharding
+
+        energies = sharding.sharded_energies(
+            circuit,
+            values,
+            batch,
+            observable,
+            initial_state=initial_state,
+            workers=workers,
         )
     else:
-        energies = [float(observable.expectation(state)) for state in states]
+        energies = shifted_batch_energies(
+            circuit, values, batch, observable, initial_state
+        )
 
     if scheme == "central":
         for k, index in enumerate(active):

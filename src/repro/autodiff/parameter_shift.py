@@ -21,6 +21,15 @@ with every unchanged matrix resolved once from the matrix cache.  Batches are
 chunked so memory stays bounded for wide circuits.  ``engine="reference"``
 preserves the original one-execution-per-shift loop as the benchmarking and
 testing oracle.
+
+Analytic gradients (``shots is None``) can additionally *shard* the batch
+across worker processes (``shard_workers`` argument, the ambient
+:func:`repro.quantum.engines.execution_scope`, or ``QCKPT_SHARD_WORKERS``):
+contiguous shards of the same batch are executed by
+:mod:`repro.quantum.engines.sharding` workers and merged in plan order, which
+is bitwise identical to the single-process path because every kernel on the
+shifted-batch path is invariant to batch width.  Shot-based gradients never
+shard — all shifted estimates draw from one shared rng stream.
 """
 
 from __future__ import annotations
@@ -32,16 +41,15 @@ import numpy as np
 
 from repro.errors import GradientError
 from repro.quantum import gates as _gates
-from repro.quantum import kernels as _kernels
 from repro.quantum.circuit import Circuit, Param
-from repro.quantum.sampling import estimate_expectation_batch
-from repro.autodiff._execute import execute_with_overrides
+from repro.autodiff._execute import (
+    _MAX_BATCH_BYTES,
+    execute_with_overrides,
+    shifted_batch_energies,
+)
 
 _TWO_TERM_SHIFT = math.pi / 2
 _TWO_TERM_COEFF = 0.5
-
-# Cap on the bytes one shifted-execution batch may hold (chunked above this).
-_MAX_BATCH_BYTES = 1 << 28
 
 
 def _occurrences(circuit: Circuit) -> List[Tuple[int, int, int, str]]:
@@ -93,6 +101,41 @@ def _shift_plan(
     return plan, batch
 
 
+def _shifted_energies(
+    circuit: Circuit,
+    values: np.ndarray,
+    batch: List[dict],
+    observable,
+    initial_state: Optional[np.ndarray],
+    shots: Optional[int],
+    rng: Optional[np.random.Generator],
+    shard_workers: Optional[int],
+) -> np.ndarray:
+    """Batch energies, sharded across worker processes when requested.
+
+    Sharding applies only to analytic executions (one shared rng stream makes
+    shot-based shards order-dependent) and needs at least two shards of
+    width >= 2 to be worth a pickle round-trip.
+    """
+    from repro.quantum import engines
+
+    workers = engines.resolve_shard_workers(shard_workers) if shots is None else 0
+    if workers >= 2 and len(batch) >= 4:
+        from repro.quantum.engines import sharding
+
+        return sharding.sharded_energies(
+            circuit,
+            values,
+            batch,
+            observable,
+            initial_state=initial_state,
+            workers=workers,
+        )
+    return shifted_batch_energies(
+        circuit, values, batch, observable, initial_state, shots, rng
+    )
+
+
 def parameter_shift_gradient(
     circuit: Circuit,
     params,
@@ -101,8 +144,14 @@ def parameter_shift_gradient(
     shots: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     engine: str = "fast",
+    shard_workers: Optional[int] = None,
 ) -> np.ndarray:
-    """Gradient of ``<observable>`` with respect to the parameter vector."""
+    """Gradient of ``<observable>`` with respect to the parameter vector.
+
+    ``shard_workers`` >= 2 fans the shifted batch out across worker
+    processes (``None`` defers to the ambient execution scope, then the
+    ``QCKPT_SHARD_WORKERS`` environment knob; 0/1 stay in-process).
+    """
     values = np.asarray(params, dtype=np.float64)
     grads = np.zeros(max(circuit.n_params, values.size))
     if shots is not None and rng is None:
@@ -116,38 +165,18 @@ def parameter_shift_gradient(
 
     plan, batch = _shift_plan(circuit, values)
     if plan:
-        dim = 1 << circuit.n_qubits
-        chunk_size = max(1, _MAX_BATCH_BYTES // (16 * dim))
-        batch_expectation = (
-            getattr(observable, "expectation_batch", None) if shots is None else None
+        energies = _shifted_energies(
+            circuit,
+            values,
+            batch,
+            observable,
+            initial_state,
+            shots,
+            rng,
+            shard_workers,
         )
-        for start in range(0, len(batch), chunk_size):
-            chunk = batch[start : start + chunk_size]
-            states = _kernels.run_shifted_batch(
-                circuit,
-                values,
-                chunk,
-                initial_state,
-                columns=batch_expectation is not None or shots is not None,
-            )
-            chunk_plan = plan[start : start + len(chunk)]
-            if batch_expectation is not None:
-                energies = np.asarray(
-                    batch_expectation(states, columns=True), dtype=np.float64
-                )
-            elif shots is None:
-                energies = np.array(
-                    [float(observable.expectation(s)) for s in states]
-                )
-            else:
-                # Batched Born probabilities (one rotation sweep + one
-                # |amplitudes|^2 per measurement group for the whole chunk);
-                # draws stay in per-shift order on the shared rng.
-                energies = estimate_expectation_batch(
-                    states, observable, shots, rng, columns=True
-                )
-            for (index, coeff), value in zip(chunk_plan, energies):
-                grads[index] += coeff * value
+        for (index, coeff), value in zip(plan, energies):
+            grads[index] += coeff * value
     return grads[: circuit.n_params] if circuit.n_params else grads
 
 

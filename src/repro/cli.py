@@ -562,6 +562,33 @@ def _metrics_response(args: argparse.Namespace) -> dict:
     }
 
 
+def _engine_line(snapshot: dict) -> str:
+    """One-line engine/shard summary from ``engine.*`` / ``shard.*`` series.
+
+    Empty string when the process never selected an engine (e.g. a metrics
+    file persisted by a storage-only run).
+    """
+    tiers = [
+        record.get("labels", {}).get("tier", "?")
+        for record in snapshot.get("series", [])
+        if record.get("name") == "engine.selected" and record.get("value")
+    ]
+    if not tiers:
+        return ""
+    text = f"engine: {'/'.join(sorted(set(tiers)))}"
+    workers = _series_value(snapshot, "shard.workers")
+    shifts = _series_value(snapshot, "shard.shifts")
+    if workers or shifts:
+        text += (
+            f"  shard workers {workers:.0f}  "
+            f"sharded shifts {shifts:.0f}"
+        )
+        crashes = _series_value(snapshot, "shard.worker_crashes")
+        if crashes:
+            text += f"  worker crashes {crashes:.0f}"
+    return text
+
+
 def _print_metrics(response: dict) -> None:
     snapshot = response.get("metrics", {})
     if "daemon_id" in response:
@@ -576,6 +603,9 @@ def _print_metrics(response: dict) -> None:
             f"{response.get('epoch')})"
         )
     print(f"dedup ratio: {response.get('dedup_ratio', 0.0):.2f}x")
+    engine_line = _engine_line(snapshot)
+    if engine_line:
+        print(engine_line)
     fast_hits = _series_value(snapshot, "tier.fast_hits", tier="fast")
     fast_misses = _series_value(snapshot, "tier.fast_misses", tier="fast")
     if fast_hits or fast_misses:
@@ -710,6 +740,9 @@ def _print_top(response: dict, previous, interval: float) -> None:
         f"retries {reliability.get('retries', '-')}  "
         f"breaker {reliability.get('breaker_state', '-')}"
     )
+    engine_line = _engine_line(snapshot)
+    if engine_line:
+        print(engine_line)
     queues = response.get("queues") or {}
     saves = _job_histograms(snapshot, "save.seconds")
     prev_saves = _job_histograms(prev_snapshot, "save.seconds")
@@ -963,6 +996,7 @@ def cmd_daemon_submit(args: argparse.Namespace) -> int:
         "backpressure": args.backpressure,
         "restore_mode": args.restore_mode,
         "priority": args.priority,
+        "shard_workers": args.shard_workers,
         "params": {
             "qubits": args.qubits,
             "layers": args.layers,
@@ -970,6 +1004,7 @@ def cmd_daemon_submit(args: argparse.Namespace) -> int:
             "samples": args.samples,
             "batch_size": args.batch_size,
             "seed": args.seed,
+            "gradient_method": args.gradient_method,
         },
     }
     response = client.submit(spec)
@@ -1468,6 +1503,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="scheduling weight: a priority-2 job gets ~2x the training "
         "ticks of a priority-1 job",
+    )
+    d_submit.add_argument(
+        "--shard-workers",
+        type=int,
+        default=0,
+        help="fan this job's gradient batches out across N shard worker "
+        "processes (0 = in-process; results are bitwise identical)",
+    )
+    d_submit.add_argument(
+        "--gradient-method",
+        choices=["adjoint", "parameter-shift"],
+        default="adjoint",
+        help="analytic differentiator for the workload; parameter-shift "
+        "batches are what shard workers fan out",
     )
     d_submit.add_argument(
         "--workload",

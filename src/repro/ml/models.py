@@ -56,6 +56,7 @@ class VariationalClassifier:
         encoder_id: str = "angle-ry",
         readout: Optional[PauliString] = None,
         loss: str = "mse",
+        gradient_method: str = "adjoint",
     ):
         self.ansatz = ansatz
         self.n_qubits = ansatz.n_qubits
@@ -67,6 +68,15 @@ class VariationalClassifier:
         if loss not in {"mse", "bce"}:
             raise ConfigError(f"loss must be 'mse' or 'bce', got {loss!r}")
         self.loss = loss
+        # Execution detail, not structure (excluded from the fingerprint):
+        # "parameter-shift" batches the shifted executions, which lets them
+        # shard across worker processes under an ambient execution scope.
+        if gradient_method not in {"adjoint", "parameter-shift"}:
+            raise ConfigError(
+                f"gradient_method must be 'adjoint' or 'parameter-shift', "
+                f"got {gradient_method!r}"
+            )
+        self.gradient_method = gradient_method
 
     @property
     def n_params(self) -> int:
@@ -145,9 +155,15 @@ class VariationalClassifier:
         for x, y in zip(features, labels):
             circuit = self._full_circuit(x)
             if shots is None:
-                output, grad_f = adjoint_gradient(
-                    circuit, params, self.readout, return_value=True
-                )
+                if self.gradient_method == "parameter-shift":
+                    output = self.forward_one(params, x)
+                    grad_f = parameter_shift_gradient(
+                        circuit, params, self.readout
+                    )
+                else:
+                    output, grad_f = adjoint_gradient(
+                        circuit, params, self.readout, return_value=True
+                    )
             else:
                 output = self.forward_one(params, x, shots, rng)
                 grad_f = parameter_shift_gradient(
@@ -161,9 +177,24 @@ class VariationalClassifier:
 
 
 class VQEModel:
-    """Variational quantum eigensolver: loss is ``<H>`` of the ansatz state."""
+    """Variational quantum eigensolver: loss is ``<H>`` of the ansatz state.
 
-    def __init__(self, ansatz: Circuit, hamiltonian: Hamiltonian):
+    ``gradient_method`` selects the analytic differentiator: ``"adjoint"``
+    (default — one reverse sweep, cheapest single-process) or
+    ``"parameter-shift"`` (the batched shift rule, whose shifted-execution
+    batch can fan out across shard worker processes via the ambient
+    :func:`repro.quantum.engines.execution_scope` /
+    ``TrainerConfig.shard_workers``).  Both are exact; the choice is not
+    part of the model fingerprint, like the engine tier it is an execution
+    detail.  Shot-based gradients always use the shift rule.
+    """
+
+    def __init__(
+        self,
+        ansatz: Circuit,
+        hamiltonian: Hamiltonian,
+        gradient_method: str = "adjoint",
+    ):
         self.ansatz = ansatz
         self.hamiltonian = hamiltonian
         self.n_qubits = ansatz.n_qubits
@@ -172,6 +203,12 @@ class VQEModel:
                 f"hamiltonian acts on wire {hamiltonian.max_wire()}, "
                 f"ansatz has {ansatz.n_qubits} qubits"
             )
+        if gradient_method not in {"adjoint", "parameter-shift"}:
+            raise ConfigError(
+                f"gradient_method must be 'adjoint' or 'parameter-shift', "
+                f"got {gradient_method!r}"
+            )
+        self.gradient_method = gradient_method
 
     @property
     def n_params(self) -> int:
@@ -205,6 +242,11 @@ class VQEModel:
     ) -> Tuple[float, np.ndarray]:
         """Energy and its gradient (batch is ignored; VQE has no dataset)."""
         if shots is None:
+            if self.gradient_method == "parameter-shift":
+                grads = parameter_shift_gradient(
+                    self.ansatz, params, self.hamiltonian
+                )
+                return self.energy(params), grads
             value, grads = adjoint_gradient(
                 self.ansatz, params, self.hamiltonian, return_value=True
             )

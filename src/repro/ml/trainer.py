@@ -22,23 +22,38 @@ from repro.core.snapshot import TrainingSnapshot
 from repro.errors import ConfigError
 from repro.ml.dataset import ArrayDataset, BatchSampler
 from repro.ml.rng import capture_rng_state, restore_rng_state
+from repro.quantum import engines as _engines
 from repro.quantum.kernels import prime_circuit_cache
 
 
 @dataclass(frozen=True)
 class TrainerConfig:
-    """Static training configuration (not part of the snapshot)."""
+    """Static training configuration (not part of the snapshot).
+
+    ``shard_workers`` >= 2 fans each step's gradient batch out across that
+    many shard worker processes (:mod:`repro.quantum.engines.sharding`); 0
+    or 1 forces in-process execution; ``None`` (the default) defers to the
+    ambient :func:`repro.quantum.engines.execution_scope` (e.g. the fleet
+    scheduler's per-job fan-out) and then ``QCKPT_SHARD_WORKERS``.  Sharded
+    and in-process gradients are bitwise identical, so the determinism
+    contract above is unaffected by the knob — it is pure wall-clock.
+    """
 
     batch_size: int = 8
     seed: int = 1234
     shots: Optional[int] = None
     capture_statevector: bool = False
+    shard_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
             raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.shots is not None and self.shots < 1:
             raise ConfigError(f"shots must be >= 1, got {self.shots}")
+        if self.shard_workers is not None and self.shard_workers < 0:
+            raise ConfigError(
+                f"shard_workers must be >= 0, got {self.shard_workers}"
+            )
 
 
 @dataclass(frozen=True)
@@ -85,6 +100,14 @@ class Trainer:
             # Warm the execution engine's matrix cache so the first step does
             # not pay cold builds for the ansatz's fixed/constant gates.
             prime_circuit_cache(ansatz, self.params)
+            if self.config.shard_workers is not None and self.config.shard_workers >= 2:
+                # Same warm-up inside each shard worker process: cold per-
+                # worker matrix caches would otherwise tax the first step.
+                from repro.quantum.engines import sharding
+
+                sharding.prime_worker_caches(
+                    ansatz, self.params, workers=self.config.shard_workers
+                )
         self.step_count = 0
         self.loss_history: List[float] = []
         self.wall_time = 0.0
@@ -97,9 +120,10 @@ class Trainer:
         batch = None
         if self.dataset is not None:
             batch = self.dataset.batch(self.sampler.next_batch())
-        loss, grads = self.model.loss_and_grad(
-            self.params, batch, shots=self.config.shots, rng=self.rng
-        )
+        with _engines.execution_scope(shard_workers=self.config.shard_workers):
+            loss, grads = self.model.loss_and_grad(
+                self.params, batch, shots=self.config.shots, rng=self.rng
+            )
         self.params = self.optimizer.step(self.params, grads)
         self.step_count += 1
         self.loss_history.append(float(loss))

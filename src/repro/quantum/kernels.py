@@ -50,6 +50,40 @@ Overrides = Dict[int, List[Tuple[int, float]]]
 
 
 # ---------------------------------------------------------------------------
+# Engine-tier binding
+# ---------------------------------------------------------------------------
+
+# The compiled kernel tier (repro.quantum.engines.compiled) installs its
+# ctypes facade here; hot kernels try it first and fall through to numpy when
+# it is absent or an array is not eligible.  Selection is lazy: the first
+# execution entry point resolves the QCKPT_ENGINE ladder via
+# repro.quantum.engines, so importing this module never triggers a C build.
+_COMPILED = None
+_engine_resolved = False
+
+
+def _set_compiled_kernels(lib) -> None:
+    """Install (or clear) the compiled kernel facade; marks the tier chosen."""
+    global _COMPILED, _engine_resolved
+    _COMPILED = lib
+    _engine_resolved = True
+
+
+def _reset_engine_binding() -> None:
+    """Forget the tier so the next execution re-resolves the ladder (tests)."""
+    global _COMPILED, _engine_resolved
+    _COMPILED = None
+    _engine_resolved = False
+
+
+def _ensure_engine() -> None:
+    if not _engine_resolved:
+        from repro.quantum import engines
+
+        engines.active_engine()
+
+
+# ---------------------------------------------------------------------------
 # Matrix caching
 # ---------------------------------------------------------------------------
 
@@ -70,12 +104,23 @@ def cached_derivative(gate: str, params: Tuple[float, ...], k: int) -> np.ndarra
     return matrix
 
 
-def cache_info() -> dict:
-    """Hit/miss statistics of the matrix and derivative caches."""
-    return {
+def cache_info(all_workers: bool = False) -> dict:
+    """Hit/miss statistics of the matrix and derivative caches.
+
+    ``all_workers=True`` additionally collects the same statistics from every
+    live gradient-shard worker process (keyed ``"workers"``: a list of
+    per-worker dicts), so tests can assert that cache priming actually
+    happened inside shards and memory tooling sees the whole footprint.
+    """
+    info = {
         "matrix": cached_matrix.cache_info()._asdict(),
         "derivative": cached_derivative.cache_info()._asdict(),
     }
+    if all_workers:
+        from repro.quantum.engines import sharding
+
+        info["workers"] = sharding.worker_cache_info()
+    return info
 
 
 # Other modules (e.g. the diagonal-sign cache in repro.quantum.observables)
@@ -88,12 +133,20 @@ def register_cache_clearer(clearer) -> None:
     _EXTRA_CACHE_CLEARERS.append(clearer)
 
 
-def clear_caches() -> None:
-    """Drop all engine caches (used by tests and memory-pressure tooling)."""
+def clear_caches(all_workers: bool = False) -> None:
+    """Drop all engine caches (used by tests and memory-pressure tooling).
+
+    ``all_workers=True`` also clears the caches of every live gradient-shard
+    worker process, so a memory-pressure drop reaches the whole fan-out.
+    """
     cached_matrix.cache_clear()
     cached_derivative.cache_clear()
     for clearer in _EXTRA_CACHE_CLEARERS:
         clearer()
+    if all_workers:
+        from repro.quantum.engines import sharding
+
+        sharding.clear_worker_caches()
 
 
 def prime_circuit_cache(circuit: Circuit, values: Sequence[float]) -> None:
@@ -145,6 +198,8 @@ def _apply_1q(
     state or a row-major batch (whose leading axis folds into the view), ``B``
     for an amplitude-major ``(2**n, B)`` batch.
     """
+    if _COMPILED is not None and _COMPILED.apply_1q(states, matrix, wire, n, tail):
+        return
     psi = states.reshape(-1, 1 << wire, 2, (1 << (n - wire - 1)) * tail)
     a = psi[:, :, 0, :]
     b = psi[:, :, 1, :]
@@ -164,10 +219,14 @@ def _apply_1q(
         np.multiply(b, m01, out=a)
         np.multiply(s0, m10, out=b)
         return
-    if psi.shape[-1] >= 64:
+    if tail == 1 and psi.shape[-1] >= 64:
         # General case, large contiguous inner blocks: one broadcast 2x2
         # matmul into scratch, then copy back.  zgemm on contiguous blocks
-        # beats the equivalent chain of strided ufunc passes.
+        # beats the equivalent chain of strided ufunc passes.  Restricted to
+        # tail == 1 (flat states, row-major batches): zgemm results are not
+        # invariant to the number of columns, and amplitude-major batches
+        # must produce bitwise-identical columns regardless of batch width
+        # so that gradient shards merge to exactly the single-process result.
         stacked = psi.reshape(-1, 2, psi.shape[-1])
         out = scratch[: states.size].reshape(stacked.shape)
         np.matmul(matrix, stacked, out=out)
@@ -262,6 +321,8 @@ def _apply_2q(
     tail: int = 1,
 ) -> None:
     """Apply a 4x4 matrix to ``wires`` in place (see :func:`_apply_1q`)."""
+    if _COMPILED is not None and _COMPILED.apply_2q(states, matrix, wires, n, tail):
+        return
     views = _two_qubit_views(states, wires, n, tail)
     nonzero = matrix != 0
     quarter = states.size >> 2
@@ -476,6 +537,11 @@ def apply_matrix_inplace(
     amplitude-major batches — a ``(B, 2**k, 2**k)`` stack of per-column
     matrices.
     """
+    # Resolve the engine tier here, not only in the batch entry points:
+    # direct callers (the adjoint sweep) must run on the same kernels as
+    # everything else, or gradient bits would depend on which code path
+    # happened to execute first in the process.
+    _ensure_engine()
     k = len(wires)
     if matrix.ndim == 3:
         if k == 1:
@@ -690,6 +756,7 @@ def run(
     operation occurrences (the shift-rule contract of
     :mod:`repro.autodiff._execute`).
     """
+    _ensure_engine()
     values = _check_values(circuit, params)
     batch_overrides = [overrides] if overrides else None
     stream = _stream_ops(circuit, values, batch_overrides=batch_overrides, fuse=fuse)
@@ -724,6 +791,7 @@ def run_batch(
     states, or the internal amplitude-major ``(2**n, B)`` array when
     ``columns`` is true.
     """
+    _ensure_engine()
     params_batch = np.asarray(params_batch, dtype=np.float64)
     if params_batch.ndim != 2 or params_batch.shape[1] < circuit.n_params:
         raise CircuitError(
@@ -759,6 +827,7 @@ def run_shifted_batch(
     ``(B, 2**n)`` row-major states, or amplitude-major ``(2**n, B)`` when
     ``columns`` is true.
     """
+    _ensure_engine()
     values = _check_values(circuit, params)
     dim = 1 << circuit.n_qubits
     if not batch_overrides:

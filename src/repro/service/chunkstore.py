@@ -32,12 +32,14 @@ from __future__ import annotations
 import json
 import threading
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.codecs import get_codec
+from repro.core.hashing import block_address_stream
 from repro.core.restore import (
     CONTENT_ADDRESS_PREFIX,
     BlockSpec,
@@ -486,6 +488,17 @@ class ChunkStore:
         naming it.  Every address this save will reference (new or deduped)
         is pinned in ``_inflight`` until the manifest lands, so a concurrent
         :meth:`gc` cannot sweep it out from underneath the commit.
+
+        Hashing makes one zero-copy pass per tensor: each block is a
+        ``memoryview`` slice of the serialized stream fed straight into the
+        address hash (:func:`repro.core.hashing.block_address_stream`), so no
+        per-block ``bytes`` copy exists before the dedup decision.  Encoding
+        is *pipelined*: a single packer thread speculatively compresses the
+        next likely-new block while this thread writes the current one, so
+        compression CPU overlaps backend I/O within one save.  Speculation is
+        a pure perf hint — a block that turns out to dedup just discards the
+        encode (``save.pipeline.wasted`` counts those, ``.speculated`` the
+        attempts).
         """
         _validate_job_id(job_id)
         meta, tensors = snapshot.to_payload()
@@ -496,6 +509,10 @@ class ChunkStore:
         physical = 0
         reserved: List[str] = []
         pinned: List[str] = []
+        # Speculative compress-ahead pays only when encoding costs CPU.
+        speculative = self.codec.name != "none"
+        packer: Optional[ThreadPoolExecutor] = None
+        futures: Dict[int, Future] = {}
 
         def pin(address: str) -> None:
             self._inflight[address] = self._inflight.get(address, 0) + 1
@@ -504,16 +521,41 @@ class ChunkStore:
         try:
             for name in sorted(tensors):
                 raw, dtype_token, shape = tensor_to_bytes(tensors[name])
+                pairs = list(
+                    block_address_stream(raw, self.block_bytes, self.codec.name)
+                )
+                futures.clear()
                 blocks = []
-                for start in range(0, max(len(raw), 1), self.block_bytes):
-                    piece = raw[start : start + self.block_bytes]
-                    address = chunk_name(piece, self.codec.name)
+                for idx, (piece, address) in enumerate(pairs):
+                    if speculative:
+                        for ahead in (idx, idx + 1):
+                            if ahead >= len(pairs) or ahead in futures:
+                                continue
+                            with self._lock:
+                                likely_new = (
+                                    self._known.get(pairs[ahead][1]) is None
+                                )
+                            if likely_new:
+                                if packer is None:
+                                    packer = ThreadPoolExecutor(
+                                        max_workers=1,
+                                        thread_name_prefix="qckpt-pack",
+                                    )
+                                futures[ahead] = packer.submit(
+                                    self.codec.encode, pairs[ahead][0]
+                                )
+                                self.metrics.counter(
+                                    "save.pipeline.speculated"
+                                ).inc()
                     n_blocks += 1
                     with self._lock:
                         pin(address)
+                    encoded = futures.pop(idx, None)
                     stored_nbytes, was_new = self._ensure_block(
-                        piece, address, reserved
+                        piece, address, reserved, encoded=encoded
                     )
+                    if encoded is not None and not was_new:
+                        self.metrics.counter("save.pipeline.wasted").inc()
                     if was_new:
                         n_new += 1
                         physical += stored_nbytes
@@ -567,6 +609,13 @@ class ChunkStore:
                         del self._known[address]
                 self._unpin(pinned)
             raise
+        finally:
+            # Unconsumed speculation (aborted save) must not keep views of
+            # the tensor stream alive or leave the packer thread behind.
+            for future in futures.values():
+                future.cancel()
+            if packer is not None:
+                packer.shutdown(wait=True)
         with self._lock:
             self._unpin(pinned)
             self.stats.chunks_written += n_new
@@ -588,7 +637,11 @@ class ChunkStore:
         )
 
     def _ensure_block(
-        self, piece: bytes, address: str, reserved: List[str]
+        self,
+        piece,
+        address: str,
+        reserved: List[str],
+        encoded: Optional[Future] = None,
     ) -> Tuple[int, bool]:
         """Make sure ``address`` holds ``piece``; returns ``(size, was_new)``.
 
@@ -598,6 +651,10 @@ class ChunkStore:
         writer fails, its rollback removes the reservation and the wait
         returns ``None``; we loop and claim the address ourselves (we hold
         the bytes in hand, so the failed peer must not fail us too).
+
+        ``piece`` is any bytes-like view of the block; ``encoded`` optionally
+        carries a speculative compress-ahead future whose result replaces the
+        inline ``codec.encode`` when this thread wins the claim.
         """
         while True:
             with self._lock:
@@ -614,7 +671,14 @@ class ChunkStore:
                     self.stats.chunks_deduped += 1
                     return int(stored_nbytes), False
             if claimed:
-                stored = self.codec.encode(piece)
+                if encoded is not None:
+                    stored = encoded.result()
+                else:
+                    stored = self.codec.encode(piece)
+                if not isinstance(stored, bytes):
+                    # The identity codec hands the input view back; the
+                    # backend must never hold a view aliasing a live tensor.
+                    stored = bytes(stored)
                 crash_point(CP_CHUNK_BEFORE_WRITE)
                 self.backend.write(address, stored)
                 crash_point(CP_CHUNK_AFTER_WRITE)

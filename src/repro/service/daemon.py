@@ -123,7 +123,9 @@ def _classifier_workload(params: Dict) -> Callable[[], object]:
     """Builtin workload: the moons variational classifier used everywhere.
 
     JSON-parameterized so submissions never carry code: ``qubits``,
-    ``layers``, ``lr``, ``samples``, ``batch_size``, ``seed``.
+    ``layers``, ``lr``, ``samples``, ``batch_size``, ``seed``,
+    ``gradient_method`` (``"parameter-shift"`` makes the job's gradients
+    shardable under ``FleetJobSpec.shard_workers``).
     """
     from repro.ml.dataset import make_moons
     from repro.ml.models import VariationalClassifier
@@ -137,9 +139,13 @@ def _classifier_workload(params: Dict) -> Callable[[], object]:
     samples = int(params.get("samples", 64))
     batch_size = int(params.get("batch_size", 8))
     seed = int(params.get("seed", 11))
+    gradient_method = str(params.get("gradient_method", "adjoint"))
 
     def make():
-        model = VariationalClassifier(hardware_efficient(qubits, layers))
+        model = VariationalClassifier(
+            hardware_efficient(qubits, layers),
+            gradient_method=gradient_method,
+        )
         dataset = make_moons(samples, np.random.default_rng(seed))
         return Trainer(
             model,
@@ -574,6 +580,7 @@ class FleetDaemon(JobLifecycle):
             save_on_start=bool(spec.get("save_on_start", True)),
             restore_mode=str(spec.get("restore_mode", "exact")),
             priority=int(spec.get("priority", 1)),
+            shard_workers=int(spec.get("shard_workers", 0)),
         )
         job = _JobRuntime(job_spec)
         # A re-submitted job id *resumes* its history: the fresh incarnation
@@ -739,19 +746,32 @@ class FleetDaemon(JobLifecycle):
             )
 
     def _op_metrics(self) -> Dict:
+        from repro.quantum import engines
+
         self._refresh_gauges()
         queues = {
             job_id: job.channel.pending
             for job_id, job in self._jobs.items()
             if job.channel is not None
         }
+        # Engine/shard series live in the process-global engines registry
+        # (one engine ladder per process, not per daemon); fold them into
+        # this daemon's snapshot so one metrics op shows both layers.  Names
+        # are disjoint (engine.* / shard.* vs store/pool/job series), so a
+        # plain concatenation keeps the snapshot well-formed.
+        snapshot = self.metrics.snapshot()
+        engine_series = engines.metrics_snapshot().get("series") or []
+        if engine_series:
+            snapshot["series"] = list(snapshot.get("series") or []) + list(
+                engine_series
+            )
         response: Dict = {
             "ok": True,
             "daemon_id": self.daemon_id,
             "state": self.state,
             "tick": self.tick,
             "epoch": self.metrics.epoch,
-            "metrics": self.metrics.snapshot(),
+            "metrics": snapshot,
             "dedup_ratio": self.store.stats.dedup_ratio,
             "active_jobs": self._active_jobs(),
             "queues": queues,

@@ -123,6 +123,14 @@ class FleetJobSpec:
     :class:`FleetHarness` advances every job each tick regardless (its
     cadence is the experiment, not a contended resource), so the weight
     only shapes daemon scheduling.
+
+    ``shard_workers`` >= 2 fans this job's gradient batches out across that
+    many shard worker processes (:mod:`repro.quantum.engines.sharding`) by
+    wrapping every training step in the ambient execution scope; 0 (the
+    default) sets no scope, leaving the trainer config / environment
+    resolution in effect.  A trainer whose own config sets the knob
+    explicitly overrides the spec.  Sharded gradients are bitwise identical
+    to in-process ones, so the fleet's determinism guarantees are unchanged.
     """
 
     job_id: str
@@ -135,6 +143,7 @@ class FleetJobSpec:
     save_on_start: bool = True
     restore_mode: str = "exact"
     priority: int = 1
+    shard_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.target_steps < 1:
@@ -157,6 +166,10 @@ class FleetJobSpec:
         if self.priority < 1:
             raise ConfigError(
                 f"priority must be >= 1, got {self.priority}"
+            )
+        if self.shard_workers < 0:
+            raise ConfigError(
+                f"shard_workers must be >= 0, got {self.shard_workers}"
             )
 
 
@@ -337,7 +350,12 @@ class JobLifecycle:
 
     def _advance_job(self, job: _JobRuntime, tick: int) -> bool:
         """One training step for a running job; returns whether it finished."""
-        info = job.trainer.train_step()
+        from repro.quantum import engines
+
+        with engines.execution_scope(
+            shard_workers=job.spec.shard_workers or None
+        ):
+            info = job.trainer.train_step()
         job.result.steps_executed += 1
         job.manager.on_step_end(job.trainer, info)
         if job.trainer.step_count >= job.spec.target_steps:

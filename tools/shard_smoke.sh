@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Gradient-sharding smoke test, run by the CI ``engines`` matrix job.
+#
+# Computes a parameter-shift gradient with a 2-worker shard pool under the
+# engine tier named by $QCKPT_ENGINE (default: auto) and asserts, in order:
+#
+#   1. the sharded gradient is bitwise identical to the single-process one;
+#   2. MORE THAN ONE worker process actually executed shifts — proven by
+#      distinct worker PIDs (none of them this process) whose primed matrix
+#      caches saw hits, not by trusting the fan-out counter alone;
+#   3. the ``shard.shifts`` counter accounts for every shifted execution.
+#
+# Run locally from the repo root:  bash tools/shard_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+export QCKPT_ENGINE="${QCKPT_ENGINE:-auto}"
+
+echo "== shard smoke under QCKPT_ENGINE=$QCKPT_ENGINE"
+python - <<'PY'
+import os
+
+import numpy as np
+
+from repro.autodiff.parameter_shift import (
+    parameter_shift_gradient,
+    shift_rule_evaluations,
+)
+from repro.quantum import engines
+from repro.quantum import kernels
+from repro.quantum.engines import sharding
+from repro.quantum.observables import Hamiltonian
+from repro.quantum.templates import hardware_efficient, initial_parameters
+
+WORKERS = 2
+
+info = engines.engine_info()
+print(f"   engine tier: {info['active']} "
+      f"(compiled_available={info['compiled_available']}, "
+      f"reason={info['compiled_reason']!r})")
+
+circuit = hardware_efficient(6, 3)
+params = initial_parameters(circuit, np.random.default_rng(0), 0.8)
+observable = Hamiltonian.transverse_field_ising(6, 1.0, 0.7)
+evaluations = shift_rule_evaluations(circuit)
+
+single = parameter_shift_gradient(circuit, params, observable)
+sharding.prime_worker_caches(circuit, params, workers=WORKERS)
+sharded = parameter_shift_gradient(
+    circuit, params, observable, shard_workers=WORKERS
+)
+assert np.array_equal(single, sharded), "sharded gradient is not bitwise identical"
+print(f"   bitwise parity: OK ({len(params)} params, {evaluations} shifted executions)")
+
+workers = kernels.cache_info(all_workers=True).get("workers", [])
+active = [w for w in workers if w["matrix"]["hits"] + w["matrix"]["misses"] > 0]
+pids = {w["pid"] for w in active}
+assert os.getpid() not in pids, "worker pool reported the parent process"
+assert len(pids) > 1, (
+    f"expected >1 worker process to execute shifts, saw pids={sorted(pids)}"
+)
+print(f"   worker fan-out: OK ({len(pids)} distinct worker processes: {sorted(pids)})")
+
+shifts = engines.METRICS.counter("shard.shifts").value
+assert shifts >= evaluations, (
+    f"shard.shifts={shifts} below the {evaluations} shifted executions"
+)
+print(f"   shard.shifts counter: OK ({shifts} >= {evaluations})")
+
+sharding.shutdown_default()
+PY
+
+echo "== shard smoke passed"
