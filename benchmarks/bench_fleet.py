@@ -51,6 +51,14 @@ Three experiments, all written to ``BENCH_fleet.json`` at the repo root:
    recording every span) vs fully disabled (``enabled=False`` registry,
    no sink).  Best-of-N wall time per leg; the instrumented/disabled
    ratio must stay ≤ 1.05 — telemetry may not tax the hot path.
+
+9. **Metadata index** — discovery-path latency on synthetic on-disk
+   stores of 1k and 10k manifest objects: per-job
+   ``latest``/``has_checkpoints`` and fleet ``jobs()`` scanned (no
+   index, every probe lists the store) vs indexed (one SQLite point
+   query), plus the one-time index build cost and the placement-journal
+   open with a 1k-record fold scanned vs suffix-caught-up.  The indexed
+   discovery queries on the 10k store must be ≥10x faster than scanning.
 """
 
 import json
@@ -1221,3 +1229,205 @@ def test_fault_storm_retry_recovery(report):
         ]
     )
     report("Fleet service: fault storm through the reliability layer", table)
+
+
+# ---------------------------------------------------------------------------
+# Metadata index: discovery latency, scanned vs indexed
+# ---------------------------------------------------------------------------
+
+# (jobs, checkpoints per job): 1k- and 10k-manifest-object stores.
+INDEX_STORE_SHAPES = ((100, 10), (200, 50))
+INDEX_PROBE_JOBS = 50  # per-job latest/has_checkpoints probes per leg
+INDEX_JOURNAL_RECORDS = 1_000
+# Indexed discovery on the 10k store must beat scanning by this much.
+INDEX_SPEEDUP_TARGET = 10.0
+
+
+def _write_synthetic_store(
+    root: Path, n_jobs: int, ckpts_per_job: int, codec: str
+) -> None:
+    """``n_jobs * ckpts_per_job`` manifests, written straight to disk.
+
+    The manifests are real (version, codec, tensors/blocks) so both the
+    scanning and the reconciling open parse them; the chunks they cite are
+    never written because the discovery path under test never reads data.
+    """
+    from repro.service.chunkstore import MANIFEST_VERSION
+    from repro.storage.local import LocalDirectoryBackend
+
+    backend = LocalDirectoryBackend(root, fsync=False)
+    for j in range(n_jobs):
+        job_id = f"job{j:05d}"
+        for seq in range(1, ckpts_per_job + 1):
+            manifest = {
+                "version": MANIFEST_VERSION,
+                "job": job_id,
+                "ckpt_id": f"ckpt-{seq:06d}",
+                "step": seq,
+                "created": 1.0 + j + seq,
+                "codec": codec,
+                "meta": {},
+                "tensors": [
+                    {
+                        "name": "params",
+                        "dtype": "<f8",
+                        "shape": [8],
+                        "blocks": [
+                            {
+                                "chunk": f"ch-{j * 1000 + seq:032x}",
+                                "raw_nbytes": 64,
+                                "stored_nbytes": 64,
+                            }
+                        ],
+                    }
+                ],
+                "extra": {},
+            }
+            backend.write(
+                f"job-{job_id}-ckpt-{seq:06d}.json",
+                json.dumps(manifest, sort_keys=True).encode("utf-8"),
+            )
+
+
+def _probe_discovery(store, job_ids, newest: str) -> float:
+    """Wall seconds for the daemon-shaped discovery loop: per-job
+    resumability probe + newest checkpoint, then the fleet job list."""
+    started = time.perf_counter()
+    for job_id in job_ids:
+        assert store.has_checkpoints(job_id)
+        assert store.latest(job_id) == newest
+    assert len(store.jobs()) > 0
+    return time.perf_counter() - started
+
+
+def test_metadata_index_discovery_latency(report, tmp_path):
+    """Indexed discovery must beat store scans ≥10x at 10k jobs.
+
+    Without the index every ``latest``/``has_checkpoints`` probe lists the
+    store (O(objects) per probe); with it each probe is one SQLite point
+    query against the ``.qckpt-meta.db`` sidecar.  Also measured: the
+    one-time index build (first indexed open reconciles every manifest),
+    the warm reopen (names-only diff), and the placement-journal open with
+    a 1k-record history — full file fold vs suffix catch-up from the
+    stored high-water mark.
+    """
+    from repro.storage.local import LocalDirectoryBackend
+    from repro.storage.metadb import DB_FILENAME, MetaDB
+    from repro.storage.placement import PlacementJournal
+
+    codec = ChunkStore(InMemoryBackend()).codec.name
+    rows = {}
+    for n_jobs, ckpts_per_job in INDEX_STORE_SHAPES:
+        n_objects = n_jobs * ckpts_per_job
+        root = tmp_path / f"store-{n_objects}"
+        _write_synthetic_store(root, n_jobs, ckpts_per_job, codec)
+        newest = f"ckpt-{ckpts_per_job:06d}"
+        stride = max(1, n_jobs // INDEX_PROBE_JOBS)
+        probes = [f"job{j:05d}" for j in range(0, n_jobs, stride)]
+        probes = probes[:INDEX_PROBE_JOBS]
+
+        backend = LocalDirectoryBackend(root, fsync=False)
+        started = time.perf_counter()
+        scanned = ChunkStore(backend)
+        scan_open = time.perf_counter() - started
+        scan_probe = _probe_discovery(scanned, probes, newest)
+
+        db_path = root / DB_FILENAME
+        started = time.perf_counter()
+        db = MetaDB(db_path)
+        indexed = ChunkStore(LocalDirectoryBackend(root, fsync=False),
+                             metadb=db)
+        index_build = time.perf_counter() - started
+        indexed_probe = _probe_discovery(indexed, probes, newest)
+        db.close()
+
+        started = time.perf_counter()
+        reopened = ChunkStore(
+            LocalDirectoryBackend(root, fsync=False), metadb=MetaDB(db_path)
+        )
+        warm_open = time.perf_counter() - started
+        assert reopened.jobs() == scanned.jobs()
+
+        rows[str(n_objects)] = {
+            "jobs": n_jobs,
+            "checkpoints_per_job": ckpts_per_job,
+            "probes": len(probes),
+            "scan_open_seconds": scan_open,
+            "scan_probe_seconds": scan_probe,
+            "index_build_seconds": index_build,
+            "indexed_probe_seconds": indexed_probe,
+            "warm_reopen_seconds": warm_open,
+            "probe_speedup": scan_probe / indexed_probe,
+        }
+
+    # Placement journal: 1k-record fold, scanned vs suffix catch-up.
+    jroot = tmp_path / "journal"
+    jbackend = LocalDirectoryBackend(jroot, fsync=False)
+    for seq in range(1, INDEX_JOURNAL_RECORDS + 1):
+        record = {
+            "version": 1,
+            "seq": seq,
+            "owner": "bench",
+            "ts": float(seq),
+            "op": "pin",
+            "name": f"job-pinned-ckpt-{seq % 40:06d}.json",
+        }
+        jbackend.write(
+            f"plj-{seq:08d}-bench.json",
+            json.dumps(record, sort_keys=True).encode("utf-8"),
+        )
+    started = time.perf_counter()
+    PlacementJournal(jbackend, owner="scan", refresh_seconds=0.0)
+    journal_scan_open = time.perf_counter() - started
+    jdb_path = jroot / DB_FILENAME
+    started = time.perf_counter()
+    first = PlacementJournal(
+        jbackend, owner="build", refresh_seconds=0.0, metadb=MetaDB(jdb_path)
+    )
+    journal_build_open = time.perf_counter() - started
+    first._db.close()
+    started = time.perf_counter()
+    PlacementJournal(
+        jbackend, owner="warm", refresh_seconds=0.0, metadb=MetaDB(jdb_path)
+    )
+    journal_warm_open = time.perf_counter() - started
+
+    largest = INDEX_STORE_SHAPES[-1][0] * INDEX_STORE_SHAPES[-1][1]
+    speedup_10k = rows[str(largest)]["probe_speedup"]
+    payload = {
+        "probe_jobs": INDEX_PROBE_JOBS,
+        "stores": rows,
+        "journal_records": INDEX_JOURNAL_RECORDS,
+        "journal_scan_open_seconds": journal_scan_open,
+        "journal_index_build_open_seconds": journal_build_open,
+        "journal_warm_open_seconds": journal_warm_open,
+        "speedup_target": INDEX_SPEEDUP_TARGET,
+        "probe_speedup_10k": speedup_10k,
+    }
+    _write_json("metadata_index", payload)
+
+    table = "\n".join(
+        [
+            f"{'objects':<10} {'scan probe (s)':>15} {'indexed (s)':>12} "
+            f"{'speedup':>9} {'build (s)':>10} {'warm (s)':>9}"
+        ]
+        + [
+            f"{n:<10} {row['scan_probe_seconds']:>15.4f} "
+            f"{row['indexed_probe_seconds']:>12.4f} "
+            f"{row['probe_speedup']:>8.1f}x "
+            f"{row['index_build_seconds']:>10.3f} "
+            f"{row['warm_reopen_seconds']:>9.3f}"
+            for n, row in rows.items()
+        ]
+        + [
+            f"{'journal open (1k records)':<26} "
+            f"scan {journal_scan_open:.3f}s   build {journal_build_open:.3f}s"
+            f"   warm {journal_warm_open:.3f}s",
+        ]
+    )
+    report("Fleet service: metadata-index discovery latency", table)
+
+    assert speedup_10k >= INDEX_SPEEDUP_TARGET, (
+        f"indexed discovery {speedup_10k:.1f}x below the "
+        f"{INDEX_SPEEDUP_TARGET}x target on the 10k-job store"
+    )

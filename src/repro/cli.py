@@ -483,11 +483,102 @@ def cmd_scrub(args: argparse.Namespace) -> int:
 def cmd_fsck(args: argparse.Namespace) -> int:
     from repro.service.scrub import scrub_store
 
+    if args.index:
+        return _fsck_index(args)
     # fsck observes without mutating — no registry write-back either.
     backend = _scrub_backend(args.store)
     report = scrub_store(backend, repair=False)
     print(report.summary())
     return 0 if report.clean else 1
+
+
+def _fsck_index(args: argparse.Namespace) -> int:
+    """Verify the metadata index agrees with the files it caches.
+
+    The index is caught up first (suffix fold, manifest reconcile — exactly
+    what any indexed open does), then every row is compared against a full
+    read of the files.  A disagreement that survives catch-up means the
+    index code is wrong or the .db belongs to another store; the runbook
+    fix is always the same — delete the .db, it rebuilds.
+    """
+    from repro.service.chunkstore import ChunkStore, _parse_manifest_name
+    from repro.storage.metadb import DB_FILENAME, MetaDB, manifest_index_row
+    from repro.storage.placement import PlacementJournal
+
+    import uuid
+
+    db_path = Path(args.store[0]) / DB_FILENAME
+    if not db_path.exists():
+        print(
+            f"index: no {DB_FILENAME} under {args.store[0]} — nothing to "
+            "verify (an indexed open creates and populates it)"
+        )
+        return 0
+    db = MetaDB(db_path)
+    mismatches = []
+    if db.discarded_previous:
+        mismatches.append(
+            "index file was corrupt or version-mismatched; it has been "
+            "discarded and recreated empty"
+        )
+    backend = _scrub_backend(args.store)
+    store = ChunkStore(backend, metadb=db)  # reconciles rows on open
+    manifests = 0
+    listed = set()
+    for object_name in backend.list("job-"):
+        job_id, _ = _parse_manifest_name(object_name)
+        if job_id is None:
+            continue
+        listed.add(object_name)
+        try:
+            manifest = store._read_manifest(object_name)
+        except ReproError:
+            continue  # damaged manifests are fsck's (not --index's) business
+        manifests += 1
+        row = manifest_index_row(object_name, manifest)
+        if object_name not in db.manifest_objects():
+            mismatches.append(f"manifest {object_name} missing from index")
+        elif row is not None and db.manifest_refs(object_name) != dict(row[6]):
+            mismatches.append(
+                f"chunk refs of {object_name} diverge between index and file"
+            )
+    for object_name in sorted(db.manifest_objects() - listed):
+        mismatches.append(f"index row for deleted manifest {object_name}")
+    records = 0
+    journal_dir = Path(args.store[0]) / "placement"
+    if journal_dir.is_dir():
+        journal_backend = LocalDirectoryBackend(journal_dir)
+        oracle = PlacementJournal(
+            journal_backend, owner=f"fsck-{uuid.uuid4().hex[:8]}"
+        )
+        indexed = PlacementJournal(
+            journal_backend,
+            owner=f"fsck-{uuid.uuid4().hex[:8]}",
+            metadb=db,
+        )
+        records = len(oracle.records())
+        if indexed.pinned_names() != oracle.pinned_names():
+            mismatches.append(
+                f"indexed pin fold {sorted(indexed.pinned_names())} != "
+                f"file-journal fold {sorted(oracle.pinned_names())}"
+            )
+        for role in sorted(set(oracle._leases) | set(indexed._leases)):
+            if indexed.lease_holder(role) != oracle.lease_holder(role):
+                mismatches.append(
+                    f"lease {role!r}: index holder "
+                    f"{indexed.lease_holder(role)!r} != file fold "
+                    f"{oracle.lease_holder(role)!r}"
+                )
+    for line in mismatches:
+        print(f"index MISMATCH: {line}")
+    verdict = "FAILED" if mismatches else "OK"
+    print(
+        f"index {verdict}: {manifests} manifest(s), {records} journal "
+        f"record(s) verified against {db_path}"
+    )
+    if mismatches:
+        print("recovery: delete the .db file; it rebuilds on the next open")
+    return 1 if mismatches else 0
 
 
 def _hist_quantile(record: dict, q: float) -> float:
@@ -879,6 +970,7 @@ def cmd_daemon_start(args: argparse.Namespace) -> int:
     from repro.reliability import CircuitBreaker, RetryPolicy
     from repro.service import ChunkStore, DaemonConfig, FleetDaemon, WriterPool
     from repro.storage.memory import InMemoryBackend
+    from repro.storage.metadb import metadb_for_dir
     from repro.storage.placement import PlacementJournal
     from repro.storage.reliable import ReliableBackend
     from repro.storage.sharded import ShardedBackend
@@ -902,10 +994,19 @@ def cmd_daemon_start(args: argparse.Namespace) -> int:
         for i in range(args.shards)
     ]
     backend = shards[0] if args.shards == 1 else ShardedBackend(shards)
+    # Optional metadata index sidecar (QCKPT_METADB=1 or --index): one
+    # SQLite file at the store root shared by the journal fold, manifest
+    # discovery, and the daemon's job registry.  Files stay the truth —
+    # delete the .db and it rebuilds on the next open.
+    metadb = metadb_for_dir(
+        store_dir, metrics=registry, enabled=True if args.index else None
+    )
     journal = None
     if args.fast_bytes > 0:
         journal = PlacementJournal(
-            LocalDirectoryBackend(store_dir / "placement"), owner=daemon_id
+            LocalDirectoryBackend(store_dir / "placement"),
+            owner=daemon_id,
+            metadb=metadb,
         )
         backend = TieredBackend(
             InMemoryBackend(),
@@ -929,6 +1030,7 @@ def cmd_daemon_start(args: argparse.Namespace) -> int:
         block_bytes=args.block_bytes,
         placement_journal=journal,
         metrics=registry,
+        metadb=metadb,
     )
     pool = WriterPool(workers=args.workers, metrics=registry)
     config = DaemonConfig(
@@ -1217,6 +1319,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fsck.add_argument(
         "store", nargs="+", help="chunk-store directory (or its replicas)"
     )
+    p_fsck.add_argument(
+        "--index",
+        action="store_true",
+        help="verify the metadata index (.qckpt-meta.db) agrees with the "
+        "journal/manifest files instead of checking content copies",
+    )
     p_fsck.set_defaults(func=cmd_fsck)
 
     p_stats = sub.add_parser("stats", help="aggregate store statistics")
@@ -1475,6 +1583,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--daemon-id",
         default=None,
         help="stable identity for heartbeats and placement-journal leases",
+    )
+    d_start.add_argument(
+        "--index",
+        action="store_true",
+        help="keep a SQLite metadata index (.qckpt-meta.db) at the store "
+        "root so discovery, journal folds and job status are point "
+        "queries (also enabled by QCKPT_METADB=1; files stay the truth)",
     )
     d_start.add_argument(
         "--retries",

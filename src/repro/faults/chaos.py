@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
@@ -53,6 +55,7 @@ from repro.service.daemon import (
 from repro.service.pool import WriterPool
 from repro.service.scrub import scrub_store
 from repro.storage.memory import InMemoryBackend
+from repro.storage.metadb import DB_FILENAME, MetaDB
 from repro.storage.placement import PlacementJournal
 from repro.storage.replicated import ReplicatedBackend
 
@@ -331,6 +334,85 @@ def _scenario_scrub(point: str) -> CrashPointResult:
     return CrashPointResult(point, True, violations)
 
 
+def _scenario_metadb(point: str) -> CrashPointResult:
+    """Kill around the journal-append → index-update barriers.
+
+    Invariant: journal records are durable before the index is touched, so
+    a reopened index — whatever half-state the kill left it in — must fold
+    to exactly the state a fresh, index-less reader folds from the files
+    (the recovery oracle).
+    """
+    backend = InMemoryBackend()
+    with tempfile.TemporaryDirectory(prefix="qckpt-chaos-metadb-") as tmp:
+        db_path = os.path.join(tmp, DB_FILENAME)
+        journal = PlacementJournal(
+            backend,
+            owner="chaos-a",
+            refresh_seconds=0.0,
+            metadb=MetaDB(db_path),
+        )
+        journal.pin("job-base")
+        reopen_path = db_path
+        if point.startswith("metadb.journal."):
+            action = lambda: journal.pin("job-target")  # noqa: E731
+        elif point.startswith("metadb.rebuild."):
+            journal.pin("job-target")
+            # A reader bootstrapping a brand-new index file runs the
+            # rebuild-from-scratch fold; killing it must leave that index
+            # empty-or-absent, never half-trusted.
+            reopen_path = os.path.join(tmp, "fresh-" + DB_FILENAME)
+            action = lambda: PlacementJournal(  # noqa: E731
+                backend,
+                owner="chaos-b",
+                refresh_seconds=0.0,
+                metadb=MetaDB(reopen_path),
+            )
+        else:  # metadb.vacuum.*
+            journal.pin("job-target")
+            journal.acquire_lease("warm")
+            journal.release_lease("warm")
+            action = journal.compact
+        miss = _trigger(point, action)
+        if miss:
+            return CrashPointResult(point, False, [miss])
+
+        violations: List[str] = []
+        oracle = PlacementJournal(
+            backend, owner="chaos-oracle", refresh_seconds=0.0
+        )
+        try:
+            reopened = PlacementJournal(
+                backend,
+                owner="chaos-r",
+                refresh_seconds=0.0,
+                metadb=MetaDB(reopen_path),
+            )
+        except Exception as exc:  # noqa: BLE001 - reopen must never fail
+            return CrashPointResult(
+                point, True, [f"indexed reopen failed after crash: {exc!r}"]
+            )
+        if reopened.pinned_names() != oracle.pinned_names():
+            violations.append(
+                f"indexed fold diverged from file-journal oracle: "
+                f"{sorted(reopened.pinned_names())} != "
+                f"{sorted(oracle.pinned_names())}"
+            )
+        for role in ("warm", "compact"):
+            if reopened.lease_holder(role) != oracle.lease_holder(role):
+                violations.append(
+                    f"lease {role!r} holder diverged from oracle after crash"
+                )
+        reopened.pin("job-target")  # the retried operation must converge
+        verify = PlacementJournal(
+            backend, owner="chaos-v", refresh_seconds=0.0
+        )
+        if verify.pinned_names() != reopened.pinned_names():
+            violations.append(
+                "post-reopen pin not visible to an index-less reader"
+            )
+        return CrashPointResult(point, True, violations)
+
+
 _SCENARIOS = [
     ("chunkstore.", _scenario_chunkstore),
     ("corestore.", _scenario_corestore),
@@ -338,6 +420,7 @@ _SCENARIOS = [
     ("placement.compact.", _scenario_placement_compact),
     ("daemon.", _scenario_daemon),
     ("scrub.", _scenario_scrub),
+    ("metadb.", _scenario_metadb),
 ]
 
 

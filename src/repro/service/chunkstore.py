@@ -277,6 +277,7 @@ class ChunkStore:
         placement_journal=None,
         retry=None,
         metrics: Optional[MetricsRegistry] = None,
+        metadb=None,
     ):
         if block_bytes < 64:
             raise ConfigError(f"block_bytes must be >= 64, got {block_bytes}")
@@ -290,6 +291,13 @@ class ChunkStore:
         # "rebalance" lease, so two daemons sharing this store never demote
         # the same chunk set concurrently.
         self.placement_journal = placement_journal
+        # Optional repro.storage.metadb.MetaDB: manifest headers and chunk
+        # refs are mirrored there (files written first, index second) so
+        # discovery, latest_valid and gc's liveness set become point
+        # queries.  Every process sharing the backend must share the index
+        # file too; the index is reconciled against the file listing on
+        # open and any miss falls back to the scan.
+        self.metadb = metadb
         # retry: an optional repro.reliability.RetryPolicy — restores retry
         # transient fetch failures and refetch blocks that fail verification.
         self._executor = RestoreExecutor(
@@ -320,11 +328,39 @@ class ChunkStore:
         checkpoints instead of letting the re-save heal it.
         """
         present = set(self.backend.list(CHUNK_PREFIX))
+        listed: Dict[str, int] = {}
         for object_name in self.backend.list("job-"):
             job_id, seq = _parse_manifest_name(object_name)
             if job_id is None:
                 continue
+            listed[object_name] = seq
             self._next_seq[job_id] = max(self._next_seq.get(job_id, 1), seq + 1)
+        if self.metadb is not None:
+            # Index-assisted adopt: reconcile rows against the name listing
+            # (reading only manifests the index does not know), then pull
+            # the dedup map out of one query instead of O(store) reads.
+            try:
+                self._reconcile_index(set(listed))
+                for chunk, nbytes in self.metadb.chunk_sizes(
+                    self.codec.name
+                ).items():
+                    if chunk in present:
+                        self._known[chunk] = int(nbytes)
+            except StorageError:
+                self._adopt_by_scan(listed, present)
+        else:
+            self._adopt_by_scan(listed, present)
+        # Re-establish hot placement: each job's newest manifest goes back
+        # onto the fast tier of whatever shard holds it.
+        for job_id in list(self._next_seq):
+            names = self.manifest_names(job_id)
+            if names:
+                self._pin_manifest(names[-1])
+
+    def _adopt_by_scan(self, listed: Dict[str, int], present: set) -> None:
+        """Read every manifest to rebuild the dedup index (no metadata
+        index, or the index failed — the files are always enough)."""
+        for object_name in listed:
             try:
                 manifest = self._read_manifest(object_name)
             except ReproError:
@@ -337,12 +373,25 @@ class ChunkStore:
                         self._known[block["chunk"]] = int(
                             block["stored_nbytes"]
                         )
-        # Re-establish hot placement: each job's newest manifest goes back
-        # onto the fast tier of whatever shard holds it.
-        for job_id in list(self._next_seq):
-            names = self.manifest_names(job_id)
-            if names:
-                self._pin_manifest(names[-1])
+
+    def _reconcile_index(self, listed: set) -> None:
+        """Make the index's manifest rows agree with the backend listing.
+
+        Rows whose file is gone are deleted; listed manifests the index
+        does not know are read (only the delta) and inserted.  Damaged
+        manifests stay out of the index, matching the recovery path.
+        """
+        from repro.storage.metadb import index_manifest
+
+        known_rows = self.metadb.manifest_objects()
+        for object_name in known_rows - listed:
+            self.metadb.delete_manifest(object_name)
+        for object_name in sorted(listed - known_rows):
+            try:
+                manifest = self._read_manifest(object_name)
+            except ReproError:
+                continue
+            index_manifest(self.metadb, object_name, manifest)
 
     # -- tier-aware placement ---------------------------------------------------
 
@@ -597,6 +646,15 @@ class ChunkStore:
             crash_point(CP_MANIFEST_BEFORE_WRITE)
             self.backend.write(object_name, manifest_bytes)
             crash_point(CP_MANIFEST_AFTER_WRITE)
+            if self.metadb is not None:
+                # Manifest first, index second: a crash here leaves the
+                # index behind, and reconcile-on-open reads the delta.
+                from repro.storage.metadb import index_manifest
+
+                try:
+                    index_manifest(self.metadb, object_name, manifest)
+                except StorageError:
+                    pass
             self._pin_manifest(object_name)
         except BaseException:
             # Roll back reservations that never published: concurrent
@@ -728,6 +786,15 @@ class ChunkStore:
 
     def jobs(self) -> List[str]:
         """Job ids with at least one committed checkpoint."""
+        if self.metadb is not None:
+            try:
+                jobs = self.metadb.jobs()
+            except StorageError:
+                jobs = []
+            if jobs:
+                return jobs
+            # Empty index: fall through to the scan (a stale index must
+            # never hide checkpoints; an empty store scans for free).
         found = set()
         for object_name in self.backend.list("job-"):
             job_id, _ = _parse_manifest_name(object_name)
@@ -738,7 +805,26 @@ class ChunkStore:
     def manifest_names(self, job_id: str) -> List[str]:
         """Manifest object names of ``job_id`` in commit (sequence) order."""
         _validate_job_id(job_id)
+        if self.metadb is not None:
+            try:
+                names = self.metadb.manifest_names(job_id)
+            except StorageError:
+                names = []
+            if names:
+                return names
         return self.backend.list(f"job-{job_id}-ckpt-")
+
+    def has_checkpoints(self, job_id: str) -> bool:
+        """Whether ``job_id`` has at least one committed checkpoint — the
+        daemon's resumability probe, one point query under an index."""
+        _validate_job_id(job_id)
+        if self.metadb is not None:
+            try:
+                if self.metadb.has_manifests(job_id):
+                    return True
+            except StorageError:
+                pass
+        return bool(self.backend.list(f"job-{job_id}-ckpt-"))
 
     def latest(self, job_id: str) -> Optional[str]:
         """Newest checkpoint id of ``job_id`` (highest sequence).
@@ -937,7 +1023,13 @@ class ChunkStore:
     def delete_checkpoint(self, job_id: str, ckpt_id: str) -> None:
         """Drop one manifest (manifest first; chunks go at the next gc)."""
         _validate_job_id(job_id)
-        self.backend.delete(f"job-{job_id}-{ckpt_id}.json")
+        object_name = f"job-{job_id}-{ckpt_id}.json"
+        self.backend.delete(object_name)
+        if self.metadb is not None:
+            try:
+                self.metadb.delete_manifest(object_name)
+            except StorageError:
+                pass
 
     def _manifest_references(self, object_name: str) -> set:
         """Chunk addresses one manifest pins (empty if unreadable)."""
@@ -977,7 +1069,17 @@ class ChunkStore:
                 names = self.manifest_names(job_id)
                 for object_name in names[:-keep_last_per_job]:
                     self.backend.delete(object_name)
+                    if self.metadb is not None:
+                        try:
+                            self.metadb.delete_manifest(object_name)
+                        except StorageError:
+                            pass
                     deleted_manifests += 1
+        if self.metadb is not None:
+            try:
+                return self._gc_sweep_indexed(deleted_manifests)
+            except StorageError:
+                pass  # index failed: the scan below is always correct
         # Phase 1 (unlocked): scan every surviving manifest.
         scanned = set()
         referenced = set()
@@ -995,22 +1097,47 @@ class ChunkStore:
                     continue
                 # Committed while we were scanning: read the small delta.
                 referenced.update(self._manifest_references(object_name))
-            # Chunks a concurrent save has written (or will reference) but
-            # not yet named in a manifest are live, not orphans.
-            referenced.update(self._inflight)
-            deleted_chunks = 0
-            deleted_bytes = 0
-            for address in self.backend.list(CHUNK_PREFIX):
-                if address not in referenced:
-                    deleted_bytes += self.backend.size(address)
-                    self.backend.delete(address)
-                    self._known.pop(address, None)
-                    deleted_chunks += 1
+            deleted_chunks, deleted_bytes = self._sweep_chunks(referenced)
         return {
             "manifests": deleted_manifests,
             "chunks": deleted_chunks,
             "bytes": deleted_bytes,
         }
+
+    def _gc_sweep_indexed(self, deleted_manifests: int) -> Dict[str, int]:
+        """Liveness via the metadata index: reconcile rows against the
+        listing (reading only the delta), then one query for the referenced
+        set — no manifest walk."""
+        with self._lock:
+            listed = set()
+            for object_name in self.backend.list("job-"):
+                job_id, _ = _parse_manifest_name(object_name)
+                if job_id is not None:
+                    listed.add(object_name)
+            self._reconcile_index(listed)
+            referenced = self.metadb.live_chunks()
+            deleted_chunks, deleted_bytes = self._sweep_chunks(referenced)
+        return {
+            "manifests": deleted_manifests,
+            "chunks": deleted_chunks,
+            "bytes": deleted_bytes,
+        }
+
+    def _sweep_chunks(self, referenced: set) -> Tuple[int, int]:
+        """Delete unreferenced chunks (caller holds the lock)."""
+        # Chunks a concurrent save has written (or will reference) but
+        # not yet named in a manifest are live, not orphans.
+        referenced = set(referenced)
+        referenced.update(self._inflight)
+        deleted_chunks = 0
+        deleted_bytes = 0
+        for address in self.backend.list(CHUNK_PREFIX):
+            if address not in referenced:
+                deleted_bytes += self.backend.size(address)
+                self.backend.delete(address)
+                self._known.pop(address, None)
+                deleted_chunks += 1
+        return deleted_chunks, deleted_bytes
 
     def total_physical_bytes(self) -> int:
         """Bytes held by chunk objects currently in the backend."""

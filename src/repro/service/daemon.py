@@ -400,11 +400,39 @@ class FleetDaemon(JobLifecycle):
     def _read_meta(self) -> Optional[Dict]:
         return _read_control_meta(self.control)
 
+    def _sync_job_registry(self) -> None:
+        """Mirror the job table into the metadata index's registry rows.
+
+        Best-effort (the index is a cache): with rows in place, ``status``
+        against a 10k-job store is one ``COUNT``/``SELECT`` instead of
+        deserializing every job's history out of daemon.json.
+        """
+        db = getattr(self.store, "metadb", None)
+        if db is None:
+            return
+        try:
+            for job in list(self._jobs.values()):
+                if job.done:
+                    state = "failed" if job.error is not None else "finished"
+                elif job.trainer is None:
+                    state = "down"
+                else:
+                    state = "running"
+                db.upsert_daemon_job(
+                    job.spec.job_id,
+                    self.daemon_id,
+                    state,
+                    job.spec.priority,
+                )
+        except StorageError:
+            pass
+
     def _write_meta(self) -> None:
         # One snapshot of the job table: the background heartbeat thread
         # calls this while the scheduler thread may be inserting a newly
         # submitted job, and two separate iterations would double the
         # exposure to a size change mid-iteration.
+        self._sync_job_registry()
         jobs = list(self._jobs.values())
         meta = {
             "daemon_id": self.daemon_id,
@@ -584,11 +612,14 @@ class FleetDaemon(JobLifecycle):
         )
         job = _JobRuntime(job_spec)
         # A re-submitted job id *resumes* its history: the fresh incarnation
-        # restores from the store if it ever checkpointed there.
-        resumable = bool(self.store.manifest_names(job_id))
+        # restores from the store if it ever checkpointed there.  With a
+        # metadata index attached this probe is one point query instead of
+        # a per-submit store listing.
+        resumable = self.store.has_checkpoints(job_id)
         self._start_job(job, self.tick, fresh=not resumable)
         self._sched_join(job)
         self._jobs[job_id] = job
+        self._sync_job_registry()
         return {
             "ok": True,
             "job": job_id,
@@ -671,7 +702,7 @@ class FleetDaemon(JobLifecycle):
                 "tick": self.tick,
                 "jobs": {job_id: status_of(job)},
             }
-        return {
+        response = {
             "ok": True,
             "state": self.state,
             "tick": self.tick,
@@ -683,6 +714,13 @@ class FleetDaemon(JobLifecycle):
                 for job_id, job in self._jobs.items()
             },
         }
+        db = getattr(self.store, "metadb", None)
+        if db is not None:
+            try:
+                response["registry_jobs"] = db.count_daemon_jobs()
+            except StorageError:
+                pass
+        return response
 
     # -- metrics ------------------------------------------------------------------
 

@@ -162,10 +162,16 @@ class StoreScrubber:
         repair: bool = False,
         journal=None,
         metrics: Optional[MetricsRegistry] = None,
+        metadb=None,
     ):
         self.backend = backend
         self.repair = bool(repair)
         self.journal = journal
+        # Optional repro.storage.metadb.MetaDB over this store: repairs
+        # that change a manifest's fate re-index it, quarantines of
+        # unrestorable manifests invalidate its rows — index and files
+        # must agree after a repair pass.
+        self.metadb = metadb
         self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # -- validators -------------------------------------------------------------
@@ -332,6 +338,7 @@ class StoreScrubber:
             report.findings.append(finding)
             if self.repair and copies:
                 finding.quarantined = self._quarantine(report, name, copies[0])
+                self._invalidate_index(name)
             return None
         finding = ScrubFinding(
             kind=kind if bad else "divergent-copies",
@@ -352,6 +359,7 @@ class StoreScrubber:
             self.backend.write(name, good)
             finding.repaired = True
             report.repaired += 1
+            self._reindex_repaired(name, good)
             if self.journal is not None and name.startswith("job-"):
                 try:
                     # Re-assert durable placement for the repaired
@@ -361,6 +369,26 @@ class StoreScrubber:
                 except (StorageError, ReproError):
                     pass  # advisory, never fails a completed repair
         return good
+
+    def _invalidate_index(self, name: str) -> None:
+        """Drop the index rows of a manifest no copy of which validates."""
+        if self.metadb is None or not name.startswith("job-"):
+            return
+        try:
+            self.metadb.delete_manifest(name)
+        except (StorageError, ReproError):
+            pass  # the index reconciles against the files on next open
+
+    def _reindex_repaired(self, name: str, good: bytes) -> None:
+        """Re-index a manifest just rewritten from its good copy."""
+        if self.metadb is None or not name.startswith("job-"):
+            return
+        from repro.storage.metadb import index_manifest
+
+        try:
+            index_manifest(self.metadb, name, json.loads(good.decode("utf-8")))
+        except (StorageError, ReproError, ValueError):
+            pass
 
     def _quarantine(
         self, report: ScrubReport, name: str, data: bytes
@@ -383,10 +411,12 @@ def scrub_store(
     repair: bool,
     journal=None,
     metrics: Optional[MetricsRegistry] = None,
+    metadb=None,
 ) -> ScrubReport:
     """One-call scrub (``repair=True``) or fsck (``repair=False``)."""
     return StoreScrubber(
-        backend, repair=repair, journal=journal, metrics=metrics
+        backend, repair=repair, journal=journal, metrics=metrics,
+        metadb=metadb,
     ).run()
 
 

@@ -27,12 +27,18 @@ implementations:
 shared placement state *over* one: an append-only, on-store journal making
 tier pins durable across restarts and visible across processes, with
 lease-based single-holder roles for fleet-wide sweeps (rebalance, compact).
+
+:class:`~repro.storage.metadb.MetaDB` is the optional SQLite index over all
+of that metadata — journal fold, manifest headers, daemon job registry —
+kept strictly as a cache: the JSON files stay the durable truth, and a
+missing or corrupt index rebuilds from them.
 """
 
 from repro.storage.backend import StorageBackend
 from repro.storage.flaky import FlakyBackend
 from repro.storage.local import LocalDirectoryBackend
 from repro.storage.memory import InMemoryBackend
+from repro.storage.metadb import MetaDB, metadb_for_dir
 from repro.storage.placement import LeaseState, PlacementJournal
 from repro.storage.reliable import ReliabilityStats, ReliableBackend
 from repro.storage.replicated import ReplicatedBackend, ReplicationStats
@@ -51,6 +57,8 @@ __all__ = [
     "ReliabilityStats",
     "PlacementJournal",
     "LeaseState",
+    "MetaDB",
+    "metadb_for_dir",
     "ReplicatedBackend",
     "ReplicationStats",
     "ShardedBackend",

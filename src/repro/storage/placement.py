@@ -39,6 +39,14 @@ Record layout (``plj-<seq:08d>-<owner>.json``)::
 The journal is deliberately *advisory metadata*: losing it costs placement
 quality (a manifest may be evicted to the slow tier), never data — every
 object it names remains fully readable from the slow tier.
+
+When a :class:`~repro.storage.metadb.MetaDB` index is attached, the folded
+state is additionally persisted there after every advance: the records stay
+the write-ahead log (written first, always), the index stores the fold up
+to a ``(seq, owner)`` high-water mark so a reopening journal reads only the
+log *suffix* instead of every record.  A record that lists at-or-below the
+mark without being covered by it forces a full re-fold — the deterministic
+file fold is the recovery oracle and always wins.
 """
 
 from __future__ import annotations
@@ -52,6 +60,14 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.errors import ConfigError, StorageError
 from repro.faults.crashpoints import crash_point, register_crash_point
 from repro.storage.backend import StorageBackend, validate_name
+from repro.storage.metadb import (
+    CP_JOURNAL_AFTER_APPLY,
+    CP_JOURNAL_BEFORE_APPLY,
+    CP_REBUILD_MID_FOLD,
+    CP_VACUUM_MID_SWEEP,
+    MetaDB,
+    parse_record_name,
+)
 
 CP_RECORD_BEFORE_WRITE = register_crash_point(
     "placement.record.before-write",
@@ -112,6 +128,7 @@ class PlacementJournal:
         lease_seconds: float = 30.0,
         refresh_seconds: float = 0.2,
         clock: Callable[[], float] = time.time,
+        metadb: Optional[MetaDB] = None,
     ):
         if not owner:
             raise ConfigError("journal owner must be a non-empty string")
@@ -139,12 +156,47 @@ class PlacementJournal:
         self._leases: Dict[str, LeaseState] = {}
         self._next_seq = 1
         self._last_refresh = float("-inf")
+        # Optional SQLite index: the fold up to ``_base_hwm`` lives as the
+        # in-memory *base* state, with ``_folded`` the exact record-name
+        # set the base covers.  Without an index the base stays empty and
+        # every fold starts from zero (exactly the historical behavior).
+        self._db = metadb
+        self._base_pins: Set[str] = set()
+        self._base_pin_owner: Dict[str, str] = {}
+        self._base_leases: Dict[str, LeaseState] = {}
+        self._base_hwm: Tuple[int, str] = (0, "")
+        self._folded: Set[str] = set()
+        if self._db is not None:
+            self._load_base()
         self.refresh()
+
+    def _load_base(self) -> None:
+        """Adopt the index's persisted fold base (a broken index reads as
+        empty — the full fold then repopulates it)."""
+        try:
+            state = self._db.placement_state()
+        except StorageError:
+            return
+        self._base_hwm = state.hwm
+        self._base_pins = set(state.pins)
+        self._base_pin_owner = dict(state.pin_owner)
+        self._base_leases = {
+            role: LeaseState(
+                role=role, holder=holder, expires=expires, seq=seq
+            )
+            for role, (holder, expires, seq) in state.leases.items()
+        }
+        self._folded = set(state.record_names)
 
     # -- reading ----------------------------------------------------------------
 
     def refresh(self) -> None:
-        """Re-read the log and fold it into the cached state."""
+        """Re-read the log and fold it into the cached state.
+
+        With an index attached only the log *suffix* past the persisted
+        high-water mark is read; a record that lists at-or-below the mark
+        without being covered by the base forces a full re-fold.
+        """
         with self._lock:
             names = self.backend.list(RECORD_PREFIX)
             listed = set(names)
@@ -152,7 +204,32 @@ class PlacementJournal:
             for name in list(self._cache):
                 if name not in listed:
                     del self._cache[name]
-            for name in names:
+            # Base-covered records that were compacted away: their effect
+            # lives on in the base until a snapshot record resets it.
+            self._folded &= listed
+            unseen = [
+                n
+                for n in names
+                if n not in self._cache and n not in self._folded
+            ]
+            if self._db is not None and unseen:
+                out_of_order = any(
+                    key is not None and key <= self._base_hwm
+                    for key in (parse_record_name(n) for n in unseen)
+                )
+                if out_of_order:
+                    self._reset_base()
+                    crash_point(CP_REBUILD_MID_FOLD)
+                    unseen = [n for n in names if n not in self._cache]
+                elif self._base_hwm == (0, "") and not self._folded:
+                    # Bootstrap: a fresh or discarded index is rebuilt from
+                    # the full fold of an existing journal.
+                    crash_point(CP_REBUILD_MID_FOLD)
+                else:
+                    self._db.metrics.counter("metadb.catchup_records").inc(
+                        len(unseen)
+                    )
+            for name in unseen:
                 if name in self._cache:
                     continue
                 try:
@@ -162,7 +239,23 @@ class PlacementJournal:
                     # and the surviving snapshot record carries its effect.
                     continue
             self._fold()
+            self._advance_base()
             self._last_refresh = self._clock()
+
+    def _reset_base(self) -> None:
+        """Discard the incremental base, in memory and in the index; the
+        caller re-reads and re-folds the full log (caller holds lock)."""
+        self._base_pins = set()
+        self._base_pin_owner = {}
+        self._base_leases = {}
+        self._base_hwm = (0, "")
+        self._folded = set()
+        self._cache = {}
+        try:
+            self._db.clear_placement()
+        except StorageError:
+            pass
+        self._db.metrics.counter("metadb.full_folds").inc()
 
     def _maybe_refresh(self) -> None:
         with self._lock:
@@ -188,10 +281,10 @@ class PlacementJournal:
             (r for r in self._cache.values() if r is not None),
             key=_record_sort_key,
         )
-        pins: Set[str] = set()
-        pin_owner: Dict[str, str] = {}
-        leases: Dict[str, LeaseState] = {}
-        top_seq = 0
+        pins: Set[str] = set(self._base_pins)
+        pin_owner: Dict[str, str] = dict(self._base_pin_owner)
+        leases: Dict[str, LeaseState] = dict(self._base_leases)
+        top_seq = self._base_hwm[0]
         for record in records:
             seq = int(record.get("seq", 0))
             owner = str(record.get("owner", ""))
@@ -247,6 +340,54 @@ class PlacementJournal:
         self._leases = leases
         self._next_seq = top_seq + 1
 
+    def _advance_base(self) -> None:
+        """Persist the current fold into the index and adopt it as the new
+        base (caller holds lock; journal records are already durable, so a
+        crash anywhere in here leaves the index merely *behind*)."""
+        if self._db is None:
+            return
+        live = {
+            name: record
+            for name, record in self._cache.items()
+            if record is not None
+        }
+        if not live:
+            return
+        hwm = max(_record_sort_key(record) for record in live.values())
+        if hwm <= self._base_hwm:
+            return
+        rows = []
+        for name in self._folded:
+            key = parse_record_name(name)
+            if key is not None:
+                rows.append((name, key[0], key[1]))
+        for name, record in live.items():
+            rows.append((name, *_record_sort_key(record)))
+        crash_point(CP_JOURNAL_BEFORE_APPLY)
+        try:
+            self._db.replace_placement_state(
+                hwm,
+                self._pins,
+                self._pin_owner,
+                {
+                    role: (slot.holder, slot.expires, slot.seq)
+                    for role, slot in self._leases.items()
+                },
+                rows,
+            )
+        except StorageError:
+            # The index is a cache; the files stay the truth. A reopening
+            # journal re-folds past whatever the index last persisted.
+            pass
+        crash_point(CP_JOURNAL_AFTER_APPLY)
+        self._base_pins = set(self._pins)
+        self._base_pin_owner = dict(self._pin_owner)
+        self._base_leases = dict(self._leases)
+        self._base_hwm = hwm
+        self._folded.update(live)
+        for name in live:
+            self._cache.pop(name, None)
+
     # -- writing ----------------------------------------------------------------
 
     def _append(self, op: Dict) -> Dict:
@@ -269,6 +410,7 @@ class PlacementJournal:
             crash_point(CP_RECORD_AFTER_WRITE)
             self._cache[name] = record
             self._fold()
+            self._advance_base()
             return record
 
     # -- pins -------------------------------------------------------------------
@@ -361,7 +503,7 @@ class PlacementJournal:
         """Record object names currently in the log (diagnostics)."""
         with self._lock:
             self._maybe_refresh()
-            return sorted(self._cache)
+            return sorted(set(self._cache) | self._folded)
 
     def compact(self) -> int:
         """Fold the log into one snapshot record; returns records deleted.
@@ -375,11 +517,14 @@ class PlacementJournal:
             if not self.acquire_lease(LEASE_COMPACT):
                 return 0
             try:
-                covered = [
-                    name
-                    for name, record in self._cache.items()
-                    if record is not None
-                ]
+                covered = sorted(
+                    self._folded
+                    | {
+                        name
+                        for name, record in self._cache.items()
+                        if record is not None
+                    }
+                )
                 snapshot = {
                     "op": "snapshot",
                     "pins": sorted(self._pins),
@@ -398,9 +543,21 @@ class PlacementJournal:
                         continue
                     self.backend.delete(name)
                     self._cache.pop(name, None)
+                    self._folded.discard(name)
                     deleted += 1
                     if deleted == 1:
                         crash_point(CP_COMPACT_MID_SWEEP)
+                    if self._db is not None:
+                        # Index-assisted vacuum: the state tables already
+                        # hold the snapshot fold (persisted when the
+                        # snapshot record was appended); only the covered
+                        # record rows are swept here.
+                        try:
+                            self._db.prune_record(name)
+                        except StorageError:
+                            pass
+                        if deleted == 1:
+                            crash_point(CP_VACUUM_MID_SWEEP)
                 self._fold()
                 return deleted
             finally:

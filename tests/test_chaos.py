@@ -35,6 +35,7 @@ class TestRegistry:
             "placement",
             "daemon",
             "scrub",
+            "metadb",
         } <= prefixes
 
     def test_disarmed_hit_is_noop(self):

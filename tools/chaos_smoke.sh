@@ -13,6 +13,10 @@
 #    the damage, ``qckpt scrub`` repairs 100% of it from the surviving
 #    replica (quarantining the rotten bytes), and a final fsck + restore
 #    show a clean, bitwise-restorable store.
+# 3. The metadata-index lifecycle through the CLI: build an indexed
+#    store, verify it with ``qckpt fsck --index``, DELETE the .db file,
+#    and prove the next indexed open rebuilds it from the JSON files
+#    with nothing lost (the index is a cache; the files are the truth).
 #
 # Run locally from the repo root:  bash tools/chaos_smoke.sh
 set -euo pipefail
@@ -97,5 +101,70 @@ echo "$restored" | grep -q "at step 3" \
 echo "== scrub/fsck --help audit"
 $QCKPT scrub --help >/dev/null
 $QCKPT fsck --help >/dev/null
+
+echo "== metadata index: build an indexed store (journal pins + manifests)"
+python - "$WORK" <<'PY'
+import sys
+
+import numpy as np
+
+from repro.core.snapshot import TrainingSnapshot
+from repro.service.chunkstore import ChunkStore
+from repro.storage.local import LocalDirectoryBackend
+from repro.storage.metadb import DB_FILENAME, MetaDB
+from repro.storage.placement import PlacementJournal
+
+root = f"{sys.argv[1]}/indexed"
+backend = LocalDirectoryBackend(root)
+db = MetaDB(f"{root}/{DB_FILENAME}")
+store = ChunkStore(backend, block_bytes=4096, metadb=db)
+for step in (1, 2):
+    rng = np.random.default_rng(step)
+    store.save_snapshot(
+        "idxsmoke",
+        TrainingSnapshot(
+            step=step,
+            params=rng.normal(size=256),
+            optimizer_state={"lr": 0.01},
+            rng_state={"seed": step},
+            model_fingerprint="chaos-smoke",
+        ),
+    )
+journal = PlacementJournal(
+    LocalDirectoryBackend(f"{root}/placement"),
+    owner="smoke",
+    refresh_seconds=0.0,
+    metadb=db,
+)
+journal.pin("job-idxsmoke-ckpt-000002.json")
+db.close()
+PY
+
+echo "== fsck --index must verify the live index (exit 0)"
+$QCKPT fsck "$WORK/indexed" --index
+
+echo "== deleting the index file: the store must not care"
+rm -f "$WORK/indexed/.qckpt-meta.db" "$WORK/indexed/.qckpt-meta.db-wal" \
+      "$WORK/indexed/.qckpt-meta.db-shm"
+python - "$WORK" <<'PY'
+import sys
+
+from repro.service.chunkstore import ChunkStore
+from repro.storage.local import LocalDirectoryBackend
+from repro.storage.metadb import DB_FILENAME, MetaDB
+
+root = f"{sys.argv[1]}/indexed"
+db = MetaDB(f"{root}/{DB_FILENAME}")  # fresh file, rebuilt on open
+store = ChunkStore(LocalDirectoryBackend(root), block_bytes=4096, metadb=db)
+assert store.latest("idxsmoke") == "ckpt-000002", store.latest("idxsmoke")
+snapshot = store.load_snapshot("idxsmoke")
+assert snapshot.step == 2, snapshot.step
+assert "idxsmoke" in db.jobs(), "rebuilt index missing the job"
+db.close()
+print("index rebuilt from files: latest + restore intact")
+PY
+
+echo "== fsck --index must verify the rebuilt index (exit 0)"
+$QCKPT fsck "$WORK/indexed" --index
 
 echo "chaos smoke OK"
