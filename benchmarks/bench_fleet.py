@@ -63,6 +63,7 @@ Three experiments, all written to ``BENCH_fleet.json`` at the repo root:
 
 import json
 import os
+import threading
 import time
 from pathlib import Path
 
@@ -958,7 +959,8 @@ def test_control_plane_transport_latency(report):
 OBS_OVERHEAD_TARGET = 1.05  # instrumented may cost at most 5% wall time
 OBS_REPEATS = 5  # best-of-N per leg; min absorbs scheduler noise
 OBS_JOBS = 4
-OBS_SAVES_PER_JOB = 8
+OBS_SAVES_PER_JOB = 24  # leg long enough that a scheduler hiccup is < 5%
+OBS_SAMPLE_SECONDS = 0.1  # 5-50x the production heartbeat cadence
 
 
 def _obs_leg(jobs, *, instrumented: bool):
@@ -966,19 +968,41 @@ def _obs_leg(jobs, *, instrumented: bool):
 
     The instrumented leg is the worst case the telemetry layer presents in
     production: a live registry fed by the pool, channel, and chunk-store
-    stats on every save, plus a trace sink recording a span per submitted
+    stats on every save, a trace sink recording a span per submitted
     task (``channel.submit`` captures the ambient context, so each pool
-    task emits a ``pool.task``/``store.save`` span pair).  The disabled
-    leg routes every instrument to the null fast path and installs no
-    sink, so ``span_scope`` yields without allocating.
+    task emits a ``pool.task``/``store.save`` span pair — each save span
+    carrying per-stage profiling attrs), and a background
+    :class:`TimeSeriesSampler` writing the registry into a SQLite history
+    at ``OBS_SAMPLE_SECONDS`` cadence (well above the production
+    heartbeat rate) while the saves run.  The disabled leg routes every
+    instrument to the null fast path and installs no sink, so
+    ``span_scope`` yields without allocating.
     """
+    import tempfile
+    from pathlib import Path
+
     from repro.obs import trace as obs_trace
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.timeseries import TimeSeriesDB, TimeSeriesSampler
     from repro.obs.trace import MemoryTraceSink
 
     registry = MetricsRegistry(enabled=instrumented)
     sink = MemoryTraceSink(capacity=100_000) if instrumented else None
     previous = obs_trace.set_trace_sink(sink)
+    tsdir = tsdb = pump = None
+    stop = threading.Event()
+    if instrumented:
+        tsdir = tempfile.TemporaryDirectory(prefix="qckpt-obs-bench-")
+        tsdb = TimeSeriesDB(Path(tsdir.name) / "timeseries.db")
+        sampler = TimeSeriesSampler(
+            tsdb, registry, interval_seconds=OBS_SAMPLE_SECONDS
+        )
+
+        def _pump():
+            while not stop.wait(OBS_SAMPLE_SECONDS):
+                sampler.sample()
+
+        pump = threading.Thread(target=_pump, daemon=True)
     try:
         store = ChunkStore(
             InMemoryBackend(),
@@ -990,6 +1014,8 @@ def _obs_leg(jobs, *, instrumented: bool):
         channels = {
             job_id: pool.channel(job_id, max_pending=8) for job_id in jobs
         }
+        if pump is not None:
+            pump.start()
         started = time.perf_counter()
         for job_id, snapshots in jobs.items():
             for snapshot in snapshots:
@@ -1001,18 +1027,37 @@ def _obs_leg(jobs, *, instrumented: bool):
         elapsed = time.perf_counter() - started
         pool.close()
     finally:
+        stop.set()
+        if pump is not None:
+            pump.join(timeout=10.0)
         obs_trace.set_trace_sink(previous)
     spans = len(sink.records()) if sink is not None else 0
     series = len(registry.snapshot()["series"])
-    return elapsed, spans, series
+    samples = profiled = 0
+    if instrumented:
+        sampler.sample()  # terminal sample: short legs still record >= 1
+        samples = sampler.samples_taken
+        tsdb.close()
+        tsdir.cleanup()
+        profiled = sum(
+            1
+            for record in sink.records()
+            if record.get("name") == "store.save"
+            and record.get("attrs", {}).get("stages")
+        )
+    return elapsed, spans, series, samples, profiled
 
 
 def test_obs_overhead(report):
     """Full telemetry must cost ≤5% wall time on the hot save path.
 
-    Identical CPU-bound workload (no artificial store latency — latency
-    would hide any overhead), legs interleaved instrumented/disabled to
-    share thermal and cache conditions, best-of-N minima compared.
+    "Full" includes the observatory: the instrumented leg samples the
+    registry into a SQLite time-series history at 50 ms cadence while
+    the saves run, and every save span carries per-stage profiling
+    attrs.  Identical CPU-bound workload (no artificial store latency —
+    latency would hide any overhead), legs interleaved
+    instrumented/disabled to share thermal and cache conditions,
+    best-of-N minima compared.
     """
     jobs = _synthetic_snapshots(
         n_jobs=OBS_JOBS,
@@ -1020,21 +1065,38 @@ def test_obs_overhead(report):
         tensor_elems=1 << 15,  # 256 KiB payloads: representative checkpoints
     )
     on_times, off_times = [], []
-    on_spans = on_series = off_spans = off_series = 0
+    on_spans = on_series = on_samples = on_profiled = 0
+    off_spans = off_series = off_samples = 0
     _obs_leg(jobs, instrumented=True)  # warm-up: imports, allocator, zlib
     for _ in range(OBS_REPEATS):
-        elapsed, on_spans, on_series = _obs_leg(jobs, instrumented=True)
+        elapsed, on_spans, on_series, on_samples, on_profiled = _obs_leg(
+            jobs, instrumented=True
+        )
         on_times.append(elapsed)
-        elapsed, off_spans, off_series = _obs_leg(jobs, instrumented=False)
+        elapsed, off_spans, off_series, off_samples, _ = _obs_leg(
+            jobs, instrumented=False
+        )
         off_times.append(elapsed)
 
     # The instrumented leg really recorded; the disabled leg really didn't.
     total_saves = OBS_JOBS * OBS_SAVES_PER_JOB
     assert on_spans >= total_saves, f"only {on_spans} spans recorded"
     assert on_series > 0, "instrumented registry stayed empty"
-    assert off_spans == 0 and off_series == 0, "disabled leg leaked telemetry"
+    assert on_samples > 0, "timeseries sampler recorded nothing"
+    assert on_profiled >= total_saves, (
+        f"only {on_profiled} save spans carried stage profiling attrs"
+    )
+    assert off_spans == 0 and off_series == 0 and off_samples == 0, (
+        "disabled leg leaked telemetry"
+    )
 
-    ratio = min(on_times) / min(off_times)
+    # Gate on the best *paired* ratio: leg i instrumented vs leg i
+    # disabled ran back to back under the same machine conditions, so a
+    # load spike inflates both and divides out; genuine telemetry
+    # overhead is present in every instrumented run and survives the
+    # min.  (Comparing global minima instead lets one background hiccup
+    # during the instrumented half fail a 1-CPU runner spuriously.)
+    ratio = min(on / off for on, off in zip(on_times, off_times))
     payload = {
         "jobs": OBS_JOBS,
         "saves_per_job": OBS_SAVES_PER_JOB,
@@ -1045,6 +1107,8 @@ def test_obs_overhead(report):
         "overhead_target": OBS_OVERHEAD_TARGET,
         "spans_per_instrumented_run": on_spans,
         "series_per_instrumented_run": on_series,
+        "timeseries_samples_per_run": on_samples,
+        "profiled_save_spans_per_run": on_profiled,
     }
     _write_json("obs_overhead", payload)
 
@@ -1057,6 +1121,8 @@ def test_obs_overhead(report):
             f"(target <= {OBS_OVERHEAD_TARGET})",
             f"{'spans recorded':<26} {on_spans}",
             f"{'series recorded':<26} {on_series}",
+            f"{'timeseries samples':<26} {on_samples}",
+            f"{'profiled save spans':<26} {on_profiled}",
         ]
     )
     report("Fleet service: observability overhead (on vs off)", table)

@@ -763,6 +763,21 @@ def _print_metrics(response: dict) -> None:
 
 def cmd_metrics(args: argparse.Namespace) -> int:
     """One-shot telemetry dump from a live daemon or a persisted registry."""
+    if args.prom:
+        if args.control is not None or args.connect is not None:
+            client = _daemon_client(args)
+            response = client.request("metrics_text")
+            if not response.get("ok"):
+                raise ReproError(
+                    f"metrics_text failed: {response.get('error')}"
+                )
+            print(response.get("text", ""), end="")
+            return 0
+        from repro.obs.export import prometheus_text
+
+        response = _metrics_response(args)
+        print(prometheus_text(response.get("metrics", {})), end="")
+        return 0
     response = _metrics_response(args)
     if args.json:
         print(json.dumps(response, indent=2, sort_keys=True))
@@ -792,9 +807,10 @@ def cmd_top(args: argparse.Namespace) -> int:
     try:
         while True:
             response = _metrics_response(args)
+            history = _top_history(args)
             if not args.no_clear:
                 print("\x1b[2J\x1b[H", end="")
-            _print_top(response, previous, args.interval)
+            _print_top(response, previous, args.interval, history)
             previous = response
             shown += 1
             if args.iterations and shown >= args.iterations:
@@ -805,7 +821,55 @@ def cmd_top(args: argparse.Namespace) -> int:
         return 0
 
 
-def _print_top(response: dict, previous, interval: float) -> None:
+def _top_history(args: argparse.Namespace):
+    """Sampled ``save.seconds`` history from the daemon's ``series`` op.
+
+    ``None`` when the daemon predates the op or runs without a timeseries
+    store — top silently falls back to two-frame deltas.
+    """
+    try:
+        client = _daemon_client(args)
+        response = client.request(
+            "series", name="save.seconds", window=120.0, limit=32
+        )
+    except ReproError:
+        return None
+    return response if response.get("ok") else None
+
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(points, width: int = 16) -> str:
+    """Per-gap delta sparkline over ``series`` op points.
+
+    Points are ``[ts, epoch, cumulative]`` triples, oldest first.  A gap
+    that crosses a metrics-epoch boundary (daemon restarted between
+    samples) renders as ``·`` instead of a bogus negative bar.
+    """
+    deltas = []
+    for prev, cur in zip(points, points[1:]):
+        if cur[1] != prev[1] or cur[2] < prev[2]:
+            deltas.append(None)
+        else:
+            deltas.append(cur[2] - prev[2])
+    deltas = deltas[-width:]
+    if not deltas:
+        return ""
+    peak = max((d for d in deltas if d is not None), default=0.0)
+    out = []
+    for delta in deltas:
+        if delta is None:
+            out.append("·")
+        elif not peak:
+            out.append(_SPARK_CHARS[0])
+        else:
+            index = int(delta / peak * (len(_SPARK_CHARS) - 1) + 0.5)
+            out.append(_SPARK_CHARS[min(index, len(_SPARK_CHARS) - 1)])
+    return "".join(out)
+
+
+def _print_top(response: dict, previous, interval: float, history=None) -> None:
     snapshot = response.get("metrics", {})
     prev_snapshot = (previous or {}).get("metrics", {})
     same_epoch = (
@@ -838,27 +902,278 @@ def _print_top(response: dict, previous, interval: float) -> None:
     saves = _job_histograms(snapshot, "save.seconds")
     prev_saves = _job_histograms(prev_snapshot, "save.seconds")
     restores = _job_histograms(snapshot, "restore.seconds")
+    hist_map = {}
+    for entry in (history or {}).get("series", []):
+        hist_map[entry.get("labels", {}).get("job", "")] = entry
     jobs = sorted(set(saves) | set(restores) | set(queues))
     if not jobs:
         print("(no per-job series yet)")
         return
     print(
         f"{'JOB':<12} {'SAVES':>6} {'SAVE/S':>7} {'P99(ms)':>8} "
-        f"{'RESTORES':>9} {'QUEUE':>6}"
+        f"{'RESTORES':>9} {'QUEUE':>6}  TREND"
     )
     for job in jobs:
         save = saves.get(job, {})
+        entry = hist_map.get(job)
         rate = "-"
-        if same_epoch:
+        if entry is not None and entry.get("rate") is not None:
+            # windowed, epoch-aware rate from the daemon's sampled history
+            rate = f"{entry['rate']:.2f}"
+        elif same_epoch:
             prev = prev_saves.get(job, {})
             delta = save.get("count", 0) - prev.get("count", 0)
             rate = f"{delta / interval:.2f}"
+        trend = _sparkline(entry.get("points", [])) if entry else ""
         restore = restores.get(job, {})
         print(
             f"{job or '-':<12} {save.get('count', 0):>6} {rate:>7} "
             f"{_hist_quantile(save, 0.99) * 1000:>8.2f} "
-            f"{restore.get('count', 0):>9} {queues.get(job, 0):>6}"
+            f"{restore.get('count', 0):>9} {queues.get(job, 0):>6}  {trend}"
         )
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """Evaluate health rules against a daemon (live) or a store (offline).
+
+    The exit code encodes the verdict — 0 ok, 1 warn, 2 critical — so
+    scripts and probes can alert without parsing the output.
+    """
+    if args.control is not None or args.connect is not None:
+        client = _daemon_client(args)
+        response = client.request("health")
+        if not response.get("ok"):
+            raise ReproError(f"health failed: {response.get('error')}")
+        report = response.get("health") or {}
+        source = (
+            f"daemon {response.get('daemon_id')}, {response.get('state')} "
+            f"at tick {response.get('tick')}"
+        )
+    else:
+        report, source = _offline_health(args)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        _print_health(report, source)
+    return {"ok": 0, "warn": 1, "critical": 2}.get(report.get("verdict"), 2)
+
+
+def _offline_health(args: argparse.Namespace):
+    """(report dict, source text) from a store's persisted observability.
+
+    Staleness rules are skipped offline: the registry file is *expected*
+    to be old, that is not an incident.
+    """
+    from repro.obs.export import REGISTRY_FILENAME, store_obs_dir
+    from repro.obs.health import HealthEngine
+    from repro.obs.timeseries import DB_FILENAME, TimeSeriesDB
+
+    store = getattr(args, "store", None)
+    if not store:
+        raise ReproError(
+            "pick a source: a store directory (reads the persisted "
+            "<store>/obs/registry.json + timeseries.db) or "
+            "--control/--connect (live daemon)"
+        )
+    obs_dir = store_obs_dir(store)
+    registry_path = obs_dir / REGISTRY_FILENAME
+    try:
+        snapshot = json.loads(registry_path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ReproError(
+            f"no persisted metrics at {registry_path} — a daemon writes it "
+            "at clean shutdown; query a live daemon with --control/--connect "
+            "instead"
+        ) from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read {registry_path}: {exc}") from exc
+    timeseries = None
+    db_path = obs_dir / DB_FILENAME
+    if db_path.exists():
+        timeseries = TimeSeriesDB(db_path)
+    try:
+        report = HealthEngine().evaluate(
+            snapshot, timeseries, include_staleness=False
+        )
+    finally:
+        if timeseries is not None:
+            timeseries.close()
+    return report.to_dict(), str(registry_path)
+
+
+def _print_health(report: dict, source: str) -> None:
+    verdict = str(report.get("verdict", "unknown"))
+    findings = report.get("findings", [])
+    firing = [f for f in findings if f.get("firing")]
+    print(
+        f"health {verdict.upper()}  ({len(findings)} rule(s) checked; "
+        f"{source})"
+    )
+    for finding in firing:
+        print(
+            f"  [{finding.get('severity')}] {finding.get('rule')}: "
+            f"{finding.get('reason')}"
+        )
+    if not firing:
+        print("  all rules passing")
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Span profiler over ``<store>/obs/trace.jsonl``: per-op aggregates,
+    per-trace trees, critical paths, folded stacks."""
+    from repro.obs import profile as obs_profile
+    from repro.obs.export import TRACE_FILENAME, store_obs_dir
+
+    trace_path = store_obs_dir(args.store) / TRACE_FILENAME
+    trees = obs_profile.load_trees(trace_path)
+    if not trees:
+        raise ReproError(
+            f"no spans in {trace_path} — run a traced workload (daemon, "
+            "fleet, save/restore) against this store first"
+        )
+    if args.folded:
+        for line in obs_profile.folded_stacks(trees):
+            print(line)
+        return 0
+    if args.trace:
+        if args.trace not in trees:
+            raise ReproError(
+                f"unknown trace {args.trace!r} ({len(trees)} trace(s) in "
+                f"{trace_path})"
+            )
+        selected = args.trace
+    elif args.last_save or args.last_restore:
+        wanted = "store.save" if args.last_save else "store.restore"
+        selected = obs_profile.newest_trace(trees, containing=wanted)
+        if selected is None:
+            raise ReproError(f"no trace containing {wanted} in {trace_path}")
+    else:
+        selected = None
+    if args.json:
+        print(
+            json.dumps(
+                _profile_json(trees, selected, obs_profile),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    if selected is not None:
+        _print_profile_trace(selected, trees[selected], obs_profile)
+        return 0
+    _print_profile_overview(trees, trace_path, obs_profile)
+    return 0
+
+
+def _profile_json(trees, selected, obs_profile) -> dict:
+    def node_dict(node):
+        return {
+            "name": node.name,
+            "duration_ms": round(node.duration_ms, 3),
+            "self_ms": round(node.self_ms, 3),
+            "status": node.status,
+            "synthetic": node.synthetic,
+            "bytes": node.bytes,
+            "children": [node_dict(child) for child in node.children],
+        }
+
+    out = {
+        "traces": len(trees),
+        "aggregate": [
+            {
+                "name": agg.name,
+                "count": agg.count,
+                "total_ms": round(agg.total_ms, 3),
+                "self_ms": round(agg.self_ms, 3),
+                "mean_ms": round(agg.mean_ms, 3),
+                "bytes": agg.bytes,
+                "errors": agg.errors,
+                "throughput_mb_s": (
+                    None
+                    if agg.throughput_mb_s is None
+                    else round(agg.throughput_mb_s, 3)
+                ),
+            }
+            for agg in obs_profile.aggregate(trees)
+        ],
+    }
+    if selected is not None:
+        roots = trees[selected]
+        out["trace"] = selected
+        out["spans"] = [node_dict(root) for root in roots]
+        heaviest = max(roots, key=lambda root: root.duration_ms)
+        out["critical_path"] = [
+            {"name": node.name, "duration_ms": round(node.duration_ms, 3)}
+            for node in obs_profile.critical_path(heaviest)
+        ]
+    return out
+
+
+def _print_profile_node(node, root_ms: float, depth: int = 0) -> None:
+    pct = node.duration_ms / root_ms * 100 if root_ms else 0.0
+    label = ("  " * depth) + node.name
+    extra = ""
+    if node.bytes:
+        extra = f"  {node.bytes / (1 << 20):.2f} MiB"
+    if node.status != "ok":
+        extra += f"  [{node.status}]"
+    print(
+        f"  {label:<34} {node.duration_ms:>9.2f}ms "
+        f"self {node.self_ms:>8.2f}ms {pct:>5.1f}%{extra}"
+    )
+    for child in node.children:
+        _print_profile_node(child, root_ms, depth + 1)
+
+
+def _print_critical_path(root, obs_profile) -> None:
+    path = obs_profile.critical_path(root)
+    chain = " -> ".join(
+        f"{node.name} ({node.duration_ms:.2f}ms)" for node in path
+    )
+    print(f"critical path: {chain}")
+    target = path[-1]
+    if target.synthetic and len(path) > 1:
+        target = path[-2]
+    coverage = obs_profile.stage_coverage(target)
+    if coverage is not None and target.children:
+        print(
+            f"stage coverage: {coverage:.1%} of {target.name} wall time "
+            "attributed to named child stages"
+        )
+
+
+def _print_profile_trace(trace_id: str, roots, obs_profile) -> None:
+    print(f"trace {trace_id} ({len(roots)} root span(s))")
+    heaviest = max(roots, key=lambda root: root.duration_ms)
+    for root in roots:
+        _print_profile_node(root, heaviest.duration_ms or 1.0)
+    print()
+    _print_critical_path(heaviest, obs_profile)
+
+
+def _print_profile_overview(trees, trace_path, obs_profile) -> None:
+    aggregates = obs_profile.aggregate(trees)
+    print(f"{len(trees)} trace(s) in {trace_path}")
+    print(
+        f"\n{'OP':<26} {'COUNT':>6} {'TOTAL(ms)':>10} {'SELF(ms)':>9} "
+        f"{'MEAN(ms)':>9} {'MB/s':>7} {'ERR':>4}"
+    )
+    for agg in aggregates:
+        mbs = "-" if agg.throughput_mb_s is None else f"{agg.throughput_mb_s:.1f}"
+        print(
+            f"{agg.name:<26} {agg.count:>6} {agg.total_ms:>10.2f} "
+            f"{agg.self_ms:>9.2f} {agg.mean_ms:>9.2f} {mbs:>7} "
+            f"{agg.errors:>4}"
+        )
+    for wanted in ("store.save", "store.restore"):
+        trace_id = obs_profile.newest_trace(trees, containing=wanted)
+        if trace_id is None:
+            continue
+        span = obs_profile.find_span(trees[trace_id], wanted)
+        if span is None:
+            continue
+        print(f"\nnewest {wanted} (trace {trace_id}):")
+        _print_critical_path(span, obs_profile)
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
@@ -1040,6 +1355,7 @@ def cmd_daemon_start(args: argparse.Namespace) -> int:
         max_ticks=args.max_ticks if args.max_ticks > 0 else None,
         compact_journal_records=args.compact_journal_records,
         metrics_export_seconds=args.metrics_export_seconds,
+        obs_sample_seconds=args.obs_sample_seconds,
     )
     daemon = FleetDaemon(
         store,
@@ -1368,7 +1684,86 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the full response as JSON instead of the summary",
     )
+    p_metrics.add_argument(
+        "--prom",
+        action="store_true",
+        help="print Prometheus text exposition instead of the summary "
+        "(scrape-ready; uses the daemon's metrics_text op when live)",
+    )
     p_metrics.set_defaults(func=cmd_metrics)
+
+    p_health = sub.add_parser(
+        "health",
+        help="health verdict from the rule engine: ok/warn/critical "
+        "(exit code 0/1/2)",
+    )
+    p_health.add_argument(
+        "store",
+        nargs="?",
+        default=None,
+        help="store directory (offline: evaluates the persisted "
+        "obs/registry.json + obs/timeseries.db; staleness rules skipped)",
+    )
+    p_health.add_argument(
+        "--control",
+        default=None,
+        help="evaluate on a live daemon via its control directory",
+    )
+    p_health.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="evaluate on a live daemon via its TCP control plane",
+    )
+    p_health.add_argument(
+        "--token", default=None, help="shared-secret token for --connect"
+    )
+    p_health.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for the daemon's answer",
+    )
+    p_health.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report (every finding) as JSON",
+    )
+    p_health.set_defaults(func=cmd_health)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="span profiler over <store>/obs/trace.jsonl: aggregates, "
+        "critical paths, flamegraph export",
+    )
+    p_profile.add_argument("store", help="store directory (reads its obs/)")
+    p_profile.add_argument(
+        "--trace",
+        default=None,
+        metavar="ID",
+        help="print one trace's span tree and critical path",
+    )
+    p_profile.add_argument(
+        "--last-save",
+        action="store_true",
+        help="profile the newest trace containing a store.save span",
+    )
+    p_profile.add_argument(
+        "--last-restore",
+        action="store_true",
+        help="profile the newest trace containing a store.restore span",
+    )
+    p_profile.add_argument(
+        "--folded",
+        action="store_true",
+        help="emit folded stacks (name;name <self-us>) for flamegraph tools",
+    )
+    p_profile.add_argument(
+        "--json",
+        action="store_true",
+        help="print aggregates (and the selected trace) as JSON",
+    )
+    p_profile.set_defaults(func=cmd_profile)
 
     p_top = sub.add_parser(
         "top",
@@ -1604,6 +1999,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="append a metrics snapshot to <store>/obs/metrics.jsonl "
         "every N seconds (0 = only at shutdown)",
+    )
+    d_start.add_argument(
+        "--obs-sample-seconds",
+        type=float,
+        default=None,
+        help="sample the registry into <store>/obs/timeseries.db and "
+        "evaluate health rules every N seconds (default: the heartbeat "
+        "cadence; 0 disables history and in-loop health)",
     )
     d_start.set_defaults(func=cmd_daemon_start)
 

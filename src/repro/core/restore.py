@@ -452,24 +452,31 @@ class RestoreExecutor:
         plan: RestorePlan,
         verify: bool = True,
         prefetched: Optional[PrefetchedPlan] = None,
+        stages: Optional[Dict[str, float]] = None,
     ) -> Tuple[Dict, Dict[str, np.ndarray]]:
         """Execute ``plan`` against ``source``; returns ``(meta, tensors)``.
 
         ``prefetched`` consumes a read-ahead started by :meth:`prefetch` for
         this plan instance; missing/failed/cancelled units fall back to
         synchronous fetches (the retry), so the result is identical with or
-        without it.
+        without it.  ``stages`` (if given) accumulates wall seconds per
+        pipeline stage — ``fetch`` / ``verify`` / ``assemble`` — for the
+        profiler's critical-path attribution.
         """
         codec_obj = get_codec(plan.codec)
         needed_whole, ranged_blocks = self._fetch_units(plan)
 
+        stage_t0 = time.perf_counter()
         buffers = self._fetch_whole_objects(
             source, needed_whole, verify, prefetched
         )
         ranged_bytes = self._fetch_ranged_blocks(
             source, ranged_blocks, prefetched
         )
+        fetch_s = time.perf_counter() - stage_t0
 
+        verify_s = 0.0
+        assemble_s = 0.0
         tensors: Dict[str, np.ndarray] = {}
         for name, tensor_plan in plan.tensors.items():
             raws: List[bytes] = []
@@ -479,13 +486,21 @@ class RestoreExecutor:
                     stored = data[block.start : block.start + block.stored_nbytes]
                 else:
                     stored = ranged_bytes[id(block)]
+                stage_t0 = time.perf_counter()
                 raws.append(
                     self._block_raw(source, block, stored, codec_obj, verify)
                 )
+                verify_s += time.perf_counter() - stage_t0
+            stage_t0 = time.perf_counter()
             raw = raws[0] if len(raws) == 1 else b"".join(raws)
             array = tensor_from_bytes(raw, tensor_plan.dtype, tensor_plan.shape)
             transform = get_transform(tensor_plan.transform)
             tensors[name] = transform.decode(array, tensor_plan.transform_meta)
+            assemble_s += time.perf_counter() - stage_t0
+        if stages is not None:
+            stages["fetch"] = stages.get("fetch", 0.0) + fetch_s
+            stages["verify"] = stages.get("verify", 0.0) + verify_s
+            stages["assemble"] = stages.get("assemble", 0.0) + assemble_s
         return plan.meta, tensors
 
     def _fetch_whole_objects(

@@ -1,0 +1,460 @@
+"""Declarative daemon health: rules over the registry and the timeseries.
+
+Operators of a federated daemon need *verdicts*, not raw counters.  A
+:class:`HealthEngine` evaluates a list of :class:`HealthRule`\\ s against
+the live registry snapshot (instant conditions) and the
+:class:`~repro.obs.timeseries.TimeSeriesDB` (windowed conditions) and
+folds the per-rule findings into one ``ok`` / ``warn`` / ``critical``
+verdict with human-readable reasons.  The daemon runs it on the serve
+loop's heartbeat cadence; the report lands in ``daemon.json``, the
+``status`` and ``health`` control-plane ops, and ``qckpt health``.
+
+Rule kinds:
+
+``threshold``
+    Compare the *current* value of a series (counter/gauge value, or a
+    histogram quantile when ``quantile`` is set) against ``value`` with
+    ``op``.  With no ``labels``, every label-set of the series is checked
+    and the worst offender reported.
+``rate``
+    Compare the per-second rate of a cumulative series over
+    ``window_seconds`` of timeseries history.  Rates are epoch-aware
+    (see :func:`repro.obs.timeseries.rate_from_samples`): a daemon
+    restart never produces a negative or restart-spanning rate — pairs
+    that span incarnations are skipped, and a rule with no valid data
+    passes (absence of evidence is handled by ``staleness``).
+``staleness``
+    Fire when the newest timeseries sample (of ``series``, or of any
+    series when ``series`` is empty) is older than ``window_seconds`` —
+    the sampler, or the daemon around it, has stopped.
+``burn``
+    Error-budget burn: the rate of ``series`` divided by the rate of
+    ``total_series`` over the window, compared against ``value`` —
+    "more than X of our retry budget is being spent".
+
+Rules are plain data (``from_dict``/``to_dict``), so custom rule sets
+can ship over the wire or live in test harnesses; :data:`DEFAULT_RULES`
+covers the failure modes the reliability layer already measures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError, StorageError
+from repro.obs.timeseries import TimeSeriesDB
+
+SEVERITIES = ("warn", "critical")
+KINDS = ("threshold", "rate", "staleness", "burn")
+OPS = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+_VERDICT_RANK = {"ok": 0, "warn": 1, "critical": 2}
+
+
+@dataclass(frozen=True)
+class HealthRule:
+    """One declarative condition; fires -> finding at ``severity``."""
+
+    name: str
+    kind: str
+    series: str = ""
+    labels: Optional[Dict[str, str]] = None
+    op: str = ">="
+    value: float = 0.0
+    window_seconds: float = 60.0
+    severity: str = "warn"
+    quantile: Optional[float] = None
+    total_series: Optional[str] = None
+    reason: str = ""
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ConfigError(f"health rule {self.name!r}: kind {self.kind!r}")
+        if self.severity not in SEVERITIES:
+            raise ConfigError(
+                f"health rule {self.name!r}: severity {self.severity!r}"
+            )
+        if self.op not in OPS:
+            raise ConfigError(f"health rule {self.name!r}: op {self.op!r}")
+        if self.kind == "burn" and not self.total_series:
+            raise ConfigError(
+                f"health rule {self.name!r}: burn needs total_series"
+            )
+        if self.window_seconds <= 0:
+            raise ConfigError(
+                f"health rule {self.name!r}: window_seconds must be > 0"
+            )
+
+    def to_dict(self) -> dict:
+        record = {
+            "name": self.name,
+            "kind": self.kind,
+            "series": self.series,
+            "op": self.op,
+            "value": self.value,
+            "window_seconds": self.window_seconds,
+            "severity": self.severity,
+        }
+        if self.labels is not None:
+            record["labels"] = dict(self.labels)
+        if self.quantile is not None:
+            record["quantile"] = self.quantile
+        if self.total_series is not None:
+            record["total_series"] = self.total_series
+        if self.reason:
+            record["reason"] = self.reason
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "HealthRule":
+        try:
+            return cls(
+                name=str(record["name"]),
+                kind=str(record["kind"]),
+                series=str(record.get("series", "")),
+                labels=record.get("labels"),
+                op=str(record.get("op", ">=")),
+                value=float(record.get("value", 0.0)),
+                window_seconds=float(record.get("window_seconds", 60.0)),
+                severity=str(record.get("severity", "warn")),
+                quantile=(
+                    None
+                    if record.get("quantile") is None
+                    else float(record["quantile"])
+                ),
+                total_series=record.get("total_series"),
+                reason=str(record.get("reason", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"bad health rule record: {exc}") from exc
+
+
+@dataclass
+class HealthFinding:
+    """One rule's outcome in one evaluation."""
+
+    rule: str
+    severity: str
+    firing: bool
+    reason: str
+    observed: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        record = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "firing": self.firing,
+            "reason": self.reason,
+        }
+        if self.observed is not None:
+            record["observed"] = round(self.observed, 6)
+        return record
+
+
+@dataclass
+class HealthReport:
+    """The folded verdict of one evaluation pass."""
+
+    verdict: str
+    findings: List[HealthFinding]
+    ts: float
+    checked: int
+
+    @property
+    def firing(self) -> List[HealthFinding]:
+        return [f for f in self.findings if f.firing]
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "ts": self.ts,
+            "checked": self.checked,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+#: The out-of-the-box rule set: every condition maps onto a series the
+#: reliability / pool / store layers already maintain.  Tuning guidance
+#: lives in docs/OPERATIONS.md ("Health rules").
+DEFAULT_RULES: Tuple[HealthRule, ...] = (
+    HealthRule(
+        name="breaker-open",
+        kind="threshold",
+        series="reliability.breaker_open",
+        op=">=",
+        value=1.0,
+        severity="critical",
+        reason="storage circuit breaker is open — writes are being rejected",
+    ),
+    HealthRule(
+        name="retry-storm",
+        kind="rate",
+        series="reliability.retries",
+        op=">",
+        value=0.5,
+        window_seconds=60.0,
+        severity="warn",
+        reason="storage retries exceed 0.5/s over the last minute",
+    ),
+    HealthRule(
+        name="retries-exhausted",
+        kind="rate",
+        series="reliability.exhausted_ops",
+        op=">",
+        value=0.0,
+        window_seconds=120.0,
+        severity="critical",
+        reason="retry budget exhausted on recent operations — data is "
+        "failing to persist",
+    ),
+    HealthRule(
+        name="retry-budget-burn",
+        kind="burn",
+        series="reliability.exhausted_ops",
+        total_series="reliability.retries",
+        op=">",
+        value=0.5,
+        window_seconds=300.0,
+        severity="critical",
+        reason="over half of recent retries ended exhausted",
+    ),
+    HealthRule(
+        name="save-latency-p99",
+        kind="threshold",
+        series="save.seconds",
+        quantile=0.99,
+        op=">",
+        value=5.0,
+        severity="warn",
+        reason="save p99 latency above 5s",
+    ),
+    HealthRule(
+        name="queue-backlog",
+        kind="threshold",
+        series="pool.queue_depth",
+        op=">=",
+        value=64.0,
+        severity="warn",
+        reason="writer pool backlog at or above 64 pending tasks",
+    ),
+    HealthRule(
+        name="sampler-stalled",
+        kind="staleness",
+        series="",
+        window_seconds=30.0,
+        severity="warn",
+        reason="no metrics sample recorded in the last 30s — history and "
+        "windowed rules are blind",
+    ),
+)
+
+
+def _snapshot_values(
+    snapshot: dict, rule: HealthRule
+) -> List[Tuple[Dict[str, str], Optional[float]]]:
+    """Current values of every snapshot series matching a threshold rule.
+
+    Histogram series yield the rule's quantile (or the mean with no
+    ``quantile`` set — a threshold on a histogram without a quantile is
+    unusual but defined).
+    """
+    out: List[Tuple[Dict[str, str], Optional[float]]] = []
+    for record in snapshot.get("series", ()):
+        if record.get("name") != rule.series:
+            continue
+        labels = record.get("labels") or {}
+        if rule.labels is not None and labels != rule.labels:
+            continue
+        if record.get("type") == "histogram":
+            count = int(record.get("count", 0))
+            if count <= 0:
+                continue
+            if rule.quantile is not None:
+                bounds = list(record.get("buckets", [])) + [float("inf")]
+                counts = list(record.get("counts", []))
+                target = min(max(rule.quantile, 0.0), 1.0) * count
+                seen = 0
+                observed = bounds[-2] if len(bounds) > 1 else 0.0
+                for bound, bucket_count in zip(bounds, counts):
+                    seen += bucket_count
+                    if seen >= target:
+                        observed = min(bound, bounds[-2])
+                        break
+            else:
+                observed = float(record.get("sum", 0.0)) / count
+            out.append((labels, observed))
+        else:
+            out.append((labels, float(record.get("value", 0.0))))
+    return out
+
+
+class HealthEngine:
+    """Evaluate a rule list against a snapshot + optional timeseries."""
+
+    def __init__(self, rules: Optional[Sequence[HealthRule]] = None):
+        self.rules: Tuple[HealthRule, ...] = tuple(
+            DEFAULT_RULES if rules is None else rules
+        )
+
+    def evaluate(
+        self,
+        snapshot: dict,
+        timeseries: Optional[TimeSeriesDB] = None,
+        now: Optional[float] = None,
+        include_staleness: bool = True,
+    ) -> HealthReport:
+        """One evaluation pass.  ``include_staleness=False`` suits offline
+        use (``qckpt health <store>`` on a drained store, where a stale
+        sampler is expected, not a failure)."""
+        now = time.time() if now is None else float(now)
+        findings: List[HealthFinding] = []
+        for rule in self.rules:
+            if rule.kind == "staleness" and not include_staleness:
+                continue
+            try:
+                finding = self._evaluate_rule(rule, snapshot, timeseries, now)
+            except StorageError:
+                # History unavailable: windowed rules pass rather than
+                # guessing; the staleness rule reports the gap.
+                finding = HealthFinding(
+                    rule=rule.name,
+                    severity=rule.severity,
+                    firing=False,
+                    reason="no history available",
+                )
+            findings.append(finding)
+        verdict = "ok"
+        for finding in findings:
+            if finding.firing:
+                if _VERDICT_RANK[finding.severity] > _VERDICT_RANK[verdict]:
+                    verdict = finding.severity
+        return HealthReport(
+            verdict=verdict, findings=findings, ts=now, checked=len(findings)
+        )
+
+    def _evaluate_rule(
+        self,
+        rule: HealthRule,
+        snapshot: dict,
+        timeseries: Optional[TimeSeriesDB],
+        now: float,
+    ) -> HealthFinding:
+        compare = OPS[rule.op]
+        if rule.kind == "threshold":
+            observed = None
+            for _, value in _snapshot_values(snapshot, rule):
+                if value is None:
+                    continue
+                if observed is None or compare(value, observed):
+                    observed = value  # keep the worst offender
+            if observed is None:
+                return HealthFinding(
+                    rule.name, rule.severity, False, "series absent"
+                )
+            firing = compare(observed, rule.value)
+            return self._finding(rule, firing, observed)
+        if rule.kind == "rate":
+            if timeseries is None:
+                return HealthFinding(
+                    rule.name, rule.severity, False, "no history available"
+                )
+            observed = self._worst_rate(rule, rule.series, timeseries, now)
+            if observed is None:
+                return HealthFinding(
+                    rule.name, rule.severity, False, "no rate data in window"
+                )
+            return self._finding(rule, compare(observed, rule.value), observed)
+        if rule.kind == "staleness":
+            if timeseries is None:
+                return self._finding(rule, True, None)
+            if rule.series:
+                newest = timeseries.latest(rule.series, labels=rule.labels)
+                newest_ts = newest.ts if newest else None
+            else:
+                newest_ts = timeseries.latest_ts()
+            if newest_ts is None:
+                return self._finding(rule, True, None)
+            age = now - newest_ts
+            return self._finding(rule, age > rule.window_seconds, age)
+        # burn
+        if timeseries is None:
+            return HealthFinding(
+                rule.name, rule.severity, False, "no history available"
+            )
+        error_rate = self._worst_rate(rule, rule.series, timeseries, now)
+        total_rate = self._worst_rate(
+            rule, rule.total_series or "", timeseries, now
+        )
+        if error_rate is None or not total_rate:
+            return HealthFinding(
+                rule.name, rule.severity, False, "no rate data in window"
+            )
+        ratio = error_rate / total_rate
+        return self._finding(rule, compare(ratio, rule.value), ratio)
+
+    def _worst_rate(
+        self,
+        rule: HealthRule,
+        series: str,
+        timeseries: TimeSeriesDB,
+        now: float,
+    ) -> Optional[float]:
+        """Highest epoch-aware rate across the matching label sets."""
+        label_sets = (
+            [rule.labels]
+            if rule.labels is not None
+            else timeseries.label_sets(series) or [None]
+        )
+        worst: Optional[float] = None
+        for labels in label_sets:
+            rate = timeseries.windowed_rate(
+                series,
+                labels=labels,
+                window_seconds=rule.window_seconds,
+                now=now,
+            )
+            if rate is not None and (worst is None or rate > worst):
+                worst = rate
+        return worst
+
+    def _finding(
+        self, rule: HealthRule, firing: bool, observed: Optional[float]
+    ) -> HealthFinding:
+        if firing:
+            reason = rule.reason or (
+                f"{rule.series} {rule.op} {rule.value} "
+                f"({rule.kind}, window {rule.window_seconds:g}s)"
+            )
+            if observed is not None:
+                reason = f"{reason} [observed {observed:.4g}]"
+        else:
+            reason = "ok"
+        return HealthFinding(
+            rule=rule.name,
+            severity=rule.severity,
+            firing=firing,
+            reason=reason,
+            observed=observed,
+        )
+
+
+def rules_from_records(records: Sequence[dict]) -> List[HealthRule]:
+    """Parse a JSON rule list (``ConfigError`` on a malformed record)."""
+    return [HealthRule.from_dict(record) for record in records]
+
+
+__all__ = [
+    "DEFAULT_RULES",
+    "HealthEngine",
+    "HealthFinding",
+    "HealthReport",
+    "HealthRule",
+    "rules_from_records",
+]

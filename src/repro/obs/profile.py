@@ -1,0 +1,289 @@
+"""Span-tree profiling over the trace sink: where did the time go?
+
+The trace log (``<store>/obs/trace.jsonl``) already joins a client submit
+with the daemon-side save under one trace id; this module turns those
+flat span records into answers:
+
+* **span trees** — records grouped by trace id, parented by span id, with
+  per-node *self time* (duration minus children) vs *child time*;
+* **stage attribution** — the chunk store and restore executor annotate
+  their ``store.save`` / ``store.restore`` spans with a ``stages`` attr
+  (``{"hash": 0.12, "write": 0.40, ...}`` seconds) and byte counts; the
+  profiler expands those into synthetic ``stage:*`` child nodes so a save
+  decomposes into serialize/hash/encode/write/manifest and a restore into
+  fetch/verify/assemble without per-block span overhead on the hot path;
+* **critical path** — from any root, repeatedly descend into the heaviest
+  child: the chain of (node, duration) pairs that bounds end-to-end
+  latency, i.e. "my saves got slow — *this* stage is why";
+* **aggregation** — per-name totals (count, total/self ms, bytes,
+  MB/s throughput) across every trace in the log;
+* **folded stacks** — ``root;child;leaf <self-µs>`` lines, the input
+  format of every flamegraph renderer.
+
+Input records are read tolerantly: the rotated ``.1`` generation is read
+first, undecodable lines (a torn trailing line from a crash mid-append,
+or the rotation boundary) are skipped, and non-span records are ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.export import read_jsonl_records
+
+#: Prefix of synthetic stage nodes expanded from a span's ``stages`` attr.
+STAGE_PREFIX = "stage:"
+
+
+@dataclass
+class ProfileNode:
+    """One span (or synthetic stage) in a reconstructed trace tree."""
+
+    name: str
+    span_id: str
+    trace_id: str
+    parent_id: Optional[str]
+    start: float
+    duration_ms: float
+    status: str = "ok"
+    attrs: Dict[str, object] = field(default_factory=dict)
+    children: List["ProfileNode"] = field(default_factory=list)
+    synthetic: bool = False
+
+    @property
+    def child_ms(self) -> float:
+        return sum(child.duration_ms for child in self.children)
+
+    @property
+    def self_ms(self) -> float:
+        """Time not attributed to any child (clamped at zero: overlapping
+        concurrent children can sum past the parent)."""
+        return max(0.0, self.duration_ms - self.child_ms)
+
+    @property
+    def bytes(self) -> Optional[int]:
+        raw = self.attrs.get("bytes")
+        try:
+            return None if raw is None else int(raw)
+        except (TypeError, ValueError):
+            return None
+
+
+def iter_span_records(path) -> Iterable[dict]:
+    """Span records from a trace JSONL file (plus its ``.1`` rotation),
+    oldest first, torn/garbage lines skipped."""
+    for record in read_jsonl_records(path):
+        if record.get("kind") == "span":
+            yield record
+
+
+def _node_from_record(record: dict) -> ProfileNode:
+    return ProfileNode(
+        name=str(record.get("name", "?")),
+        span_id=str(record.get("span", "")),
+        trace_id=str(record.get("trace", "")),
+        parent_id=record.get("parent"),
+        start=float(record.get("start", 0.0)),
+        duration_ms=float(record.get("duration_ms", 0.0)),
+        status=str(record.get("status", "ok")),
+        attrs=dict(record.get("attrs") or {}),
+    )
+
+
+def _expand_stages(node: ProfileNode) -> None:
+    """Turn a node's ``stages`` attr into synthetic child nodes."""
+    stages = node.attrs.get("stages")
+    if not isinstance(stages, dict):
+        return
+    offset = node.start
+    for stage, seconds in stages.items():
+        try:
+            ms = float(seconds) * 1000.0
+        except (TypeError, ValueError):
+            continue
+        if ms <= 0:
+            continue
+        node.children.append(
+            ProfileNode(
+                name=f"{STAGE_PREFIX}{stage}",
+                span_id=f"{node.span_id}:{stage}",
+                trace_id=node.trace_id,
+                parent_id=node.span_id,
+                start=offset,
+                duration_ms=ms,
+                attrs={},
+                synthetic=True,
+            )
+        )
+        offset += ms / 1000.0
+
+
+def build_trees(records: Iterable[dict]) -> Dict[str, List[ProfileNode]]:
+    """Group span records into per-trace trees.
+
+    Returns ``{trace_id: [roots...]}``; a span whose parent never made it
+    into the log (dropped by rotation) becomes a root.  Nodes carrying a
+    ``stages`` attr grow synthetic ``stage:*`` children.
+    """
+    by_trace: Dict[str, Dict[str, ProfileNode]] = {}
+    order: List[Tuple[str, str]] = []
+    for record in records:
+        node = _node_from_record(record)
+        if not node.trace_id or not node.span_id:
+            continue
+        by_trace.setdefault(node.trace_id, {})[node.span_id] = node
+        order.append((node.trace_id, node.span_id))
+    trees: Dict[str, List[ProfileNode]] = {}
+    for trace_id, nodes in by_trace.items():
+        roots: List[ProfileNode] = []
+        for node in nodes.values():
+            parent = nodes.get(node.parent_id) if node.parent_id else None
+            if parent is not None and parent is not node:
+                parent.children.append(node)
+            else:
+                roots.append(node)
+        for node in nodes.values():
+            node.children.sort(key=lambda child: child.start)
+            _expand_stages(node)
+        roots.sort(key=lambda root: root.start)
+        trees[trace_id] = roots
+    return trees
+
+
+def critical_path(root: ProfileNode) -> List[ProfileNode]:
+    """The heaviest root-to-leaf chain: at each node descend into the
+    child with the largest duration."""
+    path = [root]
+    node = root
+    while node.children:
+        node = max(node.children, key=lambda child: child.duration_ms)
+        path.append(node)
+    return path
+
+
+def stage_coverage(node: ProfileNode) -> Optional[float]:
+    """Fraction of a span's wall time attributed to named children
+    (stages or real child spans); ``None`` for a zero-duration span."""
+    if node.duration_ms <= 0:
+        return None
+    return min(1.0, node.child_ms / node.duration_ms)
+
+
+@dataclass
+class OpAggregate:
+    """Totals of one span name across every trace in the log."""
+
+    name: str
+    count: int = 0
+    total_ms: float = 0.0
+    self_ms: float = 0.0
+    bytes: int = 0
+    errors: int = 0
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    @property
+    def throughput_mb_s(self) -> Optional[float]:
+        if not self.bytes or self.total_ms <= 0:
+            return None
+        return (self.bytes / (1 << 20)) / (self.total_ms / 1000.0)
+
+
+def aggregate(trees: Dict[str, List[ProfileNode]]) -> List[OpAggregate]:
+    """Per-name aggregates over every node of every tree, heaviest total
+    time first."""
+    table: Dict[str, OpAggregate] = {}
+    stack: List[ProfileNode] = [
+        root for roots in trees.values() for root in roots
+    ]
+    while stack:
+        node = stack.pop()
+        agg = table.setdefault(node.name, OpAggregate(name=node.name))
+        agg.count += 1
+        agg.total_ms += node.duration_ms
+        agg.self_ms += node.self_ms
+        if node.bytes:
+            agg.bytes += node.bytes
+        if node.status != "ok":
+            agg.errors += 1
+        stack.extend(node.children)
+    return sorted(table.values(), key=lambda agg: -agg.total_ms)
+
+
+def newest_trace(
+    trees: Dict[str, List[ProfileNode]], containing: Optional[str] = None
+) -> Optional[str]:
+    """Trace id of the newest trace (by root start), optionally restricted
+    to traces containing a span named ``containing``."""
+    best: Optional[Tuple[float, str]] = None
+    for trace_id, roots in trees.items():
+        if containing is not None and not any(
+            _contains(root, containing) for root in roots
+        ):
+            continue
+        start = max(root.start for root in roots) if roots else 0.0
+        if best is None or start > best[0]:
+            best = (start, trace_id)
+    return best[1] if best else None
+
+
+def _contains(node: ProfileNode, name: str) -> bool:
+    if node.name == name:
+        return True
+    return any(_contains(child, name) for child in node.children)
+
+
+def find_span(
+    roots: Sequence[ProfileNode], name: str
+) -> Optional[ProfileNode]:
+    """First span named ``name`` in a depth-first walk of the trees."""
+    stack = list(roots)
+    while stack:
+        node = stack.pop(0)
+        if node.name == name:
+            return node
+        stack = node.children + stack
+    return None
+
+
+def folded_stacks(trees: Dict[str, List[ProfileNode]]) -> List[str]:
+    """Folded-stack lines (``a;b;c <self-microseconds>``) over all traces,
+    ready for any flamegraph renderer.  Identical stacks are merged."""
+    weights: Dict[str, int] = {}
+
+    def walk(node: ProfileNode, prefix: str) -> None:
+        stack = f"{prefix};{node.name}" if prefix else node.name
+        weight = int(round(node.self_ms * 1000.0))
+        if weight > 0:
+            weights[stack] = weights.get(stack, 0) + weight
+        for child in node.children:
+            walk(child, stack)
+
+    for roots in trees.values():
+        for root in roots:
+            walk(root, "")
+    return [f"{stack} {weight}" for stack, weight in sorted(weights.items())]
+
+
+def load_trees(trace_path) -> Dict[str, List[ProfileNode]]:
+    """Convenience: trace JSONL file (+ rotation) straight to trees."""
+    return build_trees(iter_span_records(trace_path))
+
+
+__all__ = [
+    "STAGE_PREFIX",
+    "OpAggregate",
+    "ProfileNode",
+    "aggregate",
+    "build_trees",
+    "critical_path",
+    "find_span",
+    "folded_stacks",
+    "iter_span_records",
+    "load_trees",
+    "newest_trace",
+    "stage_coverage",
+]

@@ -1,0 +1,587 @@
+"""Epoch-aware metrics time-series history in SQLite.
+
+PR 7's registry answers "what is the system doing *right now*"; this
+module adds *history*.  A :class:`TimeSeriesSampler` runs on the daemon's
+heartbeat cadence and writes one row per registry series into a SQLite
+file under ``<store>/obs/`` (:data:`DB_FILENAME`), so ``qckpt top`` can
+render sparklines and rates from real samples instead of two-frame
+deltas, and the health engine can evaluate windowed-rate and error-budget
+rules over minutes of data.
+
+The file follows :mod:`repro.storage.metadb`'s discipline exactly — the
+samples are a *cache over the live registry*, never the truth:
+
+* schema is versioned (:data:`SCHEMA_VERSION`); a missing table, a
+  version mismatch, or a failed ``PRAGMA quick_check`` discards the file
+  and recreates it empty (``discarded_previous`` is set for callers);
+* WAL journal + ``synchronous=NORMAL`` keeps appends one fsync;
+* every SQLite failure surfaces as :class:`~repro.errors.StorageError`,
+  which the daemon absorbs — sampling must never fail the serve loop.
+
+**Epoch discipline.**  Each row carries the registry epoch (restart
+incarnation) of the series it sampled.  Rate and percentile helpers only
+ever difference two samples from the *same* epoch: a daemon restart can
+lose updates between the last persisted snapshot and the crash, so a
+cross-epoch delta may be negative or wildly wrong.  The helpers skip
+restart-spanning pairs entirely — they return ``None`` rather than a
+made-up number.
+
+Retention is bounded two ways: rows older than ``retention_seconds`` are
+pruned on insert, and the table is capped at ``max_rows`` (oldest rows
+go first), so the obs directory cannot eat the store's disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.obs.metrics import MetricsRegistry
+
+#: Bump on any schema change; a mismatched file is discarded and rebuilt.
+SCHEMA_VERSION = 1
+
+#: Filename inside the store's ``obs/`` directory.
+DB_FILENAME = "timeseries.db"
+
+#: Default retention window (seconds) — six hours of heartbeat-cadence
+#: samples is ~43k rows for a 40-series registry at 2s cadence.
+DEFAULT_RETENTION_SECONDS = 6 * 3600.0
+
+#: Hard row cap, pruned oldest-first (a second bound independent of time).
+DEFAULT_MAX_ROWS = 200_000
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS samples (
+    ts      REAL    NOT NULL,
+    epoch   INTEGER NOT NULL,
+    name    TEXT    NOT NULL,
+    labels  TEXT    NOT NULL,
+    kind    TEXT    NOT NULL,
+    value   REAL,
+    count   INTEGER,
+    sum     REAL,
+    buckets TEXT,
+    counts  TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_samples_series ON samples (name, labels, ts);
+CREATE INDEX IF NOT EXISTS idx_samples_ts ON samples (ts);
+"""
+
+_REQUIRED_TABLES = {"meta", "samples"}
+
+
+class _SchemaMismatch(Exception):
+    """Internal: stored schema version differs from :data:`SCHEMA_VERSION`."""
+
+
+def _labels_key(labels: Optional[Dict[str, str]]) -> str:
+    """Canonical JSON form of a label set (sorted keys, no spaces)."""
+    return json.dumps(labels or {}, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One stored observation of one series."""
+
+    ts: float
+    epoch: int
+    name: str
+    labels: Dict[str, str]
+    kind: str
+    value: Optional[float] = None
+    count: Optional[int] = None
+    sum: Optional[float] = None
+    buckets: Optional[Tuple[float, ...]] = None
+    counts: Optional[Tuple[int, ...]] = None
+
+    @property
+    def cumulative(self) -> float:
+        """The monotone quantity rates are computed over: counter/gauge
+        value, or a histogram's observation count."""
+        if self.kind == "histogram":
+            return float(self.count or 0)
+        return float(self.value or 0.0)
+
+
+class TimeSeriesDB:
+    """SQLite-backed sample history for one store's metrics registry.
+
+    Thread-safe (one lock, ``check_same_thread=False``); a corrupt or
+    version-mismatched file is discarded and recreated empty — history is
+    a cache, losing it costs sparklines, not correctness.
+    """
+
+    def __init__(
+        self,
+        path=None,
+        retention_seconds: float = DEFAULT_RETENTION_SECONDS,
+        max_rows: int = DEFAULT_MAX_ROWS,
+        metrics: Optional[MetricsRegistry] = None,
+        prune_interval_seconds: float = 60.0,
+    ):
+        self.path = None if path is None else str(path)
+        self.retention_seconds = float(retention_seconds)
+        self.max_rows = int(max_rows)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Pruning (retention window + row cap) is amortized: it runs on
+        #: the first insert, then whenever this much sample time passed
+        #: since the last prune or the estimated row count crosses the
+        #: cap.  ``0`` prunes on every insert (tests).
+        self.prune_interval_seconds = float(prune_interval_seconds)
+        self._last_prune_ts: Optional[float] = None
+        self._rows_at_prune = 0
+        self._rows_since_prune = 0
+        self._lock = threading.RLock()
+        self._conn: Optional[sqlite3.Connection] = None
+        #: True when this open discarded a prior file (corrupt or from
+        #: another schema era).
+        self.discarded_previous = False
+        self._open()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        if self.path is None:
+            conn = sqlite3.connect(":memory:", check_same_thread=False)
+        else:
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            conn = sqlite3.connect(
+                self.path, timeout=30.0, check_same_thread=False
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+        return conn
+
+    def _open(self) -> None:
+        with self._lock:
+            try:
+                self._conn = self._connect()
+                self._validate_or_init()
+            except (sqlite3.Error, _SchemaMismatch):
+                # Corrupt or from another era: discard, never trust.
+                self._discard_and_recreate()
+            self.metrics.counter("timeseries.opens").inc()
+
+    def _validate_or_init(self) -> None:
+        conn = self._conn
+        tables = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )
+        }
+        if not tables:
+            conn.executescript(_SCHEMA)
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            conn.commit()
+            return
+        if not _REQUIRED_TABLES <= tables:
+            raise _SchemaMismatch(
+                f"missing tables: {_REQUIRED_TABLES - tables}"
+            )
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key='schema_version'"
+        ).fetchone()
+        if row is None or row[0] != str(SCHEMA_VERSION):
+            raise _SchemaMismatch(
+                f"schema version {row[0] if row else None!r} != "
+                f"{SCHEMA_VERSION}"
+            )
+        status = conn.execute("PRAGMA quick_check(1)").fetchone()
+        if status is None or status[0] != "ok":
+            raise _SchemaMismatch(f"quick_check: {status}")
+
+    def _discard_and_recreate(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        if self.path is not None:
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    os.unlink(self.path + suffix)
+                except OSError:
+                    pass
+        self.discarded_previous = True
+        self.metrics.counter("timeseries.rebuilds").inc()
+        self._conn = self._connect()
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) "
+            "VALUES ('schema_version', ?)",
+            (str(SCHEMA_VERSION),),
+        )
+        self._conn.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+                self._conn = None
+
+    def _query(self, sql: str, params: Tuple = ()) -> List[Tuple]:
+        with self._lock:
+            if self._conn is None:
+                raise StorageError("timeseries db is closed")
+            try:
+                return self._conn.execute(sql, params).fetchall()
+            except sqlite3.Error as exc:
+                raise StorageError(f"timeseries db: {exc}") from exc
+
+    # -- writing -----------------------------------------------------------
+
+    def record_snapshot(
+        self, snapshot: dict, ts: Optional[float] = None
+    ) -> int:
+        """Insert one row per series of a registry ``snapshot()`` dict.
+
+        Returns the number of rows written.  Pruning (retention window +
+        row cap) runs in the same transaction, amortized to roughly once
+        per :attr:`prune_interval_seconds` of sample time (and whenever
+        the row estimate crosses the cap) so the steady-state sampler
+        pays an insert, not a table scan.
+        """
+        now = time.time() if ts is None else float(ts)
+        rows = []
+        for record in snapshot.get("series", ()):
+            name = record.get("name")
+            kind = record.get("type")
+            if not name or kind not in ("counter", "gauge", "histogram"):
+                continue
+            labels = _labels_key(record.get("labels"))
+            epoch = int(record.get("epoch", snapshot.get("epoch", 1)))
+            if kind == "histogram":
+                rows.append(
+                    (
+                        now,
+                        epoch,
+                        name,
+                        labels,
+                        kind,
+                        None,
+                        int(record.get("count", 0)),
+                        float(record.get("sum", 0.0)),
+                        json.dumps(record.get("buckets", [])),
+                        json.dumps(record.get("counts", [])),
+                    )
+                )
+            else:
+                rows.append(
+                    (
+                        now,
+                        epoch,
+                        name,
+                        labels,
+                        kind,
+                        float(record.get("value", 0.0)),
+                        None,
+                        None,
+                        None,
+                        None,
+                    )
+                )
+        with self._lock:
+            if self._conn is None:
+                raise StorageError("timeseries db is closed")
+            try:
+                self._conn.execute("BEGIN IMMEDIATE")
+                self._conn.executemany(
+                    "INSERT INTO samples (ts, epoch, name, labels, kind, "
+                    "value, count, sum, buckets, counts) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    rows,
+                )
+                self._rows_since_prune += len(rows)
+                if self._should_prune(now):
+                    self._prune(now)
+                self._conn.commit()
+            except sqlite3.Error as exc:
+                try:
+                    self._conn.execute("ROLLBACK")
+                except sqlite3.Error:
+                    pass
+                raise StorageError(f"timeseries db: {exc}") from exc
+        self.metrics.counter("timeseries.samples").inc(len(rows))
+        return len(rows)
+
+    def _should_prune(self, now: float) -> bool:
+        if self._last_prune_ts is None:
+            return True
+        if now - self._last_prune_ts >= self.prune_interval_seconds:
+            return True
+        # The cap may only be overshot by what arrived since the last
+        # prune; enforce it as soon as the estimate crosses the line.
+        return self._rows_at_prune + self._rows_since_prune > self.max_rows
+
+    def _prune(self, now: float) -> None:
+        """Retention window + row cap, inside the caller's transaction."""
+        self._conn.execute(
+            "DELETE FROM samples WHERE ts < ?",
+            (now - self.retention_seconds,),
+        )
+        (total,) = self._conn.execute(
+            "SELECT COUNT(*) FROM samples"
+        ).fetchone()
+        if total > self.max_rows:
+            self._conn.execute(
+                "DELETE FROM samples WHERE rowid IN ("
+                "SELECT rowid FROM samples ORDER BY ts ASC LIMIT ?)",
+                (total - self.max_rows,),
+            )
+            total = self.max_rows
+        self._last_prune_ts = now
+        self._rows_at_prune = int(total)
+        self._rows_since_prune = 0
+
+    # -- reading -----------------------------------------------------------
+
+    def _row_to_sample(self, row: Tuple) -> Sample:
+        ts, epoch, name, labels, kind, value, count, sum_, buckets, counts = row
+        return Sample(
+            ts=float(ts),
+            epoch=int(epoch),
+            name=name,
+            labels=json.loads(labels),
+            kind=kind,
+            value=None if value is None else float(value),
+            count=None if count is None else int(count),
+            sum=None if sum_ is None else float(sum_),
+            buckets=None if buckets is None else tuple(json.loads(buckets)),
+            counts=None if counts is None else tuple(json.loads(counts)),
+        )
+
+    def query(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[Sample]:
+        """Samples of one series, oldest first.
+
+        With ``labels=None`` every label-set of ``name`` is returned
+        (callers group with :func:`group_by_labels`).  ``limit`` keeps the
+        *newest* N rows.
+        """
+        sql = (
+            "SELECT ts, epoch, name, labels, kind, value, count, sum, "
+            "buckets, counts FROM samples WHERE name = ?"
+        )
+        params: List = [name]
+        if labels is not None:
+            sql += " AND labels = ?"
+            params.append(_labels_key(labels))
+        if since is not None:
+            sql += " AND ts >= ?"
+            params.append(float(since))
+        if until is not None:
+            sql += " AND ts <= ?"
+            params.append(float(until))
+        sql += " ORDER BY ts DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        rows = self._query(sql, tuple(params))
+        return [self._row_to_sample(row) for row in reversed(rows)]
+
+    def series_names(self) -> List[str]:
+        return [
+            row[0]
+            for row in self._query(
+                "SELECT DISTINCT name FROM samples ORDER BY name"
+            )
+        ]
+
+    def label_sets(self, name: str) -> List[Dict[str, str]]:
+        return [
+            json.loads(row[0])
+            for row in self._query(
+                "SELECT DISTINCT labels FROM samples WHERE name = ? "
+                "ORDER BY labels",
+                (name,),
+            )
+        ]
+
+    def latest(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Optional[Sample]:
+        rows = self.query(name, labels=labels, limit=1)
+        return rows[-1] if rows else None
+
+    def latest_ts(self) -> Optional[float]:
+        """Timestamp of the newest sample of any series (staleness probe)."""
+        rows = self._query("SELECT MAX(ts) FROM samples")
+        if not rows or rows[0][0] is None:
+            return None
+        return float(rows[0][0])
+
+    def windowed_rate(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+        window_seconds: float = 60.0,
+        now: Optional[float] = None,
+    ) -> Optional[float]:
+        """Per-second rate of a cumulative series over a trailing window.
+
+        Epoch-aware: only consecutive same-epoch sample pairs contribute;
+        a pair spanning a daemon restart is skipped, and a negative
+        within-epoch delta (which a well-behaved counter never produces)
+        is skipped too.  Returns ``None`` when no valid pair exists —
+        never a negative or restart-spanning rate.
+        """
+        now = time.time() if now is None else float(now)
+        samples = self.query(name, labels=labels, since=now - window_seconds)
+        return rate_from_samples(samples)
+
+    def windowed_quantile(
+        self,
+        name: str,
+        q: float,
+        labels: Optional[Dict[str, str]] = None,
+        window_seconds: float = 300.0,
+        now: Optional[float] = None,
+    ) -> Optional[float]:
+        """Approximate quantile of a histogram series over a window.
+
+        Differences the bucket counts of the oldest and newest samples of
+        the *newest epoch* in the window (restart-spanning deltas are
+        meaningless); with a single in-window sample the cumulative
+        distribution of that sample is used.  Returns the upper bound of
+        the bucket containing ``q``, or ``None`` with no observations.
+        """
+        now = time.time() if now is None else float(now)
+        samples = [
+            s
+            for s in self.query(name, labels=labels, since=now - window_seconds)
+            if s.kind == "histogram" and s.buckets and s.counts is not None
+        ]
+        if not samples:
+            return None
+        epoch = samples[-1].epoch
+        samples = [s for s in samples if s.epoch == epoch]
+        newest = samples[-1]
+        counts = list(newest.counts)
+        if len(samples) >= 2:
+            oldest = samples[0]
+            if oldest.buckets == newest.buckets:
+                counts = [
+                    max(0, b - a) for a, b in zip(oldest.counts, newest.counts)
+                ]
+        total = sum(counts)
+        if total <= 0:
+            return None
+        q = min(max(float(q), 0.0), 1.0)
+        target = q * total
+        seen = 0
+        bounds = list(newest.buckets) + [float("inf")]
+        for bound, bucket_count in zip(bounds, counts):
+            seen += bucket_count
+            if seen >= target:
+                return bound
+        return bounds[-1]
+
+
+def rate_from_samples(samples: Sequence[Sample]) -> Optional[float]:
+    """Epoch-aware rate over an ordered sample run (oldest first).
+
+    Sums positive same-epoch deltas over the time they cover.  ``None``
+    when no consecutive same-epoch pair exists.
+    """
+    total_delta = 0.0
+    total_dt = 0.0
+    pairs = 0
+    for prev, cur in zip(samples, samples[1:]):
+        if cur.epoch != prev.epoch or cur.ts <= prev.ts:
+            continue
+        delta = cur.cumulative - prev.cumulative
+        if delta < 0:
+            continue  # counter went backwards inside one epoch: distrust
+        total_delta += delta
+        total_dt += cur.ts - prev.ts
+        pairs += 1
+    if not pairs or total_dt <= 0:
+        return None
+    return total_delta / total_dt
+
+
+def group_by_labels(
+    samples: Sequence[Sample],
+) -> Dict[str, List[Sample]]:
+    """Split a mixed-label sample run into per-label-set runs."""
+    grouped: Dict[str, List[Sample]] = {}
+    for sample in samples:
+        grouped.setdefault(_labels_key(sample.labels), []).append(sample)
+    return grouped
+
+
+class TimeSeriesSampler:
+    """Clocked bridge from a live registry into a :class:`TimeSeriesDB`.
+
+    The daemon calls :meth:`maybe_sample` from its serve loop; sampling
+    happens at most every ``interval_seconds``.  Failures are counted and
+    swallowed — history must never take the daemon down.
+    """
+
+    def __init__(
+        self,
+        db: TimeSeriesDB,
+        registry: MetricsRegistry,
+        interval_seconds: float = 2.0,
+    ):
+        self.db = db
+        self.registry = registry
+        self.interval_seconds = float(interval_seconds)
+        self.samples_taken = 0
+        self.errors = 0
+        self._next_due = 0.0
+
+    def maybe_sample(self, now: Optional[float] = None) -> bool:
+        now = time.time() if now is None else float(now)
+        if now < self._next_due:
+            return False
+        self._next_due = now + self.interval_seconds
+        return self.sample(now)
+
+    def sample(self, now: Optional[float] = None) -> bool:
+        try:
+            self.db.record_snapshot(self.registry.snapshot(), ts=now)
+        except StorageError:
+            self.errors += 1
+            return False
+        self.samples_taken += 1
+        return True
+
+
+__all__ = [
+    "DB_FILENAME",
+    "DEFAULT_MAX_ROWS",
+    "DEFAULT_RETENTION_SECONDS",
+    "SCHEMA_VERSION",
+    "Sample",
+    "TimeSeriesDB",
+    "TimeSeriesSampler",
+    "group_by_labels",
+    "rate_from_samples",
+]

@@ -512,10 +512,21 @@ class ChunkStore:
         latency lands in the per-job ``save.seconds`` histogram.
         """
         started = time.perf_counter()
+        stages: Dict[str, float] = {}
         with span_scope("store.save", job=job_id) as span:
-            record = self._save_snapshot(job_id, snapshot, extra)
+            record = self._save_snapshot(job_id, snapshot, extra, stages)
             if span is not None:
+                # Stage attribution for `qckpt profile`: wall seconds per
+                # pipeline stage plus byte counts, accumulated inline by
+                # the commit (no per-block spans on the hot path).
                 span.attrs["ckpt"] = record.ckpt_id
+                span.attrs["stages"] = {
+                    stage: round(seconds, 6)
+                    for stage, seconds in stages.items()
+                    if seconds > 0
+                }
+                span.attrs["bytes"] = record.logical_bytes
+                span.attrs["new_bytes"] = record.physical_bytes
         self.metrics.histogram("save.seconds", job=job_id).observe(
             time.perf_counter() - started
         )
@@ -526,6 +537,7 @@ class ChunkStore:
         job_id: str,
         snapshot: TrainingSnapshot,
         extra: Optional[Dict] = None,
+        stages: Optional[Dict[str, float]] = None,
     ) -> ChunkCheckpointRecord:
         """The actual commit (see :meth:`save_snapshot`).
 
@@ -550,6 +562,13 @@ class ChunkStore:
         attempts).
         """
         _validate_job_id(job_id)
+        if stages is None:
+            stages = {}
+        stages.setdefault("serialize", 0.0)
+        stages.setdefault("hash", 0.0)
+        stages.setdefault("encode", 0.0)
+        stages.setdefault("write", 0.0)
+        stages.setdefault("manifest", 0.0)
         meta, tensors = snapshot.to_payload()
         directory = []
         n_blocks = 0
@@ -569,10 +588,14 @@ class ChunkStore:
 
         try:
             for name in sorted(tensors):
+                stage_t0 = time.perf_counter()
                 raw, dtype_token, shape = tensor_to_bytes(tensors[name])
+                stage_t1 = time.perf_counter()
+                stages["serialize"] += stage_t1 - stage_t0
                 pairs = list(
                     block_address_stream(raw, self.block_bytes, self.codec.name)
                 )
+                stages["hash"] += time.perf_counter() - stage_t1
                 futures.clear()
                 blocks = []
                 for idx, (piece, address) in enumerate(pairs):
@@ -601,7 +624,8 @@ class ChunkStore:
                         pin(address)
                     encoded = futures.pop(idx, None)
                     stored_nbytes, was_new = self._ensure_block(
-                        piece, address, reserved, encoded=encoded
+                        piece, address, reserved, encoded=encoded,
+                        stages=stages,
                     )
                     if encoded is not None and not was_new:
                         self.metrics.counter("save.pipeline.wasted").inc()
@@ -640,6 +664,7 @@ class ChunkStore:
                 "tensors": directory,
                 "extra": dict(extra or {}),
             }
+            stage_t0 = time.perf_counter()
             manifest_bytes = json.dumps(manifest, sort_keys=True).encode(
                 "utf-8"
             )
@@ -656,6 +681,7 @@ class ChunkStore:
                 except StorageError:
                     pass
             self._pin_manifest(object_name)
+            stages["manifest"] += time.perf_counter() - stage_t0
         except BaseException:
             # Roll back reservations that never published: concurrent
             # writers must not wait on (or dedup against) content whose
@@ -700,6 +726,7 @@ class ChunkStore:
         address: str,
         reserved: List[str],
         encoded: Optional[Future] = None,
+        stages: Optional[Dict[str, float]] = None,
     ) -> Tuple[int, bool]:
         """Make sure ``address`` holds ``piece``; returns ``(size, was_new)``.
 
@@ -729,6 +756,7 @@ class ChunkStore:
                     self.stats.chunks_deduped += 1
                     return int(stored_nbytes), False
             if claimed:
+                stage_t0 = time.perf_counter()
                 if encoded is not None:
                     stored = encoded.result()
                 else:
@@ -737,16 +765,25 @@ class ChunkStore:
                     # The identity codec hands the input view back; the
                     # backend must never hold a view aliasing a live tensor.
                     stored = bytes(stored)
+                stage_t1 = time.perf_counter()
                 crash_point(CP_CHUNK_BEFORE_WRITE)
                 self.backend.write(address, stored)
                 crash_point(CP_CHUNK_AFTER_WRITE)
+                if stages is not None:
+                    stage_t2 = time.perf_counter()
+                    stages["encode"] += stage_t1 - stage_t0
+                    stages["write"] += stage_t2 - stage_t1
                 with self._lock:
                     # Write landed: now (and only now) publish it, so a
                     # racing save deduping against this entry can safely
                     # commit a manifest naming the chunk.
                     self._known[address] = len(stored)
                 return len(stored), True
+            stage_t0 = time.perf_counter()
             waited = self._wait_for_size(address)
+            if stages is not None:
+                # Waiting on a peer's in-flight write is write-bound time.
+                stages["write"] += time.perf_counter() - stage_t0
             if waited is not None:
                 with self._lock:
                     self.stats.chunks_deduped += 1
@@ -937,12 +974,22 @@ class ChunkStore:
         ``restore.seconds`` histogram.
         """
         started = time.perf_counter()
+        stages: Dict[str, float] = {}
         with span_scope("store.restore", job=job_id) as span:
+            stage_t0 = time.perf_counter()
             source = self.restore_source(job_id, ckpt_id)
             plan = source.plan(names, require_all=names is not None)
-            result = self._executor.run(source, plan)
+            stages["plan"] = time.perf_counter() - stage_t0
+            result = self._executor.run(source, plan, stages=stages)
             if span is not None:
                 span.attrs["partial"] = names is not None
+                span.attrs["stages"] = {
+                    stage: round(seconds, 6)
+                    for stage, seconds in stages.items()
+                    if seconds > 0
+                }
+                span.attrs["bytes"] = plan.fetch_bytes
+                span.attrs["blocks"] = plan.n_blocks
         self.metrics.histogram("restore.seconds", job=job_id).observe(
             time.perf_counter() - started
         )

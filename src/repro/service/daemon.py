@@ -72,9 +72,17 @@ from repro.errors import (
 )
 from repro.faults.crashpoints import crash_point, register_crash_point
 from repro.obs import trace as obs_trace
-from repro.obs.export import ObsDir
+from repro.obs.export import ObsDir, prometheus_text
+from repro.obs.health import HealthEngine, HealthReport, HealthRule
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    DB_FILENAME as TIMESERIES_FILENAME,
+    DEFAULT_RETENTION_SECONDS,
+    TimeSeriesDB,
+    TimeSeriesSampler,
+    rate_from_samples,
+)
 from repro.reliability import Deadline, current_deadline
 from repro.service.chunkstore import ChunkStore
 from repro.service.fleet import FleetJobSpec, JobLifecycle, _JobRuntime
@@ -193,6 +201,12 @@ class DaemonConfig:
     # while serving (only when an obs directory is configured).  0 disables
     # the periodic export; the shutdown snapshot is always written.
     metrics_export_seconds: float = 5.0
+    # Cadence of registry samples into <obs>/timeseries.db and of health
+    # rule evaluation.  None = the heartbeat cadence; 0 disables both the
+    # sampler and in-loop health (the `health` op still evaluates fresh).
+    obs_sample_seconds: Optional[float] = None
+    # Retention window of the timeseries history (seconds).
+    timeseries_retention_seconds: float = DEFAULT_RETENTION_SECONDS
 
     def __post_init__(self) -> None:
         if self.tick_seconds < 0:
@@ -233,6 +247,26 @@ class DaemonConfig:
                 f"metrics_export_seconds must be >= 0, "
                 f"got {self.metrics_export_seconds}"
             )
+        if (
+            self.obs_sample_seconds is not None
+            and self.obs_sample_seconds < 0
+        ):
+            raise ConfigError(
+                f"obs_sample_seconds must be >= 0 or None, "
+                f"got {self.obs_sample_seconds}"
+            )
+        if self.timeseries_retention_seconds <= 0:
+            raise ConfigError(
+                f"timeseries_retention_seconds must be > 0, "
+                f"got {self.timeseries_retention_seconds}"
+            )
+
+    @property
+    def resolved_obs_sample_seconds(self) -> float:
+        """The sampler/health cadence (heartbeat cadence when unset)."""
+        if self.obs_sample_seconds is None:
+            return self.heartbeat_seconds
+        return self.obs_sample_seconds
 
 
 class DaemonAlreadyRunning(ReproError):
@@ -306,6 +340,7 @@ class FleetDaemon(JobLifecycle):
         transports: "tuple[ControlTransport, ...]" = (),
         metrics: Optional[MetricsRegistry] = None,
         obs_dir=None,
+        health_rules: "Optional[List[HealthRule]]" = None,
     ):
         super().__init__(store, pool)
         self.control = _control_backend(control)
@@ -364,6 +399,13 @@ class FleetDaemon(JobLifecycle):
             "duplicates": self._c_duplicates.value,
         }
         self._served_responses: "OrderedDict[str, Dict]" = OrderedDict()
+        # Observatory state: the timeseries history (opened in serve()
+        # when an obs dir exists), its sampler, and the health engine's
+        # most recent report (written into daemon.json by the heartbeat).
+        self.timeseries: Optional[TimeSeriesDB] = None
+        self._sampler: Optional[TimeSeriesSampler] = None
+        self._health = HealthEngine(health_rules)
+        self._health_report: Optional[HealthReport] = None
 
     @property
     def requests_served(self) -> int:
@@ -457,6 +499,13 @@ class FleetDaemon(JobLifecycle):
                 "queue_depth": self.pool.pending,
             },
         }
+        report = self._health_report
+        if report is not None:
+            meta["health"] = {
+                "verdict": report.verdict,
+                "ts": report.ts,
+                "firing": [f.rule for f in report.firing],
+            }
         for transport in self.transports:
             meta.update(transport.describe())
         crash_point(CP_META_BEFORE_WRITE)
@@ -575,6 +624,12 @@ class FleetDaemon(JobLifecycle):
             )
         if op == "metrics":
             return self._op_metrics()
+        if op == "metrics_text":
+            return self._op_metrics_text()
+        if op == "health":
+            return self._op_health()
+        if op == "series":
+            return self._op_series(request)
         return {"ok": False, "error": f"unknown op {op!r}"}
 
     def _op_submit(self, spec: Dict) -> Dict:
@@ -720,6 +775,12 @@ class FleetDaemon(JobLifecycle):
                 response["registry_jobs"] = db.count_daemon_jobs()
             except StorageError:
                 pass
+        report = self._health_report
+        if report is not None:
+            response["health"] = {
+                "verdict": report.verdict,
+                "firing": [f.rule for f in report.firing],
+            }
         return response
 
     # -- metrics ------------------------------------------------------------------
@@ -818,6 +879,82 @@ class FleetDaemon(JobLifecycle):
         if reliability is not None:
             response["reliability"] = reliability
         return response
+
+    def _op_metrics_text(self) -> Dict:
+        """Prometheus text exposition of the full snapshot (engine series
+        included) — the scrape surface behind ``qckpt metrics --prom``."""
+        snapshot = self._op_metrics()["metrics"]
+        return {
+            "ok": True,
+            "daemon_id": self.daemon_id,
+            "text": prometheus_text(snapshot),
+        }
+
+    def _op_health(self) -> Dict:
+        """Evaluate the health rules fresh and report the verdict."""
+        self._refresh_gauges()
+        report = self._health.evaluate(
+            self.metrics.snapshot(), self.timeseries
+        )
+        self._health_report = report
+        return {
+            "ok": True,
+            "daemon_id": self.daemon_id,
+            "state": self.state,
+            "tick": self.tick,
+            "health": report.to_dict(),
+            "rules": [rule.to_dict() for rule in self._health.rules],
+        }
+
+    def _op_series(self, request: Dict) -> Dict:
+        """Windowed sample history of one metric, per label set.
+
+        Feeds `qckpt top`'s sparkline/rate columns: each series returns
+        its in-window points (``[ts, epoch, cumulative]``) plus an
+        epoch-aware windowed rate (never negative, never spanning a
+        restart; ``None`` without two same-epoch samples).
+        """
+        if self.timeseries is None:
+            return {
+                "ok": False,
+                "error": "no timeseries history (daemon has no obs dir)",
+            }
+        name = str(request.get("name") or "save.seconds")
+        window = float(request.get("window", 120.0))
+        limit = min(int(request.get("limit", 64)), 512)
+        now = time.time()
+        series = []
+        try:
+            for labels in self.timeseries.label_sets(name):
+                samples = self.timeseries.query(
+                    name, labels=labels, since=now - window, limit=limit
+                )
+                series.append(
+                    {
+                        "labels": labels,
+                        "points": [
+                            [round(s.ts, 3), s.epoch, s.cumulative]
+                            for s in samples
+                        ],
+                        "rate": rate_from_samples(samples),
+                    }
+                )
+        except StorageError as exc:
+            return {"ok": False, "error": str(exc)}
+        return {"ok": True, "name": name, "window": window, "series": series}
+
+    def _obs_tick(self) -> None:
+        """One observatory pass: refresh gauges, sample history, judge
+        health.  Best-effort — observability never takes the loop down."""
+        self._refresh_gauges()
+        if self._sampler is not None:
+            self._sampler.sample()
+        try:
+            self._health_report = self._health.evaluate(
+                self.metrics.snapshot(), self.timeseries
+            )
+        except ReproError:
+            pass
 
     def _op_preempt(
         self, job_id: Optional[str], delay: Optional[int]
@@ -1046,7 +1183,29 @@ class FleetDaemon(JobLifecycle):
             # start streaming spans to the bounded trace log.
             self.metrics.load(self._obs.registry_path)
             previous_sink = obs_trace.set_trace_sink(self._obs.trace_sink())
+            if self.config.resolved_obs_sample_seconds > 0:
+                try:
+                    self.timeseries = TimeSeriesDB(
+                        self._obs.root / TIMESERIES_FILENAME,
+                        retention_seconds=(
+                            self.config.timeseries_retention_seconds
+                        ),
+                        metrics=self.metrics,
+                    )
+                    self._sampler = TimeSeriesSampler(
+                        self.timeseries,
+                        self.metrics,
+                        interval_seconds=(
+                            self.config.resolved_obs_sample_seconds
+                        ),
+                    )
+                except (StorageError, OSError):
+                    # History is optional; the daemon serves without it
+                    # (sparkline/rate columns and windowed rules go dark).
+                    self.timeseries = None
+                    self._sampler = None
         next_metrics_export = 0.0
+        next_obs_tick = 0.0
         try:
             for transport in self.transports:
                 transport.start()
@@ -1097,6 +1256,15 @@ class FleetDaemon(JobLifecycle):
                         daemon_id=self.daemon_id,
                         tick=self.tick,
                     )
+                if (
+                    self.config.resolved_obs_sample_seconds > 0
+                    and time.monotonic() >= next_obs_tick
+                ):
+                    next_obs_tick = (
+                        time.monotonic()
+                        + self.config.resolved_obs_sample_seconds
+                    )
+                    self._obs_tick()
                 handled = self._poll_control()
                 progressed = self._tick_once()
                 if self.state == STATE_DRAINING and self._active_jobs() == 0:
@@ -1148,6 +1316,12 @@ class FleetDaemon(JobLifecycle):
                         final=True,
                     )
                     self._obs.save_registry(self.metrics)
+                    if self._sampler is not None:
+                        # One terminal sample so offline readers see the
+                        # final counter values in the history too.
+                        self._sampler.sample()
+                    if self.timeseries is not None:
+                        self.timeseries.close()
                     obs_trace.set_trace_sink(previous_sink)
                 _log.info(
                     "stopped",

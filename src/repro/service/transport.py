@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import hmac
 import json
+import os
 import queue
 import socket
 import struct
@@ -239,14 +240,60 @@ class FileTransport(ControlTransport):
     ``res-<id>.json`` *before* deleting the request — a crash between the
     two leaves a request that will simply be re-served, never a requester
     waiting on a response that was never written.
+
+    **Idle-poll elision.**  Listing the control directory every scheduler
+    tick is O(entries) even when nothing arrived; an idle daemon over a
+    large control dir burns its whole loop re-listing handled requests.
+    For directory-backed control planes the poll keeps the directory's
+    mtime as a high-water mark: when the mtime is unchanged since the
+    last *empty* listing, the listing is skipped outright.  The mark is
+    only recorded when the listing came back empty AND the mtime is
+    safely older than "now" (``_MTIME_MARGIN_NS``), so a request created
+    within the filesystem's timestamp granularity of the listing can
+    never be missed — its arrival bumps the mtime past the recorded mark
+    (file creation always updates the parent directory's mtime).
+    ``dir_scans_skipped`` counts the elided listings.
     """
 
     name = "file"
 
+    #: A directory mtime younger than this (vs the wall clock) is never
+    #: trusted as a high-water mark — same-granularity-tick insurance.
+    _MTIME_MARGIN_NS = 20_000_000
+
     def __init__(self, control: StorageBackend):
         self.control = control
+        root = getattr(control, "root", None)
+        self._root = None if root is None else os.fspath(root)
+        self._hwm_mtime_ns: Optional[int] = None
+        self.dir_scans_skipped = 0
+
+    def _dir_mtime_ns(self) -> Optional[int]:
+        if self._root is None:
+            return None
+        try:
+            return os.stat(self._root).st_mtime_ns
+        except OSError:
+            return None
 
     def poll(self) -> List[ControlRequest]:
+        mtime_ns = self._dir_mtime_ns()
+        if (
+            mtime_ns is not None
+            and self._hwm_mtime_ns is not None
+            and mtime_ns == self._hwm_mtime_ns
+        ):
+            self.dir_scans_skipped += 1
+            return []
+        pending = self._list_pending()
+        if not pending and mtime_ns is not None:
+            if time.time_ns() - mtime_ns > self._MTIME_MARGIN_NS:
+                self._hwm_mtime_ns = mtime_ns
+        else:
+            self._hwm_mtime_ns = None
+        return pending
+
+    def _list_pending(self) -> List[ControlRequest]:
         pending = []
         for obj_name in self.control.list(REQUEST_PREFIX):
             request_id = obj_name[len(REQUEST_PREFIX) : -len(".json")]

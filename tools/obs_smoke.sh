@@ -94,6 +94,15 @@ top=$($QCKPT top --connect "$ADDR" --token "$TOKEN" --iterations 1 --no-clear)
 echo "$top"
 echo "$top" | grep -q "smoke" || { echo "top did not list the job"; exit 1; }
 
+echo "== qckpt health reports ok against the healthy daemon (exit 0)"
+$QCKPT health --connect "$ADDR" --token "$TOKEN" | grep -q "health OK" \
+  || { echo "live health was not OK"; exit 1; }
+
+echo "== qckpt metrics --prom emits Prometheus exposition over TCP"
+$QCKPT metrics --connect "$ADDR" --token "$TOKEN" --prom \
+  | grep -q "^# TYPE qckpt_save_seconds histogram" \
+  || { echo "prom exposition missing save histogram"; exit 1; }
+
 echo "== draining (persists the registry snapshot)"
 $QCKPT daemon drain --connect "$ADDR" --token "$TOKEN" --timeout 120
 wait "$DAEMON_PID"
@@ -117,6 +126,115 @@ stitched = [
 ]
 assert stitched, f"no trace joins daemon.submit with store.save: {by_trace}"
 print(f"    trace {stitched[0]} covers submit -> save")
+PY
+
+echo "== qckpt health <store> answers offline from the persisted artifacts"
+$QCKPT health "$STORE" | grep -q "health OK" \
+  || { echo "offline health was not OK"; exit 1; }
+
+echo "== qckpt profile prints a critical path with stage coverage"
+profile=$($QCKPT profile "$STORE")
+echo "$profile" | head -20
+echo "$profile" | grep -q "critical path: " \
+  || { echo "profile printed no critical path"; exit 1; }
+echo "$profile" | grep -q "stage coverage: " \
+  || { echo "profile printed no stage coverage"; exit 1; }
+
+echo "== qckpt profile --folded emits flamegraph stacks"
+$QCKPT profile "$STORE" --folded | grep -q "store.save;stage:" \
+  || { echo "folded stacks missing save stages"; exit 1; }
+
+echo "== health verdict flips under a fault storm, then recovers"
+python - <<'PY'
+import subprocess, sys, tempfile, threading, time
+
+from repro.obs.export import store_obs_dir
+from repro.obs.health import HealthRule
+from repro.obs.metrics import MetricsRegistry
+from repro.reliability import RetryPolicy
+from repro.service import ChunkStore, DaemonClient, FleetDaemon, WriterPool
+from repro.service.daemon import DaemonConfig
+from repro.storage.flaky import FlakyBackend
+from repro.storage.memory import InMemoryBackend
+from repro.storage.reliable import ReliableBackend
+
+# Small windows so the storm shows up (and drains back out) in seconds.
+RULES = [
+    HealthRule(
+        name="retry-storm", kind="rate", series="reliability.retries",
+        op=">", value=0.2, window_seconds=4.0, severity="warn",
+        reason="storage retries exceed 0.2/s",
+    ),
+    HealthRule(
+        name="retry-flood", kind="rate", series="reliability.retries",
+        op=">", value=2.0, window_seconds=4.0, severity="critical",
+        reason="storage retries exceed 2/s",
+    ),
+]
+
+root = tempfile.mkdtemp(prefix="qckpt-health-storm-")
+registry = MetricsRegistry(enabled=True)
+flaky = FlakyBackend(InMemoryBackend())
+backend = ReliableBackend(
+    flaky,
+    retry=RetryPolicy(max_attempts=4, base_delay=0.005),
+    metrics=registry,
+)
+store = ChunkStore(backend, block_bytes=2048, metrics=registry)
+pool = WriterPool(workers=1, metrics=registry)
+control = root + "/ctl"
+daemon = FleetDaemon(
+    store, pool, control,
+    config=DaemonConfig(tick_seconds=0.005, metrics_export_seconds=0.0,
+                        obs_sample_seconds=0.1),
+    metrics=registry, obs_dir=store_obs_dir(root + "/store"),
+    health_rules=RULES,
+)
+thread = threading.Thread(target=daemon.serve, daemon=True)
+thread.start()
+client = DaemonClient(control, timeout=30.0)
+
+
+def health_cli():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "health", "--control", control],
+        capture_output=True, text=True,
+    )
+    return proc.returncode, proc.stdout
+
+
+# Every other write errors once: retries climb fast, nothing exhausts.
+flaky.arm_schedule("write", "error", first=1, count=1, period=2)
+client.submit({"job_id": "stormy", "workload": "classifier",
+               "target_steps": 2000, "checkpoint_every": 1,
+               "params": {"qubits": 2, "layers": 1, "samples": 16,
+                          "batch_size": 4}})
+
+deadline = time.monotonic() + 60.0
+verdict_rc, out = 0, ""
+while time.monotonic() < deadline:
+    verdict_rc, out = health_cli()
+    if verdict_rc != 0:
+        break
+    time.sleep(0.3)
+assert verdict_rc in (1, 2), f"health never left ok: {out}"
+assert "retry-storm" in out or "retry-flood" in out, out
+print(f"    storm verdict (exit {verdict_rc}):")
+print("    " + out.strip().replace("\n", "\n    "))
+
+flaky.disarm()
+deadline = time.monotonic() + 60.0
+while time.monotonic() < deadline:
+    verdict_rc, out = health_cli()
+    if verdict_rc == 0:
+        break
+    time.sleep(0.5)
+assert verdict_rc == 0, f"health never recovered: {out}"
+print("    recovered: " + out.splitlines()[0])
+
+client.stop(timeout=15.0)
+thread.join(timeout=30.0)
+pool.close()
 PY
 
 echo "obs smoke OK"
